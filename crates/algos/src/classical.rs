@@ -1,0 +1,69 @@
+//! Classical baseline algorithms and cost models the benchmarks compare
+//! against (each experiment's "who wins, by what factor" needs both
+//! sides). Per-algorithm baselines that need algorithm-specific context
+//! live next to their quantum counterpart (`classical_substring_scan`,
+//! `classical_decide`, `rotate_value_left`); this module holds the
+//! generic ones.
+
+/// Unstructured search: scans `data` for `target`, returning
+/// `(index, comparisons)`. Expected cost N/2, worst case N — the
+/// baseline Grover's O(sqrt N) queries are compared against in E2.
+pub fn linear_search<T: PartialEq>(data: &[T], target: &T) -> (Option<usize>, usize) {
+    let mut comparisons = 0;
+    for (i, x) in data.iter().enumerate() {
+        comparisons += 1;
+        if x == target {
+            return (Some(i), comparisons);
+        }
+    }
+    (None, comparisons)
+}
+
+/// Element moves performed by an in-place classical array rotation by `k`
+/// (the juggling/reversal algorithms all move each element once: `n`
+/// moves) — the E3 baseline's time model.
+pub fn classical_rotation_moves(n: usize, k: usize) -> usize {
+    if n == 0 || k.is_multiple_of(n) {
+        0
+    } else {
+        n
+    }
+}
+
+/// Classical expected number of oracle queries to find one of `marked`
+/// targets among `space` candidates by uniform random sampling without
+/// replacement: `(space + 1) / (marked + 1)`.
+pub fn expected_queries_random_search(space: u64, marked: u64) -> f64 {
+    if marked == 0 {
+        return space as f64;
+    }
+    (space as f64 + 1.0) / (marked as f64 + 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_search_counts() {
+        let v = vec![5, 3, 9, 1];
+        assert_eq!(linear_search(&v, &9), (Some(2), 3));
+        assert_eq!(linear_search(&v, &42), (None, 4));
+        assert_eq!(linear_search::<i32>(&[], &1), (None, 0));
+    }
+
+    #[test]
+    fn rotation_moves() {
+        assert_eq!(classical_rotation_moves(8, 3), 8);
+        assert_eq!(classical_rotation_moves(8, 0), 0);
+        assert_eq!(classical_rotation_moves(8, 8), 0);
+        assert_eq!(classical_rotation_moves(0, 3), 0);
+    }
+
+    #[test]
+    fn random_search_expectation() {
+        assert!((expected_queries_random_search(15, 0) - 15.0).abs() < 1e-12);
+        assert!((expected_queries_random_search(15, 1) - 8.0).abs() < 1e-12);
+        assert!((expected_queries_random_search(15, 3) - 4.0).abs() < 1e-12);
+    }
+}

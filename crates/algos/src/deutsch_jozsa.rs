@@ -1,0 +1,303 @@
+//! The Deutsch–Jozsa algorithm (paper §5): decides whether a promised
+//! constant-or-balanced boolean function is constant with **one** oracle
+//! query, versus `2^(n-1) + 1` classical queries in the worst case.
+
+use qutes_qcirc::{run_shots, CircResult, QuantumCircuit};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A promised constant-or-balanced function on `n` bits.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Oracle {
+    /// `f(x) = bit` for all x.
+    Constant {
+        /// The constant output.
+        bit: bool,
+    },
+    /// `f(x) = parity(mask & x) ^ flip` — balanced whenever `mask != 0`.
+    Parity {
+        /// Parity mask (must be nonzero for balancedness).
+        mask: u64,
+        /// Output negation.
+        flip: bool,
+    },
+    /// Arbitrary balanced truth table (exactly half the inputs map to 1).
+    Table {
+        /// `outputs[x]` = f(x); length `2^n`.
+        outputs: Vec<bool>,
+    },
+}
+
+impl Oracle {
+    /// Evaluates the function classically.
+    pub fn eval(&self, x: u64) -> bool {
+        match self {
+            Oracle::Constant { bit } => *bit,
+            Oracle::Parity { mask, flip } => ((mask & x).count_ones() % 2 == 1) ^ flip,
+            Oracle::Table { outputs } => outputs[x as usize],
+        }
+    }
+
+    /// Is the function constant?
+    pub fn is_constant(&self) -> bool {
+        match self {
+            Oracle::Constant { .. } => true,
+            Oracle::Parity { mask, .. } => *mask == 0,
+            Oracle::Table { outputs } => {
+                outputs.iter().all(|&b| b) || outputs.iter().all(|&b| !b)
+            }
+        }
+    }
+
+    /// A uniformly random balanced parity oracle on `n` bits.
+    pub fn random_balanced<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Oracle {
+        let mask = rng.random_range(1..(1u64 << n));
+        Oracle::Parity {
+            mask,
+            flip: rng.random::<bool>(),
+        }
+    }
+
+    /// A random balanced truth-table oracle (not necessarily a parity
+    /// function) on `n` bits.
+    pub fn random_balanced_table<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Oracle {
+        let size = 1usize << n;
+        let mut outputs = vec![false; size];
+        let mut idx: Vec<usize> = (0..size).collect();
+        idx.shuffle(rng);
+        for &i in idx.iter().take(size / 2) {
+            outputs[i] = true;
+        }
+        Oracle::Table { outputs }
+    }
+
+    /// Appends the standard XOR oracle `|x>|y> -> |x>|y ^ f(x)>` over
+    /// `inputs` and `output`.
+    pub fn append_to(
+        &self,
+        circ: &mut QuantumCircuit,
+        inputs: &[usize],
+        output: usize,
+    ) -> CircResult<()> {
+        match self {
+            Oracle::Constant { bit } => {
+                if *bit {
+                    circ.x(output)?;
+                }
+            }
+            Oracle::Parity { mask, flip } => {
+                for (i, &q) in inputs.iter().enumerate() {
+                    if mask >> i & 1 == 1 {
+                        circ.cx(q, output)?;
+                    }
+                }
+                if *flip {
+                    circ.x(output)?;
+                }
+            }
+            Oracle::Table { outputs } => {
+                // Generic (exponential) construction: one X-conjugated MCX
+                // per input mapping to 1.
+                for (x, &fx) in outputs.iter().enumerate() {
+                    if !fx {
+                        continue;
+                    }
+                    for (i, &q) in inputs.iter().enumerate() {
+                        if x >> i & 1 == 0 {
+                            circ.x(q)?;
+                        }
+                    }
+                    circ.mcx(inputs, output)?;
+                    for (i, &q) in inputs.iter().enumerate() {
+                        if x >> i & 1 == 0 {
+                            circ.x(q)?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builds the Deutsch–Jozsa circuit for an `n`-bit oracle: inputs in
+/// superposition, output prepared in `|->`, one oracle query, inputs
+/// re-Hadamarded and measured.
+pub fn dj_circuit(n: usize, oracle: &Oracle) -> CircResult<QuantumCircuit> {
+    let mut c = QuantumCircuit::new();
+    let x = c.add_qreg("x", n);
+    let y = c.add_qreg("y", 1);
+    let m = c.add_creg("m", n);
+    let inputs = x.qubits();
+    let output = y.qubit(0);
+
+    c.x(output)?;
+    c.h(output)?;
+    for &q in &inputs {
+        c.h(q)?;
+    }
+    oracle.append_to(&mut c, &inputs, output)?;
+    for &q in &inputs {
+        c.h(q)?;
+    }
+    c.measure_register(&x, &m)?;
+    Ok(c)
+}
+
+/// Runs Deutsch–Jozsa once and decides: `true` = constant. The quantum
+/// algorithm uses exactly one oracle evaluation.
+pub fn dj_decide<R: Rng + ?Sized>(n: usize, oracle: &Oracle, rng: &mut R) -> CircResult<bool> {
+    let c = dj_circuit(n, oracle)?;
+    let counts = run_shots(&c, 1, rng)?;
+    // All-zero measurement <=> constant (deterministic in the noiseless
+    // model, so one shot suffices).
+    Ok(counts.get(0) == 1)
+}
+
+/// Bernstein–Vazirani: recovers the hidden mask of a parity oracle
+/// `f(x) = parity(mask & x)` with a **single** query (classically `n`
+/// queries are needed, one per bit). Returns the recovered mask.
+pub fn bernstein_vazirani<R: Rng + ?Sized>(
+    n: usize,
+    oracle: &Oracle,
+    rng: &mut R,
+) -> CircResult<u64> {
+    // Identical circuit shape to DJ; the readout IS the mask.
+    let c = dj_circuit(n, oracle)?;
+    let counts = run_shots(&c, 1, rng)?;
+    Ok(counts.most_frequent().unwrap_or(0) as u64)
+}
+
+/// Worst-case classical query count for the same promise problem.
+pub fn classical_queries_worst_case(n: usize) -> u64 {
+    (1u64 << (n - 1)) + 1
+}
+
+/// Classical decision procedure; returns (is_constant, queries_used).
+/// Queries the oracle until two outputs differ or the promise bound is
+/// reached.
+pub fn classical_decide(n: usize, oracle: &Oracle) -> (bool, u64) {
+    let first = oracle.eval(0);
+    let mut queries = 1u64;
+    for x in 1..(1u64 << (n - 1)) + 1 {
+        queries += 1;
+        if oracle.eval(x) != first {
+            return (false, queries);
+        }
+    }
+    (true, queries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xD1CE)
+    }
+
+    #[test]
+    fn constant_oracles_decided_constant() {
+        let mut r = rng();
+        for bit in [false, true] {
+            for n in 1..=5 {
+                assert!(dj_decide(n, &Oracle::Constant { bit }, &mut r).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_parity_oracles_decided_balanced() {
+        let mut r = rng();
+        for n in 1..=5usize {
+            for _ in 0..5 {
+                let o = Oracle::random_balanced(n, &mut r);
+                assert!(!o.is_constant());
+                assert!(!dj_decide(n, &o, &mut r).unwrap(), "oracle {o:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_table_oracles_decided_balanced() {
+        let mut r = rng();
+        for _ in 0..5 {
+            let o = Oracle::random_balanced_table(3, &mut r);
+            assert!(!o.is_constant());
+            assert_eq!(
+                o.eval(0) as usize
+                    + (1..8).map(|x| o.eval(x) as usize).sum::<usize>(),
+                4,
+                "table must be balanced"
+            );
+            assert!(!dj_decide(3, &o, &mut r).unwrap());
+        }
+    }
+
+    #[test]
+    fn quantum_uses_one_query_classical_needs_exponential() {
+        // The quantum circuit contains exactly one oracle invocation by
+        // construction; verify the classical bound grows as 2^(n-1)+1.
+        assert_eq!(classical_queries_worst_case(1), 2);
+        assert_eq!(classical_queries_worst_case(4), 9);
+        assert_eq!(classical_queries_worst_case(10), 513);
+        // Worst case realised by constant oracles:
+        let (is_const, q) = classical_decide(4, &Oracle::Constant { bit: true });
+        assert!(is_const);
+        assert_eq!(q, classical_queries_worst_case(4));
+    }
+
+    #[test]
+    fn classical_decide_agrees_with_promise() {
+        let mut r = rng();
+        for _ in 0..10 {
+            let o = Oracle::random_balanced(4, &mut r);
+            let (is_const, q) = classical_decide(4, &o);
+            assert!(!is_const);
+            assert!(q <= classical_queries_worst_case(4));
+        }
+    }
+
+    #[test]
+    fn parity_eval_matches_definition() {
+        let o = Oracle::Parity { mask: 0b101, flip: false };
+        assert!(!o.eval(0));
+        assert!(o.eval(0b001));
+        assert!(!o.eval(0b101));
+        assert!(o.eval(0b100));
+        let f = Oracle::Parity { mask: 0b101, flip: true };
+        assert!(f.eval(0));
+    }
+
+    #[test]
+    fn bernstein_vazirani_recovers_mask() {
+        let mut r = rng();
+        for n in 1..=8usize {
+            for _ in 0..3 {
+                let mask = r.random_range(0..(1u64 << n));
+                let oracle = Oracle::Parity { mask, flip: false };
+                let got = bernstein_vazirani(n, &oracle, &mut r).unwrap();
+                assert_eq!(got, mask, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn bernstein_vazirani_ignores_output_flip() {
+        // The global flip only changes an unobservable phase.
+        let mut r = rng();
+        let oracle = Oracle::Parity { mask: 0b1011, flip: true };
+        assert_eq!(bernstein_vazirani(4, &oracle, &mut r).unwrap(), 0b1011);
+    }
+
+    #[test]
+    fn dj_circuit_shape() {
+        let c = dj_circuit(4, &Oracle::Constant { bit: false }).unwrap();
+        assert_eq!(c.num_qubits(), 5);
+        assert_eq!(c.num_clbits(), 4);
+        // 1 X + 1 H (output) + 4 H + 0 oracle + 4 H + 4 measures.
+        assert_eq!(c.size(), 14);
+    }
+}

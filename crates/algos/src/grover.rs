@@ -1,0 +1,240 @@
+//! Grover search: diffusion operator, iteration schedule, and a generic
+//! driver taking any phase-oracle circuit.
+//!
+//! This backs the Qutes `in` operator (paper §5: "the Qutes language
+//! natively implements Grover's search algorithm through instructions
+//! that allow substring searching") and experiment E2.
+
+use qutes_qcirc::{run_shots, CircResult, Counts, QuantumCircuit};
+use rand::Rng;
+
+/// The optimal number of Grover iterations for `marked` targets in a
+/// search space of size `space` (`floor(pi/4 * sqrt(space/marked))`, and
+/// at least 1 when anything is marked).
+pub fn optimal_iterations(space: u64, marked: u64) -> usize {
+    if marked == 0 || space == 0 || marked >= space {
+        return 0;
+    }
+    let k = (std::f64::consts::FRAC_PI_4 * (space as f64 / marked as f64).sqrt()).floor() as usize;
+    k.max(1)
+}
+
+/// Theoretical success probability after `k` iterations with `marked`
+/// targets out of `space`: `sin^2((2k+1) theta)` with
+/// `sin^2(theta) = marked/space`.
+pub fn success_probability(space: u64, marked: u64, k: usize) -> f64 {
+    if marked == 0 || space == 0 {
+        return 0.0;
+    }
+    if marked >= space {
+        return 1.0;
+    }
+    let theta = ((marked as f64 / space as f64).sqrt()).asin();
+    ((2 * k + 1) as f64 * theta).sin().powi(2)
+}
+
+/// Appends the Grover diffusion operator (inversion about the mean) on
+/// `qubits`: `H^n X^n (MCZ) X^n H^n`.
+pub fn diffusion(circ: &mut QuantumCircuit, qubits: &[usize]) -> CircResult<()> {
+    for &q in qubits {
+        circ.h(q)?;
+    }
+    for &q in qubits {
+        circ.x(q)?;
+    }
+    let (&last, rest) = qubits.split_last().expect("diffusion needs >= 1 qubit");
+    circ.mcz(rest, last)?;
+    for &q in qubits {
+        circ.x(q)?;
+    }
+    for &q in qubits {
+        circ.h(q)?;
+    }
+    Ok(())
+}
+
+/// Builds the full Grover circuit: uniform superposition over
+/// `search_qubits`, `iterations` rounds of `oracle` + diffusion, then
+/// measurement of the search register into a classical register.
+///
+/// `oracle` must be a circuit over the same qubit space as `circ` whose
+/// net effect is a phase flip of the marked basis states of
+/// `search_qubits` (ancillas must be returned to their initial state).
+pub fn grover_circuit(
+    width: usize,
+    search_qubits: &[usize],
+    oracle: &QuantumCircuit,
+    iterations: usize,
+) -> CircResult<QuantumCircuit> {
+    let mut c = QuantumCircuit::with_qubits(width.max(oracle.num_qubits()));
+    let meas = c.add_creg("m", search_qubits.len());
+    for &q in search_qubits {
+        c.h(q)?;
+    }
+    for _ in 0..iterations {
+        c.extend(oracle)?;
+        diffusion(&mut c, search_qubits)?;
+    }
+    for (i, &q) in search_qubits.iter().enumerate() {
+        c.measure(q, meas.bit(i))?;
+    }
+    Ok(c)
+}
+
+/// Outcome of a Grover run.
+#[derive(Clone, Debug)]
+pub struct GroverResult {
+    /// Histogram over the measured search register.
+    pub counts: Counts,
+    /// Iterations executed.
+    pub iterations: usize,
+}
+
+impl GroverResult {
+    /// Fraction of shots that landed in `accept`ed outcomes.
+    pub fn success_rate(&self, accept: impl Fn(usize) -> bool) -> f64 {
+        let hits: usize = self
+            .counts
+            .iter()
+            .filter(|&(k, _)| accept(k))
+            .map(|(_, c)| c)
+            .sum();
+        hits as f64 / self.counts.shots().max(1) as f64
+    }
+}
+
+/// Runs Grover search end to end with `shots` repetitions.
+pub fn run_grover<R: Rng + ?Sized>(
+    width: usize,
+    search_qubits: &[usize],
+    oracle: &QuantumCircuit,
+    iterations: usize,
+    shots: usize,
+    rng: &mut R,
+) -> CircResult<GroverResult> {
+    let c = grover_circuit(width, search_qubits, oracle, iterations)?;
+    let counts = run_shots(&c, shots, rng)?;
+    Ok(GroverResult { counts, iterations })
+}
+
+/// Builds a phase oracle marking exactly the given basis `targets` of
+/// `search_qubits` (textbook multi-controlled-Z construction with X
+/// conjugation per target). Useful for tests and the E2 "known answer"
+/// workloads.
+pub fn mark_states_oracle(
+    width: usize,
+    search_qubits: &[usize],
+    targets: &[u64],
+) -> CircResult<QuantumCircuit> {
+    let mut c = QuantumCircuit::with_qubits(width);
+    for &t in targets {
+        for (i, &q) in search_qubits.iter().enumerate() {
+            if t >> i & 1 == 0 {
+                c.x(q)?;
+            }
+        }
+        let (&last, rest) = search_qubits.split_last().expect("oracle needs >= 1 qubit");
+        c.mcz(rest, last)?;
+        for (i, &q) in search_qubits.iter().enumerate() {
+            if t >> i & 1 == 0 {
+                c.x(q)?;
+            }
+        }
+    }
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xBADA55)
+    }
+
+    #[test]
+    fn iteration_schedule() {
+        assert_eq!(optimal_iterations(4, 1), 1);
+        assert_eq!(optimal_iterations(16, 1), 3);
+        assert_eq!(optimal_iterations(64, 1), 6);
+        assert_eq!(optimal_iterations(1024, 1), 25);
+        assert_eq!(optimal_iterations(16, 4), 1);
+        assert_eq!(optimal_iterations(16, 0), 0);
+        assert_eq!(optimal_iterations(8, 8), 0);
+    }
+
+    #[test]
+    fn theoretical_success_probability() {
+        // N=4, M=1: one iteration is exact.
+        assert!((success_probability(4, 1, 1) - 1.0).abs() < 1e-9);
+        // Monotone up to the optimum.
+        let p0 = success_probability(64, 1, 0);
+        let p3 = success_probability(64, 1, 3);
+        let p6 = success_probability(64, 1, 6);
+        assert!(p0 < p3 && p3 < p6);
+        assert!(p6 > 0.99);
+    }
+
+    #[test]
+    fn grover_finds_single_marked_state() {
+        let n = 4; // space 16
+        let qubits: Vec<usize> = (0..n).collect();
+        let target = 0b1011u64;
+        let oracle = mark_states_oracle(n, &qubits, &[target]).unwrap();
+        let k = optimal_iterations(16, 1);
+        let res = run_grover(n, &qubits, &oracle, k, 500, &mut rng()).unwrap();
+        let rate = res.success_rate(|o| o as u64 == target);
+        assert!(rate > 0.9, "success rate {rate}");
+    }
+
+    #[test]
+    fn grover_finds_multiple_marked_states() {
+        let n = 4;
+        let qubits: Vec<usize> = (0..n).collect();
+        let targets = [3u64, 12];
+        let oracle = mark_states_oracle(n, &qubits, &targets).unwrap();
+        let k = optimal_iterations(16, 2);
+        let res = run_grover(n, &qubits, &oracle, k, 500, &mut rng()).unwrap();
+        let rate = res.success_rate(|o| targets.contains(&(o as u64)));
+        assert!(rate > 0.85, "success rate {rate}");
+    }
+
+    #[test]
+    fn zero_iterations_is_uniform() {
+        let n = 3;
+        let qubits: Vec<usize> = (0..n).collect();
+        let oracle = mark_states_oracle(n, &qubits, &[5]).unwrap();
+        let res = run_grover(n, &qubits, &oracle, 0, 800, &mut rng()).unwrap();
+        let rate = res.success_rate(|o| o == 5);
+        assert!((rate - 1.0 / 8.0).abs() < 0.08, "rate {rate}");
+    }
+
+    #[test]
+    fn over_rotation_reduces_success() {
+        // For N=4, M=1 one iteration is exact; two iterations overshoot.
+        let n = 2;
+        let qubits: Vec<usize> = (0..n).collect();
+        let oracle = mark_states_oracle(n, &qubits, &[2]).unwrap();
+        let good = run_grover(n, &qubits, &oracle, 1, 400, &mut rng()).unwrap();
+        let over = run_grover(n, &qubits, &oracle, 2, 400, &mut rng()).unwrap();
+        assert!(good.success_rate(|o| o == 2) > over.success_rate(|o| o == 2));
+    }
+
+    #[test]
+    fn measured_rate_tracks_theory() {
+        let n = 4;
+        let qubits: Vec<usize> = (0..n).collect();
+        let oracle = mark_states_oracle(n, &qubits, &[7]).unwrap();
+        for k in [0usize, 1, 2, 3] {
+            let res = run_grover(n, &qubits, &oracle, k, 1500, &mut rng()).unwrap();
+            let measured = res.success_rate(|o| o == 7);
+            let theory = success_probability(16, 1, k);
+            assert!(
+                (measured - theory).abs() < 0.06,
+                "k={k}: measured {measured} theory {theory}"
+            );
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # qutes-algos
+//!
+//! The quantum algorithm library backing Qutes' built-in language
+//! features (paper §5 showcase) plus the classical baselines the paper's
+//! comparisons imply:
+//!
+//! * [`grover`] — Grover iteration/diffusion and a generic driver (the
+//!   `in` operator's engine),
+//! * [`substring_oracle`] — gate-level substring phase oracle with
+//!   ancilla management,
+//! * [`deutsch_jozsa`] — DJ circuit and oracle constructions,
+//! * [`rotation`] — constant-depth cyclic shift (Faro–Pavone–Viola) and
+//!   the linear-depth baseline,
+//! * [`arithmetic`] — CDKM ripple-carry and Draper QFT adders (the `+`
+//!   operator on `quint`),
+//! * [`entanglement`] — Bell pairs, Bell measurement, entanglement-swap
+//!   chains,
+//! * [`state_prep`] — arbitrary real-amplitude state preparation
+//!   (quantum literals),
+//! * [`minmax`] — Dürr–Høyer quantum minimum/maximum and Grover-filtered
+//!   database search (paper §6 extensions),
+//! * [`qft`] — quantum Fourier transform,
+//! * [`classical`] — classical cost models for the benchmarks.
+
+pub mod arithmetic;
+pub mod classical;
+pub mod deutsch_jozsa;
+pub mod entanglement;
+pub mod grover;
+pub mod minmax;
+pub mod phase_estimation;
+pub mod protocols;
+pub mod qft;
+pub mod rotation;
+pub mod state_prep;
+pub mod substring_oracle;

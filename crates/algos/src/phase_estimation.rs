@@ -1,0 +1,122 @@
+//! Quantum phase estimation (QPE) — a standard-library algorithm from
+//! the paper's §6 roadmap ("a comprehensive standard library containing
+//! essential quantum functions and algorithms").
+//!
+//! Estimates the eigenphase `phi` of the phase gate `P(2*pi*phi)` on its
+//! `|1>` eigenstate using a `t`-bit counting register and the inverse
+//! QFT. Dyadic phases (`k / 2^t`) are recovered exactly; other phases
+//! land within `1/2^t` with high probability.
+
+use crate::qft;
+use qutes_qcirc::{run_shots, CircResult, QuantumCircuit};
+use rand::Rng;
+use std::f64::consts::PI;
+
+/// Builds the QPE circuit: `t` counting qubits + 1 eigenstate qubit.
+/// Counting register measured into classical bits `0..t`.
+pub fn qpe_circuit(t: usize, phi: f64) -> CircResult<QuantumCircuit> {
+    assert!(t >= 1, "need at least one counting qubit");
+    let mut c = QuantumCircuit::new();
+    let count = c.add_qreg("count", t);
+    let eig = c.add_qreg("eig", 1);
+    let m = c.add_creg("m", t);
+
+    // Eigenstate |1> of the phase gate.
+    c.x(eig.qubit(0))?;
+    for q in count.qubits() {
+        c.h(q)?;
+    }
+    // Controlled powers U^(2^j), U = P(2*pi*phi).
+    for (j, q) in count.qubits().into_iter().enumerate() {
+        let angle = 2.0 * PI * phi * (1u64 << j) as f64;
+        c.cp(angle, q, eig.qubit(0))?;
+    }
+    // Inverse QFT on the counting register, then read out.
+    qft::iqft(&mut c, &count.qubits())?;
+    c.measure_register(&count, &m)?;
+    Ok(c)
+}
+
+/// Runs QPE once and returns the estimated phase in `[0, 1)`.
+pub fn estimate_phase<R: Rng + ?Sized>(t: usize, phi: f64, rng: &mut R) -> CircResult<f64> {
+    let c = qpe_circuit(t, phi)?;
+    let counts = run_shots(&c, 1, rng)?;
+    let y = counts.most_frequent().unwrap_or(0);
+    Ok(y as f64 / (1u64 << t) as f64)
+}
+
+/// Runs QPE over `shots` and returns the modal estimate (sharper than a
+/// single shot for non-dyadic phases).
+pub fn estimate_phase_modal<R: Rng + ?Sized>(
+    t: usize,
+    phi: f64,
+    shots: usize,
+    rng: &mut R,
+) -> CircResult<f64> {
+    let c = qpe_circuit(t, phi)?;
+    let counts = run_shots(&c, shots, rng)?;
+    let y = counts.most_frequent().unwrap_or(0);
+    Ok(y as f64 / (1u64 << t) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xFA5E)
+    }
+
+    #[test]
+    fn recovers_dyadic_phases_exactly() {
+        let mut r = rng();
+        let t = 4;
+        for k in 0..(1u64 << t) {
+            let phi = k as f64 / (1u64 << t) as f64;
+            let est = estimate_phase(t, phi, &mut r).unwrap();
+            assert!(
+                (est - phi).abs() < 1e-12,
+                "phi={phi} est={est} (dyadic phases are exact)"
+            );
+        }
+    }
+
+    #[test]
+    fn non_dyadic_phase_within_resolution() {
+        let mut r = rng();
+        let t = 6;
+        let phi = 0.3127;
+        let est = estimate_phase_modal(t, phi, 200, &mut r).unwrap();
+        assert!(
+            (est - phi).abs() < 1.5 / (1u64 << t) as f64,
+            "phi={phi} est={est}"
+        );
+    }
+
+    #[test]
+    fn more_bits_means_more_precision() {
+        let mut r = rng();
+        let phi = 1.0 / 3.0;
+        let coarse = estimate_phase_modal(3, phi, 300, &mut r).unwrap();
+        let fine = estimate_phase_modal(8, phi, 300, &mut r).unwrap();
+        assert!((fine - phi).abs() <= (coarse - phi).abs() + 1e-12);
+        assert!((fine - phi).abs() < 0.01, "fine={fine}");
+    }
+
+    #[test]
+    fn circuit_shape() {
+        let c = qpe_circuit(5, 0.25).unwrap();
+        assert_eq!(c.num_qubits(), 6);
+        assert_eq!(c.num_clbits(), 5);
+        // 1 X + 5 H + 5 CP + iQFT + 5 measures.
+        assert!(c.size() > 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_bits_rejected() {
+        let _ = qpe_circuit(0, 0.5);
+    }
+}

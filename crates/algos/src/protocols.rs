@@ -1,0 +1,169 @@
+//! Quantum communication protocols built from the entanglement
+//! primitives: teleportation and superdense coding. They complete the
+//! §5 "entanglement propagation" story (teleportation is the single-hop
+//! special case the swap chain generalises) and serve as library
+//! building blocks for programs.
+
+use crate::entanglement::{bell_measure, bell_pair};
+use qutes_qcirc::{run_shots, CircResult, Gate, QuantumCircuit};
+use rand::Rng;
+
+/// Builds a teleportation circuit: qubit 0 (prepared by `prepare`, a
+/// circuit over qubit 0 only) is teleported onto qubit 2. Classical bits
+/// 0/1 carry the Bell-measurement outcome, bit 2 receives the final
+/// measurement of the teleported qubit **after** `verify` (a circuit
+/// over qubit 2) runs.
+///
+/// With `verify` = the inverse of `prepare`, a perfect teleport always
+/// measures 0.
+pub fn teleport_circuit(
+    prepare: &QuantumCircuit,
+    verify: &QuantumCircuit,
+) -> CircResult<QuantumCircuit> {
+    let mut c = QuantumCircuit::new();
+    let q = c.add_qreg("q", 3);
+    let m = c.add_creg("m", 3);
+    // State to teleport on q0.
+    c.compose(prepare, &[q.qubit(0)], &[])?;
+    // Shared Bell pair between q1 (sender) and q2 (receiver).
+    bell_pair(&mut c, q.qubit(1), q.qubit(2))?;
+    // Bell measurement of (q0, q1).
+    bell_measure(&mut c, q.qubit(0), q.qubit(1), m.bit(0), m.bit(1))?;
+    // Conditional corrections on the receiver.
+    c.c_if(m.bit(1), true, Gate::X(q.qubit(2)))?;
+    c.c_if(m.bit(0), true, Gate::Z(q.qubit(2)))?;
+    // Verification and readout.
+    c.compose(verify, &[q.qubit(2)], &[])?;
+    c.measure(q.qubit(2), m.bit(2))?;
+    Ok(c)
+}
+
+/// Runs teleportation of the state `prepare` builds and returns the
+/// fraction of shots where un-preparing the received qubit read `|0>`
+/// (1.0 = perfect fidelity for every preparation).
+pub fn teleport_fidelity<R: Rng + ?Sized>(
+    prepare: &QuantumCircuit,
+    shots: usize,
+    rng: &mut R,
+) -> CircResult<f64> {
+    let verify = prepare.inverse()?;
+    let c = teleport_circuit(prepare, &verify)?;
+    let counts = run_shots(&c, shots, rng)?;
+    let zeros: usize = counts
+        .iter()
+        .filter(|&(outcome, _)| outcome >> 2 & 1 == 0)
+        .map(|(_, n)| n)
+        .sum();
+    Ok(zeros as f64 / shots.max(1) as f64)
+}
+
+/// Superdense coding: transmits two classical bits with one qubit.
+/// Returns the decoded two-bit message (must equal `message`).
+pub fn superdense_roundtrip<R: Rng + ?Sized>(
+    message: u8,
+    rng: &mut R,
+) -> CircResult<u8> {
+    assert!(message < 4, "superdense coding carries 2 bits");
+    let mut c = QuantumCircuit::new();
+    let q = c.add_qreg("q", 2);
+    let m = c.add_creg("m", 2);
+    // Shared entanglement.
+    bell_pair(&mut c, q.qubit(0), q.qubit(1))?;
+    // Sender encodes 2 bits on their half alone.
+    if message & 0b01 != 0 {
+        c.x(q.qubit(0))?;
+    }
+    if message & 0b10 != 0 {
+        c.z(q.qubit(0))?;
+    }
+    // Receiver decodes with a Bell-basis measurement.
+    c.cx(q.qubit(0), q.qubit(1))?;
+    c.h(q.qubit(0))?;
+    c.measure(q.qubit(0), m.bit(1))?; // phase bit
+    c.measure(q.qubit(1), m.bit(0))?; // amplitude bit
+    let counts = run_shots(&c, 1, rng)?;
+    Ok(counts.most_frequent().unwrap_or(0) as u8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x7E1E)
+    }
+
+    fn preparation(angles: (f64, f64, f64)) -> QuantumCircuit {
+        let mut p = QuantumCircuit::with_qubits(1);
+        p.ry(angles.0, 0).unwrap();
+        p.rz(angles.1, 0).unwrap();
+        p.rx(angles.2, 0).unwrap();
+        p
+    }
+
+    #[test]
+    fn teleports_basis_states() {
+        let mut r = rng();
+        for bit in [false, true] {
+            let mut p = QuantumCircuit::with_qubits(1);
+            if bit {
+                p.x(0).unwrap();
+            }
+            let f = teleport_fidelity(&p, 200, &mut r).unwrap();
+            assert!((f - 1.0).abs() < 1e-9, "bit {bit}: fidelity {f}");
+        }
+    }
+
+    #[test]
+    fn teleports_arbitrary_states_perfectly() {
+        let mut r = rng();
+        for angles in [(0.3, 1.1, -0.4), (2.2, 0.0, 0.9), (1.0, 1.0, 1.0)] {
+            let f = teleport_fidelity(&preparation(angles), 200, &mut r).unwrap();
+            assert!((f - 1.0).abs() < 1e-9, "{angles:?}: fidelity {f}");
+        }
+    }
+
+    #[test]
+    fn teleportation_needs_corrections() {
+        // Without the conditioned X/Z the fidelity drops to ~0.5.
+        let mut r = rng();
+        let prepare = preparation((1.2, 0.7, -0.3));
+        let verify = prepare.inverse().unwrap();
+        let mut c = QuantumCircuit::new();
+        let q = c.add_qreg("q", 3);
+        let m = c.add_creg("m", 3);
+        c.compose(&prepare, &[q.qubit(0)], &[]).unwrap();
+        bell_pair(&mut c, q.qubit(1), q.qubit(2)).unwrap();
+        bell_measure(&mut c, q.qubit(0), q.qubit(1), m.bit(0), m.bit(1)).unwrap();
+        // no corrections
+        c.compose(&verify, &[q.qubit(2)], &[]).unwrap();
+        c.measure(q.qubit(2), m.bit(2)).unwrap();
+        let counts = run_shots(&c, 1500, &mut r).unwrap();
+        let zeros: usize = counts
+            .iter()
+            .filter(|&(o, _)| o >> 2 & 1 == 0)
+            .map(|(_, n)| n)
+            .sum();
+        let f = zeros as f64 / 1500.0;
+        assert!(f < 0.95, "corrections must matter, got {f}");
+    }
+
+    #[test]
+    fn superdense_transmits_all_messages() {
+        let mut r = rng();
+        for msg in 0..4u8 {
+            for _ in 0..10 {
+                assert_eq!(superdense_roundtrip(msg, &mut r).unwrap(), msg);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "2 bits")]
+    fn superdense_rejects_wide_messages() {
+        let mut r = rng();
+        let _ = superdense_roundtrip(4, &mut r);
+    }
+}

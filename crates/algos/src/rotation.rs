@@ -1,0 +1,249 @@
+//! Cyclic shift (rotation) of a quantum register.
+//!
+//! The paper (§5, "Cyclic shift of a quantum register") highlights that
+//! Qutes lowers its shift instruction to the **constant-depth** rotation
+//! circuit of Faro, Pavone & Viola: a rotation by any `k` is the
+//! composition of three qubit-reversal layers, and each reversal is a set
+//! of *disjoint* swaps executing in a single time step. The classical-
+//! style baseline — repeatedly shifting by one with an adjacent-swap
+//! cascade — needs depth `Θ(k·n)` and is the comparison circuit for
+//! experiment E3.
+
+use qutes_qcirc::{CircResult, QuantumCircuit};
+
+/// Appends swaps reversing `qubits[lo..hi]` (one parallel layer).
+fn reverse_range(circ: &mut QuantumCircuit, qubits: &[usize], lo: usize, hi: usize) -> CircResult<()> {
+    let mut i = lo;
+    let mut j = hi;
+    while i + 1 < j {
+        circ.swap(qubits[i], qubits[j - 1])?;
+        i += 1;
+        j -= 1;
+    }
+    Ok(())
+}
+
+/// Rotates the register **left** by `k` positions in constant depth
+/// (three disjoint-swap layers): afterwards, logical bit `i` holds what
+/// bit `(i + k) mod n` held before — i.e. the integer value rotates right
+/// bit-wise; see [`rotate_value_left`] for the value-level contract used
+/// in tests.
+///
+/// Layers: reverse(0..k) · reverse(k..n) · reverse(0..n).
+pub fn rotate_left_constant_depth(
+    circ: &mut QuantumCircuit,
+    qubits: &[usize],
+    k: usize,
+) -> CircResult<()> {
+    let n = qubits.len();
+    if n == 0 {
+        return Ok(());
+    }
+    let k = k % n;
+    if k == 0 {
+        return Ok(());
+    }
+    reverse_range(circ, qubits, 0, k)?;
+    circ.barrier(qubits)?;
+    reverse_range(circ, qubits, k, n)?;
+    circ.barrier(qubits)?;
+    reverse_range(circ, qubits, 0, n)?;
+    Ok(())
+}
+
+/// Rotates the register **right** by `k` in constant depth.
+pub fn rotate_right_constant_depth(
+    circ: &mut QuantumCircuit,
+    qubits: &[usize],
+    k: usize,
+) -> CircResult<()> {
+    let n = qubits.len();
+    if n == 0 {
+        return Ok(());
+    }
+    rotate_left_constant_depth(circ, qubits, n - (k % n))
+}
+
+/// Baseline: rotates left by `k` with `k` passes of adjacent swaps
+/// (the direct transcription of the classical algorithm; depth Θ(k·n)).
+pub fn rotate_left_linear(
+    circ: &mut QuantumCircuit,
+    qubits: &[usize],
+    k: usize,
+) -> CircResult<()> {
+    let n = qubits.len();
+    if n == 0 {
+        return Ok(());
+    }
+    for _ in 0..k % n {
+        // One left rotation: bubble position 0 through to the end.
+        for i in 0..n - 1 {
+            circ.swap(qubits[i], qubits[i + 1])?;
+        }
+    }
+    Ok(())
+}
+
+/// Baseline right rotation by repeated single shifts.
+pub fn rotate_right_linear(
+    circ: &mut QuantumCircuit,
+    qubits: &[usize],
+    k: usize,
+) -> CircResult<()> {
+    let n = qubits.len();
+    if n == 0 {
+        return Ok(());
+    }
+    rotate_left_linear(circ, qubits, n - (k % n))
+}
+
+/// The value-level contract of a left rotation on an `n`-bit register:
+/// position `i` receives the bit formerly at `(i + k) mod n`.
+pub fn rotate_value_left(value: u64, n: usize, k: usize) -> u64 {
+    if n == 0 {
+        return 0;
+    }
+    let k = k % n;
+    let mut out = 0u64;
+    for i in 0..n {
+        let src = (i + k) % n;
+        if value >> src & 1 == 1 {
+            out |= 1 << i;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qutes_qcirc::statevector;
+    use qutes_sim::measure::most_probable_outcome;
+
+    fn run_rotation(
+        n: usize,
+        value: u64,
+        k: usize,
+        build: impl Fn(&mut QuantumCircuit, &[usize], usize) -> CircResult<()>,
+    ) -> u64 {
+        let mut c = QuantumCircuit::with_qubits(n);
+        let qubits: Vec<usize> = (0..n).collect();
+        for i in 0..n {
+            if value >> i & 1 == 1 {
+                c.x(i).unwrap();
+            }
+        }
+        build(&mut c, &qubits, k).unwrap();
+        let sv = statevector(&c).unwrap();
+        most_probable_outcome(&sv, &qubits).unwrap() as u64
+    }
+
+    #[test]
+    fn constant_depth_matches_value_contract() {
+        for n in [3usize, 4, 5, 8] {
+            for k in 0..n {
+                for value in [0u64, 1, 0b1011 % (1 << n), (1 << n) - 1] {
+                    let got = run_rotation(n, value, k, rotate_left_constant_depth);
+                    assert_eq!(
+                        got,
+                        rotate_value_left(value, n, k),
+                        "n={n} k={k} v={value:b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn linear_matches_constant_depth() {
+        for n in [4usize, 6] {
+            for k in 0..n {
+                for value in [0b0110u64 % (1 << n), 0b0101 % (1 << n)] {
+                    let a = run_rotation(n, value, k, rotate_left_constant_depth);
+                    let b = run_rotation(n, value, k, rotate_left_linear);
+                    assert_eq!(a, b, "n={n} k={k} v={value:b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn right_rotation_inverts_left() {
+        for n in [5usize] {
+            for k in 1..n {
+                let mut c = QuantumCircuit::with_qubits(n);
+                let qubits: Vec<usize> = (0..n).collect();
+                c.x(0).unwrap();
+                c.x(2).unwrap();
+                rotate_left_constant_depth(&mut c, &qubits, k).unwrap();
+                rotate_right_constant_depth(&mut c, &qubits, k).unwrap();
+                let sv = statevector(&c).unwrap();
+                assert_eq!(most_probable_outcome(&sv, &qubits).unwrap(), 0b101);
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_preserves_superpositions() {
+        // Rotating a register must permute amplitudes, not destroy them.
+        let n = 4;
+        let mut c = QuantumCircuit::with_qubits(n);
+        let qubits: Vec<usize> = (0..n).collect();
+        c.h(0).unwrap();
+        c.x(2).unwrap(); // state (|0100> + |0101>)/sqrt(2)
+        rotate_left_constant_depth(&mut c, &qubits, 1).unwrap();
+        let sv = statevector(&c).unwrap();
+        let probs = sv.probabilities();
+        let expect_a = rotate_value_left(0b0100, n, 1) as usize;
+        let expect_b = rotate_value_left(0b0101, n, 1) as usize;
+        assert!((probs[expect_a] - 0.5).abs() < 1e-9);
+        assert!((probs[expect_b] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_depth_is_constant() {
+        // Swap-depth (with barriers separating the three layers) must not
+        // grow with n or k.
+        let mut depths = Vec::new();
+        for n in [8usize, 16, 32] {
+            let mut c = QuantumCircuit::with_qubits(n);
+            let qubits: Vec<usize> = (0..n).collect();
+            rotate_left_constant_depth(&mut c, &qubits, n / 2 - 1).unwrap();
+            depths.push(c.depth());
+        }
+        assert!(depths.iter().all(|&d| d == depths[0]), "{depths:?}");
+        assert!(depths[0] <= 3);
+    }
+
+    #[test]
+    fn linear_depth_grows() {
+        let depth = |n: usize, k: usize| {
+            let mut c = QuantumCircuit::with_qubits(n);
+            let qubits: Vec<usize> = (0..n).collect();
+            rotate_left_linear(&mut c, &qubits, k).unwrap();
+            c.depth()
+        };
+        assert!(depth(16, 3) > depth(8, 3));
+        assert!(depth(16, 6) > depth(16, 3));
+    }
+
+    #[test]
+    fn zero_and_full_rotation_are_noops() {
+        for build in [rotate_left_constant_depth, rotate_left_linear] {
+            let mut c = QuantumCircuit::with_qubits(4);
+            build(&mut c, &[0, 1, 2, 3], 0).unwrap();
+            assert_eq!(c.size(), 0);
+            let mut c = QuantumCircuit::with_qubits(4);
+            build(&mut c, &[0, 1, 2, 3], 4).unwrap();
+            assert_eq!(c.size(), 0);
+        }
+    }
+
+    #[test]
+    fn value_contract_basic() {
+        assert_eq!(rotate_value_left(0b0001, 4, 1), 0b1000);
+        assert_eq!(rotate_value_left(0b1000, 4, 1), 0b0100);
+        assert_eq!(rotate_value_left(0b1011, 4, 4), 0b1011);
+        assert_eq!(rotate_value_left(0, 0, 3), 0);
+    }
+}

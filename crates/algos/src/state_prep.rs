@@ -1,0 +1,268 @@
+//! Arbitrary real-amplitude state preparation.
+//!
+//! Powers Qutes' quantum initialisers: `qubit q = [0.6, 0.8]q`
+//! (amplitude pair) and `quint m = [1, 2, 3]q` (equal superposition of
+//! basis values, paper §5 "vectors containing quantum states, including
+//! superpositions of values").
+//!
+//! Construction: a multiplexed-RY tree — qubit `n-1` is rotated by the
+//! mass split of the two halves of the amplitude vector, then each lower
+//! qubit is rotated per prefix with multi-controlled RYs (X-conjugated to
+//! select the prefix). Signs are fixed afterwards with multi-controlled
+//! Z phase flips. Cost is exponential in width, which is fine for the
+//! literal sizes a source program writes out explicitly.
+
+use qutes_qcirc::{CircError, CircResult, QuantumCircuit};
+
+/// Appends gates preparing `amplitudes` (real, any sign) on `qubits`
+/// starting from `|0..0>`. The vector length must be `2^qubits.len()`
+/// and have unit norm within `1e-6`.
+pub fn prepare_real_amplitudes(
+    circ: &mut QuantumCircuit,
+    qubits: &[usize],
+    amplitudes: &[f64],
+) -> CircResult<()> {
+    let n = qubits.len();
+    if amplitudes.len() != (1usize << n) {
+        return Err(CircError::MapSizeMismatch {
+            expected: 1usize << n,
+            got: amplitudes.len(),
+        });
+    }
+    let norm: f64 = amplitudes.iter().map(|a| a * a).sum();
+    if (norm - 1.0).abs() > 1e-6 {
+        return Err(CircError::Sim(qutes_sim::SimError::InvalidState(format!(
+            "amplitude vector norm^2 = {norm}, expected 1"
+        ))));
+    }
+    // Work with magnitudes first.
+    let mags: Vec<f64> = amplitudes.iter().map(|a| a.abs()).collect();
+
+    // Conditional mass of each prefix: mass[k][prefix] = sum of |amp|^2
+    // over basis states whose top (n-k) bits equal `prefix`.
+    // Process qubits MSB -> LSB.
+    for level in (0..n).rev() {
+        // Qubit `level`; prefixes are assignments of qubits above it.
+        let prefix_count = 1usize << (n - 1 - level);
+        for prefix in 0..prefix_count {
+            // Mass with qubit `level` = 0 / 1 under this prefix.
+            let mut m0 = 0.0f64;
+            let mut m1 = 0.0f64;
+            let block = 1usize << level;
+            // Basis index layout: [prefix bits | level bit | low bits].
+            let base = prefix << (level + 1);
+            for low in 0..block {
+                m0 += mags[base + low] * mags[base + low];
+                m1 += mags[base + block + low] * mags[base + block + low];
+            }
+            let total = m0 + m1;
+            if total < 1e-18 {
+                continue; // unreachable branch, nothing to rotate
+            }
+            let theta = 2.0 * (m1.sqrt()).atan2(m0.sqrt());
+            if theta.abs() < 1e-14 {
+                continue;
+            }
+            if level == n - 1 {
+                circ.ry(theta, qubits[level])?;
+            } else {
+                // Multi-controlled RY selected on the prefix bits.
+                let controls: Vec<usize> = (level + 1..n).map(|i| qubits[i]).collect();
+                // X-conjugate controls whose prefix bit is 0. Prefix bit
+                // for qubit i (i > level) is bit (i - level - 1) of prefix.
+                let mut flipped = Vec::new();
+                for (ci, &cq) in controls.iter().enumerate() {
+                    if prefix >> ci & 1 == 0 {
+                        circ.x(cq)?;
+                        flipped.push(cq);
+                    }
+                }
+                mc_ry(circ, theta, &controls, qubits[level])?;
+                for &cq in &flipped {
+                    circ.x(cq)?;
+                }
+            }
+        }
+    }
+
+    // Fix signs: phase-flip each basis state with a negative amplitude.
+    for (idx, &a) in amplitudes.iter().enumerate() {
+        if a < 0.0 {
+            let mut flipped = Vec::new();
+            for (i, &q) in qubits.iter().enumerate() {
+                if idx >> i & 1 == 0 {
+                    circ.x(q)?;
+                    flipped.push(q);
+                }
+            }
+            let (&last, rest) = qubits.split_last().expect("non-empty register");
+            circ.mcz(rest, last)?;
+            for &q in &flipped {
+                circ.x(q)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Multi-controlled RY via the standard V-CX-Vdg-CX conjugation
+/// (RY commutes with X up to sign, so half-angle rotations interleaved
+/// with MCXs implement the controlled rotation exactly).
+fn mc_ry(circ: &mut QuantumCircuit, theta: f64, controls: &[usize], target: usize) -> CircResult<()> {
+    match controls.len() {
+        0 => {
+            circ.ry(theta, target)?;
+        }
+        _ => {
+            circ.ry(theta / 2.0, target)?;
+            circ.mcx(controls, target)?;
+            circ.ry(-theta / 2.0, target)?;
+            circ.mcx(controls, target)?;
+        }
+    }
+    Ok(())
+}
+
+/// Appends gates preparing an equal superposition of the listed basis
+/// `values` on `qubits` (duplicates ignored).
+pub fn prepare_uniform_over(
+    circ: &mut QuantumCircuit,
+    qubits: &[usize],
+    values: &[u64],
+) -> CircResult<()> {
+    let n = qubits.len();
+    let size = 1usize << n;
+    let mut distinct: Vec<u64> = values.to_vec();
+    distinct.sort_unstable();
+    distinct.dedup();
+    if distinct.is_empty() {
+        return Ok(()); // |0..0> stays
+    }
+    for &v in &distinct {
+        if v as usize >= size {
+            return Err(CircError::QubitOutOfRange {
+                qubit: v as usize,
+                num_qubits: size,
+            });
+        }
+    }
+    let amp = 1.0 / (distinct.len() as f64).sqrt();
+    let mut amplitudes = vec![0.0f64; size];
+    for &v in &distinct {
+        amplitudes[v as usize] = amp;
+    }
+    prepare_real_amplitudes(circ, qubits, &amplitudes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qutes_qcirc::statevector;
+
+    fn prepared(n: usize, amps: &[f64]) -> qutes_sim::StateVector {
+        let mut c = QuantumCircuit::with_qubits(n);
+        prepare_real_amplitudes(&mut c, &(0..n).collect::<Vec<_>>(), amps).unwrap();
+        statevector(&c).unwrap()
+    }
+
+    #[test]
+    fn prepares_single_qubit_amplitudes() {
+        let sv = prepared(1, &[0.6, 0.8]);
+        assert!((sv.amplitude(0).re - 0.6).abs() < 1e-9);
+        assert!((sv.amplitude(1).re - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prepares_minus_state() {
+        let s = 1.0 / 2f64.sqrt();
+        let sv = prepared(1, &[s, -s]);
+        assert!((sv.amplitude(0).re - s).abs() < 1e-9);
+        assert!((sv.amplitude(1).re + s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prepares_multi_qubit_vectors() {
+        // An asymmetric 3-qubit vector.
+        let mut amps = [0.1, 0.2, 0.3, 0.4, 0.5, 0.0, 0.4, 0.2];
+        let norm: f64 = amps.iter().map(|a| a * a).sum::<f64>().sqrt();
+        for a in amps.iter_mut() {
+            *a /= norm;
+        }
+        let sv = prepared(3, &amps);
+        for (i, &a) in amps.iter().enumerate() {
+            assert!(
+                (sv.amplitude(i).re - a).abs() < 1e-9 && sv.amplitude(i).im.abs() < 1e-9,
+                "amp[{i}] = {:?}, want {a}",
+                sv.amplitude(i)
+            );
+        }
+    }
+
+    #[test]
+    fn prepares_vectors_with_mixed_signs() {
+        let mut amps = [0.5, -0.5, -0.5, 0.5];
+        let sv = prepared(2, &amps);
+        for (i, &a) in amps.iter().enumerate() {
+            assert!((sv.amplitude(i).re - a).abs() < 1e-9, "amp[{i}]");
+        }
+        // And a vector where the all-ones state is negative (exercises the
+        // no-X-conjugation path of the sign fixer).
+        amps = [0.5, 0.5, 0.5, -0.5];
+        let sv = prepared(2, &amps);
+        assert!((sv.amplitude(3).re + 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_over_values() {
+        let mut c = QuantumCircuit::with_qubits(3);
+        prepare_uniform_over(&mut c, &[0, 1, 2], &[1, 2, 5]).unwrap();
+        let sv = statevector(&c).unwrap();
+        let amp = 1.0 / 3f64.sqrt();
+        for v in [1usize, 2, 5] {
+            assert!((sv.amplitude(v).re - amp).abs() < 1e-9, "v={v}");
+        }
+        for v in [0usize, 3, 4, 6, 7] {
+            assert!(sv.amplitude(v).norm() < 1e-9, "v={v}");
+        }
+    }
+
+    #[test]
+    fn uniform_over_duplicates_and_singleton() {
+        let mut c = QuantumCircuit::with_qubits(2);
+        prepare_uniform_over(&mut c, &[0, 1], &[3, 3]).unwrap();
+        let sv = statevector(&c).unwrap();
+        assert!((sv.amplitude(3).re - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let mut c = QuantumCircuit::with_qubits(2);
+        assert!(prepare_real_amplitudes(&mut c, &[0, 1], &[1.0]).is_err());
+        assert!(prepare_real_amplitudes(&mut c, &[0, 1], &[1.0, 1.0, 0.0, 0.0]).is_err());
+        assert!(prepare_uniform_over(&mut c, &[0, 1], &[4]).is_err());
+    }
+
+    #[test]
+    fn norm_preserved_for_random_vectors() {
+        // A deterministic pseudo-random sweep over several vectors.
+        for seed in 1u64..6 {
+            let n = 3usize;
+            let size = 1 << n;
+            let mut amps: Vec<f64> = (0..size)
+                .map(|i| (((seed * 2654435761 + i as u64 * 40503) % 1000) as f64 / 1000.0) - 0.35)
+                .collect();
+            let norm: f64 = amps.iter().map(|a| a * a).sum::<f64>().sqrt();
+            for a in amps.iter_mut() {
+                *a /= norm;
+            }
+            let sv = prepared(n, &amps);
+            for (i, &a) in amps.iter().enumerate() {
+                assert!(
+                    (sv.amplitude(i).re - a).abs() < 1e-8,
+                    "seed {seed} amp[{i}]: {} vs {a}",
+                    sv.amplitude(i).re
+                );
+            }
+        }
+    }
+}

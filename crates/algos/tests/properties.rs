@@ -1,0 +1,130 @@
+//! Property tests for the algorithm library: arithmetic and rotation
+//! circuits must agree with their classical contracts on random inputs.
+
+use proptest::prelude::*;
+use qutes_algos::{arithmetic, deutsch_jozsa::Oracle, rotation, substring_oracle};
+use qutes_qcirc::{statevector, QuantumCircuit};
+use qutes_sim::measure::most_probable_outcome;
+
+fn reg_value(c: &QuantumCircuit, qubits: &[usize]) -> u64 {
+    let sv = statevector(c).unwrap();
+    most_probable_outcome(&sv, qubits).unwrap() as u64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// CDKM adder computes a+b mod 2^n for random operands and widths.
+    #[test]
+    fn cdkm_adder_correct(n in 1usize..6, x in 0u64..64, y in 0u64..64) {
+        let x = x % (1 << n);
+        let y = y % (1 << n);
+        let (c, a, b) = arithmetic::adder_circuit(n, x, y).unwrap();
+        prop_assert_eq!(reg_value(&c, &a), x);
+        prop_assert_eq!(reg_value(&c, &b), (x + y) % (1 << n));
+    }
+
+    /// QFT adder agrees with the CDKM adder.
+    #[test]
+    fn qft_adder_agrees(n in 1usize..5, x in 0u64..32, y in 0u64..32) {
+        let x = x % (1 << n);
+        let y = y % (1 << n);
+        let mut c = QuantumCircuit::with_qubits(2 * n);
+        let a: Vec<usize> = (0..n).collect();
+        let b: Vec<usize> = (n..2 * n).collect();
+        for i in 0..n {
+            if x >> i & 1 == 1 { c.x(a[i]).unwrap(); }
+            if y >> i & 1 == 1 { c.x(b[i]).unwrap(); }
+        }
+        arithmetic::add_in_place_qft(&mut c, &a, &b).unwrap();
+        prop_assert_eq!(reg_value(&c, &b), (x + y) % (1 << n));
+    }
+
+    /// Constant addition matches wrapping arithmetic.
+    #[test]
+    fn add_const_correct(n in 1usize..6, start in 0u64..64, k in 0u64..128) {
+        let start = start % (1 << n);
+        let mut c = QuantumCircuit::with_qubits(n);
+        let qs: Vec<usize> = (0..n).collect();
+        for i in 0..n {
+            if start >> i & 1 == 1 { c.x(i).unwrap(); }
+        }
+        arithmetic::add_const(&mut c, &qs, k).unwrap();
+        prop_assert_eq!(reg_value(&c, &qs), (start + k) % (1 << n));
+    }
+
+    /// Subtraction inverts addition for random operands.
+    #[test]
+    fn sub_inverts_add(n in 1usize..5, x in 0u64..32, y in 0u64..32) {
+        let x = x % (1 << n);
+        let y = y % (1 << n);
+        let mut c = QuantumCircuit::with_qubits(2 * n + 1);
+        let a: Vec<usize> = (0..n).collect();
+        let b: Vec<usize> = (n..2 * n).collect();
+        for i in 0..n {
+            if x >> i & 1 == 1 { c.x(a[i]).unwrap(); }
+            if y >> i & 1 == 1 { c.x(b[i]).unwrap(); }
+        }
+        arithmetic::add_in_place(&mut c, &a, &b, 2 * n).unwrap();
+        arithmetic::sub_in_place(&mut c, &a, &b, 2 * n).unwrap();
+        prop_assert_eq!(reg_value(&c, &b), y);
+        prop_assert_eq!(reg_value(&c, &a), x);
+    }
+
+    /// Both rotation circuits realise the same permutation for random
+    /// values, widths, and shifts.
+    #[test]
+    fn rotations_agree(n in 1usize..8, k in 0usize..16, value in 0u64..256) {
+        let value = value % (1 << n);
+        let qs: Vec<usize> = (0..n).collect();
+        let expect = rotation::rotate_value_left(value, n, k);
+
+        for build in [rotation::rotate_left_constant_depth, rotation::rotate_left_linear] {
+            let mut c = QuantumCircuit::with_qubits(n);
+            for i in 0..n {
+                if value >> i & 1 == 1 { c.x(i).unwrap(); }
+            }
+            build(&mut c, &qs, k).unwrap();
+            prop_assert_eq!(reg_value(&c, &qs), expect, "n={} k={} v={:b}", n, k, value);
+        }
+    }
+
+    /// Left-then-right rotation is the identity.
+    #[test]
+    fn rotation_roundtrip(n in 1usize..7, k in 0usize..12, value in 0u64..128) {
+        let value = value % (1 << n);
+        let qs: Vec<usize> = (0..n).collect();
+        let mut c = QuantumCircuit::with_qubits(n);
+        for i in 0..n {
+            if value >> i & 1 == 1 { c.x(i).unwrap(); }
+        }
+        rotation::rotate_left_constant_depth(&mut c, &qs, k).unwrap();
+        rotation::rotate_right_constant_depth(&mut c, &qs, k).unwrap();
+        prop_assert_eq!(reg_value(&c, &qs), value);
+    }
+
+    /// The substring predicate agrees with the classical scan on random
+    /// haystacks/patterns.
+    #[test]
+    fn substring_predicate_matches_scan(n in 1usize..9, state in 0usize..512,
+                                        plen in 1usize..4, pbits in 0usize..8) {
+        prop_assume!(plen <= n);
+        let state = state % (1 << n);
+        let pattern: Vec<bool> = (0..plen).map(|i| pbits >> i & 1 == 1).collect();
+        let text: Vec<bool> = (0..n).map(|i| state >> i & 1 == 1).collect();
+        prop_assert_eq!(
+            substring_oracle::matches_at_any_position(state, n, &pattern),
+            substring_oracle::classical_substring_scan(&text, &pattern).0
+        );
+    }
+
+    /// DJ classical decision respects the promise and query bound.
+    #[test]
+    fn dj_classical_bound(n in 1usize..8, mask in 1u64..128, flip in any::<bool>()) {
+        let mask = 1 + (mask - 1) % ((1 << n) - 1).max(1);
+        let o = Oracle::Parity { mask, flip };
+        let (is_const, q) = qutes_algos::deutsch_jozsa::classical_decide(n, &o);
+        prop_assert!(!is_const || mask == 0);
+        prop_assert!(q <= qutes_algos::deutsch_jozsa::classical_queries_worst_case(n));
+    }
+}

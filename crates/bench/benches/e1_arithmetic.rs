@@ -1,0 +1,35 @@
+//! E1 bench: simulation cost of the quint adder across widths, and the
+//! end-to-end `a + b` Qutes program.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qutes_algos::arithmetic;
+use qutes_core::{run_source, RunConfig};
+use qutes_qcirc::statevector;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_arithmetic");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    for n in [4usize, 6, 8] {
+        g.bench_with_input(BenchmarkId::new("cdkm_adder_sim", n), &n, |b, &n| {
+            b.iter(|| {
+                let (circ, _, _) = arithmetic::adder_circuit(n, 5 % (1 << n), 3 % (1 << n)).unwrap();
+                statevector(&circ).unwrap()
+            })
+        });
+    }
+    g.bench_function("qutes_program_add", |b| {
+        b.iter(|| {
+            run_source(
+                "quint a = 5q; quint b = 3q; quint s = a + b; print s;",
+                &RunConfig::default(),
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! E2 bench: Grover substring search — oracle construction and full
+//! amplified runs, plus the classical scan baseline.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qutes_algos::substring_oracle::{bits_from_str, classical_substring_scan, SubstringSearch};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_grover");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    let pattern = bits_from_str("11");
+    for n in [4usize, 6, 8] {
+        g.bench_with_input(BenchmarkId::new("oracle_build", n), &n, |b, &n| {
+            let plan = SubstringSearch::new(n, &pattern);
+            b.iter(|| plan.phase_oracle().unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("grover_search_100shots", n), &n, |b, &n| {
+            let plan = SubstringSearch::new(n, &pattern);
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                plan.search(100, &mut rng).unwrap()
+            })
+        });
+    }
+    g.bench_function("classical_scan_64bit", |b| {
+        let text: Vec<bool> = (0..64).map(|i| i % 3 == 0).collect();
+        b.iter(|| classical_substring_scan(&text, &pattern))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

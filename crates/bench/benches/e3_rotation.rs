@@ -1,0 +1,37 @@
+//! E3 bench: constant-depth vs linear cyclic shift (build + simulate).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qutes_algos::rotation;
+use qutes_qcirc::{statevector, QuantumCircuit};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_rotation");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    for n in [8usize, 12, 16] {
+        let k = n / 2 - 1;
+        g.bench_with_input(BenchmarkId::new("constant_depth", n), &n, |b, &n| {
+            b.iter(|| {
+                let qubits: Vec<usize> = (0..n).collect();
+                let mut c = QuantumCircuit::with_qubits(n);
+                c.x(0).unwrap();
+                rotation::rotate_left_constant_depth(&mut c, &qubits, k).unwrap();
+                statevector(&c).unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("linear_baseline", n), &n, |b, &n| {
+            b.iter(|| {
+                let qubits: Vec<usize> = (0..n).collect();
+                let mut c = QuantumCircuit::with_qubits(n);
+                c.x(0).unwrap();
+                rotation::rotate_left_linear(&mut c, &qubits, k).unwrap();
+                statevector(&c).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

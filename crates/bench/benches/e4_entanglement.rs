@@ -1,0 +1,29 @@
+//! E4 bench: entanglement-swap chain execution across chain lengths.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qutes_algos::entanglement;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_entanglement");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    for pairs in [2usize, 4, 6] {
+        g.bench_with_input(
+            BenchmarkId::new("swap_chain_100shots", pairs),
+            &pairs,
+            |b, &pairs| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(3);
+                    entanglement::run_swap_chain(pairs, 100, &mut rng).unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

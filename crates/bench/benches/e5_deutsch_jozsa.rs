@@ -1,0 +1,34 @@
+//! E5 bench: Deutsch–Jozsa decision (quantum, 1 query) vs the classical
+//! scan, across input widths.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qutes_algos::deutsch_jozsa::{classical_decide, dj_decide, Oracle};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_deutsch_jozsa");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    for n in [4usize, 8, 12] {
+        let oracle = Oracle::Parity {
+            mask: (1 << n) - 1,
+            flip: false,
+        };
+        g.bench_with_input(BenchmarkId::new("quantum", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(5);
+                dj_decide(n, &oracle, &mut rng).unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("classical_worst", n), &n, |b, &n| {
+            let constant = Oracle::Constant { bit: true };
+            b.iter(|| classical_decide(n, &constant))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

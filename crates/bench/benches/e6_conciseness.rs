@@ -1,0 +1,29 @@
+//! E6 bench: frontend and whole-pipeline cost of the showcase programs
+//! (the compile-cost column of the paper's comparative table).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qutes_bench::experiments::SHOWCASE_PROGRAMS;
+use qutes_core::{check_program, run_source, RunConfig};
+use qutes_frontend::parse;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_conciseness");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    for (name, src) in SHOWCASE_PROGRAMS {
+        g.bench_with_input(BenchmarkId::new("parse_typecheck", name), src, |b, src| {
+            b.iter(|| {
+                let p = parse(src).unwrap();
+                assert!(check_program(&p).is_empty());
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("end_to_end", name), src, |b, src| {
+            b.iter(|| run_source(src, &RunConfig::default()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E7 bench: raw simulator kernels — serial vs parallel single-qubit and
+//! controlled gates at increasing widths.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qutes_sim::{gates, StateVector};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_simulator");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    for n in [12usize, 16, 20] {
+        for parallel in [false, true] {
+            let label = if parallel { "h_parallel" } else { "h_serial" };
+            g.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+                let mut sv = StateVector::new(n).unwrap();
+                sv.set_parallel(parallel);
+                for q in 0..n {
+                    sv.apply_single(&gates::h(), q).unwrap();
+                }
+                let mut q = 0;
+                b.iter(|| {
+                    sv.apply_single(&gates::h(), q % n).unwrap();
+                    q += 1;
+                })
+            });
+        }
+        g.bench_with_input(BenchmarkId::new("cx", n), &n, |b, &n| {
+            let mut sv = StateVector::new(n).unwrap();
+            for q in 0..n {
+                sv.apply_single(&gates::h(), q).unwrap();
+            }
+            let mut i = 0;
+            b.iter(|| {
+                sv.apply_controlled(&gates::x(), &[i % n], (i + n / 2) % n)
+                    .unwrap();
+                i += 1;
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

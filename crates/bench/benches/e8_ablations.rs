@@ -1,0 +1,69 @@
+//! E8 bench: design-choice ablations — MCX decomposition strategies and
+//! adder families, measured as simulation cost of the produced circuits.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qutes_algos::arithmetic;
+use qutes_qcirc::{mcx_no_ancilla, mcx_vchain, statevector, QuantumCircuit};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_ablations");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    for k in [4usize, 6] {
+        g.bench_with_input(BenchmarkId::new("mcx_no_ancilla", k), &k, |b, &k| {
+            b.iter(|| {
+                let controls: Vec<usize> = (0..k).collect();
+                let mut ops = Vec::new();
+                mcx_no_ancilla(&mut ops, &controls, k);
+                let mut c = QuantumCircuit::with_qubits(k + 1);
+                for g in ops {
+                    c.append(g).unwrap();
+                }
+                statevector(&c).unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("mcx_vchain", k), &k, |b, &k| {
+            b.iter(|| {
+                let controls: Vec<usize> = (0..k).collect();
+                let ancillas: Vec<usize> = (k + 1..2 * k - 1).collect();
+                let mut ops = Vec::new();
+                mcx_vchain(&mut ops, &controls, k, &ancillas).unwrap();
+                let mut c = QuantumCircuit::with_qubits(2 * k - 1);
+                for g in ops {
+                    c.append(g).unwrap();
+                }
+                statevector(&c).unwrap()
+            })
+        });
+    }
+    for n in [4usize, 6] {
+        g.bench_with_input(BenchmarkId::new("adder_cdkm", n), &n, |b, &n| {
+            b.iter(|| {
+                let (c, _, _) = arithmetic::adder_circuit(n, 3, 2).unwrap();
+                statevector(&c).unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("adder_qft", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut c = QuantumCircuit::with_qubits(2 * n);
+                let a: Vec<usize> = (0..n).collect();
+                let bq: Vec<usize> = (n..2 * n).collect();
+                for i in 0..n {
+                    if 3 >> i & 1 == 1 {
+                        c.x(a[i]).unwrap();
+                    }
+                    if 2 >> i & 1 == 1 {
+                        c.x(bq[i]).unwrap();
+                    }
+                }
+                arithmetic::add_in_place_qft(&mut c, &a, &bq).unwrap();
+                statevector(&c).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

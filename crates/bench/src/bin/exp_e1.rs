@@ -1,0 +1,9 @@
+//! E1 — quantum arithmetic (paper Fig. 1): adder scaling + superposition.
+use qutes_bench::experiments;
+
+fn main() {
+    println!("E1: quint addition lowers to CDKM ripple-carry adders");
+    println!("{}", experiments::e1_arithmetic(1, 10).render());
+    println!("E1b: superposition addition (operand {{1,2}} + 3)");
+    println!("{}", experiments::e1_superposed(1).render());
+}

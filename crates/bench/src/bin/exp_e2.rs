@@ -1,0 +1,9 @@
+//! E2 — Grover substring search (paper Fig. 2): scaling + success curve.
+use qutes_bench::experiments;
+
+fn main() {
+    println!("E2: Grover substring search, rare pattern (length n-2), haystack width sweep");
+    println!("{}", experiments::e2_grover_scaling(7, 600, 10).render());
+    println!("E2b: success probability vs iterations (n=6, pattern \"1101\")");
+    println!("{}", experiments::e2_success_curve(7, 6, 600).render());
+}

@@ -1,0 +1,9 @@
+//! E3 — cyclic shift (paper §5): constant-depth vs linear baseline.
+use qutes_bench::experiments;
+
+fn main() {
+    println!("E3: cyclic-shift depth, Faro–Pavone–Viola vs linear transcription");
+    println!("{}", experiments::e3_rotation().render());
+    println!("E3b: permutation correctness sweep");
+    println!("{}", experiments::e3_correctness().render());
+}

@@ -1,0 +1,7 @@
+//! E4 — entanglement propagation (paper §5): swap-chain correlation.
+use qutes_bench::experiments;
+
+fn main() {
+    println!("E4: entanglement-swap chain, end-to-end correlation");
+    println!("{}", experiments::e4_entanglement(5, 500, 10).render());
+}

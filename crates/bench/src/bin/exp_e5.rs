@@ -1,0 +1,7 @@
+//! E5 — Deutsch–Jozsa (paper §5): 1 quantum query vs 2^(n-1)+1 classical.
+use qutes_bench::experiments;
+
+fn main() {
+    println!("E5: Deutsch–Jozsa query complexity and accuracy");
+    println!("{}", experiments::e5_deutsch_jozsa(9, 10, 10).render());
+}

@@ -1,0 +1,7 @@
+//! E6 — conciseness/compile-cost table (paper §2.2 comparison axis).
+use qutes_bench::experiments;
+
+fn main() {
+    println!("E6: Qutes source size vs expanded circuit size and compile cost");
+    println!("{}", experiments::e6_conciseness(0).render());
+}

@@ -1,0 +1,11 @@
+//! E7 — simulator substrate scaling: serial vs parallel kernels.
+use qutes_bench::experiments;
+
+fn main() {
+    let max_n = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(20);
+    println!("E7: per-gate simulation cost, serial vs parallel kernels");
+    println!("{}", experiments::e7_simulator(max_n).render());
+}

@@ -1,0 +1,11 @@
+//! E8 — design-choice ablations called out in DESIGN.md §6.
+use qutes_bench::experiments;
+
+fn main() {
+    println!("E8a: MCX decomposition — ancilla-free recursion vs V-chain");
+    println!("{}", experiments::e8_mcx_ablation().render());
+    println!("E8b: adder — CDKM ripple-carry vs Draper QFT");
+    println!("{}", experiments::e8_adder_ablation().render());
+    println!("E8c: substring oracle — gate level vs simulator predicate");
+    println!("{}", experiments::e8_oracle_ablation().render());
+}

@@ -1,0 +1,9 @@
+//! E9 — paper §6 extensions: quantum multiplication and minimum finding.
+use qutes_bench::experiments;
+
+fn main() {
+    println!("E9a: shift-and-add quantum multiplier (exhaustive correctness)");
+    println!("{}", experiments::e9_multiplier().render());
+    println!("E9b: Dürr–Høyer quantum minimum vs classical scan");
+    println!("{}", experiments::e9_minimum(3, 10).render());
+}

@@ -1,0 +1,703 @@
+//! The experiment implementations (E1–E8). Each returns a [`Table`]
+//! whose rows mirror what the paper's evaluation artefacts report; the
+//! `exp_e*` binaries print them and `EXPERIMENTS.md` records
+//! paper-claim vs measured.
+
+use crate::table::Table;
+use qutes_algos::{
+    arithmetic, classical, deutsch_jozsa, entanglement, grover, rotation, substring_oracle,
+};
+use qutes_core::{run_source, RunConfig};
+use qutes_qcirc::{statevector, QuantumCircuit};
+use qutes_sim::{gates, StateVector};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+// ---------------------------------------------------------------- E1 ----
+
+/// E1 (paper Fig. 1): `+` on quints lowers to ripple-carry adders whose
+/// size/depth grow linearly; correctness verified per width on random
+/// operand pairs.
+pub fn e1_arithmetic(seed: u64, max_bits: usize) -> Table {
+    let mut r = rng(seed);
+    let mut t = Table::new(&[
+        "bits", "gates", "depth", "ccx", "checked", "correct", "sim_us",
+    ]);
+    for n in 2..=max_bits {
+        let (c, _, _) = arithmetic::adder_circuit(n, 0, 0).unwrap();
+        let stats = c.stats();
+        let mut checked = 0;
+        let mut correct = 0;
+        let mut sim_ns = 0u128;
+        for _ in 0..8 {
+            let x = r.random_range(0..(1u64 << n));
+            let y = r.random_range(0..(1u64 << n));
+            let (c, _, b) = arithmetic::adder_circuit(n, x, y).unwrap();
+            let t0 = Instant::now();
+            let sv = statevector(&c).unwrap();
+            sim_ns += t0.elapsed().as_nanos();
+            let got = qutes_sim::measure::most_probable_outcome(&sv, &b).unwrap() as u64;
+            checked += 1;
+            if got == (x + y) % (1 << n) {
+                correct += 1;
+            }
+        }
+        t.row(&[
+            &n,
+            &stats.size,
+            &stats.depth,
+            &stats.counts.get("ccx").copied().unwrap_or(0),
+            &checked,
+            &correct,
+            &format!("{:.1}", sim_ns as f64 / 8_000.0),
+        ]);
+    }
+    t
+}
+
+/// E1b: superposed operands — (a in {v1,v2}) + k measures into the
+/// shifted set, with the sum perfectly correlated to the operand.
+pub fn e1_superposed(seed: u64) -> Table {
+    let mut t = Table::new(&["trial", "operand_set", "addend", "sum", "sum-op"]);
+    for trial in 0..8u64 {
+        let src = "quint n = [1, 2]q; quint s = n + 3; int sv = s; int nv = n; print sv; print nv;";
+        let out = run_source(
+            src,
+            &RunConfig {
+                seed: seed + trial,
+                ..RunConfig::default()
+            },
+        )
+        .unwrap();
+        let sv: i64 = out.output[0].parse().unwrap();
+        let nv: i64 = out.output[1].parse().unwrap();
+        t.row(&[&trial, &"{1,2}", &3, &sv, &(sv - nv)]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------- E2 ----
+
+/// E2 (paper Fig. 2): Grover substring search over all n-bit strings —
+/// O(sqrt(N/M)) oracle calls versus the classical expected cost, with
+/// measured success rate at the optimal iteration count.
+pub fn e2_grover_scaling(seed: u64, shots: usize, max_n: usize) -> Table {
+    let mut r = rng(seed);
+    let mut t = Table::new(&[
+        "n", "space", "marked", "grover_k", "theory", "measured", "classical_E[q]",
+    ]);
+    for n in 5..=max_n {
+        // Pattern of length n-2 (alternating bits): the marked set stays
+        // small as the space doubles, so the sqrt(N/M) iteration growth
+        // and the linear classical cost are both visible.
+        let pattern: Vec<bool> = (0..n - 2).map(|i| i % 2 == 0).collect();
+        let plan = substring_oracle::SubstringSearch::new(n, &pattern);
+        let space = 1u64 << n;
+        let marked = substring_oracle::count_matching_strings(n, &pattern);
+        let k = grover::optimal_iterations(space, marked);
+        let out = plan.search(shots, &mut r).unwrap();
+        t.row(&[
+            &n,
+            &space,
+            &marked,
+            &k,
+            &format!("{:.4}", grover::success_probability(space, marked, k)),
+            &format!("{:.4}", out.hit_rate),
+            &format!("{:.1}", classical::expected_queries_random_search(space, marked)),
+        ]);
+    }
+    t
+}
+
+/// E2b: success probability versus iteration count for a fixed workload —
+/// the sin^2((2k+1)θ) curve, theory vs measured.
+pub fn e2_success_curve(seed: u64, n: usize, shots: usize) -> Table {
+    let mut r = rng(seed);
+    let mut t = Table::new(&["k", "theory", "measured"]);
+    let pattern = substring_oracle::bits_from_str("1101");
+    let plan = substring_oracle::SubstringSearch::new(n, &pattern);
+    let space = 1u64 << n;
+    let marked = substring_oracle::count_matching_strings(n, &pattern);
+    let oracle = plan.phase_oracle().unwrap();
+    let kmax = grover::optimal_iterations(space, marked) + 3;
+    for k in 0..=kmax {
+        let res =
+            grover::run_grover(plan.width, &plan.haystack, &oracle, k, shots, &mut r).unwrap();
+        let p = pattern.clone();
+        let measured = res.success_rate(|o| substring_oracle::matches_at_any_position(o, n, &p));
+        t.row(&[
+            &k,
+            &format!("{:.4}", grover::success_probability(space, marked, k)),
+            &format!("{:.4}", measured),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------- E3 ----
+
+/// E3 (paper §5, cyclic shift): constant-depth rotation vs the linear
+/// transcription — depth stays flat as n grows for the dedicated
+/// instruction and grows for the baseline.
+pub fn e3_rotation() -> Table {
+    let mut t = Table::new(&[
+        "n", "k", "const_depth", "const_swaps", "linear_depth", "linear_swaps", "class_moves",
+    ]);
+    for n in [4usize, 8, 16, 32, 64] {
+        let k = n / 2 - 1;
+        let qubits: Vec<usize> = (0..n).collect();
+        let mut fast = QuantumCircuit::with_qubits(n);
+        rotation::rotate_left_constant_depth(&mut fast, &qubits, k).unwrap();
+        let mut slow = QuantumCircuit::with_qubits(n);
+        rotation::rotate_left_linear(&mut slow, &qubits, k).unwrap();
+        t.row(&[
+            &n,
+            &k,
+            &fast.depth(),
+            &fast.size(),
+            &slow.depth(),
+            &slow.size(),
+            &classical::classical_rotation_moves(n, k),
+        ]);
+    }
+    t
+}
+
+/// E3b: correctness sweep — both circuits realise the same permutation.
+pub fn e3_correctness() -> Table {
+    let mut t = Table::new(&["n", "cases", "const_ok", "linear_ok"]);
+    for n in [4usize, 6, 8] {
+        let mut cases = 0;
+        let mut c_ok = 0;
+        let mut l_ok = 0;
+        for k in 0..n {
+            for value in [0u64, 1, (1 << n) - 1, 0b1011 % (1 << n)] {
+                let expect = rotation::rotate_value_left(value, n, k);
+                type Builder = fn(&mut QuantumCircuit, &[usize], usize) -> qutes_qcirc::CircResult<()>;
+                for (is_const, builder) in [
+                    (true, rotation::rotate_left_constant_depth as Builder),
+                    (false, rotation::rotate_left_linear as Builder),
+                ] {
+                    let qubits: Vec<usize> = (0..n).collect();
+                    let mut c = QuantumCircuit::with_qubits(n);
+                    for i in 0..n {
+                        if value >> i & 1 == 1 {
+                            c.x(i).unwrap();
+                        }
+                    }
+                    builder(&mut c, &qubits, k).unwrap();
+                    let sv = statevector(&c).unwrap();
+                    let got =
+                        qutes_sim::measure::most_probable_outcome(&sv, &qubits).unwrap() as u64;
+                    if got == expect {
+                        if is_const {
+                            c_ok += 1;
+                        } else {
+                            l_ok += 1;
+                        }
+                    }
+                }
+                cases += 1;
+            }
+        }
+        t.row(&[&n, &cases, &c_ok, &l_ok]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------- E4 ----
+
+/// E4 (paper §5, entanglement propagation): end-to-end correlation of the
+/// swap chain stays exactly 1.0 at every length; without the conditioned
+/// corrections it collapses to ~0.5 (ablation column).
+pub fn e4_entanglement(seed: u64, shots: usize, max_pairs: usize) -> Table {
+    let mut r = rng(seed);
+    let mut t = Table::new(&[
+        "pairs", "qubits", "correlation", "P(00)", "depth", "no_corr_correlation",
+    ]);
+    for pairs in [1usize, 2, 3, 4, 6, 8, 10].into_iter().filter(|&p| p <= max_pairs) {
+        let stats = entanglement::run_swap_chain(pairs, shots, &mut r).unwrap();
+        let (circuit, _, _) = entanglement::swap_chain_circuit(pairs).unwrap();
+        let no_corr = no_correction_correlation(pairs, shots, &mut r);
+        t.row(&[
+            &pairs,
+            &(2 * pairs),
+            &format!("{:.4}", stats.correlation),
+            &format!("{:.4}", stats.zero_fraction),
+            &circuit.depth(),
+            &format!("{:.4}", no_corr),
+        ]);
+    }
+    t
+}
+
+/// The chain with Bell measurements but no Pauli corrections.
+fn no_correction_correlation(pairs: usize, shots: usize, r: &mut StdRng) -> f64 {
+    if pairs == 1 {
+        // No junctions, nothing to correct: still a perfect Bell pair.
+        return 1.0;
+    }
+    let n = 2 * pairs;
+    let mut c = QuantumCircuit::new();
+    let q = c.add_qreg("chain", n);
+    let m = c.add_creg("m", 2 * (pairs - 1) + 2);
+    for p in 0..pairs {
+        entanglement::bell_pair(&mut c, q.qubit(2 * p), q.qubit(2 * p + 1)).unwrap();
+    }
+    for j in 0..pairs - 1 {
+        entanglement::bell_measure(
+            &mut c,
+            q.qubit(2 * j + 1),
+            q.qubit(2 * j + 2),
+            m.bit(2 * j),
+            m.bit(2 * j + 1),
+        )
+        .unwrap();
+    }
+    let ea = m.bit(2 * (pairs - 1));
+    let eb = m.bit(2 * (pairs - 1) + 1);
+    c.measure(q.qubit(0), ea).unwrap();
+    c.measure(q.qubit(n - 1), eb).unwrap();
+    let counts = qutes_qcirc::run_shots(&c, shots, r).unwrap();
+    let agree: usize = counts
+        .iter()
+        .filter(|&(o, _)| (o >> ea & 1) == (o >> eb & 1))
+        .map(|(_, n)| n)
+        .sum();
+    agree as f64 / shots.max(1) as f64
+}
+
+// ---------------------------------------------------------------- E5 ----
+
+/// E5 (paper §5, Deutsch–Jozsa): one quantum query versus the classical
+/// worst case 2^(n-1)+1, with DJ accuracy measured over random oracles.
+pub fn e5_deutsch_jozsa(seed: u64, trials: usize, max_n: usize) -> Table {
+    let mut r = rng(seed);
+    let mut t = Table::new(&[
+        "n",
+        "quantum_q",
+        "classical_worst",
+        "classical_avg_balanced",
+        "dj_trials",
+        "dj_correct",
+    ]);
+    for n in 1..=max_n {
+        let mut classical_total = 0u64;
+        let mut correct = 0usize;
+        for i in 0..trials {
+            let oracle = if i % 2 == 0 {
+                deutsch_jozsa::Oracle::Constant { bit: i % 4 == 0 }
+            } else {
+                deutsch_jozsa::Oracle::random_balanced(n, &mut r)
+            };
+            if oracle.is_constant() == deutsch_jozsa::dj_decide(n, &oracle, &mut r).unwrap() {
+                correct += 1;
+            }
+            if !oracle.is_constant() {
+                classical_total += deutsch_jozsa::classical_decide(n, &oracle).1;
+            }
+        }
+        t.row(&[
+            &n,
+            &1,
+            &deutsch_jozsa::classical_queries_worst_case(n),
+            &format!("{:.1}", classical_total as f64 / (trials / 2).max(1) as f64),
+            &trials,
+            &correct,
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------- E6 ----
+
+/// The showcase programs used for the conciseness/compile-cost table.
+pub const SHOWCASE_PROGRAMS: &[(&str, &str)] = &[
+    ("bell", include_str!("../../../examples/programs/bell.qut")),
+    ("adder", include_str!("../../../examples/programs/adder.qut")),
+    ("grover", include_str!("../../../examples/programs/grover.qut")),
+    (
+        "deutsch_jozsa",
+        include_str!("../../../examples/programs/deutsch_jozsa.qut"),
+    ),
+    (
+        "entanglement",
+        include_str!("../../../examples/programs/entanglement.qut"),
+    ),
+    (
+        "cyclic_shift",
+        include_str!("../../../examples/programs/cyclic_shift.qut"),
+    ),
+];
+
+/// E6 (paper §2.2 comparative table, conciseness axis): lines and tokens
+/// of Qutes source versus the gate-level operation count the program
+/// expands to (a proxy for hand-written circuit-construction code), plus
+/// frontend and end-to-end costs.
+pub fn e6_conciseness(seed: u64) -> Table {
+    let mut t = Table::new(&[
+        "program",
+        "qutes_loc",
+        "tokens",
+        "circuit_ops",
+        "expansion",
+        "parse_us",
+        "run_ms",
+    ]);
+    for (name, src) in SHOWCASE_PROGRAMS {
+        let loc = src
+            .lines()
+            .filter(|l| {
+                let l = l.trim();
+                !l.is_empty() && !l.starts_with("//")
+            })
+            .count();
+        let tokens = qutes_frontend::lex(src).unwrap().len() - 1; // minus EOF
+        let t0 = Instant::now();
+        for _ in 0..50 {
+            let _ = qutes_frontend::parse(src).unwrap();
+        }
+        let parse_us = t0.elapsed().as_micros() as f64 / 50.0;
+        let t1 = Instant::now();
+        let out = run_source(
+            src,
+            &RunConfig {
+                seed,
+                ..RunConfig::default()
+            },
+        )
+        .unwrap();
+        let run_ms = t1.elapsed().as_secs_f64() * 1e3;
+        let ops = out.circuit.size();
+        t.row(&[
+            name,
+            &loc,
+            &tokens,
+            &ops,
+            &format!("{:.1}x", ops as f64 / loc as f64),
+            &format!("{parse_us:.1}"),
+            &format!("{run_ms:.2}"),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------- E7 ----
+
+/// E7 (substrate validation): per-gate simulation cost scales as O(2^n);
+/// the threaded kernels overtake the serial ones past the parallel
+/// threshold.
+pub fn e7_simulator(max_n: usize) -> Table {
+    let mut t = Table::new(&[
+        "n", "amps", "h_serial_us", "h_parallel_us", "speedup", "cx_serial_us", "cx_parallel_us",
+    ]);
+    for n in (10..=max_n).step_by(2) {
+        let reps = if n <= 16 { 50 } else { 8 };
+        let time_gate = |parallel: bool, cx: bool| -> f64 {
+            let mut sv = StateVector::new(n).unwrap();
+            sv.set_parallel(parallel);
+            // Warm the state into a dense superposition once.
+            for q in 0..n {
+                sv.apply_single(&gates::h(), q).unwrap();
+            }
+            let t0 = Instant::now();
+            for i in 0..reps {
+                if cx {
+                    sv.apply_controlled(&gates::x(), &[i % n], (i + n / 2) % n)
+                        .unwrap();
+                } else {
+                    sv.apply_single(&gates::h(), i % n).unwrap();
+                }
+            }
+            t0.elapsed().as_micros() as f64 / reps as f64
+        };
+        let hs = time_gate(false, false);
+        let hp = time_gate(true, false);
+        let cs = time_gate(false, true);
+        let cp = time_gate(true, true);
+        t.row(&[
+            &n,
+            &(1u64 << n),
+            &format!("{hs:.1}"),
+            &format!("{hp:.1}"),
+            &format!("{:.2}", hs / hp.max(1e-9)),
+            &format!("{cs:.1}"),
+            &format!("{cp:.1}"),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------- E8 ----
+
+/// E8a: MCX decomposition ablation — ancilla-free recursion (gate count
+/// grows fast) versus the Toffoli V-chain (linear, needs k-2 ancillas).
+pub fn e8_mcx_ablation() -> Table {
+    let mut t = Table::new(&[
+        "controls", "no_anc_gates", "no_anc_depth", "vchain_gates", "vchain_ccx", "ancillas",
+    ]);
+    for k in 3..=9usize {
+        let controls: Vec<usize> = (0..k).collect();
+        let target = k;
+        let mut ops = Vec::new();
+        qutes_qcirc::mcx_no_ancilla(&mut ops, &controls, target);
+        let mut c = QuantumCircuit::with_qubits(k + 1);
+        for g in &ops {
+            c.append(g.clone()).unwrap();
+        }
+        let ancillas: Vec<usize> = (k + 1..k + 1 + k - 2).collect();
+        let mut vops = Vec::new();
+        qutes_qcirc::mcx_vchain(&mut vops, &controls, target, &ancillas).unwrap();
+        let ccx = vops
+            .iter()
+            .filter(|g| matches!(g, qutes_qcirc::Gate::CCX { .. }))
+            .count();
+        t.row(&[&k, &c.size(), &c.depth(), &vops.len(), &ccx, &(k - 2)]);
+    }
+    t
+}
+
+/// E8b: adder ablation — CDKM ripple-carry versus the Draper QFT adder.
+pub fn e8_adder_ablation() -> Table {
+    let mut t = Table::new(&[
+        "bits", "cdkm_gates", "cdkm_depth", "qft_gates", "qft_depth", "qft_2q",
+    ]);
+    for n in [2usize, 4, 6, 8, 12] {
+        let (cdkm, _, _) = arithmetic::adder_circuit(n, 0, 0).unwrap();
+        let mut qft = QuantumCircuit::with_qubits(2 * n);
+        let a: Vec<usize> = (0..n).collect();
+        let b: Vec<usize> = (n..2 * n).collect();
+        arithmetic::add_in_place_qft(&mut qft, &a, &b).unwrap();
+        let qs = qft.stats();
+        t.row(&[
+            &n,
+            &cdkm.size(),
+            &cdkm.depth(),
+            &qs.size,
+            &qs.depth,
+            &qs.multi_qubit_ops,
+        ]);
+    }
+    t
+}
+
+/// E8c: substring-oracle ablation — gate-level ancilla oracle versus the
+/// simulator-level phase predicate (both must produce identical states;
+/// the gate level costs real gates).
+pub fn e8_oracle_ablation() -> Table {
+    let mut t = Table::new(&[
+        "n", "m", "oracle_gates", "oracle_depth", "ancillas", "fidelity_vs_predicate",
+    ]);
+    for (n, pat) in [(4usize, "11"), (5, "101"), (6, "1101"), (7, "11")] {
+        let pattern = substring_oracle::bits_from_str(pat);
+        let plan = substring_oracle::SubstringSearch::new(n, &pattern);
+        let oracle = plan.phase_oracle().unwrap();
+
+        let mut c = QuantumCircuit::with_qubits(plan.width);
+        for &q in &plan.haystack {
+            c.h(q).unwrap();
+        }
+        c.extend(&oracle).unwrap();
+        let gate_state = statevector(&c).unwrap();
+
+        let mut pred = qutes_sim::uniform_superposition(n).unwrap();
+        let p = pattern.clone();
+        pred.apply_phase_flip_where(|i| substring_oracle::matches_at_any_position(i, n, &p));
+        let anc = StateVector::new(plan.width - n).unwrap();
+        let expect = pred.tensor(&anc).unwrap();
+        let fidelity = gate_state.fidelity(&expect).unwrap();
+
+        t.row(&[
+            &n,
+            &pattern.len(),
+            &oracle.size(),
+            &oracle.depth(),
+            &(plan.positions() + 1),
+            &format!("{fidelity:.6}"),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_rows_and_correctness() {
+        let t = e1_arithmetic(1, 6);
+        assert_eq!(t.len(), 5);
+        for i in 0..t.len() {
+            assert_eq!(t.cell(i, 4), t.cell(i, 5), "row {i} must be all-correct");
+        }
+    }
+
+    #[test]
+    fn e1_superposed_correlation() {
+        let t = e1_superposed(3);
+        for i in 0..t.len() {
+            assert_eq!(t.cell(i, 4), "3", "sum - operand must equal the addend");
+        }
+    }
+
+    #[test]
+    fn e2_measured_tracks_theory() {
+        let t = e2_grover_scaling(7, 200, 7);
+        for i in 0..t.len() {
+            let theory: f64 = t.cell(i, 4).parse().unwrap();
+            let measured: f64 = t.cell(i, 5).parse().unwrap();
+            assert!((theory - measured).abs() < 0.12, "row {i}: {theory} vs {measured}");
+            assert!(measured > 0.5, "Grover amplifies rare patterns, row {i}");
+        }
+    }
+
+    #[test]
+    fn e3_constant_depth_is_flat() {
+        let t = e3_rotation();
+        for i in 0..t.len() {
+            let d: usize = t.cell(i, 2).parse().unwrap();
+            assert!(d <= 3, "constant-depth rotation must stay within 3 layers");
+        }
+        // Linear baseline grows.
+        let first: usize = t.cell(0, 4).parse().unwrap();
+        let last: usize = t.cell(t.len() - 1, 4).parse().unwrap();
+        assert!(last > 4 * first);
+    }
+
+    #[test]
+    fn e3_correctness_all_pass() {
+        let t = e3_correctness();
+        for i in 0..t.len() {
+            assert_eq!(t.cell(i, 1), t.cell(i, 2));
+            assert_eq!(t.cell(i, 1), t.cell(i, 3));
+        }
+    }
+
+    #[test]
+    fn e4_correlation_one_with_corrections() {
+        let t = e4_entanglement(5, 100, 4);
+        for i in 0..t.len() {
+            let corr: f64 = t.cell(i, 2).parse().unwrap();
+            assert!((corr - 1.0).abs() < 1e-9, "row {i}");
+        }
+        // Ablation collapses for chains with junctions.
+        let no_corr: f64 = t.cell(t.len() - 1, 5).parse().unwrap();
+        assert!(no_corr < 0.65);
+    }
+
+    #[test]
+    fn e5_dj_always_correct() {
+        let t = e5_deutsch_jozsa(9, 6, 6);
+        for i in 0..t.len() {
+            assert_eq!(t.cell(i, 4), t.cell(i, 5), "row {i}");
+        }
+    }
+
+    #[test]
+    fn e6_expansion_factor_over_one() {
+        let t = e6_conciseness(0);
+        assert_eq!(t.len(), SHOWCASE_PROGRAMS.len());
+        // Algorithm-heavy programs expand far beyond their source size.
+        for (i, (name, _)) in SHOWCASE_PROGRAMS.iter().enumerate() {
+            if ["adder", "grover"].contains(name) {
+                let ops: usize = t.cell(i, 3).parse().unwrap();
+                let loc: usize = t.cell(i, 1).parse().unwrap();
+                assert!(ops > 3 * loc, "{name}: ops {ops} vs loc {loc}");
+            }
+        }
+    }
+
+    #[test]
+    fn e8_ablations_have_rows() {
+        assert!(e8_mcx_ablation().len() >= 5);
+        assert!(e8_adder_ablation().len() >= 4);
+        let t = e8_oracle_ablation();
+        for i in 0..t.len() {
+            let f: f64 = t.cell(i, 5).parse().unwrap();
+            assert!((f - 1.0).abs() < 1e-6, "gate oracle must equal predicate");
+        }
+    }
+}
+
+// ---------------------------------------------------------------- E9 ----
+
+/// E9 (paper §6 extensions implemented beyond the evaluation): quantum
+/// multiplier scaling and Dürr–Høyer minimum-finding query counts.
+pub fn e9_multiplier() -> Table {
+    let mut t = Table::new(&["bits", "product_bits", "gates", "depth", "checked", "correct"]);
+    for n in [1usize, 2, 3] {
+        let mut checked = 0;
+        let mut correct = 0;
+        for x in 0..(1u64 << n) {
+            for y in 0..(1u64 << n) {
+                let (c, p) = qutes_algos::arithmetic::multiplier_circuit(n, x, y).unwrap();
+                let sv = statevector(&c).unwrap();
+                let got = qutes_sim::measure::most_probable_outcome(&sv, &p).unwrap() as u64;
+                checked += 1;
+                if got == x * y {
+                    correct += 1;
+                }
+            }
+        }
+        let (c, _) = qutes_algos::arithmetic::multiplier_circuit(n, 0, 0).unwrap();
+        t.row(&[&n, &(2 * n), &c.size(), &c.depth(), &checked, &correct]);
+    }
+    t
+}
+
+/// E9b: quantum minimum finding — oracle calls versus the classical N-1
+/// comparisons, averaged over random databases.
+pub fn e9_minimum(seed: u64, trials: usize) -> Table {
+    let mut r = rng(seed);
+    let mut t = Table::new(&["N", "avg_oracle_calls", "avg_rounds", "classical_cmps", "exact"]);
+    for n in [4usize, 8, 16, 32] {
+        let mut calls = 0usize;
+        let mut rounds = 0usize;
+        let mut exact = 0usize;
+        for _ in 0..trials {
+            let values: Vec<u64> = (0..n).map(|_| r.random_range(0..1000)).collect();
+            let res = qutes_algos::minmax::quantum_minimum(&values, &mut r).unwrap();
+            calls += res.oracle_calls;
+            rounds += res.rounds;
+            if res.value == *values.iter().min().unwrap() {
+                exact += 1;
+            }
+        }
+        t.row(&[
+            &n,
+            &format!("{:.1}", calls as f64 / trials as f64),
+            &format!("{:.1}", rounds as f64 / trials as f64),
+            &(n - 1),
+            &format!("{exact}/{trials}"),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod e9_tests {
+    use super::*;
+
+    #[test]
+    fn e9_multiplier_exhaustively_correct() {
+        let t = e9_multiplier();
+        for i in 0..t.len() {
+            assert_eq!(t.cell(i, 4), t.cell(i, 5), "row {i}");
+        }
+    }
+
+    #[test]
+    fn e9_minimum_always_exact() {
+        let t = e9_minimum(3, 3);
+        for i in 0..t.len() {
+            let exact = t.cell(i, 4);
+            let (a, b) = exact.split_once('/').unwrap();
+            assert_eq!(a, b, "row {i}");
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Shared experiment harness for the Qutes paper reproduction.
+//!
+//! Each experiment (E1–E8, indexed in `DESIGN.md` §4 and recorded in
+//! `EXPERIMENTS.md`) is a pure function returning [`Table`] rows, so the
+//! `exp_e*` binaries (paper-style tables) and the Criterion benches
+//! (timings) share one implementation.
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;

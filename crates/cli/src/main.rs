@@ -1,0 +1,216 @@
+//! `qutes` — command-line driver for the Qutes language.
+//!
+//! ```text
+//! qutes run   <file.qut> [--seed N] [--max-steps N] [--stats]
+//! qutes check <file.qut>
+//! qutes fmt   <file.qut>
+//! qutes qasm  <file.qut> [--v3] [--seed N] [-o out.qasm]
+//! ```
+//!
+//! `run` executes the program and prints its `print` output; `qasm`
+//! executes it and emits the accumulated circuit as OpenQASM (the
+//! measurement outcomes taken during execution determine classically-
+//! conditioned paths, exactly like the paper's Qiskit lowering).
+
+use qutes_core::{run_source, RunConfig};
+use qutes_frontend::{parse, print_program};
+use qutes_qasm::{to_qasm2, to_qasm3};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  qutes run   <file.qut> [--seed N] [--max-steps N] [--stats] [--draw]\n  \
+         qutes check <file.qut>\n  qutes fmt   <file.qut>\n  \
+         qutes qasm  <file.qut> [--v3] [--seed N] [-o out.qasm]"
+    );
+    ExitCode::from(2)
+}
+
+struct Args {
+    path: String,
+    seed: u64,
+    max_steps: u64,
+    stats: bool,
+    draw: bool,
+    v3: bool,
+    out: Option<String>,
+}
+
+fn parse_args(rest: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        path: String::new(),
+        seed: 0,
+        max_steps: 1_000_000,
+        stats: false,
+        draw: false,
+        v3: false,
+        out: None,
+    };
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|_| "--seed needs an integer")?;
+            }
+            "--max-steps" => {
+                args.max_steps = it
+                    .next()
+                    .ok_or("--max-steps needs a value")?
+                    .parse()
+                    .map_err(|_| "--max-steps needs an integer")?;
+            }
+            "--stats" => args.stats = true,
+            "--draw" => args.draw = true,
+            "--v3" => args.v3 = true,
+            "-o" | "--out" => {
+                args.out = Some(it.next().ok_or("-o needs a path")?.clone());
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag '{flag}'")),
+            path => {
+                if args.path.is_empty() {
+                    args.path = path.to_string();
+                } else {
+                    return Err(format!("unexpected argument '{path}'"));
+                }
+            }
+        }
+    }
+    if args.path.is_empty() {
+        return Err("missing input file".into());
+    }
+    Ok(args)
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        return usage();
+    };
+    let args = match parse_args(rest) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let source = match read(&args.path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match cmd.as_str() {
+        "run" => {
+            let cfg = RunConfig {
+                seed: args.seed,
+                max_steps: args.max_steps,
+                ..RunConfig::default()
+            };
+            match run_source(&source, &cfg) {
+                Ok(out) => {
+                    for line in &out.output {
+                        println!("{line}");
+                    }
+                    if args.draw {
+                        print!("{}", qutes_qcirc::draw(&out.circuit));
+                    }
+                    if args.stats {
+                        let stats = out.circuit.stats();
+                        eprintln!(
+                            "[stats] qubits={} measurements={} ops={} depth={}",
+                            out.qubits_used, out.measurements, stats.size, stats.depth
+                        );
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{}", e.render(&source));
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "check" => match parse(&source) {
+            Ok(program) => {
+                let diags = qutes_core::check_program(&program);
+                if diags.is_empty() {
+                    println!("ok");
+                    ExitCode::SUCCESS
+                } else {
+                    for d in diags {
+                        eprint!("{}", d.render(&source));
+                    }
+                    ExitCode::FAILURE
+                }
+            }
+            Err(diags) => {
+                for d in diags {
+                    eprint!("{}", d.render(&source));
+                }
+                ExitCode::FAILURE
+            }
+        },
+        "fmt" => match parse(&source) {
+            Ok(program) => {
+                print!("{}", print_program(&program));
+                ExitCode::SUCCESS
+            }
+            Err(diags) => {
+                for d in diags {
+                    eprint!("{}", d.render(&source));
+                }
+                ExitCode::FAILURE
+            }
+        },
+        "qasm" => {
+            let cfg = RunConfig {
+                seed: args.seed,
+                max_steps: args.max_steps,
+                ..RunConfig::default()
+            };
+            match run_source(&source, &cfg) {
+                Ok(out) => {
+                    let rendered = if args.v3 {
+                        to_qasm3(&out.circuit)
+                    } else {
+                        to_qasm2(&out.circuit)
+                    };
+                    match rendered {
+                        Ok(text) => {
+                            if let Some(path) = &args.out {
+                                if let Err(e) = std::fs::write(path, &text) {
+                                    eprintln!("error: cannot write '{path}': {e}");
+                                    return ExitCode::FAILURE;
+                                }
+                            } else {
+                                print!("{text}");
+                            }
+                            ExitCode::SUCCESS
+                        }
+                        Err(e) => {
+                            eprintln!("error: {e}");
+                            ExitCode::FAILURE
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!("{}", e.render(&source));
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        other => {
+            eprintln!("error: unknown command '{other}'");
+            usage()
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! End-to-end CLI tests: drive the built `qutes` binary on real files
+//! and check stdout/stderr/exit codes.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn qutes(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_qutes"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn write_program(name: &str, src: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("qutes-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, src).unwrap();
+    path
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).into_owned()
+}
+
+#[test]
+fn run_prints_program_output() {
+    let p = write_program("add.qut", "quint a = 5q; quint b = 3q; print a + b;");
+    let out = qutes(&["run", p.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert_eq!(stdout(&out).trim(), "8");
+}
+
+#[test]
+fn run_is_seed_reproducible() {
+    let p = write_program("super.qut", "quint n = [0, 1, 2, 3]q; print n;");
+    let a = stdout(&qutes(&["run", p.to_str().unwrap(), "--seed", "9"]));
+    let b = stdout(&qutes(&["run", p.to_str().unwrap(), "--seed", "9"]));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn run_stats_go_to_stderr() {
+    let p = write_program("stats.qut", "qubit q = |+>; print q;");
+    let out = qutes(&["run", p.to_str().unwrap(), "--stats"]);
+    assert!(out.status.success());
+    assert!(stderr(&out).contains("[stats] qubits=1"));
+}
+
+#[test]
+fn run_draw_renders_circuit() {
+    let p = write_program("bell.qut", "qubit a = |0>; qubit b = |0>; hadamard a; cnot a, b;");
+    let out = qutes(&["run", p.to_str().unwrap(), "--draw"]);
+    let text = stdout(&out);
+    assert!(text.contains("q0: "), "{text}");
+    assert!(text.contains('H'));
+    assert!(text.contains('X'));
+}
+
+#[test]
+fn run_reports_errors_with_context() {
+    let p = write_program("bad.qut", "int x = 1;\nhadamard x;");
+    let out = qutes(&["run", p.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("quantum operand"), "{err}");
+    assert!(err.contains("hadamard x;"), "{err}");
+}
+
+#[test]
+fn check_passes_and_fails() {
+    let good = write_program("good.qut", "print 1 + 1;");
+    let out = qutes(&["check", good.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert_eq!(stdout(&out).trim(), "ok");
+
+    let bad = write_program("badtype.qut", "int x = \"nope\";");
+    let out = qutes(&["check", bad.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("cannot initialise"));
+}
+
+#[test]
+fn fmt_canonicalises() {
+    let messy = write_program("messy.qut", "int   x=1;   print    x ;");
+    let out = qutes(&["fmt", messy.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert_eq!(stdout(&out), "int x = 1;\nprint x;\n");
+}
+
+#[test]
+fn qasm_emits_openqasm2_and_3() {
+    let p = write_program("q.qut", "qubit a = |+>; print a;");
+    let out = qutes(&["qasm", p.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("OPENQASM 2.0;"));
+    let out = qutes(&["qasm", p.to_str().unwrap(), "--v3"]);
+    assert!(stdout(&out).contains("OPENQASM 3.0;"));
+}
+
+#[test]
+fn qasm_writes_output_file() {
+    let p = write_program("qo.qut", "qubit a = |1>; print a;");
+    let target = std::env::temp_dir().join("qutes-cli-tests/out.qasm");
+    let _ = std::fs::remove_file(&target);
+    let out = qutes(&["qasm", p.to_str().unwrap(), "-o", target.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(&target).unwrap();
+    assert!(text.contains("OPENQASM 2.0;"));
+}
+
+#[test]
+fn bad_usage_exits_2() {
+    let out = qutes(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = qutes(&["run"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("missing input file"));
+    let p = write_program("u.qut", "print 1;");
+    let out = qutes(&["run", p.to_str().unwrap(), "--bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = qutes(&["frobnicate", p.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn missing_file_reports_cleanly() {
+    let out = qutes(&["run", "/nonexistent/path.qut"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("cannot read"));
+}
+
+#[test]
+fn max_steps_flag_guards_loops() {
+    let p = write_program("loop.qut", "while (true) { }");
+    let out = qutes(&["run", p.to_str().unwrap(), "--max-steps", "100"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("exceeded 100 steps"));
+}

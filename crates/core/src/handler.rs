@@ -1,0 +1,329 @@
+//! `QuantumCircuitHandler` — the paper's central runtime component (§3):
+//! "the QuantumCircuitHandler class plays a pivotal role by logging all
+//! quantum operations specified by the user … generating a QuantumCircuit
+//! instance that incorporates all necessary QuantumRegisters associated
+//! with declared variables."
+//!
+//! This implementation keeps **two** synchronized artefacts:
+//! * the accumulated [`QuantumCircuit`] (for QASM export, metrics, and
+//!   inspection), and
+//! * a **live statevector**, so measurements have exact sequential
+//!   semantics (measure, collapse, keep computing) instead of re-running
+//!   the whole circuit per interaction.
+
+use crate::error::{QutesError, QutesResult};
+use qutes_qcirc::{execute, Gate, QuantumCircuit};
+use qutes_sim::StateVector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The quantum side of the Qutes runtime.
+pub struct QuantumCircuitHandler {
+    circuit: QuantumCircuit,
+    state: StateVector,
+    clbits: Vec<bool>,
+    rng: StdRng,
+    measurements: usize,
+    free_ancillas: Vec<usize>,
+}
+
+impl QuantumCircuitHandler {
+    /// A handler with no qubits yet, seeded for reproducibility.
+    pub fn new(seed: u64) -> Self {
+        QuantumCircuitHandler {
+            circuit: QuantumCircuit::new(),
+            state: StateVector::new(0).expect("0-qubit state"),
+            clbits: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+            measurements: 0,
+            free_ancillas: Vec::new(),
+        }
+    }
+
+    /// Acquires `n` clean (`|0>`) work qubits, reusing previously released
+    /// ancillas before growing the circuit. The returned indices are not
+    /// contiguous in general.
+    pub fn acquire_ancillas(&mut self, n: usize, name: &str) -> QutesResult<Vec<usize>> {
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            match self.free_ancillas.pop() {
+                Some(q) => out.push(q),
+                None => break,
+            }
+        }
+        let missing = n - out.len();
+        if missing > 0 {
+            self.check_capacity(missing, name)?;
+            out.extend(self.allocate(name, missing)?);
+        }
+        Ok(out)
+    }
+
+    /// Returns work qubits to the pool. The caller must have uncomputed
+    /// them back to `|0>`; qubits that are measurably dirty are *not*
+    /// pooled (silently leaked — safe, just unrecoverable capacity).
+    pub fn release_ancillas(&mut self, qubits: &[usize]) {
+        for &q in qubits {
+            let clean = self
+                .state
+                .probability_one(q)
+                .map(|p| p < 1e-9)
+                .unwrap_or(false);
+            if clean {
+                self.free_ancillas.push(q);
+            }
+        }
+    }
+
+    /// Number of pooled (clean, reusable) ancilla qubits.
+    pub fn pooled_ancillas(&self) -> usize {
+        self.free_ancillas.len()
+    }
+
+    /// Allocates a fresh quantum register (circuit and live state grow
+    /// together). Returns the global qubit indices.
+    pub fn allocate(&mut self, name: &str, width: usize) -> QutesResult<Vec<usize>> {
+        let reg = self.circuit.add_qreg(name, width);
+        if width > 0 {
+            let fresh = StateVector::new(width)?;
+            self.state = self.state.tensor(&fresh)?;
+        }
+        Ok(reg.qubits())
+    }
+
+    /// Appends a unitary gate to the circuit and applies it to the live
+    /// state.
+    pub fn apply(&mut self, gate: Gate) -> QutesResult<()> {
+        self.circuit.append(gate.clone())?;
+        execute::apply_gate(&mut self.state, &mut self.clbits, &gate, &mut self.rng)?;
+        Ok(())
+    }
+
+    /// Appends every instruction of a pre-built circuit fragment. The
+    /// fragment must address this handler's global qubit indices and have
+    /// no classical bits.
+    pub fn apply_fragment(&mut self, fragment: &QuantumCircuit) -> QutesResult<()> {
+        for g in fragment.ops() {
+            self.apply(g.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Measures `qubits` (low bit first), collapsing the live state and
+    /// logging `measure` instructions into fresh classical bits. Returns
+    /// the observed value.
+    pub fn measure(&mut self, qubits: &[usize]) -> QutesResult<u64> {
+        let creg = self
+            .circuit
+            .add_creg(format!("m{}", self.measurements), qubits.len());
+        self.measurements += 1;
+        self.clbits.resize(self.circuit.num_clbits(), false);
+        let mut result = 0u64;
+        for (k, &q) in qubits.iter().enumerate() {
+            let gate = Gate::Measure {
+                qubit: q,
+                clbit: creg.bit(k),
+            };
+            self.circuit.append(gate.clone())?;
+            execute::apply_gate(&mut self.state, &mut self.clbits, &gate, &mut self.rng)?;
+            if self.clbits[creg.bit(k)] {
+                result |= 1 << k;
+            }
+        }
+        Ok(result)
+    }
+
+    /// Non-collapsing sampling of `qubits` over `shots` — used by the
+    /// CLI's histogram output.
+    pub fn sample(&mut self, qubits: &[usize], shots: usize) -> QutesResult<Vec<(u64, usize)>> {
+        let counts = qutes_sim::measure::sample_counts(&self.state, qubits, shots, &mut self.rng)?;
+        let mut v: Vec<(u64, usize)> = counts.into_iter().map(|(k, c)| (k as u64, c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        Ok(v)
+    }
+
+    /// Appends a barrier over the whole circuit.
+    pub fn barrier(&mut self) -> QutesResult<()> {
+        self.circuit.append(Gate::Barrier(vec![]))?;
+        Ok(())
+    }
+
+    /// The accumulated circuit.
+    pub fn circuit(&self) -> &QuantumCircuit {
+        &self.circuit
+    }
+
+    /// The live statevector.
+    pub fn state(&self) -> &StateVector {
+        &self.state
+    }
+
+    /// Mutable access to the live statevector (used by simulator-level
+    /// oracles in ablation tests; gate-level code should go through
+    /// [`Self::apply`]).
+    pub fn state_mut(&mut self) -> &mut StateVector {
+        &mut self.state
+    }
+
+    /// The RNG (shared so the whole program run is reproducible from one
+    /// seed).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Total qubits allocated so far.
+    pub fn num_qubits(&self) -> usize {
+        self.circuit.num_qubits()
+    }
+
+    /// Total collapsing measurements performed.
+    pub fn measurements(&self) -> usize {
+        self.measurements
+    }
+
+    /// Guard: errors when allocating `extra` more qubits would exceed the
+    /// simulator's capacity, with a message naming the variable.
+    pub fn check_capacity(&self, extra: usize, what: &str) -> QutesResult<()> {
+        let total = self.num_qubits() + extra;
+        if total > qutes_sim::MAX_QUBITS {
+            return Err(QutesError::runtime(
+                format!(
+                    "allocating {extra} qubits for {what} would need {total} total qubits; \
+                     the dense simulator supports at most {}",
+                    qutes_sim::MAX_QUBITS
+                ),
+                qutes_frontend::Span::default(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_grows_circuit_and_state() {
+        let mut h = QuantumCircuitHandler::new(1);
+        let a = h.allocate("a", 2).unwrap();
+        let b = h.allocate("b", 3).unwrap();
+        assert_eq!(a, vec![0, 1]);
+        assert_eq!(b, vec![2, 3, 4]);
+        assert_eq!(h.num_qubits(), 5);
+        assert_eq!(h.state().num_qubits(), 5);
+        // Fresh qubits are |0>.
+        for q in 0..5 {
+            assert!(h.state().probability_one(q).unwrap() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gates_affect_live_state_and_circuit() {
+        let mut h = QuantumCircuitHandler::new(1);
+        let q = h.allocate("q", 1).unwrap();
+        h.apply(Gate::X(q[0])).unwrap();
+        assert!((h.state().probability_one(q[0]).unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(h.circuit().len(), 1);
+    }
+
+    #[test]
+    fn allocation_after_gates_preserves_existing_state() {
+        let mut h = QuantumCircuitHandler::new(1);
+        let a = h.allocate("a", 1).unwrap();
+        h.apply(Gate::X(a[0])).unwrap();
+        let b = h.allocate("b", 1).unwrap();
+        assert!((h.state().probability_one(a[0]).unwrap() - 1.0).abs() < 1e-12);
+        assert!(h.state().probability_one(b[0]).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn measurement_collapses_and_logs() {
+        let mut h = QuantumCircuitHandler::new(7);
+        let q = h.allocate("q", 2).unwrap();
+        h.apply(Gate::H(q[0])).unwrap();
+        h.apply(Gate::CX {
+            control: q[0],
+            target: q[1],
+        })
+        .unwrap();
+        let v = h.measure(&q).unwrap();
+        assert!(v == 0b00 || v == 0b11, "Bell measurement gave {v:02b}");
+        // Re-measuring returns the same (collapsed) value.
+        let v2 = h.measure(&q).unwrap();
+        assert_eq!(v, v2);
+        assert_eq!(h.measurements(), 2);
+        assert_eq!(h.circuit().num_clbits(), 4);
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let run = |seed| {
+            let mut h = QuantumCircuitHandler::new(seed);
+            let q = h.allocate("q", 4).unwrap();
+            for &x in &q {
+                h.apply(Gate::H(x)).unwrap();
+            }
+            h.measure(&q).unwrap()
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn sample_does_not_collapse() {
+        let mut h = QuantumCircuitHandler::new(3);
+        let q = h.allocate("q", 1).unwrap();
+        h.apply(Gate::H(q[0])).unwrap();
+        let hist = h.sample(&q, 500).unwrap();
+        let total: usize = hist.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 500);
+        assert_eq!(hist.len(), 2, "both outcomes present: {hist:?}");
+        // State still in superposition after sampling.
+        assert!((h.state().probability_one(q[0]).unwrap() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_guard() {
+        let h = QuantumCircuitHandler::new(0);
+        assert!(h.check_capacity(4, "x").is_ok());
+        assert!(h.check_capacity(qutes_sim::MAX_QUBITS + 1, "x").is_err());
+    }
+
+    #[test]
+    fn ancilla_pool_reuses_clean_qubits() {
+        let mut h = QuantumCircuitHandler::new(2);
+        let a = h.acquire_ancillas(2, "w").unwrap();
+        assert_eq!(h.num_qubits(), 2);
+        h.release_ancillas(&a);
+        assert_eq!(h.pooled_ancillas(), 2);
+        let b = h.acquire_ancillas(3, "w2").unwrap();
+        // Two reused + one fresh.
+        assert_eq!(h.num_qubits(), 3);
+        assert_eq!(b.len(), 3);
+        assert_eq!(h.pooled_ancillas(), 0);
+    }
+
+    #[test]
+    fn dirty_ancillas_are_not_pooled() {
+        let mut h = QuantumCircuitHandler::new(2);
+        let a = h.acquire_ancillas(1, "w").unwrap();
+        h.apply(Gate::X(a[0])).unwrap();
+        h.release_ancillas(&a);
+        assert_eq!(h.pooled_ancillas(), 0, "a |1> qubit must not be pooled");
+        h.apply(Gate::X(a[0])).unwrap();
+        h.release_ancillas(&a);
+        assert_eq!(h.pooled_ancillas(), 1, "back to |0>: poolable");
+    }
+
+    #[test]
+    fn fragment_application() {
+        let mut h = QuantumCircuitHandler::new(5);
+        let q = h.allocate("q", 2).unwrap();
+        let mut frag = QuantumCircuit::with_qubits(2);
+        frag.h(0).unwrap().cx(0, 1).unwrap();
+        h.apply_fragment(&frag).unwrap();
+        let m = h.state().marginal_probabilities(&q).unwrap();
+        assert!((m[0b00] - 0.5).abs() < 1e-9);
+        assert!((m[0b11] - 0.5).abs() < 1e-9);
+    }
+}

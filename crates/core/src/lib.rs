@@ -1,0 +1,45 @@
+//! # qutes-core
+//!
+//! Compiler and runtime for the **Qutes** quantum programming language —
+//! a Rust reproduction of "Qutes: A High-Level Quantum Programming
+//! Language for Simplified Quantum Computing" (Faro, Marino & Messina,
+//! HPDC 2025).
+//!
+//! Pipeline (mirroring the paper's §3 architecture):
+//!
+//! 1. `qutes-frontend` lexes/parses the source into an AST,
+//! 2. a declaration pass instantiates symbols ([`symbols`]),
+//! 3. the static type checker ([`types`]) enforces the §4 type system,
+//! 4. the operation pass ([`runtime`]) executes classical code natively
+//!    and lowers quantum operations through the
+//!    [`handler::QuantumCircuitHandler`] (accumulated circuit + live
+//!    statevector) with [`casting::TypeCastingHandler`] bridging the
+//!    classical/quantum boundary.
+//!
+//! ```
+//! use qutes_core::{run_source, RunConfig};
+//!
+//! let out = run_source(r#"
+//!     quint a = 5q;
+//!     quint b = 3q;
+//!     quint sum = a + b;
+//!     print sum;
+//! "#, &RunConfig::default()).unwrap();
+//! assert_eq!(out.output, vec!["8"]);
+//! ```
+
+pub mod casting;
+pub mod error;
+pub mod handler;
+pub mod runtime;
+pub mod symbols;
+pub mod types;
+pub mod value;
+
+pub use casting::TypeCastingHandler;
+pub use error::{QutesError, QutesResult};
+pub use handler::QuantumCircuitHandler;
+pub use runtime::{run_program, run_source, RunConfig, RunOutcome};
+pub use symbols::{FunctionTable, Symbol, SymbolTable};
+pub use types::{assignable, check_program};
+pub use value::{QKind, QuantumRef, Value};

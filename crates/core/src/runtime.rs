@@ -1,0 +1,1616 @@
+//! The Qutes interpreter: executes the AST, running classical operations
+//! natively and lowering quantum operations into the
+//! [`QuantumCircuitHandler`] (the paper's two-pass design, §3 — a symbol/
+//! declaration pass, then an operation pass that "translates quantum
+//! operations into corresponding quantum circuit instructions, while
+//! non-quantum operations are executed directly").
+
+use crate::casting::{bits_for, TypeCastingHandler as Cast};
+use crate::error::{QutesError, QutesResult};
+use crate::handler::QuantumCircuitHandler;
+use crate::symbols::{FunctionTable, SymbolTable};
+use crate::types;
+use crate::value::{cell, Cell, QKind, QuantumRef, Value};
+use qutes_algos::{arithmetic, rotation, state_prep, substring_oracle};
+use qutes_frontend::ast::*;
+use qutes_frontend::{parse, Span};
+use qutes_qcirc::{Gate, QuantumCircuit};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Execution configuration.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// RNG seed (measurements are reproducible given a seed).
+    pub seed: u64,
+    /// Statement-execution budget (guards against infinite `while`).
+    pub max_steps: u64,
+    /// Function-call nesting budget (guards against runaway recursion —
+    /// each Qutes frame costs native stack, so this errors cleanly long
+    /// before the process would overflow).
+    pub max_call_depth: usize,
+    /// Skip the static type check (used by tests probing runtime guards).
+    pub skip_typecheck: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            seed: 0,
+            max_steps: 1_000_000,
+            max_call_depth: 100,
+            skip_typecheck: false,
+        }
+    }
+}
+
+/// Result of executing a program.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Lines produced by `print`.
+    pub output: Vec<String>,
+    /// The accumulated quantum circuit.
+    pub circuit: QuantumCircuit,
+    /// Number of collapsing measurements performed.
+    pub measurements: usize,
+    /// Total qubits allocated.
+    pub qubits_used: usize,
+}
+
+/// Parses, type-checks, and runs a Qutes source file.
+pub fn run_source(source: &str, config: &RunConfig) -> QutesResult<RunOutcome> {
+    let program = parse(source).map_err(QutesError::Compile)?;
+    if !config.skip_typecheck {
+        let diags = types::check_program(&program);
+        if !diags.is_empty() {
+            return Err(QutesError::Compile(diags));
+        }
+    }
+    run_program(&program, config)
+}
+
+/// Runs an already-parsed program.
+pub fn run_program(program: &Program, config: &RunConfig) -> QutesResult<RunOutcome> {
+    // Pass 1 (declaration pass): collect functions.
+    let decls: Vec<&FunctionDecl> = program
+        .items
+        .iter()
+        .filter_map(|i| match i {
+            Item::Function(f) => Some(f),
+            _ => None,
+        })
+        .collect();
+    let functions = FunctionTable::build(&decls).map_err(QutesError::Compile)?;
+
+    // Pass 2 (operation pass): execute.
+    let mut interp = Interp {
+        symbols: SymbolTable::new(),
+        functions,
+        handler: QuantumCircuitHandler::new(config.seed),
+        output: Vec::new(),
+        steps: 0,
+        max_steps: config.max_steps,
+        call_depth: 0,
+        max_call_depth: config.max_call_depth,
+        anon_counter: 0,
+    };
+    for item in &program.items {
+        if let Item::Statement(s) = item {
+            if let Flow::Return(_) = interp.exec_stmt(s)? {
+                break;
+            }
+        }
+    }
+    Ok(RunOutcome {
+        output: interp.output,
+        measurements: interp.handler.measurements(),
+        qubits_used: interp.handler.num_qubits(),
+        circuit: interp.handler.circuit().clone(),
+    })
+}
+
+enum Flow {
+    Normal,
+    Return(Value),
+}
+
+struct Interp {
+    symbols: SymbolTable,
+    functions: FunctionTable,
+    handler: QuantumCircuitHandler,
+    output: Vec<String>,
+    steps: u64,
+    max_steps: u64,
+    call_depth: usize,
+    max_call_depth: usize,
+    anon_counter: usize,
+}
+
+impl Interp {
+    fn step(&mut self, span: Span) -> QutesResult<()> {
+        self.steps += 1;
+        if self.steps > self.max_steps {
+            return Err(QutesError::runtime(
+                format!("execution exceeded {} steps (infinite loop?)", self.max_steps),
+                span,
+            ));
+        }
+        Ok(())
+    }
+
+    fn fresh_name(&mut self, base: &str) -> String {
+        self.anon_counter += 1;
+        format!("{base}_{}", self.anon_counter)
+    }
+
+    // ---- statements ------------------------------------------------------
+
+    fn exec_block(&mut self, b: &Block) -> QutesResult<Flow> {
+        self.symbols.push_scope();
+        let r = self.exec_stmts(&b.stmts);
+        self.symbols.pop_scope();
+        r
+    }
+
+    fn exec_stmts(&mut self, stmts: &[Stmt]) -> QutesResult<Flow> {
+        for s in stmts {
+            if let Flow::Return(v) = self.exec_stmt(s)? {
+                return Ok(Flow::Return(v));
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(&mut self, s: &Stmt) -> QutesResult<Flow> {
+        self.step(s.span())?;
+        match s {
+            Stmt::VarDecl { ty, name, init, span } => {
+                let value = match init {
+                    Some(e) => {
+                        let v = self.eval_with_target(e, Some(ty))?;
+                        self.coerce(v, ty, name, e.span)?
+                    }
+                    None => self.default_value(ty, name, *span)?,
+                };
+                self.symbols
+                    .declare(name, ty.clone(), cell(value), *span)
+                    .map_err(|d| QutesError::Compile(vec![d]))?;
+                Ok(Flow::Normal)
+            }
+            Stmt::Assign {
+                target,
+                op,
+                value,
+                span,
+            } => {
+                self.exec_assign(target, *op, value, *span)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::If {
+                cond,
+                then_block,
+                else_block,
+                ..
+            } => {
+                if self.eval_condition(cond)? {
+                    self.exec_block(then_block)
+                } else if let Some(eb) = else_block {
+                    self.exec_block(eb)
+                } else {
+                    Ok(Flow::Normal)
+                }
+            }
+            Stmt::While { cond, body, span } => {
+                while self.eval_condition(cond)? {
+                    self.step(*span)?;
+                    if let Flow::Return(v) = self.exec_block(body)? {
+                        return Ok(Flow::Return(v));
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Foreach {
+                var,
+                iterable,
+                body,
+                span,
+            } => {
+                let it = self.eval(iterable)?;
+                let items: Vec<Cell> = match it {
+                    Value::Array(items) => items.borrow().clone(),
+                    Value::Quantum(q) if q.kind == QKind::Qustring => q
+                        .qubits
+                        .iter()
+                        .map(|&qb| {
+                            cell(Value::Quantum(QuantumRef {
+                                qubits: vec![qb],
+                                kind: QKind::Qubit,
+                            }))
+                        })
+                        .collect(),
+                    other => {
+                        return Err(QutesError::runtime(
+                            format!("cannot iterate over {}", other.type_name()),
+                            iterable.span,
+                        ))
+                    }
+                };
+                for item in items {
+                    self.step(*span)?;
+                    self.symbols.push_scope();
+                    // Bind by reference: the loop variable aliases the
+                    // element cell (mutations persist, paper §4).
+                    let ty = runtime_type(&item.borrow());
+                    self.symbols.bind(var, ty, Rc::clone(&item), *span);
+                    let flow = self.exec_stmts(&body.stmts);
+                    self.symbols.pop_scope();
+                    if let Flow::Return(v) = flow? {
+                        return Ok(Flow::Return(v));
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Return { value, .. } => {
+                let v = match value {
+                    Some(e) => self.eval(e)?,
+                    None => Value::Void,
+                };
+                Ok(Flow::Return(v))
+            }
+            Stmt::Print { value, span } => {
+                let v = self.eval(value)?;
+                let line = match v {
+                    Value::Quantum(q) => {
+                        // Printing a quantum variable measures it (paper
+                        // §5: "the evaluation of a quantum variable —
+                        // whether for verifying its value or for printing
+                        // — requires a measurement operation").
+                        let measured = Cast::measure_to_classical(&mut self.handler, &q)?;
+                        measured.to_string()
+                    }
+                    other => other.to_string(),
+                };
+                let _ = span;
+                self.output.push(line);
+                Ok(Flow::Normal)
+            }
+            Stmt::Expr { expr, .. } => {
+                self.eval(expr)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::Gate { gate, args, span } => {
+                self.exec_gate(*gate, args, *span)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::Measure { target, .. } => {
+                let v = self.eval(target)?;
+                match v {
+                    Value::Quantum(q) => {
+                        self.handler.measure(&q.qubits)?;
+                        Ok(Flow::Normal)
+                    }
+                    other => Err(QutesError::runtime(
+                        format!("measure expects a quantum value, found {}", other.type_name()),
+                        target.span,
+                    )),
+                }
+            }
+            Stmt::Barrier { .. } => {
+                self.handler.barrier()?;
+                Ok(Flow::Normal)
+            }
+            Stmt::Block(b) => self.exec_block(b),
+        }
+    }
+
+    fn default_value(&mut self, ty: &Type, name: &str, span: Span) -> QutesResult<Value> {
+        Ok(match ty {
+            Type::Bool => Value::Bool(false),
+            Type::Int => Value::Int(0),
+            Type::Float => Value::Float(0.0),
+            Type::String => Value::Str(String::new()),
+            Type::Qubit => Value::Quantum(Cast::new_qubit_basis(&mut self.handler, name, false)?),
+            Type::Quint => {
+                Value::Quantum(Cast::new_quint(&mut self.handler, name, 0, Some(1))?)
+            }
+            Type::Qustring => {
+                return Err(QutesError::runtime(
+                    "qustring declarations need an initialiser (the width is the string length)",
+                    span,
+                ))
+            }
+            Type::Array(_) => Value::Array(Rc::new(RefCell::new(Vec::new()))),
+            Type::Void => Value::Void,
+        })
+    }
+
+    /// Coerces a value into a declared type: identity, numeric widening,
+    /// promotion (classical -> quantum, via the `TypeCastingHandler`), or
+    /// auto-measurement (quantum -> classical).
+    fn coerce(&mut self, v: Value, ty: &Type, name: &str, span: Span) -> QutesResult<Value> {
+        let ok = match (ty, &v) {
+            (Type::Bool, Value::Bool(_))
+            | (Type::Int, Value::Int(_))
+            | (Type::Float, Value::Float(_))
+            | (Type::String, Value::Str(_))
+            | (Type::Array(_), Value::Array(_)) => true,
+            (Type::Qubit, Value::Quantum(q)) => q.kind == QKind::Qubit,
+            (Type::Quint, Value::Quantum(q)) => q.kind == QKind::Quint,
+            (Type::Qustring, Value::Quantum(q)) => q.kind == QKind::Qustring,
+            _ => false,
+        };
+        if ok {
+            return Ok(v);
+        }
+        match (ty, v) {
+            (Type::Float, Value::Int(i)) => Ok(Value::Float(i as f64)),
+            (Type::Qubit, v @ (Value::Bool(_) | Value::Int(_))) => Ok(Value::Quantum(
+                Cast::promote(&mut self.handler, name, &v, QKind::Qubit, span)?,
+            )),
+            (Type::Quint, v @ (Value::Bool(_) | Value::Int(_))) => Ok(Value::Quantum(
+                Cast::promote(&mut self.handler, name, &v, QKind::Quint, span)?,
+            )),
+            (Type::Qubit, Value::Quantum(q)) if q.width() == 1 => {
+                // quint/qustring of width 1 reinterpreted as a qubit.
+                Ok(Value::Quantum(QuantumRef {
+                    qubits: q.qubits,
+                    kind: QKind::Qubit,
+                }))
+            }
+            (Type::Quint, Value::Quantum(q)) => Ok(Value::Quantum(QuantumRef {
+                qubits: q.qubits,
+                kind: QKind::Quint,
+            })),
+            (Type::Qustring, Value::Str(s)) => Ok(Value::Quantum(Cast::new_qustring(
+                &mut self.handler,
+                name,
+                &s,
+                span,
+            )?)),
+            (Type::Qustring, Value::Quantum(q)) => Ok(Value::Quantum(QuantumRef {
+                qubits: q.qubits,
+                kind: QKind::Qustring,
+            })),
+            (classical, Value::Quantum(q)) => {
+                let measured = Cast::measure_to_classical(&mut self.handler, &q)?;
+                match (classical, measured) {
+                    (Type::Bool, m @ Value::Bool(_))
+                    | (Type::Int, m @ Value::Int(_))
+                    | (Type::String, m @ Value::Str(_)) => Ok(m),
+                    (Type::Float, Value::Int(i)) => Ok(Value::Float(i as f64)),
+                    (t, m) => Err(QutesError::runtime(
+                        format!("cannot convert measured {} to {t}", m.type_name()),
+                        span,
+                    )),
+                }
+            }
+            (ty, v) => Err(QutesError::runtime(
+                format!("cannot use a {} value as {ty}", v.type_name()),
+                span,
+            )),
+        }
+    }
+
+    fn exec_assign(
+        &mut self,
+        target: &LValue,
+        op: AssignOp,
+        value_expr: &Expr,
+        span: Span,
+    ) -> QutesResult<()> {
+        let (target_cell, target_ty) = match target {
+            LValue::Name(name) => {
+                let Some(sym) = self.symbols.lookup(name) else {
+                    return Err(QutesError::runtime(
+                        format!("assignment to undeclared variable '{name}'"),
+                        span,
+                    ));
+                };
+                (Rc::clone(&sym.value), sym.ty.clone())
+            }
+            LValue::Index(name, idx_expr) => {
+                let idx = self.eval_index(idx_expr)?;
+                let Some(sym) = self.symbols.lookup(name) else {
+                    return Err(QutesError::runtime(
+                        format!("assignment to undeclared variable '{name}'"),
+                        span,
+                    ));
+                };
+                let elem_ty = match &sym.ty {
+                    Type::Array(t) => (**t).clone(),
+                    other => {
+                        return Err(QutesError::runtime(
+                            format!("cannot index-assign into {other}"),
+                            span,
+                        ))
+                    }
+                };
+                let arr = sym.value.borrow().clone();
+                match arr {
+                    Value::Array(items) => {
+                        let items_ref = items.borrow();
+                        let Some(slot) = items_ref.get(idx) else {
+                            return Err(QutesError::runtime(
+                                format!(
+                                    "index {idx} out of bounds for array of length {}",
+                                    items_ref.len()
+                                ),
+                                span,
+                            ));
+                        };
+                        (Rc::clone(slot), elem_ty)
+                    }
+                    other => {
+                        return Err(QutesError::runtime(
+                            format!("cannot index into {}", other.type_name()),
+                            span,
+                        ))
+                    }
+                }
+            }
+        };
+
+        match op {
+            AssignOp::Set => {
+                let name = match target {
+                    LValue::Name(n) | LValue::Index(n, _) => n.clone(),
+                };
+                let v = self.eval_with_target(value_expr, Some(&target_ty))?;
+                let v = self.coerce(v, &target_ty, &name, value_expr.span)?;
+                *target_cell.borrow_mut() = v;
+            }
+            AssignOp::Add | AssignOp::Sub => {
+                let current = target_cell.borrow().clone();
+                match current {
+                    Value::Quantum(q) if q.kind == QKind::Quint => {
+                        let rhs = self.eval(value_expr)?;
+                        self.quint_add_sub_in_place(&q, rhs, op == AssignOp::Sub, span)?;
+                    }
+                    classical => {
+                        let rhs = self.eval(value_expr)?;
+                        let bin = if op == AssignOp::Add { BinOp::Add } else { BinOp::Sub };
+                        let result = self.classical_binary(bin, classical, rhs, span)?;
+                        *target_cell.borrow_mut() = result;
+                    }
+                }
+            }
+            AssignOp::Shl | AssignOp::Shr => {
+                let rhs = self.eval(value_expr)?;
+                let k = rhs.as_i64().ok_or_else(|| {
+                    QutesError::runtime("shift amount must be an integer", value_expr.span)
+                })?;
+                if k < 0 {
+                    return Err(QutesError::runtime("shift amount must be >= 0", value_expr.span));
+                }
+                let current = target_cell.borrow().clone();
+                match current {
+                    Value::Quantum(q) => {
+                        // Cyclic shift in constant depth (paper §5).
+                        self.rotate_in_place(&q, k as usize, op == AssignOp::Shl)?;
+                    }
+                    Value::Int(i) => {
+                        let v = if op == AssignOp::Shl {
+                            i.wrapping_shl(k as u32)
+                        } else {
+                            i.wrapping_shr(k as u32)
+                        };
+                        *target_cell.borrow_mut() = Value::Int(v);
+                    }
+                    other => {
+                        return Err(QutesError::runtime(
+                            format!("cannot shift a {} value", other.type_name()),
+                            span,
+                        ))
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn eval_index(&mut self, e: &Expr) -> QutesResult<usize> {
+        let v = self.eval(e)?;
+        let v = match v {
+            Value::Quantum(q) => Cast::measure_to_classical(&mut self.handler, &q)?,
+            other => other,
+        };
+        v.as_i64()
+            .filter(|&i| i >= 0)
+            .map(|i| i as usize)
+            .ok_or_else(|| QutesError::runtime("index must be a non-negative integer", e.span))
+    }
+
+    // ---- gates -----------------------------------------------------------
+
+    fn eval_quantum_operand(&mut self, e: &Expr, what: &str) -> QutesResult<QuantumRef> {
+        match self.eval(e)? {
+            Value::Quantum(q) => Ok(q),
+            other => Err(QutesError::runtime(
+                format!("{what} needs a quantum operand, found {}", other.type_name()),
+                e.span,
+            )),
+        }
+    }
+
+    fn exec_gate(&mut self, gate: GateKind, args: &[Expr], span: Span) -> QutesResult<()> {
+        match gate {
+            GateKind::Hadamard | GateKind::NotGate | GateKind::PauliY | GateKind::PauliZ => {
+                let q = self.eval_quantum_operand(&args[0], gate.name())?;
+                for &qb in &q.qubits {
+                    let g = match gate {
+                        GateKind::Hadamard => Gate::H(qb),
+                        GateKind::NotGate => Gate::X(qb),
+                        GateKind::PauliY => Gate::Y(qb),
+                        GateKind::PauliZ => Gate::Z(qb),
+                        _ => unreachable!(),
+                    };
+                    self.handler.apply(g)?;
+                }
+            }
+            GateKind::Phase => {
+                let q = self.eval_quantum_operand(&args[0], "phase")?;
+                let angle = self
+                    .eval(&args[1])?
+                    .as_f64()
+                    .ok_or_else(|| QutesError::runtime("phase angle must be numeric", args[1].span))?;
+                for &qb in &q.qubits {
+                    self.handler.apply(Gate::Phase {
+                        target: qb,
+                        lambda: angle,
+                    })?;
+                }
+            }
+            GateKind::CNot => {
+                let c = self.eval_quantum_operand(&args[0], "cnot")?;
+                let t = self.eval_quantum_operand(&args[1], "cnot")?;
+                if c.width() == t.width() {
+                    for (&cq, &tq) in c.qubits.iter().zip(&t.qubits) {
+                        self.handler.apply(Gate::CX {
+                            control: cq,
+                            target: tq,
+                        })?;
+                    }
+                } else if c.width() == 1 {
+                    for &tq in &t.qubits {
+                        self.handler.apply(Gate::CX {
+                            control: c.qubits[0],
+                            target: tq,
+                        })?;
+                    }
+                } else {
+                    return Err(QutesError::runtime(
+                        format!(
+                            "cnot operands must have equal width (or a single-qubit control); \
+                             found {} and {}",
+                            c.width(),
+                            t.width()
+                        ),
+                        span,
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ---- quantum arithmetic and shifts ------------------------------------
+
+    /// Copies `src` into a fresh register of width `width` (CX fan-out;
+    /// exact for basis states, entangling for superpositions — the
+    /// ancilla is later uncomputed by the same CX pattern).
+    fn cx_copy(&mut self, src: &[usize], width: usize, name: &str) -> QutesResult<Vec<usize>> {
+        let dst = self.handler.acquire_ancillas(width, name)?;
+        for (i, &s) in src.iter().enumerate().take(width) {
+            self.handler.apply(Gate::CX {
+                control: s,
+                target: dst[i],
+            })?;
+        }
+        Ok(dst)
+    }
+
+    fn uncompute_cx_copy(&mut self, src: &[usize], dst: &[usize]) -> QutesResult<()> {
+        for (i, &s) in src.iter().enumerate().take(dst.len()) {
+            self.handler.apply(Gate::CX {
+                control: s,
+                target: dst[i],
+            })?;
+        }
+        Ok(())
+    }
+
+    /// In-place `target op= rhs` for quints.
+    fn quint_add_sub_in_place(
+        &mut self,
+        target: &QuantumRef,
+        rhs: Value,
+        subtract: bool,
+        span: Span,
+    ) -> QutesResult<()> {
+        match rhs {
+            Value::Int(k) if k >= 0 && !subtract => {
+                let mut frag = self.fragment();
+                arithmetic::add_const(&mut frag, &target.qubits, k as u64)?;
+                self.handler.apply_fragment(&frag)?;
+            }
+            Value::Int(k) if k >= 0 && subtract => {
+                // b - k = b + (2^n - k) mod 2^n.
+                let n = target.width() as u32;
+                let modulus = 1u64 << n;
+                let k = (k as u64) % modulus;
+                let mut frag = self.fragment();
+                arithmetic::add_const(&mut frag, &target.qubits, (modulus - k) % modulus)?;
+                self.handler.apply_fragment(&frag)?;
+            }
+            Value::Bool(b) => {
+                return self.quint_add_sub_in_place(target, Value::Int(b as i64), subtract, span)
+            }
+            Value::Quantum(q) if q.kind == QKind::Quint => {
+                let w = target.width();
+                // Widen/narrow the addend into a temporary copy of the
+                // target's width, add, then uncompute the copy.
+                let name = self.fresh_name("addend");
+                let tmp = self.cx_copy(&q.qubits, w, &name)?;
+                let carry_name = self.fresh_name("carry");
+                let carry = self.handler.acquire_ancillas(1, &carry_name)?[0];
+                let mut frag = self.fragment();
+                if subtract {
+                    arithmetic::sub_in_place(&mut frag, &tmp, &target.qubits, carry)?;
+                } else {
+                    arithmetic::add_in_place(&mut frag, &tmp, &target.qubits, carry)?;
+                }
+                self.handler.apply_fragment(&frag)?;
+                self.uncompute_cx_copy(&q.qubits, &tmp)?;
+                // The addend copy and the carry are clean again: pool them.
+                self.handler.release_ancillas(&tmp);
+                self.handler.release_ancillas(&[carry]);
+            }
+            other => {
+                return Err(QutesError::runtime(
+                    format!(
+                        "cannot {} a {} value {} a quint",
+                        if subtract { "subtract" } else { "add" },
+                        other.type_name(),
+                        if subtract { "from" } else { "to" },
+                    ),
+                    span,
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    /// `a + b` / `a - b` producing a fresh quint register.
+    fn quint_add_sub_expr(
+        &mut self,
+        a: &QuantumRef,
+        rhs: Value,
+        subtract: bool,
+        span: Span,
+    ) -> QutesResult<Value> {
+        // Result width: enough for the sum (one extra bit over the wider
+        // operand when adding).
+        let rhs_width = match &rhs {
+            Value::Int(k) if *k >= 0 => bits_for(*k as u64),
+            Value::Bool(_) => 1,
+            Value::Quantum(q) if q.kind == QKind::Quint => q.width(),
+            other => {
+                return Err(QutesError::runtime(
+                    format!("cannot combine quint with {}", other.type_name()),
+                    span,
+                ))
+            }
+        };
+        let w = a.width().max(rhs_width) + usize::from(!subtract);
+        let name = self.fresh_name("sum");
+        let result = QuantumRef {
+            qubits: self.cx_copy(&a.qubits, w, &name)?,
+            kind: QKind::Quint,
+        };
+        self.quint_add_sub_in_place(&result, rhs, subtract, span)?;
+        Ok(Value::Quantum(result))
+    }
+
+    /// `a * b` producing a fresh quint product register (shift-and-add
+    /// multiplier, paper §6 extension). Operands are preserved.
+    fn quint_mul_expr(&mut self, a: &QuantumRef, rhs: Value, span: Span) -> QutesResult<Value> {
+        let mut constant_factor: Option<(u64, Vec<usize>)> = None;
+        let b: QuantumRef = match rhs {
+            Value::Quantum(q) if q.kind == QKind::Quint => q,
+            Value::Int(k) if k >= 0 => {
+                // Encode the constant factor into a fresh register (left
+                // in the basis state |k>, disentangled — uncomputed and
+                // recycled after the product is formed).
+                let name = self.fresh_name("factor");
+                let r = Cast::new_quint(&mut self.handler, &name, k as u64, None)?;
+                constant_factor = Some((k as u64, r.qubits.clone()));
+                r
+            }
+            Value::Bool(bit) => {
+                let name = self.fresh_name("factor");
+                let r = Cast::new_quint(&mut self.handler, &name, bit as u64, None)?;
+                constant_factor = Some((bit as u64, r.qubits.clone()));
+                r
+            }
+            other => {
+                return Err(QutesError::runtime(
+                    format!("cannot multiply a quint by {}", other.type_name()),
+                    span,
+                ))
+            }
+        };
+        let pw = a.width() + b.width();
+        let prod_name = self.fresh_name("product");
+        self.handler.check_capacity(pw + 1, &prod_name)?;
+        let product = self.handler.allocate(&prod_name, pw)?;
+        let carry_name = self.fresh_name("carry");
+        let carry = self.handler.acquire_ancillas(1, &carry_name)?[0];
+        let mut frag = self.fragment();
+        arithmetic::mul_into(&mut frag, &a.qubits, &b.qubits, &product, carry)?;
+        self.handler.apply_fragment(&frag)?;
+        self.handler.release_ancillas(&[carry]);
+        if let Some((k, factor)) = constant_factor {
+            // The constant factor register still holds |k>: uncompute it
+            // with classically-known X gates and recycle the qubits.
+            for (i, &fq) in factor.iter().enumerate() {
+                if k >> i & 1 == 1 {
+                    self.handler.apply(Gate::X(fq))?;
+                }
+            }
+            self.handler.release_ancillas(&factor);
+        }
+        Ok(Value::Quantum(QuantumRef {
+            qubits: product,
+            kind: QKind::Quint,
+        }))
+    }
+
+    fn rotate_in_place(&mut self, q: &QuantumRef, k: usize, left: bool) -> QutesResult<()> {
+        let mut frag = self.fragment();
+        if left {
+            rotation::rotate_left_constant_depth(&mut frag, &q.qubits, k)?;
+        } else {
+            rotation::rotate_right_constant_depth(&mut frag, &q.qubits, k)?;
+        }
+        self.handler.apply_fragment(&frag)?;
+        Ok(())
+    }
+
+    /// An empty fragment sized to the handler's current width.
+    fn fragment(&self) -> QuantumCircuit {
+        QuantumCircuit::with_qubits(self.handler.num_qubits())
+    }
+
+    // ---- the `in` operator: Grover substring search ------------------------
+
+    /// `pattern in haystack` where the haystack is a qustring: amplitude
+    /// amplification over a **position register**, using the
+    /// Boyer–Brassard–Høyer–Tapp schedule because the number of
+    /// occurrences (the marked-set size) is unknown to the runtime.
+    fn quantum_substring_search(
+        &mut self,
+        pattern: &[bool],
+        hay: &QuantumRef,
+        span: Span,
+    ) -> QutesResult<bool> {
+        let n = hay.width();
+        let m = pattern.len();
+        if m == 0 {
+            return Ok(true);
+        }
+        if m > n {
+            return Ok(false);
+        }
+        let positions = n - m + 1;
+        let pw = usize::max(1, (usize::BITS - (positions - 1).leading_zeros()) as usize);
+        let pos_name = self.fresh_name("grover_pos");
+        let pos = self.handler.acquire_ancillas(pw, &pos_name)?;
+
+        // A = uniform superposition over the valid positions 0..positions.
+        let values: Vec<u64> = (0..positions as u64).collect();
+        let mut prep = self.fragment();
+        state_prep::prepare_uniform_over(&mut prep, &pos, &values)?;
+        let prep_inv = prep.inverse()?;
+
+        // Oracle: phase-flip |pos = i> ⊗ |text matching at i>.
+        let mut oracle = self.fragment();
+        for i in 0..positions {
+            let mut conjugated: Vec<usize> = Vec::new();
+            for (bit, &pq) in pos.iter().enumerate() {
+                if i >> bit & 1 == 0 {
+                    oracle.x(pq)?;
+                    conjugated.push(pq);
+                }
+            }
+            for (j, &pbit) in pattern.iter().enumerate() {
+                if !pbit {
+                    oracle.x(hay.qubits[i + j])?;
+                    conjugated.push(hay.qubits[i + j]);
+                }
+            }
+            let mut involved: Vec<usize> = pos.clone();
+            involved.extend((0..m).map(|j| hay.qubits[i + j]));
+            let (&last, rest) = involved.split_last().expect("non-empty");
+            oracle.mcz(rest, last)?;
+            for &q in conjugated.iter().rev() {
+                oracle.x(q)?;
+            }
+        }
+
+        // Generalised diffusion about A|0>: A (2|0><0| - I) A^dagger.
+        let mut diffusion = self.fragment();
+        diffusion.extend(&prep_inv)?;
+        for &pq in &pos {
+            diffusion.x(pq)?;
+        }
+        let (&last, rest) = pos.split_last().expect("non-empty position register");
+        diffusion.mcz(rest, last)?;
+        for &pq in &pos {
+            diffusion.x(pq)?;
+        }
+        diffusion.extend(&prep)?;
+
+        // BBHT loop: pick a random iteration count below a growing bound,
+        // amplify, measure a candidate position, and verify it against
+        // the text window. Absent patterns exhaust the round budget and
+        // return false; present patterns succeed with overwhelming
+        // probability within O(sqrt(positions)) expected oracle calls.
+        use rand::Rng as _;
+        let sqrt_n = (positions as f64).sqrt();
+        let max_rounds = 12 + 3 * sqrt_n.ceil() as usize;
+        let mut bound = 1.0f64;
+        for _ in 0..max_rounds {
+            let k = self.handler.rng().random_range(0..bound.ceil() as usize + 1);
+            self.handler.apply_fragment(&prep)?;
+            for _ in 0..k {
+                self.handler.apply_fragment(&oracle)?;
+                self.handler.apply_fragment(&diffusion)?;
+            }
+            let candidate = self.handler.measure(&pos)? as usize;
+            // Reset the (collapsed) position register to |0> so the next
+            // round can re-prepare it.
+            for (bit, &pq) in pos.iter().enumerate() {
+                if candidate >> bit & 1 == 1 {
+                    self.handler.apply(Gate::X(pq))?;
+                }
+            }
+            if candidate < positions {
+                let window: Vec<usize> = (0..m).map(|j| hay.qubits[candidate + j]).collect();
+                let observed = self.handler.measure(&window)?;
+                let matches = pattern
+                    .iter()
+                    .enumerate()
+                    .all(|(j, &p)| (observed >> j & 1 == 1) == p);
+                if matches {
+                    self.handler.release_ancillas(&pos);
+                    return Ok(true);
+                }
+            }
+            bound = (bound * 1.3).min(sqrt_n.max(1.0));
+        }
+        self.handler.release_ancillas(&pos);
+        let _ = span;
+        Ok(false)
+    }
+
+    // ---- expressions -------------------------------------------------------
+
+    fn eval(&mut self, e: &Expr) -> QutesResult<Value> {
+        self.eval_with_target(e, None)
+    }
+
+    fn eval_condition(&mut self, e: &Expr) -> QutesResult<bool> {
+        let v = self.eval(e)?;
+        let v = match v {
+            Value::Quantum(q) => Cast::measure_to_classical(&mut self.handler, &q)?,
+            other => other,
+        };
+        v.as_bool()
+            .ok_or_else(|| QutesError::runtime("condition is not boolean", e.span))
+    }
+
+    fn eval_with_target(&mut self, e: &Expr, target: Option<&Type>) -> QutesResult<Value> {
+        match &e.kind {
+            ExprKind::Int(v) => Ok(Value::Int(*v)),
+            ExprKind::Float(v) => Ok(Value::Float(*v)),
+            ExprKind::Bool(b) => Ok(Value::Bool(*b)),
+            ExprKind::Str(s) => Ok(Value::Str(s.clone())),
+            ExprKind::Pi => Ok(Value::Float(std::f64::consts::PI)),
+            ExprKind::Quint(v) => {
+                let name = self.fresh_name("quint_lit");
+                if matches!(target, Some(Type::Qubit)) && *v <= 1 {
+                    Ok(Value::Quantum(Cast::new_qubit_basis(
+                        &mut self.handler,
+                        &name,
+                        *v == 1,
+                    )?))
+                } else {
+                    Ok(Value::Quantum(Cast::new_quint(
+                        &mut self.handler,
+                        &name,
+                        *v,
+                        None,
+                    )?))
+                }
+            }
+            ExprKind::Qustring(s) => {
+                let name = self.fresh_name("qustring_lit");
+                Ok(Value::Quantum(Cast::new_qustring(
+                    &mut self.handler,
+                    &name,
+                    s,
+                    e.span,
+                )?))
+            }
+            ExprKind::Ket(k) => {
+                let name = self.fresh_name("ket");
+                Ok(Value::Quantum(Cast::new_qubit_ket(
+                    &mut self.handler,
+                    &name,
+                    *k,
+                )?))
+            }
+            ExprKind::Array(elems) => {
+                let elem_target = match target {
+                    Some(Type::Array(t)) => Some((**t).clone()),
+                    _ => None,
+                };
+                let mut items = Vec::with_capacity(elems.len());
+                for el in elems {
+                    let v = self.eval_with_target(el, elem_target.as_ref())?;
+                    let v = match (&elem_target, v) {
+                        (Some(t), v) => {
+                            let name = self.fresh_name("elem");
+                            self.coerce(v, t, &name, el.span)?
+                        }
+                        (None, v) => v,
+                    };
+                    items.push(cell(v));
+                }
+                Ok(Value::Array(Rc::new(RefCell::new(items))))
+            }
+            ExprKind::QuantumArray(elems) => {
+                let vals: Vec<Value> = elems
+                    .iter()
+                    .map(|el| self.eval(el))
+                    .collect::<QutesResult<_>>()?;
+                let any_float = vals.iter().any(|v| matches!(v, Value::Float(_)));
+                if any_float || matches!(target, Some(Type::Qubit)) {
+                    if vals.len() != 2 {
+                        return Err(QutesError::runtime(
+                            "a qubit amplitude literal needs exactly two entries [a, b]",
+                            e.span,
+                        ));
+                    }
+                    let a = vals[0].as_f64().ok_or_else(|| {
+                        QutesError::runtime("amplitudes must be numeric", e.span)
+                    })?;
+                    let b = vals[1].as_f64().ok_or_else(|| {
+                        QutesError::runtime("amplitudes must be numeric", e.span)
+                    })?;
+                    let name = self.fresh_name("qubit_amp");
+                    Ok(Value::Quantum(Cast::new_qubit_amplitudes(
+                        &mut self.handler,
+                        &name,
+                        a,
+                        b,
+                        e.span,
+                    )?))
+                } else {
+                    let values: Vec<u64> = vals
+                        .iter()
+                        .map(|v| {
+                            v.as_i64().filter(|&i| i >= 0).map(|i| i as u64).ok_or_else(|| {
+                                QutesError::runtime(
+                                    "superposition values must be non-negative integers",
+                                    e.span,
+                                )
+                            })
+                        })
+                        .collect::<QutesResult<_>>()?;
+                    let name = self.fresh_name("superpos");
+                    Ok(Value::Quantum(Cast::new_quint_superposed(
+                        &mut self.handler,
+                        &name,
+                        &values,
+                        e.span,
+                    )?))
+                }
+            }
+            ExprKind::Var(name) => match self.symbols.lookup(name) {
+                Some(sym) => Ok(sym.value.borrow().clone()),
+                None => Err(QutesError::runtime(
+                    format!("use of undeclared variable '{name}'"),
+                    e.span,
+                )),
+            },
+            ExprKind::Index(base, idx) => {
+                let b = self.eval(base)?;
+                let i = self.eval_index(idx)?;
+                match b {
+                    Value::Array(items) => {
+                        let items = items.borrow();
+                        items
+                            .get(i)
+                            .map(|c| c.borrow().clone())
+                            .ok_or_else(|| {
+                                QutesError::runtime(
+                                    format!(
+                                        "index {i} out of bounds for array of length {}",
+                                        items.len()
+                                    ),
+                                    e.span,
+                                )
+                            })
+                    }
+                    Value::Quantum(q) => {
+                        if i >= q.width() {
+                            return Err(QutesError::runtime(
+                                format!(
+                                    "index {i} out of bounds for {}-qubit register",
+                                    q.width()
+                                ),
+                                e.span,
+                            ));
+                        }
+                        Ok(Value::Quantum(QuantumRef {
+                            qubits: vec![q.qubits[i]],
+                            kind: QKind::Qubit,
+                        }))
+                    }
+                    Value::Str(s) => s
+                        .chars()
+                        .nth(i)
+                        .map(|c| Value::Str(c.to_string()))
+                        .ok_or_else(|| {
+                            QutesError::runtime(
+                                format!("index {i} out of bounds for string of length {}", s.len()),
+                                e.span,
+                            )
+                        }),
+                    other => Err(QutesError::runtime(
+                        format!("cannot index into {}", other.type_name()),
+                        e.span,
+                    )),
+                }
+            }
+            ExprKind::Unary(op, inner) => {
+                let v = self.eval(inner)?;
+                let v = match v {
+                    Value::Quantum(q) => Cast::measure_to_classical(&mut self.handler, &q)?,
+                    other => other,
+                };
+                match op {
+                    UnOp::Neg => match v {
+                        Value::Int(i) => Ok(Value::Int(-i)),
+                        Value::Float(f) => Ok(Value::Float(-f)),
+                        other => Err(QutesError::runtime(
+                            format!("cannot negate {}", other.type_name()),
+                            inner.span,
+                        )),
+                    },
+                    UnOp::Not => v
+                        .as_bool()
+                        .map(|b| Value::Bool(!b))
+                        .ok_or_else(|| QutesError::runtime("'!' needs a boolean", inner.span)),
+                }
+            }
+            ExprKind::Binary(op, l, r) => self.eval_binary(*op, l, r, e.span),
+            ExprKind::Call(name, args) => self.eval_call(name, args, e.span),
+            ExprKind::MeasureExpr(inner) => {
+                let v = self.eval(inner)?;
+                match v {
+                    Value::Quantum(q) => Cast::measure_to_classical(&mut self.handler, &q),
+                    other => Err(QutesError::runtime(
+                        format!("measure expects a quantum value, found {}", other.type_name()),
+                        inner.span,
+                    )),
+                }
+            }
+        }
+    }
+
+    fn eval_binary(&mut self, op: BinOp, l: &Expr, r: &Expr, span: Span) -> QutesResult<Value> {
+        use BinOp::*;
+        // Short-circuit logicals first.
+        if matches!(op, And | Or) {
+            let lv = self.eval_condition(l)?;
+            return Ok(Value::Bool(match op {
+                And => lv && self.eval_condition(r)?,
+                Or => lv || self.eval_condition(r)?,
+                _ => unreachable!(),
+            }));
+        }
+
+        let lv = self.eval(l)?;
+
+        // `in`: Grover substring search when the haystack is quantum.
+        if op == In {
+            let rv = self.eval(r)?;
+            return self.eval_in(lv, rv, span);
+        }
+
+        // Quantum arithmetic producing fresh registers.
+        if let Value::Quantum(q) = &lv {
+            if q.kind == QKind::Quint && matches!(op, Add | Sub) {
+                let rv = self.eval(r)?;
+                return self.quint_add_sub_expr(q, rv, op == Sub, span);
+            }
+            if q.kind == QKind::Quint && op == Mul {
+                let rv = self.eval(r)?;
+                let q = q.clone();
+                return self.quint_mul_expr(&q, rv, span);
+            }
+            if matches!(op, Shl | Shr) {
+                let rv = self.eval(r)?;
+                let k = rv.as_i64().filter(|&k| k >= 0).ok_or_else(|| {
+                    QutesError::runtime("shift amount must be a non-negative integer", r.span)
+                })? as usize;
+                let name = self.fresh_name("shifted");
+                let copy = QuantumRef {
+                    qubits: self.cx_copy(&q.qubits, q.width(), &name)?,
+                    kind: q.kind,
+                };
+                self.rotate_in_place(&copy, k, op == Shl)?;
+                return Ok(Value::Quantum(copy));
+            }
+        }
+        // int + quint / int * quint (commute to the quint-first forms).
+        if let (Add | Mul, Value::Int(_) | Value::Bool(_)) = (op, &lv) {
+            let rv = self.eval(r)?;
+            if let Value::Quantum(q) = &rv {
+                if q.kind == QKind::Quint {
+                    return if op == Add {
+                        self.quint_add_sub_expr(q, lv, false, span)
+                    } else {
+                        let q = q.clone();
+                        self.quint_mul_expr(&q, lv, span)
+                    };
+                }
+            }
+            return self.classical_binary(op, lv, rv, span);
+        }
+
+        let rv = self.eval(r)?;
+        self.classical_binary(op, lv, rv, span)
+    }
+
+    /// Classical binary semantics; quantum operands are auto-measured.
+    fn classical_binary(
+        &mut self,
+        op: BinOp,
+        lv: Value,
+        rv: Value,
+        span: Span,
+    ) -> QutesResult<Value> {
+        use BinOp::*;
+        let lv = match lv {
+            Value::Quantum(q) => Cast::measure_to_classical(&mut self.handler, &q)?,
+            v => v,
+        };
+        let rv = match rv {
+            Value::Quantum(q) => Cast::measure_to_classical(&mut self.handler, &q)?,
+            v => v,
+        };
+        let type_err = |lv: &Value, rv: &Value| {
+            Err(QutesError::runtime(
+                format!(
+                    "operator '{op}' is not defined for {} and {}",
+                    lv.type_name(),
+                    rv.type_name()
+                ),
+                span,
+            ))
+        };
+        match op {
+            Add => match (&lv, &rv) {
+                (Value::Str(a), Value::Str(b)) => Ok(Value::Str(format!("{a}{b}"))),
+                (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_add(*b))),
+                _ => match (lv.as_f64(), rv.as_f64()) {
+                    (Some(a), Some(b)) => Ok(Value::Float(a + b)),
+                    _ => type_err(&lv, &rv),
+                },
+            },
+            Sub => match (&lv, &rv) {
+                (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_sub(*b))),
+                _ => match (lv.as_f64(), rv.as_f64()) {
+                    (Some(a), Some(b)) => Ok(Value::Float(a - b)),
+                    _ => type_err(&lv, &rv),
+                },
+            },
+            Mul => match (&lv, &rv) {
+                (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_mul(*b))),
+                _ => match (lv.as_f64(), rv.as_f64()) {
+                    (Some(a), Some(b)) => Ok(Value::Float(a * b)),
+                    _ => type_err(&lv, &rv),
+                },
+            },
+            Div => match (&lv, &rv) {
+                (Value::Int(a), Value::Int(b)) => {
+                    if *b == 0 {
+                        Err(QutesError::runtime("division by zero", span))
+                    } else if a % b == 0 {
+                        Ok(Value::Int(a / b))
+                    } else {
+                        Ok(Value::Float(*a as f64 / *b as f64))
+                    }
+                }
+                _ => match (lv.as_f64(), rv.as_f64()) {
+                    (Some(_), Some(0.0)) => {
+                        Err(QutesError::runtime("division by zero", span))
+                    }
+                    (Some(a), Some(b)) => Ok(Value::Float(a / b)),
+                    _ => type_err(&lv, &rv),
+                },
+            },
+            Mod => match (&lv, &rv) {
+                (Value::Int(a), Value::Int(b)) => {
+                    if *b == 0 {
+                        Err(QutesError::runtime("modulo by zero", span))
+                    } else {
+                        Ok(Value::Int(a.rem_euclid(*b)))
+                    }
+                }
+                _ => type_err(&lv, &rv),
+            },
+            Shl | Shr => match (&lv, rv.as_i64()) {
+                (Value::Int(a), Some(k)) if k >= 0 => Ok(Value::Int(if op == Shl {
+                    a.wrapping_shl(k as u32)
+                } else {
+                    a.wrapping_shr(k as u32)
+                })),
+                _ => type_err(&lv, &rv),
+            },
+            Eq | Ne => {
+                let eq = match (&lv, &rv) {
+                    (Value::Str(a), Value::Str(b)) => a == b,
+                    (Value::Bool(a), Value::Bool(b)) => a == b,
+                    _ => match (lv.as_f64(), rv.as_f64()) {
+                        (Some(a), Some(b)) => a == b,
+                        _ => return type_err(&lv, &rv),
+                    },
+                };
+                Ok(Value::Bool(if op == Eq { eq } else { !eq }))
+            }
+            Lt | Le | Gt | Ge => {
+                let ord = match (&lv, &rv) {
+                    (Value::Str(a), Value::Str(b)) => a.partial_cmp(b),
+                    _ => match (lv.as_f64(), rv.as_f64()) {
+                        (Some(a), Some(b)) => a.partial_cmp(&b),
+                        _ => return type_err(&lv, &rv),
+                    },
+                };
+                let Some(ord) = ord else {
+                    return type_err(&lv, &rv);
+                };
+                Ok(Value::Bool(match op {
+                    Lt => ord.is_lt(),
+                    Le => ord.is_le(),
+                    Gt => ord.is_gt(),
+                    Ge => ord.is_ge(),
+                    _ => unreachable!(),
+                }))
+            }
+            In => match (&lv, &rv) {
+                (Value::Str(p), Value::Str(h)) => Ok(Value::Bool(h.contains(p.as_str()))),
+                _ => type_err(&lv, &rv),
+            },
+            And | Or => unreachable!("handled with short-circuit"),
+        }
+    }
+
+    /// `pattern in haystack` dispatch.
+    fn eval_in(&mut self, pattern: Value, haystack: Value, span: Span) -> QutesResult<Value> {
+        // The pattern must be classical bits; measure it if quantum.
+        let pattern = match pattern {
+            Value::Quantum(q) => Cast::measure_to_classical(&mut self.handler, &q)?,
+            v => v,
+        };
+        match haystack {
+            Value::Quantum(hay) if hay.kind == QKind::Qustring => {
+                let Value::Str(p) = &pattern else {
+                    return Err(QutesError::runtime(
+                        format!(
+                            "'in' needs a string pattern, found {}",
+                            pattern.type_name()
+                        ),
+                        span,
+                    ));
+                };
+                if !p.chars().all(|c| c == '0' || c == '1') {
+                    return Err(QutesError::runtime(
+                        "quantum substring search patterns must be bitstrings",
+                        span,
+                    ));
+                }
+                let bits = substring_oracle::bits_from_str(p);
+                let found = self.quantum_substring_search(&bits, &hay, span)?;
+                Ok(Value::Bool(found))
+            }
+            v => self.classical_binary(BinOp::In, pattern, v, span),
+        }
+    }
+
+    // ---- calls -------------------------------------------------------------
+
+    fn eval_call(&mut self, name: &str, args: &[Expr], span: Span) -> QutesResult<Value> {
+        if let Some(v) = self.eval_builtin(name, args, span)? {
+            return Ok(v);
+        }
+        let Some(decl) = self.functions.get(name).cloned() else {
+            return Err(QutesError::runtime(
+                format!("call to unknown function '{name}'"),
+                span,
+            ));
+        };
+        if args.len() != decl.params.len() {
+            return Err(QutesError::runtime(
+                format!(
+                    "'{name}' expects {} argument(s), found {}",
+                    decl.params.len(),
+                    args.len()
+                ),
+                span,
+            ));
+        }
+        // Bind arguments. Plain-variable arguments of matching type are
+        // passed **by reference** (shared cell, paper §4); everything else
+        // is evaluated and coerced into a fresh cell.
+        let mut bindings: Vec<(String, Type, Cell)> = Vec::with_capacity(args.len());
+        for (a, p) in args.iter().zip(&decl.params) {
+            let bound = if let ExprKind::Var(var_name) = &a.kind {
+                match self.symbols.lookup(var_name) {
+                    Some(sym) if sym.ty == p.ty => Some(self.symbols.cell(var_name).unwrap()),
+                    _ => None,
+                }
+            } else {
+                None
+            };
+            let c = match bound {
+                Some(c) => c,
+                None => {
+                    let v = self.eval_with_target(a, Some(&p.ty))?;
+                    let v = self.coerce(v, &p.ty, &p.name, a.span)?;
+                    cell(v)
+                }
+            };
+            bindings.push((p.name.clone(), p.ty.clone(), c));
+        }
+        // Execute the body with caller locals hidden: only globals and the
+        // parameters are visible inside a function.
+        self.call_depth += 1;
+        if self.call_depth > self.max_call_depth {
+            self.call_depth -= 1;
+            return Err(QutesError::runtime(
+                format!(
+                    "recursion exceeded {} nested calls (raise max_call_depth to allow more)",
+                    self.max_call_depth
+                ),
+                span,
+            ));
+        }
+        let saved = self.symbols.enter_function();
+        self.symbols.push_scope();
+        for (pname, pty, c) in bindings {
+            self.symbols.bind(&pname, pty, c, decl.span);
+        }
+        let flow = self.exec_stmts(&decl.body.stmts);
+        self.symbols.pop_scope();
+        self.symbols.exit_function(saved);
+        self.call_depth -= 1;
+        match flow? {
+            Flow::Return(v) => Ok(v),
+            Flow::Normal => {
+                if decl.ret_type == Type::Void {
+                    Ok(Value::Void)
+                } else {
+                    Err(QutesError::runtime(
+                        format!(
+                            "function '{name}' finished without returning a {} value",
+                            decl.ret_type
+                        ),
+                        span,
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Built-in functions. Returns `Ok(None)` when `name` is not builtin.
+    fn eval_builtin(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        span: Span,
+    ) -> QutesResult<Option<Value>> {
+        let arity = |n: usize| -> QutesResult<()> {
+            if args.len() != n {
+                Err(QutesError::runtime(
+                    format!("builtin '{name}' expects {n} argument(s), found {}", args.len()),
+                    span,
+                ))
+            } else {
+                Ok(())
+            }
+        };
+        let v = match name {
+            "len" => {
+                arity(1)?;
+                let v = self.eval(&args[0])?;
+                match v {
+                    Value::Array(items) => Value::Int(items.borrow().len() as i64),
+                    Value::Str(s) => Value::Int(s.chars().count() as i64),
+                    Value::Quantum(q) => Value::Int(q.width() as i64),
+                    other => {
+                        return Err(QutesError::runtime(
+                            format!("len() is not defined for {}", other.type_name()),
+                            span,
+                        ))
+                    }
+                }
+            }
+            "width" => {
+                arity(1)?;
+                match self.eval(&args[0])? {
+                    Value::Quantum(q) => Value::Int(q.width() as i64),
+                    other => {
+                        return Err(QutesError::runtime(
+                            format!("width() needs a quantum value, found {}", other.type_name()),
+                            span,
+                        ))
+                    }
+                }
+            }
+            "range" => {
+                arity(1)?;
+                let n = self
+                    .eval(&args[0])?
+                    .as_i64()
+                    .filter(|&n| n >= 0)
+                    .ok_or_else(|| {
+                        QutesError::runtime("range() needs a non-negative integer", span)
+                    })?;
+                Value::Array(Rc::new(RefCell::new(
+                    (0..n).map(|i| cell(Value::Int(i))).collect(),
+                )))
+            }
+            "int" => {
+                arity(1)?;
+                let v = self.eval(&args[0])?;
+                let v = match v {
+                    Value::Quantum(q) => Cast::measure_to_classical(&mut self.handler, &q)?,
+                    v => v,
+                };
+                match v {
+                    Value::Int(i) => Value::Int(i),
+                    Value::Float(f) => Value::Int(f.trunc() as i64),
+                    Value::Bool(b) => Value::Int(b as i64),
+                    Value::Str(s) => Value::Int(s.trim().parse::<i64>().map_err(|_| {
+                        QutesError::runtime(format!("cannot parse '{s}' as int"), span)
+                    })?),
+                    other => {
+                        return Err(QutesError::runtime(
+                            format!("int() is not defined for {}", other.type_name()),
+                            span,
+                        ))
+                    }
+                }
+            }
+            "float" => {
+                arity(1)?;
+                let v = self.eval(&args[0])?;
+                let v = match v {
+                    Value::Quantum(q) => Cast::measure_to_classical(&mut self.handler, &q)?,
+                    v => v,
+                };
+                match v.as_f64() {
+                    Some(f) => Value::Float(f),
+                    None => {
+                        if let Value::Str(s) = &v {
+                            Value::Float(s.trim().parse::<f64>().map_err(|_| {
+                                QutesError::runtime(format!("cannot parse '{s}' as float"), span)
+                            })?)
+                        } else {
+                            return Err(QutesError::runtime(
+                                format!("float() is not defined for {}", v.type_name()),
+                                span,
+                            ));
+                        }
+                    }
+                }
+            }
+            "bool" => {
+                arity(1)?;
+                let v = self.eval(&args[0])?;
+                let v = match v {
+                    Value::Quantum(q) => Cast::measure_to_classical(&mut self.handler, &q)?,
+                    v => v,
+                };
+                Value::Bool(v.as_bool().ok_or_else(|| {
+                    QutesError::runtime(
+                        format!("bool() is not defined for {}", v.type_name()),
+                        span,
+                    )
+                })?)
+            }
+            "str" => {
+                arity(1)?;
+                let v = self.eval(&args[0])?;
+                let v = match v {
+                    Value::Quantum(q) => Cast::measure_to_classical(&mut self.handler, &q)?,
+                    v => v,
+                };
+                Value::Str(v.to_string())
+            }
+            "qmin" | "qmax" => {
+                // Dürr–Høyer quantum extremum over a classical database
+                // (paper §6). Runs Grover rounds on an auxiliary index
+                // register; inputs and output are classical.
+                arity(1)?;
+                let v = self.eval(&args[0])?;
+                let Value::Array(items) = v else {
+                    return Err(QutesError::runtime(
+                        format!("{name}() needs an int array, found {}", v.type_name()),
+                        span,
+                    ));
+                };
+                let mut values = Vec::new();
+                for item in items.borrow().iter() {
+                    let iv = item.borrow().clone();
+                    let iv = match iv {
+                        Value::Quantum(q) => Cast::measure_to_classical(&mut self.handler, &q)?,
+                        other => other,
+                    };
+                    let Some(x) = iv.as_i64().filter(|&x| x >= 0) else {
+                        return Err(QutesError::runtime(
+                            format!("{name}() needs non-negative integers"),
+                            span,
+                        ));
+                    };
+                    values.push(x as u64);
+                }
+                if values.is_empty() {
+                    return Err(QutesError::runtime(
+                        format!("{name}() of an empty array"),
+                        span,
+                    ));
+                }
+                let res = if name == "qmin" {
+                    qutes_algos::minmax::quantum_minimum(&values, self.handler.rng())
+                } else {
+                    qutes_algos::minmax::quantum_maximum(&values, self.handler.rng())
+                }
+                .map_err(QutesError::Circuit)?;
+                Value::Int(res.value as i64)
+            }
+            "rotl" | "rotr" => {
+                arity(2)?;
+                let q = self.eval_quantum_operand(&args[0], name)?;
+                let k = self
+                    .eval(&args[1])?
+                    .as_i64()
+                    .filter(|&k| k >= 0)
+                    .ok_or_else(|| {
+                        QutesError::runtime("rotation amount must be a non-negative integer", span)
+                    })?;
+                self.rotate_in_place(&q, k as usize, name == "rotl")?;
+                Value::Void
+            }
+            _ => return Ok(None),
+        };
+        Ok(Some(v))
+    }
+}
+
+/// Best-effort runtime type of a value (for foreach bindings).
+fn runtime_type(v: &Value) -> Type {
+    match v {
+        Value::Bool(_) => Type::Bool,
+        Value::Int(_) => Type::Int,
+        Value::Float(_) => Type::Float,
+        Value::Str(_) => Type::String,
+        Value::Quantum(q) => q.kind.as_type(),
+        Value::Array(_) => Type::Array(Box::new(Type::Int)),
+        Value::Void => Type::Void,
+    }
+}

@@ -1,0 +1,167 @@
+//! Failure-injection suite: every class of user error must surface as a
+//! positioned diagnostic (compile-time) or a descriptive runtime error —
+//! never a panic or silent misbehaviour.
+
+use qutes_core::{run_source, QutesError, RunConfig};
+
+fn err(src: &str) -> QutesError {
+    run_source(src, &RunConfig::default()).expect_err("program should fail")
+}
+
+fn err_no_typecheck(src: &str) -> QutesError {
+    run_source(
+        src,
+        &RunConfig {
+            skip_typecheck: true,
+            ..RunConfig::default()
+        },
+    )
+    .expect_err("program should fail")
+}
+
+fn compile_messages(src: &str) -> Vec<String> {
+    match err(src) {
+        QutesError::Compile(ds) => ds.into_iter().map(|d| d.message).collect(),
+        other => panic!("expected compile error, got {other}"),
+    }
+}
+
+// ---- lexical -------------------------------------------------------------
+
+#[test]
+fn lexical_errors() {
+    assert!(compile_messages("int x = @;")[0].contains("unexpected character"));
+    assert!(compile_messages("string s = \"open;")[0].contains("unterminated"));
+    assert!(compile_messages("qustring s = \"012\"q;")[0].contains("bitstrings"));
+    assert!(compile_messages("/* forever")[0].contains("block comment"));
+}
+
+// ---- syntactic -------------------------------------------------------------
+
+#[test]
+fn syntactic_errors() {
+    assert!(compile_messages("int x = ;")[0].contains("expected an expression"));
+    assert!(compile_messages("if true { }")[0].contains("'('"));
+    assert!(compile_messages("int f(int) { }")[0].contains("parameter name"));
+    assert!(compile_messages("cnot a;")[0].contains("2 arguments"));
+}
+
+#[test]
+fn multiple_errors_reported_together() {
+    let msgs = compile_messages("int x = ;\nint y = ;\nint z = ;");
+    assert!(msgs.len() >= 3, "{msgs:?}");
+}
+
+// ---- semantic (type checker) ------------------------------------------------
+
+#[test]
+fn type_errors() {
+    assert!(compile_messages("quint q = 1q; quint r = q * q; string s = r;")
+        .iter()
+        .any(|m| m.contains("cannot initialise")));
+    assert!(compile_messages("int x = 1; int x = 2;")[0].contains("already declared"));
+    assert!(compile_messages("hadamard 42;")[0].contains("quantum operand"));
+    assert!(compile_messages("foreach v in 3 { }")[0].contains("array"));
+    assert!(compile_messages("int f() { return 1; } print f(1);")[0].contains("expects 0"));
+    assert!(compile_messages("return 5;")[0].contains("outside"));
+}
+
+#[test]
+fn error_positions_render_with_source() {
+    let src = "int x = 1;\nhadamard x;";
+    let e = err(src);
+    let rendered = e.render(src);
+    assert!(rendered.contains("2:"), "line number in: {rendered}");
+    assert!(rendered.contains("hadamard x;"), "source line in: {rendered}");
+    assert!(rendered.contains('^'), "caret in: {rendered}");
+}
+
+// ---- runtime ------------------------------------------------------------------
+
+#[test]
+fn arithmetic_runtime_faults() {
+    assert!(err("print 1 / 0;").to_string().contains("division by zero"));
+    assert!(err("print 7 % 0;").to_string().contains("modulo by zero"));
+    assert!(err("int x = int(\"abc\");").to_string().contains("cannot parse"));
+}
+
+#[test]
+fn bounds_runtime_faults() {
+    assert!(err("int[] a = [1, 2]; print a[2];")
+        .to_string()
+        .contains("out of bounds"));
+    assert!(err("int[] a = [1]; a[9] = 0;").to_string().contains("out of bounds"));
+    assert!(err(r#"qustring s = "01"q; not s[5];"#)
+        .to_string()
+        .contains("out of bounds"));
+    assert!(err("int[] a = [1]; print a[-1 + 0];")
+        .to_string()
+        .contains("non-negative"));
+}
+
+#[test]
+fn quantum_runtime_faults() {
+    // Non-normalised amplitude literal.
+    assert!(err("qubit q = [0.5, 0.5]q;").to_string().contains("normalised"));
+    // Zero-norm literal.
+    assert!(err("qubit q = [0.0, 0.0]q;").to_string().contains("norm"));
+    // Negative superposition values.
+    assert!(err("quint n = [1, -2]q;").to_string().contains("non-negative"));
+    // cnot width mismatch (runtime check; widths are dynamic).
+    assert!(err_no_typecheck(r#"qustring a = "11"q; qustring b = "111"q; cnot a, b;"#)
+        .to_string()
+        .contains("equal width"));
+}
+
+#[test]
+fn capacity_guard_reports_variable() {
+    // One register bigger than the simulator cap.
+    let wide = "1".repeat(qutes_sim::MAX_QUBITS + 1);
+    let e = err(&format!("qustring s = \"{wide}\"q;"));
+    let msg = e.to_string();
+    assert!(msg.contains("at most"), "{msg}");
+}
+
+#[test]
+fn infinite_loop_guard_has_limit_in_message() {
+    let cfg = RunConfig {
+        max_steps: 500,
+        ..RunConfig::default()
+    };
+    let e = run_source("int i = 0; while (i < 10) { i = i * 1; }", &cfg).unwrap_err();
+    assert!(e.to_string().contains("500"));
+}
+
+#[test]
+fn runtime_guards_behind_skipped_typecheck() {
+    // With the static checker bypassed, the runtime still rejects badly
+    // typed operations instead of panicking.
+    assert!(err_no_typecheck("print nope;").to_string().contains("undeclared"));
+    assert!(err_no_typecheck("int x = 1; measure x;")
+        .to_string()
+        .contains("quantum"));
+    assert!(err_no_typecheck("print len(1);").to_string().contains("not defined"));
+    assert!(err_no_typecheck("print width(3);").to_string().contains("quantum"));
+    assert!(err_no_typecheck("print range(-1);").to_string().contains("non-negative"));
+    assert!(err_no_typecheck("int x = 1; x <<= -2;")
+        .to_string()
+        .contains(">= 0"));
+    assert!(err_no_typecheck("print unknown_fn(1);")
+        .to_string()
+        .contains("unknown function"));
+    assert!(err_no_typecheck("qustring s;").to_string().contains("initialiser"));
+}
+
+#[test]
+fn builtin_arity_checked() {
+    assert!(err("print len(1, 2);").to_string().contains("argument"));
+    assert!(err_no_typecheck("quint q = 1q; rotl(q);")
+        .to_string()
+        .contains("2 argument"));
+}
+
+#[test]
+fn function_runtime_faults() {
+    let e = err_no_typecheck("int f(int a) { return a; } print f();");
+    assert!(e.to_string().contains("expects 1"));
+}

@@ -1,0 +1,473 @@
+//! Abstract syntax tree for the Qutes language.
+//!
+//! The shape mirrors the reference implementation's grammar: a program is
+//! a list of function declarations and top-level statements; types span
+//! the classical (`bool int float string`) and quantum (`qubit quint
+//! qustring`) domains plus arrays of either (paper §4).
+
+use crate::span::Span;
+use crate::token::KetState;
+use std::fmt;
+
+/// A Qutes type annotation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Type {
+    /// Classical boolean.
+    Bool,
+    /// Classical integer.
+    Int,
+    /// Classical float.
+    Float,
+    /// Classical string.
+    String,
+    /// Single quantum bit.
+    Qubit,
+    /// Quantum integer register.
+    Quint,
+    /// Quantum bitstring.
+    Qustring,
+    /// Function return type for procedures.
+    Void,
+    /// Array of any element type.
+    Array(Box<Type>),
+}
+
+impl Type {
+    /// True for `qubit`, `quint`, `qustring`, and arrays of them.
+    pub fn is_quantum(&self) -> bool {
+        match self {
+            Type::Qubit | Type::Quint | Type::Qustring => true,
+            Type::Array(t) => t.is_quantum(),
+            _ => false,
+        }
+    }
+
+    /// True for classical scalar/array types.
+    pub fn is_classical(&self) -> bool {
+        !self.is_quantum() && *self != Type::Void
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Bool => write!(f, "bool"),
+            Type::Int => write!(f, "int"),
+            Type::Float => write!(f, "float"),
+            Type::String => write!(f, "string"),
+            Type::Qubit => write!(f, "qubit"),
+            Type::Quint => write!(f, "quint"),
+            Type::Qustring => write!(f, "qustring"),
+            Type::Void => write!(f, "void"),
+            Type::Array(t) => write!(f, "{t}[]"),
+        }
+    }
+}
+
+/// A whole source file.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Program {
+    /// Function declarations and top-level statements, in source order.
+    pub items: Vec<Item>,
+}
+
+/// A top-level item.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Item {
+    /// A function declaration.
+    Function(FunctionDecl),
+    /// A script-style top-level statement.
+    Statement(Stmt),
+}
+
+/// `ret_type name(params) { body }`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FunctionDecl {
+    /// Function name.
+    pub name: String,
+    /// Declared return type.
+    pub ret_type: Type,
+    /// Parameter list.
+    pub params: Vec<Param>,
+    /// Body block.
+    pub body: Block,
+    /// Whole-declaration span.
+    pub span: Span,
+}
+
+/// One function parameter.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+    /// Span of the parameter.
+    pub span: Span,
+}
+
+/// `{ statements }`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Block {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+    /// Span including braces.
+    pub span: Span,
+}
+
+/// Compound-assignment operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AssignOp {
+    /// `=`
+    Set,
+    /// `+=` — in-place quantum addition when the target is quantum.
+    Add,
+    /// `-=`
+    Sub,
+    /// `<<=` — in-place cyclic left shift on quantum registers.
+    Shl,
+    /// `>>=` — in-place cyclic right shift.
+    Shr,
+}
+
+impl fmt::Display for AssignOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AssignOp::Set => "=",
+            AssignOp::Add => "+=",
+            AssignOp::Sub => "-=",
+            AssignOp::Shl => "<<=",
+            AssignOp::Shr => ">>=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Assignment target: a variable or one array element.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LValue {
+    /// Plain variable.
+    Name(String),
+    /// `name[index]`.
+    Index(String, Expr),
+}
+
+/// Built-in quantum gate statements (paper §4: "Hadamard and Pauli gates,
+/// alongside phase gates").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GateKind {
+    /// `hadamard x;`
+    Hadamard,
+    /// `not x;` — Pauli-X on quantum operands.
+    NotGate,
+    /// `pauliy x;`
+    PauliY,
+    /// `pauliz x;`
+    PauliZ,
+    /// `phase(x, theta);`
+    Phase,
+    /// `cnot a, b;`
+    CNot,
+}
+
+impl GateKind {
+    /// Language-level mnemonic.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GateKind::Hadamard => "hadamard",
+            GateKind::NotGate => "not",
+            GateKind::PauliY => "pauliy",
+            GateKind::PauliZ => "pauliz",
+            GateKind::Phase => "phase",
+            GateKind::CNot => "cnot",
+        }
+    }
+}
+
+/// A statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `type name = init;`
+    VarDecl {
+        /// Declared type.
+        ty: Type,
+        /// Variable name.
+        name: String,
+        /// Optional initialiser.
+        init: Option<Expr>,
+        /// Statement span.
+        span: Span,
+    },
+    /// `target op value;`
+    Assign {
+        /// Assignment target.
+        target: LValue,
+        /// Operator (`=`, `+=`, …).
+        op: AssignOp,
+        /// Right-hand side.
+        value: Expr,
+        /// Statement span.
+        span: Span,
+    },
+    /// `if (cond) {..} else {..}`
+    If {
+        /// Condition (auto-measured when quantum).
+        cond: Expr,
+        /// Then branch.
+        then_block: Block,
+        /// Optional else branch.
+        else_block: Option<Block>,
+        /// Statement span.
+        span: Span,
+    },
+    /// `while (cond) {..}`
+    While {
+        /// Condition (auto-measured when quantum).
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+        /// Statement span.
+        span: Span,
+    },
+    /// `foreach x in arr {..}`
+    Foreach {
+        /// Loop variable.
+        var: String,
+        /// Array expression iterated over.
+        iterable: Expr,
+        /// Loop body.
+        body: Block,
+        /// Statement span.
+        span: Span,
+    },
+    /// `return expr?;`
+    Return {
+        /// Returned value, if any.
+        value: Option<Expr>,
+        /// Statement span.
+        span: Span,
+    },
+    /// `print expr;`
+    Print {
+        /// Printed value (auto-measured when quantum).
+        value: Expr,
+        /// Statement span.
+        span: Span,
+    },
+    /// A bare expression (function call) statement.
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// Statement span.
+        span: Span,
+    },
+    /// A built-in gate application.
+    Gate {
+        /// Which gate.
+        gate: GateKind,
+        /// Gate operands (and the angle for `phase`).
+        args: Vec<Expr>,
+        /// Statement span.
+        span: Span,
+    },
+    /// `measure expr;` — explicit measurement.
+    Measure {
+        /// The measured quantum expression.
+        target: Expr,
+        /// Statement span.
+        span: Span,
+    },
+    /// `barrier;`
+    Barrier {
+        /// Statement span.
+        span: Span,
+    },
+    /// A nested block (scoping).
+    Block(Block),
+}
+
+impl Stmt {
+    /// Span of any statement.
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::VarDecl { span, .. }
+            | Stmt::Assign { span, .. }
+            | Stmt::If { span, .. }
+            | Stmt::While { span, .. }
+            | Stmt::Foreach { span, .. }
+            | Stmt::Return { span, .. }
+            | Stmt::Print { span, .. }
+            | Stmt::Expr { span, .. }
+            | Stmt::Gate { span, .. }
+            | Stmt::Measure { span, .. }
+            | Stmt::Barrier { span } => *span,
+            Stmt::Block(b) => b.span,
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+` — classical addition, or quantum superposition addition.
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `==` (auto-measures quantum operands)
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+    /// `<<` — cyclic left shift on quantum registers.
+    Shl,
+    /// `>>` — cyclic right shift.
+    Shr,
+    /// `in` — Grover substring search on qustrings.
+    In,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+            BinOp::In => "in",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-x`
+    Neg,
+    /// `!x`
+    Not,
+}
+
+/// An expression with its span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Expr {
+    /// The expression's structure.
+    pub kind: ExprKind,
+    /// Source location.
+    pub span: Span,
+}
+
+/// The expression grammar.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Boolean literal.
+    Bool(bool),
+    /// String literal.
+    Str(String),
+    /// Quantum integer literal `5q`.
+    Quint(u64),
+    /// Quantum bitstring literal `"0101"q`.
+    Qustring(String),
+    /// Ket literal.
+    Ket(KetState),
+    /// The constant `pi`.
+    Pi,
+    /// Classical array literal `[a, b, c]`.
+    Array(Vec<Expr>),
+    /// Quantum array literal `[a, b, c]q` — a register in equal
+    /// superposition of the listed basis values, or an amplitude pair for
+    /// a single qubit.
+    QuantumArray(Vec<Expr>),
+    /// Variable reference.
+    Var(String),
+    /// `base[index]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Function call.
+    Call(String, Vec<Expr>),
+    /// `measure expr` used as an expression (explicit cast to classical).
+    MeasureExpr(Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor.
+    pub fn new(kind: ExprKind, span: Span) -> Self {
+        Expr { kind, span }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_quantumness() {
+        assert!(Type::Qubit.is_quantum());
+        assert!(Type::Array(Box::new(Type::Quint)).is_quantum());
+        assert!(!Type::Int.is_quantum());
+        assert!(Type::Int.is_classical());
+        assert!(!Type::Void.is_classical());
+        assert!(Type::Array(Box::new(Type::Bool)).is_classical());
+    }
+
+    #[test]
+    fn type_display() {
+        assert_eq!(Type::Quint.to_string(), "quint");
+        assert_eq!(Type::Array(Box::new(Type::Int)).to_string(), "int[]");
+        assert_eq!(
+            Type::Array(Box::new(Type::Array(Box::new(Type::Qubit)))).to_string(),
+            "qubit[][]"
+        );
+    }
+
+    #[test]
+    fn stmt_span_accessor() {
+        let s = Stmt::Barrier {
+            span: Span::new(3, 10),
+        };
+        assert_eq!(s.span(), Span::new(3, 10));
+    }
+
+    #[test]
+    fn operators_display() {
+        assert_eq!(BinOp::In.to_string(), "in");
+        assert_eq!(BinOp::Shl.to_string(), "<<");
+        assert_eq!(AssignOp::Shr.to_string(), ">>=");
+        assert_eq!(GateKind::PauliY.name(), "pauliy");
+    }
+}

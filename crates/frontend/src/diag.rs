@@ -1,0 +1,97 @@
+//! Diagnostics: positioned error messages with source context.
+
+use crate::span::{LineMap, Span};
+use std::fmt;
+
+/// Severity of a diagnostic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// A fatal problem; compilation cannot proceed to execution.
+    Error,
+    /// A suspicious construct that still compiles.
+    Warning,
+}
+
+/// A single positioned message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Diagnostic {
+    /// Error or warning.
+    pub severity: Severity,
+    /// Human-readable message.
+    pub message: String,
+    /// Source span the message refers to.
+    pub span: Span,
+}
+
+impl Diagnostic {
+    /// Creates an error diagnostic.
+    pub fn error(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Creates a warning diagnostic.
+    pub fn warning(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Renders with `line:col` coordinates and a source snippet marker.
+    pub fn render(&self, source: &str) -> String {
+        let map = LineMap::new(source);
+        let (line, col) = map.position(self.span.start);
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        let src_line = source.lines().nth(line - 1).unwrap_or("");
+        let mut out = format!("{sev}: {} at {line}:{col}\n", self.message);
+        out.push_str(&format!("  | {src_line}\n"));
+        let width = self
+            .span
+            .end
+            .saturating_sub(self.span.start)
+            .clamp(1, src_line.len().saturating_sub(col - 1).max(1));
+        out.push_str(&format!("  | {}{}\n", " ".repeat(col - 1), "^".repeat(width)));
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        write!(f, "{sev}: {} ({})", self.message, self.span)
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_points_at_span() {
+        let src = "int x = @;\n";
+        let d = Diagnostic::error("unexpected character '@'", Span::new(8, 9));
+        let r = d.render(src);
+        assert!(r.contains("error: unexpected character '@' at 1:9"));
+        assert!(r.contains("int x = @;"));
+        assert!(r.lines().nth(2).unwrap().contains("        ^"));
+    }
+
+    #[test]
+    fn display_compact() {
+        let d = Diagnostic::warning("shadowed variable", Span::new(0, 3));
+        assert_eq!(d.to_string(), "warning: shadowed variable (0..3)");
+    }
+}

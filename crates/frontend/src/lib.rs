@@ -1,0 +1,37 @@
+//! # qutes-frontend
+//!
+//! Lexer, parser, and AST for the Qutes quantum programming language
+//! (Faro, Marino & Messina, HPDC 2025). The reference implementation
+//! generates its frontend with ANTLR 4; this crate is a hand-written
+//! equivalent with spans, multi-error recovery, and a canonical
+//! pretty-printer.
+//!
+//! ```
+//! use qutes_frontend::parse;
+//!
+//! let program = parse(r#"
+//!     quint n = 5q;
+//!     hadamard n;
+//!     print n;
+//! "#).unwrap();
+//! assert_eq!(program.items.len(), 3);
+//! ```
+
+pub mod ast;
+pub mod diag;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod span;
+pub mod token;
+
+pub use ast::{
+    AssignOp, BinOp, Block, Expr, ExprKind, FunctionDecl, GateKind, Item, LValue, Param, Program,
+    Stmt, Type, UnOp,
+};
+pub use diag::{Diagnostic, Severity};
+pub use lexer::lex;
+pub use parser::{parse, parse_expression};
+pub use printer::{print_expr, print_program};
+pub use span::{LineMap, Span};
+pub use token::{KetState, Token, TokenKind};

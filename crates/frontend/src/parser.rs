@@ -1,0 +1,1004 @@
+//! Recursive-descent parser for Qutes (replaces the ANTLR parse rules of
+//! the reference implementation).
+//!
+//! The parser recovers at statement boundaries so a file with several
+//! mistakes reports them all in one pass.
+
+use crate::ast::*;
+use crate::diag::Diagnostic;
+use crate::lexer::lex;
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Parses a full source file into a [`Program`], or every diagnostic found.
+pub fn parse(source: &str) -> Result<Program, Vec<Diagnostic>> {
+    let tokens = lex(source).map_err(|d| vec![d])?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        diags: Vec::new(),
+    };
+    let program = p.program();
+    if p.diags.is_empty() {
+        Ok(program)
+    } else {
+        Err(p.diags)
+    }
+}
+
+/// Parses a single expression (used by the REPL and tests).
+pub fn parse_expression(source: &str) -> Result<Expr, Vec<Diagnostic>> {
+    let tokens = lex(source).map_err(|d| vec![d])?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        diags: Vec::new(),
+    };
+    let e = p.expr();
+    p.expect(TokenKind::Eof);
+    match (e, p.diags.is_empty()) {
+        (Some(e), true) => Ok(e),
+        (_, _) => Err(p.diags),
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    diags: Vec<Diagnostic>,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].span
+    }
+
+    fn prev_span(&self) -> Span {
+        self.tokens[self.pos.saturating_sub(1).min(self.tokens.len() - 1)].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: TokenKind) -> bool {
+        if *self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> bool {
+        if self.eat(kind.clone()) {
+            true
+        } else {
+            self.error(format!(
+                "expected {}, found {}",
+                kind.describe(),
+                self.peek().describe()
+            ));
+            false
+        }
+    }
+
+    fn error(&mut self, message: impl Into<String>) {
+        let span = self.span();
+        self.diags.push(Diagnostic::error(message, span));
+    }
+
+    /// Skips tokens until a likely statement boundary.
+    fn synchronize(&mut self) {
+        loop {
+            match self.peek() {
+                TokenKind::Semicolon => {
+                    self.bump();
+                    return;
+                }
+                TokenKind::RBrace | TokenKind::Eof => return,
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    // ---- grammar ---------------------------------------------------------
+
+    fn program(&mut self) -> Program {
+        let mut items = Vec::new();
+        while *self.peek() != TokenKind::Eof {
+            let before = self.pos;
+            if let Some(item) = self.item() {
+                items.push(item);
+            } else {
+                self.synchronize();
+            }
+            if self.pos == before {
+                // Defensive: guarantee progress even on weird input.
+                self.bump();
+            }
+        }
+        Program { items }
+    }
+
+    fn item(&mut self) -> Option<Item> {
+        if self.at_type_keyword() {
+            // `type name (` → function; `type name …` → declaration.
+            let save = self.pos;
+            let ty = self.parse_type()?;
+            if let TokenKind::Ident(name) = self.peek().clone() {
+                if *self.peek2() == TokenKind::LParen {
+                    self.bump(); // name
+                    return self.function_decl(ty, name).map(Item::Function);
+                }
+            }
+            self.pos = save;
+            return self.statement().map(Item::Statement);
+        }
+        if *self.peek() == TokenKind::KwVoid {
+            let ty = self.parse_type()?;
+            let name = self.ident("function name")?;
+            return self.function_decl(ty, name).map(Item::Function);
+        }
+        self.statement().map(Item::Statement)
+    }
+
+    fn at_type_keyword(&self) -> bool {
+        matches!(
+            self.peek(),
+            TokenKind::KwBool
+                | TokenKind::KwInt
+                | TokenKind::KwFloat
+                | TokenKind::KwString
+                | TokenKind::KwQubit
+                | TokenKind::KwQuint
+                | TokenKind::KwQustring
+        )
+    }
+
+    fn parse_type(&mut self) -> Option<Type> {
+        let base = match self.peek() {
+            TokenKind::KwBool => Type::Bool,
+            TokenKind::KwInt => Type::Int,
+            TokenKind::KwFloat => Type::Float,
+            TokenKind::KwString => Type::String,
+            TokenKind::KwQubit => Type::Qubit,
+            TokenKind::KwQuint => Type::Quint,
+            TokenKind::KwQustring => Type::Qustring,
+            TokenKind::KwVoid => Type::Void,
+            other => {
+                let msg = format!("expected a type, found {}", other.describe());
+                self.error(msg);
+                return None;
+            }
+        };
+        self.bump();
+        let mut ty = base;
+        while *self.peek() == TokenKind::LBracket && *self.peek2() == TokenKind::RBracket {
+            self.bump();
+            self.bump();
+            ty = Type::Array(Box::new(ty));
+        }
+        Some(ty)
+    }
+
+    fn ident(&mut self, what: &str) -> Option<String> {
+        if let TokenKind::Ident(name) = self.peek().clone() {
+            self.bump();
+            Some(name)
+        } else {
+            let msg = format!("expected {what}, found {}", self.peek().describe());
+            self.error(msg);
+            None
+        }
+    }
+
+    fn function_decl(&mut self, ret_type: Type, name: String) -> Option<FunctionDecl> {
+        let start = self.prev_span();
+        self.expect(TokenKind::LParen);
+        let mut params = Vec::new();
+        if *self.peek() != TokenKind::RParen {
+            loop {
+                let pspan = self.span();
+                let ty = self.parse_type()?;
+                let pname = self.ident("parameter name")?;
+                params.push(Param {
+                    name: pname,
+                    ty,
+                    span: pspan.merge(self.prev_span()),
+                });
+                if !self.eat(TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen);
+        let body = self.block()?;
+        let span = start.merge(body.span);
+        Some(FunctionDecl {
+            name,
+            ret_type,
+            params,
+            body,
+            span,
+        })
+    }
+
+    fn block(&mut self) -> Option<Block> {
+        let start = self.span();
+        if !self.expect(TokenKind::LBrace) {
+            return None;
+        }
+        let mut stmts = Vec::new();
+        while *self.peek() != TokenKind::RBrace && *self.peek() != TokenKind::Eof {
+            let before = self.pos;
+            if let Some(s) = self.statement() {
+                stmts.push(s);
+            } else {
+                self.synchronize();
+            }
+            if self.pos == before {
+                self.bump();
+            }
+        }
+        let end = self.span();
+        self.expect(TokenKind::RBrace);
+        Some(Block {
+            stmts,
+            span: start.merge(end),
+        })
+    }
+
+    fn statement(&mut self) -> Option<Stmt> {
+        let start = self.span();
+        match self.peek().clone() {
+            TokenKind::KwIf => self.if_statement(),
+            TokenKind::KwWhile => {
+                self.bump();
+                self.expect(TokenKind::LParen);
+                let cond = self.expr()?;
+                self.expect(TokenKind::RParen);
+                let body = self.block()?;
+                let span = start.merge(body.span);
+                Some(Stmt::While { cond, body, span })
+            }
+            TokenKind::KwForeach => {
+                self.bump();
+                let var = self.ident("loop variable")?;
+                self.expect(TokenKind::KwIn);
+                let iterable = self.expr()?;
+                let body = self.block()?;
+                let span = start.merge(body.span);
+                Some(Stmt::Foreach {
+                    var,
+                    iterable,
+                    body,
+                    span,
+                })
+            }
+            TokenKind::KwReturn => {
+                self.bump();
+                let value = if *self.peek() == TokenKind::Semicolon {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(TokenKind::Semicolon);
+                Some(Stmt::Return {
+                    value,
+                    span: start.merge(self.prev_span()),
+                })
+            }
+            TokenKind::KwPrint => {
+                self.bump();
+                let value = self.expr()?;
+                self.expect(TokenKind::Semicolon);
+                Some(Stmt::Print {
+                    value,
+                    span: start.merge(self.prev_span()),
+                })
+            }
+            TokenKind::KwMeasure => {
+                self.bump();
+                let target = self.expr()?;
+                self.expect(TokenKind::Semicolon);
+                Some(Stmt::Measure {
+                    target,
+                    span: start.merge(self.prev_span()),
+                })
+            }
+            TokenKind::KwBarrier => {
+                self.bump();
+                self.expect(TokenKind::Semicolon);
+                Some(Stmt::Barrier {
+                    span: start.merge(self.prev_span()),
+                })
+            }
+            TokenKind::KwHadamard => self.gate_statement(GateKind::Hadamard, 1),
+            TokenKind::KwNot => self.gate_statement(GateKind::NotGate, 1),
+            TokenKind::KwPauliY => self.gate_statement(GateKind::PauliY, 1),
+            TokenKind::KwPauliZ => self.gate_statement(GateKind::PauliZ, 1),
+            TokenKind::KwPhase => self.gate_statement(GateKind::Phase, 2),
+            TokenKind::KwCnot => self.gate_statement(GateKind::CNot, 2),
+            TokenKind::LBrace => self.block().map(Stmt::Block),
+            _ if self.at_type_keyword() => self.var_decl(),
+            _ => self.expr_or_assign_statement(),
+        }
+    }
+
+    fn if_statement(&mut self) -> Option<Stmt> {
+        let start = self.span();
+        self.bump(); // if
+        self.expect(TokenKind::LParen);
+        let cond = self.expr()?;
+        self.expect(TokenKind::RParen);
+        let then_block = self.block()?;
+        let else_block = if self.eat(TokenKind::KwElse) {
+            if *self.peek() == TokenKind::KwIf {
+                // `else if` sugar: wrap the nested if in a block.
+                let nested = self.if_statement()?;
+                let sp = nested.span();
+                Some(Block {
+                    stmts: vec![nested],
+                    span: sp,
+                })
+            } else {
+                Some(self.block()?)
+            }
+        } else {
+            None
+        };
+        let span = start.merge(self.prev_span());
+        Some(Stmt::If {
+            cond,
+            then_block,
+            else_block,
+            span,
+        })
+    }
+
+    /// Parses `gate a1, a2, ...;` and also the `gate(a1, a2)` call style.
+    fn gate_statement(&mut self, gate: GateKind, arity: usize) -> Option<Stmt> {
+        let start = self.span();
+        self.bump(); // gate keyword
+        let parenthesised = self.eat(TokenKind::LParen);
+        let mut args = Vec::new();
+        loop {
+            args.push(self.expr()?);
+            if !self.eat(TokenKind::Comma) {
+                break;
+            }
+        }
+        if parenthesised {
+            self.expect(TokenKind::RParen);
+        }
+        self.expect(TokenKind::Semicolon);
+        let span = start.merge(self.prev_span());
+        if args.len() != arity {
+            self.diags.push(Diagnostic::error(
+                format!(
+                    "'{}' expects {arity} argument{}, found {}",
+                    gate.name(),
+                    if arity == 1 { "" } else { "s" },
+                    args.len()
+                ),
+                span,
+            ));
+            return None;
+        }
+        Some(Stmt::Gate { gate, args, span })
+    }
+
+    fn var_decl(&mut self) -> Option<Stmt> {
+        let start = self.span();
+        let ty = self.parse_type()?;
+        let name = self.ident("variable name")?;
+        let init = if self.eat(TokenKind::Assign) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.expect(TokenKind::Semicolon);
+        Some(Stmt::VarDecl {
+            ty,
+            name,
+            init,
+            span: start.merge(self.prev_span()),
+        })
+    }
+
+    fn expr_or_assign_statement(&mut self) -> Option<Stmt> {
+        let start = self.span();
+        let e = self.expr()?;
+        let op = match self.peek() {
+            TokenKind::Assign => Some(AssignOp::Set),
+            TokenKind::PlusAssign => Some(AssignOp::Add),
+            TokenKind::MinusAssign => Some(AssignOp::Sub),
+            TokenKind::ShlAssign => Some(AssignOp::Shl),
+            TokenKind::ShrAssign => Some(AssignOp::Shr),
+            _ => None,
+        };
+        if let Some(op) = op {
+            let target = match e.kind {
+                ExprKind::Var(name) => LValue::Name(name),
+                ExprKind::Index(base, idx) => {
+                    if let ExprKind::Var(name) = base.kind {
+                        LValue::Index(name, *idx)
+                    } else {
+                        self.diags.push(Diagnostic::error(
+                            "assignment target must be a variable or array element",
+                            e.span,
+                        ));
+                        return None;
+                    }
+                }
+                _ => {
+                    self.diags.push(Diagnostic::error(
+                        "assignment target must be a variable or array element",
+                        e.span,
+                    ));
+                    return None;
+                }
+            };
+            self.bump(); // the operator
+            let value = self.expr()?;
+            self.expect(TokenKind::Semicolon);
+            return Some(Stmt::Assign {
+                target,
+                op,
+                value,
+                span: start.merge(self.prev_span()),
+            });
+        }
+        self.expect(TokenKind::Semicolon);
+        Some(Stmt::Expr {
+            expr: e,
+            span: start.merge(self.prev_span()),
+        })
+    }
+
+    // ---- expressions -----------------------------------------------------
+
+    fn expr(&mut self) -> Option<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Option<Expr> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(TokenKind::OrOr) {
+            let rhs = self.and_expr()?;
+            let span = lhs.span.merge(rhs.span);
+            lhs = Expr::new(ExprKind::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs)), span);
+        }
+        Some(lhs)
+    }
+
+    fn and_expr(&mut self) -> Option<Expr> {
+        let mut lhs = self.equality_expr()?;
+        while self.eat(TokenKind::AndAnd) {
+            let rhs = self.equality_expr()?;
+            let span = lhs.span.merge(rhs.span);
+            lhs = Expr::new(
+                ExprKind::Binary(BinOp::And, Box::new(lhs), Box::new(rhs)),
+                span,
+            );
+        }
+        Some(lhs)
+    }
+
+    fn equality_expr(&mut self) -> Option<Expr> {
+        let mut lhs = self.comparison_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Eq => BinOp::Eq,
+                TokenKind::Ne => BinOp::Ne,
+                _ => return Some(lhs),
+            };
+            self.bump();
+            let rhs = self.comparison_expr()?;
+            let span = lhs.span.merge(rhs.span);
+            lhs = Expr::new(ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span);
+        }
+    }
+
+    fn comparison_expr(&mut self) -> Option<Expr> {
+        let mut lhs = self.shift_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Lt => BinOp::Lt,
+                TokenKind::Le => BinOp::Le,
+                TokenKind::Gt => BinOp::Gt,
+                TokenKind::Ge => BinOp::Ge,
+                TokenKind::KwIn => BinOp::In,
+                _ => return Some(lhs),
+            };
+            self.bump();
+            let rhs = self.shift_expr()?;
+            let span = lhs.span.merge(rhs.span);
+            lhs = Expr::new(ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span);
+        }
+    }
+
+    fn shift_expr(&mut self) -> Option<Expr> {
+        let mut lhs = self.additive_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Shl => BinOp::Shl,
+                TokenKind::Shr => BinOp::Shr,
+                _ => return Some(lhs),
+            };
+            self.bump();
+            let rhs = self.additive_expr()?;
+            let span = lhs.span.merge(rhs.span);
+            lhs = Expr::new(ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span);
+        }
+    }
+
+    fn additive_expr(&mut self) -> Option<Expr> {
+        let mut lhs = self.multiplicative_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => return Some(lhs),
+            };
+            self.bump();
+            let rhs = self.multiplicative_expr()?;
+            let span = lhs.span.merge(rhs.span);
+            lhs = Expr::new(ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span);
+        }
+    }
+
+    fn multiplicative_expr(&mut self) -> Option<Expr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Mod,
+                _ => return Some(lhs),
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            let span = lhs.span.merge(rhs.span);
+            lhs = Expr::new(ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span);
+        }
+    }
+
+    fn unary_expr(&mut self) -> Option<Expr> {
+        let start = self.span();
+        match self.peek() {
+            TokenKind::Minus => {
+                self.bump();
+                let e = self.unary_expr()?;
+                let span = start.merge(e.span);
+                Some(Expr::new(ExprKind::Unary(UnOp::Neg, Box::new(e)), span))
+            }
+            TokenKind::Bang => {
+                self.bump();
+                let e = self.unary_expr()?;
+                let span = start.merge(e.span);
+                Some(Expr::new(ExprKind::Unary(UnOp::Not, Box::new(e)), span))
+            }
+            TokenKind::KwMeasure => {
+                self.bump();
+                let e = self.unary_expr()?;
+                let span = start.merge(e.span);
+                Some(Expr::new(ExprKind::MeasureExpr(Box::new(e)), span))
+            }
+            _ => self.postfix_expr(),
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Option<Expr> {
+        let mut e = self.primary_expr()?;
+        while *self.peek() == TokenKind::LBracket {
+            self.bump();
+            let idx = self.expr()?;
+            let end = self.span();
+            self.expect(TokenKind::RBracket);
+            let span = e.span.merge(end);
+            e = Expr::new(ExprKind::Index(Box::new(e), Box::new(idx)), span);
+        }
+        Some(e)
+    }
+
+    fn primary_expr(&mut self) -> Option<Expr> {
+        let start = self.span();
+        let kind = match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                ExprKind::Int(v)
+            }
+            TokenKind::Float(v) => {
+                self.bump();
+                ExprKind::Float(v)
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                ExprKind::Str(s)
+            }
+            TokenKind::Quint(v) => {
+                self.bump();
+                ExprKind::Quint(v)
+            }
+            TokenKind::Qustring(s) => {
+                self.bump();
+                ExprKind::Qustring(s)
+            }
+            TokenKind::Ket(k) => {
+                self.bump();
+                ExprKind::Ket(k)
+            }
+            TokenKind::KwTrue => {
+                self.bump();
+                ExprKind::Bool(true)
+            }
+            TokenKind::KwFalse => {
+                self.bump();
+                ExprKind::Bool(false)
+            }
+            TokenKind::KwPi => {
+                self.bump();
+                ExprKind::Pi
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen);
+                return Some(Expr::new(e.kind, start.merge(self.prev_span())));
+            }
+            TokenKind::LBracket => {
+                self.bump();
+                let mut elems = Vec::new();
+                if *self.peek() != TokenKind::RBracket && *self.peek() != TokenKind::RBracketQ {
+                    loop {
+                        elems.push(self.expr()?);
+                        if !self.eat(TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                }
+                let quantum = match self.peek() {
+                    TokenKind::RBracketQ => {
+                        self.bump();
+                        true
+                    }
+                    TokenKind::RBracket => {
+                        self.bump();
+                        false
+                    }
+                    other => {
+                        let msg =
+                            format!("expected ']' or ']q', found {}", other.describe());
+                        self.error(msg);
+                        return None;
+                    }
+                };
+                let span = start.merge(self.prev_span());
+                return Some(Expr::new(
+                    if quantum {
+                        ExprKind::QuantumArray(elems)
+                    } else {
+                        ExprKind::Array(elems)
+                    },
+                    span,
+                ));
+            }
+            // Cast calls: a type keyword used as a function, `int(x)` etc.
+            TokenKind::KwInt | TokenKind::KwFloat | TokenKind::KwBool | TokenKind::KwString
+                if *self.peek2() == TokenKind::LParen =>
+            {
+                let name = match self.peek() {
+                    TokenKind::KwInt => "int",
+                    TokenKind::KwFloat => "float",
+                    TokenKind::KwBool => "bool",
+                    _ => "str",
+                }
+                .to_string();
+                self.bump(); // keyword
+                self.bump(); // '('
+                let arg = self.expr()?;
+                self.expect(TokenKind::RParen);
+                let span = start.merge(self.prev_span());
+                return Some(Expr::new(ExprKind::Call(name, vec![arg]), span));
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.eat(TokenKind::LParen) {
+                    let mut args = Vec::new();
+                    if *self.peek() != TokenKind::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(TokenKind::RParen);
+                    let span = start.merge(self.prev_span());
+                    return Some(Expr::new(ExprKind::Call(name, args), span));
+                }
+                ExprKind::Var(name)
+            }
+            other => {
+                let msg = format!("expected an expression, found {}", other.describe());
+                self.error(msg);
+                return None;
+            }
+        };
+        Some(Expr::new(kind, start.merge(self.prev_span())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok(src: &str) -> Program {
+        match parse(src) {
+            Ok(p) => p,
+            Err(ds) => panic!("parse failed: {ds:?}"),
+        }
+    }
+
+    fn stmt(src: &str) -> Stmt {
+        let p = ok(src);
+        assert_eq!(p.items.len(), 1, "expected one item");
+        match p.items.into_iter().next().unwrap() {
+            Item::Statement(s) => s,
+            other => panic!("expected statement, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_classical_declarations() {
+        assert!(matches!(
+            stmt("int x = 42;"),
+            Stmt::VarDecl { ty: Type::Int, init: Some(_), .. }
+        ));
+        assert!(matches!(
+            stmt("float y;"),
+            Stmt::VarDecl { ty: Type::Float, init: None, .. }
+        ));
+        assert!(matches!(
+            stmt("bool flag = true;"),
+            Stmt::VarDecl { ty: Type::Bool, .. }
+        ));
+        assert!(matches!(
+            stmt("string s = \"hi\";"),
+            Stmt::VarDecl { ty: Type::String, .. }
+        ));
+    }
+
+    #[test]
+    fn parses_quantum_declarations() {
+        let s = stmt("qubit a = |+>;");
+        match s {
+            Stmt::VarDecl { ty, init, .. } => {
+                assert_eq!(ty, Type::Qubit);
+                assert!(matches!(init.unwrap().kind, ExprKind::Ket(_)));
+            }
+            _ => panic!(),
+        }
+        assert!(matches!(
+            stmt("quint n = 5q;"),
+            Stmt::VarDecl { ty: Type::Quint, .. }
+        ));
+        assert!(matches!(
+            stmt("qustring t = \"0101\"q;"),
+            Stmt::VarDecl { ty: Type::Qustring, .. }
+        ));
+    }
+
+    #[test]
+    fn parses_array_types_and_literals() {
+        let s = stmt("int[] a = [1, 2, 3];");
+        match s {
+            Stmt::VarDecl { ty, init, .. } => {
+                assert_eq!(ty, Type::Array(Box::new(Type::Int)));
+                assert!(matches!(init.unwrap().kind, ExprKind::Array(v) if v.len() == 3));
+            }
+            _ => panic!(),
+        }
+        let s = stmt("quint m = [1, 2, 3]q;");
+        match s {
+            Stmt::VarDecl { init, .. } => {
+                assert!(matches!(init.unwrap().kind, ExprKind::QuantumArray(v) if v.len() == 3));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_function_declaration() {
+        let p = ok("int add(int a, int b) { return a + b; }");
+        match &p.items[0] {
+            Item::Function(f) => {
+                assert_eq!(f.name, "add");
+                assert_eq!(f.ret_type, Type::Int);
+                assert_eq!(f.params.len(), 2);
+                assert_eq!(f.body.stmts.len(), 1);
+            }
+            other => panic!("expected function, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_quantum_function() {
+        let p = ok("qubit flip(qubit k) { not k; return k; }");
+        match &p.items[0] {
+            Item::Function(f) => {
+                assert_eq!(f.ret_type, Type::Qubit);
+                assert!(matches!(
+                    f.body.stmts[0],
+                    Stmt::Gate { gate: GateKind::NotGate, .. }
+                ));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_void_function() {
+        let p = ok("void setup() { barrier; }");
+        assert!(matches!(&p.items[0], Item::Function(f) if f.ret_type == Type::Void));
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let s = stmt("if (x > 0) { print x; } else { print 0; }");
+        assert!(matches!(s, Stmt::If { else_block: Some(_), .. }));
+        let s = stmt("while (i < 10) { i += 1; }");
+        assert!(matches!(s, Stmt::While { .. }));
+        let s = stmt("foreach v in arr { print v; }");
+        assert!(matches!(s, Stmt::Foreach { .. }));
+    }
+
+    #[test]
+    fn parses_else_if_chain() {
+        let s = stmt("if (a) { } else if (b) { } else { }");
+        match s {
+            Stmt::If { else_block, .. } => {
+                let inner = &else_block.unwrap().stmts[0];
+                assert!(matches!(inner, Stmt::If { else_block: Some(_), .. }));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_gate_statements() {
+        assert!(matches!(
+            stmt("hadamard q;"),
+            Stmt::Gate { gate: GateKind::Hadamard, .. }
+        ));
+        assert!(matches!(
+            stmt("cnot a, b;"),
+            Stmt::Gate { gate: GateKind::CNot, .. }
+        ));
+        assert!(matches!(
+            stmt("phase(q, pi / 2);"),
+            Stmt::Gate { gate: GateKind::Phase, .. }
+        ));
+        // Unparenthesised phase also accepted.
+        assert!(matches!(
+            stmt("phase q, pi;"),
+            Stmt::Gate { gate: GateKind::Phase, .. }
+        ));
+    }
+
+    #[test]
+    fn gate_arity_checked() {
+        assert!(parse("cnot a;").is_err());
+        assert!(parse("hadamard a, b;").is_err());
+    }
+
+    #[test]
+    fn parses_compound_assignment() {
+        assert!(matches!(
+            stmt("x += y;"),
+            Stmt::Assign { op: AssignOp::Add, .. }
+        ));
+        assert!(matches!(
+            stmt("x <<= 2;"),
+            Stmt::Assign { op: AssignOp::Shl, .. }
+        ));
+        assert!(matches!(
+            stmt("a[2] = 5;"),
+            Stmt::Assign { target: LValue::Index(_, _), .. }
+        ));
+    }
+
+    #[test]
+    fn parses_in_operator() {
+        let s = stmt("bool found = \"01\"q in t;");
+        match s {
+            Stmt::VarDecl { init: Some(e), .. } => {
+                assert!(matches!(e.kind, ExprKind::Binary(BinOp::In, _, _)));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn precedence_shift_binds_tighter_than_compare() {
+        // a << 1 > b parses as (a << 1) > b
+        let e = parse_expression("a << 1 > b").unwrap();
+        match e.kind {
+            ExprKind::Binary(BinOp::Gt, lhs, _) => {
+                assert!(matches!(lhs.kind, ExprKind::Binary(BinOp::Shl, _, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let e = parse_expression("1 + 2 * 3").unwrap();
+        match e.kind {
+            ExprKind::Binary(BinOp::Add, _, rhs) => {
+                assert!(matches!(rhs.kind, ExprKind::Binary(BinOp::Mul, _, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn measure_expression() {
+        let e = parse_expression("measure q").unwrap();
+        assert!(matches!(e.kind, ExprKind::MeasureExpr(_)));
+        assert!(matches!(stmt("measure q;"), Stmt::Measure { .. }));
+    }
+
+    #[test]
+    fn call_and_index_expressions() {
+        let e = parse_expression("f(1, x)[2]").unwrap();
+        assert!(matches!(e.kind, ExprKind::Index(_, _)));
+        let e = parse_expression("g()").unwrap();
+        assert!(matches!(e.kind, ExprKind::Call(name, args) if name == "g" && args.is_empty()));
+    }
+
+    #[test]
+    fn error_recovery_reports_multiple() {
+        let errs = parse("int x = ;\nint y = 3;\nfloat z = *;").unwrap_err();
+        assert!(errs.len() >= 2, "got {errs:?}");
+    }
+
+    #[test]
+    fn missing_semicolon_reported() {
+        let errs = parse("int x = 3").unwrap_err();
+        assert!(errs[0].message.contains("';'"));
+    }
+
+    #[test]
+    fn nested_blocks() {
+        let s = stmt("{ int x = 1; { print x; } }");
+        match s {
+            Stmt::Block(b) => assert_eq!(b.stmts.len(), 2),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn top_level_mixes_functions_and_statements() {
+        let p = ok("int one() { return 1; }\nint x = one();\nprint x;");
+        assert_eq!(p.items.len(), 3);
+        assert!(matches!(p.items[0], Item::Function(_)));
+        assert!(matches!(p.items[1], Item::Statement(_)));
+    }
+}

@@ -1,0 +1,312 @@
+//! Pretty-printer: renders an AST back to canonical Qutes source.
+//!
+//! Used by `qutes fmt`, by the conciseness experiment (E6) for normalised
+//! line counting, and by the parser round-trip property tests
+//! (`parse(print(parse(src)))` must equal `parse(src)`).
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Renders a whole program.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    for (i, item) in p.items.iter().enumerate() {
+        if i > 0 {
+            if let (Item::Function(_), _) | (_, Some(Item::Function(_))) =
+                (&p.items[i - 1], p.items.get(i))
+            {
+                out.push('\n');
+            }
+        }
+        match item {
+            Item::Function(f) => print_function(f, &mut out),
+            Item::Statement(s) => print_stmt(s, 0, &mut out),
+        }
+    }
+    out
+}
+
+/// Renders a single expression.
+pub fn print_expr(e: &Expr) -> String {
+    let mut s = String::new();
+    expr(e, &mut s);
+    s
+}
+
+fn indent(level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn print_function(f: &FunctionDecl, out: &mut String) {
+    let _ = write!(out, "{} {}(", f.ret_type, f.name);
+    for (i, p) in f.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{} {}", p.ty, p.name);
+    }
+    out.push_str(") ");
+    print_block(&f.body, 0, out);
+    out.push('\n');
+}
+
+fn print_block(b: &Block, level: usize, out: &mut String) {
+    out.push_str("{\n");
+    for s in &b.stmts {
+        print_stmt(s, level + 1, out);
+    }
+    indent(level, out);
+    out.push('}');
+}
+
+fn print_stmt(s: &Stmt, level: usize, out: &mut String) {
+    indent(level, out);
+    match s {
+        Stmt::VarDecl { ty, name, init, .. } => {
+            let _ = write!(out, "{ty} {name}");
+            if let Some(e) = init {
+                let _ = write!(out, " = {}", print_expr(e));
+            }
+            out.push_str(";\n");
+        }
+        Stmt::Assign {
+            target, op, value, ..
+        } => {
+            match target {
+                LValue::Name(n) => {
+                    let _ = write!(out, "{n}");
+                }
+                LValue::Index(n, i) => {
+                    let _ = write!(out, "{n}[{}]", print_expr(i));
+                }
+            }
+            let _ = writeln!(out, " {op} {};", print_expr(value));
+        }
+        Stmt::If {
+            cond,
+            then_block,
+            else_block,
+            ..
+        } => {
+            let _ = write!(out, "if ({}) ", print_expr(cond));
+            print_block(then_block, level, out);
+            if let Some(eb) = else_block {
+                out.push_str(" else ");
+                print_block(eb, level, out);
+            }
+            out.push('\n');
+        }
+        Stmt::While { cond, body, .. } => {
+            let _ = write!(out, "while ({}) ", print_expr(cond));
+            print_block(body, level, out);
+            out.push('\n');
+        }
+        Stmt::Foreach {
+            var,
+            iterable,
+            body,
+            ..
+        } => {
+            let _ = write!(out, "foreach {var} in {} ", print_expr(iterable));
+            print_block(body, level, out);
+            out.push('\n');
+        }
+        Stmt::Return { value, .. } => match value {
+            Some(e) => {
+                let _ = writeln!(out, "return {};", print_expr(e));
+            }
+            None => out.push_str("return;\n"),
+        },
+        Stmt::Print { value, .. } => {
+            let _ = writeln!(out, "print {};", print_expr(value));
+        }
+        Stmt::Expr { expr: e, .. } => {
+            let _ = writeln!(out, "{};", print_expr(e));
+        }
+        Stmt::Gate { gate, args, .. } => {
+            let rendered: Vec<String> = args.iter().map(print_expr).collect();
+            let _ = writeln!(out, "{} {};", gate.name(), rendered.join(", "));
+        }
+        Stmt::Measure { target, .. } => {
+            let _ = writeln!(out, "measure {};", print_expr(target));
+        }
+        Stmt::Barrier { .. } => out.push_str("barrier;\n"),
+        Stmt::Block(b) => {
+            print_block(b, level, out);
+            out.push('\n');
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '\n' => "\\n".chars().collect::<Vec<_>>(),
+            '\t' => "\\t".chars().collect(),
+            '"' => "\\\"".chars().collect(),
+            '\\' => "\\\\".chars().collect(),
+            other => vec![other],
+        })
+        .collect()
+}
+
+fn expr(e: &Expr, out: &mut String) {
+    match &e.kind {
+        ExprKind::Int(v) => {
+            let _ = write!(out, "{v}");
+        }
+        ExprKind::Float(v) => {
+            let s = format!("{v}");
+            let _ = write!(out, "{s}");
+            if !s.contains('.') && !s.contains('e') {
+                out.push_str(".0");
+            }
+        }
+        ExprKind::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        ExprKind::Str(s) => {
+            let _ = write!(out, "\"{}\"", escape(s));
+        }
+        ExprKind::Quint(v) => {
+            let _ = write!(out, "{v}q");
+        }
+        ExprKind::Qustring(s) => {
+            let _ = write!(out, "\"{s}\"q");
+        }
+        ExprKind::Ket(k) => {
+            let _ = write!(out, "{k}");
+        }
+        ExprKind::Pi => out.push_str("pi"),
+        ExprKind::Array(elems) => {
+            out.push('[');
+            for (i, el) in elems.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                expr(el, out);
+            }
+            out.push(']');
+        }
+        ExprKind::QuantumArray(elems) => {
+            out.push('[');
+            for (i, el) in elems.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                expr(el, out);
+            }
+            out.push_str("]q");
+        }
+        ExprKind::Var(n) => out.push_str(n),
+        ExprKind::Index(base, idx) => {
+            expr(base, out);
+            out.push('[');
+            expr(idx, out);
+            out.push(']');
+        }
+        ExprKind::Unary(op, inner) => {
+            out.push(match op {
+                UnOp::Neg => '-',
+                UnOp::Not => '!',
+            });
+            // Parenthesise compound operands for unambiguous reparsing.
+            if matches!(inner.kind, ExprKind::Binary(..)) {
+                out.push('(');
+                expr(inner, out);
+                out.push(')');
+            } else {
+                expr(inner, out);
+            }
+        }
+        ExprKind::Binary(op, l, r) => {
+            // Fully parenthesise: canonical output, trivially correct
+            // precedence on re-parse.
+            out.push('(');
+            expr(l, out);
+            let _ = write!(out, " {op} ");
+            expr(r, out);
+            out.push(')');
+        }
+        ExprKind::Call(name, args) => {
+            out.push_str(name);
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                expr(a, out);
+            }
+            out.push(')');
+        }
+        ExprKind::MeasureExpr(inner) => {
+            out.push_str("measure ");
+            expr(inner, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn roundtrip(src: &str) {
+        let p1 = parse(src).expect("first parse");
+        let printed = print_program(&p1);
+        let p2 = parse(&printed).unwrap_or_else(|e| panic!("reparse of:\n{printed}\n{e:?}"));
+        let printed2 = print_program(&p2);
+        assert_eq!(printed, printed2, "printer not a fixpoint for:\n{src}");
+    }
+
+    #[test]
+    fn roundtrips_declarations() {
+        roundtrip("int x = 42;\nqubit a = |+>;\nquint m = [1, 2, 3]q;\nqustring t = \"01\"q;");
+    }
+
+    #[test]
+    fn roundtrips_functions_and_control_flow() {
+        roundtrip(
+            "int add(int a, int b) { return a + b; }\n\
+             if (add(1, 2) > 2) { print \"big\"; } else { print \"small\"; }\n\
+             while (x < 10) { x += 1; }\n\
+             foreach v in [1, 2] { print v; }",
+        );
+    }
+
+    #[test]
+    fn roundtrips_gates_and_quantum_ops() {
+        roundtrip(
+            "qubit q = 0q;\nhadamard q;\nnot q;\npauliy q;\npauliz q;\n\
+             phase(q, pi / 2);\nqubit r = 1q;\ncnot q, r;\nmeasure q;\nbarrier;",
+        );
+    }
+
+    #[test]
+    fn roundtrips_operators() {
+        roundtrip("bool b = (\"01\"q in t) && !(x == 3) || (n << 1) >= 4;");
+    }
+
+    #[test]
+    fn expression_formatting() {
+        let e = crate::parser::parse_expression("1 + 2 * 3").unwrap();
+        assert_eq!(print_expr(&e), "(1 + (2 * 3))");
+        let e = crate::parser::parse_expression("-x").unwrap();
+        assert_eq!(print_expr(&e), "-x");
+        let e = crate::parser::parse_expression("-(1 + 2)").unwrap();
+        assert_eq!(print_expr(&e), "-((1 + 2))");
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        roundtrip("string s = \"a\\nb\\\"c\\\\d\";");
+    }
+
+    #[test]
+    fn float_always_reparses_as_float() {
+        let e = crate::parser::parse_expression("2.0").unwrap();
+        assert_eq!(print_expr(&e), "2.0");
+    }
+}

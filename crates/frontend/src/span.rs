@@ -1,0 +1,98 @@
+//! Byte-offset source spans and line/column mapping for diagnostics.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the source text.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Inclusive start byte offset.
+    pub start: usize,
+    /// Exclusive end byte offset.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// A zero-width span (used for synthesised nodes).
+    pub fn point(at: usize) -> Span {
+        Span { start: at, end: at }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// Converts byte offsets to 1-based line/column positions.
+#[derive(Clone, Debug)]
+pub struct LineMap {
+    /// Byte offset of the start of each line.
+    line_starts: Vec<usize>,
+}
+
+impl LineMap {
+    /// Builds the map for `source`.
+    pub fn new(source: &str) -> Self {
+        let mut line_starts = vec![0];
+        for (i, b) in source.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        LineMap { line_starts }
+    }
+
+    /// `(line, column)` of a byte offset, both 1-based.
+    pub fn position(&self, offset: usize) -> (usize, usize) {
+        let line = self
+            .line_starts
+            .partition_point(|&s| s <= offset)
+            .saturating_sub(1);
+        (line + 1, offset - self.line_starts[line] + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_covers_both() {
+        let a = Span::new(2, 5);
+        let b = Span::new(8, 10);
+        assert_eq!(a.merge(b), Span::new(2, 10));
+        assert_eq!(b.merge(a), Span::new(2, 10));
+    }
+
+    #[test]
+    fn line_map_positions() {
+        let src = "ab\ncd\n\nxyz";
+        let m = LineMap::new(src);
+        assert_eq!(m.position(0), (1, 1));
+        assert_eq!(m.position(1), (1, 2));
+        assert_eq!(m.position(3), (2, 1));
+        assert_eq!(m.position(4), (2, 2));
+        assert_eq!(m.position(6), (3, 1));
+        assert_eq!(m.position(7), (4, 1));
+        assert_eq!(m.position(9), (4, 3));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Span::new(1, 4).to_string(), "1..4");
+    }
+}

@@ -1,0 +1,309 @@
+//! Token kinds produced by the Qutes lexer.
+
+use crate::span::Span;
+use std::fmt;
+
+/// The four single-qubit ket literals the language understands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KetState {
+    /// `|0>`
+    Zero,
+    /// `|1>`
+    One,
+    /// `|+>` — `(|0> + |1>)/sqrt(2)`
+    Plus,
+    /// `|->` — `(|0> - |1>)/sqrt(2)`
+    Minus,
+}
+
+impl fmt::Display for KetState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            KetState::Zero => "|0>",
+            KetState::One => "|1>",
+            KetState::Plus => "|+>",
+            KetState::Minus => "|->",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    // Literals
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// String literal (contents, unescaped).
+    Str(String),
+    /// Quantum integer literal `123q`.
+    Quint(u64),
+    /// Quantum bitstring literal `"0101"q`.
+    Qustring(String),
+    /// Ket literal.
+    Ket(KetState),
+    /// Identifier.
+    Ident(String),
+
+    // Keywords
+    /// `bool`
+    KwBool,
+    /// `int`
+    KwInt,
+    /// `float`
+    KwFloat,
+    /// `string`
+    KwString,
+    /// `qubit`
+    KwQubit,
+    /// `quint`
+    KwQuint,
+    /// `qustring`
+    KwQustring,
+    /// `void`
+    KwVoid,
+    /// `if`
+    KwIf,
+    /// `else`
+    KwElse,
+    /// `while`
+    KwWhile,
+    /// `foreach`
+    KwForeach,
+    /// `in`
+    KwIn,
+    /// `return`
+    KwReturn,
+    /// `print`
+    KwPrint,
+    /// `measure`
+    KwMeasure,
+    /// `barrier`
+    KwBarrier,
+    /// `true`
+    KwTrue,
+    /// `false`
+    KwFalse,
+    /// `pi`
+    KwPi,
+    /// `not` — logical NOT on classical values, Pauli-X on quantum.
+    KwNot,
+    /// `hadamard`
+    KwHadamard,
+    /// `pauliy`
+    KwPauliY,
+    /// `pauliz`
+    KwPauliZ,
+    /// `phase`
+    KwPhase,
+    /// `cnot`
+    KwCnot,
+
+    // Punctuation / operators
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `]q` — closes a quantum array literal.
+    RBracketQ,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `=`
+    Assign,
+    /// `+=`
+    PlusAssign,
+    /// `-=`
+    MinusAssign,
+    /// `<<=`
+    ShlAssign,
+    /// `>>=`
+    ShrAssign,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `!`
+    Bang,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// A short human-readable description used in parser errors.
+    pub fn describe(&self) -> String {
+        use TokenKind::*;
+        match self {
+            Int(v) => format!("integer '{v}'"),
+            Float(v) => format!("float '{v}'"),
+            Str(s) => format!("string \"{s}\""),
+            Quint(v) => format!("quint literal '{v}q'"),
+            Qustring(s) => format!("qustring literal '\"{s}\"q'"),
+            Ket(k) => format!("ket '{k}'"),
+            Ident(s) => format!("identifier '{s}'"),
+            KwBool => "'bool'".into(),
+            KwInt => "'int'".into(),
+            KwFloat => "'float'".into(),
+            KwString => "'string'".into(),
+            KwQubit => "'qubit'".into(),
+            KwQuint => "'quint'".into(),
+            KwQustring => "'qustring'".into(),
+            KwVoid => "'void'".into(),
+            KwIf => "'if'".into(),
+            KwElse => "'else'".into(),
+            KwWhile => "'while'".into(),
+            KwForeach => "'foreach'".into(),
+            KwIn => "'in'".into(),
+            KwReturn => "'return'".into(),
+            KwPrint => "'print'".into(),
+            KwMeasure => "'measure'".into(),
+            KwBarrier => "'barrier'".into(),
+            KwTrue => "'true'".into(),
+            KwFalse => "'false'".into(),
+            KwPi => "'pi'".into(),
+            KwNot => "'not'".into(),
+            KwHadamard => "'hadamard'".into(),
+            KwPauliY => "'pauliy'".into(),
+            KwPauliZ => "'pauliz'".into(),
+            KwPhase => "'phase'".into(),
+            KwCnot => "'cnot'".into(),
+            LParen => "'('".into(),
+            RParen => "')'".into(),
+            LBrace => "'{'".into(),
+            RBrace => "'}'".into(),
+            LBracket => "'['".into(),
+            RBracket => "']'".into(),
+            RBracketQ => "']q'".into(),
+            Comma => "','".into(),
+            Semicolon => "';'".into(),
+            Assign => "'='".into(),
+            PlusAssign => "'+='".into(),
+            MinusAssign => "'-='".into(),
+            ShlAssign => "'<<='".into(),
+            ShrAssign => "'>>='".into(),
+            Eq => "'=='".into(),
+            Ne => "'!='".into(),
+            Lt => "'<'".into(),
+            Le => "'<='".into(),
+            Gt => "'>'".into(),
+            Ge => "'>='".into(),
+            Plus => "'+'".into(),
+            Minus => "'-'".into(),
+            Star => "'*'".into(),
+            Slash => "'/'".into(),
+            Percent => "'%'".into(),
+            Shl => "'<<'".into(),
+            Shr => "'>>'".into(),
+            Bang => "'!'".into(),
+            AndAnd => "'&&'".into(),
+            OrOr => "'||'".into(),
+            Eof => "end of input".into(),
+        }
+    }
+
+    /// Maps an identifier to its keyword token, if it is one.
+    pub fn keyword(word: &str) -> Option<TokenKind> {
+        use TokenKind::*;
+        Some(match word {
+            "bool" => KwBool,
+            "int" => KwInt,
+            "float" => KwFloat,
+            "string" => KwString,
+            "qubit" => KwQubit,
+            "quint" => KwQuint,
+            "qustring" => KwQustring,
+            "void" => KwVoid,
+            "if" => KwIf,
+            "else" => KwElse,
+            "while" => KwWhile,
+            "foreach" => KwForeach,
+            "in" => KwIn,
+            "return" => KwReturn,
+            "print" => KwPrint,
+            "measure" => KwMeasure,
+            "barrier" => KwBarrier,
+            "true" => KwTrue,
+            "false" => KwFalse,
+            "pi" => KwPi,
+            "not" => KwNot,
+            "hadamard" => KwHadamard,
+            "pauliy" => KwPauliY,
+            "pauliz" => KwPauliZ,
+            "phase" => KwPhase,
+            "cnot" => KwCnot,
+            _ => return None,
+        })
+    }
+}
+
+/// A token with its source span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// What kind of token.
+    pub kind: TokenKind,
+    /// Where it came from.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_resolve() {
+        assert_eq!(TokenKind::keyword("quint"), Some(TokenKind::KwQuint));
+        assert_eq!(TokenKind::keyword("foreach"), Some(TokenKind::KwForeach));
+        assert_eq!(TokenKind::keyword("banana"), None);
+    }
+
+    #[test]
+    fn describe_is_informative() {
+        assert_eq!(TokenKind::Int(5).describe(), "integer '5'");
+        assert_eq!(TokenKind::Quint(3).describe(), "quint literal '3q'");
+        assert!(TokenKind::Ket(KetState::Plus).describe().contains("|+>"));
+    }
+
+    #[test]
+    fn ket_display() {
+        assert_eq!(KetState::Minus.to_string(), "|->");
+        assert_eq!(KetState::Zero.to_string(), "|0>");
+    }
+}

@@ -1,0 +1,237 @@
+//! Frontend property tests: lexer totality and parse/print round-tripping
+//! over randomly generated programs.
+
+use proptest::prelude::*;
+use qutes_frontend::{
+    ast::*, lex, parse, print_program, KetState,
+};
+
+proptest! {
+    // The lexer must never panic, whatever bytes it is fed.
+    #[test]
+    fn lexer_is_total(src in "\\PC*") {
+        let _ = lex(&src);
+    }
+
+    #[test]
+    fn lexer_is_total_on_ascii_noise(src in "[ -~]{0,200}") {
+        let _ = lex(&src);
+    }
+
+    /// Parsing either succeeds or produces diagnostics — never panics.
+    #[test]
+    fn parser_is_total(src in "[ -~\\n]{0,300}") {
+        let _ = parse(&src);
+    }
+}
+
+// ---- random-AST round-trip ------------------------------------------------
+
+fn ident_strategy() -> impl Strategy<Value = String> {
+    // Avoid keywords by prefixing.
+    "[a-z]{1,6}".prop_map(|s| format!("v_{s}"))
+}
+
+fn leaf_expr() -> impl Strategy<Value = ExprKind> {
+    prop_oneof![
+        (-1000i64..1000).prop_map(ExprKind::Int),
+        (-10.0..10.0f64).prop_map(|f| ExprKind::Float((f * 16.0).round() / 16.0)),
+        any::<bool>().prop_map(ExprKind::Bool),
+        "[a-zA-Z ]{0,8}".prop_map(ExprKind::Str),
+        (0u64..64).prop_map(ExprKind::Quint),
+        "[01]{1,6}".prop_map(ExprKind::Qustring),
+        prop_oneof![
+            Just(KetState::Zero),
+            Just(KetState::One),
+            Just(KetState::Plus),
+            Just(KetState::Minus)
+        ]
+        .prop_map(ExprKind::Ket),
+        Just(ExprKind::Pi),
+        ident_strategy().prop_map(ExprKind::Var),
+    ]
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = leaf_expr().prop_map(|k| Expr::new(k, Default::default()));
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::Div),
+                    Just(BinOp::Mod),
+                    Just(BinOp::Eq),
+                    Just(BinOp::Ne),
+                    Just(BinOp::Lt),
+                    Just(BinOp::Le),
+                    Just(BinOp::Gt),
+                    Just(BinOp::Ge),
+                    Just(BinOp::And),
+                    Just(BinOp::Or),
+                    Just(BinOp::Shl),
+                    Just(BinOp::Shr),
+                    Just(BinOp::In),
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, l, r)| Expr::new(
+                    ExprKind::Binary(op, Box::new(l), Box::new(r)),
+                    Default::default()
+                )),
+            (prop_oneof![Just(UnOp::Neg), Just(UnOp::Not)], inner.clone()).prop_map(
+                |(op, e)| Expr::new(ExprKind::Unary(op, Box::new(e)), Default::default())
+            ),
+            (ident_strategy(), prop::collection::vec(inner.clone(), 0..3)).prop_map(
+                |(name, args)| Expr::new(ExprKind::Call(name, args), Default::default())
+            ),
+            prop::collection::vec(inner.clone(), 0..3)
+                .prop_map(|es| Expr::new(ExprKind::Array(es), Default::default())),
+            prop::collection::vec(inner.clone(), 1..3)
+                .prop_map(|es| Expr::new(ExprKind::QuantumArray(es), Default::default())),
+            (ident_strategy(), inner.clone()).prop_map(|(name, idx)| Expr::new(
+                ExprKind::Index(
+                    Box::new(Expr::new(ExprKind::Var(name), Default::default())),
+                    Box::new(idx)
+                ),
+                Default::default()
+            )),
+            inner.clone().prop_map(|e| Expr::new(
+                ExprKind::MeasureExpr(Box::new(e)),
+                Default::default()
+            )),
+        ]
+    })
+}
+
+fn type_strategy() -> impl Strategy<Value = Type> {
+    prop_oneof![
+        Just(Type::Bool),
+        Just(Type::Int),
+        Just(Type::Float),
+        Just(Type::String),
+        Just(Type::Qubit),
+        Just(Type::Quint),
+        Just(Type::Qustring),
+        Just(Type::Array(Box::new(Type::Int))),
+        Just(Type::Array(Box::new(Type::Qubit))),
+    ]
+}
+
+fn stmt_strategy() -> impl Strategy<Value = Stmt> {
+    let simple = prop_oneof![
+        (type_strategy(), ident_strategy(), prop::option::of(expr_strategy())).prop_map(
+            |(ty, name, init)| Stmt::VarDecl {
+                ty,
+                name,
+                init,
+                span: Default::default()
+            }
+        ),
+        (ident_strategy(), expr_strategy()).prop_map(|(n, v)| Stmt::Assign {
+            target: LValue::Name(n),
+            op: AssignOp::Set,
+            value: v,
+            span: Default::default()
+        }),
+        (ident_strategy(), expr_strategy(), expr_strategy()).prop_map(|(n, i, v)| Stmt::Assign {
+            target: LValue::Index(n, i),
+            op: AssignOp::Add,
+            value: v,
+            span: Default::default()
+        }),
+        expr_strategy().prop_map(|e| Stmt::Print {
+            value: e,
+            span: Default::default()
+        }),
+        expr_strategy().prop_map(|e| Stmt::Measure {
+            target: e,
+            span: Default::default()
+        }),
+        Just(Stmt::Barrier {
+            span: Default::default()
+        }),
+        (ident_strategy(),).prop_map(|(n,)| Stmt::Gate {
+            gate: GateKind::Hadamard,
+            args: vec![Expr::new(ExprKind::Var(n), Default::default())],
+            span: Default::default()
+        }),
+        (ident_strategy(), ident_strategy()).prop_map(|(a, b)| Stmt::Gate {
+            gate: GateKind::CNot,
+            args: vec![
+                Expr::new(ExprKind::Var(a), Default::default()),
+                Expr::new(ExprKind::Var(b), Default::default())
+            ],
+            span: Default::default()
+        }),
+    ];
+    simple.prop_recursive(2, 12, 3, |inner| {
+        prop_oneof![
+            (expr_strategy(), prop::collection::vec(inner.clone(), 0..3)).prop_map(
+                |(cond, stmts)| Stmt::If {
+                    cond,
+                    then_block: Block {
+                        stmts,
+                        span: Default::default()
+                    },
+                    else_block: None,
+                    span: Default::default()
+                }
+            ),
+            (expr_strategy(), prop::collection::vec(inner.clone(), 0..3)).prop_map(
+                |(cond, stmts)| Stmt::While {
+                    cond,
+                    body: Block {
+                        stmts,
+                        span: Default::default()
+                    },
+                    span: Default::default()
+                }
+            ),
+            (
+                ident_strategy(),
+                expr_strategy(),
+                prop::collection::vec(inner, 0..3)
+            )
+                .prop_map(|(var, it, stmts)| Stmt::Foreach {
+                    var,
+                    iterable: it,
+                    body: Block {
+                        stmts,
+                        span: Default::default()
+                    },
+                    span: Default::default()
+                }),
+        ]
+    })
+}
+
+fn program_strategy() -> impl Strategy<Value = Program> {
+    prop::collection::vec(stmt_strategy(), 0..8).prop_map(|stmts| Program {
+        items: stmts.into_iter().map(Item::Statement).collect(),
+    })
+}
+
+/// Strips spans so ASTs can be compared structurally.
+fn normalize(p: &Program) -> String {
+    // The printer ignores spans entirely, so printed text *is* the
+    // span-free normal form.
+    print_program(p)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// print → parse → print is a fixpoint for arbitrary ASTs.
+    #[test]
+    fn printer_parser_roundtrip(program in program_strategy()) {
+        let printed = normalize(&program);
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed for:\n{printed}\n{e:?}"));
+        let printed2 = normalize(&reparsed);
+        prop_assert_eq!(printed, printed2);
+    }
+}

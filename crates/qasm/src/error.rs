@@ -1,0 +1,47 @@
+//! Error type for QASM export/import.
+
+use qutes_qcirc::CircError;
+use std::fmt;
+
+/// Errors produced while serialising or parsing OpenQASM.
+#[derive(Debug)]
+pub enum QasmError {
+    /// A qubit index belongs to no register (export).
+    UnmappedQubit(usize),
+    /// A classical bit belongs to no register (export).
+    UnmappedClbit(usize),
+    /// The construct cannot be expressed in the target dialect.
+    Unsupported(&'static str),
+    /// Underlying circuit error.
+    Circuit(CircError),
+    /// Parse error at `line` with a message (import).
+    Parse {
+        /// 1-based source line.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for QasmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QasmError::UnmappedQubit(q) => write!(f, "qubit {q} is not part of any register"),
+            QasmError::UnmappedClbit(c) => write!(f, "clbit {c} is not part of any register"),
+            QasmError::Unsupported(m) => write!(f, "unsupported construct: {m}"),
+            QasmError::Circuit(e) => write!(f, "circuit error: {e}"),
+            QasmError::Parse { line, message } => write!(f, "QASM parse error, line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for QasmError {}
+
+impl From<CircError> for QasmError {
+    fn from(e: CircError) -> Self {
+        QasmError::Circuit(e)
+    }
+}
+
+/// Convenience alias for QASM operations.
+pub type QasmResult<T> = Result<T, QasmError>;

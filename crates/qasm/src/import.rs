@@ -1,0 +1,720 @@
+//! A minimal OpenQASM 2.0 importer covering the dialect the exporter
+//! emits (plus whole-register gate broadcast), so circuits round-trip.
+
+use crate::error::{QasmError, QasmResult};
+use qutes_qcirc::{ClassicalRegister, Gate, QuantumCircuit, QuantumRegister};
+use std::collections::HashMap;
+
+/// Parses OpenQASM 2.0 source into a circuit.
+pub fn from_qasm2(src: &str) -> QasmResult<QuantumCircuit> {
+    Importer::new().parse(src)
+}
+
+struct Importer {
+    circuit: QuantumCircuit,
+    qregs: HashMap<String, QuantumRegister>,
+    cregs: HashMap<String, ClassicalRegister>,
+}
+
+/// A parsed operand: a full register or one element of it.
+enum Operand {
+    Whole(String),
+    Indexed(String, usize),
+}
+
+impl Importer {
+    fn new() -> Self {
+        Importer {
+            circuit: QuantumCircuit::new(),
+            qregs: HashMap::new(),
+            cregs: HashMap::new(),
+        }
+    }
+
+    fn parse(mut self, src: &str) -> QasmResult<QuantumCircuit> {
+        // Statements end with ';'. Track line numbers for diagnostics.
+        let mut line_no = 1usize;
+        let mut stmt = String::new();
+        let mut stmt_line = 1usize;
+        let mut chars = src.chars().peekable();
+        while let Some(ch) = chars.next() {
+            match ch {
+                '\n' => {
+                    line_no += 1;
+                    stmt.push(' ');
+                }
+                '/' if chars.peek() == Some(&'/') => {
+                    // line comment
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            line_no += 1;
+                            break;
+                        }
+                    }
+                }
+                ';' => {
+                    let trimmed = stmt.trim().to_string();
+                    if !trimmed.is_empty() {
+                        self.statement(&trimmed, stmt_line)?;
+                    }
+                    stmt.clear();
+                    stmt_line = line_no;
+                }
+                _ => {
+                    if stmt.trim().is_empty() {
+                        stmt_line = line_no;
+                    }
+                    stmt.push(ch);
+                }
+            }
+        }
+        if !stmt.trim().is_empty() {
+            return Err(QasmError::Parse {
+                line: stmt_line,
+                message: format!("unterminated statement: '{}'", stmt.trim()),
+            });
+        }
+        Ok(self.circuit)
+    }
+
+    fn err<T>(&self, line: usize, message: impl Into<String>) -> QasmResult<T> {
+        Err(QasmError::Parse {
+            line,
+            message: message.into(),
+        })
+    }
+
+    fn statement(&mut self, stmt: &str, line: usize) -> QasmResult<()> {
+        if stmt.starts_with("OPENQASM") || stmt.starts_with("include") {
+            return Ok(());
+        }
+        if let Some(rest) = stmt.strip_prefix("qreg ") {
+            let (name, size) = parse_decl(rest, line)?;
+            let reg = self.circuit.add_qreg(&name, size);
+            self.qregs.insert(name, reg);
+            return Ok(());
+        }
+        if let Some(rest) = stmt.strip_prefix("creg ") {
+            let (name, size) = parse_decl(rest, line)?;
+            let reg = self.circuit.add_creg(&name, size);
+            self.cregs.insert(name, reg);
+            return Ok(());
+        }
+        if let Some(rest) = stmt.strip_prefix("if") {
+            // if(creg==int) gate ...
+            let rest = rest.trim_start();
+            let close = rest.find(')').ok_or(QasmError::Parse {
+                line,
+                message: "missing ')' in if".into(),
+            })?;
+            let cond = &rest[1..close];
+            let inner = rest[close + 1..].trim();
+            let (reg_name, value) = cond.split_once("==").ok_or(QasmError::Parse {
+                line,
+                message: "expected 'reg==value' condition".into(),
+            })?;
+            let reg = self
+                .cregs
+                .get(reg_name.trim())
+                .cloned()
+                .ok_or(QasmError::Parse {
+                    line,
+                    message: format!("unknown creg '{}'", reg_name.trim()),
+                })?;
+            if reg.len() != 1 {
+                return self.err(line, "only single-bit creg conditions are supported");
+            }
+            let value: usize = value
+                .trim()
+                .parse()
+                .map_err(|_| QasmError::Parse {
+                    line,
+                    message: format!("bad condition value '{}'", value.trim()),
+                })?;
+            let gates = self.gate_statement(inner, line)?;
+            for g in gates {
+                if !g.is_unitary() {
+                    return self.err(line, "conditioned instruction must be unitary");
+                }
+                self.circuit
+                    .append(Gate::Conditional {
+                        clbit: reg.bit(0),
+                        value: value != 0,
+                        gate: Box::new(g),
+                    })
+                    .map_err(QasmError::Circuit)?;
+            }
+            return Ok(());
+        }
+        let gates = self.gate_statement(stmt, line)?;
+        for g in gates {
+            self.circuit.append(g).map_err(QasmError::Circuit)?;
+        }
+        Ok(())
+    }
+
+    /// Parses one gate/measure/reset/barrier statement into concrete gates
+    /// (whole-register operands are broadcast).
+    fn gate_statement(&mut self, stmt: &str, line: usize) -> QasmResult<Vec<Gate>> {
+        if let Some(rest) = stmt.strip_prefix("measure ") {
+            let (qs, cs) = rest.split_once("->").ok_or(QasmError::Parse {
+                line,
+                message: "measure requires '->'".into(),
+            })?;
+            let qbits = self.resolve_qubits(qs.trim(), line)?;
+            let cbits = self.resolve_clbits(cs.trim(), line)?;
+            if qbits.len() != cbits.len() {
+                return self.err(line, "measure operand sizes differ");
+            }
+            return Ok(qbits
+                .into_iter()
+                .zip(cbits)
+                .map(|(q, c)| Gate::Measure { qubit: q, clbit: c })
+                .collect());
+        }
+        if let Some(rest) = stmt.strip_prefix("reset ") {
+            let qs = self.resolve_qubits(rest.trim(), line)?;
+            return Ok(qs.into_iter().map(Gate::Reset).collect());
+        }
+        if let Some(rest) = stmt.strip_prefix("barrier") {
+            let rest = rest.trim();
+            let mut qubits = Vec::new();
+            if !rest.is_empty() {
+                for part in rest.split(',') {
+                    qubits.extend(self.resolve_qubits(part.trim(), line)?);
+                }
+            }
+            return Ok(vec![Gate::Barrier(qubits)]);
+        }
+
+        // General form: name(params)? operand (, operand)*
+        let (head, args) = match stmt.find([' ', '(']) {
+            Some(_) => {
+                let (name_end, params, rest) = if let Some(p) = stmt.find('(') {
+                    let close = stmt.rfind(')').ok_or(QasmError::Parse {
+                        line,
+                        message: "missing ')'".into(),
+                    })?;
+                    (
+                        p,
+                        parse_params(&stmt[p + 1..close], line)?,
+                        stmt[close + 1..].trim(),
+                    )
+                } else {
+                    let sp = stmt.find(' ').unwrap();
+                    (sp, Vec::new(), stmt[sp + 1..].trim())
+                };
+                ((stmt[..name_end].trim().to_string(), params), rest)
+            }
+            None => return self.err(line, format!("cannot parse statement '{stmt}'")),
+        };
+        let (name, params) = head;
+
+        // Resolve each operand to a list of qubits; broadcast whole regs.
+        let operand_strs: Vec<&str> = args.split(',').map(|s| s.trim()).collect();
+        let mut operands: Vec<Vec<usize>> = Vec::new();
+        for o in &operand_strs {
+            operands.push(self.resolve_qubits(o, line)?);
+        }
+        let broadcast = operands.iter().map(|v| v.len()).max().unwrap_or(1);
+        for v in &operands {
+            if v.len() != 1 && v.len() != broadcast {
+                return self.err(line, "mismatched register sizes in broadcast");
+            }
+        }
+        let pick = |v: &Vec<usize>, i: usize| if v.len() == 1 { v[0] } else { v[i] };
+
+        let mut gates = Vec::new();
+        for i in 0..broadcast {
+            let qs: Vec<usize> = operands.iter().map(|v| pick(v, i)).collect();
+            gates.push(build_gate(&name, &params, &qs, line)?);
+        }
+        Ok(gates)
+    }
+
+    fn resolve_qubits(&self, operand: &str, line: usize) -> QasmResult<Vec<usize>> {
+        match parse_operand(operand, line)? {
+            Operand::Whole(name) => {
+                let reg = self.qregs.get(&name).ok_or(QasmError::Parse {
+                    line,
+                    message: format!("unknown qreg '{name}'"),
+                })?;
+                Ok(reg.qubits())
+            }
+            Operand::Indexed(name, i) => {
+                let reg = self.qregs.get(&name).ok_or(QasmError::Parse {
+                    line,
+                    message: format!("unknown qreg '{name}'"),
+                })?;
+                if i >= reg.len() {
+                    return self.err(line, format!("index {i} out of range for qreg '{name}'"));
+                }
+                Ok(vec![reg.qubit(i)])
+            }
+        }
+    }
+
+    fn resolve_clbits(&self, operand: &str, line: usize) -> QasmResult<Vec<usize>> {
+        match parse_operand(operand, line)? {
+            Operand::Whole(name) => {
+                let reg = self.cregs.get(&name).ok_or(QasmError::Parse {
+                    line,
+                    message: format!("unknown creg '{name}'"),
+                })?;
+                Ok(reg.bits())
+            }
+            Operand::Indexed(name, i) => {
+                let reg = self.cregs.get(&name).ok_or(QasmError::Parse {
+                    line,
+                    message: format!("unknown creg '{name}'"),
+                })?;
+                if i >= reg.len() {
+                    return self.err(line, format!("index {i} out of range for creg '{name}'"));
+                }
+                Ok(vec![reg.bit(i)])
+            }
+        }
+    }
+}
+
+fn parse_decl(rest: &str, line: usize) -> QasmResult<(String, usize)> {
+    // name[size]
+    let open = rest.find('[').ok_or(QasmError::Parse {
+        line,
+        message: "register declaration needs [size]".into(),
+    })?;
+    let close = rest.find(']').ok_or(QasmError::Parse {
+        line,
+        message: "missing ']'".into(),
+    })?;
+    let name = rest[..open].trim().to_string();
+    let size: usize = rest[open + 1..close]
+        .trim()
+        .parse()
+        .map_err(|_| QasmError::Parse {
+            line,
+            message: format!("bad register size '{}'", &rest[open + 1..close]),
+        })?;
+    Ok((name, size))
+}
+
+fn parse_operand(s: &str, line: usize) -> QasmResult<Operand> {
+    if let Some(open) = s.find('[') {
+        let close = s.find(']').ok_or(QasmError::Parse {
+            line,
+            message: "missing ']'".into(),
+        })?;
+        let idx: usize = s[open + 1..close]
+            .trim()
+            .parse()
+            .map_err(|_| QasmError::Parse {
+                line,
+                message: format!("bad index in '{s}'"),
+            })?;
+        Ok(Operand::Indexed(s[..open].trim().to_string(), idx))
+    } else {
+        Ok(Operand::Whole(s.trim().to_string()))
+    }
+}
+
+fn parse_params(s: &str, line: usize) -> QasmResult<Vec<f64>> {
+    s.split(',')
+        .map(|p| eval_expr(p.trim(), line))
+        .collect()
+}
+
+/// Evaluates a constant arithmetic expression with `pi`, `+ - * /`, unary
+/// minus, and parentheses.
+fn eval_expr(s: &str, line: usize) -> QasmResult<f64> {
+    let mut p = ExprParser {
+        chars: s.chars().collect(),
+        pos: 0,
+        line,
+        src: s,
+    };
+    let v = p.expr()?;
+    p.skip_ws();
+    if p.pos != p.chars.len() {
+        return Err(QasmError::Parse {
+            line,
+            message: format!("trailing characters in expression '{s}'"),
+        });
+    }
+    Ok(v)
+}
+
+struct ExprParser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    src: &'a str,
+}
+
+impl ExprParser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.chars.len() && self.chars[self.pos].is_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bad<T>(&self) -> QasmResult<T> {
+        Err(QasmError::Parse {
+            line: self.line,
+            message: format!("bad expression '{}'", self.src),
+        })
+    }
+
+    fn expr(&mut self) -> QasmResult<f64> {
+        let mut v = self.term()?;
+        loop {
+            match self.peek() {
+                Some('+') => {
+                    self.pos += 1;
+                    v += self.term()?;
+                }
+                Some('-') => {
+                    self.pos += 1;
+                    v -= self.term()?;
+                }
+                _ => return Ok(v),
+            }
+        }
+    }
+
+    fn term(&mut self) -> QasmResult<f64> {
+        let mut v = self.factor()?;
+        loop {
+            match self.peek() {
+                Some('*') => {
+                    self.pos += 1;
+                    v *= self.factor()?;
+                }
+                Some('/') => {
+                    self.pos += 1;
+                    v /= self.factor()?;
+                }
+                _ => return Ok(v),
+            }
+        }
+    }
+
+    fn factor(&mut self) -> QasmResult<f64> {
+        match self.peek() {
+            Some('-') => {
+                self.pos += 1;
+                Ok(-self.factor()?)
+            }
+            Some('(') => {
+                self.pos += 1;
+                let v = self.expr()?;
+                if self.peek() == Some(')') {
+                    self.pos += 1;
+                    Ok(v)
+                } else {
+                    self.bad()
+                }
+            }
+            Some(c) if c.is_ascii_digit() || c == '.' => {
+                let start = self.pos;
+                while self.pos < self.chars.len()
+                    && (self.chars[self.pos].is_ascii_digit()
+                        || self.chars[self.pos] == '.'
+                        || self.chars[self.pos] == 'e'
+                        || (self.chars[self.pos] == '-'
+                            && self.pos > start
+                            && self.chars[self.pos - 1] == 'e'))
+                {
+                    self.pos += 1;
+                }
+                let text: String = self.chars[start..self.pos].iter().collect();
+                text.parse().map_err(|_| QasmError::Parse {
+                    line: self.line,
+                    message: format!("bad number '{text}'"),
+                })
+            }
+            Some(c) if c.is_ascii_alphabetic() => {
+                let start = self.pos;
+                while self.pos < self.chars.len() && self.chars[self.pos].is_ascii_alphanumeric() {
+                    self.pos += 1;
+                }
+                let word: String = self.chars[start..self.pos].iter().collect();
+                if word == "pi" {
+                    Ok(std::f64::consts::PI)
+                } else {
+                    self.bad()
+                }
+            }
+            _ => self.bad(),
+        }
+    }
+}
+
+fn build_gate(name: &str, params: &[f64], qs: &[usize], line: usize) -> QasmResult<Gate> {
+    let need = |n: usize, p: usize| -> QasmResult<()> {
+        if qs.len() != n || params.len() != p {
+            Err(QasmError::Parse {
+                line,
+                message: format!(
+                    "gate '{name}' expects {n} qubits / {p} params, got {} / {}",
+                    qs.len(),
+                    params.len()
+                ),
+            })
+        } else {
+            Ok(())
+        }
+    };
+    Ok(match name {
+        "h" => {
+            need(1, 0)?;
+            Gate::H(qs[0])
+        }
+        "x" => {
+            need(1, 0)?;
+            Gate::X(qs[0])
+        }
+        "y" => {
+            need(1, 0)?;
+            Gate::Y(qs[0])
+        }
+        "z" => {
+            need(1, 0)?;
+            Gate::Z(qs[0])
+        }
+        "s" => {
+            need(1, 0)?;
+            Gate::S(qs[0])
+        }
+        "sdg" => {
+            need(1, 0)?;
+            Gate::Sdg(qs[0])
+        }
+        "t" => {
+            need(1, 0)?;
+            Gate::T(qs[0])
+        }
+        "tdg" => {
+            need(1, 0)?;
+            Gate::Tdg(qs[0])
+        }
+        "sx" => {
+            need(1, 0)?;
+            Gate::SX(qs[0])
+        }
+        "sxdg" => {
+            need(1, 0)?;
+            Gate::SXdg(qs[0])
+        }
+        "id" => {
+            need(1, 0)?;
+            // Identity: emit a zero-rotation (kept so op counts match).
+            Gate::RZ {
+                target: qs[0],
+                theta: 0.0,
+            }
+        }
+        "p" | "u1" => {
+            need(1, 1)?;
+            Gate::Phase {
+                target: qs[0],
+                lambda: params[0],
+            }
+        }
+        "rx" => {
+            need(1, 1)?;
+            Gate::RX {
+                target: qs[0],
+                theta: params[0],
+            }
+        }
+        "ry" => {
+            need(1, 1)?;
+            Gate::RY {
+                target: qs[0],
+                theta: params[0],
+            }
+        }
+        "rz" => {
+            need(1, 1)?;
+            Gate::RZ {
+                target: qs[0],
+                theta: params[0],
+            }
+        }
+        "u2" => {
+            need(1, 2)?;
+            Gate::U {
+                target: qs[0],
+                theta: std::f64::consts::FRAC_PI_2,
+                phi: params[0],
+                lambda: params[1],
+            }
+        }
+        "u" | "u3" => {
+            need(1, 3)?;
+            Gate::U {
+                target: qs[0],
+                theta: params[0],
+                phi: params[1],
+                lambda: params[2],
+            }
+        }
+        "cx" | "CX" => {
+            need(2, 0)?;
+            Gate::CX {
+                control: qs[0],
+                target: qs[1],
+            }
+        }
+        "cy" => {
+            need(2, 0)?;
+            Gate::CY {
+                control: qs[0],
+                target: qs[1],
+            }
+        }
+        "cz" => {
+            need(2, 0)?;
+            Gate::CZ {
+                control: qs[0],
+                target: qs[1],
+            }
+        }
+        "cp" | "cu1" => {
+            need(2, 1)?;
+            Gate::CPhase {
+                control: qs[0],
+                target: qs[1],
+                lambda: params[0],
+            }
+        }
+        "swap" => {
+            need(2, 0)?;
+            Gate::Swap { a: qs[0], b: qs[1] }
+        }
+        "ccx" => {
+            need(3, 0)?;
+            Gate::CCX {
+                c0: qs[0],
+                c1: qs[1],
+                target: qs[2],
+            }
+        }
+        "cswap" => {
+            need(3, 0)?;
+            Gate::CSwap {
+                control: qs[0],
+                a: qs[1],
+                b: qs[2],
+            }
+        }
+        other => {
+            return Err(QasmError::Parse {
+                line,
+                message: format!("unknown gate '{other}'"),
+            })
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_bell() {
+        let src = r#"
+            OPENQASM 2.0;
+            include "qelib1.inc";
+            qreg q[2];
+            creg c[2];
+            h q[0];
+            cx q[0],q[1];
+            measure q[0] -> c[0];
+            measure q[1] -> c[1];
+        "#;
+        let c = from_qasm2(src).unwrap();
+        assert_eq!(c.num_qubits(), 2);
+        assert_eq!(c.num_clbits(), 2);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.ops()[0], Gate::H(0));
+        assert_eq!(c.ops()[1], Gate::CX { control: 0, target: 1 });
+    }
+
+    #[test]
+    fn broadcast_whole_register() {
+        let src = "OPENQASM 2.0; qreg q[3]; h q; measure q -> c;";
+        // measure needs creg; add it
+        let src = src.replace("qreg q[3];", "qreg q[3]; creg c[3];");
+        let c = from_qasm2(&src).unwrap();
+        assert_eq!(
+            c.ops()[..3],
+            [Gate::H(0), Gate::H(1), Gate::H(2)]
+        );
+        assert_eq!(c.len(), 6);
+    }
+
+    #[test]
+    fn parses_parameterised_gates() {
+        let src = "OPENQASM 2.0; qreg q[1]; u1(pi/2) q[0]; rx(-pi/4) q[0]; u3(1.5,0.25,-0.5) q[0];";
+        let c = from_qasm2(src).unwrap();
+        assert!(matches!(c.ops()[0], Gate::Phase { lambda, .. }
+            if (lambda - std::f64::consts::FRAC_PI_2).abs() < 1e-12));
+        assert!(matches!(c.ops()[1], Gate::RX { theta, .. }
+            if (theta + std::f64::consts::FRAC_PI_4).abs() < 1e-12));
+        assert!(matches!(c.ops()[2], Gate::U { theta, .. } if (theta - 1.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn expression_arithmetic() {
+        assert!((eval_expr("2*pi/4", 0).unwrap() - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert!((eval_expr("(1+2)*3", 0).unwrap() - 9.0).abs() < 1e-12);
+        assert!((eval_expr("-pi", 0).unwrap() + std::f64::consts::PI).abs() < 1e-12);
+        assert!((eval_expr("1e-3", 0).unwrap() - 0.001).abs() < 1e-15);
+        assert!(eval_expr("foo", 0).is_err());
+        assert!(eval_expr("1+", 0).is_err());
+    }
+
+    #[test]
+    fn parses_conditional() {
+        let src = "OPENQASM 2.0; qreg q[2]; creg f[1]; measure q[0] -> f[0]; if(f==1) x q[1];";
+        let c = from_qasm2(src).unwrap();
+        assert!(matches!(
+            c.ops()[1],
+            Gate::Conditional { clbit: 0, value: true, .. }
+        ));
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let src = "OPENQASM 2.0;\nqreg q[1];\nbadgate q[0];";
+        let err = from_qasm2(src).unwrap_err();
+        match err {
+            QasmError::Parse { line, message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("badgate"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_indices_and_unknown_regs() {
+        assert!(from_qasm2("OPENQASM 2.0; qreg q[1]; h q[5];").is_err());
+        assert!(from_qasm2("OPENQASM 2.0; h nope[0];").is_err());
+        assert!(from_qasm2("OPENQASM 2.0; qreg q[1]; h q[0]").is_err()); // missing ';'
+    }
+
+    #[test]
+    fn barrier_and_reset() {
+        let src = "OPENQASM 2.0; qreg q[2]; barrier q; reset q[1];";
+        let c = from_qasm2(src).unwrap();
+        assert_eq!(c.ops()[0], Gate::Barrier(vec![0, 1]));
+        assert_eq!(c.ops()[1], Gate::Reset(1));
+    }
+}

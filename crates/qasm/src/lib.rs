@@ -1,0 +1,29 @@
+//! # qutes-qasm
+//!
+//! OpenQASM 2.0 / 3.0 interoperability for Qutes circuits. The paper's
+//! future-work section (§6) calls out "methods to export Qutes code to
+//! widely used quantum programming languages, particularly Qiskit and
+//! QASM"; this crate provides that bridge for the circuit IR, plus a
+//! QASM 2 importer so exported circuits round-trip.
+//!
+//! ```
+//! use qutes_qcirc::QuantumCircuit;
+//! use qutes_qasm::{to_qasm2, from_qasm2};
+//!
+//! let mut c = QuantumCircuit::new();
+//! let q = c.add_qreg("q", 2);
+//! c.h(q.qubit(0)).unwrap();
+//! c.cx(q.qubit(0), q.qubit(1)).unwrap();
+//!
+//! let text = to_qasm2(&c).unwrap();
+//! let back = from_qasm2(&text).unwrap();
+//! assert_eq!(back.num_qubits(), 2);
+//! ```
+
+pub mod error;
+pub mod export;
+pub mod import;
+
+pub use error::{QasmError, QasmResult};
+pub use export::{to_qasm2, to_qasm3};
+pub use import::from_qasm2;

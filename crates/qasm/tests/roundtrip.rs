@@ -1,0 +1,74 @@
+//! Export → import round-trip property: a random circuit serialised to
+//! OpenQASM 2 and parsed back must produce the same statevector (up to the
+//! global phase QASM 2 cannot express).
+
+use proptest::prelude::*;
+use qutes_qasm::{from_qasm2, to_qasm2, to_qasm3};
+use qutes_qcirc::{statevector, Gate, QuantumCircuit};
+
+const N: usize = 4;
+
+fn gate_strategy() -> impl Strategy<Value = Gate> {
+    prop_oneof![
+        (0..N).prop_map(Gate::H),
+        (0..N).prop_map(Gate::X),
+        (0..N).prop_map(Gate::S),
+        (0..N).prop_map(Gate::T),
+        (0..N).prop_map(Gate::SX),
+        (0..N, -3.0..3.0f64).prop_map(|(t, l)| Gate::Phase { target: t, lambda: l }),
+        (0..N, -3.0..3.0f64).prop_map(|(t, th)| Gate::RY { target: t, theta: th }),
+        (0..N, -3.0..3.0f64).prop_map(|(t, th)| Gate::RZ { target: t, theta: th }),
+        (0..N, 0..N).prop_filter_map("distinct", |(c, t)| (c != t)
+            .then_some(Gate::CX { control: c, target: t })),
+        (0..N, 0..N, -2.0..2.0f64).prop_filter_map("distinct", |(c, t, l)| (c != t)
+            .then_some(Gate::CPhase { control: c, target: t, lambda: l })),
+        (0..N, 0..N).prop_filter_map("distinct", |(a, b)| (a != b)
+            .then_some(Gate::Swap { a, b })),
+        prop::sample::subsequence(vec![0usize, 1, 2, 3], 3)
+            .prop_filter_map("ccx", |qs| (qs.len() == 3).then(|| Gate::CCX {
+                c0: qs[0],
+                c1: qs[1],
+                target: qs[2]
+            })),
+        prop::sample::subsequence(vec![0usize, 1, 2, 3], 4).prop_filter_map("mcx", |qs| {
+            (qs.len() == 4).then(|| Gate::MCX {
+                controls: qs[..3].to_vec(),
+                target: qs[3],
+            })
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn qasm2_roundtrip_preserves_state(ops in prop::collection::vec(gate_strategy(), 0..20)) {
+        let mut c = QuantumCircuit::with_qubits(N);
+        for g in &ops {
+            c.append(g.clone()).unwrap();
+        }
+        let text = to_qasm2(&c).unwrap();
+        let back = from_qasm2(&text).unwrap();
+        prop_assert_eq!(back.num_qubits(), N);
+        let sa = statevector(&c).unwrap();
+        let sb = statevector(&back).unwrap();
+        let f = sa.fidelity(&sb).unwrap();
+        prop_assert!((f - 1.0).abs() < 1e-8, "fidelity {f}\nqasm:\n{text}");
+    }
+
+    #[test]
+    fn qasm3_always_serialises(ops in prop::collection::vec(gate_strategy(), 0..20)) {
+        let mut c = QuantumCircuit::with_qubits_and_clbits(N, N);
+        for g in &ops {
+            c.append(g.clone()).unwrap();
+        }
+        for q in 0..N {
+            c.measure(q, q).unwrap();
+        }
+        let text = to_qasm3(&c).unwrap();
+        prop_assert!(text.starts_with("// "));
+        prop_assert!(text.contains("OPENQASM 3.0;"));
+        prop_assert!(text.contains("= measure"));
+    }
+}

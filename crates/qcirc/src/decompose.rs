@@ -1,0 +1,547 @@
+//! Gate decomposition and basis transpilation.
+//!
+//! Two multi-controlled-X strategies are provided (they are the ablation
+//! pair of experiment E8):
+//!
+//! * [`mcx_no_ancilla`] — ancilla-free recursive decomposition via the
+//!   multi-controlled phase recursion (`C^kP(l) = CP(l/2) · C^{k-1}X ·
+//!   CP(-l/2) · C^{k-1}X · C^{k-1}P(l/2)`), exact but with gate count
+//!   exponential in the number of controls;
+//! * [`mcx_vchain`] — the Toffoli V-chain, linear gate count but requiring
+//!   `k-2` clean ancilla qubits.
+//!
+//! [`transpile`] lowers a whole circuit to the hardware-style
+//! `{U(theta,phi,lambda), CX}` basis (global phases tracked exactly so the
+//! statevector matches bit-for-bit, not just up to phase).
+
+use crate::circuit::QuantumCircuit;
+use crate::error::{CircError, CircResult};
+use crate::gate::Gate;
+use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+
+/// Target basis for [`transpile`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Basis {
+    /// `{U, CX}` plus measurement/reset/barrier — the typical
+    /// superconducting-hardware basis.
+    CxU,
+    /// Named 1- and 2-qubit standard gates plus CCX; only `MCX`,
+    /// `MCPhase` and `CSwap` are decomposed. This is what OpenQASM 2's
+    /// `qelib1.inc` can express directly.
+    Standard,
+}
+
+/// Emits an ancilla-free multi-controlled X into `ops`.
+pub fn mcx_no_ancilla(ops: &mut Vec<Gate>, controls: &[usize], target: usize) {
+    match controls.len() {
+        0 => ops.push(Gate::X(target)),
+        1 => ops.push(Gate::CX {
+            control: controls[0],
+            target,
+        }),
+        2 => ops.push(Gate::CCX {
+            c0: controls[0],
+            c1: controls[1],
+            target,
+        }),
+        _ => {
+            // MCX = H(t) · MCPhase(pi) · H(t)
+            ops.push(Gate::H(target));
+            mcphase_no_ancilla(ops, PI, controls, target);
+            ops.push(Gate::H(target));
+        }
+    }
+}
+
+/// Emits an ancilla-free multi-controlled phase into `ops`.
+///
+/// Recursion: with controls `c_1..c_k` and target `t`,
+/// `C^k P(l) = CP(l/2)[c_k, t] · C^{k-1}X[c_1..c_{k-1} -> c_k] ·
+/// CP(-l/2)[c_k, t] · C^{k-1}X[c_1..c_{k-1} -> c_k] ·
+/// C^{k-1}P(l/2)[c_1..c_{k-1} -> t]`.
+pub fn mcphase_no_ancilla(ops: &mut Vec<Gate>, lambda: f64, controls: &[usize], target: usize) {
+    match controls.len() {
+        0 => ops.push(Gate::Phase { target, lambda }),
+        1 => ops.push(Gate::CPhase {
+            control: controls[0],
+            target,
+            lambda,
+        }),
+        k => {
+            let last = controls[k - 1];
+            let rest = &controls[..k - 1];
+            ops.push(Gate::CPhase {
+                control: last,
+                target,
+                lambda: lambda / 2.0,
+            });
+            mcx_no_ancilla(ops, rest, last);
+            ops.push(Gate::CPhase {
+                control: last,
+                target,
+                lambda: -lambda / 2.0,
+            });
+            mcx_no_ancilla(ops, rest, last);
+            mcphase_no_ancilla(ops, lambda / 2.0, rest, target);
+        }
+    }
+}
+
+/// Emits a V-chain multi-controlled X using `k-2` clean ancillas
+/// (`2(k-2)+1` Toffolis for `k >= 3` controls). Errors when too few
+/// ancillas are supplied.
+pub fn mcx_vchain(
+    ops: &mut Vec<Gate>,
+    controls: &[usize],
+    target: usize,
+    ancillas: &[usize],
+) -> CircResult<()> {
+    let k = controls.len();
+    if k <= 2 {
+        mcx_no_ancilla(ops, controls, target);
+        return Ok(());
+    }
+    let needed = k - 2;
+    if ancillas.len() < needed {
+        return Err(CircError::NeedAncillas {
+            needed,
+            available: ancillas.len(),
+        });
+    }
+    // Compute ANDs up the chain: a0 = c0&c1, a_i = a_{i-1} & c_{i+1}.
+    let mut forward: Vec<Gate> = Vec::new();
+    forward.push(Gate::CCX {
+        c0: controls[0],
+        c1: controls[1],
+        target: ancillas[0],
+    });
+    for i in 1..needed {
+        forward.push(Gate::CCX {
+            c0: ancillas[i - 1],
+            c1: controls[i + 1],
+            target: ancillas[i],
+        });
+    }
+    ops.extend(forward.iter().cloned());
+    ops.push(Gate::CCX {
+        c0: ancillas[needed - 1],
+        c1: controls[k - 1],
+        target,
+    });
+    // Uncompute ancillas.
+    for g in forward.iter().rev() {
+        ops.push(g.clone());
+    }
+    Ok(())
+}
+
+fn push_u(ops: &mut Vec<Gate>, target: usize, theta: f64, phi: f64, lambda: f64) {
+    ops.push(Gate::U {
+        target,
+        theta,
+        phi,
+        lambda,
+    });
+}
+
+/// Rewrites one gate into the `{U, CX}` basis (recursively).
+fn lower_to_cx_u(g: &Gate, ops: &mut Vec<Gate>) -> CircResult<()> {
+    use Gate::*;
+    match g {
+        H(q) => push_u(ops, *q, FRAC_PI_2, 0.0, PI),
+        X(q) => push_u(ops, *q, PI, 0.0, PI),
+        Y(q) => push_u(ops, *q, PI, FRAC_PI_2, FRAC_PI_2),
+        Z(q) => push_u(ops, *q, 0.0, 0.0, PI),
+        S(q) => push_u(ops, *q, 0.0, 0.0, FRAC_PI_2),
+        Sdg(q) => push_u(ops, *q, 0.0, 0.0, -FRAC_PI_2),
+        T(q) => push_u(ops, *q, 0.0, 0.0, FRAC_PI_4),
+        Tdg(q) => push_u(ops, *q, 0.0, 0.0, -FRAC_PI_4),
+        SX(q) => {
+            // SX = e^{i pi/4} U(pi/2, -pi/2, pi/2)
+            ops.push(GlobalPhase(FRAC_PI_4));
+            push_u(ops, *q, FRAC_PI_2, -FRAC_PI_2, FRAC_PI_2);
+        }
+        SXdg(q) => {
+            // SXdg = e^{-i pi/4} U(pi/2, pi/2, -pi/2)
+            ops.push(GlobalPhase(-FRAC_PI_4));
+            push_u(ops, *q, FRAC_PI_2, FRAC_PI_2, -FRAC_PI_2);
+        }
+        Phase { target, lambda } => push_u(ops, *target, 0.0, 0.0, *lambda),
+        RX { target, theta } => push_u(ops, *target, *theta, -FRAC_PI_2, FRAC_PI_2),
+        RY { target, theta } => push_u(ops, *target, *theta, 0.0, 0.0),
+        RZ { target, theta } => {
+            // RZ(t) = e^{-i t/2} P(t)
+            ops.push(GlobalPhase(-theta / 2.0));
+            push_u(ops, *target, 0.0, 0.0, *theta);
+        }
+        U { .. } | CX { .. } | Measure { .. } | Reset(_) | Barrier(_) | GlobalPhase(_) => {
+            ops.push(g.clone());
+        }
+        CY { control, target } => {
+            // CY = Sdg(t) CX S(t)
+            lower_to_cx_u(&Sdg(*target), ops)?;
+            ops.push(CX {
+                control: *control,
+                target: *target,
+            });
+            lower_to_cx_u(&S(*target), ops)?;
+        }
+        CZ { control, target } => {
+            lower_to_cx_u(&H(*target), ops)?;
+            ops.push(CX {
+                control: *control,
+                target: *target,
+            });
+            lower_to_cx_u(&H(*target), ops)?;
+        }
+        CPhase {
+            control,
+            target,
+            lambda,
+        } => {
+            let half = lambda / 2.0;
+            push_u(ops, *control, 0.0, 0.0, half);
+            ops.push(CX {
+                control: *control,
+                target: *target,
+            });
+            push_u(ops, *target, 0.0, 0.0, -half);
+            ops.push(CX {
+                control: *control,
+                target: *target,
+            });
+            push_u(ops, *target, 0.0, 0.0, half);
+        }
+        Swap { a, b } => {
+            ops.push(CX {
+                control: *a,
+                target: *b,
+            });
+            ops.push(CX {
+                control: *b,
+                target: *a,
+            });
+            ops.push(CX {
+                control: *a,
+                target: *b,
+            });
+        }
+        CCX { c0, c1, target } => {
+            // Standard 6-CX Toffoli network.
+            let (a, b, t) = (*c0, *c1, *target);
+            lower_to_cx_u(&H(t), ops)?;
+            ops.push(CX { control: b, target: t });
+            lower_to_cx_u(&Tdg(t), ops)?;
+            ops.push(CX { control: a, target: t });
+            lower_to_cx_u(&T(t), ops)?;
+            ops.push(CX { control: b, target: t });
+            lower_to_cx_u(&Tdg(t), ops)?;
+            ops.push(CX { control: a, target: t });
+            lower_to_cx_u(&T(b), ops)?;
+            lower_to_cx_u(&T(t), ops)?;
+            lower_to_cx_u(&H(t), ops)?;
+            ops.push(CX { control: a, target: b });
+            lower_to_cx_u(&T(a), ops)?;
+            lower_to_cx_u(&Tdg(b), ops)?;
+            ops.push(CX { control: a, target: b });
+        }
+        CSwap { control, a, b } => {
+            ops.push(CX {
+                control: *b,
+                target: *a,
+            });
+            lower_to_cx_u(
+                &CCX {
+                    c0: *control,
+                    c1: *a,
+                    target: *b,
+                },
+                ops,
+            )?;
+            ops.push(CX {
+                control: *b,
+                target: *a,
+            });
+        }
+        MCX { controls, target } => {
+            let mut tmp = Vec::new();
+            mcx_no_ancilla(&mut tmp, controls, *target);
+            for t in &tmp {
+                lower_to_cx_u(t, ops)?;
+            }
+        }
+        MCPhase {
+            controls,
+            target,
+            lambda,
+        } => {
+            let mut tmp = Vec::new();
+            mcphase_no_ancilla(&mut tmp, *lambda, controls, *target);
+            for t in &tmp {
+                lower_to_cx_u(t, ops)?;
+            }
+        }
+        Conditional { clbit, value, gate } => {
+            let mut tmp = Vec::new();
+            lower_to_cx_u(gate, &mut tmp)?;
+            for t in tmp {
+                ops.push(Conditional {
+                    clbit: *clbit,
+                    value: *value,
+                    gate: Box::new(t),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Rewrites one gate into the `Standard` basis.
+fn lower_to_standard(g: &Gate, ops: &mut Vec<Gate>) -> CircResult<()> {
+    use Gate::*;
+    match g {
+        MCX { controls, target } => mcx_no_ancilla(ops, controls, *target),
+        MCPhase {
+            controls,
+            target,
+            lambda,
+        } => mcphase_no_ancilla(ops, *lambda, controls, *target),
+        Conditional { clbit, value, gate } => {
+            let mut tmp = Vec::new();
+            lower_to_standard(gate, &mut tmp)?;
+            for t in tmp {
+                ops.push(Conditional {
+                    clbit: *clbit,
+                    value: *value,
+                    gate: Box::new(t),
+                });
+            }
+        }
+        other => ops.push(other.clone()),
+    }
+    Ok(())
+}
+
+/// Lowers every instruction of `circuit` to the chosen basis.
+pub fn transpile(circuit: &QuantumCircuit, basis: Basis) -> CircResult<QuantumCircuit> {
+    let mut out = circuit.clone_structure();
+    let mut ops = Vec::new();
+    for g in circuit.ops() {
+        match basis {
+            Basis::CxU => lower_to_cx_u(g, &mut ops)?,
+            Basis::Standard => lower_to_standard(g, &mut ops)?,
+        }
+    }
+    for g in ops {
+        out.append(g)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::execute::statevector;
+
+    /// Fidelity between a circuit and its transpiled form, starting from a
+    /// state scrambled by a fixed prefix so every amplitude participates.
+    fn equivalent(c: &QuantumCircuit, basis: Basis) -> bool {
+        let prefix = scramble(c.num_qubits());
+        let mut a = prefix.clone();
+        a.extend(c).unwrap();
+        let mut b = prefix;
+        b.extend(&transpile(c, basis).unwrap()).unwrap();
+        let sa = statevector(&a).unwrap();
+        let sb = statevector(&b).unwrap();
+        // Exact equality including global phase: inner product must be ~1+0i.
+        let ip = sa.inner_product(&sb).unwrap();
+        (ip.re - 1.0).abs() < 1e-9 && ip.im.abs() < 1e-9
+    }
+
+    fn scramble(n: usize) -> QuantumCircuit {
+        let mut c = QuantumCircuit::with_qubits(n);
+        for q in 0..n {
+            c.h(q).unwrap();
+            c.rz(0.3 + q as f64 * 0.17, q).unwrap();
+            c.ry(0.5 + q as f64 * 0.11, q).unwrap();
+        }
+        for q in 1..n {
+            c.cx(q - 1, q).unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn single_qubit_gates_lower_exactly() {
+        let mut c = QuantumCircuit::with_qubits(1);
+        c.h(0).unwrap();
+        c.x(0).unwrap();
+        c.y(0).unwrap();
+        c.z(0).unwrap();
+        c.s(0).unwrap();
+        c.sdg(0).unwrap();
+        c.t(0).unwrap();
+        c.tdg(0).unwrap();
+        c.sx(0).unwrap();
+        c.p(0.7, 0).unwrap();
+        c.rx(0.4, 0).unwrap();
+        c.ry(1.3, 0).unwrap();
+        c.rz(-0.9, 0).unwrap();
+        assert!(equivalent(&c, Basis::CxU));
+    }
+
+    #[test]
+    fn two_qubit_gates_lower_exactly() {
+        let mut c = QuantumCircuit::with_qubits(2);
+        c.cy(0, 1).unwrap();
+        c.cz(1, 0).unwrap();
+        c.cp(1.1, 0, 1).unwrap();
+        c.swap(0, 1).unwrap();
+        assert!(equivalent(&c, Basis::CxU));
+    }
+
+    #[test]
+    fn toffoli_and_fredkin_lower_exactly() {
+        let mut c = QuantumCircuit::with_qubits(3);
+        c.ccx(0, 1, 2).unwrap();
+        c.cswap(2, 0, 1).unwrap();
+        assert!(equivalent(&c, Basis::CxU));
+        // CxU output has no gate wider than 2 qubits.
+        let t = transpile(&c, Basis::CxU).unwrap();
+        assert!(t.ops().iter().all(|g| g.qubits().len() <= 2));
+    }
+
+    #[test]
+    fn mcx_no_ancilla_truth_table() {
+        for k in 3..=5usize {
+            let n = k + 1;
+            let controls: Vec<usize> = (0..k).collect();
+            let mut ops = Vec::new();
+            mcx_no_ancilla(&mut ops, &controls, k);
+            for input in 0..(1usize << n) {
+                let mut c = QuantumCircuit::with_qubits(n);
+                for q in 0..n {
+                    if input >> q & 1 == 1 {
+                        c.x(q).unwrap();
+                    }
+                }
+                for g in &ops {
+                    c.append(g.clone()).unwrap();
+                }
+                let sv = statevector(&c).unwrap();
+                let all_controls = (0..k).all(|q| input >> q & 1 == 1);
+                let expect = if all_controls {
+                    input ^ (1 << k)
+                } else {
+                    input
+                };
+                assert!(
+                    sv.amplitude(expect).norm() > 0.999,
+                    "k={k} input={input:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mcphase_no_ancilla_phases_all_ones_only() {
+        let k = 3usize;
+        let controls: Vec<usize> = (0..k).collect();
+        let mut ops = Vec::new();
+        mcphase_no_ancilla(&mut ops, 0.8, &controls, k);
+        let mut c = QuantumCircuit::with_qubits(k + 1);
+        for q in 0..=k {
+            c.h(q).unwrap();
+        }
+        for g in &ops {
+            c.append(g.clone()).unwrap();
+        }
+        let sv = statevector(&c).unwrap();
+        let amp_all = sv.amplitude((1 << (k + 1)) - 1);
+        let amp_other = sv.amplitude(0);
+        let expected = qutes_sim::Complex64::cis(0.8);
+        assert!((amp_all / amp_other).approx_eq(expected, 1e-9));
+    }
+
+    #[test]
+    fn vchain_matches_native_mcx() {
+        for k in 3..=6usize {
+            let n = k + 1 + (k - 2); // controls + target + ancillas
+            let controls: Vec<usize> = (0..k).collect();
+            let target = k;
+            let ancillas: Vec<usize> = (k + 1..n).collect();
+            let mut ops = Vec::new();
+            mcx_vchain(&mut ops, &controls, target, &ancillas).unwrap();
+
+            for input in [0usize, (1 << k) - 1, 0b101 % (1 << k)] {
+                let mut a = QuantumCircuit::with_qubits(n);
+                let mut b = QuantumCircuit::with_qubits(n);
+                for q in 0..k {
+                    if input >> q & 1 == 1 {
+                        a.x(q).unwrap();
+                        b.x(q).unwrap();
+                    }
+                }
+                for g in &ops {
+                    a.append(g.clone()).unwrap();
+                }
+                b.mcx(&controls, target).unwrap();
+                let sa = statevector(&a).unwrap();
+                let sb = statevector(&b).unwrap();
+                assert!((sa.fidelity(&sb).unwrap() - 1.0).abs() < 1e-9, "k={k} input={input:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn vchain_toffoli_count_is_linear() {
+        let k = 8usize;
+        let controls: Vec<usize> = (0..k).collect();
+        let ancillas: Vec<usize> = (k + 1..k + 1 + k - 2).collect();
+        let mut ops = Vec::new();
+        mcx_vchain(&mut ops, &controls, k, &ancillas).unwrap();
+        let ccx_count = ops.iter().filter(|g| matches!(g, Gate::CCX { .. })).count();
+        assert_eq!(ccx_count, 2 * (k - 2) + 1);
+    }
+
+    #[test]
+    fn vchain_requires_ancillas() {
+        let mut ops = Vec::new();
+        let err = mcx_vchain(&mut ops, &[0, 1, 2, 3], 4, &[5]).unwrap_err();
+        assert!(matches!(err, CircError::NeedAncillas { needed: 2, available: 1 }));
+    }
+
+    #[test]
+    fn mcx_gate_transpiles_to_cx_u() {
+        let mut c = QuantumCircuit::with_qubits(5);
+        c.mcx(&[0, 1, 2, 3], 4).unwrap();
+        assert!(equivalent(&c, Basis::CxU));
+    }
+
+    #[test]
+    fn standard_basis_keeps_named_gates() {
+        let mut c = QuantumCircuit::with_qubits(4);
+        c.h(0).unwrap();
+        c.ccx(0, 1, 2).unwrap();
+        c.mcx(&[0, 1, 2], 3).unwrap();
+        let t = transpile(&c, Basis::Standard).unwrap();
+        assert!(matches!(t.ops()[0], Gate::H(0)));
+        assert!(matches!(t.ops()[1], Gate::CCX { .. }));
+        // MCX got decomposed, no MCX remains.
+        assert!(t.ops().iter().all(|g| !matches!(g, Gate::MCX { .. })));
+        assert!(equivalent(&c, Basis::Standard));
+    }
+
+    #[test]
+    fn conditional_gates_survive_transpile() {
+        let mut c = QuantumCircuit::with_qubits_and_clbits(2, 1);
+        c.h(0).unwrap();
+        c.measure(0, 0).unwrap();
+        c.c_if(0, true, Gate::Y(1)).unwrap();
+        let t = transpile(&c, Basis::CxU).unwrap();
+        assert!(t
+            .ops()
+            .iter()
+            .any(|g| matches!(g, Gate::Conditional { .. })));
+    }
+}

@@ -1,0 +1,267 @@
+//! ASCII circuit rendering (the `qutes run --draw` view).
+//!
+//! Gates are packed greedily into time columns using the same rule as
+//! [`QuantumCircuit::depth`]: an instruction lands in the first column
+//! where every wire it needs is free, and multi-qubit instructions also
+//! block the wires *between* their endpoints so the vertical connector
+//! has room.
+
+use crate::circuit::QuantumCircuit;
+use crate::gate::Gate;
+
+/// Per-gate drawing info: (label on target, labels on controls).
+fn gate_symbols(g: &Gate) -> (String, &'static str) {
+    let ctrl = "o";
+    let label = match g {
+        Gate::H(_) => "H".into(),
+        Gate::X(_) => "X".into(),
+        Gate::Y(_) => "Y".into(),
+        Gate::Z(_) => "Z".into(),
+        Gate::S(_) => "S".into(),
+        Gate::Sdg(_) => "S+".into(),
+        Gate::T(_) => "T".into(),
+        Gate::Tdg(_) => "T+".into(),
+        Gate::SX(_) => "SX".into(),
+        Gate::SXdg(_) => "SX+".into(),
+        Gate::Phase { lambda, .. } => format!("P({lambda:.2})"),
+        Gate::RX { theta, .. } => format!("RX({theta:.2})"),
+        Gate::RY { theta, .. } => format!("RY({theta:.2})"),
+        Gate::RZ { theta, .. } => format!("RZ({theta:.2})"),
+        Gate::U { .. } => "U".into(),
+        Gate::CX { .. } | Gate::CCX { .. } | Gate::MCX { .. } => "X".into(),
+        Gate::CY { .. } => "Y".into(),
+        Gate::CZ { .. } => "Z".into(),
+        Gate::CPhase { lambda, .. } => format!("P({lambda:.2})"),
+        Gate::MCPhase { lambda, .. } => format!("P({lambda:.2})"),
+        Gate::Swap { .. } | Gate::CSwap { .. } => "x".into(),
+        Gate::Measure { .. } => "M".into(),
+        Gate::Reset(_) => "|0>".into(),
+        Gate::Barrier(_) => "|".into(),
+        Gate::Conditional { .. } => "?".into(),
+        Gate::GlobalPhase(_) => "gφ".into(),
+    };
+    (label, ctrl)
+}
+
+/// A column entry: what to print on each involved wire.
+struct Placement {
+    column: usize,
+    cells: Vec<(usize, String)>, // (qubit, text)
+    connect: Option<(usize, usize)>,
+}
+
+/// Renders the circuit as ASCII art, one line per qubit (clbits are not
+/// drawn; measurements are marked `M`).
+pub fn draw(circuit: &QuantumCircuit) -> String {
+    let n = circuit.num_qubits();
+    if n == 0 {
+        return String::new();
+    }
+    let mut free_at = vec![0usize; n]; // first free column per wire
+    let mut placements: Vec<Placement> = Vec::new();
+    let mut n_cols = 0usize;
+
+    for g in circuit.ops() {
+        let qs = g.qubits();
+        if qs.is_empty() {
+            continue;
+        }
+        let lo = *qs.iter().min().unwrap();
+        let hi = *qs.iter().max().unwrap();
+        let column = (lo..=hi).map(|q| free_at[q]).max().unwrap_or(0);
+        for slot in free_at[lo..=hi].iter_mut() {
+            *slot = column + 1;
+        }
+        n_cols = n_cols.max(column + 1);
+
+        let (label, ctrl) = gate_symbols(g);
+        let mut cells = Vec::new();
+        match g {
+            Gate::Barrier(bq) => {
+                let wires: Vec<usize> = if bq.is_empty() {
+                    (0..n).collect()
+                } else {
+                    bq.clone()
+                };
+                for q in wires {
+                    cells.push((q, "|".to_string()));
+                }
+            }
+            Gate::Swap { a, b } => {
+                cells.push((*a, "x".into()));
+                cells.push((*b, "x".into()));
+            }
+            Gate::CSwap { control, a, b } => {
+                cells.push((*control, ctrl.into()));
+                cells.push((*a, "x".into()));
+                cells.push((*b, "x".into()));
+            }
+            Gate::CX { control, target }
+            | Gate::CY { control, target }
+            | Gate::CZ { control, target }
+            | Gate::CPhase {
+                control, target, ..
+            } => {
+                cells.push((*control, ctrl.into()));
+                cells.push((*target, label.clone()));
+            }
+            Gate::CCX { c0, c1, target } => {
+                cells.push((*c0, ctrl.into()));
+                cells.push((*c1, ctrl.into()));
+                cells.push((*target, label.clone()));
+            }
+            Gate::MCX { controls, target }
+            | Gate::MCPhase {
+                controls, target, ..
+            } => {
+                for &c in controls {
+                    cells.push((c, ctrl.into()));
+                }
+                cells.push((*target, label.clone()));
+            }
+            Gate::Conditional { gate, .. } => {
+                for q in gate.qubits() {
+                    cells.push((q, format!("?{}", gate_symbols(gate).0)));
+                }
+            }
+            _ => {
+                cells.push((qs[0], label.clone()));
+            }
+        }
+        let connect = if hi > lo { Some((lo, hi)) } else { None };
+        placements.push(Placement {
+            column,
+            cells,
+            connect,
+        });
+    }
+
+    // Column widths.
+    let mut widths = vec![1usize; n_cols];
+    for p in &placements {
+        for (_, text) in &p.cells {
+            widths[p.column] = widths[p.column].max(text.len());
+        }
+    }
+
+    // Grid: 2 rows per qubit (wire row + connector row below).
+    let name_width = format!("q{}", n - 1).len();
+    let mut lines: Vec<String> = Vec::new();
+    let mut wire_grid: Vec<Vec<String>> = vec![vec![String::new(); n_cols]; n];
+    let mut link_grid: Vec<Vec<bool>> = vec![vec![false; n_cols]; n.saturating_sub(1)];
+
+    for p in &placements {
+        for (q, text) in &p.cells {
+            wire_grid[*q][p.column] = text.clone();
+        }
+        if let Some((lo, hi)) = p.connect {
+            for row in link_grid[lo..hi].iter_mut() {
+                row[p.column] = true;
+            }
+        }
+    }
+
+    for q in 0..n {
+        let mut line = format!("{:<name_width$}: ", format!("q{q}"));
+        for col in 0..n_cols {
+            let cell = &wire_grid[q][col];
+            let w = widths[col];
+            if cell.is_empty() {
+                line.push_str(&"-".repeat(w + 2));
+            } else {
+                let pad = w - cell.len();
+                let left = pad / 2;
+                let right = pad - left;
+                line.push('-');
+                line.push_str(&"-".repeat(left));
+                line.push_str(cell);
+                line.push_str(&"-".repeat(right));
+                line.push('-');
+            }
+        }
+        lines.push(line);
+        if q + 1 < n {
+            let mut link = " ".repeat(name_width + 2);
+            for col in 0..n_cols {
+                let w = widths[col];
+                let mark = link_grid[q][col];
+                let left = 1 + (w - 1) / 2;
+                link.push_str(&" ".repeat(left));
+                link.push(if mark { '|' } else { ' ' });
+                link.push_str(&" ".repeat(w + 2 - left - 1));
+            }
+            lines.push(link.trim_end().to_string());
+        }
+    }
+    let mut out = lines.join("\n");
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draws_bell_circuit() {
+        let mut c = QuantumCircuit::with_qubits_and_clbits(2, 2);
+        c.h(0).unwrap().cx(0, 1).unwrap();
+        c.measure(0, 0).unwrap().measure(1, 1).unwrap();
+        let art = draw(&c);
+        let lines: Vec<&str> = art.lines().collect();
+        assert!(lines[0].starts_with("q0:"));
+        assert!(lines[0].contains('H'));
+        assert!(lines[0].contains('o'), "control dot on q0: {art}");
+        assert!(lines[2].contains('X'), "target on q1: {art}");
+        assert!(lines[1].contains('|'), "vertical connector: {art}");
+        assert!(lines[0].matches('M').count() == 1);
+    }
+
+    #[test]
+    fn parallel_gates_share_a_column() {
+        let mut c = QuantumCircuit::with_qubits(2);
+        c.h(0).unwrap().h(1).unwrap();
+        let art = draw(&c);
+        let l0 = art.lines().next().unwrap();
+        let l1 = art.lines().nth(2).unwrap();
+        assert_eq!(l0.find('H'), l1.find('H'), "{art}");
+    }
+
+    #[test]
+    fn blocking_respects_span() {
+        // CX(0,2) blocks wire 1, so a later H(1) lands in a new column.
+        let mut c = QuantumCircuit::with_qubits(3);
+        c.cx(0, 2).unwrap();
+        c.h(1).unwrap();
+        let art = draw(&c);
+        let q0 = art.lines().next().unwrap();
+        let q1 = art.lines().nth(2).unwrap();
+        assert!(q1.find('H').unwrap() > q0.find('o').unwrap(), "{art}");
+    }
+
+    #[test]
+    fn toffoli_and_swap_render() {
+        let mut c = QuantumCircuit::with_qubits(3);
+        c.ccx(0, 1, 2).unwrap();
+        c.swap(0, 2).unwrap();
+        let art = draw(&c);
+        assert_eq!(art.matches('o').count(), 2);
+        assert!(art.matches('x').count() >= 2, "{art}");
+    }
+
+    #[test]
+    fn empty_circuit_draws_empty() {
+        assert_eq!(draw(&QuantumCircuit::new()), "");
+        let c = QuantumCircuit::with_qubits(1);
+        let art = draw(&c);
+        assert!(art.starts_with("q0: "));
+    }
+
+    #[test]
+    fn parameterised_gate_labels() {
+        let mut c = QuantumCircuit::with_qubits(1);
+        c.rx(1.5, 0).unwrap();
+        let art = draw(&c);
+        assert!(art.contains("RX(1.50)"), "{art}");
+    }
+}

@@ -1,0 +1,91 @@
+//! Error type for circuit construction and execution.
+
+use std::fmt;
+
+/// Errors produced while building or executing circuits.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CircError {
+    /// A qubit index exceeded the circuit width.
+    QubitOutOfRange {
+        /// Offending index.
+        qubit: usize,
+        /// Circuit width.
+        num_qubits: usize,
+    },
+    /// A classical-bit index exceeded the classical width.
+    ClbitOutOfRange {
+        /// Offending index.
+        clbit: usize,
+        /// Classical width.
+        num_clbits: usize,
+    },
+    /// The same qubit was used twice by one instruction.
+    DuplicateQubit(usize),
+    /// A quantum and classical register pair had different lengths.
+    RegisterSizeMismatch {
+        /// Quantum register length.
+        qubits: usize,
+        /// Classical register length.
+        clbits: usize,
+    },
+    /// A qubit/clbit map had the wrong length for `compose`.
+    MapSizeMismatch {
+        /// Required length.
+        expected: usize,
+        /// Provided length.
+        got: usize,
+    },
+    /// An operation required a unitary gate but got `measure`/`reset`/…
+    NonUnitary(&'static str),
+    /// The gate has no named controlled form in the IR.
+    NotControllable(&'static str),
+    /// Simulation failed in the underlying statevector engine.
+    Sim(qutes_sim::SimError),
+    /// A decomposition pass needed ancilla qubits the circuit lacks.
+    NeedAncillas {
+        /// How many ancillas the pass needs.
+        needed: usize,
+        /// How many were available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for CircError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircError::QubitOutOfRange { qubit, num_qubits } => {
+                write!(f, "qubit {qubit} out of range for width-{num_qubits} circuit")
+            }
+            CircError::ClbitOutOfRange { clbit, num_clbits } => {
+                write!(f, "clbit {clbit} out of range for {num_clbits} classical bits")
+            }
+            CircError::DuplicateQubit(q) => write!(f, "qubit {q} repeated in one instruction"),
+            CircError::RegisterSizeMismatch { qubits, clbits } => write!(
+                f,
+                "cannot measure {qubits}-qubit register into {clbits}-bit register"
+            ),
+            CircError::MapSizeMismatch { expected, got } => {
+                write!(f, "index map has {got} entries, expected {expected}")
+            }
+            CircError::NonUnitary(name) => write!(f, "'{name}' is not unitary"),
+            CircError::NotControllable(name) => {
+                write!(f, "'{name}' has no controlled form; decompose first")
+            }
+            CircError::Sim(e) => write!(f, "simulation error: {e}"),
+            CircError::NeedAncillas { needed, available } => {
+                write!(f, "decomposition needs {needed} ancillas, only {available} available")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CircError {}
+
+impl From<qutes_sim::SimError> for CircError {
+    fn from(e: qutes_sim::SimError) -> Self {
+        CircError::Sim(e)
+    }
+}
+
+/// Convenience alias used across the circuit crate.
+pub type CircResult<T> = Result<T, CircError>;

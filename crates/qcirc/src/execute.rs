@@ -1,0 +1,407 @@
+//! Circuit execution on the `qutes-sim` statevector backend.
+//!
+//! Two modes mirror how the paper's runtime uses Qiskit:
+//! * [`statevector`] — exact state of a measurement-free circuit (used by
+//!   algorithm tests and fidelity checks);
+//! * [`run_shots`] — repeated execution with measurement, producing a
+//!   [`Counts`] histogram like a Qiskit job result. When all measurements
+//!   are terminal and unconditioned, the state is simulated once and
+//!   sampled `shots` times (the standard Aer fast path); otherwise each
+//!   shot re-runs the full circuit.
+
+use crate::circuit::QuantumCircuit;
+use crate::error::{CircError, CircResult};
+use crate::gate::Gate;
+use qutes_sim::{gates, measure, StateVector};
+use rand::Rng;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Histogram of classical-register outcomes over many shots.
+#[derive(Clone, Debug, Default)]
+pub struct Counts {
+    map: HashMap<usize, usize>,
+    num_clbits: usize,
+    shots: usize,
+}
+
+impl Counts {
+    /// Count for a specific outcome (clbit `k` = bit `k` of the key).
+    pub fn get(&self, outcome: usize) -> usize {
+        self.map.get(&outcome).copied().unwrap_or(0)
+    }
+
+    /// Total number of shots recorded.
+    pub fn shots(&self) -> usize {
+        self.shots
+    }
+
+    /// Number of classical bits per outcome.
+    pub fn num_clbits(&self) -> usize {
+        self.num_clbits
+    }
+
+    /// Iterates `(outcome, count)` pairs (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.map.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// The most frequent outcome, ties broken toward the smaller key.
+    pub fn most_frequent(&self) -> Option<usize> {
+        self.map
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+            .map(|(&k, _)| k)
+    }
+
+    /// Outcomes sorted by descending count.
+    pub fn sorted(&self) -> Vec<(usize, usize)> {
+        let mut v: Vec<_> = self.map.iter().map(|(&k, &c)| (k, c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Fraction of shots yielding `outcome`.
+    pub fn frequency(&self, outcome: usize) -> f64 {
+        if self.shots == 0 {
+            0.0
+        } else {
+            self.get(outcome) as f64 / self.shots as f64
+        }
+    }
+
+    /// Renders an outcome as a bitstring, clbit `num_clbits-1` first
+    /// (Qiskit display convention).
+    pub fn key_to_bitstring(&self, outcome: usize) -> String {
+        (0..self.num_clbits)
+            .rev()
+            .map(|b| if outcome >> b & 1 == 1 { '1' } else { '0' })
+            .collect()
+    }
+}
+
+impl fmt::Display for Counts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, c) in self.sorted() {
+            writeln!(f, "{}: {}", self.key_to_bitstring(k), c)?;
+        }
+        Ok(())
+    }
+}
+
+/// Applies one instruction to the live state, updating classical bits.
+pub fn apply_gate<R: Rng + ?Sized>(
+    state: &mut StateVector,
+    clbits: &mut [bool],
+    g: &Gate,
+    rng: &mut R,
+) -> CircResult<()> {
+    use Gate::*;
+    match g {
+        H(q) => state.apply_single(&gates::h(), *q)?,
+        X(q) => state.apply_single(&gates::x(), *q)?,
+        Y(q) => state.apply_single(&gates::y(), *q)?,
+        Z(q) => state.apply_single(&gates::z(), *q)?,
+        S(q) => state.apply_single(&gates::s(), *q)?,
+        Sdg(q) => state.apply_single(&gates::sdg(), *q)?,
+        T(q) => state.apply_single(&gates::t(), *q)?,
+        Tdg(q) => state.apply_single(&gates::tdg(), *q)?,
+        SX(q) => state.apply_single(&gates::sx(), *q)?,
+        SXdg(q) => state.apply_single(&gates::sx().adjoint(), *q)?,
+        Phase { target, lambda } => state.apply_single(&gates::phase(*lambda), *target)?,
+        RX { target, theta } => state.apply_single(&gates::rx(*theta), *target)?,
+        RY { target, theta } => state.apply_single(&gates::ry(*theta), *target)?,
+        RZ { target, theta } => state.apply_single(&gates::rz(*theta), *target)?,
+        U {
+            target,
+            theta,
+            phi,
+            lambda,
+        } => state.apply_single(&gates::u(*theta, *phi, *lambda), *target)?,
+        CX { control, target } => state.apply_controlled(&gates::x(), &[*control], *target)?,
+        CY { control, target } => state.apply_controlled(&gates::y(), &[*control], *target)?,
+        CZ { control, target } => state.apply_controlled(&gates::z(), &[*control], *target)?,
+        CPhase {
+            control,
+            target,
+            lambda,
+        } => state.apply_controlled(&gates::phase(*lambda), &[*control], *target)?,
+        CCX { c0, c1, target } => state.apply_controlled(&gates::x(), &[*c0, *c1], *target)?,
+        MCX { controls, target } => state.apply_controlled(&gates::x(), controls, *target)?,
+        MCPhase {
+            controls,
+            target,
+            lambda,
+        } => state.apply_controlled(&gates::phase(*lambda), controls, *target)?,
+        Swap { a, b } => state.apply_swap(*a, *b)?,
+        CSwap { control, a, b } => state.apply_controlled_swap(&[*control], *a, *b)?,
+        Measure { qubit, clbit } => {
+            let out = measure::measure_qubit(state, *qubit, rng)?;
+            clbits[*clbit] = out;
+        }
+        Reset(q) => {
+            measure::measure_and_reset(state, *q, rng)?;
+        }
+        Barrier(_) => {}
+        Conditional { clbit, value, gate } => {
+            if clbits[*clbit] == *value {
+                apply_gate(state, clbits, gate, rng)?;
+            }
+        }
+        GlobalPhase(t) => state.apply_global_phase(*t),
+    }
+    Ok(())
+}
+
+/// Result of a single end-to-end execution.
+#[derive(Clone, Debug)]
+pub struct Shot {
+    /// Final (collapsed) statevector.
+    pub state: StateVector,
+    /// Final classical-bit values.
+    pub clbits: Vec<bool>,
+}
+
+impl Shot {
+    /// Classical bits packed into an integer, clbit `k` = bit `k`.
+    pub fn clbits_as_usize(&self) -> usize {
+        self.clbits
+            .iter()
+            .enumerate()
+            .fold(0usize, |acc, (i, &b)| acc | ((b as usize) << i))
+    }
+}
+
+/// Runs the circuit once, collapsing at each measurement.
+pub fn run_once<R: Rng + ?Sized>(circuit: &QuantumCircuit, rng: &mut R) -> CircResult<Shot> {
+    let mut state = StateVector::new(circuit.num_qubits())?;
+    let mut clbits = vec![false; circuit.num_clbits()];
+    for g in circuit.ops() {
+        apply_gate(&mut state, &mut clbits, g, rng)?;
+    }
+    Ok(Shot { state, clbits })
+}
+
+/// The exact statevector of a unitary circuit. Errors if the circuit
+/// contains measurement, reset, or classically-conditioned gates.
+pub fn statevector(circuit: &QuantumCircuit) -> CircResult<StateVector> {
+    let mut state = StateVector::new(circuit.num_qubits())?;
+    let mut clbits = vec![false; circuit.num_clbits()];
+    // A fixed-seed RNG is fine: unitary circuits never sample. We still
+    // reject non-unitary instructions explicitly for a clear error.
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    for g in circuit.ops() {
+        match g {
+            Gate::Measure { .. } | Gate::Reset(_) | Gate::Conditional { .. } => {
+                return Err(CircError::NonUnitary(g.name()));
+            }
+            _ => apply_gate(&mut state, &mut clbits, g, &mut rng)?,
+        }
+    }
+    Ok(state)
+}
+
+/// True when every measurement is terminal (no gate after it touches a
+/// measured qubit) and no reset/conditional instruction exists — the
+/// precondition for the sample-once fast path.
+fn measurements_are_terminal(circuit: &QuantumCircuit) -> bool {
+    let mut measured: Vec<Option<usize>> = vec![None; circuit.num_qubits()];
+    for g in circuit.ops() {
+        match g {
+            Gate::Reset(_) | Gate::Conditional { .. } => return false,
+            Gate::Measure { qubit, clbit } => {
+                if measured[*qubit].is_some() {
+                    return false; // double measurement of one qubit
+                }
+                measured[*qubit] = Some(*clbit);
+            }
+            Gate::Barrier(_) => {}
+            _ => {
+                if g.qubits().iter().any(|&q| measured[q].is_some()) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Runs the circuit `shots` times and histograms the classical register.
+pub fn run_shots<R: Rng + ?Sized>(
+    circuit: &QuantumCircuit,
+    shots: usize,
+    rng: &mut R,
+) -> CircResult<Counts> {
+    let mut map = HashMap::new();
+    if measurements_are_terminal(circuit) {
+        // Fast path: simulate the unitary prefix once, then sample.
+        let mut state = StateVector::new(circuit.num_qubits())?;
+        let mut clbits = vec![false; circuit.num_clbits()];
+        let mut meas_pairs: Vec<(usize, usize)> = Vec::new();
+        for g in circuit.ops() {
+            if let Gate::Measure { qubit, clbit } = g {
+                meas_pairs.push((*qubit, *clbit));
+            } else {
+                apply_gate(&mut state, &mut clbits, g, rng)?;
+            }
+        }
+        let qubits: Vec<usize> = meas_pairs.iter().map(|&(q, _)| q).collect();
+        let sampled = measure::sample_counts(&state, &qubits, shots, rng)?;
+        for (joint, count) in sampled {
+            // Re-scatter bit k of the joint outcome to clbit of pair k.
+            let mut key = 0usize;
+            for (k, &(_, c)) in meas_pairs.iter().enumerate() {
+                if joint >> k & 1 == 1 {
+                    key |= 1 << c;
+                }
+            }
+            *map.entry(key).or_insert(0) += count;
+        }
+    } else {
+        for _ in 0..shots {
+            let shot = run_once(circuit, rng)?;
+            *map.entry(shot.clbits_as_usize()).or_insert(0) += 1;
+        }
+    }
+    Ok(Counts {
+        map,
+        num_clbits: circuit.num_clbits(),
+        shots,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn statevector_of_bell_circuit() {
+        let mut c = QuantumCircuit::with_qubits(2);
+        c.h(0).unwrap().cx(0, 1).unwrap();
+        let sv = statevector(&c).unwrap();
+        let a = 1.0 / 2f64.sqrt();
+        assert!((sv.amplitude(0).re - a).abs() < 1e-12);
+        assert!((sv.amplitude(3).re - a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn statevector_rejects_measurement() {
+        let mut c = QuantumCircuit::with_qubits_and_clbits(1, 1);
+        c.measure(0, 0).unwrap();
+        assert!(matches!(statevector(&c), Err(CircError::NonUnitary(_))));
+    }
+
+    #[test]
+    fn bell_counts_are_correlated() {
+        let mut c = QuantumCircuit::with_qubits_and_clbits(2, 2);
+        c.h(0).unwrap().cx(0, 1).unwrap();
+        c.measure(0, 0).unwrap().measure(1, 1).unwrap();
+        let counts = run_shots(&c, 1000, &mut rng()).unwrap();
+        assert_eq!(counts.shots(), 1000);
+        assert_eq!(counts.get(0b00) + counts.get(0b11), 1000);
+        assert!(counts.get(0b00) > 350);
+        assert!(counts.get(0b11) > 350);
+    }
+
+    #[test]
+    fn fast_and_slow_paths_agree_statistically() {
+        // Same Bell circuit, but a trailing X on an unmeasured qubit after
+        // measurement forces the slow path.
+        let mut fast = QuantumCircuit::with_qubits_and_clbits(3, 2);
+        fast.h(0).unwrap().cx(0, 1).unwrap();
+        fast.measure(0, 0).unwrap().measure(1, 1).unwrap();
+        let mut slow = fast.clone();
+        slow.x(0).unwrap(); // touches a measured qubit -> slow path
+        assert!(measurements_are_terminal(&fast));
+        assert!(!measurements_are_terminal(&slow));
+        let cf = run_shots(&fast, 4000, &mut rng()).unwrap();
+        let cs = run_shots(&slow, 4000, &mut rng()).unwrap();
+        for key in [0b00usize, 0b11] {
+            let a = cf.frequency(key);
+            let b = cs.frequency(key);
+            assert!((a - b).abs() < 0.05, "key {key}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn conditional_gate_teleports_correction() {
+        // Prepare |1>, measure into c0, then conditionally flip another
+        // qubit: final qubit must always read 1.
+        let mut c = QuantumCircuit::with_qubits_and_clbits(2, 2);
+        c.x(0).unwrap();
+        c.measure(0, 0).unwrap();
+        c.c_if(0, true, Gate::X(1)).unwrap();
+        c.measure(1, 1).unwrap();
+        let counts = run_shots(&c, 100, &mut rng()).unwrap();
+        assert_eq!(counts.get(0b11), 100);
+    }
+
+    #[test]
+    fn reset_forces_zero() {
+        let mut c = QuantumCircuit::with_qubits_and_clbits(1, 1);
+        c.h(0).unwrap();
+        c.reset(0).unwrap();
+        c.measure(0, 0).unwrap();
+        let counts = run_shots(&c, 200, &mut rng()).unwrap();
+        assert_eq!(counts.get(0), 200);
+    }
+
+    #[test]
+    fn mid_circuit_measurement_collapses() {
+        // H, measure, then re-measure: outcomes agree within each shot.
+        let mut c = QuantumCircuit::with_qubits_and_clbits(1, 2);
+        c.h(0).unwrap();
+        c.measure(0, 0).unwrap();
+        c.measure(0, 1).unwrap();
+        let counts = run_shots(&c, 500, &mut rng()).unwrap();
+        assert_eq!(counts.get(0b00) + counts.get(0b11), 500);
+        assert_eq!(counts.get(0b01), 0);
+        assert_eq!(counts.get(0b10), 0);
+    }
+
+    #[test]
+    fn counts_helpers() {
+        let mut c = QuantumCircuit::with_qubits_and_clbits(2, 2);
+        c.x(1).unwrap();
+        c.measure(0, 0).unwrap().measure(1, 1).unwrap();
+        let counts = run_shots(&c, 64, &mut rng()).unwrap();
+        assert_eq!(counts.most_frequent(), Some(0b10));
+        assert_eq!(counts.key_to_bitstring(0b10), "10");
+        assert_eq!(counts.frequency(0b10), 1.0);
+        assert_eq!(counts.sorted()[0], (0b10, 64));
+        let shown = counts.to_string();
+        assert!(shown.contains("10: 64"));
+    }
+
+    #[test]
+    fn run_once_returns_final_state() {
+        let mut c = QuantumCircuit::with_qubits_and_clbits(2, 1);
+        c.x(0).unwrap().measure(0, 0).unwrap();
+        let shot = run_once(&c, &mut rng()).unwrap();
+        assert!(shot.clbits[0]);
+        assert_eq!(shot.clbits_as_usize(), 1);
+        assert!((shot.state.probability_one(0).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mcx_and_mcphase_execute() {
+        let mut c = QuantumCircuit::with_qubits(4);
+        c.x(0).unwrap().x(1).unwrap().x(2).unwrap();
+        c.mcx(&[0, 1, 2], 3).unwrap();
+        let sv = statevector(&c).unwrap();
+        assert!((sv.probability_one(3).unwrap() - 1.0).abs() < 1e-12);
+
+        let mut c2 = QuantumCircuit::with_qubits(3);
+        c2.x(0).unwrap().x(1).unwrap().x(2).unwrap();
+        c2.mcz(&[0, 1], 2).unwrap();
+        let sv2 = statevector(&c2).unwrap();
+        assert!((sv2.amplitude(0b111).re + 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,645 @@
+//! The instruction set of the circuit IR.
+//!
+//! `Gate` covers every operation the Qutes compiler emits: the standard
+//! single-qubit gates, controlled and multi-controlled variants, swaps,
+//! measurement, reset, barriers, and classically-conditioned gates (used
+//! for teleportation-style corrections in the entanglement-swap builtin).
+
+use std::fmt;
+
+/// One circuit instruction.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Gate {
+    /// Hadamard.
+    H(usize),
+    /// Pauli-X.
+    X(usize),
+    /// Pauli-Y.
+    Y(usize),
+    /// Pauli-Z.
+    Z(usize),
+    /// S (sqrt Z).
+    S(usize),
+    /// S-dagger.
+    Sdg(usize),
+    /// T (fourth root of Z).
+    T(usize),
+    /// T-dagger.
+    Tdg(usize),
+    /// sqrt(X).
+    SX(usize),
+    /// Inverse of sqrt(X).
+    SXdg(usize),
+    /// Phase gate `diag(1, e^{i lambda})`.
+    Phase {
+        /// Target qubit.
+        target: usize,
+        /// Phase angle.
+        lambda: f64,
+    },
+    /// X-rotation.
+    RX {
+        /// Target qubit.
+        target: usize,
+        /// Rotation angle.
+        theta: f64,
+    },
+    /// Y-rotation.
+    RY {
+        /// Target qubit.
+        target: usize,
+        /// Rotation angle.
+        theta: f64,
+    },
+    /// Z-rotation.
+    RZ {
+        /// Target qubit.
+        target: usize,
+        /// Rotation angle.
+        theta: f64,
+    },
+    /// General single-qubit unitary `U(theta, phi, lambda)`.
+    U {
+        /// Target qubit.
+        target: usize,
+        /// Polar angle.
+        theta: f64,
+        /// First phase.
+        phi: f64,
+        /// Second phase.
+        lambda: f64,
+    },
+    /// Controlled-X (CNOT).
+    CX {
+        /// Control qubit.
+        control: usize,
+        /// Target qubit.
+        target: usize,
+    },
+    /// Controlled-Y.
+    CY {
+        /// Control qubit.
+        control: usize,
+        /// Target qubit.
+        target: usize,
+    },
+    /// Controlled-Z.
+    CZ {
+        /// Control qubit.
+        control: usize,
+        /// Target qubit.
+        target: usize,
+    },
+    /// Controlled phase gate.
+    CPhase {
+        /// Control qubit.
+        control: usize,
+        /// Target qubit.
+        target: usize,
+        /// Phase angle.
+        lambda: f64,
+    },
+    /// Toffoli (CCX).
+    CCX {
+        /// First control.
+        c0: usize,
+        /// Second control.
+        c1: usize,
+        /// Target qubit.
+        target: usize,
+    },
+    /// Multi-controlled X with any number of controls.
+    MCX {
+        /// Control qubits (all must be |1>).
+        controls: Vec<usize>,
+        /// Target qubit.
+        target: usize,
+    },
+    /// Multi-controlled phase: applies `e^{i lambda}` when all listed
+    /// qubits (controls and target alike — the gate is symmetric) are |1>.
+    MCPhase {
+        /// Control qubits.
+        controls: Vec<usize>,
+        /// Target qubit.
+        target: usize,
+        /// Phase angle.
+        lambda: f64,
+    },
+    /// SWAP.
+    Swap {
+        /// First qubit.
+        a: usize,
+        /// Second qubit.
+        b: usize,
+    },
+    /// Controlled SWAP (Fredkin).
+    CSwap {
+        /// Control qubit.
+        control: usize,
+        /// First swapped qubit.
+        a: usize,
+        /// Second swapped qubit.
+        b: usize,
+    },
+    /// Measures `qubit` into classical bit `clbit` (collapsing).
+    Measure {
+        /// Measured qubit.
+        qubit: usize,
+        /// Destination classical bit.
+        clbit: usize,
+    },
+    /// Resets a qubit to |0> (measure-and-flip; non-unitary).
+    Reset(usize),
+    /// Scheduling barrier over the listed qubits (all qubits if empty).
+    Barrier(Vec<usize>),
+    /// Applies `gate` only if classical bit `clbit` equals `value`
+    /// (Qiskit's `c_if`). The inner gate must be unitary.
+    Conditional {
+        /// Classical bit inspected.
+        clbit: usize,
+        /// Required value.
+        value: bool,
+        /// Gate to apply when the condition holds.
+        gate: Box<Gate>,
+    },
+    /// Global phase `e^{i theta}` on the whole state.
+    GlobalPhase(f64),
+}
+
+impl Gate {
+    /// The qubits this instruction touches, controls first.
+    pub fn qubits(&self) -> Vec<usize> {
+        use Gate::*;
+        match self {
+            H(q) | X(q) | Y(q) | Z(q) | S(q) | Sdg(q) | T(q) | Tdg(q) | SX(q) | SXdg(q)
+            | Reset(q) => {
+                vec![*q]
+            }
+            Phase { target, .. }
+            | RX { target, .. }
+            | RY { target, .. }
+            | RZ { target, .. }
+            | U { target, .. } => vec![*target],
+            CX { control, target }
+            | CY { control, target }
+            | CZ { control, target }
+            | CPhase {
+                control, target, ..
+            } => vec![*control, *target],
+            CCX { c0, c1, target } => vec![*c0, *c1, *target],
+            MCX { controls, target } | MCPhase {
+                controls, target, ..
+            } => {
+                let mut v = controls.clone();
+                v.push(*target);
+                v
+            }
+            Swap { a, b } => vec![*a, *b],
+            CSwap { control, a, b } => vec![*control, *a, *b],
+            Measure { qubit, .. } => vec![*qubit],
+            Barrier(qs) => qs.clone(),
+            Conditional { gate, .. } => gate.qubits(),
+            GlobalPhase(_) => vec![],
+        }
+    }
+
+    /// The classical bits this instruction touches.
+    pub fn clbits(&self) -> Vec<usize> {
+        match self {
+            Gate::Measure { clbit, .. } => vec![*clbit],
+            Gate::Conditional { clbit, .. } => vec![*clbit],
+            _ => vec![],
+        }
+    }
+
+    /// Lower-case mnemonic, matching OpenQASM where a counterpart exists.
+    pub fn name(&self) -> &'static str {
+        use Gate::*;
+        match self {
+            H(_) => "h",
+            X(_) => "x",
+            Y(_) => "y",
+            Z(_) => "z",
+            S(_) => "s",
+            Sdg(_) => "sdg",
+            T(_) => "t",
+            Tdg(_) => "tdg",
+            SX(_) => "sx",
+            SXdg(_) => "sxdg",
+            Phase { .. } => "p",
+            RX { .. } => "rx",
+            RY { .. } => "ry",
+            RZ { .. } => "rz",
+            U { .. } => "u",
+            CX { .. } => "cx",
+            CY { .. } => "cy",
+            CZ { .. } => "cz",
+            CPhase { .. } => "cp",
+            CCX { .. } => "ccx",
+            MCX { .. } => "mcx",
+            MCPhase { .. } => "mcp",
+            Swap { .. } => "swap",
+            CSwap { .. } => "cswap",
+            Measure { .. } => "measure",
+            Reset(_) => "reset",
+            Barrier(_) => "barrier",
+            Conditional { .. } => "if",
+            GlobalPhase(_) => "gphase",
+        }
+    }
+
+    /// True for instructions with a unitary action (everything except
+    /// measurement, reset and barriers).
+    pub fn is_unitary(&self) -> bool {
+        !matches!(
+            self,
+            Gate::Measure { .. } | Gate::Reset(_) | Gate::Barrier(_)
+        )
+    }
+
+    /// The inverse instruction, if the gate is unitary.
+    pub fn inverse(&self) -> Option<Gate> {
+        use Gate::*;
+        Some(match self {
+            H(q) => H(*q),
+            X(q) => X(*q),
+            Y(q) => Y(*q),
+            Z(q) => Z(*q),
+            S(q) => Sdg(*q),
+            Sdg(q) => S(*q),
+            T(q) => Tdg(*q),
+            Tdg(q) => T(*q),
+            SX(q) => SXdg(*q),
+            SXdg(q) => SX(*q),
+            Phase { target, lambda } => Phase {
+                target: *target,
+                lambda: -lambda,
+            },
+            RX { target, theta } => RX {
+                target: *target,
+                theta: -theta,
+            },
+            RY { target, theta } => RY {
+                target: *target,
+                theta: -theta,
+            },
+            RZ { target, theta } => RZ {
+                target: *target,
+                theta: -theta,
+            },
+            U {
+                target,
+                theta,
+                phi,
+                lambda,
+            } => U {
+                target: *target,
+                theta: -theta,
+                phi: -lambda,
+                lambda: -phi,
+            },
+            CX { control, target } => CX {
+                control: *control,
+                target: *target,
+            },
+            CY { control, target } => CY {
+                control: *control,
+                target: *target,
+            },
+            CZ { control, target } => CZ {
+                control: *control,
+                target: *target,
+            },
+            CPhase {
+                control,
+                target,
+                lambda,
+            } => CPhase {
+                control: *control,
+                target: *target,
+                lambda: -lambda,
+            },
+            CCX { c0, c1, target } => CCX {
+                c0: *c0,
+                c1: *c1,
+                target: *target,
+            },
+            MCX { controls, target } => MCX {
+                controls: controls.clone(),
+                target: *target,
+            },
+            MCPhase {
+                controls,
+                target,
+                lambda,
+            } => MCPhase {
+                controls: controls.clone(),
+                target: *target,
+                lambda: -lambda,
+            },
+            Swap { a, b } => Swap { a: *a, b: *b },
+            CSwap { control, a, b } => CSwap {
+                control: *control,
+                a: *a,
+                b: *b,
+            },
+            Conditional { clbit, value, gate } => Conditional {
+                clbit: *clbit,
+                value: *value,
+                gate: Box::new(gate.inverse()?),
+            },
+            GlobalPhase(t) => GlobalPhase(-t),
+            Measure { .. } | Reset(_) | Barrier(_) => return None,
+        })
+    }
+
+    /// Adds one more control to the gate, producing the controlled variant.
+    /// Returns `None` for non-unitary instructions and barriers.
+    pub fn controlled(&self, control: usize) -> Option<Gate> {
+        use Gate::*;
+        Some(match self {
+            X(q) => CX {
+                control,
+                target: *q,
+            },
+            Y(q) => CY {
+                control,
+                target: *q,
+            },
+            Z(q) => CZ {
+                control,
+                target: *q,
+            },
+            Phase { target, lambda } => CPhase {
+                control,
+                target: *target,
+                lambda: *lambda,
+            },
+            S(q) => CPhase {
+                control,
+                target: *q,
+                lambda: std::f64::consts::FRAC_PI_2,
+            },
+            Sdg(q) => CPhase {
+                control,
+                target: *q,
+                lambda: -std::f64::consts::FRAC_PI_2,
+            },
+            T(q) => CPhase {
+                control,
+                target: *q,
+                lambda: std::f64::consts::FRAC_PI_4,
+            },
+            Tdg(q) => CPhase {
+                control,
+                target: *q,
+                lambda: -std::f64::consts::FRAC_PI_4,
+            },
+            CX {
+                control: c,
+                target,
+            } => CCX {
+                c0: control,
+                c1: *c,
+                target: *target,
+            },
+            CCX { c0, c1, target } => MCX {
+                controls: vec![control, *c0, *c1],
+                target: *target,
+            },
+            MCX { controls, target } => {
+                let mut cs = vec![control];
+                cs.extend_from_slice(controls);
+                MCX {
+                    controls: cs,
+                    target: *target,
+                }
+            }
+            CZ {
+                control: c,
+                target,
+            } => MCPhase {
+                controls: vec![control, *c],
+                target: *target,
+                lambda: std::f64::consts::PI,
+            },
+            CPhase {
+                control: c,
+                target,
+                lambda,
+            } => MCPhase {
+                controls: vec![control, *c],
+                target: *target,
+                lambda: *lambda,
+            },
+            MCPhase {
+                controls,
+                target,
+                lambda,
+            } => {
+                let mut cs = vec![control];
+                cs.extend_from_slice(controls);
+                MCPhase {
+                    controls: cs,
+                    target: *target,
+                    lambda: *lambda,
+                }
+            }
+            Swap { a, b } => CSwap {
+                control,
+                a: *a,
+                b: *b,
+            },
+            GlobalPhase(t) => Phase {
+                target: control,
+                lambda: *t,
+            },
+            // Remaining unitaries have no named controlled form in the IR;
+            // callers should decompose first.
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Gate::*;
+        match self {
+            Phase { target, lambda } => write!(f, "p({lambda}) q[{target}]"),
+            RX { target, theta } => write!(f, "rx({theta}) q[{target}]"),
+            RY { target, theta } => write!(f, "ry({theta}) q[{target}]"),
+            RZ { target, theta } => write!(f, "rz({theta}) q[{target}]"),
+            U {
+                target,
+                theta,
+                phi,
+                lambda,
+            } => write!(f, "u({theta},{phi},{lambda}) q[{target}]"),
+            CPhase {
+                control,
+                target,
+                lambda,
+            } => write!(f, "cp({lambda}) q[{control}],q[{target}]"),
+            MCPhase {
+                controls,
+                target,
+                lambda,
+            } => write!(f, "mcp({lambda}) {controls:?},q[{target}]"),
+            Measure { qubit, clbit } => write!(f, "measure q[{qubit}] -> c[{clbit}]"),
+            Conditional { clbit, value, gate } => {
+                write!(f, "if (c[{clbit}]=={}) {gate}", *value as u8)
+            }
+            GlobalPhase(t) => write!(f, "gphase({t})"),
+            other => {
+                write!(f, "{}", other.name())?;
+                let qs = other.qubits();
+                if !qs.is_empty() {
+                    write!(f, " ")?;
+                    for (i, q) in qs.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ",")?;
+                        }
+                        write!(f, "q[{q}]")?;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qubits_reports_controls_first() {
+        assert_eq!(Gate::CX { control: 3, target: 1 }.qubits(), vec![3, 1]);
+        assert_eq!(
+            Gate::MCX {
+                controls: vec![0, 2],
+                target: 4
+            }
+            .qubits(),
+            vec![0, 2, 4]
+        );
+        assert_eq!(Gate::GlobalPhase(1.0).qubits(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn inverse_of_self_inverse_gates() {
+        for g in [Gate::H(0), Gate::X(1), Gate::Y(2), Gate::Z(0)] {
+            assert_eq!(g.inverse().unwrap(), g);
+        }
+        assert_eq!(Gate::S(0).inverse().unwrap(), Gate::Sdg(0));
+        assert_eq!(Gate::T(0).inverse().unwrap(), Gate::Tdg(0));
+    }
+
+    #[test]
+    fn inverse_negates_angles() {
+        let g = Gate::RX {
+            target: 0,
+            theta: 0.5,
+        };
+        assert_eq!(
+            g.inverse().unwrap(),
+            Gate::RX {
+                target: 0,
+                theta: -0.5
+            }
+        );
+        let u = Gate::U {
+            target: 1,
+            theta: 0.1,
+            phi: 0.2,
+            lambda: 0.3,
+        };
+        assert_eq!(
+            u.inverse().unwrap(),
+            Gate::U {
+                target: 1,
+                theta: -0.1,
+                phi: -0.3,
+                lambda: -0.2
+            }
+        );
+    }
+
+    #[test]
+    fn non_unitary_have_no_inverse() {
+        assert!(Gate::Measure { qubit: 0, clbit: 0 }.inverse().is_none());
+        assert!(Gate::Reset(0).inverse().is_none());
+        assert!(Gate::Barrier(vec![]).inverse().is_none());
+        assert!(!Gate::Reset(0).is_unitary());
+        assert!(Gate::H(0).is_unitary());
+    }
+
+    #[test]
+    fn controlled_ladder_x() {
+        let x = Gate::X(5);
+        let cx = x.controlled(0).unwrap();
+        assert_eq!(cx, Gate::CX { control: 0, target: 5 });
+        let ccx = cx.controlled(1).unwrap();
+        assert_eq!(
+            ccx,
+            Gate::CCX {
+                c0: 1,
+                c1: 0,
+                target: 5
+            }
+        );
+        let mcx = ccx.controlled(2).unwrap();
+        assert_eq!(
+            mcx,
+            Gate::MCX {
+                controls: vec![2, 1, 0],
+                target: 5
+            }
+        );
+        let mcx2 = mcx.controlled(3).unwrap();
+        assert_eq!(mcx2.qubits(), vec![3, 2, 1, 0, 5]);
+    }
+
+    #[test]
+    fn controlled_z_ladder_uses_phase() {
+        let z = Gate::Z(2);
+        let cz = z.controlled(0).unwrap();
+        assert_eq!(cz, Gate::CZ { control: 0, target: 2 });
+        let ccz = cz.controlled(1).unwrap();
+        assert!(matches!(ccz, Gate::MCPhase { ref controls, target: 2, lambda }
+            if controls == &vec![1, 0] && (lambda - std::f64::consts::PI).abs() < 1e-12));
+    }
+
+    #[test]
+    fn conditional_wraps_inverse() {
+        let g = Gate::Conditional {
+            clbit: 0,
+            value: true,
+            gate: Box::new(Gate::S(1)),
+        };
+        let inv = g.inverse().unwrap();
+        assert_eq!(
+            inv,
+            Gate::Conditional {
+                clbit: 0,
+                value: true,
+                gate: Box::new(Gate::Sdg(1)),
+            }
+        );
+        assert_eq!(g.clbits(), vec![0]);
+        assert_eq!(g.qubits(), vec![1]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(Gate::H(0).to_string(), "h q[0]");
+        assert_eq!(
+            Gate::CX { control: 0, target: 1 }.to_string(),
+            "cx q[0],q[1]"
+        );
+        assert_eq!(
+            Gate::Measure { qubit: 2, clbit: 3 }.to_string(),
+            "measure q[2] -> c[3]"
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! # qutes-qcirc
+//!
+//! Quantum circuit intermediate representation — the substrate that plays
+//! the role of Qiskit's `QuantumCircuit` in the Qutes paper (Faro, Marino
+//! & Messina, HPDC 2025). The Qutes compiler's `QuantumCircuitHandler`
+//! lowers language constructs into this IR; the IR executes on the
+//! `qutes-sim` statevector backend and exports to OpenQASM via
+//! `qutes-qasm`.
+//!
+//! ```
+//! use qutes_qcirc::{QuantumCircuit, execute};
+//! use rand::SeedableRng;
+//!
+//! let mut c = QuantumCircuit::with_qubits_and_clbits(2, 2);
+//! c.h(0).unwrap().cx(0, 1).unwrap();
+//! c.measure(0, 0).unwrap().measure(1, 1).unwrap();
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let counts = execute::run_shots(&c, 100, &mut rng).unwrap();
+//! assert_eq!(counts.get(0b00) + counts.get(0b11), 100);
+//! ```
+
+pub mod circuit;
+pub mod decompose;
+pub mod draw;
+pub mod error;
+pub mod execute;
+pub mod gate;
+pub mod metrics;
+pub mod register;
+
+pub use circuit::{remap_gate, QuantumCircuit};
+pub use draw::draw;
+pub use decompose::{mcphase_no_ancilla, mcx_no_ancilla, mcx_vchain, transpile, Basis};
+pub use error::{CircError, CircResult};
+pub use execute::{run_once, run_shots, statevector, Counts, Shot};
+pub use gate::Gate;
+pub use metrics::CircuitStats;
+pub use register::{ClassicalRegister, QuantumRegister};

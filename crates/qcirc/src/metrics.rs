@@ -1,0 +1,179 @@
+//! Circuit metrics: depth, gate counts, and width — the quantities the
+//! paper's cyclic-shift experiment (E3) and conciseness table (E6) report.
+
+use crate::circuit::QuantumCircuit;
+use crate::gate::Gate;
+use std::collections::BTreeMap;
+
+/// Summary statistics of a circuit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CircuitStats {
+    /// Number of qubits.
+    pub width: usize,
+    /// Number of non-barrier instructions.
+    pub size: usize,
+    /// Critical-path length (barriers synchronise but don't count).
+    pub depth: usize,
+    /// Instructions touching >= 2 qubits.
+    pub multi_qubit_ops: usize,
+    /// Count per gate mnemonic.
+    pub counts: BTreeMap<&'static str, usize>,
+}
+
+impl QuantumCircuit {
+    /// Critical-path depth. Each instruction lands at
+    /// `1 + max(level of every wire it touches)`; barriers synchronise
+    /// their wires without contributing a layer. Measurements count (they
+    /// occupy a time slot on both wires), matching Qiskit's convention.
+    pub fn depth(&self) -> usize {
+        let mut qlevel = vec![0usize; self.num_qubits()];
+        let mut clevel = vec![0usize; self.num_clbits()];
+        let mut max_depth = 0usize;
+        for g in self.ops() {
+            match g {
+                Gate::Barrier(qs) => {
+                    let wires: Vec<usize> = if qs.is_empty() {
+                        (0..self.num_qubits()).collect()
+                    } else {
+                        qs.clone()
+                    };
+                    let m = wires.iter().map(|&q| qlevel[q]).max().unwrap_or(0);
+                    for &q in &wires {
+                        qlevel[q] = m;
+                    }
+                }
+                Gate::GlobalPhase(_) => {}
+                _ => {
+                    let qs = g.qubits();
+                    let cs = g.clbits();
+                    let mut level = 0usize;
+                    for &q in &qs {
+                        level = level.max(qlevel[q]);
+                    }
+                    for &c in &cs {
+                        level = level.max(clevel[c]);
+                    }
+                    level += 1;
+                    for &q in &qs {
+                        qlevel[q] = level;
+                    }
+                    for &c in &cs {
+                        clevel[c] = level;
+                    }
+                    max_depth = max_depth.max(level);
+                }
+            }
+        }
+        max_depth
+    }
+
+    /// Number of instructions excluding barriers and global phases.
+    pub fn size(&self) -> usize {
+        self.ops()
+            .iter()
+            .filter(|g| !matches!(g, Gate::Barrier(_) | Gate::GlobalPhase(_)))
+            .count()
+    }
+
+    /// Count of each gate mnemonic.
+    pub fn count_ops(&self) -> BTreeMap<&'static str, usize> {
+        let mut m = BTreeMap::new();
+        for g in self.ops() {
+            *m.entry(g.name()).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// All metrics in one pass.
+    pub fn stats(&self) -> CircuitStats {
+        CircuitStats {
+            width: self.num_qubits(),
+            size: self.size(),
+            depth: self.depth(),
+            multi_qubit_ops: self
+                .ops()
+                .iter()
+                .filter(|g| !matches!(g, Gate::Barrier(_)) && g.qubits().len() >= 2)
+                .count(),
+            counts: self.count_ops(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_of_parallel_gates_is_one() {
+        let mut c = QuantumCircuit::with_qubits(4);
+        for q in 0..4 {
+            c.h(q).unwrap();
+        }
+        assert_eq!(c.depth(), 1);
+        assert_eq!(c.size(), 4);
+    }
+
+    #[test]
+    fn depth_of_serial_chain() {
+        let mut c = QuantumCircuit::with_qubits(3);
+        c.cx(0, 1).unwrap().cx(1, 2).unwrap().cx(0, 1).unwrap();
+        assert_eq!(c.depth(), 3);
+    }
+
+    #[test]
+    fn independent_cx_pairs_run_in_parallel() {
+        let mut c = QuantumCircuit::with_qubits(4);
+        c.cx(0, 1).unwrap().cx(2, 3).unwrap();
+        assert_eq!(c.depth(), 1);
+    }
+
+    #[test]
+    fn barrier_synchronises_without_counting() {
+        let mut c = QuantumCircuit::with_qubits(2);
+        c.h(0).unwrap();
+        c.barrier(&[]).unwrap();
+        c.h(1).unwrap();
+        // Without the barrier the two H's would both be at level 1.
+        assert_eq!(c.depth(), 2);
+        assert_eq!(c.size(), 2);
+    }
+
+    #[test]
+    fn measurement_depth_includes_clbit_wire() {
+        let mut c = QuantumCircuit::with_qubits_and_clbits(2, 1);
+        c.measure(0, 0).unwrap();
+        c.measure(1, 0).unwrap(); // same clbit: must serialise
+        assert_eq!(c.depth(), 2);
+    }
+
+    #[test]
+    fn count_ops_tallies_names() {
+        let mut c = QuantumCircuit::with_qubits(3);
+        c.h(0).unwrap().h(1).unwrap().cx(0, 1).unwrap().ccx(0, 1, 2).unwrap();
+        let m = c.count_ops();
+        assert_eq!(m["h"], 2);
+        assert_eq!(m["cx"], 1);
+        assert_eq!(m["ccx"], 1);
+    }
+
+    #[test]
+    fn stats_aggregates() {
+        let mut c = QuantumCircuit::with_qubits(3);
+        c.h(0).unwrap().cx(0, 1).unwrap().ccx(0, 1, 2).unwrap();
+        let s = c.stats();
+        assert_eq!(s.width, 3);
+        assert_eq!(s.size, 3);
+        assert_eq!(s.multi_qubit_ops, 2);
+        assert_eq!(s.depth, 3);
+    }
+
+    #[test]
+    fn global_phase_does_not_affect_depth() {
+        let mut c = QuantumCircuit::with_qubits(1);
+        c.gphase(0.5).unwrap();
+        c.h(0).unwrap();
+        assert_eq!(c.depth(), 1);
+        assert_eq!(c.size(), 1);
+    }
+}

@@ -1,0 +1,140 @@
+//! Quantum and classical registers.
+//!
+//! Qutes variables map 1:1 onto registers (the paper's
+//! `QuantumCircuitHandler` "incorporates all necessary QuantumRegisters
+//! associated with declared variables"), so registers are contiguous,
+//! named windows of the circuit's qubit/clbit index space.
+
+/// A named, contiguous window of qubits inside a circuit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuantumRegister {
+    name: String,
+    offset: usize,
+    size: usize,
+}
+
+impl QuantumRegister {
+    pub(crate) fn new(name: impl Into<String>, offset: usize, size: usize) -> Self {
+        QuantumRegister {
+            name: name.into(),
+            offset,
+            size,
+        }
+    }
+
+    /// Register name (unique within a circuit).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of qubits in the register.
+    pub fn len(&self) -> usize {
+        self.size
+    }
+
+    /// True when the register holds no qubits.
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    /// First global qubit index of the register.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// Global index of the `i`-th qubit. Panics if `i >= len()`.
+    pub fn qubit(&self, i: usize) -> usize {
+        assert!(i < self.size, "qubit {i} out of range for register {}", self.name);
+        self.offset + i
+    }
+
+    /// All global qubit indices, low to high.
+    pub fn qubits(&self) -> Vec<usize> {
+        (self.offset..self.offset + self.size).collect()
+    }
+}
+
+/// A named, contiguous window of classical bits inside a circuit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClassicalRegister {
+    name: String,
+    offset: usize,
+    size: usize,
+}
+
+impl ClassicalRegister {
+    pub(crate) fn new(name: impl Into<String>, offset: usize, size: usize) -> Self {
+        ClassicalRegister {
+            name: name.into(),
+            offset,
+            size,
+        }
+    }
+
+    /// Register name (unique within a circuit).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.size
+    }
+
+    /// True when the register holds no bits.
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    /// First global classical-bit index.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// Global index of the `i`-th bit. Panics if `i >= len()`.
+    pub fn bit(&self, i: usize) -> usize {
+        assert!(i < self.size, "bit {i} out of range for register {}", self.name);
+        self.offset + i
+    }
+
+    /// All global bit indices, low to high.
+    pub fn bits(&self) -> Vec<usize> {
+        (self.offset..self.offset + self.size).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantum_register_indexing() {
+        let r = QuantumRegister::new("x", 3, 4);
+        assert_eq!(r.name(), "x");
+        assert_eq!(r.len(), 4);
+        assert!(!r.is_empty());
+        assert_eq!(r.offset(), 3);
+        assert_eq!(r.qubit(0), 3);
+        assert_eq!(r.qubit(3), 6);
+        assert_eq!(r.qubits(), vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn quantum_register_bounds_checked() {
+        QuantumRegister::new("x", 0, 2).qubit(2);
+    }
+
+    #[test]
+    fn classical_register_indexing() {
+        let r = ClassicalRegister::new("c", 1, 2);
+        assert_eq!(r.bit(1), 2);
+        assert_eq!(r.bits(), vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn classical_register_bounds_checked() {
+        ClassicalRegister::new("c", 0, 1).bit(1);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property tests for the circuit IR: transpilation and inversion must be
+//! exact (including global phase) for arbitrary unitary circuits.
+
+use proptest::prelude::*;
+use qutes_qcirc::{statevector, transpile, Basis, Gate, QuantumCircuit};
+
+const N: usize = 4;
+
+fn gate_strategy() -> impl Strategy<Value = Gate> {
+    prop_oneof![
+        (0..N).prop_map(Gate::H),
+        (0..N).prop_map(Gate::X),
+        (0..N).prop_map(Gate::Y),
+        (0..N).prop_map(Gate::Z),
+        (0..N).prop_map(Gate::S),
+        (0..N).prop_map(Gate::Sdg),
+        (0..N).prop_map(Gate::T),
+        (0..N).prop_map(Gate::SX),
+        (0..N, -3.0..3.0f64).prop_map(|(t, l)| Gate::Phase { target: t, lambda: l }),
+        (0..N, -3.0..3.0f64).prop_map(|(t, th)| Gate::RX { target: t, theta: th }),
+        (0..N, -3.0..3.0f64).prop_map(|(t, th)| Gate::RY { target: t, theta: th }),
+        (0..N, -3.0..3.0f64).prop_map(|(t, th)| Gate::RZ { target: t, theta: th }),
+        (0..N, 0..N).prop_filter_map("distinct", |(c, t)| (c != t)
+            .then_some(Gate::CX { control: c, target: t })),
+        (0..N, 0..N).prop_filter_map("distinct", |(c, t)| (c != t)
+            .then_some(Gate::CY { control: c, target: t })),
+        (0..N, 0..N).prop_filter_map("distinct", |(c, t)| (c != t)
+            .then_some(Gate::CZ { control: c, target: t })),
+        (0..N, 0..N, -3.0..3.0f64).prop_filter_map("distinct", |(c, t, l)| (c != t)
+            .then_some(Gate::CPhase { control: c, target: t, lambda: l })),
+        (0..N, 0..N).prop_filter_map("distinct", |(a, b)| (a != b)
+            .then_some(Gate::Swap { a, b })),
+        prop::sample::subsequence(vec![0usize, 1, 2, 3], 3)
+            .prop_filter_map("ccx", |qs| (qs.len() == 3).then(|| Gate::CCX {
+                c0: qs[0],
+                c1: qs[1],
+                target: qs[2]
+            })),
+        prop::sample::subsequence(vec![0usize, 1, 2, 3], 4).prop_filter_map("mcx", |qs| {
+            (qs.len() == 4).then(|| Gate::MCX {
+                controls: qs[..3].to_vec(),
+                target: qs[3],
+            })
+        }),
+        (
+            prop::sample::subsequence(vec![0usize, 1, 2, 3], 3),
+            -3.0..3.0f64
+        )
+            .prop_filter_map("mcp", |(qs, l)| (qs.len() == 3).then(|| Gate::MCPhase {
+                controls: qs[..2].to_vec(),
+                target: qs[2],
+                lambda: l
+            })),
+    ]
+}
+
+fn circuit_from(ops: &[Gate]) -> QuantumCircuit {
+    let mut c = QuantumCircuit::with_qubits(N);
+    for g in ops {
+        c.append(g.clone()).unwrap();
+    }
+    c
+}
+
+/// Scrambling prefix so equivalence is tested on a generic state.
+fn scrambled(c: &QuantumCircuit) -> QuantumCircuit {
+    let mut s = QuantumCircuit::with_qubits(N);
+    for q in 0..N {
+        s.h(q).unwrap();
+        s.rz(0.37 * (q + 1) as f64, q).unwrap();
+    }
+    for q in 1..N {
+        s.cx(q - 1, q).unwrap();
+    }
+    s.extend(c).unwrap();
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Transpiling to {U, CX} preserves the state exactly (global phase
+    /// included).
+    #[test]
+    fn transpile_cx_u_is_exact(ops in prop::collection::vec(gate_strategy(), 0..25)) {
+        let c = circuit_from(&ops);
+        let t = transpile(&c, Basis::CxU).unwrap();
+        let in_basis = t.ops().iter().all(|g| matches!(
+            g,
+            Gate::U { .. } | Gate::CX { .. } | Gate::GlobalPhase(_) | Gate::Barrier(_)
+        ));
+        prop_assert!(in_basis);
+        let sa = statevector(&scrambled(&c)).unwrap();
+        let sb = statevector(&scrambled(&t)).unwrap();
+        let ip = sa.inner_product(&sb).unwrap();
+        prop_assert!((ip.re - 1.0).abs() < 1e-8 && ip.im.abs() < 1e-8,
+            "inner product {ip:?}");
+    }
+
+    /// Transpiling to the Standard basis is exact.
+    #[test]
+    fn transpile_standard_is_exact(ops in prop::collection::vec(gate_strategy(), 0..25)) {
+        let c = circuit_from(&ops);
+        let t = transpile(&c, Basis::Standard).unwrap();
+        let sa = statevector(&scrambled(&c)).unwrap();
+        let sb = statevector(&scrambled(&t)).unwrap();
+        let ip = sa.inner_product(&sb).unwrap();
+        prop_assert!((ip.re - 1.0).abs() < 1e-8 && ip.im.abs() < 1e-8);
+    }
+
+    /// circuit · circuit.inverse() == identity.
+    #[test]
+    fn inverse_roundtrip(ops in prop::collection::vec(gate_strategy(), 0..25)) {
+        let c = circuit_from(&ops);
+        let mut full = scrambled(&c);
+        full.extend(&c.inverse().unwrap()).unwrap();
+        let plain = statevector(&scrambled(&QuantumCircuit::with_qubits(N))).unwrap();
+        let sv = statevector(&full).unwrap();
+        let ip = plain.inner_product(&sv).unwrap();
+        prop_assert!((ip.re - 1.0).abs() < 1e-8 && ip.im.abs() < 1e-8);
+    }
+
+    /// Depth is monotone under appending and never exceeds size.
+    #[test]
+    fn depth_bounds(ops in prop::collection::vec(gate_strategy(), 0..40)) {
+        let c = circuit_from(&ops);
+        prop_assert!(c.depth() <= c.size());
+        let mut bigger = c.clone();
+        bigger.h(0).unwrap();
+        prop_assert!(bigger.depth() >= c.depth());
+    }
+
+    /// compose with the identity map equals extend.
+    #[test]
+    fn compose_identity_is_extend(ops in prop::collection::vec(gate_strategy(), 0..20)) {
+        let c = circuit_from(&ops);
+        let mut a = QuantumCircuit::with_qubits(N);
+        a.compose(&c, &(0..N).collect::<Vec<_>>(), &[]).unwrap();
+        let mut b = QuantumCircuit::with_qubits(N);
+        b.extend(&c).unwrap();
+        prop_assert_eq!(a.ops(), b.ops());
+    }
+}

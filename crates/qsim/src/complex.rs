@@ -1,0 +1,319 @@
+//! A minimal, fully-tested complex number type.
+//!
+//! The workspace deliberately avoids `num-complex` (not in the approved
+//! dependency set), so the simulator carries its own `Complex64`. Only the
+//! operations a statevector simulator needs are implemented: arithmetic,
+//! conjugation, modulus, and the polar helpers used to build phase gates.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A double-precision complex number `re + i*im`.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+/// Shorthand constructor for [`Complex64`].
+#[inline(always)]
+pub const fn c64(re: f64, im: f64) -> Complex64 {
+    Complex64 { re, im }
+}
+
+impl Complex64 {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: Complex64 = c64(0.0, 0.0);
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: Complex64 = c64(1.0, 0.0);
+    /// The imaginary unit `0 + 1i`.
+    pub const I: Complex64 = c64(0.0, 1.0);
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline(always)]
+    pub const fn new(re: f64, im: f64) -> Self {
+        c64(re, im)
+    }
+
+    /// Creates a purely real complex number.
+    #[inline(always)]
+    pub const fn from_real(re: f64) -> Self {
+        c64(re, 0.0)
+    }
+
+    /// `e^{i theta}` — a unit-modulus complex number at angle `theta`.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        c64(theta.cos(), theta.sin())
+    }
+
+    /// Creates a complex number from polar form `r * e^{i theta}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        c64(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Complex conjugate `re - i*im`.
+    #[inline(always)]
+    pub fn conj(self) -> Self {
+        c64(self.re, -self.im)
+    }
+
+    /// Squared modulus `re^2 + im^2`. This is the probability weight of an
+    /// amplitude, so it is the hottest scalar operation in the simulator.
+    #[inline(always)]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `sqrt(re^2 + im^2)`.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument (phase angle) in `(-pi, pi]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse. Returns NaN components when `self` is zero,
+    /// matching IEEE division semantics.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        c64(self.re / d, -self.im / d)
+    }
+
+    /// Scales by a real factor.
+    #[inline(always)]
+    pub fn scale(self, k: f64) -> Self {
+        c64(self.re * k, self.im * k)
+    }
+
+    /// True when both components are within `eps` of `other`'s.
+    #[inline]
+    pub fn approx_eq(self, other: Self, eps: f64) -> bool {
+        (self.re - other.re).abs() <= eps && (self.im - other.im).abs() <= eps
+    }
+
+    /// True when either component is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        c64(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        c64(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn mul(self, rhs: Self) -> Self {
+        c64(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // division IS multiplication by the inverse
+    fn div(self, rhs: Self) -> Self {
+        self * rhs.inv()
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn neg(self) -> Self {
+        c64(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: Self) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline(always)]
+    fn sub_assign(&mut self, rhs: Self) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline(always)]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn mul(self, rhs: f64) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        rhs.scale(self)
+    }
+}
+
+impl From<f64> for Complex64 {
+    #[inline(always)]
+    fn from(re: f64) -> Self {
+        c64(re, 0.0)
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Complex64>>(iter: I) -> Self {
+        iter.fold(Complex64::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn constructors_and_constants() {
+        assert_eq!(Complex64::new(1.0, 2.0), c64(1.0, 2.0));
+        assert_eq!(Complex64::from_real(3.0), c64(3.0, 0.0));
+        assert_eq!(Complex64::ZERO + Complex64::ONE, Complex64::ONE);
+        assert_eq!(Complex64::I * Complex64::I, -Complex64::ONE);
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = c64(1.5, -2.5);
+        let b = c64(-0.5, 4.0);
+        assert!((a + b - b).approx_eq(a, EPS));
+        assert!((a * b / b).approx_eq(a, EPS));
+        assert!((a - a).approx_eq(Complex64::ZERO, EPS));
+        assert!((-a + a).approx_eq(Complex64::ZERO, EPS));
+    }
+
+    #[test]
+    fn multiplication_matches_textbook() {
+        // (1+2i)(3+4i) = 3 + 4i + 6i + 8i^2 = -5 + 10i
+        let p = c64(1.0, 2.0) * c64(3.0, 4.0);
+        assert!(p.approx_eq(c64(-5.0, 10.0), EPS));
+    }
+
+    #[test]
+    fn conj_and_norms() {
+        let a = c64(3.0, -4.0);
+        assert_eq!(a.conj(), c64(3.0, 4.0));
+        assert!((a.norm_sqr() - 25.0).abs() < EPS);
+        assert!((a.norm() - 5.0).abs() < EPS);
+        // z * conj(z) is |z|^2 (real)
+        let zz = a * a.conj();
+        assert!(zz.approx_eq(c64(25.0, 0.0), EPS));
+    }
+
+    #[test]
+    fn polar_and_cis() {
+        let z = Complex64::cis(std::f64::consts::FRAC_PI_2);
+        assert!(z.approx_eq(Complex64::I, EPS));
+        let w = Complex64::from_polar(2.0, std::f64::consts::PI);
+        assert!(w.approx_eq(c64(-2.0, 0.0), EPS));
+        assert!((c64(0.0, 1.0).arg() - std::f64::consts::FRAC_PI_2).abs() < EPS);
+    }
+
+    #[test]
+    fn inverse_of_unit_is_conjugate() {
+        let z = Complex64::cis(0.7);
+        assert!(z.inv().approx_eq(z.conj(), EPS));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut a = c64(1.0, 1.0);
+        a += c64(2.0, -1.0);
+        assert_eq!(a, c64(3.0, 0.0));
+        a -= c64(1.0, 0.0);
+        assert_eq!(a, c64(2.0, 0.0));
+        a *= Complex64::I;
+        assert!(a.approx_eq(c64(0.0, 2.0), EPS));
+    }
+
+    #[test]
+    fn real_scaling_both_sides() {
+        let a = c64(1.0, -2.0);
+        assert_eq!(a * 2.0, c64(2.0, -4.0));
+        assert_eq!(2.0 * a, c64(2.0, -4.0));
+        assert_eq!(a.scale(0.5), c64(0.5, -1.0));
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let v = vec![c64(1.0, 0.0), c64(0.0, 1.0), c64(2.0, 2.0)];
+        let s: Complex64 = v.into_iter().sum();
+        assert_eq!(s, c64(3.0, 3.0));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(format!("{}", c64(1.0, 2.0)), "1+2i");
+        assert_eq!(format!("{}", c64(1.0, -2.0)), "1-2i");
+    }
+
+    #[test]
+    fn nan_detection() {
+        assert!(c64(f64::NAN, 0.0).is_nan());
+        assert!(!c64(1.0, 2.0).is_nan());
+        // division by zero produces NaN components
+        assert!((c64(1.0, 0.0) / Complex64::ZERO).is_nan());
+    }
+}

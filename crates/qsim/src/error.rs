@@ -1,0 +1,44 @@
+//! Error type for simulator operations.
+
+use std::fmt;
+
+/// Errors produced by statevector operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// A qubit index was `>=` the number of qubits in the state.
+    QubitOutOfRange {
+        /// The offending index.
+        qubit: usize,
+        /// The number of qubits in the state.
+        num_qubits: usize,
+    },
+    /// The same qubit appeared twice in one operation (e.g. as both a
+    /// control and the target).
+    DuplicateQubit(usize),
+    /// An amplitude vector had an invalid shape or norm.
+    InvalidState(String),
+    /// Too many qubits to simulate (amplitude vector would overflow memory).
+    TooManyQubits(usize),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::QubitOutOfRange { qubit, num_qubits } => {
+                write!(f, "qubit index {qubit} out of range for {num_qubits}-qubit state")
+            }
+            SimError::DuplicateQubit(q) => {
+                write!(f, "qubit {q} used more than once in a single operation")
+            }
+            SimError::InvalidState(msg) => write!(f, "invalid state: {msg}"),
+            SimError::TooManyQubits(n) => {
+                write!(f, "cannot simulate {n} qubits with a dense statevector")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Convenience alias used across the simulator.
+pub type SimResult<T> = Result<T, SimError>;

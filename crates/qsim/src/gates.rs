@@ -1,0 +1,313 @@
+//! Single-qubit gate matrices and the small matrix algebra used by the
+//! simulator and by unit tests.
+//!
+//! The simulator applies arbitrary 2x2 unitaries to targets (optionally
+//! under control masks), so every higher-level gate ultimately funnels into
+//! a [`Matrix2`]. Standard matrices (Pauli, Hadamard, phase family,
+//! rotations, and the general `U(theta, phi, lambda)`) are provided as
+//! constructors.
+
+use crate::complex::{c64, Complex64};
+use std::f64::consts::{FRAC_1_SQRT_2, FRAC_PI_4};
+
+/// A 2x2 complex matrix in row-major order: `[[a, b], [c, d]]`.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Matrix2 {
+    /// Row-major entries `[[m00, m01], [m10, m11]]`.
+    pub m: [[Complex64; 2]; 2],
+}
+
+impl Matrix2 {
+    /// Builds a matrix from row-major entries.
+    #[inline]
+    pub const fn new(m00: Complex64, m01: Complex64, m10: Complex64, m11: Complex64) -> Self {
+        Matrix2 {
+            m: [[m00, m01], [m10, m11]],
+        }
+    }
+
+    /// The 2x2 identity.
+    pub const IDENTITY: Matrix2 = Matrix2::new(
+        Complex64::ONE,
+        Complex64::ZERO,
+        Complex64::ZERO,
+        Complex64::ONE,
+    );
+
+    /// Matrix product `self * rhs`.
+    pub fn matmul(&self, rhs: &Matrix2) -> Matrix2 {
+        let a = &self.m;
+        let b = &rhs.m;
+        Matrix2::new(
+            a[0][0] * b[0][0] + a[0][1] * b[1][0],
+            a[0][0] * b[0][1] + a[0][1] * b[1][1],
+            a[1][0] * b[0][0] + a[1][1] * b[1][0],
+            a[1][0] * b[0][1] + a[1][1] * b[1][1],
+        )
+    }
+
+    /// Conjugate transpose (the inverse, for a unitary).
+    pub fn adjoint(&self) -> Matrix2 {
+        Matrix2::new(
+            self.m[0][0].conj(),
+            self.m[1][0].conj(),
+            self.m[0][1].conj(),
+            self.m[1][1].conj(),
+        )
+    }
+
+    /// True when `self * self^dagger` is the identity within `eps`.
+    pub fn is_unitary(&self, eps: f64) -> bool {
+        let p = self.matmul(&self.adjoint());
+        p.approx_eq(&Matrix2::IDENTITY, eps)
+    }
+
+    /// Entry-wise approximate equality.
+    pub fn approx_eq(&self, other: &Matrix2, eps: f64) -> bool {
+        for r in 0..2 {
+            for c in 0..2 {
+                if !self.m[r][c].approx_eq(other.m[r][c], eps) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Approximate equality up to a global phase factor.
+    pub fn approx_eq_up_to_phase(&self, other: &Matrix2, eps: f64) -> bool {
+        // Find the first entry of `other` with non-negligible modulus and
+        // derive the phase relating the two matrices from it.
+        for r in 0..2 {
+            for c in 0..2 {
+                if other.m[r][c].norm() > eps {
+                    if self.m[r][c].norm() <= eps {
+                        return false;
+                    }
+                    let phase = self.m[r][c] / other.m[r][c];
+                    if (phase.norm() - 1.0).abs() > eps {
+                        return false;
+                    }
+                    let scaled = Matrix2::new(
+                        other.m[0][0] * phase,
+                        other.m[0][1] * phase,
+                        other.m[1][0] * phase,
+                        other.m[1][1] * phase,
+                    );
+                    return self.approx_eq(&scaled, eps);
+                }
+            }
+        }
+        // `other` is (numerically) the zero matrix; matrices are equal up to
+        // phase only if `self` is too.
+        self.approx_eq(other, eps)
+    }
+}
+
+/// Pauli-X (NOT).
+pub fn x() -> Matrix2 {
+    Matrix2::new(
+        Complex64::ZERO,
+        Complex64::ONE,
+        Complex64::ONE,
+        Complex64::ZERO,
+    )
+}
+
+/// Pauli-Y.
+pub fn y() -> Matrix2 {
+    Matrix2::new(
+        Complex64::ZERO,
+        -Complex64::I,
+        Complex64::I,
+        Complex64::ZERO,
+    )
+}
+
+/// Pauli-Z.
+pub fn z() -> Matrix2 {
+    Matrix2::new(
+        Complex64::ONE,
+        Complex64::ZERO,
+        Complex64::ZERO,
+        -Complex64::ONE,
+    )
+}
+
+/// Hadamard.
+pub fn h() -> Matrix2 {
+    let s = c64(FRAC_1_SQRT_2, 0.0);
+    Matrix2::new(s, s, s, -s)
+}
+
+/// S = sqrt(Z), the pi/2 phase gate.
+pub fn s() -> Matrix2 {
+    phase(std::f64::consts::FRAC_PI_2)
+}
+
+/// S-dagger.
+pub fn sdg() -> Matrix2 {
+    phase(-std::f64::consts::FRAC_PI_2)
+}
+
+/// T = sqrt(S), the pi/4 phase gate.
+pub fn t() -> Matrix2 {
+    phase(FRAC_PI_4)
+}
+
+/// T-dagger.
+pub fn tdg() -> Matrix2 {
+    phase(-FRAC_PI_4)
+}
+
+/// sqrt(X).
+pub fn sx() -> Matrix2 {
+    let p = c64(0.5, 0.5);
+    let q = c64(0.5, -0.5);
+    Matrix2::new(p, q, q, p)
+}
+
+/// Phase gate `diag(1, e^{i lambda})`.
+pub fn phase(lambda: f64) -> Matrix2 {
+    Matrix2::new(
+        Complex64::ONE,
+        Complex64::ZERO,
+        Complex64::ZERO,
+        Complex64::cis(lambda),
+    )
+}
+
+/// Rotation about X by `theta`.
+pub fn rx(theta: f64) -> Matrix2 {
+    let c = c64((theta / 2.0).cos(), 0.0);
+    let s = c64(0.0, -(theta / 2.0).sin());
+    Matrix2::new(c, s, s, c)
+}
+
+/// Rotation about Y by `theta`.
+pub fn ry(theta: f64) -> Matrix2 {
+    let c = c64((theta / 2.0).cos(), 0.0);
+    let s = (theta / 2.0).sin();
+    Matrix2::new(c, c64(-s, 0.0), c64(s, 0.0), c)
+}
+
+/// Rotation about Z by `theta` (symmetric-phase convention).
+pub fn rz(theta: f64) -> Matrix2 {
+    Matrix2::new(
+        Complex64::cis(-theta / 2.0),
+        Complex64::ZERO,
+        Complex64::ZERO,
+        Complex64::cis(theta / 2.0),
+    )
+}
+
+/// The general single-qubit unitary
+/// `U(theta, phi, lambda)` in the OpenQASM 3 convention.
+pub fn u(theta: f64, phi: f64, lambda: f64) -> Matrix2 {
+    let ct = (theta / 2.0).cos();
+    let st = (theta / 2.0).sin();
+    Matrix2::new(
+        c64(ct, 0.0),
+        -Complex64::cis(lambda) * st,
+        Complex64::cis(phi) * st,
+        Complex64::cis(phi + lambda) * ct,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn paulis_are_unitary_and_involutive() {
+        for g in [x(), y(), z(), h()] {
+            assert!(g.is_unitary(EPS));
+            assert!(g.matmul(&g).approx_eq(&Matrix2::IDENTITY, EPS));
+        }
+    }
+
+    #[test]
+    fn phase_family_relations() {
+        // S^2 = Z, T^2 = S, S * Sdg = I
+        assert!(s().matmul(&s()).approx_eq(&z(), EPS));
+        assert!(t().matmul(&t()).approx_eq(&s(), EPS));
+        assert!(s().matmul(&sdg()).approx_eq(&Matrix2::IDENTITY, EPS));
+        assert!(t().matmul(&tdg()).approx_eq(&Matrix2::IDENTITY, EPS));
+    }
+
+    #[test]
+    fn sx_squares_to_x() {
+        assert!(sx().matmul(&sx()).approx_eq(&x(), EPS));
+        assert!(sx().is_unitary(EPS));
+    }
+
+    #[test]
+    fn hzh_equals_x() {
+        let hzh = h().matmul(&z()).matmul(&h());
+        assert!(hzh.approx_eq(&x(), EPS));
+    }
+
+    #[test]
+    fn xyz_anticommutation_xy_equals_iz() {
+        let xy = x().matmul(&y());
+        let iz = Matrix2::new(
+            Complex64::I,
+            Complex64::ZERO,
+            Complex64::ZERO,
+            -Complex64::I,
+        );
+        assert!(xy.approx_eq(&iz, EPS));
+    }
+
+    #[test]
+    fn rotations_are_unitary() {
+        for theta in [0.0, 0.3, FRAC_PI_2, PI, 2.7] {
+            assert!(rx(theta).is_unitary(EPS));
+            assert!(ry(theta).is_unitary(EPS));
+            assert!(rz(theta).is_unitary(EPS));
+            assert!(u(theta, 0.4, 1.1).is_unitary(1e-9));
+        }
+    }
+
+    #[test]
+    fn rx_pi_is_x_up_to_phase() {
+        assert!(rx(PI).approx_eq_up_to_phase(&x(), 1e-9));
+        assert!(ry(PI).approx_eq_up_to_phase(&y(), 1e-9));
+        assert!(rz(PI).approx_eq_up_to_phase(&z(), 1e-9));
+    }
+
+    #[test]
+    fn u_gate_specialisations() {
+        // U(0, 0, lambda) = Phase(lambda)
+        assert!(u(0.0, 0.0, 0.9).approx_eq(&phase(0.9), 1e-9));
+        // U(pi/2, 0, pi) = H
+        assert!(u(FRAC_PI_2, 0.0, PI).approx_eq(&h(), 1e-9));
+        // U(pi, 0, pi) = X
+        assert!(u(PI, 0.0, PI).approx_eq(&x(), 1e-9));
+    }
+
+    #[test]
+    fn adjoint_inverts_rotations() {
+        let g = rx(0.77);
+        assert!(g.matmul(&g.adjoint()).approx_eq(&Matrix2::IDENTITY, EPS));
+        let g = u(0.3, 0.5, 0.7);
+        assert!(g.adjoint().matmul(&g).approx_eq(&Matrix2::IDENTITY, 1e-9));
+    }
+
+    #[test]
+    fn phase_gate_diag() {
+        let p = phase(1.3);
+        assert_eq!(p.m[0][1], Complex64::ZERO);
+        assert_eq!(p.m[1][0], Complex64::ZERO);
+        assert!(p.m[1][1].approx_eq(Complex64::cis(1.3), EPS));
+    }
+
+    #[test]
+    fn up_to_phase_rejects_different_gates() {
+        assert!(!x().approx_eq_up_to_phase(&z(), EPS));
+        assert!(!h().approx_eq_up_to_phase(&x(), EPS));
+    }
+}

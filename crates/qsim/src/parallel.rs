@@ -1,0 +1,144 @@
+//! Scoped-thread parallel driver for gate kernels.
+//!
+//! A single-qubit gate on target `t` touches amplitude pairs that live
+//! entirely inside aligned blocks of `2^(t+1)` amplitudes, so the amplitude
+//! vector can be split at block boundaries and each piece processed by an
+//! independent thread with no synchronisation. The same property holds for
+//! every kernel in this crate (controlled gates, swaps, diagonal oracles),
+//! so they all funnel through [`for_each_block`].
+
+use crate::complex::Complex64;
+use std::sync::OnceLock;
+
+/// Amplitude-vector length below which kernels always run serially.
+/// 2^14 amplitudes (~14 qubits, 256 KiB) is where thread spawn overhead
+/// stops dominating on typical hardware; E7 in `EXPERIMENTS.md` measures
+/// the crossover.
+pub const PAR_THRESHOLD: usize = 1 << 14;
+
+/// Number of worker threads used for parallel kernels (cached).
+pub fn num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(16)
+    })
+}
+
+/// Runs `f(chunk, global_offset)` over `amps` split into block-aligned
+/// chunks. `block` must be a power of two that divides `amps.len()` (the
+/// statevector guarantees this). When `parallel` is false or the vector is
+/// small, the kernel runs on the calling thread.
+pub fn for_each_block<F>(amps: &mut [Complex64], block: usize, parallel: bool, f: F)
+where
+    F: Fn(&mut [Complex64], usize) + Sync,
+{
+    debug_assert!(block.is_power_of_two());
+    debug_assert_eq!(amps.len() % block, 0, "block must divide amplitude count");
+    let len = amps.len();
+    let nt = num_threads();
+    if !parallel || len < PAR_THRESHOLD || nt <= 1 || len <= block {
+        f(amps, 0);
+        return;
+    }
+    let blocks = len / block;
+    let per_thread = blocks.div_ceil(nt) * block;
+    std::thread::scope(|s| {
+        let mut rest = amps;
+        let mut offset = 0usize;
+        let f = &f;
+        while !rest.is_empty() {
+            let take = per_thread.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            let o = offset;
+            s.spawn(move || f(head, o));
+            offset += take;
+            rest = tail;
+        }
+    });
+}
+
+/// Parallel sum of `g(amp, index)` over the amplitude vector. Used for
+/// probability and expectation reductions.
+pub fn sum_reduce<G>(amps: &[Complex64], parallel: bool, g: G) -> f64
+where
+    G: Fn(Complex64, usize) -> f64 + Sync,
+{
+    let len = amps.len();
+    let nt = num_threads();
+    if !parallel || len < PAR_THRESHOLD || nt <= 1 {
+        return amps
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| g(a, i))
+            .sum();
+    }
+    let per_thread = len.div_ceil(nt);
+    let mut partials = vec![0.0f64; len.div_ceil(per_thread)];
+    std::thread::scope(|s| {
+        let g = &g;
+        for (slot, (ci, chunk)) in partials.iter_mut().zip(amps.chunks(per_thread).enumerate()) {
+            s.spawn(move || {
+                let base = ci * per_thread;
+                *slot = chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &a)| g(a, base + i))
+                    .sum();
+            });
+        }
+    });
+    partials.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+
+    #[test]
+    fn for_each_block_serial_covers_all() {
+        let mut amps = vec![c64(1.0, 0.0); 8];
+        for_each_block(&mut amps, 2, false, |chunk, off| {
+            for (i, a) in chunk.iter_mut().enumerate() {
+                *a = c64((off + i) as f64, 0.0);
+            }
+        });
+        for (i, a) in amps.iter().enumerate() {
+            assert_eq!(a.re, i as f64);
+        }
+    }
+
+    #[test]
+    fn for_each_block_parallel_matches_serial() {
+        let n = PAR_THRESHOLD * 2;
+        let mut a = vec![c64(0.0, 0.0); n];
+        let mut b = vec![c64(0.0, 0.0); n];
+        let kernel = |chunk: &mut [Complex64], off: usize| {
+            for (i, x) in chunk.iter_mut().enumerate() {
+                *x = c64(((off + i) % 97) as f64, 0.0);
+            }
+        };
+        for_each_block(&mut a, 4, false, kernel);
+        for_each_block(&mut b, 4, true, kernel);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sum_reduce_matches_serial() {
+        let n = PAR_THRESHOLD * 2;
+        let amps: Vec<_> = (0..n).map(|i| c64((i % 13) as f64, 0.0)).collect();
+        let serial = sum_reduce(&amps, false, |a, _| a.re);
+        let parallel = sum_reduce(&amps, true, |a, _| a.re);
+        assert!((serial - parallel).abs() < 1e-6 * serial.max(1.0));
+    }
+
+    #[test]
+    fn sum_reduce_uses_index() {
+        let amps = vec![c64(1.0, 0.0); 8];
+        let s = sum_reduce(&amps, false, |_, i| i as f64);
+        assert_eq!(s, 28.0);
+    }
+}

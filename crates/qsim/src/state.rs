@@ -1,0 +1,786 @@
+//! Dense statevector representation and gate-application kernels.
+//!
+//! Qubit `0` is the **least significant bit** of the basis-state index
+//! (little-endian, matching Qiskit's convention so that circuits built by
+//! the Qutes compiler behave identically to the paper's substrate).
+
+use crate::complex::{c64, Complex64};
+use crate::error::{SimError, SimResult};
+use crate::gates::Matrix2;
+use crate::parallel;
+
+/// Hard cap on dense simulation size: 2^28 amplitudes = 4 GiB of state.
+pub const MAX_QUBITS: usize = 28;
+
+/// A pure quantum state over `n` qubits stored as `2^n` complex amplitudes.
+#[derive(Clone, Debug)]
+pub struct StateVector {
+    n: usize,
+    amps: Vec<Complex64>,
+    parallel: bool,
+}
+
+impl StateVector {
+    /// Creates the all-zeros basis state `|0...0>` on `n` qubits.
+    pub fn new(n: usize) -> SimResult<Self> {
+        if n > MAX_QUBITS {
+            return Err(SimError::TooManyQubits(n));
+        }
+        let mut amps = vec![Complex64::ZERO; 1usize << n];
+        amps[0] = Complex64::ONE;
+        Ok(StateVector {
+            n,
+            amps,
+            parallel: true,
+        })
+    }
+
+    /// Creates the computational basis state `|index>` on `n` qubits.
+    pub fn from_basis_state(n: usize, index: usize) -> SimResult<Self> {
+        let mut sv = Self::new(n)?;
+        if index >= sv.amps.len() {
+            return Err(SimError::InvalidState(format!(
+                "basis index {index} out of range for {n} qubits"
+            )));
+        }
+        sv.amps[0] = Complex64::ZERO;
+        sv.amps[index] = Complex64::ONE;
+        Ok(sv)
+    }
+
+    /// Builds a state from explicit amplitudes. The length must be a power
+    /// of two and the vector must be normalised to within `1e-6`.
+    pub fn from_amplitudes(amps: Vec<Complex64>) -> SimResult<Self> {
+        if amps.is_empty() || !amps.len().is_power_of_two() {
+            return Err(SimError::InvalidState(format!(
+                "amplitude count {} is not a power of two",
+                amps.len()
+            )));
+        }
+        let n = amps.len().trailing_zeros() as usize;
+        if n > MAX_QUBITS {
+            return Err(SimError::TooManyQubits(n));
+        }
+        let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
+        if (norm - 1.0).abs() > 1e-6 {
+            return Err(SimError::InvalidState(format!(
+                "state norm^2 is {norm}, expected 1"
+            )));
+        }
+        Ok(StateVector {
+            n,
+            amps,
+            parallel: true,
+        })
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Number of amplitudes (`2^n`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.amps.len()
+    }
+
+    /// Always false: a statevector has at least one amplitude.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Read-only view of the amplitudes.
+    #[inline]
+    pub fn amplitudes(&self) -> &[Complex64] {
+        &self.amps
+    }
+
+    /// The amplitude of basis state `index`.
+    #[inline]
+    pub fn amplitude(&self, index: usize) -> Complex64 {
+        self.amps[index]
+    }
+
+    /// Enables or disables multi-threaded kernels (used by the E7/E8
+    /// ablation benchmarks; on by default, and only engaged for states
+    /// above [`parallel::PAR_THRESHOLD`] amplitudes).
+    pub fn set_parallel(&mut self, on: bool) {
+        self.parallel = on;
+    }
+
+    /// Whether parallel kernels are enabled.
+    pub fn parallel_enabled(&self) -> bool {
+        self.parallel
+    }
+
+    fn check_qubit(&self, q: usize) -> SimResult<()> {
+        if q >= self.n {
+            Err(SimError::QubitOutOfRange {
+                qubit: q,
+                num_qubits: self.n,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn check_distinct(qs: &[usize]) -> SimResult<()> {
+        for (i, &a) in qs.iter().enumerate() {
+            if qs[i + 1..].contains(&a) {
+                return Err(SimError::DuplicateQubit(a));
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies a single-qubit unitary to `target`.
+    pub fn apply_single(&mut self, m: &Matrix2, target: usize) -> SimResult<()> {
+        self.apply_controlled(m, &[], target)
+    }
+
+    /// Applies a single-qubit unitary to `target`, conditioned on every
+    /// qubit in `controls` being `|1>`. An empty control list is an
+    /// unconditional application.
+    pub fn apply_controlled(
+        &mut self,
+        m: &Matrix2,
+        controls: &[usize],
+        target: usize,
+    ) -> SimResult<()> {
+        self.check_qubit(target)?;
+        for &c in controls {
+            self.check_qubit(c)?;
+        }
+        let mut all = controls.to_vec();
+        all.push(target);
+        Self::check_distinct(&all)?;
+
+        let mut ctrl_mask = 0usize;
+        for &c in controls {
+            ctrl_mask |= 1usize << c;
+        }
+        let t_bit = 1usize << target;
+        let block = t_bit << 1;
+        let half = t_bit;
+        let [[m00, m01], [m10, m11]] = m.m;
+
+        parallel::for_each_block(&mut self.amps, block, self.parallel, |chunk, offset| {
+            // `chunk` is a whole number of blocks; within each block the
+            // first `half` indices have the target bit clear.
+            let mut base = 0;
+            while base < chunk.len() {
+                for k in 0..half {
+                    let i = base + k;
+                    let global = offset + i;
+                    if global & ctrl_mask == ctrl_mask {
+                        let j = i + half;
+                        let a = chunk[i];
+                        let b = chunk[j];
+                        chunk[i] = m00 * a + m01 * b;
+                        chunk[j] = m10 * a + m11 * b;
+                    }
+                }
+                base += block;
+            }
+        });
+        Ok(())
+    }
+
+    /// Swaps qubits `a` and `b` (the SWAP gate).
+    pub fn apply_swap(&mut self, a: usize, b: usize) -> SimResult<()> {
+        self.apply_controlled_swap(&[], a, b)
+    }
+
+    /// Controlled swap (Fredkin with arbitrarily many controls).
+    pub fn apply_controlled_swap(
+        &mut self,
+        controls: &[usize],
+        a: usize,
+        b: usize,
+    ) -> SimResult<()> {
+        self.check_qubit(a)?;
+        self.check_qubit(b)?;
+        for &c in controls {
+            self.check_qubit(c)?;
+        }
+        let mut all = controls.to_vec();
+        all.extend_from_slice(&[a, b]);
+        Self::check_distinct(&all)?;
+
+        let mut ctrl_mask = 0usize;
+        for &c in controls {
+            ctrl_mask |= 1usize << c;
+        }
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let lo_bit = 1usize << lo;
+        let hi_bit = 1usize << hi;
+        // Pairs (i, j) with i having lo=1,hi=0 and j = i ^ lo_bit ^ hi_bit
+        // both live in the aligned block of size 2^(hi+1).
+        let block = hi_bit << 1;
+
+        parallel::for_each_block(&mut self.amps, block, self.parallel, |chunk, offset| {
+            let mut base = 0;
+            while base < chunk.len() {
+                // Indices inside the block with hi-bit 0.
+                for k in 0..hi_bit {
+                    let i = base + k;
+                    let global = offset + i;
+                    if global & lo_bit != 0 && global & ctrl_mask == ctrl_mask {
+                        let j = i - lo_bit + hi_bit;
+                        chunk.swap(i, j);
+                    }
+                }
+                base += block;
+            }
+        });
+        Ok(())
+    }
+
+    /// Applies an arbitrary two-qubit unitary given as a 4x4 row-major
+    /// matrix over basis ordering `|q1 q0>` (q0 = least significant).
+    /// Primarily used by tests and decomposition cross-checks.
+    pub fn apply_two(
+        &mut self,
+        m: &[[Complex64; 4]; 4],
+        q0: usize,
+        q1: usize,
+    ) -> SimResult<()> {
+        self.check_qubit(q0)?;
+        self.check_qubit(q1)?;
+        Self::check_distinct(&[q0, q1])?;
+        let b0 = 1usize << q0;
+        let b1 = 1usize << q1;
+        let len = self.amps.len();
+        let mut i = 0usize;
+        while i < len {
+            if i & b0 == 0 && i & b1 == 0 {
+                let idx = [i, i | b0, i | b1, i | b0 | b1];
+                let v = [
+                    self.amps[idx[0]],
+                    self.amps[idx[1]],
+                    self.amps[idx[2]],
+                    self.amps[idx[3]],
+                ];
+                for (r, &target) in idx.iter().enumerate() {
+                    let mut acc = Complex64::ZERO;
+                    for (c, &src) in v.iter().enumerate() {
+                        acc += m[r][c] * src;
+                    }
+                    self.amps[target] = acc;
+                }
+            }
+            i += 1;
+        }
+        Ok(())
+    }
+
+    /// Multiplies every amplitude whose basis index satisfies `pred` by -1.
+    ///
+    /// This is the *simulator-level phase oracle* used to cross-check the
+    /// gate-level Grover oracles (DESIGN.md §6). `pred` receives the full
+    /// basis index.
+    pub fn apply_phase_flip_where<F>(&mut self, pred: F)
+    where
+        F: Fn(usize) -> bool + Sync,
+    {
+        parallel::for_each_block(&mut self.amps, 1, self.parallel, |chunk, offset| {
+            for (i, a) in chunk.iter_mut().enumerate() {
+                if pred(offset + i) {
+                    *a = -*a;
+                }
+            }
+        });
+    }
+
+    /// Multiplies the whole state by `e^{i theta}` (unobservable global
+    /// phase; kept for exactness of composed-circuit tests).
+    pub fn apply_global_phase(&mut self, theta: f64) {
+        let p = Complex64::cis(theta);
+        for a in self.amps.iter_mut() {
+            *a *= p;
+        }
+    }
+
+    /// Squared norm of the state (should always be ~1).
+    pub fn norm_sqr(&self) -> f64 {
+        parallel::sum_reduce(&self.amps, self.parallel, |a, _| a.norm_sqr())
+    }
+
+    /// Rescales the state to unit norm. Returns an error if the norm is
+    /// numerically zero (which indicates a logic error upstream, e.g.
+    /// conditioning on an impossible measurement outcome).
+    pub fn renormalize(&mut self) -> SimResult<()> {
+        let n = self.norm_sqr();
+        if n <= 1e-300 {
+            return Err(SimError::InvalidState(
+                "cannot renormalise a zero state".into(),
+            ));
+        }
+        let s = 1.0 / n.sqrt();
+        for a in self.amps.iter_mut() {
+            *a = a.scale(s);
+        }
+        Ok(())
+    }
+
+    /// Probability that measuring `qubit` yields `1`.
+    pub fn probability_one(&self, qubit: usize) -> SimResult<f64> {
+        self.check_qubit(qubit)?;
+        let bit = 1usize << qubit;
+        Ok(parallel::sum_reduce(&self.amps, self.parallel, |a, i| {
+            if i & bit != 0 {
+                a.norm_sqr()
+            } else {
+                0.0
+            }
+        }))
+    }
+
+    /// Probability of observing `outcome` (bit `k` of `outcome` is the
+    /// result for `qubits[k]`) when measuring `qubits` jointly.
+    pub fn probability_of_outcome(&self, qubits: &[usize], outcome: usize) -> SimResult<f64> {
+        for &q in qubits {
+            self.check_qubit(q)?;
+        }
+        Self::check_distinct(qubits)?;
+        Ok(parallel::sum_reduce(&self.amps, self.parallel, |a, i| {
+            let mut obs = 0usize;
+            for (k, &q) in qubits.iter().enumerate() {
+                obs |= ((i >> q) & 1) << k;
+            }
+            if obs == outcome {
+                a.norm_sqr()
+            } else {
+                0.0
+            }
+        }))
+    }
+
+    /// Full probability distribution over all `2^n` basis states.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amps.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// Marginal distribution over a subset of qubits, as a dense vector of
+    /// length `2^qubits.len()` (bit `k` of the index = `qubits[k]`).
+    pub fn marginal_probabilities(&self, qubits: &[usize]) -> SimResult<Vec<f64>> {
+        for &q in qubits {
+            self.check_qubit(q)?;
+        }
+        Self::check_distinct(qubits)?;
+        let mut out = vec![0.0f64; 1usize << qubits.len()];
+        for (i, a) in self.amps.iter().enumerate() {
+            let p = a.norm_sqr();
+            if p > 0.0 {
+                let mut obs = 0usize;
+                for (k, &q) in qubits.iter().enumerate() {
+                    obs |= ((i >> q) & 1) << k;
+                }
+                out[obs] += p;
+            }
+        }
+        Ok(out)
+    }
+
+    /// `<self|other>`.
+    pub fn inner_product(&self, other: &StateVector) -> SimResult<Complex64> {
+        if self.n != other.n {
+            return Err(SimError::InvalidState(format!(
+                "inner product of {}-qubit and {}-qubit states",
+                self.n, other.n
+            )));
+        }
+        Ok(self
+            .amps
+            .iter()
+            .zip(other.amps.iter())
+            .map(|(a, b)| a.conj() * *b)
+            .sum())
+    }
+
+    /// Fidelity `|<self|other>|^2`.
+    pub fn fidelity(&self, other: &StateVector) -> SimResult<f64> {
+        Ok(self.inner_product(other)?.norm_sqr())
+    }
+
+    /// Expectation value of Pauli-Z on `qubit`: `P(0) - P(1)`.
+    pub fn expectation_z(&self, qubit: usize) -> SimResult<f64> {
+        let p1 = self.probability_one(qubit)?;
+        Ok(1.0 - 2.0 * p1)
+    }
+
+    /// Tensor product `other ⊗ self`: `other`'s qubits become the high
+    /// bits. Used to build composite test fixtures.
+    pub fn tensor(&self, other: &StateVector) -> SimResult<StateVector> {
+        let n = self.n + other.n;
+        if n > MAX_QUBITS {
+            return Err(SimError::TooManyQubits(n));
+        }
+        let mut amps = vec![Complex64::ZERO; 1usize << n];
+        for (j, &b) in other.amps.iter().enumerate() {
+            if b == Complex64::ZERO {
+                continue;
+            }
+            for (i, &a) in self.amps.iter().enumerate() {
+                amps[(j << self.n) | i] = a * b;
+            }
+        }
+        Ok(StateVector {
+            n,
+            amps,
+            parallel: self.parallel,
+        })
+    }
+
+    /// Collapses the state so `qubit` reads `value`, renormalising.
+    /// Returns the probability the outcome had before collapse.
+    pub fn collapse_qubit(&mut self, qubit: usize, value: bool) -> SimResult<f64> {
+        self.check_qubit(qubit)?;
+        let bit = 1usize << qubit;
+        let keep_one = value;
+        let p = if keep_one {
+            self.probability_one(qubit)?
+        } else {
+            1.0 - self.probability_one(qubit)?
+        };
+        if p <= 1e-12 {
+            return Err(SimError::InvalidState(format!(
+                "collapse of qubit {qubit} to {} has probability ~0",
+                value as u8
+            )));
+        }
+        let s = 1.0 / p.sqrt();
+        parallel::for_each_block(&mut self.amps, 1, self.parallel, |chunk, offset| {
+            for (i, a) in chunk.iter_mut().enumerate() {
+                let has_one = (offset + i) & bit != 0;
+                if has_one == keep_one {
+                    *a = a.scale(s);
+                } else {
+                    *a = Complex64::ZERO;
+                }
+            }
+        });
+        Ok(p)
+    }
+
+    /// Resets `qubit` to `|0>` by measuring-and-flipping. Non-unitary.
+    /// The supplied `p1` sampling decision is made by the caller (see
+    /// `measure::measure_and_reset`); this method performs a deterministic
+    /// reset assuming the qubit has already been collapsed.
+    pub fn flip_if_one(&mut self, qubit: usize) -> SimResult<()> {
+        // After collapse to |1>, applying X returns the qubit to |0>.
+        self.apply_single(&crate::gates::x(), qubit)
+    }
+
+    /// Returns a formatted dump of non-negligible amplitudes, for debugging
+    /// and for the CLI's `--dump-state` flag.
+    pub fn dump(&self, threshold: f64) -> String {
+        let mut out = String::new();
+        for (i, a) in self.amps.iter().enumerate() {
+            if a.norm_sqr() > threshold {
+                out.push_str(&format!(
+                    "|{:0width$b}> : {} (p={:.6})\n",
+                    i,
+                    a,
+                    a.norm_sqr(),
+                    width = self.n
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Builds the uniform superposition `H^{⊗n}|0>` directly (a frequently
+/// needed fixture; cheaper than applying `n` Hadamards).
+pub fn uniform_superposition(n: usize) -> SimResult<StateVector> {
+    if n > MAX_QUBITS {
+        return Err(SimError::TooManyQubits(n));
+    }
+    let len = 1usize << n;
+    let amp = c64(1.0 / (len as f64).sqrt(), 0.0);
+    StateVector::from_amplitudes(vec![amp; len])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates;
+
+    const EPS: f64 = 1e-10;
+
+    #[test]
+    fn new_state_is_all_zeros() {
+        let sv = StateVector::new(3).unwrap();
+        assert_eq!(sv.num_qubits(), 3);
+        assert_eq!(sv.len(), 8);
+        assert!(sv.amplitude(0).approx_eq(Complex64::ONE, EPS));
+        assert!((sv.norm_sqr() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn too_many_qubits_rejected() {
+        assert!(matches!(
+            StateVector::new(MAX_QUBITS + 1),
+            Err(SimError::TooManyQubits(_))
+        ));
+    }
+
+    #[test]
+    fn from_amplitudes_validates() {
+        assert!(StateVector::from_amplitudes(vec![]).is_err());
+        assert!(StateVector::from_amplitudes(vec![Complex64::ONE; 3]).is_err());
+        assert!(StateVector::from_amplitudes(vec![Complex64::ONE; 2]).is_err()); // norm 2
+        let ok = StateVector::from_amplitudes(vec![Complex64::ONE, Complex64::ZERO]);
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn x_flips_basis_state() {
+        let mut sv = StateVector::new(2).unwrap();
+        sv.apply_single(&gates::x(), 0).unwrap();
+        assert!(sv.amplitude(0b01).approx_eq(Complex64::ONE, EPS));
+        sv.apply_single(&gates::x(), 1).unwrap();
+        assert!(sv.amplitude(0b11).approx_eq(Complex64::ONE, EPS));
+    }
+
+    #[test]
+    fn hadamard_makes_uniform() {
+        let mut sv = StateVector::new(1).unwrap();
+        sv.apply_single(&gates::h(), 0).unwrap();
+        let a = 1.0 / 2f64.sqrt();
+        assert!(sv.amplitude(0).approx_eq(c64(a, 0.0), EPS));
+        assert!(sv.amplitude(1).approx_eq(c64(a, 0.0), EPS));
+    }
+
+    #[test]
+    fn uniform_superposition_matches_hadamards() {
+        let mut sv = StateVector::new(4).unwrap();
+        for q in 0..4 {
+            sv.apply_single(&gates::h(), q).unwrap();
+        }
+        let direct = uniform_superposition(4).unwrap();
+        assert!((sv.fidelity(&direct).unwrap() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn cnot_entangles_bell_pair() {
+        let mut sv = StateVector::new(2).unwrap();
+        sv.apply_single(&gates::h(), 0).unwrap();
+        sv.apply_controlled(&gates::x(), &[0], 1).unwrap();
+        let a = 1.0 / 2f64.sqrt();
+        assert!(sv.amplitude(0b00).approx_eq(c64(a, 0.0), EPS));
+        assert!(sv.amplitude(0b11).approx_eq(c64(a, 0.0), EPS));
+        assert!(sv.amplitude(0b01).approx_eq(Complex64::ZERO, EPS));
+        assert!(sv.amplitude(0b10).approx_eq(Complex64::ZERO, EPS));
+    }
+
+    #[test]
+    fn toffoli_truth_table() {
+        // CCX flips target only when both controls are 1.
+        for c0 in 0..2usize {
+            for c1 in 0..2usize {
+                let idx = c0 | (c1 << 1);
+                let mut sv = StateVector::from_basis_state(3, idx).unwrap();
+                sv.apply_controlled(&gates::x(), &[0, 1], 2).unwrap();
+                let expect = if c0 == 1 && c1 == 1 { idx | 0b100 } else { idx };
+                assert!(
+                    sv.amplitude(expect).approx_eq(Complex64::ONE, EPS),
+                    "controls {c0}{c1}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn control_equal_target_rejected() {
+        let mut sv = StateVector::new(2).unwrap();
+        assert!(matches!(
+            sv.apply_controlled(&gates::x(), &[1], 1),
+            Err(SimError::DuplicateQubit(1))
+        ));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut sv = StateVector::new(2).unwrap();
+        assert!(sv.apply_single(&gates::x(), 2).is_err());
+        assert!(sv.apply_swap(0, 5).is_err());
+        assert!(sv.probability_one(9).is_err());
+    }
+
+    #[test]
+    fn swap_exchanges_qubits() {
+        let mut sv = StateVector::from_basis_state(3, 0b001).unwrap();
+        sv.apply_swap(0, 2).unwrap();
+        assert!(sv.amplitude(0b100).approx_eq(Complex64::ONE, EPS));
+        // swap is its own inverse
+        sv.apply_swap(0, 2).unwrap();
+        assert!(sv.amplitude(0b001).approx_eq(Complex64::ONE, EPS));
+    }
+
+    #[test]
+    fn swap_matches_three_cnots() {
+        let mut a = StateVector::new(2).unwrap();
+        a.apply_single(&gates::h(), 0).unwrap();
+        a.apply_single(&gates::t(), 0).unwrap();
+        let mut b = a.clone();
+        a.apply_swap(0, 1).unwrap();
+        b.apply_controlled(&gates::x(), &[0], 1).unwrap();
+        b.apply_controlled(&gates::x(), &[1], 0).unwrap();
+        b.apply_controlled(&gates::x(), &[0], 1).unwrap();
+        assert!((a.fidelity(&b).unwrap() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn fredkin_swaps_only_when_control_set() {
+        let mut sv = StateVector::from_basis_state(3, 0b010).unwrap();
+        sv.apply_controlled_swap(&[0], 1, 2).unwrap(); // control qubit 0 is 0
+        assert!(sv.amplitude(0b010).approx_eq(Complex64::ONE, EPS));
+        let mut sv = StateVector::from_basis_state(3, 0b011).unwrap();
+        sv.apply_controlled_swap(&[0], 1, 2).unwrap(); // control is 1
+        assert!(sv.amplitude(0b101).approx_eq(Complex64::ONE, EPS));
+    }
+
+    #[test]
+    fn phase_flip_oracle_flips_sign() {
+        let mut sv = uniform_superposition(3).unwrap();
+        sv.apply_phase_flip_where(|i| i == 0b101);
+        let a = 1.0 / 8f64.sqrt();
+        assert!(sv.amplitude(0b101).approx_eq(c64(-a, 0.0), EPS));
+        assert!(sv.amplitude(0b100).approx_eq(c64(a, 0.0), EPS));
+    }
+
+    #[test]
+    fn probability_and_expectation() {
+        let mut sv = StateVector::new(2).unwrap();
+        sv.apply_single(&gates::h(), 0).unwrap();
+        assert!((sv.probability_one(0).unwrap() - 0.5).abs() < EPS);
+        assert!((sv.probability_one(1).unwrap()).abs() < EPS);
+        assert!(sv.expectation_z(0).unwrap().abs() < EPS);
+        assert!((sv.expectation_z(1).unwrap() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn marginal_probabilities_sum_to_one() {
+        let mut sv = StateVector::new(3).unwrap();
+        sv.apply_single(&gates::h(), 0).unwrap();
+        sv.apply_controlled(&gates::x(), &[0], 2).unwrap();
+        let m = sv.marginal_probabilities(&[0, 2]).unwrap();
+        assert_eq!(m.len(), 4);
+        assert!((m.iter().sum::<f64>() - 1.0).abs() < EPS);
+        // Perfect correlation: only 00 and 11 outcomes.
+        assert!((m[0b00] - 0.5).abs() < EPS);
+        assert!((m[0b11] - 0.5).abs() < EPS);
+        assert!(m[0b01].abs() < EPS);
+    }
+
+    #[test]
+    fn joint_outcome_probability() {
+        let mut sv = StateVector::new(2).unwrap();
+        sv.apply_single(&gates::h(), 0).unwrap();
+        sv.apply_controlled(&gates::x(), &[0], 1).unwrap();
+        let p = sv.probability_of_outcome(&[0, 1], 0b11).unwrap();
+        assert!((p - 0.5).abs() < EPS);
+        let p = sv.probability_of_outcome(&[0, 1], 0b01).unwrap();
+        assert!(p.abs() < EPS);
+    }
+
+    #[test]
+    fn collapse_renormalizes() {
+        let mut sv = StateVector::new(2).unwrap();
+        sv.apply_single(&gates::h(), 0).unwrap();
+        sv.apply_controlled(&gates::x(), &[0], 1).unwrap();
+        let p = sv.collapse_qubit(0, true).unwrap();
+        assert!((p - 0.5).abs() < EPS);
+        assert!(sv.amplitude(0b11).approx_eq(Complex64::ONE, EPS));
+        assert!((sv.norm_sqr() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn collapse_to_impossible_outcome_errors() {
+        let mut sv = StateVector::new(1).unwrap();
+        assert!(sv.collapse_qubit(0, true).is_err());
+    }
+
+    #[test]
+    fn inner_product_orthogonal_states() {
+        let a = StateVector::from_basis_state(2, 0).unwrap();
+        let b = StateVector::from_basis_state(2, 3).unwrap();
+        assert!(a.inner_product(&b).unwrap().norm() < EPS);
+        assert!((a.inner_product(&a).unwrap().re - 1.0).abs() < EPS);
+        let c = StateVector::new(3).unwrap();
+        assert!(a.inner_product(&c).is_err());
+    }
+
+    #[test]
+    fn tensor_product_layout() {
+        // |1> ⊗ |0> with self=|0> (low bits), other=|1> (high bits)
+        let lo = StateVector::from_basis_state(1, 0).unwrap();
+        let hi = StateVector::from_basis_state(1, 1).unwrap();
+        let t = lo.tensor(&hi).unwrap();
+        assert_eq!(t.num_qubits(), 2);
+        assert!(t.amplitude(0b10).approx_eq(Complex64::ONE, EPS));
+    }
+
+    #[test]
+    fn apply_two_matches_cnot() {
+        // CNOT control=q0 target=q1 as a 4x4 over |q1 q0>.
+        let o = Complex64::ONE;
+        let zz = Complex64::ZERO;
+        let cnot = [
+            [o, zz, zz, zz],
+            [zz, zz, zz, o],
+            [zz, zz, o, zz],
+            [zz, o, zz, zz],
+        ];
+        let mut a = StateVector::new(2).unwrap();
+        a.apply_single(&gates::h(), 0).unwrap();
+        let mut b = a.clone();
+        a.apply_two(&cnot, 0, 1).unwrap();
+        b.apply_controlled(&gates::x(), &[0], 1).unwrap();
+        assert!((a.fidelity(&b).unwrap() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn global_phase_is_unobservable() {
+        let mut sv = StateVector::new(2).unwrap();
+        sv.apply_single(&gates::h(), 0).unwrap();
+        let probs = sv.probabilities();
+        sv.apply_global_phase(1.234);
+        assert_eq!(sv.probabilities(), probs);
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_large_state() {
+        let n = 15; // 32768 amplitudes > PAR_THRESHOLD
+        let mut par = StateVector::new(n).unwrap();
+        let mut ser = StateVector::new(n).unwrap();
+        ser.set_parallel(false);
+        for q in 0..n {
+            par.apply_single(&gates::h(), q).unwrap();
+            ser.apply_single(&gates::h(), q).unwrap();
+        }
+        for q in 0..n - 1 {
+            par.apply_controlled(&gates::x(), &[q], q + 1).unwrap();
+            ser.apply_controlled(&gates::x(), &[q], q + 1).unwrap();
+        }
+        par.apply_swap(0, n - 1).unwrap();
+        ser.apply_swap(0, n - 1).unwrap();
+        assert!((par.fidelity(&ser).unwrap() - 1.0).abs() < 1e-9);
+        assert!((par.probability_one(3).unwrap() - ser.probability_one(3).unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dump_lists_support() {
+        let mut sv = StateVector::new(2).unwrap();
+        sv.apply_single(&gates::h(), 0).unwrap();
+        let d = sv.dump(1e-9);
+        assert!(d.contains("|00>"));
+        assert!(d.contains("|01>"));
+        assert!(!d.contains("|10>"));
+    }
+}

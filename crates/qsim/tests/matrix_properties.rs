@@ -1,0 +1,64 @@
+//! Property tests for the 2x2 matrix algebra and measurement statistics.
+
+use proptest::prelude::*;
+use qutes_sim::{gates, measure, Matrix2, StateVector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_unitary() -> impl Strategy<Value = Matrix2> {
+    // U(theta, phi, lambda) sweeps all of SU(2) up to phase.
+    (-3.2..3.2f64, -3.2..3.2f64, -3.2..3.2f64).prop_map(|(t, p, l)| gates::u(t, p, l))
+}
+
+proptest! {
+    /// Every generated matrix is unitary.
+    #[test]
+    fn generated_matrices_are_unitary(m in random_unitary()) {
+        prop_assert!(m.is_unitary(1e-9));
+    }
+
+    /// Products of unitaries are unitary.
+    #[test]
+    fn products_stay_unitary(a in random_unitary(), b in random_unitary()) {
+        prop_assert!(a.matmul(&b).is_unitary(1e-9));
+    }
+
+    /// adjoint(a*b) == adjoint(b)*adjoint(a).
+    #[test]
+    fn adjoint_antihomomorphism(a in random_unitary(), b in random_unitary()) {
+        let lhs = a.matmul(&b).adjoint();
+        let rhs = b.adjoint().matmul(&a.adjoint());
+        prop_assert!(lhs.approx_eq(&rhs, 1e-9));
+    }
+
+    /// a * adjoint(a) == identity.
+    #[test]
+    fn adjoint_is_inverse(a in random_unitary()) {
+        prop_assert!(a.matmul(&a.adjoint()).approx_eq(&Matrix2::IDENTITY, 1e-9));
+    }
+
+    /// Matrix multiplication is associative.
+    #[test]
+    fn matmul_associative(a in random_unitary(), b in random_unitary(), c in random_unitary()) {
+        let lhs = a.matmul(&b).matmul(&c);
+        let rhs = a.matmul(&b.matmul(&c));
+        prop_assert!(lhs.approx_eq(&rhs, 1e-9));
+    }
+
+    /// Applying a random unitary preserves measurement statistics summing
+    /// to one, and the sampled frequency of |1> converges to the exact
+    /// probability.
+    #[test]
+    fn sampling_matches_probability(m in random_unitary(), seed in any::<u64>()) {
+        let mut sv = StateVector::new(1).unwrap();
+        sv.apply_single(&m, 0).unwrap();
+        let p1 = sv.probability_one(0).unwrap();
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&p1));
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let counts = measure::sample_counts(&sv, &[0], 2000, &mut rng).unwrap();
+        let ones = counts.get(&1).copied().unwrap_or(0) as f64 / 2000.0;
+        // 2000 samples: allow a generous 4-sigma band (sigma <= 0.0112).
+        prop_assert!((ones - p1).abs() < 0.05, "p1={p1} sampled={ones}");
+    }
+}

@@ -1,0 +1,168 @@
+//! Property-based tests for the statevector simulator: the invariants here
+//! (unitarity, norm preservation, involutions) must hold for *every* gate
+//! sequence, so they are checked on randomly generated programs.
+
+use proptest::prelude::*;
+use qutes_sim::{gates, measure, Complex64, Matrix2, StateVector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A randomly chosen (gate, params) pair we can both apply and invert.
+#[derive(Clone, Debug)]
+enum Op {
+    Single(u8, usize),        // gate id, target
+    Rot(u8, f64, usize),      // axis, angle, target
+    Controlled(usize, usize), // control, target (CX)
+    Swap(usize, usize),
+}
+
+fn gate_for(id: u8) -> Matrix2 {
+    match id % 7 {
+        0 => gates::x(),
+        1 => gates::y(),
+        2 => gates::z(),
+        3 => gates::h(),
+        4 => gates::s(),
+        5 => gates::t(),
+        _ => gates::sx(),
+    }
+}
+
+fn rot_for(axis: u8, theta: f64) -> Matrix2 {
+    match axis % 3 {
+        0 => gates::rx(theta),
+        1 => gates::ry(theta),
+        _ => gates::rz(theta),
+    }
+}
+
+fn op_strategy(n: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), 0..n).prop_map(|(g, t)| Op::Single(g, t)),
+        (any::<u8>(), -6.0..6.0f64, 0..n).prop_map(|(a, th, t)| Op::Rot(a, th, t)),
+        (0..n, 0..n).prop_filter_map("distinct", |(c, t)| {
+            (c != t).then_some(Op::Controlled(c, t))
+        }),
+        (0..n, 0..n).prop_filter_map("distinct", |(a, b)| (a != b).then_some(Op::Swap(a, b))),
+    ]
+}
+
+fn apply(sv: &mut StateVector, op: &Op) {
+    match op {
+        Op::Single(g, t) => sv.apply_single(&gate_for(*g), *t).unwrap(),
+        Op::Rot(a, th, t) => sv.apply_single(&rot_for(*a, *th), *t).unwrap(),
+        Op::Controlled(c, t) => sv.apply_controlled(&gates::x(), &[*c], *t).unwrap(),
+        Op::Swap(a, b) => sv.apply_swap(*a, *b).unwrap(),
+    }
+}
+
+fn apply_inverse(sv: &mut StateVector, op: &Op) {
+    match op {
+        Op::Single(g, t) => sv.apply_single(&gate_for(*g).adjoint(), *t).unwrap(),
+        Op::Rot(a, th, t) => sv.apply_single(&rot_for(*a, -th), *t).unwrap(),
+        Op::Controlled(c, t) => sv.apply_controlled(&gates::x(), &[*c], *t).unwrap(),
+        Op::Swap(a, b) => sv.apply_swap(*a, *b).unwrap(),
+    }
+}
+
+proptest! {
+    /// Any sequence of unitaries preserves the norm.
+    #[test]
+    fn norm_preserved(ops in prop::collection::vec(op_strategy(5), 0..60)) {
+        let mut sv = StateVector::new(5).unwrap();
+        for op in &ops {
+            apply(&mut sv, op);
+        }
+        prop_assert!((sv.norm_sqr() - 1.0).abs() < 1e-9);
+    }
+
+    /// Applying a program then its reverse-inverse returns to |0..0>.
+    #[test]
+    fn program_then_inverse_is_identity(ops in prop::collection::vec(op_strategy(4), 0..40)) {
+        let mut sv = StateVector::new(4).unwrap();
+        for op in &ops {
+            apply(&mut sv, op);
+        }
+        for op in ops.iter().rev() {
+            apply_inverse(&mut sv, op);
+        }
+        prop_assert!(sv.amplitude(0).approx_eq(Complex64::ONE, 1e-7),
+            "returned amplitude {:?}", sv.amplitude(0));
+    }
+
+    /// The phase-flip oracle is an involution.
+    #[test]
+    fn phase_oracle_involutive(marked in any::<u16>(), ops in prop::collection::vec(op_strategy(4), 0..20)) {
+        let mut sv = StateVector::new(4).unwrap();
+        for op in &ops {
+            apply(&mut sv, op);
+        }
+        let reference = sv.clone();
+        let mask = (marked as usize) & 0xF;
+        sv.apply_phase_flip_where(|i| i & 0xF == mask);
+        sv.apply_phase_flip_where(|i| i & 0xF == mask);
+        prop_assert!((sv.fidelity(&reference).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    /// Probabilities from marginal distributions always sum to 1 and agree
+    /// with per-qubit probabilities.
+    #[test]
+    fn marginals_consistent(ops in prop::collection::vec(op_strategy(4), 0..30), q in 0usize..4) {
+        let mut sv = StateVector::new(4).unwrap();
+        for op in &ops {
+            apply(&mut sv, op);
+        }
+        let marg = sv.marginal_probabilities(&[q]).unwrap();
+        prop_assert!((marg.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!((marg[1] - sv.probability_one(q).unwrap()).abs() < 1e-9);
+    }
+
+    /// Measurement outcomes follow the pre-measurement distribution: the
+    /// observed outcome always has nonzero prior probability, and the
+    /// post-measurement state is consistent (re-measurement repeats).
+    #[test]
+    fn measurement_consistency(ops in prop::collection::vec(op_strategy(3), 0..25), seed in any::<u64>()) {
+        let mut sv = StateVector::new(3).unwrap();
+        for op in &ops {
+            apply(&mut sv, op);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let before = sv.clone();
+        let out = measure::measure_qubit(&mut sv, 1, &mut rng).unwrap();
+        let prior = before.probability_one(1).unwrap();
+        let prior_of_outcome = if out { prior } else { 1.0 - prior };
+        prop_assert!(prior_of_outcome > 1e-12);
+        // Re-measurement is deterministic after collapse.
+        let again = measure::measure_qubit(&mut sv, 1, &mut rng).unwrap();
+        prop_assert_eq!(out, again);
+        prop_assert!((sv.norm_sqr() - 1.0).abs() < 1e-9);
+    }
+
+    /// Controlled application with an empty control list is exactly the
+    /// unconditional application.
+    #[test]
+    fn empty_controls_equal_single(g in any::<u8>(), t in 0usize..4,
+                                   ops in prop::collection::vec(op_strategy(4), 0..20)) {
+        let mut a = StateVector::new(4).unwrap();
+        for op in &ops {
+            apply(&mut a, op);
+        }
+        let mut b = a.clone();
+        a.apply_single(&gate_for(g), t).unwrap();
+        b.apply_controlled(&gate_for(g), &[], t).unwrap();
+        prop_assert!((a.fidelity(&b).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    /// Serial and parallel kernels agree bit-for-bit in distribution.
+    #[test]
+    fn parallel_serial_agree(ops in prop::collection::vec(op_strategy(14), 1..12)) {
+        let mut par = StateVector::new(14).unwrap();
+        let mut ser = StateVector::new(14).unwrap();
+        ser.set_parallel(false);
+        for op in &ops {
+            apply(&mut par, op);
+            apply(&mut ser, op);
+        }
+        prop_assert!((par.fidelity(&ser).unwrap() - 1.0).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,54 @@
+//! Entanglement propagation via entanglement swapping (paper §5):
+//! entangle the two ends of a qubit array that never directly interact.
+//!
+//! Run with: `cargo run --example entanglement_chain`
+
+use qutes::algos::entanglement::{run_swap_chain, swap_chain_circuit};
+use qutes::{run_source, RunConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // --- Language level: a small GHZ-style propagation -------------------
+    let program = r#"
+        qubit a = |0>;
+        qubit b = |0>;
+        qubit c = |0>;
+        qubit d = |0>;
+        hadamard a;
+        cnot a, b;
+        cnot b, c;
+        cnot c, d;
+        print a;
+        print d;
+    "#;
+    let out = run_source(program, &RunConfig { seed: 3, ..Default::default() }).unwrap();
+    println!(
+        "Qutes chain: first = {}, last = {} (always equal)",
+        out.output[0], out.output[1]
+    );
+
+    // --- Library level: true entanglement swap with Bell measurement ----
+    let mut rng = StdRng::seed_from_u64(17);
+    println!(
+        "\n{:>6} {:>8} {:>13} {:>13} {:>8}",
+        "pairs", "qubits", "correlation", "P(0 ends)", "depth"
+    );
+    for pairs in [1usize, 2, 3, 4, 6, 8] {
+        let stats = run_swap_chain(pairs, 400, &mut rng).unwrap();
+        let (circuit, _, _) = swap_chain_circuit(pairs).unwrap();
+        println!(
+            "{:>6} {:>8} {:>13.4} {:>13.4} {:>8}",
+            pairs,
+            2 * pairs,
+            stats.correlation,
+            stats.zero_fraction,
+            circuit.depth()
+        );
+    }
+    println!(
+        "\nthe end qubits never share a gate, yet their measurement \
+         outcomes agree with probability 1 — entanglement was swapped \
+         down the chain through Bell measurements + Pauli corrections."
+    );
+}

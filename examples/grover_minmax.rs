@@ -1,0 +1,62 @@
+//! Quantum minimum/maximum (Dürr–Høyer) and Grover-filtered database
+//! search — the paper's §6 future-work items, implemented both at the
+//! library level and as the `qmin`/`qmax` language builtins.
+//!
+//! Run with: `cargo run --example grover_minmax`
+
+use qutes::algos::minmax::{quantum_find, quantum_maximum, quantum_minimum};
+use qutes::{run_source, RunConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // --- Language level ---------------------------------------------------
+    let program = r#"
+        int[] db = [14, 2, 8, 27, 30, 11, 4, 19];
+        print qmin(db);
+        print qmax(db);
+
+        quint a = 3q;
+        quint b = 5q;
+        quint p = a * b;       // shift-and-add quantum multiplier
+        print p;
+    "#;
+    let out = run_source(program, &RunConfig { seed: 1, ..Default::default() }).unwrap();
+    println!(
+        "Qutes: qmin={} qmax={} 3*5={}",
+        out.output[0], out.output[1], out.output[2]
+    );
+
+    // --- Library level ------------------------------------------------------
+    let mut rng = StdRng::seed_from_u64(21);
+    println!(
+        "\n{:>6} {:>10} {:>14} {:>14} {:>12}",
+        "N", "min", "oracle_calls", "rounds", "classical"
+    );
+    for n in [8usize, 16, 32, 64] {
+        let values: Vec<u64> = (0..n).map(|_| rng.random_range(0..1000)).collect();
+        let res = quantum_minimum(&values, &mut rng).unwrap();
+        assert_eq!(res.value, *values.iter().min().unwrap());
+        println!(
+            "{:>6} {:>10} {:>14} {:>14} {:>12}",
+            n,
+            res.value,
+            res.oracle_calls,
+            res.rounds,
+            n - 1
+        );
+    }
+
+    // Filtered search: find any element over a threshold.
+    let values: Vec<u64> = (0..32).map(|_| rng.random_range(0..100)).collect();
+    let (idx, calls) = quantum_find(&values, |v| v >= 95, &mut rng).unwrap();
+    match idx {
+        Some(i) => println!(
+            "\nquantum_find: values[{i}] = {} satisfies v >= 95 ({calls} oracle calls)",
+            values[i]
+        ),
+        None => println!("\nquantum_find: no element >= 95 in this draw"),
+    }
+    let res = quantum_maximum(&values, &mut rng).unwrap();
+    println!("maximum of the same database: {} (index {})", res.value, res.index);
+}

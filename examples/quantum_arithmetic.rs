@@ -1,0 +1,64 @@
+//! Quantum arithmetic (paper §5, Figure 1): `+` on `quint` values lowers
+//! to a ripple-carry adder, and works on superposed operands.
+//!
+//! Run with: `cargo run --example quantum_arithmetic`
+
+use qutes::algos::arithmetic;
+use qutes::qcirc::QuantumCircuit;
+use qutes::{run_source, RunConfig};
+
+fn main() {
+    // --- Language level ----------------------------------------------------
+    let program = r#"
+        quint a = 5q;
+        quint b = 3q;
+        quint sum = a + b;        // |a>|b>|0> -> |a>|b>|a+b>
+        print sum;
+        print a;                  // operands survive
+        print b;
+
+        quint s = [1, 2]q;        // superposed operand
+        quint shifted = s + 10;
+        print shifted;            // 11 or 12
+
+        quint acc = 4q;
+        acc += 3;                 // in-place constant addition (Draper/QFT)
+        acc -= 2;
+        print acc;
+    "#;
+    let out = run_source(program, &RunConfig { seed: 5, ..Default::default() }).unwrap();
+    println!("program output: {:?}", out.output);
+    println!(
+        "circuit: {} qubits, {} gates, depth {}",
+        out.qubits_used,
+        out.circuit.size(),
+        out.circuit.depth()
+    );
+
+    // --- Library level: adder circuit sizes --------------------------------
+    println!("\nCDKM ripple-carry adder scaling:");
+    println!("{:>6} {:>8} {:>8} {:>8}", "bits", "gates", "depth", "ccx");
+    for n in [2usize, 4, 8, 16, 24] {
+        let (c, _, _) = arithmetic::adder_circuit(n, 0, 0).unwrap();
+        let stats = c.stats();
+        println!(
+            "{:>6} {:>8} {:>8} {:>8}",
+            n,
+            stats.size,
+            stats.depth,
+            stats.counts.get("ccx").copied().unwrap_or(0)
+        );
+    }
+
+    // Draper QFT adder for comparison (the E8 ablation pair).
+    println!("\nDraper QFT adder scaling:");
+    println!("{:>6} {:>8} {:>8}", "bits", "gates", "depth");
+    for n in [2usize, 4, 8] {
+        let mut c = QuantumCircuit::with_qubits(2 * n);
+        let a: Vec<usize> = (0..n).collect();
+        let b: Vec<usize> = (n..2 * n).collect();
+        arithmetic::add_in_place_qft(&mut c, &a, &b).unwrap();
+        let stats = c.stats();
+        println!("{:>6} {:>8} {:>8}", n, stats.size, stats.depth);
+    }
+}

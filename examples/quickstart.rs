@@ -1,0 +1,50 @@
+//! Quickstart: the paper's "hello quantum world" — declare quantum
+//! variables, superpose, add, and observe, all from a Qutes source
+//! string.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use qutes::{run_source, to_qasm3, RunConfig};
+
+fn main() {
+    let program = r#"
+        // Quantum declarations: the paper's core data types (§4).
+        qubit flip = |+>;            // a fair coin
+        quint counter = [1, 2, 3]q;  // superposition of three values
+        qustring tag = "0101"q;      // a quantum bitstring
+
+        // High-level quantum operations.
+        quint total = counter + 4;   // ripple-carry adder behind '+'
+        total <<= 1;                 // constant-depth cyclic shift
+
+        // Auto-measurement at the classical boundary (§3).
+        print flip;                  // true or false, 50/50
+        print total;                 // (1|2|3) + 4, bits rotated
+        print "01" in tag;           // Grover substring search
+    "#;
+
+    let cfg = RunConfig {
+        seed: 2025,
+        ..RunConfig::default()
+    };
+    let out = run_source(program, &cfg).expect("program runs");
+
+    println!("program output:");
+    for line in &out.output {
+        println!("  {line}");
+    }
+    println!();
+    println!(
+        "accumulated circuit: {} qubits, {} ops, depth {}",
+        out.qubits_used,
+        out.circuit.size(),
+        out.circuit.depth()
+    );
+    println!();
+    println!("OpenQASM 3 export (first lines):");
+    let qasm = to_qasm3(&out.circuit).expect("qasm export");
+    for line in qasm.lines().take(12) {
+        println!("  {line}");
+    }
+    println!("  ...");
+}

@@ -1,0 +1,42 @@
+//! # qutes
+//!
+//! A high-level quantum programming language, reproduced in Rust from
+//! "Qutes: A High-Level Quantum Programming Language for Simplified
+//! Quantum Computing" (Faro, Marino & Messina, HPDC 2025).
+//!
+//! This facade crate re-exports the whole stack:
+//!
+//! * [`frontend`] — lexer, parser, AST, pretty-printer,
+//! * [`core`] — type system, symbol table, casting, the
+//!   `QuantumCircuitHandler`, and the interpreter,
+//! * [`qcirc`] — the quantum-circuit IR (the Qiskit stand-in),
+//! * [`sim`] — the dense statevector simulator (the Aer stand-in),
+//! * [`algos`] — Grover/substring search, Deutsch-Jozsa, constant-depth
+//!   rotation, quantum arithmetic, entanglement swap, QFT, state prep,
+//! * [`qasm`] — OpenQASM 2/3 export and import.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use qutes::{run_source, RunConfig};
+//!
+//! let program = r#"
+//!     quint a = [1, 2]q;      // superposition of 1 and 2
+//!     quint sum = a + 3;      // quantum ripple-carry addition
+//!     print sum;              // auto-measures: prints 4 or 5
+//! "#;
+//! let out = run_source(program, &RunConfig::default()).unwrap();
+//! let v: i64 = out.output[0].parse().unwrap();
+//! assert!(v == 4 || v == 5);
+//! ```
+
+pub use qutes_algos as algos;
+pub use qutes_core as core;
+pub use qutes_frontend as frontend;
+pub use qutes_qasm as qasm;
+pub use qutes_qcirc as qcirc;
+pub use qutes_sim as sim;
+
+pub use qutes_core::{run_source, QutesError, QutesResult, RunConfig, RunOutcome};
+pub use qutes_frontend::{parse, print_program};
+pub use qutes_qasm::{to_qasm2, to_qasm3};
