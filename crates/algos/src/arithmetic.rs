@@ -249,7 +249,11 @@ pub fn multiplier_circuit(n: usize, x: u64, y: u64) -> CircResult<(QuantumCircui
 /// Builds a standalone circuit computing `x + y` for `n`-bit inputs and
 /// returns `(circuit, a_qubits, b_qubits)`; the sum lands in the `b`
 /// register. Used by E1 and the examples.
-pub fn adder_circuit(n: usize, x: u64, y: u64) -> CircResult<(QuantumCircuit, Vec<usize>, Vec<usize>)> {
+pub fn adder_circuit(
+    n: usize,
+    x: u64,
+    y: u64,
+) -> CircResult<(QuantumCircuit, Vec<usize>, Vec<usize>)> {
     let mut c = QuantumCircuit::new();
     let a = c.add_qreg("a", n);
     let b = c.add_qreg("b", n);
@@ -285,11 +289,7 @@ mod tests {
             for y in 0..(1u64 << n) {
                 let (c, a, b) = adder_circuit(n, x, y).unwrap();
                 assert_eq!(register_value(&c, &a), x, "a preserved");
-                assert_eq!(
-                    register_value(&c, &b),
-                    (x + y) % (1 << n),
-                    "{x}+{y} mod 8"
-                );
+                assert_eq!(register_value(&c, &b), (x + y) % (1 << n), "{x}+{y} mod 8");
             }
         }
     }
@@ -531,7 +531,10 @@ mod tests {
             })
             .collect();
         // Differences between consecutive sizes are constant (linear growth).
-        let d: Vec<isize> = sizes.windows(2).map(|w| w[1] as isize - w[0] as isize).collect();
+        let d: Vec<isize> = sizes
+            .windows(2)
+            .map(|w| w[1] as isize - w[0] as isize)
+            .collect();
         assert!(d.windows(2).all(|w| w[0] == w[1]), "sizes {sizes:?}");
     }
 }

@@ -43,9 +43,7 @@ impl Oracle {
         match self {
             Oracle::Constant { .. } => true,
             Oracle::Parity { mask, .. } => *mask == 0,
-            Oracle::Table { outputs } => {
-                outputs.iter().all(|&b| b) || outputs.iter().all(|&b| !b)
-            }
+            Oracle::Table { outputs } => outputs.iter().all(|&b| b) || outputs.iter().all(|&b| !b),
         }
     }
 
@@ -227,8 +225,7 @@ mod tests {
             let o = Oracle::random_balanced_table(3, &mut r);
             assert!(!o.is_constant());
             assert_eq!(
-                o.eval(0) as usize
-                    + (1..8).map(|x| o.eval(x) as usize).sum::<usize>(),
+                o.eval(0) as usize + (1..8).map(|x| o.eval(x) as usize).sum::<usize>(),
                 4,
                 "table must be balanced"
             );
@@ -262,12 +259,18 @@ mod tests {
 
     #[test]
     fn parity_eval_matches_definition() {
-        let o = Oracle::Parity { mask: 0b101, flip: false };
+        let o = Oracle::Parity {
+            mask: 0b101,
+            flip: false,
+        };
         assert!(!o.eval(0));
         assert!(o.eval(0b001));
         assert!(!o.eval(0b101));
         assert!(o.eval(0b100));
-        let f = Oracle::Parity { mask: 0b101, flip: true };
+        let f = Oracle::Parity {
+            mask: 0b101,
+            flip: true,
+        };
         assert!(f.eval(0));
     }
 
@@ -288,7 +291,10 @@ mod tests {
     fn bernstein_vazirani_ignores_output_flip() {
         // The global flip only changes an unobservable phase.
         let mut r = rng();
-        let oracle = Oracle::Parity { mask: 0b1011, flip: true };
+        let oracle = Oracle::Parity {
+            mask: 0b1011,
+            flip: true,
+        };
         assert_eq!(bernstein_vazirani(4, &oracle, &mut r).unwrap(), 0b1011);
     }
 

@@ -143,7 +143,9 @@ mod tests {
             .map(|g| g.qubits())
             .collect();
         assert!(
-            !interacting.iter().any(|qs| qs.contains(&0) && qs.contains(&3)),
+            !interacting
+                .iter()
+                .any(|qs| qs.contains(&0) && qs.contains(&3)),
             "ends must never interact directly: {interacting:?}"
         );
         let stats = run_swap_chain(2, 600, &mut rng()).unwrap();

@@ -72,7 +72,9 @@ fn find_extremum<R: Rng + ?Sized>(
 
     while rounds < max_rounds {
         rounds += 1;
-        let marked: Vec<usize> = (0..len).filter(|&i| better(values[i], best_value)).collect();
+        let marked: Vec<usize> = (0..len)
+            .filter(|&i| better(values[i], best_value))
+            .collect();
         if marked.is_empty() {
             break; // best is already the extremum
         }
@@ -123,18 +125,12 @@ fn find_extremum<R: Rng + ?Sized>(
 }
 
 /// Quantum minimum of `values` (Dürr–Høyer).
-pub fn quantum_minimum<R: Rng + ?Sized>(
-    values: &[u64],
-    rng: &mut R,
-) -> CircResult<ExtremumResult> {
+pub fn quantum_minimum<R: Rng + ?Sized>(values: &[u64], rng: &mut R) -> CircResult<ExtremumResult> {
     find_extremum(values, |candidate, best| candidate < best, rng)
 }
 
 /// Quantum maximum of `values` (Dürr–Høyer with the order reversed).
-pub fn quantum_maximum<R: Rng + ?Sized>(
-    values: &[u64],
-    rng: &mut R,
-) -> CircResult<ExtremumResult> {
+pub fn quantum_maximum<R: Rng + ?Sized>(values: &[u64], rng: &mut R) -> CircResult<ExtremumResult> {
     find_extremum(values, |candidate, best| candidate > best, rng)
 }
 

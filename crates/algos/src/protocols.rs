@@ -59,10 +59,7 @@ pub fn teleport_fidelity<R: Rng + ?Sized>(
 
 /// Superdense coding: transmits two classical bits with one qubit.
 /// Returns the decoded two-bit message (must equal `message`).
-pub fn superdense_roundtrip<R: Rng + ?Sized>(
-    message: u8,
-    rng: &mut R,
-) -> CircResult<u8> {
+pub fn superdense_roundtrip<R: Rng + ?Sized>(message: u8, rng: &mut R) -> CircResult<u8> {
     assert!(message < 4, "superdense coding carries 2 bits");
     let mut c = QuantumCircuit::new();
     let q = c.add_qreg("q", 2);

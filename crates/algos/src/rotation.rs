@@ -12,7 +12,12 @@
 use qutes_qcirc::{CircResult, QuantumCircuit};
 
 /// Appends swaps reversing `qubits[lo..hi]` (one parallel layer).
-fn reverse_range(circ: &mut QuantumCircuit, qubits: &[usize], lo: usize, hi: usize) -> CircResult<()> {
+fn reverse_range(
+    circ: &mut QuantumCircuit,
+    qubits: &[usize],
+    lo: usize,
+    hi: usize,
+) -> CircResult<()> {
     let mut i = lo;
     let mut j = hi;
     while i + 1 < j {
@@ -66,11 +71,7 @@ pub fn rotate_right_constant_depth(
 
 /// Baseline: rotates left by `k` with `k` passes of adjacent swaps
 /// (the direct transcription of the classical algorithm; depth Θ(k·n)).
-pub fn rotate_left_linear(
-    circ: &mut QuantumCircuit,
-    qubits: &[usize],
-    k: usize,
-) -> CircResult<()> {
+pub fn rotate_left_linear(circ: &mut QuantumCircuit, qubits: &[usize], k: usize) -> CircResult<()> {
     let n = qubits.len();
     if n == 0 {
         return Ok(());

@@ -108,7 +108,12 @@ pub fn prepare_real_amplitudes(
 /// Multi-controlled RY via the standard V-CX-Vdg-CX conjugation
 /// (RY commutes with X up to sign, so half-angle rotations interleaved
 /// with MCXs implement the controlled rotation exactly).
-fn mc_ry(circ: &mut QuantumCircuit, theta: f64, controls: &[usize], target: usize) -> CircResult<()> {
+fn mc_ry(
+    circ: &mut QuantumCircuit,
+    theta: f64,
+    controls: &[usize],
+    target: usize,
+) -> CircResult<()> {
     match controls.len() {
         0 => {
             circ.ry(theta, target)?;

@@ -1,0 +1,140 @@
+//! How textbook algorithms degrade under the Monte-Carlo noise engine —
+//! the acceptance demonstration for the fault-injection subsystem:
+//! Grover success strictly decreasing with depolarizing `p`, Deutsch–
+//! Jozsa degrading monotonically, and majority-vote mitigation
+//! recovering the correct answer at low noise.
+
+use qutes_algos::deutsch_jozsa::{dj_circuit, Oracle};
+use qutes_algos::grover::{grover_circuit, mark_states_oracle};
+use qutes_qcirc::execute::{run_shots_cfg, run_shots_majority};
+use qutes_qcirc::{ExecutionConfig, QuantumCircuit};
+use qutes_sim::NoiseModel;
+
+/// 2-qubit Grover for a single marked state: one iteration is *exact*
+/// (success probability 1 at p = 0), so the noiseless baseline sits at
+/// the top and every added fault can only hurt — ideal for a strict
+/// monotonicity check.
+fn grover_2q(target: u64) -> QuantumCircuit {
+    let qubits = [0usize, 1];
+    let oracle = mark_states_oracle(2, &qubits, &[target]).unwrap();
+    grover_circuit(2, &qubits, &oracle, 1).unwrap()
+}
+
+fn grover_success(circuit: &QuantumCircuit, target: u64, p: f64, shots: usize, seed: u64) -> f64 {
+    let mut cfg = ExecutionConfig::default().with_shots(shots).with_seed(seed);
+    if p > 0.0 {
+        cfg = cfg.with_noise(NoiseModel::depolarizing(p));
+    }
+    let counts = run_shots_cfg(circuit, &cfg).unwrap();
+    counts.frequency(target as usize)
+}
+
+#[test]
+fn grover_success_strictly_decreases_with_depolarizing_p() {
+    let target = 0b10u64;
+    let circuit = grover_2q(target);
+    let shots = 3000;
+    let rates: Vec<f64> = [0.0, 0.01, 0.05, 0.2]
+        .iter()
+        .map(|&p| grover_success(&circuit, target, p, shots, 17))
+        .collect();
+    assert!(
+        (rates[0] - 1.0).abs() < 1e-12,
+        "noiseless 2-qubit Grover should be exact, got {}",
+        rates[0]
+    );
+    for w in rates.windows(2) {
+        assert!(
+            w[0] > w[1],
+            "success must strictly decrease with p: {rates:?}"
+        );
+    }
+    // Heavy depolarizing drives the register toward uniform (1/4).
+    assert!(rates[3] < 0.6, "p=0.2 should be far from exact: {rates:?}");
+}
+
+#[test]
+fn grover_with_zero_noise_matches_bare_run_exactly() {
+    let target = 0b01u64;
+    let circuit = grover_2q(target);
+    let bare = ExecutionConfig::default().with_shots(500).with_seed(9);
+    let zero = bare.clone().with_noise(NoiseModel::depolarizing(0.0));
+    let a = run_shots_cfg(&circuit, &bare).unwrap();
+    let b = run_shots_cfg(&circuit, &zero).unwrap();
+    assert_eq!(a.sorted(), b.sorted());
+}
+
+#[test]
+fn deutsch_jozsa_degrades_monotonically_with_noise() {
+    // Balanced parity oracle: the noiseless readout is the mask itself
+    // with probability 1 (Bernstein–Vazirani view of the same circuit).
+    let n = 3;
+    let mask = 0b101u64;
+    let oracle = Oracle::Parity { mask, flip: false };
+    let circuit = dj_circuit(n, &oracle).unwrap();
+    let shots = 2000;
+    let rate = |p: f64| -> f64 {
+        let mut cfg = ExecutionConfig::default().with_shots(shots).with_seed(23);
+        if p > 0.0 {
+            cfg = cfg.with_noise(NoiseModel::depolarizing(p));
+        }
+        run_shots_cfg(&circuit, &cfg)
+            .unwrap()
+            .frequency(mask as usize)
+    };
+    let rates: Vec<f64> = [0.0, 0.01, 0.05, 0.2].iter().map(|&p| rate(p)).collect();
+    assert!((rates[0] - 1.0).abs() < 1e-12, "clean DJ must be exact");
+    for w in rates.windows(2) {
+        assert!(w[0] > w[1], "DJ success must decrease with p: {rates:?}");
+    }
+}
+
+#[test]
+fn majority_vote_recovers_grover_at_low_noise() {
+    // At p = 0.02 a single noisy histogram can occasionally be won by a
+    // wrong outcome; voting across independently seeded batches must
+    // still name the marked state.
+    let target = 0b11u64;
+    let circuit = grover_2q(target);
+    let cfg = ExecutionConfig::default()
+        .with_shots(300)
+        .with_seed(41)
+        .with_noise(NoiseModel::depolarizing(0.02).with_readout_error(0.01));
+    let outcome = run_shots_majority(&circuit, &cfg, 11).unwrap();
+    assert_eq!(outcome.winner, Some(target as usize));
+    assert!(outcome.confidence() > 0.5, "votes {:?}", outcome.votes);
+}
+
+#[test]
+fn majority_vote_recovers_deutsch_jozsa_at_low_noise() {
+    let n = 3;
+    let mask = 0b110u64;
+    let oracle = Oracle::Parity { mask, flip: true };
+    let circuit = dj_circuit(n, &oracle).unwrap();
+    let cfg = ExecutionConfig::default()
+        .with_shots(300)
+        .with_seed(5)
+        .with_noise(NoiseModel::depolarizing(0.02));
+    let outcome = run_shots_majority(&circuit, &cfg, 9).unwrap();
+    assert_eq!(outcome.winner, Some(mask as usize));
+}
+
+#[test]
+fn readout_error_degrades_grover_without_touching_gates() {
+    // Pure readout noise: the state is perfect, only the reported bits
+    // lie. Success = (1-p)^2 for a 2-bit register.
+    let target = 0b10u64;
+    let circuit = grover_2q(target);
+    let p = 0.1;
+    let cfg = ExecutionConfig::default()
+        .with_shots(4000)
+        .with_seed(31)
+        .with_noise(NoiseModel::none().with_readout_error(p));
+    let counts = run_shots_cfg(&circuit, &cfg).unwrap();
+    let rate = counts.frequency(target as usize);
+    let expected = (1.0 - p) * (1.0 - p);
+    assert!(
+        (rate - expected).abs() < 0.04,
+        "rate {rate} vs expected {expected}"
+    );
+}

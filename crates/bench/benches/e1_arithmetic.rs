@@ -14,7 +14,8 @@ fn bench(c: &mut Criterion) {
     for n in [4usize, 6, 8] {
         g.bench_with_input(BenchmarkId::new("cdkm_adder_sim", n), &n, |b, &n| {
             b.iter(|| {
-                let (circ, _, _) = arithmetic::adder_circuit(n, 5 % (1 << n), 3 % (1 << n)).unwrap();
+                let (circ, _, _) =
+                    arithmetic::adder_circuit(n, 5 % (1 << n), 3 % (1 << n)).unwrap();
                 statevector(&circ).unwrap()
             })
         });

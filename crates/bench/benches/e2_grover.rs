@@ -17,13 +17,17 @@ fn bench(c: &mut Criterion) {
             let plan = SubstringSearch::new(n, &pattern);
             b.iter(|| plan.phase_oracle().unwrap())
         });
-        g.bench_with_input(BenchmarkId::new("grover_search_100shots", n), &n, |b, &n| {
-            let plan = SubstringSearch::new(n, &pattern);
-            b.iter(|| {
-                let mut rng = StdRng::seed_from_u64(1);
-                plan.search(100, &mut rng).unwrap()
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("grover_search_100shots", n),
+            &n,
+            |b, &n| {
+                let plan = SubstringSearch::new(n, &pattern);
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(1);
+                    plan.search(100, &mut rng).unwrap()
+                })
+            },
+        );
     }
     g.bench_function("classical_scan_64bit", |b| {
         let text: Vec<bool> = (0..64).map(|i| i % 3 == 0).collect();

@@ -89,7 +89,13 @@ pub fn e1_superposed(seed: u64) -> Table {
 pub fn e2_grover_scaling(seed: u64, shots: usize, max_n: usize) -> Table {
     let mut r = rng(seed);
     let mut t = Table::new(&[
-        "n", "space", "marked", "grover_k", "theory", "measured", "classical_E[q]",
+        "n",
+        "space",
+        "marked",
+        "grover_k",
+        "theory",
+        "measured",
+        "classical_E[q]",
     ]);
     for n in 5..=max_n {
         // Pattern of length n-2 (alternating bits): the marked set stays
@@ -108,7 +114,10 @@ pub fn e2_grover_scaling(seed: u64, shots: usize, max_n: usize) -> Table {
             &k,
             &format!("{:.4}", grover::success_probability(space, marked, k)),
             &format!("{:.4}", out.hit_rate),
-            &format!("{:.1}", classical::expected_queries_random_search(space, marked)),
+            &format!(
+                "{:.1}",
+                classical::expected_queries_random_search(space, marked)
+            ),
         ]);
     }
     t
@@ -146,7 +155,13 @@ pub fn e2_success_curve(seed: u64, n: usize, shots: usize) -> Table {
 /// instruction and grows for the baseline.
 pub fn e3_rotation() -> Table {
     let mut t = Table::new(&[
-        "n", "k", "const_depth", "const_swaps", "linear_depth", "linear_swaps", "class_moves",
+        "n",
+        "k",
+        "const_depth",
+        "const_swaps",
+        "linear_depth",
+        "linear_swaps",
+        "class_moves",
     ]);
     for n in [4usize, 8, 16, 32, 64] {
         let k = n / 2 - 1;
@@ -178,7 +193,8 @@ pub fn e3_correctness() -> Table {
         for k in 0..n {
             for value in [0u64, 1, (1 << n) - 1, 0b1011 % (1 << n)] {
                 let expect = rotation::rotate_value_left(value, n, k);
-                type Builder = fn(&mut QuantumCircuit, &[usize], usize) -> qutes_qcirc::CircResult<()>;
+                type Builder =
+                    fn(&mut QuantumCircuit, &[usize], usize) -> qutes_qcirc::CircResult<()>;
                 for (is_const, builder) in [
                     (true, rotation::rotate_left_constant_depth as Builder),
                     (false, rotation::rotate_left_linear as Builder),
@@ -218,9 +234,17 @@ pub fn e3_correctness() -> Table {
 pub fn e4_entanglement(seed: u64, shots: usize, max_pairs: usize) -> Table {
     let mut r = rng(seed);
     let mut t = Table::new(&[
-        "pairs", "qubits", "correlation", "P(00)", "depth", "no_corr_correlation",
+        "pairs",
+        "qubits",
+        "correlation",
+        "P(00)",
+        "depth",
+        "no_corr_correlation",
     ]);
-    for pairs in [1usize, 2, 3, 4, 6, 8, 10].into_iter().filter(|&p| p <= max_pairs) {
+    for pairs in [1usize, 2, 3, 4, 6, 8, 10]
+        .into_iter()
+        .filter(|&p| p <= max_pairs)
+    {
         let stats = entanglement::run_swap_chain(pairs, shots, &mut r).unwrap();
         let (circuit, _, _) = entanglement::swap_chain_circuit(pairs).unwrap();
         let no_corr = no_correction_correlation(pairs, shots, &mut r);
@@ -319,8 +343,14 @@ pub fn e5_deutsch_jozsa(seed: u64, trials: usize, max_n: usize) -> Table {
 /// The showcase programs used for the conciseness/compile-cost table.
 pub const SHOWCASE_PROGRAMS: &[(&str, &str)] = &[
     ("bell", include_str!("../../../examples/programs/bell.qut")),
-    ("adder", include_str!("../../../examples/programs/adder.qut")),
-    ("grover", include_str!("../../../examples/programs/grover.qut")),
+    (
+        "adder",
+        include_str!("../../../examples/programs/adder.qut"),
+    ),
+    (
+        "grover",
+        include_str!("../../../examples/programs/grover.qut"),
+    ),
     (
         "deutsch_jozsa",
         include_str!("../../../examples/programs/deutsch_jozsa.qut"),
@@ -394,7 +424,13 @@ pub fn e6_conciseness(seed: u64) -> Table {
 /// threshold.
 pub fn e7_simulator(max_n: usize) -> Table {
     let mut t = Table::new(&[
-        "n", "amps", "h_serial_us", "h_parallel_us", "speedup", "cx_serial_us", "cx_parallel_us",
+        "n",
+        "amps",
+        "h_serial_us",
+        "h_parallel_us",
+        "speedup",
+        "cx_serial_us",
+        "cx_parallel_us",
     ]);
     for n in (10..=max_n).step_by(2) {
         let reps = if n <= 16 { 50 } else { 8 };
@@ -439,7 +475,12 @@ pub fn e7_simulator(max_n: usize) -> Table {
 /// grows fast) versus the Toffoli V-chain (linear, needs k-2 ancillas).
 pub fn e8_mcx_ablation() -> Table {
     let mut t = Table::new(&[
-        "controls", "no_anc_gates", "no_anc_depth", "vchain_gates", "vchain_ccx", "ancillas",
+        "controls",
+        "no_anc_gates",
+        "no_anc_depth",
+        "vchain_gates",
+        "vchain_ccx",
+        "ancillas",
     ]);
     for k in 3..=9usize {
         let controls: Vec<usize> = (0..k).collect();
@@ -465,7 +506,12 @@ pub fn e8_mcx_ablation() -> Table {
 /// E8b: adder ablation — CDKM ripple-carry versus the Draper QFT adder.
 pub fn e8_adder_ablation() -> Table {
     let mut t = Table::new(&[
-        "bits", "cdkm_gates", "cdkm_depth", "qft_gates", "qft_depth", "qft_2q",
+        "bits",
+        "cdkm_gates",
+        "cdkm_depth",
+        "qft_gates",
+        "qft_depth",
+        "qft_2q",
     ]);
     for n in [2usize, 4, 6, 8, 12] {
         let (cdkm, _, _) = arithmetic::adder_circuit(n, 0, 0).unwrap();
@@ -491,7 +537,12 @@ pub fn e8_adder_ablation() -> Table {
 /// the gate level costs real gates).
 pub fn e8_oracle_ablation() -> Table {
     let mut t = Table::new(&[
-        "n", "m", "oracle_gates", "oracle_depth", "ancillas", "fidelity_vs_predicate",
+        "n",
+        "m",
+        "oracle_gates",
+        "oracle_depth",
+        "ancillas",
+        "fidelity_vs_predicate",
     ]);
     for (n, pat) in [(4usize, "11"), (5, "101"), (6, "1101"), (7, "11")] {
         let pattern = substring_oracle::bits_from_str(pat);
@@ -551,7 +602,10 @@ mod tests {
         for i in 0..t.len() {
             let theory: f64 = t.cell(i, 4).parse().unwrap();
             let measured: f64 = t.cell(i, 5).parse().unwrap();
-            assert!((theory - measured).abs() < 0.12, "row {i}: {theory} vs {measured}");
+            assert!(
+                (theory - measured).abs() < 0.12,
+                "row {i}: {theory} vs {measured}"
+            );
             assert!(measured > 0.5, "Grover amplifies rare patterns, row {i}");
         }
     }
@@ -629,7 +683,14 @@ mod tests {
 /// E9 (paper §6 extensions implemented beyond the evaluation): quantum
 /// multiplier scaling and Dürr–Høyer minimum-finding query counts.
 pub fn e9_multiplier() -> Table {
-    let mut t = Table::new(&["bits", "product_bits", "gates", "depth", "checked", "correct"]);
+    let mut t = Table::new(&[
+        "bits",
+        "product_bits",
+        "gates",
+        "depth",
+        "checked",
+        "correct",
+    ]);
     for n in [1usize, 2, 3] {
         let mut checked = 0;
         let mut correct = 0;
@@ -654,7 +715,13 @@ pub fn e9_multiplier() -> Table {
 /// comparisons, averaged over random databases.
 pub fn e9_minimum(seed: u64, trials: usize) -> Table {
     let mut r = rng(seed);
-    let mut t = Table::new(&["N", "avg_oracle_calls", "avg_rounds", "classical_cmps", "exact"]);
+    let mut t = Table::new(&[
+        "N",
+        "avg_oracle_calls",
+        "avg_rounds",
+        "classical_cmps",
+        "exact",
+    ]);
     for n in [4usize, 8, 16, 32] {
         let mut calls = 0usize;
         let mut rounds = 0usize;

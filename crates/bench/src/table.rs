@@ -21,7 +21,8 @@ impl Table {
     /// Appends one row (must match the header length).
     pub fn row(&mut self, cells: &[&dyn Display]) {
         assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
     }
 
     /// Appends one row of already-formatted strings.
@@ -60,7 +61,10 @@ impl Table {
                     out.push_str("  ");
                 }
                 // Right-align numbers, left-align text.
-                let numeric = c.chars().next().is_some_and(|ch| ch.is_ascii_digit() || ch == '-');
+                let numeric = c
+                    .chars()
+                    .next()
+                    .is_some_and(|ch| ch.is_ascii_digit() || ch == '-');
                 if numeric {
                     out.push_str(&format!("{c:>width$}", width = widths[i]));
                 } else {

@@ -1,7 +1,8 @@
 //! `qutes` — command-line driver for the Qutes language.
 //!
 //! ```text
-//! qutes run   <file.qut> [--seed N] [--max-steps N] [--stats]
+//! qutes run   <file.qut> [--seed N] [--max-steps N] [--stats] [--draw]
+//!             [--noise P] [--readout-error P] [--shots N] [--mem-budget BYTES]
 //! qutes check <file.qut>
 //! qutes fmt   <file.qut>
 //! qutes qasm  <file.qut> [--v3] [--seed N] [-o out.qasm]
@@ -11,15 +12,25 @@
 //! executes it and emits the accumulated circuit as OpenQASM (the
 //! measurement outcomes taken during execution determine classically-
 //! conditioned paths, exactly like the paper's Qiskit lowering).
+//!
+//! `--noise P` attaches a symmetric depolarizing fault model (rate `P`
+//! per gate per touched qubit) and `--readout-error P` flips each
+//! measured bit with probability `P`; with `--shots N` the accumulated
+//! circuit is additionally replayed `N` times under the same model and
+//! the outcome histogram printed. `--mem-budget` caps the dense
+//! statevector allocation (`16 * 2^n` bytes) with a clean error instead
+//! of an OOM.
 
 use qutes_core::{run_source, RunConfig};
 use qutes_frontend::{parse, print_program};
 use qutes_qasm::{to_qasm2, to_qasm3};
+use qutes_sim::NoiseModel;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  qutes run   <file.qut> [--seed N] [--max-steps N] [--stats] [--draw]\n  \
+        "usage:\n  qutes run   <file.qut> [--seed N] [--max-steps N] [--stats] [--draw]\n              \
+         [--noise P] [--readout-error P] [--shots N] [--mem-budget BYTES]\n  \
          qutes check <file.qut>\n  qutes fmt   <file.qut>\n  \
          qutes qasm  <file.qut> [--v3] [--seed N] [-o out.qasm]"
     );
@@ -34,6 +45,10 @@ struct Args {
     draw: bool,
     v3: bool,
     out: Option<String>,
+    noise: f64,
+    readout_error: f64,
+    shots: usize,
+    mem_budget: Option<u64>,
 }
 
 fn parse_args(rest: &[String]) -> Result<Args, String> {
@@ -45,6 +60,10 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
         draw: false,
         v3: false,
         out: None,
+        noise: 0.0,
+        readout_error: 0.0,
+        shots: 0,
+        mem_budget: None,
     };
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -62,6 +81,35 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
                     .ok_or("--max-steps needs a value")?
                     .parse()
                     .map_err(|_| "--max-steps needs an integer")?;
+            }
+            "--noise" => {
+                args.noise = it
+                    .next()
+                    .ok_or("--noise needs a probability")?
+                    .parse()
+                    .map_err(|_| "--noise needs a number in [0, 1]")?;
+            }
+            "--readout-error" => {
+                args.readout_error = it
+                    .next()
+                    .ok_or("--readout-error needs a probability")?
+                    .parse()
+                    .map_err(|_| "--readout-error needs a number in [0, 1]")?;
+            }
+            "--shots" => {
+                args.shots = it
+                    .next()
+                    .ok_or("--shots needs a value")?
+                    .parse()
+                    .map_err(|_| "--shots needs an integer")?;
+            }
+            "--mem-budget" => {
+                args.mem_budget = Some(
+                    it.next()
+                        .ok_or("--mem-budget needs a byte count")?
+                        .parse()
+                        .map_err(|_| "--mem-budget needs an integer byte count")?,
+                );
             }
             "--stats" => args.stats = true,
             "--draw" => args.draw = true,
@@ -83,6 +131,14 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
         return Err("missing input file".into());
     }
     Ok(args)
+}
+
+/// Builds the noise model from the CLI flags, `None` when both are zero.
+fn noise_from_args(args: &Args) -> Option<NoiseModel> {
+    if args.noise == 0.0 && args.readout_error == 0.0 {
+        return None;
+    }
+    Some(NoiseModel::depolarizing(args.noise).with_readout_error(args.readout_error))
 }
 
 fn read(path: &str) -> Result<String, String> {
@@ -114,6 +170,9 @@ fn main() -> ExitCode {
             let cfg = RunConfig {
                 seed: args.seed,
                 max_steps: args.max_steps,
+                noise: noise_from_args(&args),
+                shots: args.shots,
+                memory_budget_bytes: args.mem_budget,
                 ..RunConfig::default()
             };
             match run_source(&source, &cfg) {
@@ -123,6 +182,10 @@ fn main() -> ExitCode {
                     }
                     if args.draw {
                         print!("{}", qutes_qcirc::draw(&out.circuit));
+                    }
+                    if let Some(counts) = &out.counts {
+                        println!("-- histogram ({} shots) --", counts.shots());
+                        print!("{counts}");
                     }
                     if args.stats {
                         let stats = out.circuit.stats();

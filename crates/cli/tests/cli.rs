@@ -53,7 +53,10 @@ fn run_stats_go_to_stderr() {
 
 #[test]
 fn run_draw_renders_circuit() {
-    let p = write_program("bell.qut", "qubit a = |0>; qubit b = |0>; hadamard a; cnot a, b;");
+    let p = write_program(
+        "bell.qut",
+        "qubit a = |0>; qubit b = |0>; hadamard a; cnot a, b;",
+    );
     let out = qutes(&["run", p.to_str().unwrap(), "--draw"]);
     let text = stdout(&out);
     assert!(text.contains("q0: "), "{text}");

@@ -191,9 +191,7 @@ impl TypeCastingHandler {
             (QKind::Qubit, Value::Int(i)) if *i == 0 || *i == 1 => {
                 Self::new_qubit_basis(h, name, *i == 1)
             }
-            (QKind::Quint, Value::Int(i)) if *i >= 0 => {
-                Self::new_quint(h, name, *i as u64, None)
-            }
+            (QKind::Quint, Value::Int(i)) if *i >= 0 => Self::new_quint(h, name, *i as u64, None),
             (QKind::Quint, Value::Bool(b)) => Self::new_quint(h, name, *b as u64, None),
             (QKind::Qustring, Value::Str(s)) => Self::new_qustring(h, name, s, span),
             (k, v) => Err(QutesError::runtime(
@@ -260,26 +258,17 @@ mod tests {
     #[test]
     fn qubit_amplitudes_normalised_only() {
         let mut h = handler();
-        let q =
-            TypeCastingHandler::new_qubit_amplitudes(&mut h, "a", 0.6, 0.8, Span::default())
-                .unwrap();
+        let q = TypeCastingHandler::new_qubit_amplitudes(&mut h, "a", 0.6, 0.8, Span::default())
+            .unwrap();
         assert!((h.state().probability_one(q.qubits[0]).unwrap() - 0.64).abs() < 1e-9);
-        assert!(TypeCastingHandler::new_qubit_amplitudes(
-            &mut h,
-            "b",
-            0.5,
-            0.5,
-            Span::default()
-        )
-        .is_err());
-        assert!(TypeCastingHandler::new_qubit_amplitudes(
-            &mut h,
-            "c",
-            0.0,
-            0.0,
-            Span::default()
-        )
-        .is_err());
+        assert!(
+            TypeCastingHandler::new_qubit_amplitudes(&mut h, "b", 0.5, 0.5, Span::default())
+                .is_err()
+        );
+        assert!(
+            TypeCastingHandler::new_qubit_amplitudes(&mut h, "c", 0.0, 0.0, Span::default())
+                .is_err()
+        );
     }
 
     #[test]
@@ -296,9 +285,8 @@ mod tests {
     #[test]
     fn quint_superposition_measures_to_listed_values() {
         let mut h = handler();
-        let q =
-            TypeCastingHandler::new_quint_superposed(&mut h, "m", &[1, 2, 3], Span::default())
-                .unwrap();
+        let q = TypeCastingHandler::new_quint_superposed(&mut h, "m", &[1, 2, 3], Span::default())
+            .unwrap();
         assert_eq!(q.width(), 2);
         let marg = h.state().marginal_probabilities(&q.qubits).unwrap();
         for v in [1usize, 2, 3] {
@@ -338,14 +326,9 @@ mod tests {
         )
         .unwrap();
         assert_eq!(q.kind, QKind::Qubit);
-        let q = TypeCastingHandler::promote(
-            &mut h,
-            "b",
-            &Value::Int(6),
-            QKind::Quint,
-            Span::default(),
-        )
-        .unwrap();
+        let q =
+            TypeCastingHandler::promote(&mut h, "b", &Value::Int(6), QKind::Quint, Span::default())
+                .unwrap();
         assert_eq!(q.width(), 3);
         assert!(TypeCastingHandler::promote(
             &mut h,
@@ -368,9 +351,8 @@ mod tests {
     #[test]
     fn measurement_collapses_superposition_to_stable_value() {
         let mut h = handler();
-        let q =
-            TypeCastingHandler::new_quint_superposed(&mut h, "m", &[3, 5], Span::default())
-                .unwrap();
+        let q = TypeCastingHandler::new_quint_superposed(&mut h, "m", &[3, 5], Span::default())
+            .unwrap();
         let v1 = TypeCastingHandler::measure_to_classical(&mut h, &q).unwrap();
         let v2 = TypeCastingHandler::measure_to_classical(&mut h, &q).unwrap();
         let (Value::Int(a), Value::Int(b)) = (v1, v2) else {

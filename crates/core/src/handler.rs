@@ -13,9 +13,9 @@
 
 use crate::error::{QutesError, QutesResult};
 use qutes_qcirc::{execute, Gate, QuantumCircuit};
-use qutes_sim::StateVector;
+use qutes_sim::{NoiseModel, StateVector};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// The quantum side of the Qutes runtime.
 pub struct QuantumCircuitHandler {
@@ -25,11 +25,26 @@ pub struct QuantumCircuitHandler {
     rng: StdRng,
     measurements: usize,
     free_ancillas: Vec<usize>,
+    noise: Option<NoiseModel>,
+    memory_budget_bytes: Option<u64>,
 }
 
 impl QuantumCircuitHandler {
     /// A handler with no qubits yet, seeded for reproducibility.
     pub fn new(seed: u64) -> Self {
+        Self::with_config(seed, None, None)
+    }
+
+    /// A handler with an optional fault model (applied to every gate and
+    /// measurement as they hit the live state) and an optional memory
+    /// budget (enforced by [`Self::check_capacity`] before allocations
+    /// grow the state). An all-zero noise model is normalised to `None`
+    /// so it cannot desynchronise the RNG stream.
+    pub fn with_config(
+        seed: u64,
+        noise: Option<NoiseModel>,
+        memory_budget_bytes: Option<u64>,
+    ) -> Self {
         QuantumCircuitHandler {
             circuit: QuantumCircuit::new(),
             state: StateVector::new(0).expect("0-qubit state"),
@@ -37,7 +52,14 @@ impl QuantumCircuitHandler {
             rng: StdRng::seed_from_u64(seed),
             measurements: 0,
             free_ancillas: Vec::new(),
+            noise: noise.filter(|nm| !nm.is_noiseless()),
+            memory_budget_bytes,
         }
+    }
+
+    /// The active fault model, if any.
+    pub fn noise(&self) -> Option<&NoiseModel> {
+        self.noise.as_ref()
     }
 
     /// Acquires `n` clean (`|0>`) work qubits, reusing previously released
@@ -83,6 +105,7 @@ impl QuantumCircuitHandler {
     /// Allocates a fresh quantum register (circuit and live state grow
     /// together). Returns the global qubit indices.
     pub fn allocate(&mut self, name: &str, width: usize) -> QutesResult<Vec<usize>> {
+        self.check_capacity(width, name)?;
         let reg = self.circuit.add_qreg(name, width);
         if width > 0 {
             let fresh = StateVector::new(width)?;
@@ -92,10 +115,20 @@ impl QuantumCircuitHandler {
     }
 
     /// Appends a unitary gate to the circuit and applies it to the live
-    /// state.
+    /// state (with trajectory noise when a fault model is active).
     pub fn apply(&mut self, gate: Gate) -> QutesResult<()> {
         self.circuit.append(gate.clone())?;
-        execute::apply_gate(&mut self.state, &mut self.clbits, &gate, &mut self.rng)?;
+        // Keep the live classical bits in step with the circuit: a gate
+        // referencing a creg added since the last measure would otherwise
+        // index past the end.
+        self.clbits.resize(self.circuit.num_clbits(), false);
+        execute::apply_gate_noisy(
+            &mut self.state,
+            &mut self.clbits,
+            &gate,
+            &mut self.rng,
+            self.noise.as_ref(),
+        )?;
         Ok(())
     }
 
@@ -125,7 +158,16 @@ impl QuantumCircuitHandler {
                 clbit: creg.bit(k),
             };
             self.circuit.append(gate.clone())?;
-            execute::apply_gate(&mut self.state, &mut self.clbits, &gate, &mut self.rng)?;
+            // Readout error (when modelled) is applied inside: the live
+            // state collapses to the true outcome, the classical bit may
+            // report the flipped one — exactly a readout fault.
+            execute::apply_gate_noisy(
+                &mut self.state,
+                &mut self.clbits,
+                &gate,
+                &mut self.rng,
+                self.noise.as_ref(),
+            )?;
             if self.clbits[creg.bit(k)] {
                 result |= 1 << k;
             }
@@ -134,10 +176,32 @@ impl QuantumCircuitHandler {
     }
 
     /// Non-collapsing sampling of `qubits` over `shots` — used by the
-    /// CLI's histogram output.
+    /// CLI's histogram output. A modelled readout error corrupts each
+    /// sampled bit independently per shot.
     pub fn sample(&mut self, qubits: &[usize], shots: usize) -> QutesResult<Vec<(u64, usize)>> {
         let counts = qutes_sim::measure::sample_counts(&self.state, qubits, shots, &mut self.rng)?;
-        let mut v: Vec<(u64, usize)> = counts.into_iter().map(|(k, c)| (k as u64, c)).collect();
+        let readout = self
+            .noise
+            .as_ref()
+            .map(|nm| nm.readout_error)
+            .unwrap_or(0.0);
+        let mut agg: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        for (k, c) in counts {
+            if readout > 0.0 {
+                for _ in 0..c {
+                    let mut noisy = k as u64;
+                    for bit in 0..qubits.len() {
+                        if self.rng.random::<f64>() < readout {
+                            noisy ^= 1 << bit;
+                        }
+                    }
+                    *agg.entry(noisy).or_insert(0) += 1;
+                }
+            } else {
+                *agg.entry(k as u64).or_insert(0) += c;
+            }
+        }
+        let mut v: Vec<(u64, usize)> = agg.into_iter().collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         Ok(v)
     }
@@ -182,7 +246,8 @@ impl QuantumCircuitHandler {
     }
 
     /// Guard: errors when allocating `extra` more qubits would exceed the
-    /// simulator's capacity, with a message naming the variable.
+    /// simulator's capacity or the configured memory budget, with a
+    /// message naming the variable. Runs **before** any allocation.
     pub fn check_capacity(&self, extra: usize, what: &str) -> QutesResult<()> {
         let total = self.num_qubits() + extra;
         if total > qutes_sim::MAX_QUBITS {
@@ -194,6 +259,18 @@ impl QuantumCircuitHandler {
                 ),
                 qutes_frontend::Span::default(),
             ));
+        }
+        if let Some(budget) = self.memory_budget_bytes {
+            let required = (16u128).checked_shl(total as u32).unwrap_or(u128::MAX);
+            if required > budget as u128 {
+                return Err(QutesError::runtime(
+                    format!(
+                        "allocating {extra} qubits for {what} would need {required} bytes of \
+                         statevector, over the {budget}-byte memory budget"
+                    ),
+                    qutes_frontend::Span::default(),
+                ));
+            }
         }
         Ok(())
     }

@@ -31,6 +31,17 @@ pub struct RunConfig {
     pub max_call_depth: usize,
     /// Skip the static type check (used by tests probing runtime guards).
     pub skip_typecheck: bool,
+    /// Optional fault model applied to every gate and measurement as the
+    /// interpreter plays them onto the live state, and to the `shots`
+    /// histogram re-execution.
+    pub noise: Option<qutes_sim::NoiseModel>,
+    /// When non-zero, the accumulated circuit is re-executed this many
+    /// shots after the program completes (under the same noise model) and
+    /// the histogram is returned in [`RunOutcome::counts`].
+    pub shots: usize,
+    /// Cap on the dense-statevector allocation in bytes (`16 * 2^n`),
+    /// enforced before every qubit allocation.
+    pub memory_budget_bytes: Option<u64>,
 }
 
 impl Default for RunConfig {
@@ -40,6 +51,9 @@ impl Default for RunConfig {
             max_steps: 1_000_000,
             max_call_depth: 100,
             skip_typecheck: false,
+            noise: None,
+            shots: 0,
+            memory_budget_bytes: None,
         }
     }
 }
@@ -55,6 +69,10 @@ pub struct RunOutcome {
     pub measurements: usize,
     /// Total qubits allocated.
     pub qubits_used: usize,
+    /// Shot histogram of the accumulated circuit, present when
+    /// [`RunConfig::shots`] was non-zero and the program measured
+    /// anything.
+    pub counts: Option<qutes_qcirc::Counts>,
 }
 
 /// Parses, type-checks, and runs a Qutes source file.
@@ -82,11 +100,22 @@ pub fn run_program(program: &Program, config: &RunConfig) -> QutesResult<RunOutc
         .collect();
     let functions = FunctionTable::build(&decls).map_err(QutesError::Compile)?;
 
+    // Reject malformed noise probabilities before anything executes.
+    if let Some(nm) = &config.noise {
+        nm.validate().map_err(|e| {
+            QutesError::runtime(format!("invalid noise model: {e}"), Span::default())
+        })?;
+    }
+
     // Pass 2 (operation pass): execute.
     let mut interp = Interp {
         symbols: SymbolTable::new(),
         functions,
-        handler: QuantumCircuitHandler::new(config.seed),
+        handler: QuantumCircuitHandler::with_config(
+            config.seed,
+            config.noise.clone(),
+            config.memory_budget_bytes,
+        ),
         output: Vec::new(),
         steps: 0,
         max_steps: config.max_steps,
@@ -101,11 +130,35 @@ pub fn run_program(program: &Program, config: &RunConfig) -> QutesResult<RunOutc
             }
         }
     }
+    let circuit = interp.handler.circuit().clone();
+
+    // Optional post-run histogram: replay the accumulated circuit under
+    // the same seed/noise/budget configuration.
+    let counts = if config.shots > 0 && circuit.num_clbits() > 0 {
+        let mut exec_cfg = qutes_qcirc::ExecutionConfig::default()
+            .with_shots(config.shots)
+            .with_seed(config.seed);
+        if let Some(nm) = &config.noise {
+            exec_cfg = exec_cfg.with_noise(nm.clone());
+        }
+        if let Some(b) = config.memory_budget_bytes {
+            exec_cfg = exec_cfg.with_memory_budget(b);
+        }
+        Some(
+            qutes_qcirc::execute::run_shots_cfg(&circuit, &exec_cfg).map_err(|e| {
+                QutesError::runtime(format!("shot replay failed: {e}"), Span::default())
+            })?,
+        )
+    } else {
+        None
+    };
+
     Ok(RunOutcome {
         output: interp.output,
         measurements: interp.handler.measurements(),
         qubits_used: interp.handler.num_qubits(),
-        circuit: interp.handler.circuit().clone(),
+        circuit,
+        counts,
     })
 }
 
@@ -131,7 +184,10 @@ impl Interp {
         self.steps += 1;
         if self.steps > self.max_steps {
             return Err(QutesError::runtime(
-                format!("execution exceeded {} steps (infinite loop?)", self.max_steps),
+                format!(
+                    "execution exceeded {} steps (infinite loop?)",
+                    self.max_steps
+                ),
                 span,
             ));
         }
@@ -164,7 +220,12 @@ impl Interp {
     fn exec_stmt(&mut self, s: &Stmt) -> QutesResult<Flow> {
         self.step(s.span())?;
         match s {
-            Stmt::VarDecl { ty, name, init, span } => {
+            Stmt::VarDecl {
+                ty,
+                name,
+                init,
+                span,
+            } => {
                 let value = match init {
                     Some(e) => {
                         let v = self.eval_with_target(e, Some(ty))?;
@@ -290,7 +351,10 @@ impl Interp {
                         Ok(Flow::Normal)
                     }
                     other => Err(QutesError::runtime(
-                        format!("measure expects a quantum value, found {}", other.type_name()),
+                        format!(
+                            "measure expects a quantum value, found {}",
+                            other.type_name()
+                        ),
                         target.span,
                     )),
                 }
@@ -310,9 +374,7 @@ impl Interp {
             Type::Float => Value::Float(0.0),
             Type::String => Value::Str(String::new()),
             Type::Qubit => Value::Quantum(Cast::new_qubit_basis(&mut self.handler, name, false)?),
-            Type::Quint => {
-                Value::Quantum(Cast::new_quint(&mut self.handler, name, 0, Some(1))?)
-            }
+            Type::Quint => Value::Quantum(Cast::new_quint(&mut self.handler, name, 0, Some(1))?),
             Type::Qustring => {
                 return Err(QutesError::runtime(
                     "qustring declarations need an initialiser (the width is the string length)",
@@ -468,7 +530,11 @@ impl Interp {
                     }
                     classical => {
                         let rhs = self.eval(value_expr)?;
-                        let bin = if op == AssignOp::Add { BinOp::Add } else { BinOp::Sub };
+                        let bin = if op == AssignOp::Add {
+                            BinOp::Add
+                        } else {
+                            BinOp::Sub
+                        };
                         let result = self.classical_binary(bin, classical, rhs, span)?;
                         *target_cell.borrow_mut() = result;
                     }
@@ -480,7 +546,10 @@ impl Interp {
                     QutesError::runtime("shift amount must be an integer", value_expr.span)
                 })?;
                 if k < 0 {
-                    return Err(QutesError::runtime("shift amount must be >= 0", value_expr.span));
+                    return Err(QutesError::runtime(
+                        "shift amount must be >= 0",
+                        value_expr.span,
+                    ));
                 }
                 let current = target_cell.borrow().clone();
                 match current {
@@ -526,7 +595,10 @@ impl Interp {
         match self.eval(e)? {
             Value::Quantum(q) => Ok(q),
             other => Err(QutesError::runtime(
-                format!("{what} needs a quantum operand, found {}", other.type_name()),
+                format!(
+                    "{what} needs a quantum operand, found {}",
+                    other.type_name()
+                ),
                 e.span,
             )),
         }
@@ -549,10 +621,9 @@ impl Interp {
             }
             GateKind::Phase => {
                 let q = self.eval_quantum_operand(&args[0], "phase")?;
-                let angle = self
-                    .eval(&args[1])?
-                    .as_f64()
-                    .ok_or_else(|| QutesError::runtime("phase angle must be numeric", args[1].span))?;
+                let angle = self.eval(&args[1])?.as_f64().ok_or_else(|| {
+                    QutesError::runtime("phase angle must be numeric", args[1].span)
+                })?;
                 for &qb in &q.qubits {
                     self.handler.apply(Gate::Phase {
                         target: qb,
@@ -860,7 +931,10 @@ impl Interp {
         let max_rounds = 12 + 3 * sqrt_n.ceil() as usize;
         let mut bound = 1.0f64;
         for _ in 0..max_rounds {
-            let k = self.handler.rng().random_range(0..bound.ceil() as usize + 1);
+            let k = self
+                .handler
+                .rng()
+                .random_range(0..bound.ceil() as usize + 1);
             self.handler.apply_fragment(&prep)?;
             for _ in 0..k {
                 self.handler.apply_fragment(&oracle)?;
@@ -982,12 +1056,12 @@ impl Interp {
                             e.span,
                         ));
                     }
-                    let a = vals[0].as_f64().ok_or_else(|| {
-                        QutesError::runtime("amplitudes must be numeric", e.span)
-                    })?;
-                    let b = vals[1].as_f64().ok_or_else(|| {
-                        QutesError::runtime("amplitudes must be numeric", e.span)
-                    })?;
+                    let a = vals[0]
+                        .as_f64()
+                        .ok_or_else(|| QutesError::runtime("amplitudes must be numeric", e.span))?;
+                    let b = vals[1]
+                        .as_f64()
+                        .ok_or_else(|| QutesError::runtime("amplitudes must be numeric", e.span))?;
                     let name = self.fresh_name("qubit_amp");
                     Ok(Value::Quantum(Cast::new_qubit_amplitudes(
                         &mut self.handler,
@@ -1000,12 +1074,15 @@ impl Interp {
                     let values: Vec<u64> = vals
                         .iter()
                         .map(|v| {
-                            v.as_i64().filter(|&i| i >= 0).map(|i| i as u64).ok_or_else(|| {
-                                QutesError::runtime(
-                                    "superposition values must be non-negative integers",
-                                    e.span,
-                                )
-                            })
+                            v.as_i64()
+                                .filter(|&i| i >= 0)
+                                .map(|i| i as u64)
+                                .ok_or_else(|| {
+                                    QutesError::runtime(
+                                        "superposition values must be non-negative integers",
+                                        e.span,
+                                    )
+                                })
                         })
                         .collect::<QutesResult<_>>()?;
                     let name = self.fresh_name("superpos");
@@ -1030,26 +1107,20 @@ impl Interp {
                 match b {
                     Value::Array(items) => {
                         let items = items.borrow();
-                        items
-                            .get(i)
-                            .map(|c| c.borrow().clone())
-                            .ok_or_else(|| {
-                                QutesError::runtime(
-                                    format!(
-                                        "index {i} out of bounds for array of length {}",
-                                        items.len()
-                                    ),
-                                    e.span,
-                                )
-                            })
+                        items.get(i).map(|c| c.borrow().clone()).ok_or_else(|| {
+                            QutesError::runtime(
+                                format!(
+                                    "index {i} out of bounds for array of length {}",
+                                    items.len()
+                                ),
+                                e.span,
+                            )
+                        })
                     }
                     Value::Quantum(q) => {
                         if i >= q.width() {
                             return Err(QutesError::runtime(
-                                format!(
-                                    "index {i} out of bounds for {}-qubit register",
-                                    q.width()
-                                ),
+                                format!("index {i} out of bounds for {}-qubit register", q.width()),
                                 e.span,
                             ));
                         }
@@ -1102,7 +1173,10 @@ impl Interp {
                 match v {
                     Value::Quantum(q) => Cast::measure_to_classical(&mut self.handler, &q),
                     other => Err(QutesError::runtime(
-                        format!("measure expects a quantum value, found {}", other.type_name()),
+                        format!(
+                            "measure expects a quantum value, found {}",
+                            other.type_name()
+                        ),
                         inner.span,
                     )),
                 }
@@ -1236,9 +1310,7 @@ impl Interp {
                     }
                 }
                 _ => match (lv.as_f64(), rv.as_f64()) {
-                    (Some(_), Some(0.0)) => {
-                        Err(QutesError::runtime("division by zero", span))
-                    }
+                    (Some(_), Some(0.0)) => Err(QutesError::runtime("division by zero", span)),
                     (Some(a), Some(b)) => Ok(Value::Float(a / b)),
                     _ => type_err(&lv, &rv),
                 },
@@ -1310,10 +1382,7 @@ impl Interp {
             Value::Quantum(hay) if hay.kind == QKind::Qustring => {
                 let Value::Str(p) = &pattern else {
                     return Err(QutesError::runtime(
-                        format!(
-                            "'in' needs a string pattern, found {}",
-                            pattern.type_name()
-                        ),
+                        format!("'in' needs a string pattern, found {}", pattern.type_name()),
                         span,
                     ));
                 };
@@ -1426,7 +1495,10 @@ impl Interp {
         let arity = |n: usize| -> QutesResult<()> {
             if args.len() != n {
                 Err(QutesError::runtime(
-                    format!("builtin '{name}' expects {n} argument(s), found {}", args.len()),
+                    format!(
+                        "builtin '{name}' expects {n} argument(s), found {}",
+                        args.len()
+                    ),
                     span,
                 ))
             } else {

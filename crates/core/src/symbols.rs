@@ -224,7 +224,10 @@ mod tests {
             .unwrap();
         let c = t.cell("x").unwrap();
         *c.borrow_mut() = Value::Int(5);
-        assert!(matches!(*t.lookup("x").unwrap().value.borrow(), Value::Int(5)));
+        assert!(matches!(
+            *t.lookup("x").unwrap().value.borrow(),
+            Value::Int(5)
+        ));
     }
 
     #[test]

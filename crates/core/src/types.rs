@@ -142,10 +142,7 @@ impl Checker {
 
     fn check_condition(&mut self, cond: &Expr) {
         if let Some(t) = self.infer(cond) {
-            let ok = matches!(
-                t,
-                Type::Bool | Type::Int | Type::Qubit | Type::Quint
-            );
+            let ok = matches!(t, Type::Bool | Type::Int | Type::Qubit | Type::Quint);
             if !ok {
                 self.error(
                     format!(
@@ -160,7 +157,12 @@ impl Checker {
 
     fn check_stmt(&mut self, s: &Stmt) {
         match s {
-            Stmt::VarDecl { ty, name, init, span } => {
+            Stmt::VarDecl {
+                ty,
+                name,
+                init,
+                span,
+            } => {
                 if *ty == Type::Void {
                     self.error("variables cannot have type void", *span);
                 }
@@ -168,7 +170,9 @@ impl Checker {
                     if let Some(src) = self.infer_in_context(init, Some(ty)) {
                         if !assignable(ty, &src) {
                             self.error(
-                                format!("cannot initialise '{name}' of type {ty} with a {src} value"),
+                                format!(
+                                    "cannot initialise '{name}' of type {ty} with a {src} value"
+                                ),
                                 init.span,
                             );
                         }
@@ -233,10 +237,7 @@ impl Checker {
                 match (value, expected) {
                     (None, Type::Void) => {}
                     (None, other) => {
-                        self.error(
-                            format!("function must return a {other} value"),
-                            *span,
-                        );
+                        self.error(format!("function must return a {other} value"), *span);
                     }
                     (Some(v), Type::Void) => {
                         self.error("void function cannot return a value", v.span);
@@ -602,7 +603,10 @@ impl Checker {
             "width" => {
                 if let Some(Some(t)) = arg_types.first() {
                     if !t.is_quantum() {
-                        self.error(format!("width() needs a quantum value, found {t}"), args[0].span);
+                        self.error(
+                            format!("width() needs a quantum value, found {t}"),
+                            args[0].span,
+                        );
                         return Some(None);
                     }
                 }
@@ -695,9 +699,7 @@ impl Checker {
                 let cr = measured(&rt).unwrap_or(rt.clone());
                 match (&cl, &cr) {
                     (Type::Int, Type::Int) => Type::Int,
-                    (Type::Int | Type::Float, Type::Int | Type::Float) if op != Mod => {
-                        Type::Float
-                    }
+                    (Type::Int | Type::Float, Type::Int | Type::Float) if op != Mod => Type::Float,
                     _ => return self.binary_type_error(op, &lt, &rt, span),
                 }
             }
@@ -718,8 +720,7 @@ impl Checker {
                 if !comparable {
                     return self.binary_type_error(op, &lt, &rt, span);
                 }
-                if matches!(op, Lt | Le | Gt | Ge)
-                    && matches!((&cl, &cr), (Type::Bool, Type::Bool))
+                if matches!(op, Lt | Le | Gt | Ge) && matches!((&cl, &cr), (Type::Bool, Type::Bool))
                 {
                     return self.binary_type_error(op, &lt, &rt, span);
                 }
@@ -829,8 +830,7 @@ mod tests {
 
     #[test]
     fn function_rules() {
-        assert!(errs("int f() { return 1; } int f() { return 2; }")[0]
-            .contains("more than once"));
+        assert!(errs("int f() { return 1; } int f() { return 2; }")[0].contains("more than once"));
         assert!(errs("print g(1);")[0].contains("unknown function"));
         assert!(errs("int f(int a) { return a; } print f();")[0].contains("expects 1"));
         assert!(errs("int f(int a) { return a; } print f(\"x\");")[0].contains("expects int"));

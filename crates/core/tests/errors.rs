@@ -56,9 +56,11 @@ fn multiple_errors_reported_together() {
 
 #[test]
 fn type_errors() {
-    assert!(compile_messages("quint q = 1q; quint r = q * q; string s = r;")
-        .iter()
-        .any(|m| m.contains("cannot initialise")));
+    assert!(
+        compile_messages("quint q = 1q; quint r = q * q; string s = r;")
+            .iter()
+            .any(|m| m.contains("cannot initialise"))
+    );
     assert!(compile_messages("int x = 1; int x = 2;")[0].contains("already declared"));
     assert!(compile_messages("hadamard 42;")[0].contains("quantum operand"));
     assert!(compile_messages("foreach v in 3 { }")[0].contains("array"));
@@ -72,7 +74,10 @@ fn error_positions_render_with_source() {
     let e = err(src);
     let rendered = e.render(src);
     assert!(rendered.contains("2:"), "line number in: {rendered}");
-    assert!(rendered.contains("hadamard x;"), "source line in: {rendered}");
+    assert!(
+        rendered.contains("hadamard x;"),
+        "source line in: {rendered}"
+    );
     assert!(rendered.contains('^'), "caret in: {rendered}");
 }
 
@@ -82,7 +87,9 @@ fn error_positions_render_with_source() {
 fn arithmetic_runtime_faults() {
     assert!(err("print 1 / 0;").to_string().contains("division by zero"));
     assert!(err("print 7 % 0;").to_string().contains("modulo by zero"));
-    assert!(err("int x = int(\"abc\");").to_string().contains("cannot parse"));
+    assert!(err("int x = int(\"abc\");")
+        .to_string()
+        .contains("cannot parse"));
 }
 
 #[test]
@@ -90,7 +97,9 @@ fn bounds_runtime_faults() {
     assert!(err("int[] a = [1, 2]; print a[2];")
         .to_string()
         .contains("out of bounds"));
-    assert!(err("int[] a = [1]; a[9] = 0;").to_string().contains("out of bounds"));
+    assert!(err("int[] a = [1]; a[9] = 0;")
+        .to_string()
+        .contains("out of bounds"));
     assert!(err(r#"qustring s = "01"q; not s[5];"#)
         .to_string()
         .contains("out of bounds"));
@@ -102,15 +111,21 @@ fn bounds_runtime_faults() {
 #[test]
 fn quantum_runtime_faults() {
     // Non-normalised amplitude literal.
-    assert!(err("qubit q = [0.5, 0.5]q;").to_string().contains("normalised"));
+    assert!(err("qubit q = [0.5, 0.5]q;")
+        .to_string()
+        .contains("normalised"));
     // Zero-norm literal.
     assert!(err("qubit q = [0.0, 0.0]q;").to_string().contains("norm"));
     // Negative superposition values.
-    assert!(err("quint n = [1, -2]q;").to_string().contains("non-negative"));
-    // cnot width mismatch (runtime check; widths are dynamic).
-    assert!(err_no_typecheck(r#"qustring a = "11"q; qustring b = "111"q; cnot a, b;"#)
+    assert!(err("quint n = [1, -2]q;")
         .to_string()
-        .contains("equal width"));
+        .contains("non-negative"));
+    // cnot width mismatch (runtime check; widths are dynamic).
+    assert!(
+        err_no_typecheck(r#"qustring a = "11"q; qustring b = "111"q; cnot a, b;"#)
+            .to_string()
+            .contains("equal width")
+    );
 }
 
 #[test]
@@ -136,20 +151,30 @@ fn infinite_loop_guard_has_limit_in_message() {
 fn runtime_guards_behind_skipped_typecheck() {
     // With the static checker bypassed, the runtime still rejects badly
     // typed operations instead of panicking.
-    assert!(err_no_typecheck("print nope;").to_string().contains("undeclared"));
+    assert!(err_no_typecheck("print nope;")
+        .to_string()
+        .contains("undeclared"));
     assert!(err_no_typecheck("int x = 1; measure x;")
         .to_string()
         .contains("quantum"));
-    assert!(err_no_typecheck("print len(1);").to_string().contains("not defined"));
-    assert!(err_no_typecheck("print width(3);").to_string().contains("quantum"));
-    assert!(err_no_typecheck("print range(-1);").to_string().contains("non-negative"));
+    assert!(err_no_typecheck("print len(1);")
+        .to_string()
+        .contains("not defined"));
+    assert!(err_no_typecheck("print width(3);")
+        .to_string()
+        .contains("quantum"));
+    assert!(err_no_typecheck("print range(-1);")
+        .to_string()
+        .contains("non-negative"));
     assert!(err_no_typecheck("int x = 1; x <<= -2;")
         .to_string()
         .contains(">= 0"));
     assert!(err_no_typecheck("print unknown_fn(1);")
         .to_string()
         .contains("unknown function"));
-    assert!(err_no_typecheck("qustring s;").to_string().contains("initialiser"));
+    assert!(err_no_typecheck("qustring s;")
+        .to_string()
+        .contains("initialiser"));
 }
 
 #[test]

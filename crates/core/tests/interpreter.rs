@@ -317,7 +317,10 @@ fn indexing_into_registers_applies_single_qubit_gates() {
 
 #[test]
 fn quantum_addition_basic() {
-    assert_eq!(run("quint a = 5q; quint b = 3q; quint s = a + b; print s;"), vec!["8"]);
+    assert_eq!(
+        run("quint a = 5q; quint b = 3q; quint s = a + b; print s;"),
+        vec!["8"]
+    );
     assert_eq!(run("quint a = 0q; quint b = 0q; print a + b;"), vec!["0"]);
     assert_eq!(run("quint a = 7q; print a + 1;"), vec!["8"]);
     assert_eq!(run("quint a = 7q; print 1 + a;"), vec!["8"]);
@@ -337,7 +340,10 @@ fn quantum_addition_keeps_operands_intact() {
 #[test]
 fn quantum_in_place_addition() {
     assert_eq!(run("quint a = 5q; a += 2; print a;"), vec!["7"]);
-    assert_eq!(run("quint a = 5q; quint b = 2q; a += b; print a; print b;"), vec!["7", "2"]);
+    assert_eq!(
+        run("quint a = 5q; quint b = 2q; a += b; print a; print b;"),
+        vec!["7", "2"]
+    );
     // Wraps modulo the register width (3 bits for 5q).
     assert_eq!(run("quint a = 5q; a += 5; print a;"), vec!["2"]);
 }
@@ -345,7 +351,10 @@ fn quantum_in_place_addition() {
 #[test]
 fn quantum_subtraction() {
     assert_eq!(run("quint a = 5q; a -= 2; print a;"), vec!["3"]);
-    assert_eq!(run("quint a = 5q; quint b = 1q; a -= b; print a;"), vec!["4"]);
+    assert_eq!(
+        run("quint a = 5q; quint b = 1q; a -= b; print a;"),
+        vec!["4"]
+    );
     assert_eq!(run("quint a = 6q; quint b = 2q; print a - b;"), vec!["4"]);
 }
 
@@ -393,12 +402,18 @@ fn shift_expression_leaves_original() {
 #[test]
 fn rotl_rotr_builtins() {
     assert_eq!(run("quint n = 8q; rotl(n, 1); print n;"), vec!["4"]);
-    assert_eq!(run("quint n = 8q; rotr(n, 1); rotl(n, 1); print n;"), vec!["8"]);
+    assert_eq!(
+        run("quint n = 8q; rotr(n, 1); rotl(n, 1); print n;"),
+        vec!["8"]
+    );
 }
 
 #[test]
 fn qustring_rotation() {
-    assert_eq!(run(r#"qustring s = "0011"q; s <<= 1; print s;"#), vec!["0110"]);
+    assert_eq!(
+        run(r#"qustring s = "0011"q; s <<= 1; print s;"#),
+        vec!["0110"]
+    );
 }
 
 // ---- Grover substring search (`in`) -----------------------------------------
@@ -421,13 +436,22 @@ fn grover_in_rejects_absent_substring() {
 
 #[test]
 fn grover_in_full_width_pattern() {
-    assert_eq!(run(r#"qustring s = "1011"q; print "1011" in s;"#), vec!["true"]);
-    assert_eq!(run(r#"qustring s = "1011"q; print "0000" in s;"#), vec!["false"]);
+    assert_eq!(
+        run(r#"qustring s = "1011"q; print "1011" in s;"#),
+        vec!["true"]
+    );
+    assert_eq!(
+        run(r#"qustring s = "1011"q; print "0000" in s;"#),
+        vec!["false"]
+    );
 }
 
 #[test]
 fn grover_in_longer_pattern_than_text() {
-    assert_eq!(run(r#"qustring s = "01"q; print "0101" in s;"#), vec!["false"]);
+    assert_eq!(
+        run(r#"qustring s = "01"q; print "0101" in s;"#),
+        vec!["false"]
+    );
 }
 
 #[test]
@@ -463,8 +487,10 @@ fn foreach_over_qustring_qubits() {
 
 #[test]
 fn quantum_comparison_measures() {
-    assert_eq!(run("quint n = 5q; print n == 5; print n != 4; print n >= 5;"),
-        vec!["true", "true", "true"]);
+    assert_eq!(
+        run("quint n = 5q; print n == 5; print n != 4; print n >= 5;"),
+        vec!["true", "true", "true"]
+    );
 }
 
 // ---- reproducibility, errors, guards -----------------------------------------
@@ -601,7 +627,10 @@ fn paper_example_entanglement_propagation() {
 
 #[test]
 fn quantum_multiplication_basic() {
-    assert_eq!(run("quint a = 3q; quint b = 5q; quint p = a * b; print p;"), vec!["15"]);
+    assert_eq!(
+        run("quint a = 3q; quint b = 5q; quint p = a * b; print p;"),
+        vec!["15"]
+    );
     assert_eq!(run("quint a = 3q; print a * 2;"), vec!["6"]);
     assert_eq!(run("quint a = 3q; print 4 * a;"), vec!["12"]);
     assert_eq!(run("quint a = 7q; print a * 0;"), vec!["0"]);
@@ -635,7 +664,10 @@ fn qmin_qmax_builtins() {
     assert_eq!(run("int[] xs = [5, 3, 9, 1]; print qmax(xs);"), vec!["9"]);
     assert_eq!(run("print qmin([7]);"), vec!["7"]);
     for seed in 0..5 {
-        let out = run_seeded("int[] xs = [14, 2, 8, 2, 30, 11, 4]; print qmin(xs); print qmax(xs);", seed);
+        let out = run_seeded(
+            "int[] xs = [14, 2, 8, 2, 30, 11, 4]; print qmin(xs); print qmax(xs);",
+            seed,
+        );
         assert_eq!(out, vec!["2", "30"], "seed {seed}");
     }
 }
@@ -876,7 +908,14 @@ fn repeated_grover_searches_reuse_position_registers() {
         bool c = "10" in s;
         print a && b && c;
     "#;
-    let out = run_source(src, &RunConfig { seed: 2, ..Default::default() }).unwrap();
+    let out = run_source(
+        src,
+        &RunConfig {
+            seed: 2,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     assert_eq!(out.output, vec!["true"]);
     assert!(out.qubits_used <= 12, "qubits used: {}", out.qubits_used);
 }

@@ -28,12 +28,20 @@ struct ArithExpr {
 
 fn arith_strategy() -> impl Strategy<Value = ArithExpr> {
     let leaf = (-50i64..50).prop_map(|v| ArithExpr {
-        text: if v < 0 { format!("(0 - {})", -v) } else { v.to_string() },
+        text: if v < 0 {
+            format!("(0 - {})", -v)
+        } else {
+            v.to_string()
+        },
         value: v,
     });
     leaf.prop_recursive(4, 32, 2, |inner| {
-        (inner.clone(), prop_oneof![Just('+'), Just('-'), Just('*')], inner).prop_map(
-            |(l, op, r)| {
+        (
+            inner.clone(),
+            prop_oneof![Just('+'), Just('-'), Just('*')],
+            inner,
+        )
+            .prop_map(|(l, op, r)| {
                 let value = match op {
                     '+' => l.value.wrapping_add(r.value),
                     '-' => l.value.wrapping_sub(r.value),
@@ -43,8 +51,7 @@ fn arith_strategy() -> impl Strategy<Value = ArithExpr> {
                     text: format!("({} {op} {})", l.text, r.text),
                     value,
                 }
-            },
-        )
+            })
     })
 }
 

@@ -58,7 +58,11 @@ impl Diagnostic {
             .end
             .saturating_sub(self.span.start)
             .clamp(1, src_line.len().saturating_sub(col - 1).max(1));
-        out.push_str(&format!("  | {}{}\n", " ".repeat(col - 1), "^".repeat(width)));
+        out.push_str(&format!(
+            "  | {}{}\n",
+            " ".repeat(col - 1),
+            "^".repeat(width)
+        ));
         out
     }
 }

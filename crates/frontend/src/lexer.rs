@@ -471,11 +471,13 @@ mod tests {
         assert_eq!(
             kinds("<<= >>= << >> <= >= < > == != = ! && ||"),
             vec![
-                ShlAssign, ShrAssign, Shl, Shr, Le, Ge, Lt, Gt, Eq, Ne, Assign, Bang, AndAnd,
-                OrOr
+                ShlAssign, ShrAssign, Shl, Shr, Le, Ge, Lt, Gt, Eq, Ne, Assign, Bang, AndAnd, OrOr
             ]
         );
-        assert_eq!(kinds("+= -= + -"), vec![PlusAssign, MinusAssign, Plus, Minus]);
+        assert_eq!(
+            kinds("+= -= + -"),
+            vec![PlusAssign, MinusAssign, Plus, Minus]
+        );
     }
 
     #[test]

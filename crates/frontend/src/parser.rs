@@ -17,6 +17,7 @@ pub fn parse(source: &str) -> Result<Program, Vec<Diagnostic>> {
         tokens,
         pos: 0,
         diags: Vec::new(),
+        depth: 0,
     };
     let program = p.program();
     if p.diags.is_empty() {
@@ -33,6 +34,7 @@ pub fn parse_expression(source: &str) -> Result<Expr, Vec<Diagnostic>> {
         tokens,
         pos: 0,
         diags: Vec::new(),
+        depth: 0,
     };
     let e = p.expr();
     p.expect(TokenKind::Eof);
@@ -42,10 +44,16 @@ pub fn parse_expression(source: &str) -> Result<Expr, Vec<Diagnostic>> {
     }
 }
 
+/// Maximum nesting depth of statements/expressions before the parser
+/// gives up with a diagnostic instead of risking a stack overflow on
+/// adversarial input like `((((((...` or `{{{{{{...`.
+const MAX_NESTING_DEPTH: usize = 200;
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
     diags: Vec<Diagnostic>,
+    depth: usize,
 }
 
 impl Parser {
@@ -98,6 +106,33 @@ impl Parser {
     fn error(&mut self, message: impl Into<String>) {
         let span = self.span();
         self.diags.push(Diagnostic::error(message, span));
+    }
+
+    /// Bumps the recursion depth; reports a diagnostic and refuses when
+    /// the input nests deeper than [`MAX_NESTING_DEPTH`]. Every `true`
+    /// return must be paired with a [`Parser::leave`].
+    fn enter(&mut self) -> bool {
+        if self.depth >= MAX_NESTING_DEPTH {
+            self.depth_error();
+            return false;
+        }
+        self.depth += 1;
+        true
+    }
+
+    /// Only reported once per parse; deeper frames unwind silently.
+    fn depth_error(&mut self) {
+        if !self
+            .diags
+            .iter()
+            .any(|d| d.message.contains("nested too deeply"))
+        {
+            self.error("program is nested too deeply");
+        }
+    }
+
+    fn leave(&mut self) {
+        self.depth = self.depth.saturating_sub(1);
     }
 
     /// Skips tokens until a likely statement boundary.
@@ -264,6 +299,15 @@ impl Parser {
     }
 
     fn statement(&mut self) -> Option<Stmt> {
+        if !self.enter() {
+            return None;
+        }
+        let stmt = self.statement_inner();
+        self.leave();
+        stmt
+    }
+
+    fn statement_inner(&mut self) -> Option<Stmt> {
         let start = self.span();
         match self.peek().clone() {
             TokenKind::KwIf => self.if_statement(),
@@ -341,6 +385,17 @@ impl Parser {
     }
 
     fn if_statement(&mut self) -> Option<Stmt> {
+        // Guarded separately: `else if` chains recurse here directly,
+        // bypassing `statement`.
+        if !self.enter() {
+            return None;
+        }
+        let stmt = self.if_statement_inner();
+        self.leave();
+        stmt
+    }
+
+    fn if_statement_inner(&mut self) -> Option<Stmt> {
         let start = self.span();
         self.bump(); // if
         self.expect(TokenKind::LParen);
@@ -474,22 +529,42 @@ impl Parser {
     // ---- expressions -----------------------------------------------------
 
     fn expr(&mut self) -> Option<Expr> {
-        self.or_expr()
+        if !self.enter() {
+            return None;
+        }
+        let e = self.or_expr();
+        self.leave();
+        e
     }
 
     fn or_expr(&mut self) -> Option<Expr> {
         let mut lhs = self.and_expr()?;
+        let mut links = 0usize;
         while self.eat(TokenKind::OrOr) {
+            links += 1;
+            if links > MAX_NESTING_DEPTH {
+                self.depth_error();
+                return None;
+            }
             let rhs = self.and_expr()?;
             let span = lhs.span.merge(rhs.span);
-            lhs = Expr::new(ExprKind::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs)), span);
+            lhs = Expr::new(
+                ExprKind::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs)),
+                span,
+            );
         }
         Some(lhs)
     }
 
     fn and_expr(&mut self) -> Option<Expr> {
         let mut lhs = self.equality_expr()?;
+        let mut links = 0usize;
         while self.eat(TokenKind::AndAnd) {
+            links += 1;
+            if links > MAX_NESTING_DEPTH {
+                self.depth_error();
+                return None;
+            }
             let rhs = self.equality_expr()?;
             let span = lhs.span.merge(rhs.span);
             lhs = Expr::new(
@@ -502,7 +577,13 @@ impl Parser {
 
     fn equality_expr(&mut self) -> Option<Expr> {
         let mut lhs = self.comparison_expr()?;
+        let mut links = 0usize;
         loop {
+            links += 1;
+            if links > MAX_NESTING_DEPTH {
+                self.depth_error();
+                return None;
+            }
             let op = match self.peek() {
                 TokenKind::Eq => BinOp::Eq,
                 TokenKind::Ne => BinOp::Ne,
@@ -517,7 +598,13 @@ impl Parser {
 
     fn comparison_expr(&mut self) -> Option<Expr> {
         let mut lhs = self.shift_expr()?;
+        let mut links = 0usize;
         loop {
+            links += 1;
+            if links > MAX_NESTING_DEPTH {
+                self.depth_error();
+                return None;
+            }
             let op = match self.peek() {
                 TokenKind::Lt => BinOp::Lt,
                 TokenKind::Le => BinOp::Le,
@@ -535,7 +622,13 @@ impl Parser {
 
     fn shift_expr(&mut self) -> Option<Expr> {
         let mut lhs = self.additive_expr()?;
+        let mut links = 0usize;
         loop {
+            links += 1;
+            if links > MAX_NESTING_DEPTH {
+                self.depth_error();
+                return None;
+            }
             let op = match self.peek() {
                 TokenKind::Shl => BinOp::Shl,
                 TokenKind::Shr => BinOp::Shr,
@@ -550,7 +643,13 @@ impl Parser {
 
     fn additive_expr(&mut self) -> Option<Expr> {
         let mut lhs = self.multiplicative_expr()?;
+        let mut links = 0usize;
         loop {
+            links += 1;
+            if links > MAX_NESTING_DEPTH {
+                self.depth_error();
+                return None;
+            }
             let op = match self.peek() {
                 TokenKind::Plus => BinOp::Add,
                 TokenKind::Minus => BinOp::Sub,
@@ -565,7 +664,13 @@ impl Parser {
 
     fn multiplicative_expr(&mut self) -> Option<Expr> {
         let mut lhs = self.unary_expr()?;
+        let mut links = 0usize;
         loop {
+            links += 1;
+            if links > MAX_NESTING_DEPTH {
+                self.depth_error();
+                return None;
+            }
             let op = match self.peek() {
                 TokenKind::Star => BinOp::Mul,
                 TokenKind::Slash => BinOp::Div,
@@ -580,6 +685,17 @@ impl Parser {
     }
 
     fn unary_expr(&mut self) -> Option<Expr> {
+        // Guarded separately: prefix chains like `----x` or `!!!!x`
+        // recurse here without passing through `expr`.
+        if !self.enter() {
+            return None;
+        }
+        let e = self.unary_expr_inner();
+        self.leave();
+        e
+    }
+
+    fn unary_expr_inner(&mut self) -> Option<Expr> {
         let start = self.span();
         match self.peek() {
             TokenKind::Minus => {
@@ -606,7 +722,15 @@ impl Parser {
 
     fn postfix_expr(&mut self) -> Option<Expr> {
         let mut e = self.primary_expr()?;
+        let mut links = 0usize;
         while *self.peek() == TokenKind::LBracket {
+            // Cap chain length: `xs[0][0][0]...` nests the AST one level
+            // per index even though this loop is iterative.
+            links += 1;
+            if links > MAX_NESTING_DEPTH {
+                self.depth_error();
+                return None;
+            }
             self.bump();
             let idx = self.expr()?;
             let end = self.span();
@@ -683,8 +807,7 @@ impl Parser {
                         false
                     }
                     other => {
-                        let msg =
-                            format!("expected ']' or ']q', found {}", other.describe());
+                        let msg = format!("expected ']' or ']q', found {}", other.describe());
                         self.error(msg);
                         return None;
                     }
@@ -769,11 +892,19 @@ mod tests {
     fn parses_classical_declarations() {
         assert!(matches!(
             stmt("int x = 42;"),
-            Stmt::VarDecl { ty: Type::Int, init: Some(_), .. }
+            Stmt::VarDecl {
+                ty: Type::Int,
+                init: Some(_),
+                ..
+            }
         ));
         assert!(matches!(
             stmt("float y;"),
-            Stmt::VarDecl { ty: Type::Float, init: None, .. }
+            Stmt::VarDecl {
+                ty: Type::Float,
+                init: None,
+                ..
+            }
         ));
         assert!(matches!(
             stmt("bool flag = true;"),
@@ -781,7 +912,10 @@ mod tests {
         ));
         assert!(matches!(
             stmt("string s = \"hi\";"),
-            Stmt::VarDecl { ty: Type::String, .. }
+            Stmt::VarDecl {
+                ty: Type::String,
+                ..
+            }
         ));
     }
 
@@ -797,11 +931,17 @@ mod tests {
         }
         assert!(matches!(
             stmt("quint n = 5q;"),
-            Stmt::VarDecl { ty: Type::Quint, .. }
+            Stmt::VarDecl {
+                ty: Type::Quint,
+                ..
+            }
         ));
         assert!(matches!(
             stmt("qustring t = \"0101\"q;"),
-            Stmt::VarDecl { ty: Type::Qustring, .. }
+            Stmt::VarDecl {
+                ty: Type::Qustring,
+                ..
+            }
         ));
     }
 
@@ -846,7 +986,10 @@ mod tests {
                 assert_eq!(f.ret_type, Type::Qubit);
                 assert!(matches!(
                     f.body.stmts[0],
-                    Stmt::Gate { gate: GateKind::NotGate, .. }
+                    Stmt::Gate {
+                        gate: GateKind::NotGate,
+                        ..
+                    }
                 ));
             }
             _ => panic!(),
@@ -862,7 +1005,13 @@ mod tests {
     #[test]
     fn parses_control_flow() {
         let s = stmt("if (x > 0) { print x; } else { print 0; }");
-        assert!(matches!(s, Stmt::If { else_block: Some(_), .. }));
+        assert!(matches!(
+            s,
+            Stmt::If {
+                else_block: Some(_),
+                ..
+            }
+        ));
         let s = stmt("while (i < 10) { i += 1; }");
         assert!(matches!(s, Stmt::While { .. }));
         let s = stmt("foreach v in arr { print v; }");
@@ -875,7 +1024,13 @@ mod tests {
         match s {
             Stmt::If { else_block, .. } => {
                 let inner = &else_block.unwrap().stmts[0];
-                assert!(matches!(inner, Stmt::If { else_block: Some(_), .. }));
+                assert!(matches!(
+                    inner,
+                    Stmt::If {
+                        else_block: Some(_),
+                        ..
+                    }
+                ));
             }
             _ => panic!(),
         }
@@ -885,20 +1040,32 @@ mod tests {
     fn parses_gate_statements() {
         assert!(matches!(
             stmt("hadamard q;"),
-            Stmt::Gate { gate: GateKind::Hadamard, .. }
+            Stmt::Gate {
+                gate: GateKind::Hadamard,
+                ..
+            }
         ));
         assert!(matches!(
             stmt("cnot a, b;"),
-            Stmt::Gate { gate: GateKind::CNot, .. }
+            Stmt::Gate {
+                gate: GateKind::CNot,
+                ..
+            }
         ));
         assert!(matches!(
             stmt("phase(q, pi / 2);"),
-            Stmt::Gate { gate: GateKind::Phase, .. }
+            Stmt::Gate {
+                gate: GateKind::Phase,
+                ..
+            }
         ));
         // Unparenthesised phase also accepted.
         assert!(matches!(
             stmt("phase q, pi;"),
-            Stmt::Gate { gate: GateKind::Phase, .. }
+            Stmt::Gate {
+                gate: GateKind::Phase,
+                ..
+            }
         ));
     }
 
@@ -912,15 +1079,24 @@ mod tests {
     fn parses_compound_assignment() {
         assert!(matches!(
             stmt("x += y;"),
-            Stmt::Assign { op: AssignOp::Add, .. }
+            Stmt::Assign {
+                op: AssignOp::Add,
+                ..
+            }
         ));
         assert!(matches!(
             stmt("x <<= 2;"),
-            Stmt::Assign { op: AssignOp::Shl, .. }
+            Stmt::Assign {
+                op: AssignOp::Shl,
+                ..
+            }
         ));
         assert!(matches!(
             stmt("a[2] = 5;"),
-            Stmt::Assign { target: LValue::Index(_, _), .. }
+            Stmt::Assign {
+                target: LValue::Index(_, _),
+                ..
+            }
         ));
     }
 

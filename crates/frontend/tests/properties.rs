@@ -2,9 +2,7 @@
 //! over randomly generated programs.
 
 use proptest::prelude::*;
-use qutes_frontend::{
-    ast::*, lex, parse, print_program, KetState,
-};
+use qutes_frontend::{ast::*, lex, parse, print_program, KetState};
 
 proptest! {
     // The lexer must never panic, whatever bytes it is fed.
@@ -82,12 +80,11 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
                     ExprKind::Binary(op, Box::new(l), Box::new(r)),
                     Default::default()
                 )),
-            (prop_oneof![Just(UnOp::Neg), Just(UnOp::Not)], inner.clone()).prop_map(
-                |(op, e)| Expr::new(ExprKind::Unary(op, Box::new(e)), Default::default())
-            ),
-            (ident_strategy(), prop::collection::vec(inner.clone(), 0..3)).prop_map(
-                |(name, args)| Expr::new(ExprKind::Call(name, args), Default::default())
-            ),
+            (prop_oneof![Just(UnOp::Neg), Just(UnOp::Not)], inner.clone()).prop_map(|(op, e)| {
+                Expr::new(ExprKind::Unary(op, Box::new(e)), Default::default())
+            }),
+            (ident_strategy(), prop::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(name, args)| Expr::new(ExprKind::Call(name, args), Default::default())),
             prop::collection::vec(inner.clone(), 0..3)
                 .prop_map(|es| Expr::new(ExprKind::Array(es), Default::default())),
             prop::collection::vec(inner.clone(), 1..3)
@@ -99,10 +96,9 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
                 ),
                 Default::default()
             )),
-            inner.clone().prop_map(|e| Expr::new(
-                ExprKind::MeasureExpr(Box::new(e)),
-                Default::default()
-            )),
+            inner
+                .clone()
+                .prop_map(|e| Expr::new(ExprKind::MeasureExpr(Box::new(e)), Default::default())),
         ]
     })
 }
@@ -123,14 +119,17 @@ fn type_strategy() -> impl Strategy<Value = Type> {
 
 fn stmt_strategy() -> impl Strategy<Value = Stmt> {
     let simple = prop_oneof![
-        (type_strategy(), ident_strategy(), prop::option::of(expr_strategy())).prop_map(
-            |(ty, name, init)| Stmt::VarDecl {
+        (
+            type_strategy(),
+            ident_strategy(),
+            prop::option::of(expr_strategy())
+        )
+            .prop_map(|(ty, name, init)| Stmt::VarDecl {
                 ty,
                 name,
                 init,
                 span: Default::default()
-            }
-        ),
+            }),
         (ident_strategy(), expr_strategy()).prop_map(|(n, v)| Stmt::Assign {
             target: LValue::Name(n),
             op: AssignOp::Set,

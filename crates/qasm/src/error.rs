@@ -30,7 +30,9 @@ impl fmt::Display for QasmError {
             QasmError::UnmappedClbit(c) => write!(f, "clbit {c} is not part of any register"),
             QasmError::Unsupported(m) => write!(f, "unsupported construct: {m}"),
             QasmError::Circuit(e) => write!(f, "circuit error: {e}"),
-            QasmError::Parse { line, message } => write!(f, "QASM parse error, line {line}: {message}"),
+            QasmError::Parse { line, message } => {
+                write!(f, "QASM parse error, line {line}: {message}")
+            }
         }
     }
 }

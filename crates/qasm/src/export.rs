@@ -138,7 +138,13 @@ fn emit_qasm2_gate(c: &QuantumCircuit, g: &Gate, s: &mut String) -> QasmResult<(
             target,
             lambda,
         } => {
-            let _ = writeln!(s, "cu1({}) {},{};", fmt_f(*lambda), q(*control)?, q(*target)?);
+            let _ = writeln!(
+                s,
+                "cu1({}) {},{};",
+                fmt_f(*lambda),
+                q(*control)?,
+                q(*target)?
+            );
         }
         CCX { c0, c1, target } => {
             let _ = writeln!(s, "ccx {},{},{};", q(*c0)?, q(*c1)?, q(*target)?);
@@ -278,7 +284,13 @@ fn emit_qasm3_gate(c: &QuantumCircuit, g: &Gate, s: &mut String) -> QasmResult<(
             target,
             lambda,
         } => {
-            let _ = writeln!(s, "cp({}) {},{};", fmt_f(*lambda), q(*control)?, q(*target)?);
+            let _ = writeln!(
+                s,
+                "cp({}) {},{};",
+                fmt_f(*lambda),
+                q(*control)?,
+                q(*target)?
+            );
         }
         CCX { c0, c1, target } => {
             let _ = writeln!(s, "ccx {},{},{};", q(*c0)?, q(*c1)?, q(*target)?);

@@ -124,13 +124,10 @@ impl Importer {
             if reg.len() != 1 {
                 return self.err(line, "only single-bit creg conditions are supported");
             }
-            let value: usize = value
-                .trim()
-                .parse()
-                .map_err(|_| QasmError::Parse {
-                    line,
-                    message: format!("bad condition value '{}'", value.trim()),
-                })?;
+            let value: usize = value.trim().parse().map_err(|_| QasmError::Parse {
+                line,
+                message: format!("bad condition value '{}'", value.trim()),
+            })?;
             let gates = self.gate_statement(inner, line)?;
             for g in gates {
                 if !g.is_unitary() {
@@ -201,7 +198,10 @@ impl Importer {
                         stmt[close + 1..].trim(),
                     )
                 } else {
-                    let sp = stmt.find(' ').unwrap();
+                    let sp = stmt.find(' ').ok_or(QasmError::Parse {
+                        line,
+                        message: format!("cannot parse statement '{stmt}'"),
+                    })?;
                     (sp, Vec::new(), stmt[sp + 1..].trim())
                 };
                 ((stmt[..name_end].trim().to_string(), params), rest)
@@ -318,9 +318,7 @@ fn parse_operand(s: &str, line: usize) -> QasmResult<Operand> {
 }
 
 fn parse_params(s: &str, line: usize) -> QasmResult<Vec<f64>> {
-    s.split(',')
-        .map(|p| eval_expr(p.trim(), line))
-        .collect()
+    s.split(',').map(|p| eval_expr(p.trim(), line)).collect()
 }
 
 /// Evaluates a constant arithmetic expression with `pi`, `+ - * /`, unary
@@ -643,7 +641,13 @@ mod tests {
         assert_eq!(c.num_clbits(), 2);
         assert_eq!(c.len(), 4);
         assert_eq!(c.ops()[0], Gate::H(0));
-        assert_eq!(c.ops()[1], Gate::CX { control: 0, target: 1 });
+        assert_eq!(
+            c.ops()[1],
+            Gate::CX {
+                control: 0,
+                target: 1
+            }
+        );
     }
 
     #[test]
@@ -652,10 +656,7 @@ mod tests {
         // measure needs creg; add it
         let src = src.replace("qreg q[3];", "qreg q[3]; creg c[3];");
         let c = from_qasm2(&src).unwrap();
-        assert_eq!(
-            c.ops()[..3],
-            [Gate::H(0), Gate::H(1), Gate::H(2)]
-        );
+        assert_eq!(c.ops()[..3], [Gate::H(0), Gate::H(1), Gate::H(2)]);
         assert_eq!(c.len(), 6);
     }
 
@@ -686,7 +687,11 @@ mod tests {
         let c = from_qasm2(src).unwrap();
         assert!(matches!(
             c.ops()[1],
-            Gate::Conditional { clbit: 0, value: true, .. }
+            Gate::Conditional {
+                clbit: 0,
+                value: true,
+                ..
+            }
         ));
     }
 

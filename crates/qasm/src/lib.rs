@@ -20,6 +20,13 @@
 //! assert_eq!(back.num_qubits(), 2);
 //! ```
 
+// Library code must surface failures as `QasmError`, never abort; tests
+// keep the ergonomic unwrap style.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
 pub mod error;
 pub mod export;
 pub mod import;

@@ -15,17 +15,33 @@ fn gate_strategy() -> impl Strategy<Value = Gate> {
         (0..N).prop_map(Gate::S),
         (0..N).prop_map(Gate::T),
         (0..N).prop_map(Gate::SX),
-        (0..N, -3.0..3.0f64).prop_map(|(t, l)| Gate::Phase { target: t, lambda: l }),
-        (0..N, -3.0..3.0f64).prop_map(|(t, th)| Gate::RY { target: t, theta: th }),
-        (0..N, -3.0..3.0f64).prop_map(|(t, th)| Gate::RZ { target: t, theta: th }),
-        (0..N, 0..N).prop_filter_map("distinct", |(c, t)| (c != t)
-            .then_some(Gate::CX { control: c, target: t })),
-        (0..N, 0..N, -2.0..2.0f64).prop_filter_map("distinct", |(c, t, l)| (c != t)
-            .then_some(Gate::CPhase { control: c, target: t, lambda: l })),
-        (0..N, 0..N).prop_filter_map("distinct", |(a, b)| (a != b)
-            .then_some(Gate::Swap { a, b })),
-        prop::sample::subsequence(vec![0usize, 1, 2, 3], 3)
-            .prop_filter_map("ccx", |qs| (qs.len() == 3).then(|| Gate::CCX {
+        (0..N, -3.0..3.0f64).prop_map(|(t, l)| Gate::Phase {
+            target: t,
+            lambda: l
+        }),
+        (0..N, -3.0..3.0f64).prop_map(|(t, th)| Gate::RY {
+            target: t,
+            theta: th
+        }),
+        (0..N, -3.0..3.0f64).prop_map(|(t, th)| Gate::RZ {
+            target: t,
+            theta: th
+        }),
+        (0..N, 0..N).prop_filter_map("distinct", |(c, t)| (c != t).then_some(Gate::CX {
+            control: c,
+            target: t
+        })),
+        (0..N, 0..N, -2.0..2.0f64).prop_filter_map("distinct", |(c, t, l)| (c != t).then_some(
+            Gate::CPhase {
+                control: c,
+                target: t,
+                lambda: l
+            }
+        )),
+        (0..N, 0..N).prop_filter_map("distinct", |(a, b)| (a != b).then_some(Gate::Swap { a, b })),
+        prop::sample::subsequence(vec![0usize, 1, 2, 3], 3).prop_filter_map("ccx", |qs| (qs.len()
+            == 3)
+            .then(|| Gate::CCX {
                 c0: qs[0],
                 c1: qs[1],
                 target: qs[2]

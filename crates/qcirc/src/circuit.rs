@@ -686,7 +686,13 @@ mod tests {
         let mut outer = QuantumCircuit::with_qubits_and_clbits(4, 2);
         outer.compose(&inner, &[2, 3], &[1]).unwrap();
         assert_eq!(outer.ops()[0], Gate::H(2));
-        assert_eq!(outer.ops()[1], Gate::CX { control: 2, target: 3 });
+        assert_eq!(
+            outer.ops()[1],
+            Gate::CX {
+                control: 2,
+                target: 3
+            }
+        );
         assert_eq!(outer.ops()[2], Gate::Measure { qubit: 3, clbit: 1 });
     }
 
@@ -702,7 +708,13 @@ mod tests {
         let mut c = QuantumCircuit::with_qubits(2);
         c.h(0).unwrap().s(1).unwrap().cx(0, 1).unwrap();
         let inv = c.inverse().unwrap();
-        assert_eq!(inv.ops()[0], Gate::CX { control: 0, target: 1 });
+        assert_eq!(
+            inv.ops()[0],
+            Gate::CX {
+                control: 0,
+                target: 1
+            }
+        );
         assert_eq!(inv.ops()[1], Gate::Sdg(1));
         assert_eq!(inv.ops()[2], Gate::H(0));
     }
@@ -719,7 +731,13 @@ mod tests {
         let mut c = QuantumCircuit::with_qubits(2);
         c.x(0).unwrap().cx(0, 1).unwrap();
         let cc = c.controlled(2).unwrap();
-        assert_eq!(cc.ops()[0], Gate::CX { control: 2, target: 0 });
+        assert_eq!(
+            cc.ops()[0],
+            Gate::CX {
+                control: 2,
+                target: 0
+            }
+        );
         assert_eq!(
             cc.ops()[1],
             Gate::CCX {

@@ -230,20 +230,38 @@ fn lower_to_cx_u(g: &Gate, ops: &mut Vec<Gate>) -> CircResult<()> {
             // Standard 6-CX Toffoli network.
             let (a, b, t) = (*c0, *c1, *target);
             lower_to_cx_u(&H(t), ops)?;
-            ops.push(CX { control: b, target: t });
+            ops.push(CX {
+                control: b,
+                target: t,
+            });
             lower_to_cx_u(&Tdg(t), ops)?;
-            ops.push(CX { control: a, target: t });
+            ops.push(CX {
+                control: a,
+                target: t,
+            });
             lower_to_cx_u(&T(t), ops)?;
-            ops.push(CX { control: b, target: t });
+            ops.push(CX {
+                control: b,
+                target: t,
+            });
             lower_to_cx_u(&Tdg(t), ops)?;
-            ops.push(CX { control: a, target: t });
+            ops.push(CX {
+                control: a,
+                target: t,
+            });
             lower_to_cx_u(&T(b), ops)?;
             lower_to_cx_u(&T(t), ops)?;
             lower_to_cx_u(&H(t), ops)?;
-            ops.push(CX { control: a, target: b });
+            ops.push(CX {
+                control: a,
+                target: b,
+            });
             lower_to_cx_u(&T(a), ops)?;
             lower_to_cx_u(&Tdg(b), ops)?;
-            ops.push(CX { control: a, target: b });
+            ops.push(CX {
+                control: a,
+                target: b,
+            });
         }
         CSwap { control, a, b } => {
             ops.push(CX {
@@ -435,10 +453,7 @@ mod tests {
                 } else {
                     input
                 };
-                assert!(
-                    sv.amplitude(expect).norm() > 0.999,
-                    "k={k} input={input:b}"
-                );
+                assert!(sv.amplitude(expect).norm() > 0.999, "k={k} input={input:b}");
             }
         }
     }
@@ -488,7 +503,10 @@ mod tests {
                 b.mcx(&controls, target).unwrap();
                 let sa = statevector(&a).unwrap();
                 let sb = statevector(&b).unwrap();
-                assert!((sa.fidelity(&sb).unwrap() - 1.0).abs() < 1e-9, "k={k} input={input:b}");
+                assert!(
+                    (sa.fidelity(&sb).unwrap() - 1.0).abs() < 1e-9,
+                    "k={k} input={input:b}"
+                );
             }
         }
     }
@@ -508,7 +526,13 @@ mod tests {
     fn vchain_requires_ancillas() {
         let mut ops = Vec::new();
         let err = mcx_vchain(&mut ops, &[0, 1, 2, 3], 4, &[5]).unwrap_err();
-        assert!(matches!(err, CircError::NeedAncillas { needed: 2, available: 1 }));
+        assert!(matches!(
+            err,
+            CircError::NeedAncillas {
+                needed: 2,
+                available: 1
+            }
+        ));
     }
 
     #[test]

@@ -66,8 +66,9 @@ pub fn draw(circuit: &QuantumCircuit) -> String {
         if qs.is_empty() {
             continue;
         }
-        let lo = *qs.iter().min().unwrap();
-        let hi = *qs.iter().max().unwrap();
+        let (Some(&lo), Some(&hi)) = (qs.iter().min(), qs.iter().max()) else {
+            continue; // unreachable: qs is non-empty, checked above
+        };
         let column = (lo..=hi).map(|q| free_at[q]).max().unwrap_or(0);
         for slot in free_at[lo..=hi].iter_mut() {
             *slot = column + 1;

@@ -48,16 +48,36 @@ pub enum CircError {
         /// How many were available.
         available: usize,
     },
+    /// The statevector would exceed the configured memory budget. Raised
+    /// by the pre-flight estimate **before** any allocation happens.
+    ResourceLimit {
+        /// Bytes the dense state would need (`16 * 2^n`).
+        required_bytes: u64,
+        /// The configured budget.
+        budget_bytes: u64,
+    },
+    /// The gate-application budget ran out mid-execution (runaway or
+    /// adversarial circuit).
+    BudgetExhausted {
+        /// The configured maximum number of gate applications.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for CircError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CircError::QubitOutOfRange { qubit, num_qubits } => {
-                write!(f, "qubit {qubit} out of range for width-{num_qubits} circuit")
+                write!(
+                    f,
+                    "qubit {qubit} out of range for width-{num_qubits} circuit"
+                )
             }
             CircError::ClbitOutOfRange { clbit, num_clbits } => {
-                write!(f, "clbit {clbit} out of range for {num_clbits} classical bits")
+                write!(
+                    f,
+                    "clbit {clbit} out of range for {num_clbits} classical bits"
+                )
             }
             CircError::DuplicateQubit(q) => write!(f, "qubit {q} repeated in one instruction"),
             CircError::RegisterSizeMismatch { qubits, clbits } => write!(
@@ -73,7 +93,20 @@ impl fmt::Display for CircError {
             }
             CircError::Sim(e) => write!(f, "simulation error: {e}"),
             CircError::NeedAncillas { needed, available } => {
-                write!(f, "decomposition needs {needed} ancillas, only {available} available")
+                write!(
+                    f,
+                    "decomposition needs {needed} ancillas, only {available} available"
+                )
+            }
+            CircError::ResourceLimit {
+                required_bytes,
+                budget_bytes,
+            } => write!(
+                f,
+                "statevector needs {required_bytes} bytes, over the {budget_bytes}-byte budget"
+            ),
+            CircError::BudgetExhausted { limit } => {
+                write!(f, "gate-application budget of {limit} exhausted")
             }
         }
     }

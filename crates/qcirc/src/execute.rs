@@ -8,14 +8,162 @@
 //!   are terminal and unconditioned, the state is simulated once and
 //!   sampled `shots` times (the standard Aer fast path); otherwise each
 //!   shot re-runs the full circuit.
+//!
+//! The hardened entry points [`run_shots_cfg`] / [`run_once_cfg`] take an
+//! [`ExecutionConfig`] adding a seed, an optional Monte-Carlo
+//! [`NoiseModel`] (the fast path is disabled whenever noise is actually
+//! non-zero, since every trajectory then differs), a pre-flight memory
+//! check that rejects oversized states with
+//! [`CircError::ResourceLimit`] *before* allocating, and a
+//! gate-application budget that turns runaway circuits into
+//! [`CircError::BudgetExhausted`] instead of hangs. A mitigation wrapper,
+//! [`run_shots_majority`], re-runs a noisy circuit in independently
+//! seeded batches and majority-votes the winning outcome.
 
 use crate::circuit::QuantumCircuit;
 use crate::error::{CircError, CircResult};
 use crate::gate::Gate;
-use qutes_sim::{gates, measure, StateVector};
-use rand::Rng;
+use qutes_sim::{gates, measure, NoiseModel, StateVector};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::fmt;
+
+/// How a circuit is executed: shot count, RNG seed, optional noise, and
+/// resource ceilings. [`Default`] gives 1024 noiseless shots, seed 0,
+/// and no resource limits.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExecutionConfig {
+    /// Number of shots for [`run_shots_cfg`].
+    pub shots: usize,
+    /// Seed for the execution RNG; the whole run is a pure function of it.
+    pub seed: u64,
+    /// Optional fault model. A model for which
+    /// [`NoiseModel::is_noiseless`] holds behaves exactly like `None`,
+    /// including RNG-stream and fast-path selection.
+    pub noise: Option<NoiseModel>,
+    /// Cap on gate applications **per shot** (conditional bodies count).
+    /// `None` means unlimited.
+    pub max_gate_applications: Option<u64>,
+    /// Cap on the dense-state allocation, checked pre-flight against the
+    /// `16 * 2^n` bytes estimate. `None` means unlimited.
+    pub memory_budget_bytes: Option<u64>,
+}
+
+impl Default for ExecutionConfig {
+    fn default() -> Self {
+        ExecutionConfig {
+            shots: 1024,
+            seed: 0,
+            noise: None,
+            max_gate_applications: None,
+            memory_budget_bytes: None,
+        }
+    }
+}
+
+impl ExecutionConfig {
+    /// Sets the shot count.
+    pub fn with_shots(mut self, shots: usize) -> Self {
+        self.shots = shots;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Attaches a noise model.
+    pub fn with_noise(mut self, noise: NoiseModel) -> Self {
+        self.noise = Some(noise);
+        self
+    }
+
+    /// Sets the per-shot gate-application budget.
+    pub fn with_max_gate_applications(mut self, limit: u64) -> Self {
+        self.max_gate_applications = Some(limit);
+        self
+    }
+
+    /// Sets the memory budget in bytes.
+    pub fn with_memory_budget(mut self, bytes: u64) -> Self {
+        self.memory_budget_bytes = Some(bytes);
+        self
+    }
+
+    /// Checks the noise probabilities (if any) are valid.
+    pub fn validate(&self) -> CircResult<()> {
+        if let Some(nm) = &self.noise {
+            nm.validate()?;
+        }
+        Ok(())
+    }
+
+    /// The noise model to actually apply: `None` when absent **or**
+    /// all-zero, so a silent model cannot knock execution off the fast
+    /// path or desynchronise the RNG stream.
+    fn effective_noise(&self) -> Option<&NoiseModel> {
+        self.noise.as_ref().filter(|nm| !nm.is_noiseless())
+    }
+
+    /// Pre-flight resource check: estimates the dense statevector at
+    /// `16 * 2^n` bytes and rejects it against the budget **without
+    /// allocating anything**.
+    pub fn check_memory(&self, num_qubits: usize) -> CircResult<()> {
+        let Some(budget) = self.memory_budget_bytes else {
+            return Ok(());
+        };
+        let required = (16u128).checked_shl(num_qubits as u32).unwrap_or(u128::MAX);
+        if required > budget as u128 {
+            return Err(CircError::ResourceLimit {
+                required_bytes: u64::try_from(required).unwrap_or(u64::MAX),
+                budget_bytes: budget,
+            });
+        }
+        Ok(())
+    }
+
+    fn budget(&self) -> GateBudget {
+        match self.max_gate_applications {
+            Some(limit) => GateBudget::limited(limit),
+            None => GateBudget::unlimited(),
+        }
+    }
+}
+
+/// Per-shot countdown of gate applications.
+struct GateBudget {
+    remaining: Option<u64>,
+    limit: u64,
+}
+
+impl GateBudget {
+    fn unlimited() -> Self {
+        GateBudget {
+            remaining: None,
+            limit: 0,
+        }
+    }
+
+    fn limited(limit: u64) -> Self {
+        GateBudget {
+            remaining: Some(limit),
+            limit,
+        }
+    }
+
+    fn charge(&mut self) -> CircResult<()> {
+        if let Some(r) = &mut self.remaining {
+            if *r == 0 {
+                return Err(CircError::BudgetExhausted { limit: self.limit });
+            }
+            *r -= 1;
+        }
+        Ok(())
+    }
+}
 
 /// Histogram of classical-register outcomes over many shots.
 #[derive(Clone, Debug, Default)]
@@ -90,12 +238,50 @@ impl fmt::Display for Counts {
 }
 
 /// Applies one instruction to the live state, updating classical bits.
+///
+/// Classical-bit indices are bounds-checked (typed
+/// [`CircError::ClbitOutOfRange`], never a panic) so even hand-built
+/// [`Gate`] values that bypassed circuit construction fail cleanly.
 pub fn apply_gate<R: Rng + ?Sized>(
     state: &mut StateVector,
     clbits: &mut [bool],
     g: &Gate,
     rng: &mut R,
 ) -> CircResult<()> {
+    apply_gate_full(state, clbits, g, rng, None, &mut GateBudget::unlimited())
+}
+
+/// Like [`apply_gate`], but threading an optional noise model: unitary
+/// gates get post-gate trajectory noise, measurements get readout
+/// flips, and conditionals propagate the model into their body. Used by
+/// the core runtime's live-state handler, which applies gates one at a
+/// time rather than through [`run_shots_cfg`].
+pub fn apply_gate_noisy<R: Rng + ?Sized>(
+    state: &mut StateVector,
+    clbits: &mut [bool],
+    g: &Gate,
+    rng: &mut R,
+    noise: Option<&NoiseModel>,
+) -> CircResult<()> {
+    let noise = noise.filter(|nm| !nm.is_noiseless());
+    apply_gate_full(state, clbits, g, rng, noise, &mut GateBudget::unlimited())
+}
+
+/// Checks `clbit` indexes into `clbits`.
+fn check_clbit(clbits: &[bool], clbit: usize) -> CircResult<()> {
+    if clbit >= clbits.len() {
+        return Err(CircError::ClbitOutOfRange {
+            clbit,
+            num_clbits: clbits.len(),
+        });
+    }
+    Ok(())
+}
+
+/// Applies the unitary instruction `g` to `state`. Callers must route
+/// non-unitary instructions (measure/reset/conditional/barrier/phase)
+/// elsewhere; this function handles every remaining arm.
+fn apply_unitary(state: &mut StateVector, g: &Gate) -> CircResult<()> {
     use Gate::*;
     match g {
         H(q) => state.apply_single(&gates::h(), *q)?,
@@ -135,20 +321,53 @@ pub fn apply_gate<R: Rng + ?Sized>(
         } => state.apply_controlled(&gates::phase(*lambda), controls, *target)?,
         Swap { a, b } => state.apply_swap(*a, *b)?,
         CSwap { control, a, b } => state.apply_controlled_swap(&[*control], *a, *b)?,
-        Measure { qubit, clbit } => {
-            let out = measure::measure_qubit(state, *qubit, rng)?;
+        Measure { .. } | Reset(_) | Barrier(_) | Conditional { .. } | GlobalPhase(_) => {
+            return Err(CircError::NonUnitary(g.name()));
+        }
+    }
+    Ok(())
+}
+
+/// Full-featured gate application: bounds checks, budget accounting,
+/// and post-gate trajectory noise.
+fn apply_gate_full<R: Rng + ?Sized>(
+    state: &mut StateVector,
+    clbits: &mut [bool],
+    g: &Gate,
+    rng: &mut R,
+    noise: Option<&NoiseModel>,
+    budget: &mut GateBudget,
+) -> CircResult<()> {
+    budget.charge()?;
+    match g {
+        Gate::Measure { qubit, clbit } => {
+            check_clbit(clbits, *clbit)?;
+            let mut out = measure::measure_qubit(state, *qubit, rng)?;
+            if let Some(nm) = noise {
+                out = nm.flip_readout(out, rng);
+            }
             clbits[*clbit] = out;
         }
-        Reset(q) => {
+        Gate::Reset(q) => {
             measure::measure_and_reset(state, *q, rng)?;
-        }
-        Barrier(_) => {}
-        Conditional { clbit, value, gate } => {
-            if clbits[*clbit] == *value {
-                apply_gate(state, clbits, gate, rng)?;
+            if let Some(nm) = noise {
+                nm.apply_gate_noise(state, &[*q], rng)?;
             }
         }
-        GlobalPhase(t) => state.apply_global_phase(*t),
+        Gate::Barrier(_) => {}
+        Gate::Conditional { clbit, value, gate } => {
+            check_clbit(clbits, *clbit)?;
+            if clbits[*clbit] == *value {
+                apply_gate_full(state, clbits, gate, rng, noise, budget)?;
+            }
+        }
+        Gate::GlobalPhase(t) => state.apply_global_phase(*t),
+        _ => {
+            apply_unitary(state, g)?;
+            if let Some(nm) = noise {
+                nm.apply_gate_noise(state, &g.qubits(), rng)?;
+            }
+        }
     }
     Ok(())
 }
@@ -174,10 +393,28 @@ impl Shot {
 
 /// Runs the circuit once, collapsing at each measurement.
 pub fn run_once<R: Rng + ?Sized>(circuit: &QuantumCircuit, rng: &mut R) -> CircResult<Shot> {
+    run_once_full(circuit, rng, None, GateBudget::unlimited())
+}
+
+/// Runs the circuit once under an [`ExecutionConfig`]: seeded RNG,
+/// optional noise, memory pre-flight, and gate budget.
+pub fn run_once_cfg(circuit: &QuantumCircuit, cfg: &ExecutionConfig) -> CircResult<Shot> {
+    cfg.validate()?;
+    cfg.check_memory(circuit.num_qubits())?;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    run_once_full(circuit, &mut rng, cfg.effective_noise(), cfg.budget())
+}
+
+fn run_once_full<R: Rng + ?Sized>(
+    circuit: &QuantumCircuit,
+    rng: &mut R,
+    noise: Option<&NoiseModel>,
+    mut budget: GateBudget,
+) -> CircResult<Shot> {
     let mut state = StateVector::new(circuit.num_qubits())?;
     let mut clbits = vec![false; circuit.num_clbits()];
     for g in circuit.ops() {
-        apply_gate(&mut state, &mut clbits, g, rng)?;
+        apply_gate_full(&mut state, &mut clbits, g, rng, noise, &mut budget)?;
     }
     Ok(Shot { state, clbits })
 }
@@ -233,17 +470,45 @@ pub fn run_shots<R: Rng + ?Sized>(
     shots: usize,
     rng: &mut R,
 ) -> CircResult<Counts> {
+    run_shots_full(circuit, shots, rng, None, &ExecutionConfig::default())
+}
+
+/// Runs the circuit under an [`ExecutionConfig`] and histograms the
+/// classical register.
+///
+/// The terminal-measurement fast path (simulate once, sample `shots`
+/// times) is used only when the attached noise is absent or all-zero —
+/// under real noise every trajectory differs, so each shot re-runs the
+/// circuit. The pre-flight memory check runs before any state is
+/// allocated, and the gate budget applies per shot.
+pub fn run_shots_cfg(circuit: &QuantumCircuit, cfg: &ExecutionConfig) -> CircResult<Counts> {
+    cfg.validate()?;
+    cfg.check_memory(circuit.num_qubits())?;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    run_shots_full(circuit, cfg.shots, &mut rng, cfg.effective_noise(), cfg)
+}
+
+fn run_shots_full<R: Rng + ?Sized>(
+    circuit: &QuantumCircuit,
+    shots: usize,
+    rng: &mut R,
+    noise: Option<&NoiseModel>,
+    cfg: &ExecutionConfig,
+) -> CircResult<Counts> {
     let mut map = HashMap::new();
-    if measurements_are_terminal(circuit) {
+    if noise.is_none() && measurements_are_terminal(circuit) {
         // Fast path: simulate the unitary prefix once, then sample.
         let mut state = StateVector::new(circuit.num_qubits())?;
         let mut clbits = vec![false; circuit.num_clbits()];
+        let mut budget = cfg.budget();
         let mut meas_pairs: Vec<(usize, usize)> = Vec::new();
         for g in circuit.ops() {
             if let Gate::Measure { qubit, clbit } = g {
+                check_clbit(&clbits, *clbit)?;
+                budget.charge()?;
                 meas_pairs.push((*qubit, *clbit));
             } else {
-                apply_gate(&mut state, &mut clbits, g, rng)?;
+                apply_gate_full(&mut state, &mut clbits, g, rng, None, &mut budget)?;
             }
         }
         let qubits: Vec<usize> = meas_pairs.iter().map(|&(q, _)| q).collect();
@@ -260,7 +525,7 @@ pub fn run_shots<R: Rng + ?Sized>(
         }
     } else {
         for _ in 0..shots {
-            let shot = run_once(circuit, rng)?;
+            let shot = run_once_full(circuit, rng, noise, cfg.budget())?;
             *map.entry(shot.clbits_as_usize()).or_insert(0) += 1;
         }
     }
@@ -268,6 +533,67 @@ pub fn run_shots<R: Rng + ?Sized>(
         map,
         num_clbits: circuit.num_clbits(),
         shots,
+    })
+}
+
+/// Result of a [`run_shots_majority`] mitigation run.
+#[derive(Clone, Debug)]
+pub struct MajorityOutcome {
+    /// The outcome winning the most batches (`None` only for 0 batches).
+    pub winner: Option<usize>,
+    /// How many batches each candidate outcome won.
+    pub votes: HashMap<usize, usize>,
+    /// Number of batches run.
+    pub batches: usize,
+}
+
+impl MajorityOutcome {
+    /// Fraction of batches won by the winner (0 when there are none).
+    pub fn confidence(&self) -> f64 {
+        match self.winner {
+            Some(w) if self.batches > 0 => {
+                self.votes.get(&w).copied().unwrap_or(0) as f64 / self.batches as f64
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+/// Error-mitigation wrapper: runs the circuit in `batches` independent
+/// re-runs of `cfg.shots` shots each (batch `b` reseeded deterministically
+/// from `cfg.seed`), takes each batch's most frequent outcome as that
+/// batch's vote, and returns the majority winner.
+///
+/// Under stochastic noise a single histogram can be won by a faulty
+/// outcome; voting across independent trajectories recovers the correct
+/// answer whenever each batch is right with probability above one half —
+/// graceful degradation at low noise rather than a silent wrong answer.
+pub fn run_shots_majority(
+    circuit: &QuantumCircuit,
+    cfg: &ExecutionConfig,
+    batches: usize,
+) -> CircResult<MajorityOutcome> {
+    let mut votes: HashMap<usize, usize> = HashMap::new();
+    for b in 0..batches {
+        let mut batch_cfg = cfg.clone();
+        // Golden-ratio stride keeps batch streams well separated; batch 0
+        // reproduces a plain `run_shots_cfg` run exactly.
+        batch_cfg.seed = cfg
+            .seed
+            .wrapping_add((b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let counts = run_shots_cfg(circuit, &batch_cfg)?;
+        if let Some(w) = counts.most_frequent() {
+            *votes.entry(w).or_insert(0) += 1;
+        }
+    }
+    let winner = votes
+        .iter()
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+        .map(|(&k, _)| k);
+    Ok(MajorityOutcome {
+        winner,
+        votes,
+        batches,
     })
 }
 

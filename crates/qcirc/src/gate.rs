@@ -187,7 +187,8 @@ impl Gate {
                 control, target, ..
             } => vec![*control, *target],
             CCX { c0, c1, target } => vec![*c0, *c1, *target],
-            MCX { controls, target } | MCPhase {
+            MCX { controls, target }
+            | MCPhase {
                 controls, target, ..
             } => {
                 let mut v = controls.clone();
@@ -395,10 +396,7 @@ impl Gate {
                 target: *q,
                 lambda: -std::f64::consts::FRAC_PI_4,
             },
-            CX {
-                control: c,
-                target,
-            } => CCX {
+            CX { control: c, target } => CCX {
                 c0: control,
                 c1: *c,
                 target: *target,
@@ -415,10 +413,7 @@ impl Gate {
                     target: *target,
                 }
             }
-            CZ {
-                control: c,
-                target,
-            } => MCPhase {
+            CZ { control: c, target } => MCPhase {
                 controls: vec![control, *c],
                 target: *target,
                 lambda: std::f64::consts::PI,
@@ -514,7 +509,14 @@ mod tests {
 
     #[test]
     fn qubits_reports_controls_first() {
-        assert_eq!(Gate::CX { control: 3, target: 1 }.qubits(), vec![3, 1]);
+        assert_eq!(
+            Gate::CX {
+                control: 3,
+                target: 1
+            }
+            .qubits(),
+            vec![3, 1]
+        );
         assert_eq!(
             Gate::MCX {
                 controls: vec![0, 2],
@@ -578,7 +580,13 @@ mod tests {
     fn controlled_ladder_x() {
         let x = Gate::X(5);
         let cx = x.controlled(0).unwrap();
-        assert_eq!(cx, Gate::CX { control: 0, target: 5 });
+        assert_eq!(
+            cx,
+            Gate::CX {
+                control: 0,
+                target: 5
+            }
+        );
         let ccx = cx.controlled(1).unwrap();
         assert_eq!(
             ccx,
@@ -604,10 +612,18 @@ mod tests {
     fn controlled_z_ladder_uses_phase() {
         let z = Gate::Z(2);
         let cz = z.controlled(0).unwrap();
-        assert_eq!(cz, Gate::CZ { control: 0, target: 2 });
+        assert_eq!(
+            cz,
+            Gate::CZ {
+                control: 0,
+                target: 2
+            }
+        );
         let ccz = cz.controlled(1).unwrap();
-        assert!(matches!(ccz, Gate::MCPhase { ref controls, target: 2, lambda }
-            if controls == &vec![1, 0] && (lambda - std::f64::consts::PI).abs() < 1e-12));
+        assert!(
+            matches!(ccz, Gate::MCPhase { ref controls, target: 2, lambda }
+            if controls == &vec![1, 0] && (lambda - std::f64::consts::PI).abs() < 1e-12)
+        );
     }
 
     #[test]
@@ -634,7 +650,11 @@ mod tests {
     fn display_is_readable() {
         assert_eq!(Gate::H(0).to_string(), "h q[0]");
         assert_eq!(
-            Gate::CX { control: 0, target: 1 }.to_string(),
+            Gate::CX {
+                control: 0,
+                target: 1
+            }
+            .to_string(),
             "cx q[0],q[1]"
         );
         assert_eq!(

@@ -20,6 +20,13 @@
 //! assert_eq!(counts.get(0b00) + counts.get(0b11), 100);
 //! ```
 
+// Library code must surface failures as `CircError`, never abort; tests
+// keep the ergonomic unwrap style.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
 pub mod circuit;
 pub mod decompose;
 pub mod draw;
@@ -30,10 +37,13 @@ pub mod metrics;
 pub mod register;
 
 pub use circuit::{remap_gate, QuantumCircuit};
-pub use draw::draw;
 pub use decompose::{mcphase_no_ancilla, mcx_no_ancilla, mcx_vchain, transpile, Basis};
+pub use draw::draw;
 pub use error::{CircError, CircResult};
-pub use execute::{run_once, run_shots, statevector, Counts, Shot};
+pub use execute::{
+    run_once, run_once_cfg, run_shots, run_shots_cfg, run_shots_majority, statevector, Counts,
+    ExecutionConfig, MajorityOutcome, Shot,
+};
 pub use gate::Gate;
 pub use metrics::CircuitStats;
 pub use register::{ClassicalRegister, QuantumRegister};

@@ -150,7 +150,14 @@ mod tests {
     #[test]
     fn count_ops_tallies_names() {
         let mut c = QuantumCircuit::with_qubits(3);
-        c.h(0).unwrap().h(1).unwrap().cx(0, 1).unwrap().ccx(0, 1, 2).unwrap();
+        c.h(0)
+            .unwrap()
+            .h(1)
+            .unwrap()
+            .cx(0, 1)
+            .unwrap()
+            .ccx(0, 1, 2)
+            .unwrap();
         let m = c.count_ops();
         assert_eq!(m["h"], 2);
         assert_eq!(m["cx"], 1);

@@ -44,7 +44,11 @@ impl QuantumRegister {
 
     /// Global index of the `i`-th qubit. Panics if `i >= len()`.
     pub fn qubit(&self, i: usize) -> usize {
-        assert!(i < self.size, "qubit {i} out of range for register {}", self.name);
+        assert!(
+            i < self.size,
+            "qubit {i} out of range for register {}",
+            self.name
+        );
         self.offset + i
     }
 
@@ -93,7 +97,11 @@ impl ClassicalRegister {
 
     /// Global index of the `i`-th bit. Panics if `i >= len()`.
     pub fn bit(&self, i: usize) -> usize {
-        assert!(i < self.size, "bit {i} out of range for register {}", self.name);
+        assert!(
+            i < self.size,
+            "bit {i} out of range for register {}",
+            self.name
+        );
         self.offset + i
     }
 

@@ -1,0 +1,241 @@
+//! Hardened-execution tests: seeded determinism across both execution
+//! paths, silent-noise equivalence, resource limits, and majority-vote
+//! mitigation.
+
+use qutes_qcirc::execute::{run_once_cfg, run_shots_cfg, run_shots_majority};
+use qutes_qcirc::{CircError, Counts, ExecutionConfig, Gate, QuantumCircuit};
+use qutes_sim::NoiseModel;
+
+/// Bell pair with terminal measurements — eligible for the fast path.
+fn fast_circuit() -> QuantumCircuit {
+    let mut c = QuantumCircuit::with_qubits_and_clbits(2, 2);
+    c.h(0).unwrap().cx(0, 1).unwrap();
+    c.measure(0, 0).unwrap().measure(1, 1).unwrap();
+    c
+}
+
+/// Same physics, but a conditional forces the per-shot slow path.
+fn slow_circuit() -> QuantumCircuit {
+    let mut c = QuantumCircuit::with_qubits_and_clbits(2, 2);
+    c.h(0).unwrap().cx(0, 1).unwrap();
+    c.measure(0, 0).unwrap();
+    c.c_if(0, true, Gate::X(1)).unwrap();
+    c.c_if(0, true, Gate::X(1)).unwrap(); // undo: keep Bell statistics
+    c.measure(1, 1).unwrap();
+    c
+}
+
+fn sorted(counts: &Counts) -> Vec<(usize, usize)> {
+    counts.sorted()
+}
+
+#[test]
+fn same_seed_is_bit_identical_on_fast_path() {
+    let c = fast_circuit();
+    let cfg = ExecutionConfig::default().with_shots(500).with_seed(7);
+    let a = run_shots_cfg(&c, &cfg).unwrap();
+    let b = run_shots_cfg(&c, &cfg).unwrap();
+    assert_eq!(sorted(&a), sorted(&b));
+}
+
+#[test]
+fn same_seed_is_bit_identical_on_slow_path() {
+    let c = slow_circuit();
+    let cfg = ExecutionConfig::default().with_shots(500).with_seed(7);
+    let a = run_shots_cfg(&c, &cfg).unwrap();
+    let b = run_shots_cfg(&c, &cfg).unwrap();
+    assert_eq!(sorted(&a), sorted(&b));
+}
+
+#[test]
+fn noiseless_model_matches_no_model_bit_for_bit() {
+    // NoiseModel::none() must neither change path selection nor consume
+    // RNG draws: Counts are identical to running with no model at all,
+    // on both execution paths.
+    for circuit in [fast_circuit(), slow_circuit()] {
+        let bare = ExecutionConfig::default().with_shots(400).with_seed(21);
+        let silent = bare.clone().with_noise(NoiseModel::none());
+        let a = run_shots_cfg(&circuit, &bare).unwrap();
+        let b = run_shots_cfg(&circuit, &silent).unwrap();
+        assert_eq!(sorted(&a), sorted(&b));
+    }
+}
+
+#[test]
+fn depolarizing_p_zero_matches_noiseless() {
+    let c = fast_circuit();
+    let bare = ExecutionConfig::default().with_shots(400).with_seed(3);
+    let zero = bare.clone().with_noise(NoiseModel::depolarizing(0.0));
+    let a = run_shots_cfg(&c, &bare).unwrap();
+    let b = run_shots_cfg(&c, &zero).unwrap();
+    assert_eq!(sorted(&a), sorted(&b));
+}
+
+#[test]
+fn noisy_runs_are_reproducible_from_seed() {
+    let c = fast_circuit();
+    let cfg = ExecutionConfig::default()
+        .with_shots(300)
+        .with_seed(11)
+        .with_noise(NoiseModel::depolarizing(0.05).with_readout_error(0.02));
+    let a = run_shots_cfg(&c, &cfg).unwrap();
+    let b = run_shots_cfg(&c, &cfg).unwrap();
+    assert_eq!(sorted(&a), sorted(&b));
+}
+
+#[test]
+fn noise_perturbs_bell_correlations() {
+    let c = fast_circuit();
+    let clean = run_shots_cfg(&c, &ExecutionConfig::default().with_shots(2000)).unwrap();
+    let noisy = run_shots_cfg(
+        &c,
+        &ExecutionConfig::default()
+            .with_shots(2000)
+            .with_noise(NoiseModel::depolarizing(0.2)),
+    )
+    .unwrap();
+    // Clean Bell pairs never produce 01/10; depolarizing noise does.
+    assert_eq!(clean.get(0b01) + clean.get(0b10), 0);
+    assert!(noisy.get(0b01) + noisy.get(0b10) > 0);
+}
+
+#[test]
+fn readout_error_alone_flips_deterministic_outcome() {
+    let mut c = QuantumCircuit::with_qubits_and_clbits(1, 1);
+    c.x(0).unwrap().measure(0, 0).unwrap();
+    let cfg = ExecutionConfig::default()
+        .with_shots(1000)
+        .with_noise(NoiseModel::none().with_readout_error(0.25));
+    let counts = run_shots_cfg(&c, &cfg).unwrap();
+    let zeros = counts.get(0);
+    assert!(
+        (150..350).contains(&zeros),
+        "expected ~25% readout flips, saw {zeros}/1000"
+    );
+}
+
+#[test]
+fn memory_budget_rejects_before_allocating() {
+    // 20 qubits want 16 MiB; a 1 KiB budget must fail pre-flight with a
+    // typed error carrying both numbers.
+    let c = QuantumCircuit::with_qubits(20);
+    let cfg = ExecutionConfig::default().with_memory_budget(1024);
+    match run_shots_cfg(&c, &cfg) {
+        Err(CircError::ResourceLimit {
+            required_bytes,
+            budget_bytes,
+        }) => {
+            assert_eq!(required_bytes, 16 << 20);
+            assert_eq!(budget_bytes, 1024);
+        }
+        other => panic!("expected ResourceLimit, got {other:?}"),
+    }
+    assert!(run_once_cfg(&c, &cfg).is_err());
+}
+
+#[test]
+fn memory_budget_admits_small_states() {
+    let c = fast_circuit();
+    let cfg = ExecutionConfig::default()
+        .with_shots(10)
+        .with_memory_budget(1024);
+    assert!(run_shots_cfg(&c, &cfg).is_ok());
+}
+
+#[test]
+fn gate_budget_exhaustion_is_typed() {
+    let mut c = QuantumCircuit::with_qubits_and_clbits(1, 1);
+    for _ in 0..100 {
+        c.x(0).unwrap();
+    }
+    c.measure(0, 0).unwrap();
+    let cfg = ExecutionConfig::default()
+        .with_shots(4)
+        .with_max_gate_applications(10);
+    match run_shots_cfg(&c, &cfg) {
+        Err(CircError::BudgetExhausted { limit }) => assert_eq!(limit, 10),
+        other => panic!("expected BudgetExhausted, got {other:?}"),
+    }
+    // A budget that covers the circuit succeeds.
+    let roomy = cfg.clone().with_max_gate_applications(200);
+    assert!(run_shots_cfg(&c, &roomy).is_ok());
+}
+
+#[test]
+fn invalid_noise_probability_is_rejected() {
+    let c = fast_circuit();
+    let cfg = ExecutionConfig::default().with_noise(NoiseModel::depolarizing(1.5));
+    assert!(matches!(run_shots_cfg(&c, &cfg), Err(CircError::Sim(_))));
+}
+
+#[test]
+fn out_of_range_clbit_errors_instead_of_panicking() {
+    use qutes_qcirc::execute::apply_gate;
+    use qutes_sim::StateVector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut state = StateVector::new(1).unwrap();
+    let mut clbits = vec![false; 1];
+    let mut rng = StdRng::seed_from_u64(0);
+    let bad_measure = Gate::Measure { qubit: 0, clbit: 5 };
+    assert!(matches!(
+        apply_gate(&mut state, &mut clbits, &bad_measure, &mut rng),
+        Err(CircError::ClbitOutOfRange {
+            clbit: 5,
+            num_clbits: 1
+        })
+    ));
+    let bad_cond = Gate::Conditional {
+        clbit: 9,
+        value: true,
+        gate: Box::new(Gate::X(0)),
+    };
+    assert!(matches!(
+        apply_gate(&mut state, &mut clbits, &bad_cond, &mut rng),
+        Err(CircError::ClbitOutOfRange { clbit: 9, .. })
+    ));
+}
+
+#[test]
+fn construction_rejects_out_of_range_clbits() {
+    let mut c = QuantumCircuit::with_qubits_and_clbits(1, 1);
+    assert!(matches!(
+        c.measure(0, 3),
+        Err(CircError::ClbitOutOfRange { clbit: 3, .. })
+    ));
+    assert!(matches!(
+        c.c_if(4, true, Gate::X(0)),
+        Err(CircError::ClbitOutOfRange { clbit: 4, .. })
+    ));
+}
+
+#[test]
+fn majority_vote_recovers_correct_outcome_under_low_noise() {
+    // Deterministic |11> preparation under mild noise: every batch should
+    // still be won by 0b11, so the vote is unanimous-ish and correct.
+    let mut c = QuantumCircuit::with_qubits_and_clbits(2, 2);
+    c.x(0).unwrap().x(1).unwrap();
+    c.measure(0, 0).unwrap().measure(1, 1).unwrap();
+    let cfg = ExecutionConfig::default()
+        .with_shots(200)
+        .with_seed(5)
+        .with_noise(NoiseModel::depolarizing(0.02).with_readout_error(0.02));
+    let outcome = run_shots_majority(&c, &cfg, 9).unwrap();
+    assert_eq!(outcome.winner, Some(0b11));
+    assert!(outcome.confidence() > 0.5, "{:?}", outcome.votes);
+    assert_eq!(outcome.batches, 9);
+}
+
+#[test]
+fn majority_vote_is_deterministic() {
+    let c = fast_circuit();
+    let cfg = ExecutionConfig::default()
+        .with_shots(100)
+        .with_seed(13)
+        .with_noise(NoiseModel::depolarizing(0.1));
+    let a = run_shots_majority(&c, &cfg, 5).unwrap();
+    let b = run_shots_majority(&c, &cfg, 5).unwrap();
+    assert_eq!(a.winner, b.winner);
+    assert_eq!(a.votes, b.votes);
+}

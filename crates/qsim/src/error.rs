@@ -25,7 +25,10 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::QubitOutOfRange { qubit, num_qubits } => {
-                write!(f, "qubit index {qubit} out of range for {num_qubits}-qubit state")
+                write!(
+                    f,
+                    "qubit index {qubit} out of range for {num_qubits}-qubit state"
+                )
             }
             SimError::DuplicateQubit(q) => {
                 write!(f, "qubit {q} used more than once in a single operation")

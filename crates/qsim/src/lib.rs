@@ -31,10 +31,12 @@ pub mod complex;
 pub mod error;
 pub mod gates;
 pub mod measure;
+pub mod noise;
 pub mod parallel;
 pub mod state;
 
 pub use complex::{c64, Complex64};
 pub use error::{SimError, SimResult};
 pub use gates::Matrix2;
+pub use noise::NoiseModel;
 pub use state::{uniform_superposition, StateVector, MAX_QUBITS};

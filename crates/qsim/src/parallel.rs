@@ -69,11 +69,7 @@ where
     let len = amps.len();
     let nt = num_threads();
     if !parallel || len < PAR_THRESHOLD || nt <= 1 {
-        return amps
-            .iter()
-            .enumerate()
-            .map(|(i, &a)| g(a, i))
-            .sum();
+        return amps.iter().enumerate().map(|(i, &a)| g(a, i)).sum();
     }
     let per_thread = len.div_ceil(nt);
     let mut partials = vec![0.0f64; len.div_ceil(per_thread)];
@@ -82,11 +78,7 @@ where
         for (slot, (ci, chunk)) in partials.iter_mut().zip(amps.chunks(per_thread).enumerate()) {
             s.spawn(move || {
                 let base = ci * per_thread;
-                *slot = chunk
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &a)| g(a, base + i))
-                    .sum();
+                *slot = chunk.iter().enumerate().map(|(i, &a)| g(a, base + i)).sum();
             });
         }
     });

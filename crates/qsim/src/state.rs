@@ -242,12 +242,7 @@ impl StateVector {
     /// Applies an arbitrary two-qubit unitary given as a 4x4 row-major
     /// matrix over basis ordering `|q1 q0>` (q0 = least significant).
     /// Primarily used by tests and decomposition cross-checks.
-    pub fn apply_two(
-        &mut self,
-        m: &[[Complex64; 4]; 4],
-        q0: usize,
-        q1: usize,
-    ) -> SimResult<()> {
+    pub fn apply_two(&mut self, m: &[[Complex64; 4]; 4], q0: usize, q1: usize) -> SimResult<()> {
         self.check_qubit(q0)?;
         self.check_qubit(q1)?;
         Self::check_distinct(&[q0, q1])?;

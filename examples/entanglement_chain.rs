@@ -22,7 +22,14 @@ fn main() {
         print a;
         print d;
     "#;
-    let out = run_source(program, &RunConfig { seed: 3, ..Default::default() }).unwrap();
+    let out = run_source(
+        program,
+        &RunConfig {
+            seed: 3,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     println!(
         "Qutes chain: first = {}, last = {} (always equal)",
         out.output[0], out.output[1]

@@ -21,7 +21,14 @@ fn main() {
         quint p = a * b;       // shift-and-add quantum multiplier
         print p;
     "#;
-    let out = run_source(program, &RunConfig { seed: 1, ..Default::default() }).unwrap();
+    let out = run_source(
+        program,
+        &RunConfig {
+            seed: 1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     println!(
         "Qutes: qmin={} qmax={} 3*5={}",
         out.output[0], out.output[1], out.output[2]
@@ -58,5 +65,8 @@ fn main() {
         None => println!("\nquantum_find: no element >= 95 in this draw"),
     }
     let res = quantum_maximum(&values, &mut rng).unwrap();
-    println!("maximum of the same database: {} (index {})", res.value, res.index);
+    println!(
+        "maximum of the same database: {} (index {})",
+        res.value, res.index
+    );
 }

@@ -22,8 +22,18 @@ fn main() {
         print hit;
         print miss;
     "#;
-    let out = run_source(program, &RunConfig { seed: 7, ..Default::default() }).unwrap();
-    println!("Qutes `in` operator: hit={} miss={}", out.output[0], out.output[1]);
+    let out = run_source(
+        program,
+        &RunConfig {
+            seed: 7,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    println!(
+        "Qutes `in` operator: hit={} miss={}",
+        out.output[0], out.output[1]
+    );
 
     // --- 2. Library level --------------------------------------------------
     let mut rng = StdRng::seed_from_u64(42);
@@ -41,8 +51,8 @@ fn main() {
     let marked = qutes::algos::substring_oracle::count_matching_strings(n, &pattern);
     let oracle = plan.phase_oracle().unwrap();
     for k in 0..=grover::optimal_iterations(1 << n, marked) + 2 {
-        let res = grover::run_grover(plan.width, &plan.haystack, &oracle, k, 400, &mut rng)
-            .unwrap();
+        let res =
+            grover::run_grover(plan.width, &plan.haystack, &oracle, k, 400, &mut rng).unwrap();
         let measured = res.success_rate(|o| {
             qutes::algos::substring_oracle::matches_at_any_position(o, n, &pattern)
         });

@@ -26,7 +26,14 @@ fn main() {
         acc -= 2;
         print acc;
     "#;
-    let out = run_source(program, &RunConfig { seed: 5, ..Default::default() }).unwrap();
+    let out = run_source(
+        program,
+        &RunConfig {
+            seed: 5,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     println!("program output: {:?}", out.output);
     println!(
         "circuit: {} qubits, {} gates, depth {}",

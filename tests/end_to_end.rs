@@ -33,8 +33,8 @@ fn all_shipped_programs_parse_and_typecheck() {
         let path = entry.unwrap().path();
         if path.extension().is_some_and(|e| e == "qut") {
             let src = fs::read_to_string(&path).unwrap();
-            let parsed = qutes::parse(&src)
-                .unwrap_or_else(|e| panic!("{path:?} failed to parse: {e:?}"));
+            let parsed =
+                qutes::parse(&src).unwrap_or_else(|e| panic!("{path:?} failed to parse: {e:?}"));
             let diags = qutes::core::check_program(&parsed);
             assert!(diags.is_empty(), "{path:?} has type errors: {diags:?}");
             count += 1;
@@ -113,8 +113,5 @@ fn facade_reexports_cover_the_stack() {
     assert!(qasm.contains("OPENQASM 2.0"));
     let back = qutes::qasm::from_qasm2(&qasm).unwrap();
     assert_eq!(back.num_qubits(), 2);
-    assert_eq!(
-        qutes::algos::grover::optimal_iterations(16, 1),
-        3
-    );
+    assert_eq!(qutes::algos::grover::optimal_iterations(16, 1), 3);
 }

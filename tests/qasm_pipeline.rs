@@ -16,9 +16,8 @@ fn circuit_of(src: &str) -> qutes::qcirc::QuantumCircuit {
 
 #[test]
 fn bell_program_roundtrips_through_qasm2() {
-    let circuit = circuit_of(
-        "qubit a = |0>; qubit b = |0>; hadamard a; cnot a, b; print a; print b;",
-    );
+    let circuit =
+        circuit_of("qubit a = |0>; qubit b = |0>; hadamard a; cnot a, b; print a; print b;");
     let text = to_qasm2(&circuit).unwrap();
     let back = from_qasm2(&text).unwrap();
     assert_eq!(back.num_qubits(), circuit.num_qubits());

@@ -1,0 +1,233 @@
+//! Vendored, dependency-free drop-in for the subset of the `criterion`
+//! API this workspace's benches use.
+//!
+//! The workspace builds in hermetic environments with no crates-io
+//! access, so external dev-dependencies are replaced by in-repo path
+//! crates. This harness keeps the bench *structure* (groups, ids,
+//! parameterised inputs) and reports median wall-clock ns/iter from a
+//! few timed batches — adequate for relative comparisons in CI logs,
+//! with none of upstream's statistical machinery.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier so the optimizer cannot elide benched work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// A `group/function/parameter` label for one benchmark.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Joins a function name and a parameter display, `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// Runs one benchmark body repeatedly and records timings.
+pub struct Bencher {
+    samples: Vec<f64>,
+    target_batches: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then taking timed batches
+    /// until the measurement window is filled.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also estimates per-iteration cost to size batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Spread the measurement window across the requested batches.
+        let batches = self.target_batches.clamp(2, 100) as f64;
+        let batch = ((self.measurement_time.as_secs_f64() / batches / per_iter.max(1e-9)) as u64)
+            .clamp(1, 1_000_000);
+        let deadline = Instant::now() + self.measurement_time;
+        while Instant::now() < deadline {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples
+                .push(t0.elapsed().as_secs_f64() / batch as f64 * 1e9);
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed batches to spread the measurement window over.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up window per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement window per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benches a closure under `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchId>, mut f: F) {
+        let label = id.into().0;
+        let mut b = Bencher {
+            samples: Vec::new(),
+            target_batches: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+        };
+        f(&mut b);
+        report(&self.name, &label, &mut b.samples);
+    }
+
+    /// Benches a closure that receives `input` by reference.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (upstream finalizes reports here; we report as
+    /// each benchmark completes).
+    pub fn finish(self) {}
+}
+
+/// Either a plain string label or a [`BenchmarkId`].
+pub struct BenchId(String);
+
+impl From<&str> for BenchId {
+    fn from(s: &str) -> Self {
+        BenchId(s.to_string())
+    }
+}
+
+impl From<String> for BenchId {
+    fn from(s: String) -> Self {
+        BenchId(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchId {
+    fn from(id: BenchmarkId) -> Self {
+        BenchId(id.label)
+    }
+}
+
+fn report(group: &str, label: &str, samples: &mut [f64]) {
+    if samples.is_empty() {
+        println!("{group}/{label}: no samples");
+        return;
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    let lo = samples[0];
+    let hi = samples[samples.len() - 1];
+    println!("{group}/{label}: median {median:.1} ns/iter (min {lo:.1}, max {hi:.1})");
+}
+
+/// The top-level benchmark harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// A fresh harness with default timing windows.
+    pub fn new() -> Self {
+        Criterion {}
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+            sample_size: 100,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(1000),
+        }
+    }
+
+    /// Benches a closure outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, label: &str, f: F) {
+        let mut g = self.benchmark_group("bench");
+        g.bench_function(label, f);
+        g.finish();
+    }
+}
+
+/// Declares a group-runner function invoking each bench fn in turn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::new();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        let mut g = c.benchmark_group("t");
+        g.sample_size(10)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.bench_with_input(BenchmarkId::new("sq", 7), &7u64, |b, &n| {
+            b.iter(|| black_box(n * n))
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::new();
+        trivial(&mut c);
+        criterion_group!(benches, trivial);
+        benches();
+    }
+}

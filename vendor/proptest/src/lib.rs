@@ -1,0 +1,949 @@
+//! Vendored, dependency-free drop-in for the subset of the `proptest` API
+//! this workspace uses.
+//!
+//! The workspace builds in hermetic environments with no crates-io access,
+//! so external dev-dependencies are replaced by in-repo path crates. This
+//! implementation keeps the property-testing *semantics* the test suites
+//! rely on — random generation from composable [`strategy::Strategy`]
+//! values, deterministic per-test seeding, rejection via `prop_assume!`,
+//! and failure reporting via `prop_assert*!` — but performs no shrinking:
+//! a failing case reports its message directly.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Test configuration, RNG, and case outcomes.
+
+    /// Per-block configuration, selected with
+    /// `#![proptest_config(ProptestConfig::with_cases(n))]`.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of successful (non-rejected) cases required per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Outcome of a single generated case.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// The case was rejected (`prop_assume!` failed / filter miss);
+        /// it does not count toward the case budget.
+        Reject(String),
+        /// The property failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A rejection with the given reason.
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+
+        /// A failure with the given message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError::Fail(message.into())
+        }
+    }
+
+    /// Deterministic SplitMix64 generator driving all strategies. Each
+    /// test derives its stream from its own name, so runs are stable
+    /// across processes and machines.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds from a test name (FNV-1a) so every test has a distinct
+        /// but reproducible stream.
+        pub fn from_name(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform integer in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: usize) -> usize {
+            assert!(bound > 0, "below(0)");
+            (self.next_u64() % bound as u64) as usize
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::Range;
+    use std::sync::Arc;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Object-safe core (`generate`) plus `Self: Sized` combinators, so
+    /// strategies can be type-erased into [`BoxedStrategy`].
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Keeps only values passing `pred`, retrying on misses.
+        fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                whence,
+                pred,
+            }
+        }
+
+        /// Maps through `f`, retrying whenever `f` returns `None`.
+        fn prop_filter_map<U, F>(self, whence: &'static str, f: F) -> FilterMap<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> Option<U>,
+        {
+            FilterMap {
+                inner: self,
+                whence,
+                f,
+            }
+        }
+
+        /// Builds a recursive strategy: `self` generates leaves and `f`
+        /// lifts an inner strategy into a branch, nested `depth` levels.
+        /// (`_desired_size` / `_expected_branch` accepted for upstream
+        /// signature compatibility; depth alone bounds recursion here.)
+        fn prop_recursive<F, S>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S,
+            S: Strategy<Value = Self::Value> + 'static,
+        {
+            let leaf = self.boxed();
+            let mut current = leaf.clone();
+            for _ in 0..depth {
+                let branch = f(current).boxed();
+                // Interior levels prefer branching 3:1 so trees actually
+                // recurse; the leaf keeps generation finite.
+                current = Union::weighted(vec![(1, leaf.clone()), (3, branch)]).boxed();
+            }
+            current
+        }
+
+        /// Type-erases this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T>(Arc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    const FILTER_RETRIES: usize = 10_000;
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: &'static str,
+        pred: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..FILTER_RETRIES {
+                let v = self.inner.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter '{}' rejected every candidate", self.whence)
+        }
+    }
+
+    /// See [`Strategy::prop_filter_map`].
+    pub struct FilterMap<S, F> {
+        inner: S,
+        whence: &'static str,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for FilterMap<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Option<U>,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            for _ in 0..FILTER_RETRIES {
+                if let Some(v) = (self.f)(self.inner.generate(rng)) {
+                    return v;
+                }
+            }
+            panic!("prop_filter_map '{}' rejected every candidate", self.whence)
+        }
+    }
+
+    /// Uniform or weighted choice among boxed alternatives (backs
+    /// `prop_oneof!` and `prop_recursive`).
+    pub struct Union<T> {
+        options: Vec<(u32, BoxedStrategy<T>)>,
+        total_weight: u64,
+    }
+
+    impl<T> Union<T> {
+        /// Equal-weight union; panics on an empty list.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            Self::weighted(options.into_iter().map(|s| (1, s)).collect())
+        }
+
+        /// Weighted union; panics if empty or all-zero-weight.
+        pub fn weighted(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total_weight: u64 = options.iter().map(|&(w, _)| w as u64).sum();
+            assert!(total_weight > 0, "Union needs at least one weighted option");
+            Union {
+                options,
+                total_weight,
+            }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.next_u64() % self.total_weight;
+            for (w, s) in &self.options {
+                let w = *w as u64;
+                if pick < w {
+                    return s.generate(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weights summed over total")
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(
+                        self.start < self.end,
+                        "cannot generate from empty range {}..{}",
+                        self.start,
+                        self.end
+                    );
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+        )*}
+    }
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty f64 range");
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty f32 range");
+            self.start + (rng.next_f64() as f32) * (self.end - self.start)
+        }
+    }
+
+    /// String-literal strategies: the literal is a regex-subset pattern
+    /// (char classes with `{m,n}` / `*` / `+`, and `\PC`).
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate(self, rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($n:ident $idx:tt),+);)*) => {$(
+            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                type Value = ($($n::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*}
+    }
+    impl_tuple_strategy! {
+        (A 0);
+        (A 0, B 1);
+        (A 0, B 1, C 2);
+        (A 0, B 1, C 2, D 3);
+        (A 0, B 1, C 2, D 3, E 4);
+        (A 0, B 1, C 2, D 3, E 4, F 5);
+    }
+
+    /// Full-range strategy for primitive types (backs [`crate::arbitrary::any`]).
+    pub struct Any<T>(pub(crate) PhantomData<T>);
+
+    macro_rules! impl_any_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*}
+    }
+    impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() >> 63 == 1
+        }
+    }
+
+    impl Strategy for Any<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            // Finite, broadly ranged values (no NaN/inf surprises).
+            (rng.next_f64() - 0.5) * 2e6
+        }
+    }
+
+    impl Strategy for Any<char> {
+        type Value = char;
+        fn generate(&self, rng: &mut TestRng) -> char {
+            char::from_u32(rng.below(0xD800 - 1) as u32 + 1).unwrap_or('a')
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! The [`any`] entry point.
+
+    use crate::strategy::Any;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// The strategy [`any`] returns.
+        type Strategy: crate::strategy::Strategy<Value = Self>;
+        /// Builds that strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    macro_rules! impl_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                type Strategy = Any<$t>;
+                fn arbitrary() -> Any<$t> {
+                    Any(PhantomData)
+                }
+            }
+        )*}
+    }
+    impl_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64, char);
+
+    /// The canonical strategy for `A`.
+    pub fn any<A: Arbitrary>() -> A::Strategy {
+        A::arbitrary()
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Size specifications accepted by [`vec`].
+    pub trait IntoSizeRange {
+        /// `(min, max)` inclusive bounds.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    /// A `Vec` of values from `element`, with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { element, min, max }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.min + rng.below(self.max - self.min + 1);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// `Some(inner)` three times out of four, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling from fixed collections.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A random subsequence of `items` of exactly `size` elements, in
+    /// their original relative order.
+    pub fn subsequence<T: Clone>(items: Vec<T>, size: usize) -> Subsequence<T> {
+        assert!(size <= items.len(), "subsequence larger than source");
+        Subsequence { items, size }
+    }
+
+    /// See [`subsequence`].
+    pub struct Subsequence<T: Clone> {
+        items: Vec<T>,
+        size: usize,
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+            // Choose `size` distinct indices by partial Fisher–Yates,
+            // then restore source order.
+            let mut idx: Vec<usize> = (0..self.items.len()).collect();
+            for i in 0..self.size {
+                let j = i + rng.below(idx.len() - i);
+                idx.swap(i, j);
+            }
+            let mut chosen = idx[..self.size].to_vec();
+            chosen.sort_unstable();
+            chosen.into_iter().map(|i| self.items[i].clone()).collect()
+        }
+    }
+}
+
+mod string {
+    //! Tiny regex-subset string generator for string-literal strategies.
+    //!
+    //! Supported shapes (everything the workspace's tests use):
+    //! * `[class]` with ranges (`a-z`, ` -~`), literals, and `\n`/`\t`/
+    //!   `\r`/`\\`/`\]`/`\-` escapes;
+    //! * quantifiers `{m,n}`, `{m}`, `*` (0–32), `+` (1–32) after a class;
+    //! * `\PC` — "not control" — any printable char, ASCII or not;
+    //! * concatenations of the above; bare literal characters stand for
+    //!   themselves.
+
+    use crate::test_runner::TestRng;
+
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let (pool, next) = parse_atom(&chars, i, pattern);
+            let (lo, hi, next) = parse_quantifier(&chars, next, pattern);
+            let reps = lo + rng.below(hi - lo + 1);
+            for _ in 0..reps {
+                match &pool {
+                    Pool::Chars(cs) => out.push(cs[rng.below(cs.len())]),
+                    Pool::Printable => out.push(printable(rng)),
+                }
+            }
+            i = next;
+        }
+        out
+    }
+
+    enum Pool {
+        Chars(Vec<char>),
+        Printable,
+    }
+
+    fn printable(rng: &mut TestRng) -> char {
+        // Mix ASCII with a sprinkling of multibyte codepoints so lexer
+        // totality is exercised on non-ASCII input too.
+        const EXOTIC: &[char] = &['é', 'λ', 'Ω', '中', '🙂', '±', 'ß', '€', '𝛼', '„'];
+        match rng.below(4) {
+            0 => EXOTIC[rng.below(EXOTIC.len())],
+            _ => (b' ' + rng.below(95) as u8) as char,
+        }
+    }
+
+    fn parse_atom(chars: &[char], i: usize, pattern: &str) -> (Pool, usize) {
+        match chars[i] {
+            '[' => {
+                let mut pool = Vec::new();
+                let mut j = i + 1;
+                while j < chars.len() && chars[j] != ']' {
+                    let c = if chars[j] == '\\' {
+                        j += 1;
+                        match chars.get(j) {
+                            Some('n') => '\n',
+                            Some('t') => '\t',
+                            Some('r') => '\r',
+                            Some(&other) => other,
+                            None => panic!("dangling escape in pattern '{pattern}'"),
+                        }
+                    } else {
+                        chars[j]
+                    };
+                    // Range `c-d` (a '-' that is neither first nor last).
+                    if chars.get(j + 1) == Some(&'-') && j + 2 < chars.len() && chars[j + 2] != ']'
+                    {
+                        let hi = chars[j + 2];
+                        for code in c as u32..=hi as u32 {
+                            if let Some(ch) = char::from_u32(code) {
+                                pool.push(ch);
+                            }
+                        }
+                        j += 3;
+                    } else {
+                        pool.push(c);
+                        j += 1;
+                    }
+                }
+                assert!(j < chars.len(), "unclosed '[' in pattern '{pattern}'");
+                assert!(!pool.is_empty(), "empty char class in pattern '{pattern}'");
+                (Pool::Chars(pool), j + 1)
+            }
+            '\\' => match chars.get(i + 1) {
+                // \PC — "not a control character".
+                Some('P') if chars.get(i + 2) == Some(&'C') => (Pool::Printable, i + 3),
+                Some('n') => (Pool::Chars(vec!['\n']), i + 2),
+                Some('t') => (Pool::Chars(vec!['\t']), i + 2),
+                Some(&other) => (Pool::Chars(vec![other]), i + 2),
+                None => panic!("dangling escape in pattern '{pattern}'"),
+            },
+            other => (Pool::Chars(vec![other]), i + 1),
+        }
+    }
+
+    fn parse_quantifier(chars: &[char], i: usize, pattern: &str) -> (usize, usize, usize) {
+        match chars.get(i) {
+            Some('*') => (0, 32, i + 1),
+            Some('+') => (1, 32, i + 1),
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed '{{' in pattern '{pattern}'"));
+                let body: String = chars[i + 1..close].iter().collect();
+                let (lo, hi) = match body.split_once(',') {
+                    Some((a, b)) => (
+                        a.trim().parse().expect("bad quantifier"),
+                        b.trim().parse().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("bad quantifier");
+                        (n, n)
+                    }
+                };
+                (lo, hi, close + 1)
+            }
+            _ => (1, 1, i),
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property-test file needs.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// The crate root, re-exported under the conventional `prop` alias
+    /// (`prop::collection::vec`, `prop::option::of`, …).
+    pub use crate as prop;
+}
+
+/// Uniform choice among strategies (weighted arms are not supported).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Asserts within a property body; failure fails the case (no panic
+/// mid-generation, so the harness can report the message cleanly).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion within a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+            stringify!($lhs), stringify!($rhs), lhs, rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+), lhs, rhs
+        );
+    }};
+}
+
+/// Inequality assertion within a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs != *rhs,
+            "assertion failed: `{}` != `{}`\n  both: {:?}",
+            stringify!($lhs),
+            stringify!($rhs),
+            lhs
+        );
+    }};
+}
+
+/// Rejects the current case (it does not count toward the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            @cfg ($crate::test_runner::ProptestConfig::default())
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr)) => {};
+    (@cfg ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg_pat:pat in $arg_strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::from_name(concat!(
+                ::core::module_path!(), "::", stringify!($name)
+            ));
+            let cases = config.cases as usize;
+            let mut passed = 0usize;
+            let mut attempts = 0usize;
+            while passed < cases {
+                attempts += 1;
+                assert!(
+                    attempts <= cases * 100 + 1000,
+                    "proptest '{}': too many rejected cases ({} passed of {})",
+                    stringify!($name), passed, cases
+                );
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $(
+                            let $arg_pat =
+                                $crate::strategy::Strategy::generate(&($arg_strategy), &mut rng);
+                        )+
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => passed += 1,
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!("proptest '{}' failed: {}", stringify!($name), msg);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl! { @cfg ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::from_name("bounds");
+        let s = (0usize..10, -5i64..5, -1.0..1.0f64);
+        for _ in 0..200 {
+            let (a, b, c) = s.generate(&mut rng);
+            assert!(a < 10);
+            assert!((-5..5).contains(&b));
+            assert!((-1.0..1.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut rng = TestRng::from_name("strings");
+        for _ in 0..100 {
+            let s = "[a-z]{1,6}".generate(&mut rng);
+            assert!((1..=6).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+
+            let t = "[01]{1,6}".generate(&mut rng);
+            assert!(t.chars().all(|c| c == '0' || c == '1'));
+
+            let p = "[ -~]{0,20}".generate(&mut rng);
+            assert!(p.chars().all(|c| (' '..='~').contains(&c)), "{p:?}");
+
+            let any = "\\PC*".generate(&mut rng);
+            assert!(any.chars().count() <= 32);
+        }
+    }
+
+    #[test]
+    fn oneof_and_filter_map_work() {
+        let mut rng = TestRng::from_name("oneof");
+        let s = prop_oneof![
+            (0usize..4, 0usize..4).prop_filter_map("distinct", |(a, b)| (a != b).then_some((a, b))),
+            Just((9usize, 9usize)),
+        ];
+        let mut saw_just = false;
+        for _ in 0..200 {
+            let (a, b) = s.generate(&mut rng);
+            if (a, b) == (9, 9) {
+                saw_just = true;
+            } else {
+                assert_ne!(a, b);
+            }
+        }
+        assert!(saw_just);
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Clone, Debug)]
+        enum Tree {
+            Leaf(#[allow(dead_code)] i64),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(c) => 1 + c.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = (0i64..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 24, 4, |inner| {
+                prop::collection::vec(inner, 0..3).prop_map(Tree::Node)
+            });
+        let mut rng = TestRng::from_name("recursive");
+        let mut max_depth = 0;
+        for _ in 0..300 {
+            max_depth = max_depth.max(depth(&strat.generate(&mut rng)));
+        }
+        assert!(max_depth > 1, "recursion never branched");
+        assert!(max_depth <= 4, "depth bound violated: {max_depth}");
+    }
+
+    #[test]
+    fn subsequence_preserves_order() {
+        let mut rng = TestRng::from_name("subseq");
+        let s = prop::sample::subsequence(vec![0usize, 1, 2, 3], 3);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert_eq!(v.len(), 3);
+            assert!(v.windows(2).all(|w| w[0] < w[1]), "{v:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_binds_and_asserts(x in 0u64..100, mut v in prop::collection::vec(0u64..10, 1..4)) {
+            v.sort_unstable();
+            prop_assume!(x < 99);
+            prop_assert!(x < 100);
+            prop_assert_eq!(v.len(), v.len());
+        }
+    }
+}
