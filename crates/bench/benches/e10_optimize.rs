@@ -1,0 +1,75 @@
+//! E10 bench: the circuit-optimization pipeline — cost of the optimizer
+//! itself, and end-to-end shot execution at each `opt_level` so the
+//! fused-gate payoff is visible as wall-clock, not just gate counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qutes_algos::grover::{grover_circuit, mark_states_oracle};
+use qutes_algos::qft::{iqft, qft};
+use qutes_qcirc::execute::run_shots_cfg;
+use qutes_qcirc::{optimize, ExecutionConfig, QuantumCircuit};
+use std::time::Duration;
+
+fn grover(n: usize) -> QuantumCircuit {
+    let qubits: Vec<usize> = (0..n).collect();
+    let oracle = mark_states_oracle(n, &qubits, &[1]).unwrap();
+    grover_circuit(n, &qubits, &oracle, 1).unwrap()
+}
+
+/// QFT followed by its inverse: the level-1 showcase — the whole body
+/// cancels.
+fn qft_roundtrip(n: usize) -> QuantumCircuit {
+    let mut c = QuantumCircuit::with_qubits(n);
+    let qubits: Vec<usize> = (0..n).collect();
+    for q in 0..n {
+        c.h(q).unwrap();
+    }
+    qft(&mut c, &qubits).unwrap();
+    iqft(&mut c, &qubits).unwrap();
+    c
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_optimize");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+
+    let shots = 256usize;
+    for n in [4usize, 8] {
+        let circuit = grover(n);
+        g.bench_with_input(BenchmarkId::new("optimizer_pass_l2", n), &n, |b, _| {
+            b.iter(|| optimize(&circuit, 2).unwrap())
+        });
+        for level in [0u8, 1, 2] {
+            let cfg = ExecutionConfig::default()
+                .with_shots(shots)
+                .with_seed(1)
+                .with_opt_level(level);
+            g.bench_with_input(
+                BenchmarkId::new(format!("grover_shots_l{level}"), n),
+                &n,
+                |b, _| b.iter(|| run_shots_cfg(&circuit, &cfg).unwrap()),
+            );
+        }
+    }
+
+    for n in [6usize, 10] {
+        let circuit = qft_roundtrip(n);
+        for level in [0u8, 1] {
+            let cfg = ExecutionConfig::default()
+                .with_shots(shots)
+                .with_seed(1)
+                .with_opt_level(level);
+            g.bench_with_input(
+                BenchmarkId::new(format!("qft_roundtrip_shots_l{level}"), n),
+                &n,
+                |b, _| b.iter(|| run_shots_cfg(&circuit, &cfg).unwrap()),
+            );
+        }
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! E10 — circuit-optimization pipeline: gate/depth reductions per level.
+use qutes_bench::experiments;
+
+fn main() {
+    println!("E10: optimizer gate/depth reduction (levels 0/1/2)");
+    println!("{}", experiments::e10_optimize().render());
+}

@@ -768,3 +768,103 @@ mod e9_tests {
         }
     }
 }
+
+// ---------------------------------------------------------------- E10 ---
+
+/// E10: circuit-optimization pipeline — gate count and depth before vs
+/// after [`qutes_qcirc::optimize()`] at every level, on the paper's
+/// workhorse circuits (Grover, QFT→IQFT roundtrip, Deutsch–Jozsa).
+pub fn e10_optimize() -> Table {
+    let mut t = Table::new(&[
+        "circuit",
+        "level",
+        "gates_before",
+        "gates_after",
+        "depth_before",
+        "depth_after",
+        "reduction_pct",
+    ]);
+    let mut cases: Vec<(String, QuantumCircuit)> = Vec::new();
+    for n in [4usize, 8] {
+        let qubits: Vec<usize> = (0..n).collect();
+        let oracle = grover::mark_states_oracle(n, &qubits, &[1]).unwrap();
+        let c = grover::grover_circuit(n, &qubits, &oracle, 1).unwrap();
+        cases.push((format!("grover_{n}"), c));
+    }
+    for n in [4usize, 8] {
+        let mut c = QuantumCircuit::with_qubits(n);
+        let qubits: Vec<usize> = (0..n).collect();
+        qutes_algos::qft::qft(&mut c, &qubits).unwrap();
+        qutes_algos::qft::iqft(&mut c, &qubits).unwrap();
+        cases.push((format!("qft_roundtrip_{n}"), c));
+    }
+    {
+        let oracle = deutsch_jozsa::Oracle::Parity {
+            mask: 0b101,
+            flip: false,
+        };
+        let c = deutsch_jozsa::dj_circuit(6, &oracle).unwrap();
+        cases.push(("dj_balanced_6".into(), c));
+    }
+    for (name, c) in &cases {
+        for level in [0u8, 1, 2] {
+            let (_, r) = qutes_qcirc::optimize(c, level).unwrap();
+            t.row(&[
+                name,
+                &level,
+                &r.gates_before,
+                &r.gates_after,
+                &r.depth_before,
+                &r.depth_after,
+                &format!("{:.1}", 100.0 * r.gate_reduction()),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod e10_tests {
+    use super::*;
+
+    /// The ISSUE acceptance bar: >= 20% gate-count reduction on the
+    /// Grover example at opt level 2.
+    #[test]
+    fn e10_grover_reduction_meets_threshold() {
+        let t = e10_optimize();
+        let mut saw_grover_l2 = false;
+        for i in 0..t.len() {
+            if t.cell(i, 0).starts_with("grover") && t.cell(i, 1) == "2" {
+                saw_grover_l2 = true;
+                let pct: f64 = t.cell(i, 6).parse().unwrap();
+                assert!(pct >= 20.0, "row {i}: reduction {pct}% < 20%");
+            }
+        }
+        assert!(saw_grover_l2);
+    }
+
+    /// QFT followed by its inverse should cancel almost entirely at
+    /// level 1 already.
+    #[test]
+    fn e10_qft_roundtrip_cancels_at_level_one() {
+        let t = e10_optimize();
+        for i in 0..t.len() {
+            if t.cell(i, 0).starts_with("qft_roundtrip") && t.cell(i, 1) == "1" {
+                let after: usize = t.cell(i, 3).parse().unwrap();
+                assert_eq!(after, 0, "row {i}: {} gates survive", after);
+            }
+        }
+    }
+
+    /// Level 0 must be a no-op in the table.
+    #[test]
+    fn e10_level_zero_reports_no_change() {
+        let t = e10_optimize();
+        for i in 0..t.len() {
+            if t.cell(i, 1) == "0" {
+                assert_eq!(t.cell(i, 2), t.cell(i, 3), "row {i}");
+                assert_eq!(t.cell(i, 6), "0.0", "row {i}");
+            }
+        }
+    }
+}

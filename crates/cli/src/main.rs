@@ -3,6 +3,7 @@
 //! ```text
 //! qutes run   <file.qut> [--seed N] [--max-steps N] [--stats] [--draw]
 //!             [--noise P] [--readout-error P] [--shots N] [--mem-budget BYTES]
+//!             [--opt-level N]
 //! qutes check <file.qut>
 //! qutes fmt   <file.qut>
 //! qutes qasm  <file.qut> [--v3] [--seed N] [-o out.qasm]
@@ -19,7 +20,10 @@
 //! circuit is additionally replayed `N` times under the same model and
 //! the outcome histogram printed. `--mem-budget` caps the dense
 //! statevector allocation (`16 * 2^n` bytes) with a clean error instead
-//! of an OOM.
+//! of an OOM. `--opt-level` selects the circuit-optimization level used
+//! for the shot replay and the `--stats` report (0 = off, 1 = gate
+//! cancellation + rotation merging, 2 = additionally single-qubit gate
+//! fusion; default 1).
 
 use qutes_core::{run_source, RunConfig};
 use qutes_frontend::{parse, print_program};
@@ -30,7 +34,8 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  qutes run   <file.qut> [--seed N] [--max-steps N] [--stats] [--draw]\n              \
-         [--noise P] [--readout-error P] [--shots N] [--mem-budget BYTES]\n  \
+         [--noise P] [--readout-error P] [--shots N] [--mem-budget BYTES]\n              \
+         [--opt-level N]\n  \
          qutes check <file.qut>\n  qutes fmt   <file.qut>\n  \
          qutes qasm  <file.qut> [--v3] [--seed N] [-o out.qasm]"
     );
@@ -49,6 +54,7 @@ struct Args {
     readout_error: f64,
     shots: usize,
     mem_budget: Option<u64>,
+    opt_level: u8,
 }
 
 fn parse_args(rest: &[String]) -> Result<Args, String> {
@@ -64,6 +70,7 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
         readout_error: 0.0,
         shots: 0,
         mem_budget: None,
+        opt_level: 1,
     };
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -110,6 +117,16 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
                         .parse()
                         .map_err(|_| "--mem-budget needs an integer byte count")?,
                 );
+            }
+            "--opt-level" => {
+                args.opt_level = it
+                    .next()
+                    .ok_or("--opt-level needs a value")?
+                    .parse()
+                    .map_err(|_| "--opt-level needs 0, 1, or 2")?;
+                if args.opt_level > 2 {
+                    return Err("--opt-level needs 0, 1, or 2".into());
+                }
             }
             "--stats" => args.stats = true,
             "--draw" => args.draw = true,
@@ -173,6 +190,7 @@ fn main() -> ExitCode {
                 noise: noise_from_args(&args),
                 shots: args.shots,
                 memory_budget_bytes: args.mem_budget,
+                opt_level: args.opt_level,
                 ..RunConfig::default()
             };
             match run_source(&source, &cfg) {
@@ -193,6 +211,22 @@ fn main() -> ExitCode {
                             "[stats] qubits={} measurements={} ops={} depth={}",
                             out.qubits_used, out.measurements, stats.size, stats.depth
                         );
+                        match qutes_qcirc::optimize(&out.circuit, args.opt_level) {
+                            Ok((_, r)) => eprintln!(
+                                "[opt] level={} gates {} -> {} depth {} -> {} \
+                                 (cancelled={} merged={} fused={} reduction={:.1}%)",
+                                r.level,
+                                r.gates_before,
+                                r.gates_after,
+                                r.depth_before,
+                                r.depth_after,
+                                r.cancelled,
+                                r.merged,
+                                r.fused,
+                                100.0 * r.gate_reduction()
+                            ),
+                            Err(e) => eprintln!("[opt] failed: {e}"),
+                        }
                     }
                     ExitCode::SUCCESS
                 }

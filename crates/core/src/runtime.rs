@@ -42,6 +42,9 @@ pub struct RunConfig {
     /// Cap on the dense-statevector allocation in bytes (`16 * 2^n`),
     /// enforced before every qubit allocation.
     pub memory_budget_bytes: Option<u64>,
+    /// Circuit-optimization level for the post-run shot replay
+    /// (0 = off, 1 = cancel/merge, 2 = +fusion). Default 1.
+    pub opt_level: u8,
 }
 
 impl Default for RunConfig {
@@ -54,6 +57,7 @@ impl Default for RunConfig {
             noise: None,
             shots: 0,
             memory_budget_bytes: None,
+            opt_level: 1,
         }
     }
 }
@@ -137,7 +141,8 @@ pub fn run_program(program: &Program, config: &RunConfig) -> QutesResult<RunOutc
     let counts = if config.shots > 0 && circuit.num_clbits() > 0 {
         let mut exec_cfg = qutes_qcirc::ExecutionConfig::default()
             .with_shots(config.shots)
-            .with_seed(config.seed);
+            .with_seed(config.seed)
+            .with_opt_level(config.opt_level);
         if let Some(nm) = &config.noise {
             exec_cfg = exec_cfg.with_noise(nm.clone());
         }

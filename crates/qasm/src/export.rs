@@ -202,8 +202,28 @@ fn emit_qasm2_gate(c: &QuantumCircuit, g: &Gate, s: &mut String) -> QasmResult<(
             // QASM 2 has no global-phase statement; record it as a comment.
             let _ = writeln!(s, "// global phase {}", fmt_f(*t));
         }
-        MCX { .. } | MCPhase { .. } => {
-            unreachable!("Standard-basis transpile removes multi-controlled gates")
+        MCX { .. } | MCPhase { .. } | Unitary { .. } => {
+            // Standard-basis transpile removes multi-controlled and
+            // raw-matrix gates, but hand-built gate streams can still
+            // reach here; emit the ZYZ form directly.
+            if let Unitary { target, matrix } = g {
+                let (theta, phi, lambda, alpha) = qutes_sim::gates::zyz_decompose(matrix);
+                if alpha.abs() > 1e-15 {
+                    let _ = writeln!(s, "// global phase {}", fmt_f(alpha));
+                }
+                let _ = writeln!(
+                    s,
+                    "u3({},{},{}) {};",
+                    fmt_f(theta),
+                    fmt_f(phi),
+                    fmt_f(lambda),
+                    q(*target)?
+                );
+            } else {
+                return Err(QasmError::Unsupported(
+                    "multi-controlled gates must be transpiled to the Standard basis first",
+                ));
+            }
         }
     }
     Ok(())
@@ -353,6 +373,20 @@ fn emit_qasm3_gate(c: &QuantumCircuit, g: &Gate, s: &mut String) -> QasmResult<(
         }
         GlobalPhase(t) => {
             let _ = writeln!(s, "gphase({});", fmt_f(*t));
+        }
+        Unitary { target, matrix } => {
+            let (theta, phi, lambda, alpha) = qutes_sim::gates::zyz_decompose(matrix);
+            if alpha.abs() > 1e-15 {
+                let _ = writeln!(s, "gphase({});", fmt_f(alpha));
+            }
+            let _ = writeln!(
+                s,
+                "U({},{},{}) {};",
+                fmt_f(theta),
+                fmt_f(phi),
+                fmt_f(lambda),
+                q(*target)?
+            );
         }
     }
     Ok(())

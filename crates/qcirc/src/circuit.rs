@@ -587,6 +587,10 @@ pub fn remap_gate(g: &Gate, qmap: &[usize], cmap: &[usize]) -> Gate {
             gate: Box::new(remap_gate(gate, qmap, cmap)),
         },
         GlobalPhase(t) => GlobalPhase(*t),
+        Unitary { target, matrix } => Unitary {
+            target: q(*target),
+            matrix: *matrix,
+        },
     }
 }
 

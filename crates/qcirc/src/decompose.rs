@@ -144,6 +144,16 @@ fn push_u(ops: &mut Vec<Gate>, target: usize, theta: f64, phi: f64, lambda: f64)
     });
 }
 
+/// Lowers a raw-matrix unitary to `GlobalPhase + U` via ZYZ decomposition,
+/// keeping the statevector bit-for-bit identical.
+fn lower_unitary(ops: &mut Vec<Gate>, target: usize, matrix: &qutes_sim::Matrix2) {
+    let (theta, phi, lambda, alpha) = qutes_sim::gates::zyz_decompose(matrix);
+    if alpha.abs() > 1e-15 {
+        ops.push(Gate::GlobalPhase(alpha));
+    }
+    push_u(ops, target, theta, phi, lambda);
+}
+
 /// Rewrites one gate into the `{U, CX}` basis (recursively).
 fn lower_to_cx_u(g: &Gate, ops: &mut Vec<Gate>) -> CircResult<()> {
     use Gate::*;
@@ -177,6 +187,7 @@ fn lower_to_cx_u(g: &Gate, ops: &mut Vec<Gate>) -> CircResult<()> {
         U { .. } | CX { .. } | Measure { .. } | Reset(_) | Barrier(_) | GlobalPhase(_) => {
             ops.push(g.clone());
         }
+        Unitary { target, matrix } => lower_unitary(ops, *target, matrix),
         CY { control, target } => {
             // CY = Sdg(t) CX S(t)
             lower_to_cx_u(&Sdg(*target), ops)?;
@@ -335,6 +346,7 @@ fn lower_to_standard(g: &Gate, ops: &mut Vec<Gate>) -> CircResult<()> {
                 });
             }
         }
+        Unitary { target, matrix } => lower_unitary(ops, *target, matrix),
         other => ops.push(other.clone()),
     }
     Ok(())

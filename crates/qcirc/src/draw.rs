@@ -39,6 +39,7 @@ fn gate_symbols(g: &Gate) -> (String, &'static str) {
         Gate::Barrier(_) => "|".into(),
         Gate::Conditional { .. } => "?".into(),
         Gate::GlobalPhase(_) => "gφ".into(),
+        Gate::Unitary { .. } => "U*".into(),
     };
     (label, ctrl)
 }

@@ -48,6 +48,10 @@ pub struct ExecutionConfig {
     /// Cap on the dense-state allocation, checked pre-flight against the
     /// `16 * 2^n` bytes estimate. `None` means unlimited.
     pub memory_budget_bytes: Option<u64>,
+    /// Optimization level applied by [`run_once_cfg`]/[`run_shots_cfg`]
+    /// before execution: 0 = off, 1 = cancellation + rotation merging,
+    /// 2 = additionally single-qubit gate fusion. See [`mod@crate::optimize`].
+    pub opt_level: u8,
 }
 
 impl Default for ExecutionConfig {
@@ -58,6 +62,7 @@ impl Default for ExecutionConfig {
             noise: None,
             max_gate_applications: None,
             memory_budget_bytes: None,
+            opt_level: 1,
         }
     }
 }
@@ -91,6 +96,25 @@ impl ExecutionConfig {
     pub fn with_memory_budget(mut self, bytes: u64) -> Self {
         self.memory_budget_bytes = Some(bytes);
         self
+    }
+
+    /// Sets the optimization level (0 = off, 1 = cancel/merge,
+    /// 2 = +fusion).
+    pub fn with_opt_level(mut self, level: u8) -> Self {
+        self.opt_level = level;
+        self
+    }
+
+    /// The circuit actually executed: the input rewritten by
+    /// [`crate::optimize::optimize`] at this config's level, or an
+    /// unmodified clone at level 0. Gate budgets are charged against this
+    /// circuit, so optimized-away gates cost nothing.
+    fn optimized(&self, circuit: &QuantumCircuit) -> CircResult<QuantumCircuit> {
+        if self.opt_level == 0 {
+            return Ok(circuit.clone());
+        }
+        let (opt, _) = crate::optimize::optimize(circuit, self.opt_level)?;
+        Ok(opt)
     }
 
     /// Checks the noise probabilities (if any) are valid.
@@ -321,6 +345,7 @@ fn apply_unitary(state: &mut StateVector, g: &Gate) -> CircResult<()> {
         } => state.apply_controlled(&gates::phase(*lambda), controls, *target)?,
         Swap { a, b } => state.apply_swap(*a, *b)?,
         CSwap { control, a, b } => state.apply_controlled_swap(&[*control], *a, *b)?,
+        Unitary { target, matrix } => state.apply_single(matrix, *target)?,
         Measure { .. } | Reset(_) | Barrier(_) | Conditional { .. } | GlobalPhase(_) => {
             return Err(CircError::NonUnitary(g.name()));
         }
@@ -401,8 +426,9 @@ pub fn run_once<R: Rng + ?Sized>(circuit: &QuantumCircuit, rng: &mut R) -> CircR
 pub fn run_once_cfg(circuit: &QuantumCircuit, cfg: &ExecutionConfig) -> CircResult<Shot> {
     cfg.validate()?;
     cfg.check_memory(circuit.num_qubits())?;
+    let circuit = cfg.optimized(circuit)?;
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    run_once_full(circuit, &mut rng, cfg.effective_noise(), cfg.budget())
+    run_once_full(&circuit, &mut rng, cfg.effective_noise(), cfg.budget())
 }
 
 fn run_once_full<R: Rng + ?Sized>(
@@ -484,8 +510,9 @@ pub fn run_shots<R: Rng + ?Sized>(
 pub fn run_shots_cfg(circuit: &QuantumCircuit, cfg: &ExecutionConfig) -> CircResult<Counts> {
     cfg.validate()?;
     cfg.check_memory(circuit.num_qubits())?;
+    let circuit = cfg.optimized(circuit)?;
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    run_shots_full(circuit, cfg.shots, &mut rng, cfg.effective_noise(), cfg)
+    run_shots_full(&circuit, cfg.shots, &mut rng, cfg.effective_noise(), cfg)
 }
 
 fn run_shots_full<R: Rng + ?Sized>(

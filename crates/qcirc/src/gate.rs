@@ -5,6 +5,7 @@
 //! measurement, reset, barriers, and classically-conditioned gates (used
 //! for teleportation-style corrections in the entanglement-swap builtin).
 
+use qutes_sim::Matrix2;
 use std::fmt;
 
 /// One circuit instruction.
@@ -164,6 +165,19 @@ pub enum Gate {
     },
     /// Global phase `e^{i theta}` on the whole state.
     GlobalPhase(f64),
+    /// An arbitrary single-qubit unitary given as an explicit matrix.
+    ///
+    /// Produced by the optimizer's gate-fusion pass
+    /// ([`mod@crate::optimize`]), which collapses runs of single-qubit gates
+    /// into one matrix application; it can also be appended directly.
+    /// The matrix is applied verbatim by the simulator and re-expressed
+    /// via ZYZ decomposition for QASM export.
+    Unitary {
+        /// Target qubit.
+        target: usize,
+        /// The 2x2 unitary to apply.
+        matrix: Matrix2,
+    },
 }
 
 impl Gate {
@@ -179,7 +193,8 @@ impl Gate {
             | RX { target, .. }
             | RY { target, .. }
             | RZ { target, .. }
-            | U { target, .. } => vec![*target],
+            | U { target, .. }
+            | Unitary { target, .. } => vec![*target],
             CX { control, target }
             | CY { control, target }
             | CZ { control, target }
@@ -246,6 +261,7 @@ impl Gate {
             Barrier(_) => "barrier",
             Conditional { .. } => "if",
             GlobalPhase(_) => "gphase",
+            Unitary { .. } => "unitary",
         }
     }
 
@@ -350,6 +366,10 @@ impl Gate {
                 gate: Box::new(gate.inverse()?),
             },
             GlobalPhase(t) => GlobalPhase(-t),
+            Unitary { target, matrix } => Unitary {
+                target: *target,
+                matrix: matrix.adjoint(),
+            },
             Measure { .. } | Reset(_) | Barrier(_) => return None,
         })
     }

@@ -34,6 +34,7 @@ pub mod error;
 pub mod execute;
 pub mod gate;
 pub mod metrics;
+pub mod optimize;
 pub mod register;
 
 pub use circuit::{remap_gate, QuantumCircuit};
@@ -46,4 +47,5 @@ pub use execute::{
 };
 pub use gate::Gate;
 pub use metrics::CircuitStats;
+pub use optimize::{optimize, OptimizationReport};
 pub use register::{ClassicalRegister, QuantumRegister};

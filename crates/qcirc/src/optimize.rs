@@ -1,0 +1,840 @@
+//! Circuit optimization: a composable pass pipeline over the IR.
+//!
+//! The paper's Python stack leans on Qiskit's transpiler to shrink the
+//! circuits its `QuantumCircuitHandler` logs before execution; this module
+//! plays that role for the Rust substrate. Three passes are provided,
+//! selected by an optimization level:
+//!
+//! * **Peephole cancellation** (level >= 1) — adjacent inverse pairs on
+//!   the same wires annihilate (`H·H`, `X·X`, `CX·CX`, `S·S†`, adjoint
+//!   rotations, unordered `SWAP·SWAP`, …). Adjacency is *commutation
+//!   aware*: gates on disjoint qubits between the pair do not block it.
+//! * **Rotation merging** (level >= 1) — same-axis rotations and phase
+//!   gates on the same wires combine (`RZ(a)·RZ(b) → RZ(a+b)`), dropping
+//!   the result when the combined angle is negligible. Global phases
+//!   merge unconditionally (scalars commute with everything).
+//! * **Single-qubit gate fusion** (level >= 2) — maximal runs of
+//!   single-qubit gates on one wire collapse into a single fused
+//!   [`Gate::Unitary`] matrix, consumed directly by
+//!   `qsim::StateVector::apply_single`. One matrix application replaces
+//!   `k` sweeps over the statevector — the dominant lever for dense
+//!   statevector emulators.
+//!
+//! All passes preserve the circuit's action on the statevector: the only
+//! deliberate approximations are dropping phase-family gates whose
+//! accumulated angle is a multiple of `2π` (error ~1e-16) and the usual
+//! floating-point rounding of matrix products, both far below the 1e-10
+//! fidelity budget the property tests enforce.
+//!
+//! [`optimize`] is wired into [`crate::execute`] behind
+//! [`crate::ExecutionConfig::opt_level`] (0 = off, 1 = cancel/merge,
+//! 2 = +fusion; default 1), so gate budgets meter the gates *actually
+//! executed* rather than the raw logged stream.
+
+use crate::circuit::QuantumCircuit;
+use crate::error::CircResult;
+use crate::gate::Gate;
+use qutes_sim::{gates, Matrix2};
+
+const ANGLE_TOL: f64 = 1e-12;
+const TAU: f64 = 2.0 * std::f64::consts::PI;
+/// Fixpoint guard; each pass strictly shrinks the gate list, so this is
+/// never reached in practice.
+const MAX_PASSES: usize = 32;
+
+/// Before/after metrics of one [`optimize`] invocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OptimizationReport {
+    /// The optimization level that produced this report.
+    pub level: u8,
+    /// Gate count (excluding barriers/global phases) before optimization.
+    pub gates_before: usize,
+    /// Gate count after optimization.
+    pub gates_after: usize,
+    /// Critical-path depth before optimization.
+    pub depth_before: usize,
+    /// Critical-path depth after optimization.
+    pub depth_after: usize,
+    /// Gates removed by inverse-pair cancellation.
+    pub cancelled: usize,
+    /// Gates removed by rotation/phase merging.
+    pub merged: usize,
+    /// Gates removed by single-qubit fusion.
+    pub fused: usize,
+}
+
+impl OptimizationReport {
+    /// Fractional gate-count reduction in `[0, 1]`.
+    pub fn gate_reduction(&self) -> f64 {
+        if self.gates_before == 0 {
+            0.0
+        } else {
+            (self.gates_before - self.gates_after) as f64 / self.gates_before as f64
+        }
+    }
+}
+
+/// Runs the pass pipeline at `level` (0 = off, 1 = cancel/merge,
+/// 2 = +fusion) and returns the rewritten circuit with its report.
+pub fn optimize(
+    circuit: &QuantumCircuit,
+    level: u8,
+) -> CircResult<(QuantumCircuit, OptimizationReport)> {
+    let before = circuit.stats();
+    let mut report = OptimizationReport {
+        level,
+        gates_before: before.size,
+        gates_after: before.size,
+        depth_before: before.depth,
+        depth_after: before.depth,
+        cancelled: 0,
+        merged: 0,
+        fused: 0,
+    };
+    if level == 0 {
+        return Ok((circuit.clone(), report));
+    }
+
+    let n = circuit.num_qubits();
+    let mut ops: Vec<Gate> = circuit.ops().to_vec();
+    ops = cancel_merge_fixpoint(ops, n, &mut report);
+    if level >= 2 {
+        let (next, changed) = fuse_runs(ops, n, &mut report.fused);
+        ops = next;
+        if changed {
+            // Fusion can make 2-qubit inverse pairs adjacent on their wires.
+            ops = cancel_merge_fixpoint(ops, n, &mut report);
+        }
+    }
+
+    let mut out = circuit.clone_structure();
+    for g in ops {
+        out.append(g)?;
+    }
+    let after = out.stats();
+    report.gates_after = after.size;
+    report.depth_after = after.depth;
+    Ok((out, report))
+}
+
+/// The wires an instruction occupies for scheduling purposes: an empty
+/// barrier fences every qubit.
+fn effective_qubits(g: &Gate, n: usize) -> Vec<usize> {
+    match g {
+        Gate::Barrier(qs) if qs.is_empty() => (0..n).collect(),
+        _ => g.qubits(),
+    }
+}
+
+/// True when a gate may participate in cancellation/merging/fusion: a
+/// plain unitary. Conditionals are excluded even though they are unitary
+/// — their action depends on a classical bit that may change between two
+/// occurrences — and act as fences on their wires instead.
+fn is_candidate(g: &Gate) -> bool {
+    g.is_unitary() && !matches!(g, Gate::Conditional { .. })
+}
+
+/// Canonical form for structural comparison: symmetric gates get their
+/// interchangeable qubits sorted.
+fn normalize(g: &Gate) -> Gate {
+    match g {
+        Gate::Swap { a, b } if a > b => Gate::Swap { a: *b, b: *a },
+        Gate::CZ { control, target } if control > target => Gate::CZ {
+            control: *target,
+            target: *control,
+        },
+        Gate::CPhase {
+            control,
+            target,
+            lambda,
+        } if control > target => Gate::CPhase {
+            control: *target,
+            target: *control,
+            lambda: *lambda,
+        },
+        Gate::CCX { c0, c1, target } if c0 > c1 => Gate::CCX {
+            c0: *c1,
+            c1: *c0,
+            target: *target,
+        },
+        Gate::MCX { controls, target } => {
+            let mut cs = controls.clone();
+            cs.sort_unstable();
+            Gate::MCX {
+                controls: cs,
+                target: *target,
+            }
+        }
+        Gate::MCPhase {
+            controls,
+            target,
+            lambda,
+        } => {
+            let mut cs = controls.clone();
+            cs.sort_unstable();
+            Gate::MCPhase {
+                controls: cs,
+                target: *target,
+                lambda: *lambda,
+            }
+        }
+        _ => g.clone(),
+    }
+}
+
+/// True when `b` is exactly the inverse of `a` (structurally, after
+/// canonicalising symmetric gates).
+fn cancels(a: &Gate, b: &Gate) -> bool {
+    match a.inverse() {
+        Some(inv) => normalize(&inv) == normalize(b),
+        None => false,
+    }
+}
+
+/// Outcome of trying to combine two adjacent gates on the same wires.
+enum Merge {
+    /// Not combinable.
+    No,
+    /// Combined into one replacement gate.
+    Into(Gate),
+    /// Combined into the identity — both gates vanish.
+    Identity,
+}
+
+/// True when `diag(1, e^{i lambda})` is the identity within tolerance.
+fn phase_is_trivial(lambda: f64) -> bool {
+    let m = lambda.rem_euclid(TAU);
+    m < ANGLE_TOL || TAU - m < ANGLE_TOL
+}
+
+fn merge_rotation(sum: f64, rebuild: impl FnOnce(f64) -> Gate) -> Merge {
+    // A full 2π turn of RX/RY/RZ is -I (a global phase), not I, so only
+    // angles that vanish outright may be dropped.
+    if sum.abs() < ANGLE_TOL {
+        Merge::Identity
+    } else {
+        Merge::Into(rebuild(sum))
+    }
+}
+
+fn merge_phase(sum: f64, rebuild: impl FnOnce(f64) -> Gate) -> Merge {
+    if phase_is_trivial(sum) {
+        Merge::Identity
+    } else {
+        Merge::Into(rebuild(sum))
+    }
+}
+
+/// Tries to combine `a` (earlier) and `b` (later) acting on identical
+/// wires.
+fn try_merge(a: &Gate, b: &Gate) -> Merge {
+    use Gate::*;
+    match (a, b) {
+        (
+            RX {
+                target: t1,
+                theta: x1,
+            },
+            RX {
+                target: t2,
+                theta: x2,
+            },
+        ) if t1 == t2 => merge_rotation(x1 + x2, |theta| RX { target: *t1, theta }),
+        (
+            RY {
+                target: t1,
+                theta: x1,
+            },
+            RY {
+                target: t2,
+                theta: x2,
+            },
+        ) if t1 == t2 => merge_rotation(x1 + x2, |theta| RY { target: *t1, theta }),
+        (
+            RZ {
+                target: t1,
+                theta: x1,
+            },
+            RZ {
+                target: t2,
+                theta: x2,
+            },
+        ) if t1 == t2 => merge_rotation(x1 + x2, |theta| RZ { target: *t1, theta }),
+        (
+            Phase {
+                target: t1,
+                lambda: l1,
+            },
+            Phase {
+                target: t2,
+                lambda: l2,
+            },
+        ) if t1 == t2 => merge_phase(l1 + l2, |lambda| Phase {
+            target: *t1,
+            lambda,
+        }),
+        (CPhase { lambda: l1, .. }, CPhase { lambda: l2, .. }) if same_symmetric_wires(a, b) => {
+            let (control, target) = match normalize(a) {
+                CPhase {
+                    control, target, ..
+                } => (control, target),
+                // normalize() maps CPhase to CPhase.
+                _ => return Merge::No,
+            };
+            merge_phase(l1 + l2, |lambda| CPhase {
+                control,
+                target,
+                lambda,
+            })
+        }
+        (MCPhase { lambda: l1, .. }, MCPhase { lambda: l2, .. }) if same_symmetric_wires(a, b) => {
+            let (controls, target) = match normalize(a) {
+                MCPhase {
+                    controls, target, ..
+                } => (controls, target),
+                _ => return Merge::No,
+            };
+            merge_phase(l1 + l2, |lambda| MCPhase {
+                controls,
+                target,
+                lambda,
+            })
+        }
+        (
+            Unitary {
+                target: t1,
+                matrix: m1,
+            },
+            Unitary {
+                target: t2,
+                matrix: m2,
+            },
+        ) if t1 == t2 => {
+            let product = m2.matmul(m1);
+            if product.approx_eq(&Matrix2::IDENTITY, ANGLE_TOL) {
+                Merge::Identity
+            } else {
+                Merge::Into(Unitary {
+                    target: *t1,
+                    matrix: product,
+                })
+            }
+        }
+        _ => Merge::No,
+    }
+}
+
+/// True when the two gates touch the same set of qubits (order-free) —
+/// used for phase gates, which are symmetric under qubit permutation.
+fn same_symmetric_wires(a: &Gate, b: &Gate) -> bool {
+    let mut qa = a.qubits();
+    let mut qb = b.qubits();
+    qa.sort_unstable();
+    qb.sort_unstable();
+    qa == qb
+}
+
+/// Recomputes the last-instruction index of each wire in `qs` after a
+/// tombstone at or after `from`.
+fn restore_last(
+    out: &[Option<Gate>],
+    last: &mut [Option<usize>],
+    qs: &[usize],
+    from: usize,
+    n: usize,
+) {
+    for &q in qs {
+        last[q] = None;
+        for i in (0..from).rev() {
+            if let Some(g) = &out[i] {
+                if effective_qubits(g, n).contains(&q) {
+                    last[q] = Some(i);
+                    break;
+                }
+            }
+        }
+    }
+}
+
+fn cancel_merge_fixpoint(
+    mut ops: Vec<Gate>,
+    n: usize,
+    report: &mut OptimizationReport,
+) -> Vec<Gate> {
+    for _ in 0..MAX_PASSES {
+        let (next, changed) = cancel_merge(ops, n, &mut report.cancelled, &mut report.merged);
+        ops = next;
+        if !changed {
+            break;
+        }
+    }
+    ops
+}
+
+/// One forward pass of commutation-aware cancellation and merging.
+///
+/// `last[q]` tracks the most recent surviving instruction touching wire
+/// `q`; a new gate whose wires *all* point at one predecessor covering
+/// exactly the same wires is checked against it. Tombstoning a pair
+/// rewinds the wire pointers, so cascades (`X·Y·Y·X`) collapse within a
+/// single pass.
+fn cancel_merge(
+    ops: Vec<Gate>,
+    n: usize,
+    cancelled: &mut usize,
+    merged: &mut usize,
+) -> (Vec<Gate>, bool) {
+    let mut out: Vec<Option<Gate>> = Vec::with_capacity(ops.len());
+    let mut last: Vec<Option<usize>> = vec![None; n];
+    let mut gphase: Option<usize> = None;
+    let mut changed = false;
+
+    for g in ops {
+        // Global phases are scalars: they commute with everything, so any
+        // two of them merge regardless of what sits between.
+        if let Gate::GlobalPhase(t) = g {
+            if let Some(i) = gphase {
+                if let Some(Some(Gate::GlobalPhase(prev))) = out.get_mut(i) {
+                    *prev += t;
+                    *merged += 1;
+                    changed = true;
+                    continue;
+                }
+            }
+            gphase = Some(out.len());
+            out.push(Some(Gate::GlobalPhase(t)));
+            continue;
+        }
+
+        let qs = effective_qubits(&g, n);
+        if is_candidate(&g) && !qs.is_empty() {
+            let pred = last[qs[0]].filter(|&p| qs.iter().all(|&q| last[q] == Some(p)));
+            if let Some(p) = pred {
+                let prev_matches = out[p]
+                    .as_ref()
+                    .is_some_and(|prev| is_candidate(prev) && same_wire_set(prev, &qs, n));
+                if prev_matches {
+                    // `prev_matches` guarantees `out[p]` is occupied.
+                    let prev = out[p].clone().unwrap_or(Gate::Barrier(vec![]));
+                    if cancels(&prev, &g) {
+                        out[p] = None;
+                        *cancelled += 2;
+                        changed = true;
+                        restore_last(&out, &mut last, &qs, p, n);
+                        continue;
+                    }
+                    match try_merge(&prev, &g) {
+                        Merge::Identity => {
+                            out[p] = None;
+                            *merged += 2;
+                            changed = true;
+                            restore_last(&out, &mut last, &qs, p, n);
+                            continue;
+                        }
+                        Merge::Into(m) => {
+                            out[p] = Some(m);
+                            *merged += 1;
+                            changed = true;
+                            continue; // wire pointers still reference `p`
+                        }
+                        Merge::No => {}
+                    }
+                }
+            }
+        }
+
+        let idx = out.len();
+        out.push(Some(g));
+        for &q in &qs {
+            last[q] = Some(idx);
+        }
+    }
+
+    (out.into_iter().flatten().collect(), changed)
+}
+
+/// True when `g` touches exactly the wires in `qs` (as a set).
+fn same_wire_set(g: &Gate, qs: &[usize], n: usize) -> bool {
+    let mut a = effective_qubits(g, n);
+    let mut b = qs.to_vec();
+    a.sort_unstable();
+    b.sort_unstable();
+    a == b
+}
+
+/// The 2x2 matrix of a plain single-qubit unitary gate, with its target.
+fn gate_matrix(g: &Gate) -> Option<(usize, Matrix2)> {
+    use Gate::*;
+    Some(match g {
+        H(q) => (*q, gates::h()),
+        X(q) => (*q, gates::x()),
+        Y(q) => (*q, gates::y()),
+        Z(q) => (*q, gates::z()),
+        S(q) => (*q, gates::s()),
+        Sdg(q) => (*q, gates::sdg()),
+        T(q) => (*q, gates::t()),
+        Tdg(q) => (*q, gates::tdg()),
+        SX(q) => (*q, gates::sx()),
+        SXdg(q) => (*q, gates::sx().adjoint()),
+        Phase { target, lambda } => (*target, gates::phase(*lambda)),
+        RX { target, theta } => (*target, gates::rx(*theta)),
+        RY { target, theta } => (*target, gates::ry(*theta)),
+        RZ { target, theta } => (*target, gates::rz(*theta)),
+        U {
+            target,
+            theta,
+            phi,
+            lambda,
+        } => (*target, gates::u(*theta, *phi, *lambda)),
+        Unitary { target, matrix } => (*target, *matrix),
+        _ => return None,
+    })
+}
+
+/// An in-progress fusion run on one wire: index of its first gate, the
+/// accumulated matrix product, and the number of gates absorbed.
+type Run = (usize, Matrix2, usize);
+
+/// Closes the run on wire `q`: a multi-gate run is replaced by one fused
+/// [`Gate::Unitary`] at its first position (or dropped outright when the
+/// product is the identity); a single-gate run keeps its original gate.
+fn flush_run(
+    runs: &mut [Option<Run>],
+    out: &mut [Option<Gate>],
+    q: usize,
+    fused: &mut usize,
+    changed: &mut bool,
+) {
+    if let Some((first, acc, len)) = runs[q].take() {
+        if len >= 2 {
+            *changed = true;
+            if acc.approx_eq(&Matrix2::IDENTITY, ANGLE_TOL) {
+                *fused += len;
+                out[first] = None;
+            } else {
+                *fused += len - 1;
+                out[first] = Some(Gate::Unitary {
+                    target: q,
+                    matrix: acc,
+                });
+            }
+        }
+    }
+}
+
+/// Level-2 pass: collapses maximal runs of single-qubit gates per wire
+/// into one fused matrix. A run member commutes backward past everything
+/// between it and the run head (nothing in between touches the wire, or
+/// the run would have been flushed), so placing the fused gate at the
+/// head position is exact.
+fn fuse_runs(ops: Vec<Gate>, n: usize, fused: &mut usize) -> (Vec<Gate>, bool) {
+    let mut out: Vec<Option<Gate>> = ops.into_iter().map(Some).collect();
+    let mut runs: Vec<Option<Run>> = vec![None; n];
+    let mut changed = false;
+
+    for i in 0..out.len() {
+        let Some(g) = out[i].clone() else { continue };
+        if let Some((q, m)) = gate_matrix(&g) {
+            match runs[q].take() {
+                Some((first, acc, len)) => {
+                    out[i] = None; // absorbed into the run head
+                    runs[q] = Some((first, m.matmul(&acc), len + 1));
+                }
+                None => runs[q] = Some((i, m, 1)),
+            }
+        } else {
+            // Fences (multi-qubit gates, measures, resets, barriers,
+            // conditionals) close the runs on every wire they touch;
+            // global phases touch none and pass through.
+            for q in effective_qubits(&g, n) {
+                flush_run(&mut runs, &mut out, q, fused, &mut changed);
+            }
+        }
+    }
+    for q in 0..n {
+        flush_run(&mut runs, &mut out, q, fused, &mut changed);
+    }
+
+    (out.into_iter().flatten().collect(), changed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::execute::statevector;
+
+    fn fidelity_preserved(c: &QuantumCircuit, level: u8) {
+        let (opt, _) = optimize(c, level).unwrap();
+        let sa = statevector(c).unwrap();
+        let sb = statevector(&opt).unwrap();
+        let f = sa.fidelity(&sb).unwrap();
+        assert!((f - 1.0).abs() < 1e-10, "level {level}: fidelity {f}");
+    }
+
+    #[test]
+    fn hh_pair_cancels() {
+        let mut c = QuantumCircuit::with_qubits(1);
+        c.h(0).unwrap().h(0).unwrap();
+        let (opt, r) = optimize(&c, 1).unwrap();
+        assert_eq!(opt.size(), 0);
+        assert_eq!(r.cancelled, 2);
+        assert_eq!(r.gates_before, 2);
+        assert_eq!(r.gates_after, 0);
+        assert!((r.gate_reduction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn named_inverse_pairs_cancel() {
+        let mut c = QuantumCircuit::with_qubits(2);
+        c.x(0).unwrap().x(0).unwrap();
+        c.s(1).unwrap().sdg(1).unwrap();
+        c.t(0).unwrap().tdg(0).unwrap();
+        c.sx(1).unwrap();
+        c.append(Gate::SXdg(1)).unwrap();
+        c.rx(0.7, 0).unwrap().rx(-0.7, 0).unwrap();
+        let (opt, _) = optimize(&c, 1).unwrap();
+        assert_eq!(opt.size(), 0);
+    }
+
+    #[test]
+    fn cx_pair_cancels_across_disjoint_gates() {
+        // The Z on wire 2 sits between the CX pair but commutes with it.
+        let mut c = QuantumCircuit::with_qubits(3);
+        c.cx(0, 1).unwrap();
+        c.z(2).unwrap();
+        c.cx(0, 1).unwrap();
+        let (opt, r) = optimize(&c, 1).unwrap();
+        assert_eq!(opt.size(), 1);
+        assert!(matches!(opt.ops()[0], Gate::Z(2)));
+        assert_eq!(r.cancelled, 2);
+    }
+
+    #[test]
+    fn gate_on_shared_wire_blocks_cancellation() {
+        let mut c = QuantumCircuit::with_qubits(2);
+        c.cx(0, 1).unwrap();
+        c.x(1).unwrap(); // touches the CX target
+        c.cx(0, 1).unwrap();
+        let (opt, _) = optimize(&c, 1).unwrap();
+        assert_eq!(opt.size(), 3);
+        fidelity_preserved(&c, 1);
+    }
+
+    #[test]
+    fn swap_pair_cancels_regardless_of_order() {
+        let mut c = QuantumCircuit::with_qubits(2);
+        c.swap(0, 1).unwrap();
+        c.swap(1, 0).unwrap();
+        let (opt, _) = optimize(&c, 1).unwrap();
+        assert_eq!(opt.size(), 0);
+    }
+
+    #[test]
+    fn cascaded_pairs_collapse_in_one_call() {
+        let mut c = QuantumCircuit::with_qubits(1);
+        c.x(0).unwrap().y(0).unwrap().y(0).unwrap().x(0).unwrap();
+        let (opt, _) = optimize(&c, 1).unwrap();
+        assert_eq!(opt.size(), 0);
+    }
+
+    #[test]
+    fn rotations_merge_with_lookahead() {
+        let mut c = QuantumCircuit::with_qubits(2);
+        c.rz(0.3, 0).unwrap();
+        c.h(1).unwrap(); // disjoint wire: must not block the merge
+        c.rz(0.5, 0).unwrap();
+        let (opt, r) = optimize(&c, 1).unwrap();
+        assert_eq!(opt.size(), 2);
+        assert!(opt
+            .ops()
+            .iter()
+            .any(|g| matches!(g, Gate::RZ { target: 0, theta } if (theta - 0.8).abs() < 1e-12)));
+        assert_eq!(r.merged, 1);
+        fidelity_preserved(&c, 1);
+    }
+
+    #[test]
+    fn opposite_rotations_vanish() {
+        let mut c = QuantumCircuit::with_qubits(1);
+        c.ry(1.1, 0).unwrap().ry(-1.1, 0).unwrap();
+        let (opt, _) = optimize(&c, 1).unwrap();
+        assert_eq!(opt.size(), 0);
+    }
+
+    #[test]
+    fn full_turn_rotation_is_not_dropped() {
+        // RZ(2π) = -I: a global phase, not the identity — it must survive
+        // as a gate so the statevector stays bit-for-bit identical.
+        let mut c = QuantumCircuit::with_qubits(1);
+        c.rz(std::f64::consts::PI, 0).unwrap();
+        c.rz(std::f64::consts::PI, 0).unwrap();
+        let (opt, _) = optimize(&c, 1).unwrap();
+        assert_eq!(opt.size(), 1);
+    }
+
+    #[test]
+    fn phase_gates_drop_mod_two_pi() {
+        let mut c = QuantumCircuit::with_qubits(1);
+        c.p(std::f64::consts::PI, 0).unwrap();
+        c.p(std::f64::consts::PI, 0).unwrap();
+        let (opt, _) = optimize(&c, 1).unwrap();
+        assert_eq!(opt.size(), 0);
+    }
+
+    #[test]
+    fn controlled_phases_merge_symmetrically() {
+        let mut c = QuantumCircuit::with_qubits(2);
+        c.cp(0.4, 0, 1).unwrap();
+        c.cp(0.6, 1, 0).unwrap(); // same unordered pair
+        let (opt, _) = optimize(&c, 1).unwrap();
+        assert_eq!(opt.size(), 1);
+        assert!(matches!(
+            opt.ops()[0],
+            Gate::CPhase { lambda, .. } if (lambda - 1.0).abs() < 1e-12
+        ));
+        fidelity_preserved(&c, 1);
+    }
+
+    #[test]
+    fn global_phases_merge() {
+        let mut c = QuantumCircuit::with_qubits(1);
+        c.gphase(0.3).unwrap();
+        c.h(0).unwrap();
+        c.gphase(0.4).unwrap();
+        let (opt, _) = optimize(&c, 1).unwrap();
+        let phases: Vec<f64> = opt
+            .ops()
+            .iter()
+            .filter_map(|g| match g {
+                Gate::GlobalPhase(t) => Some(*t),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(phases.len(), 1);
+        assert!((phases[0] - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measure_fences_cancellation() {
+        let mut c = QuantumCircuit::with_qubits_and_clbits(1, 1);
+        c.h(0).unwrap();
+        c.measure(0, 0).unwrap();
+        c.h(0).unwrap();
+        let (opt, _) = optimize(&c, 2).unwrap();
+        assert_eq!(opt.size(), 3);
+    }
+
+    #[test]
+    fn barrier_fences_cancellation() {
+        let mut c = QuantumCircuit::with_qubits(1);
+        c.h(0).unwrap();
+        c.barrier(&[]).unwrap();
+        c.h(0).unwrap();
+        let (opt, _) = optimize(&c, 2).unwrap();
+        assert_eq!(opt.size(), 2);
+    }
+
+    #[test]
+    fn conditionals_are_never_combined() {
+        // The measurement between the two conditioned S gates can change
+        // the classical bit, so they must not cancel.
+        let mut c = QuantumCircuit::with_qubits_and_clbits(3, 1);
+        c.measure(2, 0).unwrap();
+        c.c_if(0, true, Gate::S(1)).unwrap();
+        c.measure(2, 0).unwrap();
+        c.c_if(0, true, Gate::Sdg(1)).unwrap();
+        let (opt, _) = optimize(&c, 2).unwrap();
+        assert_eq!(opt.size(), 4);
+    }
+
+    #[test]
+    fn fusion_collapses_single_qubit_runs() {
+        let mut c = QuantumCircuit::with_qubits(2);
+        c.h(0).unwrap().s(0).unwrap().t(0).unwrap();
+        c.cx(0, 1).unwrap();
+        c.h(0).unwrap().x(0).unwrap();
+        let (opt, r) = optimize(&c, 2).unwrap();
+        // [H,S,T] -> 1 fused, CX, [H,X] -> 1 fused.
+        assert_eq!(opt.size(), 3);
+        assert_eq!(r.fused, 3);
+        assert_eq!(
+            opt.ops()
+                .iter()
+                .filter(|g| matches!(g, Gate::Unitary { .. }))
+                .count(),
+            2
+        );
+        fidelity_preserved(&c, 2);
+    }
+
+    #[test]
+    fn fusion_is_off_at_level_one() {
+        let mut c = QuantumCircuit::with_qubits(1);
+        c.h(0).unwrap().s(0).unwrap().t(0).unwrap();
+        let (opt, r) = optimize(&c, 1).unwrap();
+        assert_eq!(opt.size(), 3);
+        assert_eq!(r.fused, 0);
+    }
+
+    #[test]
+    fn fused_identity_run_is_dropped() {
+        // H·Z·H = X, then X: the whole run multiplies to the identity.
+        let mut c = QuantumCircuit::with_qubits(1);
+        c.h(0).unwrap().z(0).unwrap().h(0).unwrap().x(0).unwrap();
+        let (opt, _) = optimize(&c, 2).unwrap();
+        assert_eq!(opt.size(), 0);
+    }
+
+    #[test]
+    fn fusion_unlocks_two_qubit_cancellation() {
+        // CX · (X·X on the control wire) · CX: level 1 already cancels the
+        // X pair and then the CX pair through the wire rewind.
+        let mut c = QuantumCircuit::with_qubits(2);
+        c.cx(0, 1).unwrap();
+        c.x(0).unwrap();
+        c.x(0).unwrap();
+        c.cx(0, 1).unwrap();
+        let (opt, _) = optimize(&c, 2).unwrap();
+        assert_eq!(opt.size(), 0);
+    }
+
+    #[test]
+    fn level_zero_is_identity() {
+        let mut c = QuantumCircuit::with_qubits(1);
+        c.h(0).unwrap().h(0).unwrap();
+        let (opt, r) = optimize(&c, 0).unwrap();
+        assert_eq!(opt.size(), 2);
+        assert_eq!(r.gates_after, 2);
+        assert_eq!(r.gate_reduction(), 0.0);
+    }
+
+    #[test]
+    fn mixed_circuit_preserves_statevector_exactly() {
+        let mut c = QuantumCircuit::with_qubits(3);
+        c.h(0).unwrap().h(1).unwrap().h(2).unwrap();
+        c.rz(0.3, 0).unwrap().rz(0.4, 0).unwrap();
+        c.cx(0, 1).unwrap();
+        c.t(1).unwrap().tdg(1).unwrap();
+        c.cp(0.8, 1, 2).unwrap();
+        c.x(2).unwrap().y(2).unwrap().z(2).unwrap();
+        c.swap(0, 2).unwrap();
+        c.gphase(0.2).unwrap();
+        c.ccx(0, 1, 2).unwrap();
+        for level in [1u8, 2] {
+            fidelity_preserved(&c, level);
+        }
+    }
+
+    #[test]
+    fn report_metrics_are_consistent() {
+        let mut c = QuantumCircuit::with_qubits(2);
+        c.h(0).unwrap().h(0).unwrap();
+        c.h(1).unwrap().s(1).unwrap();
+        let (opt, r) = optimize(&c, 2).unwrap();
+        assert_eq!(r.gates_before, 4);
+        assert_eq!(r.gates_after, opt.size());
+        assert_eq!(r.depth_before, 2);
+        assert_eq!(r.depth_after, opt.depth());
+        assert_eq!(r.level, 2);
+    }
+}

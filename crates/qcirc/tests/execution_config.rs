@@ -149,8 +149,10 @@ fn gate_budget_exhaustion_is_typed() {
         c.x(0).unwrap();
     }
     c.measure(0, 0).unwrap();
+    // Level 0 meters the raw gate stream.
     let cfg = ExecutionConfig::default()
         .with_shots(4)
+        .with_opt_level(0)
         .with_max_gate_applications(10);
     match run_shots_cfg(&c, &cfg) {
         Err(CircError::BudgetExhausted { limit }) => assert_eq!(limit, 10),
@@ -159,6 +161,44 @@ fn gate_budget_exhaustion_is_typed() {
     // A budget that covers the circuit succeeds.
     let roomy = cfg.clone().with_max_gate_applications(200);
     assert!(run_shots_cfg(&c, &roomy).is_ok());
+}
+
+#[test]
+fn gate_budget_counts_post_optimization_gates() {
+    // 100 self-cancelling X gates cost nothing once the optimizer has
+    // run: the budget meters the circuit actually executed.
+    let mut c = QuantumCircuit::with_qubits_and_clbits(1, 1);
+    for _ in 0..100 {
+        c.x(0).unwrap();
+    }
+    c.measure(0, 0).unwrap();
+    let tight = ExecutionConfig::default()
+        .with_shots(4)
+        .with_max_gate_applications(10);
+    for level in [1u8, 2] {
+        let counts = run_shots_cfg(&c, &tight.clone().with_opt_level(level)).unwrap();
+        assert_eq!(counts.get(0), 4, "level {level}");
+    }
+    // The same budget at level 0 is exhausted by the raw stream.
+    assert!(run_shots_cfg(&c, &tight.clone().with_opt_level(0)).is_err());
+    assert!(run_once_cfg(&c, &tight.with_opt_level(0)).is_err());
+}
+
+#[test]
+fn opt_levels_agree_on_measurement_statistics() {
+    let c = slow_circuit();
+    let base = ExecutionConfig::default().with_shots(300).with_seed(11);
+    let reference = run_shots_cfg(&c, &base.clone().with_opt_level(0)).unwrap();
+    for level in [1u8, 2] {
+        let got = run_shots_cfg(&c, &base.clone().with_opt_level(level)).unwrap();
+        // Bell statistics: only 00 and 11 appear at every level.
+        assert_eq!(got.get(0b01) + got.get(0b10), 0, "level {level}");
+        assert_eq!(
+            got.get(0b00) + got.get(0b11),
+            reference.get(0b00) + reference.get(0b11),
+            "level {level}"
+        );
+    }
 }
 
 #[test]

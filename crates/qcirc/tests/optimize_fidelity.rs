@@ -1,0 +1,69 @@
+//! Property test for the optimizer: on random circuits mixing 1- and
+//! 2-qubit gates over up to 8 qubits, the optimized circuit's final
+//! statevector must match the unoptimized one with fidelity at least
+//! `1 - 1e-10`, at every optimization level.
+
+use proptest::prelude::*;
+use qutes_qcirc::execute::statevector;
+use qutes_qcirc::{optimize, QuantumCircuit};
+
+/// Decodes one generated op tuple into a gate appended to `c`.
+///
+/// `kind` picks the gate family; `a`/`b` pick wires (decoded mod the
+/// qubit count, with `b` shifted off `a` for 2-qubit gates so control
+/// and target always differ); `angle` parameterises rotations.
+fn push_op(c: &mut QuantumCircuit, n: usize, kind: u8, a: usize, b: usize, angle: f64) {
+    let q0 = a % n;
+    let q1 = (q0 + 1 + b % (n - 1)) % n;
+    let r = match kind % 16 {
+        0 => c.h(q0),
+        1 => c.x(q0),
+        2 => c.y(q0),
+        3 => c.z(q0),
+        4 => c.s(q0),
+        5 => c.sdg(q0),
+        6 => c.t(q0),
+        7 => c.tdg(q0),
+        8 => c.rx(angle, q0),
+        9 => c.ry(angle, q0),
+        10 => c.rz(angle, q0),
+        11 => c.p(angle, q0),
+        12 => c.cx(q0, q1),
+        13 => c.cz(q0, q1),
+        14 => c.cp(angle, q0, q1),
+        _ => c.swap(q0, q1),
+    };
+    r.expect("generated gate must be in range");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn optimized_statevector_matches_at_every_level(
+        n in 2usize..9,
+        ops in prop::collection::vec(
+            (0u8..16, 0usize..8, 0usize..8, -3.0f64..3.0),
+            1..60,
+        ),
+    ) {
+        let mut c = QuantumCircuit::with_qubits(n);
+        for &(kind, a, b, angle) in &ops {
+            push_op(&mut c, n, kind, a, b, angle);
+        }
+        let reference = statevector(&c).unwrap();
+        for level in [0u8, 1, 2] {
+            let (opt, report) = optimize(&c, level).unwrap();
+            let sv = statevector(&opt).unwrap();
+            let f = sv.fidelity(&reference).unwrap();
+            prop_assert!(
+                f >= 1.0 - 1e-10,
+                "level {level}: fidelity {f} (report {report:?})"
+            );
+            prop_assert!(
+                report.gates_after <= report.gates_before,
+                "level {level} grew the circuit: {report:?}"
+            );
+        }
+    }
+}

@@ -214,6 +214,34 @@ pub fn u(theta: f64, phi: f64, lambda: f64) -> Matrix2 {
     )
 }
 
+/// ZYZ decomposition of a 2x2 unitary: returns `(theta, phi, lambda,
+/// alpha)` such that `m = e^{i alpha} * U(theta, phi, lambda)` exactly
+/// (up to floating-point rounding), with `theta` in `[0, pi]`.
+///
+/// This is how fused [`Matrix2`] unitaries are re-expressed as named
+/// gates for OpenQASM export: the `U` part carries the observable
+/// action, `alpha` the global phase.
+pub fn zyz_decompose(m: &Matrix2) -> (f64, f64, f64, f64) {
+    const EPS: f64 = 1e-12;
+    let m00 = m.m[0][0];
+    let m01 = m.m[0][1];
+    let m10 = m.m[1][0];
+    let m11 = m.m[1][1];
+    let theta = 2.0 * m10.norm().atan2(m00.norm());
+    if m10.norm() <= EPS {
+        // Diagonal: only phi + lambda is determined; put it all in lambda.
+        let alpha = m00.arg();
+        (theta, 0.0, m11.arg() - alpha, alpha)
+    } else if m00.norm() <= EPS {
+        // Antidiagonal: only phi - lambda is determined; set phi = 0.
+        let alpha = m10.arg();
+        (theta, 0.0, (-m01).arg() - alpha, alpha)
+    } else {
+        let alpha = m00.arg();
+        (theta, m10.arg() - alpha, (-m01).arg() - alpha, alpha)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -309,5 +337,39 @@ mod tests {
     fn up_to_phase_rejects_different_gates() {
         assert!(!x().approx_eq_up_to_phase(&z(), EPS));
         assert!(!h().approx_eq_up_to_phase(&x(), EPS));
+    }
+
+    fn zyz_roundtrips(m: &Matrix2) {
+        let (theta, phi, lambda, alpha) = zyz_decompose(m);
+        let rebuilt = u(theta, phi, lambda);
+        let phased = Matrix2::new(
+            rebuilt.m[0][0] * Complex64::cis(alpha),
+            rebuilt.m[0][1] * Complex64::cis(alpha),
+            rebuilt.m[1][0] * Complex64::cis(alpha),
+            rebuilt.m[1][1] * Complex64::cis(alpha),
+        );
+        assert!(phased.approx_eq(m, 1e-9), "zyz failed for {m:?}");
+        assert!((0.0..=PI + 1e-9).contains(&theta));
+    }
+
+    #[test]
+    fn zyz_recovers_named_gates() {
+        for m in [x(), y(), z(), h(), s(), sdg(), t(), tdg(), sx()] {
+            zyz_roundtrips(&m);
+        }
+    }
+
+    #[test]
+    fn zyz_recovers_rotations_and_products() {
+        for theta in [0.0, 1e-14, 0.3, FRAC_PI_2, PI, 2.7] {
+            zyz_roundtrips(&rx(theta));
+            zyz_roundtrips(&ry(theta));
+            zyz_roundtrips(&rz(theta));
+        }
+        // Generic products (diagonal, antidiagonal, and dense cases).
+        zyz_roundtrips(&rz(0.7).matmul(&phase(1.1)));
+        zyz_roundtrips(&x().matmul(&phase(0.4)));
+        zyz_roundtrips(&h().matmul(&rx(0.9)).matmul(&t()));
+        zyz_roundtrips(&u(1.2, -0.8, 2.9).matmul(&u(0.4, 1.5, -2.2)));
     }
 }

@@ -7,16 +7,33 @@
 //! parameterised inputs) and reports median wall-clock ns/iter from a
 //! few timed batches — adequate for relative comparisons in CI logs,
 //! with none of upstream's statistical machinery.
+//!
+//! Two CI-oriented extras over upstream's CLI surface:
+//!
+//! * `--test` (as in `cargo bench -- --test`) switches to **smoke mode**:
+//!   every benchmark body runs exactly once, untimed, so CI can verify
+//!   the benches still execute without paying for measurement windows.
+//! * Each finished group writes its results to `BENCH_<group>.json` in
+//!   the current directory (median/min/max ns per benchmark, or a bare
+//!   `smoke` marker under `--test`), giving CI a machine-readable
+//!   artifact to upload.
 
 #![forbid(unsafe_code)]
 
 use std::fmt::Display;
+use std::fmt::Write as _;
 use std::hint;
 use std::time::{Duration, Instant};
 
 /// Opaque value barrier so the optimizer cannot elide benched work.
 pub fn black_box<T>(x: T) -> T {
     hint::black_box(x)
+}
+
+/// True when the harness was invoked as `cargo bench -- --test`: run
+/// each benchmark once to prove it executes, skipping measurement.
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
 }
 
 /// A `group/function/parameter` label for one benchmark.
@@ -39,12 +56,18 @@ pub struct Bencher {
     target_batches: usize,
     measurement_time: Duration,
     warm_up_time: Duration,
+    smoke: bool,
 }
 
 impl Bencher {
     /// Times `routine`, first warming up, then taking timed batches
-    /// until the measurement window is filled.
+    /// until the measurement window is filled. In smoke mode the routine
+    /// runs exactly once, untimed.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke {
+            black_box(routine());
+            return;
+        }
         // Warm-up: also estimates per-iteration cost to size batches.
         let warm_start = Instant::now();
         let mut warm_iters: u64 = 0;
@@ -70,6 +93,16 @@ impl Bencher {
     }
 }
 
+/// One finished benchmark's summary, collected for the group's JSON
+/// artifact.
+struct BenchResult {
+    label: String,
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    smoke: bool,
+}
+
 /// A named collection of benchmarks sharing timing configuration.
 pub struct BenchmarkGroup<'a> {
     name: String,
@@ -77,6 +110,7 @@ pub struct BenchmarkGroup<'a> {
     sample_size: usize,
     warm_up_time: Duration,
     measurement_time: Duration,
+    results: Vec<BenchResult>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -101,14 +135,17 @@ impl BenchmarkGroup<'_> {
     /// Benches a closure under `id` within this group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchId>, mut f: F) {
         let label = id.into().0;
+        let smoke = smoke_mode();
         let mut b = Bencher {
             samples: Vec::new(),
             target_batches: self.sample_size,
             measurement_time: self.measurement_time,
             warm_up_time: self.warm_up_time,
+            smoke,
         };
         f(&mut b);
-        report(&self.name, &label, &mut b.samples);
+        self.results
+            .push(report(&self.name, &label, &mut b.samples, smoke));
     }
 
     /// Benches a closure that receives `input` by reference.
@@ -119,9 +156,10 @@ impl BenchmarkGroup<'_> {
         self.bench_function(id, |b| f(b, input));
     }
 
-    /// Ends the group (upstream finalizes reports here; we report as
-    /// each benchmark completes).
-    pub fn finish(self) {}
+    /// Ends the group and writes its `BENCH_<group>.json` artifact.
+    pub fn finish(self) {
+        write_artifact(&self.name, &self.results);
+    }
 }
 
 /// Either a plain string label or a [`BenchmarkId`].
@@ -145,16 +183,104 @@ impl From<BenchmarkId> for BenchId {
     }
 }
 
-fn report(group: &str, label: &str, samples: &mut [f64]) {
+fn report(group: &str, label: &str, samples: &mut [f64], smoke: bool) -> BenchResult {
+    if smoke {
+        println!("{group}/{label}: smoke ok (1 iteration, untimed)");
+        return BenchResult {
+            label: label.to_string(),
+            median_ns: 0.0,
+            min_ns: 0.0,
+            max_ns: 0.0,
+            smoke: true,
+        };
+    }
     if samples.is_empty() {
         println!("{group}/{label}: no samples");
-        return;
+        return BenchResult {
+            label: label.to_string(),
+            median_ns: 0.0,
+            min_ns: 0.0,
+            max_ns: 0.0,
+            smoke: false,
+        };
     }
     samples.sort_by(|a, b| a.total_cmp(b));
     let median = samples[samples.len() / 2];
     let lo = samples[0];
     let hi = samples[samples.len() - 1];
     println!("{group}/{label}: median {median:.1} ns/iter (min {lo:.1}, max {hi:.1})");
+    BenchResult {
+        label: label.to_string(),
+        median_ns: median,
+        min_ns: lo,
+        max_ns: hi,
+        smoke: false,
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// File-name-safe form of a group name.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Writes `BENCH_<group>.json` into the current directory. Failures are
+/// reported to stderr but never abort the bench run.
+fn write_artifact(group: &str, results: &[BenchResult]) {
+    let mut body = String::new();
+    let _ = write!(
+        body,
+        "{{\n  \"group\": \"{}\",\n  \"mode\": \"{}\",\n  \"benchmarks\": [",
+        json_escape(group),
+        if smoke_mode() { "smoke" } else { "measure" },
+    );
+    for (i, r) in results.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        if r.smoke {
+            let _ = write!(
+                body,
+                "{sep}\n    {{\"name\": \"{}\", \"smoke\": true}}",
+                json_escape(&r.label)
+            );
+        } else {
+            let _ = write!(
+                body,
+                "{sep}\n    {{\"name\": \"{}\", \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}}}",
+                json_escape(&r.label),
+                r.median_ns,
+                r.min_ns,
+                r.max_ns
+            );
+        }
+    }
+    body.push_str("\n  ]\n}\n");
+    let path = format!("BENCH_{}.json", sanitize(group));
+    if let Err(e) = std::fs::write(&path, body) {
+        eprintln!("warning: cannot write {path}: {e}");
+    }
 }
 
 /// The top-level benchmark harness handle.
@@ -175,6 +301,7 @@ impl Criterion {
             sample_size: 100,
             warm_up_time: Duration::from_millis(300),
             measurement_time: Duration::from_millis(1000),
+            results: Vec::new(),
         }
     }
 
@@ -229,5 +356,20 @@ mod tests {
         trivial(&mut c);
         criterion_group!(benches, trivial);
         benches();
+        // The group artifact is written next to the test's cwd.
+        let artifact = std::path::Path::new("BENCH_t.json");
+        assert!(artifact.exists(), "expected BENCH_t.json artifact");
+        let body = std::fs::read_to_string(artifact).unwrap();
+        assert!(body.contains("\"group\": \"t\""), "{body}");
+        assert!(body.contains("\"name\": \"noop\""), "{body}");
+        assert!(body.contains("\"name\": \"sq/7\""), "{body}");
+        let _ = std::fs::remove_file(artifact);
+    }
+
+    #[test]
+    fn json_escaping_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\u000ay");
+        assert_eq!(sanitize("gro up/1"), "gro_up_1");
     }
 }
