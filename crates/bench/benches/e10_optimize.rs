@@ -1,6 +1,11 @@
 //! E10 bench: the circuit-optimization pipeline — cost of the optimizer
 //! itself, and end-to-end shot execution at each `opt_level` so the
 //! fused-gate payoff is visible as wall-clock, not just gate counts.
+//!
+//! After the timed loops, one extra (untimed) profiled execution runs
+//! with the `qutes-obs` collector enabled and its snapshot is attached
+//! to `BENCH_e10_optimize.json` under `"obs"`, giving the artifact
+//! per-stage and per-kernel breakdowns alongside the medians.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qutes_algos::grover::{grover_circuit, mark_states_oracle};
@@ -67,6 +72,20 @@ fn bench(c: &mut Criterion) {
             );
         }
     }
+
+    // One profiled execution, outside the timed loops: the observability
+    // snapshot (per-stage timers, per-kernel counters) rides along in the
+    // JSON artifact so CI logs show *where* the time goes, not just how
+    // much there is.
+    qutes_obs::reset();
+    let profiled_cfg = ExecutionConfig::default()
+        .with_shots(shots)
+        .with_seed(1)
+        .with_opt_level(2)
+        .with_observe(true);
+    run_shots_cfg(&grover(8), &profiled_cfg).unwrap();
+    qutes_obs::set_enabled(false);
+    g.attach_json("obs", qutes_obs::snapshot().to_json());
 
     g.finish();
 }

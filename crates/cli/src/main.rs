@@ -3,7 +3,7 @@
 //! ```text
 //! qutes run   <file.qut> [--seed N] [--max-steps N] [--stats] [--draw]
 //!             [--noise P] [--readout-error P] [--shots N] [--mem-budget BYTES]
-//!             [--opt-level N]
+//!             [--opt-level N] [--trace] [--profile] [--stats-json PATH]
 //! qutes check <file.qut>
 //! qutes fmt   <file.qut>
 //! qutes qasm  <file.qut> [--v3] [--seed N] [-o out.qasm]
@@ -24,6 +24,13 @@
 //! for the shot replay and the `--stats` report (0 = off, 1 = gate
 //! cancellation + rotation merging, 2 = additionally single-qubit gate
 //! fusion; default 1).
+//!
+//! The observability flags (see `docs/observability.md`) enable the
+//! `qutes-obs` collector for the run: `--trace` prints the nested
+//! pipeline span tree to stderr, `--profile` prints the aggregated
+//! hot-path table (per-stage wall time, per-kernel apply times, per-gate
+//! counts), and `--stats-json PATH` writes the full machine-readable
+//! snapshot to `PATH` (`-` for stdout).
 
 use qutes_core::{run_source, RunConfig};
 use qutes_frontend::{parse, print_program};
@@ -35,7 +42,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  qutes run   <file.qut> [--seed N] [--max-steps N] [--stats] [--draw]\n              \
          [--noise P] [--readout-error P] [--shots N] [--mem-budget BYTES]\n              \
-         [--opt-level N]\n  \
+         [--opt-level N] [--trace] [--profile] [--stats-json PATH]\n  \
          qutes check <file.qut>\n  qutes fmt   <file.qut>\n  \
          qutes qasm  <file.qut> [--v3] [--seed N] [-o out.qasm]"
     );
@@ -55,6 +62,16 @@ struct Args {
     shots: usize,
     mem_budget: Option<u64>,
     opt_level: u8,
+    trace: bool,
+    profile: bool,
+    stats_json: Option<String>,
+}
+
+impl Args {
+    /// True when any observability output was requested.
+    fn observing(&self) -> bool {
+        self.trace || self.profile || self.stats_json.is_some()
+    }
 }
 
 fn parse_args(rest: &[String]) -> Result<Args, String> {
@@ -71,6 +88,9 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
         shots: 0,
         mem_budget: None,
         opt_level: 1,
+        trace: false,
+        profile: false,
+        stats_json: None,
     };
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -129,6 +149,11 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
                 }
             }
             "--stats" => args.stats = true,
+            "--trace" => args.trace = true,
+            "--profile" => args.profile = true,
+            "--stats-json" => {
+                args.stats_json = Some(it.next().ok_or("--stats-json needs a path")?.clone());
+            }
             "--draw" => args.draw = true,
             "--v3" => args.v3 = true,
             "-o" | "--out" => {
@@ -162,6 +187,31 @@ fn read(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))
 }
 
+/// Renders the collector snapshot per the requested observability flags.
+///
+/// `--trace` and `--profile` go to stderr so they compose with piped
+/// program output; `--stats-json` writes the snapshot JSON to the given
+/// path (`-` for stdout).
+fn report_observability(args: &Args) -> Result<(), String> {
+    let snap = qutes_obs::snapshot();
+    if args.trace {
+        eprint!("{}", snap.render_trace());
+    }
+    if args.profile {
+        eprint!("{}", snap.render_profile());
+    }
+    if let Some(path) = &args.stats_json {
+        let json = snap.to_json();
+        if path == "-" {
+            println!("{json}");
+        } else {
+            std::fs::write(path, json.as_bytes())
+                .map_err(|e| format!("cannot write '{path}': {e}"))?;
+        }
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = argv.split_first() else {
@@ -191,8 +241,12 @@ fn main() -> ExitCode {
                 shots: args.shots,
                 memory_budget_bytes: args.mem_budget,
                 opt_level: args.opt_level,
+                observe: args.observing(),
                 ..RunConfig::default()
             };
+            if args.observing() {
+                qutes_obs::reset();
+            }
             match run_source(&source, &cfg) {
                 Ok(out) => {
                     for line in &out.output {
@@ -226,6 +280,12 @@ fn main() -> ExitCode {
                                 100.0 * r.gate_reduction()
                             ),
                             Err(e) => eprintln!("[opt] failed: {e}"),
+                        }
+                    }
+                    if args.observing() {
+                        if let Err(e) = report_observability(&args) {
+                            eprintln!("error: {e}");
+                            return ExitCode::FAILURE;
                         }
                     }
                     ExitCode::SUCCESS

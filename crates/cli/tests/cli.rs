@@ -131,6 +131,74 @@ fn bad_usage_exits_2() {
 }
 
 #[test]
+fn run_trace_prints_span_tree() {
+    let p = write_program(
+        "trace.qut",
+        "qubit a = |0>; qubit b = |0>; hadamard a; cnot a, b; print a;",
+    );
+    let out = qutes(&["run", p.to_str().unwrap(), "--trace", "--shots", "4"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("-- trace --"), "{err}");
+    assert!(err.contains("stage.parse"), "{err}");
+    assert!(err.contains("stage.op_pass"), "{err}");
+    assert!(err.contains("stage.optimize"), "{err}");
+    assert!(err.contains("stage.simulate"), "{err}");
+}
+
+#[test]
+fn run_profile_prints_hot_path_table() {
+    let p = write_program(
+        "profile.qut",
+        "qubit a = |0>; qubit b = |0>; hadamard a; cnot a, b; print a;",
+    );
+    let out = qutes(&["run", p.to_str().unwrap(), "--profile"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("-- profile --"), "{err}");
+    assert!(err.contains("-- counters --"), "{err}");
+    assert!(err.contains("gate.h"), "{err}");
+    assert!(err.contains("kernel.1q"), "{err}");
+}
+
+#[test]
+fn run_stats_json_writes_snapshot() {
+    let p = write_program("statsjson.qut", "qubit a = |+>; print a;");
+    let target = std::env::temp_dir().join("qutes-cli-tests/stats.json");
+    let _ = std::fs::remove_file(&target);
+    let out = qutes(&[
+        "run",
+        p.to_str().unwrap(),
+        "--stats-json",
+        target.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    // Observability output must not pollute stdout or stderr.
+    assert!(!stderr(&out).contains("-- trace --"));
+    let text = std::fs::read_to_string(&target).unwrap();
+    assert!(text.contains("\"version\": 1"), "{text}");
+    assert!(text.contains("\"timers\""), "{text}");
+    assert!(text.contains("\"counters\""), "{text}");
+    assert!(text.contains("\"spans\""), "{text}");
+    assert!(text.contains("gate.h"), "{text}");
+    assert_eq!(
+        text.matches('{').count(),
+        text.matches('}').count(),
+        "balanced JSON braces: {text}"
+    );
+}
+
+#[test]
+fn run_stats_json_dash_goes_to_stdout() {
+    let p = write_program("statsjson2.qut", "print 1;");
+    let out = qutes(&["run", p.to_str().unwrap(), "--stats-json", "-"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.lines().next().unwrap().trim() == "1", "{text}");
+    assert!(text.contains("\"version\": 1"), "{text}");
+}
+
+#[test]
 fn missing_file_reports_cleanly() {
     let out = qutes(&["run", "/nonexistent/path.qut"]);
     assert!(!out.status.success());

@@ -122,6 +122,10 @@ impl QuantumCircuitHandler {
         // referencing a creg added since the last measure would otherwise
         // index past the end.
         self.clbits.resize(self.circuit.num_clbits(), false);
+        // Inline simulation happens gate-by-gate during interpretation, so
+        // it is aggregated into the `stage.simulate` timer rather than
+        // opening one span per gate.
+        let t0 = qutes_obs::maybe_now();
         execute::apply_gate_noisy(
             &mut self.state,
             &mut self.clbits,
@@ -129,6 +133,9 @@ impl QuantumCircuitHandler {
             &mut self.rng,
             self.noise.as_ref(),
         )?;
+        if let Some(t0) = t0 {
+            qutes_obs::record_duration("stage.simulate", t0.elapsed());
+        }
         Ok(())
     }
 
@@ -161,6 +168,7 @@ impl QuantumCircuitHandler {
             // Readout error (when modelled) is applied inside: the live
             // state collapses to the true outcome, the classical bit may
             // report the flipped one — exactly a readout fault.
+            let t0 = qutes_obs::maybe_now();
             execute::apply_gate_noisy(
                 &mut self.state,
                 &mut self.clbits,
@@ -168,6 +176,9 @@ impl QuantumCircuitHandler {
                 &mut self.rng,
                 self.noise.as_ref(),
             )?;
+            if let Some(t0) = t0 {
+                qutes_obs::record_duration("stage.simulate", t0.elapsed());
+            }
             if self.clbits[creg.bit(k)] {
                 result |= 1 << k;
             }

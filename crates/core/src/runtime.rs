@@ -45,6 +45,12 @@ pub struct RunConfig {
     /// Circuit-optimization level for the post-run shot replay
     /// (0 = off, 1 = cancel/merge, 2 = +fusion). Default 1.
     pub opt_level: u8,
+    /// Enables the process-global `qutes-obs` collector before the run:
+    /// stage spans (lex/parse/typecheck/decl_pass/op_pass/optimize/
+    /// simulate), per-kernel timers, and per-gate counters. The caller
+    /// snapshots with `qutes_obs::snapshot()` afterwards. Off by default;
+    /// a disabled collector costs one atomic load per recording site.
+    pub observe: bool,
 }
 
 impl Default for RunConfig {
@@ -58,6 +64,7 @@ impl Default for RunConfig {
             shots: 0,
             memory_budget_bytes: None,
             opt_level: 1,
+            observe: false,
         }
     }
 }
@@ -81,8 +88,12 @@ pub struct RunOutcome {
 
 /// Parses, type-checks, and runs a Qutes source file.
 pub fn run_source(source: &str, config: &RunConfig) -> QutesResult<RunOutcome> {
+    if config.observe {
+        qutes_obs::set_enabled(true);
+    }
     let program = parse(source).map_err(QutesError::Compile)?;
     if !config.skip_typecheck {
+        let _span = qutes_obs::span("stage.typecheck");
         let diags = types::check_program(&program);
         if !diags.is_empty() {
             return Err(QutesError::Compile(diags));
@@ -93,16 +104,22 @@ pub fn run_source(source: &str, config: &RunConfig) -> QutesResult<RunOutcome> {
 
 /// Runs an already-parsed program.
 pub fn run_program(program: &Program, config: &RunConfig) -> QutesResult<RunOutcome> {
+    if config.observe {
+        qutes_obs::set_enabled(true);
+    }
     // Pass 1 (declaration pass): collect functions.
-    let decls: Vec<&FunctionDecl> = program
-        .items
-        .iter()
-        .filter_map(|i| match i {
-            Item::Function(f) => Some(f),
-            _ => None,
-        })
-        .collect();
-    let functions = FunctionTable::build(&decls).map_err(QutesError::Compile)?;
+    let functions = {
+        let _span = qutes_obs::span("stage.decl_pass");
+        let decls: Vec<&FunctionDecl> = program
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                Item::Function(f) => Some(f),
+                _ => None,
+            })
+            .collect();
+        FunctionTable::build(&decls).map_err(QutesError::Compile)?
+    };
 
     // Reject malformed noise probabilities before anything executes.
     if let Some(nm) = &config.noise {
@@ -127,10 +144,13 @@ pub fn run_program(program: &Program, config: &RunConfig) -> QutesResult<RunOutc
         max_call_depth: config.max_call_depth,
         anon_counter: 0,
     };
-    for item in &program.items {
-        if let Item::Statement(s) = item {
-            if let Flow::Return(_) = interp.exec_stmt(s)? {
-                break;
+    {
+        let _span = qutes_obs::span("stage.op_pass");
+        for item in &program.items {
+            if let Item::Statement(s) = item {
+                if let Flow::Return(_) = interp.exec_stmt(s)? {
+                    break;
+                }
             }
         }
     }
@@ -142,7 +162,8 @@ pub fn run_program(program: &Program, config: &RunConfig) -> QutesResult<RunOutc
         let mut exec_cfg = qutes_qcirc::ExecutionConfig::default()
             .with_shots(config.shots)
             .with_seed(config.seed)
-            .with_opt_level(config.opt_level);
+            .with_opt_level(config.opt_level)
+            .with_observe(config.observe);
         if let Some(nm) = &config.noise {
             exec_cfg = exec_cfg.with_noise(nm.clone());
         }

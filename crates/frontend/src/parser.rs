@@ -12,7 +12,11 @@ use crate::token::{Token, TokenKind};
 
 /// Parses a full source file into a [`Program`], or every diagnostic found.
 pub fn parse(source: &str) -> Result<Program, Vec<Diagnostic>> {
-    let tokens = lex(source).map_err(|d| vec![d])?;
+    let tokens = {
+        let _span = qutes_obs::span("stage.lex");
+        lex(source).map_err(|d| vec![d])?
+    };
+    let _span = qutes_obs::span("stage.parse");
     let mut p = Parser {
         tokens,
         pos: 0,

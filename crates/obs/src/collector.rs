@@ -1,0 +1,283 @@
+//! The process-global collector: one enabled flag, one mutex-guarded
+//! store of spans, timers, and counters.
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Cap on retained span records. Aggregated timers and counters keep
+/// accumulating past the cap; only the per-span trace list stops
+/// growing (the overflow is reported in [`Snapshot::dropped_spans`]).
+pub const MAX_SPANS: usize = 16_384;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+struct Inner {
+    /// Zero point for span start offsets, set at [`reset`].
+    epoch: Instant,
+    spans: Vec<RawSpan>,
+    dropped_spans: u64,
+    timers: BTreeMap<&'static str, TimerStat>,
+    counters: BTreeMap<&'static str, u64>,
+    /// Bumped by [`reset`] so stale [`SpanGuard`]s from before the reset
+    /// cannot write into the new span list.
+    generation: u64,
+}
+
+struct RawSpan {
+    name: &'static str,
+    depth: usize,
+    start_ns: u64,
+    dur_ns: Option<u64>,
+}
+
+impl Inner {
+    fn new() -> Self {
+        Inner {
+            epoch: Instant::now(),
+            spans: Vec::new(),
+            dropped_spans: 0,
+            timers: BTreeMap::new(),
+            counters: BTreeMap::new(),
+            generation: 0,
+        }
+    }
+}
+
+fn inner() -> &'static Mutex<Inner> {
+    static INNER: OnceLock<Mutex<Inner>> = OnceLock::new();
+    INNER.get_or_init(|| Mutex::new(Inner::new()))
+}
+
+/// Runs `f` on the store, recovering from a poisoned mutex (a panic
+/// while holding the lock must not take observability down with it).
+fn with_inner<T>(f: impl FnOnce(&mut Inner) -> T) -> T {
+    let mut guard = match inner().lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    f(&mut guard)
+}
+
+thread_local! {
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Turns collection on or off process-wide. Disabled is the default;
+/// while disabled every recording call is a single relaxed atomic load.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether collection is currently enabled.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// `Some(Instant::now())` when collection is enabled, `None` otherwise.
+/// The cheap prologue for manually timed hot paths:
+///
+/// ```
+/// let t0 = qutes_obs::maybe_now();
+/// // ... do the work ...
+/// if let Some(t0) = t0 {
+///     qutes_obs::record_duration("kernel.example", t0.elapsed());
+/// }
+/// ```
+#[inline]
+pub fn maybe_now() -> Option<Instant> {
+    if is_enabled() {
+        Some(Instant::now())
+    } else {
+        None
+    }
+}
+
+/// Clears every recorded span, timer, and counter and restarts the
+/// trace clock. Does not change the enabled flag.
+pub fn reset() {
+    with_inner(|i| {
+        let generation = i.generation + 1;
+        *i = Inner::new();
+        i.generation = generation;
+    });
+    DEPTH.with(|d| d.set(0));
+}
+
+/// Adds `delta` to the named counter (creating it at zero). No-op while
+/// collection is disabled.
+#[inline]
+pub fn counter_add(name: &'static str, delta: u64) {
+    if !is_enabled() {
+        return;
+    }
+    with_inner(|i| *i.counters.entry(name).or_insert(0) += delta);
+}
+
+/// Folds one measured duration into the named aggregate timer. No-op
+/// while collection is disabled.
+#[inline]
+pub fn record_duration(name: &'static str, dur: Duration) {
+    if !is_enabled() {
+        return;
+    }
+    let ns = u64::try_from(dur.as_nanos()).unwrap_or(u64::MAX);
+    with_inner(|i| fold_timer(i, name, ns));
+}
+
+fn fold_timer(i: &mut Inner, name: &'static str, ns: u64) {
+    let t = i.timers.entry(name).or_insert(TimerStat {
+        count: 0,
+        total_ns: 0,
+        min_ns: u64::MAX,
+        max_ns: 0,
+    });
+    t.count += 1;
+    t.total_ns += u128::from(ns);
+    t.min_ns = t.min_ns.min(ns);
+    t.max_ns = t.max_ns.max(ns);
+}
+
+/// Opens a named span. The interval is recorded when the returned guard
+/// drops: once into the nested trace (see [`Snapshot::spans`]) and once
+/// into the aggregate timer of the same name. Returns an inert guard
+/// while collection is disabled.
+pub fn span(name: &'static str) -> SpanGuard {
+    if !is_enabled() {
+        return SpanGuard {
+            name,
+            slot: None,
+            start: None,
+        };
+    }
+    let start = Instant::now();
+    let slot = with_inner(|i| {
+        let start_ns = u64::try_from(start.duration_since(i.epoch).as_nanos()).unwrap_or(u64::MAX);
+        if i.spans.len() >= MAX_SPANS {
+            i.dropped_spans += 1;
+            return None;
+        }
+        let depth = DEPTH.with(|d| d.get());
+        i.spans.push(RawSpan {
+            name,
+            depth,
+            start_ns,
+            dur_ns: None,
+        });
+        Some((i.spans.len() - 1, i.generation))
+    });
+    DEPTH.with(|d| d.set(d.get() + 1));
+    SpanGuard {
+        name,
+        slot,
+        start: Some(start),
+    }
+}
+
+/// Live handle for an open span; see [`span`].
+#[must_use = "a span records its duration when dropped"]
+pub struct SpanGuard {
+    name: &'static str,
+    /// `(index into spans, generation)` — `None` when the guard is inert
+    /// (collection disabled at open, or the span list was full).
+    slot: Option<(usize, u64)>,
+    start: Option<Instant>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else {
+            return; // inert: collection was disabled when the span opened
+        };
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let name = self.name;
+        let slot = self.slot;
+        with_inner(|i| {
+            if let Some((idx, generation)) = slot {
+                // A reset() between open and close invalidates the index.
+                if generation == i.generation {
+                    if let Some(s) = i.spans.get_mut(idx) {
+                        s.dur_ns = Some(ns);
+                    }
+                }
+            }
+            fold_timer(i, name, ns);
+        });
+    }
+}
+
+/// Aggregate statistics of one named timer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimerStat {
+    /// Number of recorded intervals.
+    pub count: u64,
+    /// Sum of all intervals in nanoseconds.
+    pub total_ns: u128,
+    /// Shortest recorded interval in nanoseconds.
+    pub min_ns: u64,
+    /// Longest recorded interval in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl TimerStat {
+    /// Mean interval in nanoseconds (0 for an empty timer).
+    pub fn mean_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            u64::try_from(self.total_ns / u128::from(self.count)).unwrap_or(u64::MAX)
+        }
+    }
+}
+
+/// One closed (or still-open) span in the recorded trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name (`stage.parse`, …).
+    pub name: &'static str,
+    /// Nesting depth at open time (0 = top level).
+    pub depth: usize,
+    /// Start offset in nanoseconds since the last [`reset`].
+    pub start_ns: u64,
+    /// Duration in nanoseconds; `None` if the guard never dropped.
+    pub dur_ns: Option<u64>,
+}
+
+/// A point-in-time copy of everything the collector holds. Obtain with
+/// [`snapshot`]; render with [`Snapshot::render_trace`],
+/// [`Snapshot::render_profile`], or [`Snapshot::to_json`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// The nested span trace, in open order.
+    pub spans: Vec<SpanRecord>,
+    /// Aggregated timers by name (spans fold in here too).
+    pub timers: BTreeMap<&'static str, TimerStat>,
+    /// Counters by name.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Spans discarded after the trace list hit [`MAX_SPANS`].
+    pub dropped_spans: u64,
+}
+
+/// Copies the collector's current contents. Cheap relative to a
+/// profiling run; safe to call with collection enabled or disabled.
+pub fn snapshot() -> Snapshot {
+    with_inner(|i| Snapshot {
+        spans: i
+            .spans
+            .iter()
+            .map(|s| SpanRecord {
+                name: s.name,
+                depth: s.depth,
+                start_ns: s.start_ns,
+                dur_ns: s.dur_ns,
+            })
+            .collect(),
+        timers: i.timers.clone(),
+        counters: i.counters.clone(),
+        dropped_spans: i.dropped_spans,
+    })
+}

@@ -1,0 +1,270 @@
+//! Human-readable and JSON renderings of a [`Snapshot`].
+
+use crate::collector::Snapshot;
+use std::fmt::Write as _;
+
+/// Formats a nanosecond count with an adaptive unit (`421ns`, `3.2us`,
+/// `14.8ms`, `2.31s`).
+///
+/// ```
+/// assert_eq!(qutes_obs::fmt_ns(421), "421ns");
+/// assert_eq!(qutes_obs::fmt_ns(3_200), "3.2us");
+/// assert_eq!(qutes_obs::fmt_ns(14_800_000), "14.8ms");
+/// assert_eq!(qutes_obs::fmt_ns(2_310_000_000), "2.31s");
+/// ```
+pub fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Snapshot {
+    /// Renders the nested span trace as an indented tree, one line per
+    /// span, in open order:
+    ///
+    /// ```text
+    /// -- trace --
+    /// stage.parse                       1.2ms
+    /// stage.op_pass                    10.4ms
+    ///   stage.optimize                  1.1ms
+    /// ```
+    pub fn render_trace(&self) -> String {
+        let mut out = String::from("-- trace --\n");
+        if self.spans.is_empty() {
+            out.push_str("(no spans recorded)\n");
+            return out;
+        }
+        for s in &self.spans {
+            let label = format!("{}{}", "  ".repeat(s.depth), s.name);
+            let dur = match s.dur_ns {
+                Some(ns) => fmt_ns(ns),
+                None => "(open)".to_string(),
+            };
+            let _ = writeln!(out, "{label:<40} {dur:>10}");
+        }
+        if self.dropped_spans > 0 {
+            let _ = writeln!(out, "({} spans dropped past the cap)", self.dropped_spans);
+        }
+        out
+    }
+
+    /// Renders the aggregated hot-path table: timers sorted by
+    /// descending total time, then every counter.
+    ///
+    /// ```text
+    /// -- profile --
+    /// timer                             count        total         mean
+    /// stage.simulate                        1       12.3ms       12.3ms
+    /// kernel.1q                           240        8.1ms       33.8us
+    /// -- counters --
+    /// gate.h                               24
+    /// ```
+    pub fn render_profile(&self) -> String {
+        let mut out = String::from("-- profile --\n");
+        if self.timers.is_empty() {
+            out.push_str("(no timers recorded)\n");
+        } else {
+            let _ = writeln!(
+                out,
+                "{:<34} {:>7} {:>12} {:>12}",
+                "timer", "count", "total", "mean"
+            );
+            let mut rows: Vec<_> = self.timers.iter().collect();
+            rows.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then(a.0.cmp(b.0)));
+            for (name, t) in rows {
+                let total = fmt_ns(u64::try_from(t.total_ns).unwrap_or(u64::MAX));
+                let _ = writeln!(
+                    out,
+                    "{:<34} {:>7} {:>12} {:>12}",
+                    name,
+                    t.count,
+                    total,
+                    fmt_ns(t.mean_ns())
+                );
+            }
+        }
+        out.push_str("-- counters --\n");
+        if self.counters.is_empty() {
+            out.push_str("(no counters recorded)\n");
+        } else {
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "{name:<34} {v:>7}");
+            }
+        }
+        out
+    }
+
+    /// Serialises the snapshot as JSON (hand-rolled; no dependencies).
+    /// The schema is documented in `docs/observability.md`:
+    ///
+    /// ```json
+    /// {
+    ///   "version": 1,
+    ///   "timers": {"stage.parse": {"count": 1, "total_ns": 9, "min_ns": 9, "max_ns": 9, "mean_ns": 9}},
+    ///   "counters": {"gate.h": 3},
+    ///   "spans": [{"name": "stage.parse", "depth": 0, "start_ns": 4, "dur_ns": 9}],
+    ///   "dropped_spans": 0
+    /// }
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"timers\": {");
+        for (i, (name, t)) in self.timers.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    \"{}\": {{\"count\": {}, \"total_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"mean_ns\": {}}}",
+                json_escape(name),
+                t.count,
+                t.total_ns,
+                if t.count == 0 { 0 } else { t.min_ns },
+                t.max_ns,
+                t.mean_ns()
+            );
+        }
+        if !self.timers.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{}\": {v}", json_escape(name));
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"spans\": [");
+        for (i, s) in self.spans.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let dur = match s.dur_ns {
+                Some(ns) => ns.to_string(),
+                None => "null".to_string(),
+            };
+            let _ = write!(
+                out,
+                "{sep}\n    {{\"name\": \"{}\", \"depth\": {}, \"start_ns\": {}, \"dur_ns\": {dur}}}",
+                json_escape(s.name),
+                s.depth,
+                s.start_ns
+            );
+        }
+        if !self.spans.is_empty() {
+            out.push_str("\n  ");
+        }
+        let _ = write!(out, "],\n  \"dropped_spans\": {}\n}}\n", self.dropped_spans);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::collector::{Snapshot, SpanRecord, TimerStat};
+
+    fn sample() -> Snapshot {
+        let mut s = Snapshot::default();
+        s.spans.push(SpanRecord {
+            name: "stage.parse",
+            depth: 0,
+            start_ns: 10,
+            dur_ns: Some(1_200_000),
+        });
+        s.spans.push(SpanRecord {
+            name: "stage.optimize",
+            depth: 1,
+            start_ns: 20,
+            dur_ns: None,
+        });
+        s.timers.insert(
+            "stage.parse",
+            TimerStat {
+                count: 1,
+                total_ns: 1_200_000,
+                min_ns: 1_200_000,
+                max_ns: 1_200_000,
+            },
+        );
+        s.timers.insert(
+            "kernel.1q",
+            TimerStat {
+                count: 4,
+                total_ns: 8_000,
+                min_ns: 1_000,
+                max_ns: 3_000,
+            },
+        );
+        s.counters.insert("gate.h", 24);
+        s
+    }
+
+    #[test]
+    fn trace_indents_by_depth_and_marks_open_spans() {
+        let t = sample().render_trace();
+        assert!(t.contains("stage.parse"), "{t}");
+        assert!(t.contains("  stage.optimize"), "{t}");
+        assert!(t.contains("(open)"), "{t}");
+    }
+
+    #[test]
+    fn profile_sorts_by_total_descending() {
+        let p = sample().render_profile();
+        let parse_at = p.find("stage.parse").unwrap();
+        let kernel_at = p.find("kernel.1q").unwrap();
+        assert!(parse_at < kernel_at, "{p}");
+        assert!(p.contains("gate.h"), "{p}");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_placeholders() {
+        let s = Snapshot::default();
+        assert!(s.render_trace().contains("(no spans recorded)"));
+        assert!(s.render_profile().contains("(no timers recorded)"));
+        assert!(s.render_profile().contains("(no counters recorded)"));
+    }
+
+    #[test]
+    fn json_has_documented_shape() {
+        let j = sample().to_json();
+        assert!(j.contains("\"version\": 1"), "{j}");
+        assert!(j.contains("\"timers\""), "{j}");
+        assert!(j.contains("\"counters\""), "{j}");
+        assert!(j.contains("\"spans\""), "{j}");
+        assert!(j.contains("\"gate.h\": 24"), "{j}");
+        assert!(j.contains("\"dur_ns\": null"), "{j}");
+        assert!(j.contains("\"mean_ns\": 2000"), "{j}");
+        // Balanced braces/brackets — a cheap structural validity check.
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "unbalanced braces: {j}"
+        );
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn empty_json_is_structurally_valid() {
+        let j = Snapshot::default().to_json();
+        assert!(j.contains("\"timers\": {}"), "{j}");
+        assert!(j.contains("\"counters\": {}"), "{j}");
+        assert!(j.contains("\"spans\": []"), "{j}");
+    }
+}

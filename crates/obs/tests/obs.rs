@@ -1,0 +1,92 @@
+//! End-to-end exercise of the global collector. The collector is
+//! process-global, so everything lives in one sequential test to avoid
+//! interference from the parallel test runner.
+
+use std::time::Duration;
+
+#[test]
+fn collector_lifecycle() {
+    // Disabled (the default): nothing records, guards are inert.
+    qutes_obs::reset();
+    assert!(!qutes_obs::is_enabled());
+    assert!(qutes_obs::maybe_now().is_none());
+    {
+        let _g = qutes_obs::span("stage.parse");
+        qutes_obs::counter_add("gate.h", 5);
+        qutes_obs::record_duration("kernel.1q", Duration::from_micros(3));
+    }
+    let snap = qutes_obs::snapshot();
+    assert!(snap.spans.is_empty());
+    assert!(snap.timers.is_empty());
+    assert!(snap.counters.is_empty());
+
+    // Enabled: spans nest, fold into timers, counters accumulate.
+    qutes_obs::set_enabled(true);
+    assert!(qutes_obs::maybe_now().is_some());
+    {
+        let _outer = qutes_obs::span("stage.op_pass");
+        {
+            let _inner = qutes_obs::span("stage.optimize");
+            qutes_obs::counter_add("opt.cancelled", 2);
+        }
+        qutes_obs::counter_add("gate.h", 3);
+        qutes_obs::counter_add("gate.h", 1);
+        qutes_obs::record_duration("kernel.1q", Duration::from_micros(2));
+        qutes_obs::record_duration("kernel.1q", Duration::from_micros(4));
+    }
+    qutes_obs::set_enabled(false);
+
+    let snap = qutes_obs::snapshot();
+    assert_eq!(snap.counters["gate.h"], 4);
+    assert_eq!(snap.counters["opt.cancelled"], 2);
+    assert_eq!(snap.spans.len(), 2);
+    assert_eq!(snap.spans[0].name, "stage.op_pass");
+    assert_eq!(snap.spans[0].depth, 0);
+    assert_eq!(snap.spans[1].name, "stage.optimize");
+    assert_eq!(snap.spans[1].depth, 1);
+    // Both spans closed, and the outer span envelops the inner one.
+    let outer_ns = snap.spans[0].dur_ns.expect("outer closed");
+    let inner_ns = snap.spans[1].dur_ns.expect("inner closed");
+    assert!(outer_ns >= inner_ns);
+
+    // Spans also show up as aggregate timers; manual durations fold.
+    assert_eq!(snap.timers["stage.op_pass"].count, 1);
+    assert_eq!(snap.timers["stage.optimize"].count, 1);
+    let k = snap.timers["kernel.1q"];
+    assert_eq!(k.count, 2);
+    assert_eq!(k.total_ns, 6_000);
+    assert_eq!(k.min_ns, 2_000);
+    assert_eq!(k.max_ns, 4_000);
+    assert_eq!(k.mean_ns(), 3_000);
+
+    // Renderers consume the real snapshot without panicking.
+    let trace = snap.render_trace();
+    assert!(trace.contains("stage.op_pass"), "{trace}");
+    assert!(trace.contains("  stage.optimize"), "{trace}");
+    let profile = snap.render_profile();
+    assert!(profile.contains("kernel.1q"), "{profile}");
+    assert!(profile.contains("gate.h"), "{profile}");
+    let json = snap.to_json();
+    assert!(json.contains("\"version\": 1"), "{json}");
+    assert!(json.contains("\"gate.h\": 4"), "{json}");
+
+    // A guard kept alive across reset() must not corrupt the new trace.
+    qutes_obs::set_enabled(true);
+    let stale = qutes_obs::span("stage.simulate");
+    qutes_obs::reset();
+    {
+        let _fresh = qutes_obs::span("stage.lex");
+    }
+    drop(stale);
+    qutes_obs::set_enabled(false);
+    let snap = qutes_obs::snapshot();
+    assert_eq!(snap.spans.len(), 1);
+    assert_eq!(snap.spans[0].name, "stage.lex");
+    // The stale guard still folded into the (post-reset) aggregate timer,
+    // but did not overwrite any span slot.
+    assert!(snap.spans[0].dur_ns.is_some());
+
+    // reset() leaves the store empty again.
+    qutes_obs::reset();
+    assert_eq!(qutes_obs::snapshot(), qutes_obs::Snapshot::default());
+}

@@ -1,5 +1,14 @@
 //! The `QuantumCircuit` builder — the IR the Qutes compiler lowers into,
 //! playing the role Qiskit's `QuantumCircuit` plays in the paper.
+//!
+//! ```
+//! use qutes_qcirc::QuantumCircuit;
+//!
+//! let mut c = QuantumCircuit::with_qubits(2);
+//! c.h(0).unwrap().cx(0, 1).unwrap();
+//! assert_eq!(c.len(), 2);
+//! assert_eq!(c.num_qubits(), 2);
+//! ```
 
 use crate::error::{CircError, CircResult};
 use crate::gate::Gate;

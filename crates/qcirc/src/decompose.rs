@@ -10,6 +10,17 @@
 //! * [`mcx_vchain`] — the Toffoli V-chain, linear gate count but requiring
 //!   `k-2` clean ancilla qubits.
 //!
+//! ```
+//! use qutes_qcirc::decompose::{transpile, Basis};
+//! use qutes_qcirc::QuantumCircuit;
+//!
+//! let mut c = QuantumCircuit::with_qubits(2);
+//! c.h(0).unwrap().cx(0, 1).unwrap();
+//! // Lower to the {U, CX} hardware basis: H becomes a U rotation.
+//! let lowered = transpile(&c, Basis::CxU).unwrap();
+//! assert_eq!(lowered.num_qubits(), 2);
+//! ```
+//!
 //! [`transpile`] lowers a whole circuit to the hardware-style
 //! `{U(theta,phi,lambda), CX}` basis (global phases tracked exactly so the
 //! statevector matches bit-for-bit, not just up to phase).
@@ -354,6 +365,7 @@ fn lower_to_standard(g: &Gate, ops: &mut Vec<Gate>) -> CircResult<()> {
 
 /// Lowers every instruction of `circuit` to the chosen basis.
 pub fn transpile(circuit: &QuantumCircuit, basis: Basis) -> CircResult<QuantumCircuit> {
+    let _span = qutes_obs::span("stage.transpile");
     let mut out = circuit.clone_structure();
     let mut ops = Vec::new();
     for g in circuit.ops() {

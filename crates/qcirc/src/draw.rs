@@ -5,6 +5,16 @@
 //! where every wire it needs is free, and multi-qubit instructions also
 //! block the wires *between* their endpoints so the vertical connector
 //! has room.
+//!
+//! ```
+//! use qutes_qcirc::{draw, QuantumCircuit};
+//!
+//! let mut c = QuantumCircuit::with_qubits(2);
+//! c.h(0).unwrap().cx(0, 1).unwrap();
+//! let art = draw(&c);
+//! assert!(art.contains("q0: "));
+//! assert!(art.contains('H'));
+//! ```
 
 use crate::circuit::QuantumCircuit;
 use crate::gate::Gate;

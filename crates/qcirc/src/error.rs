@@ -1,4 +1,13 @@
 //! Error type for circuit construction and execution.
+//!
+//! ```
+//! use qutes_qcirc::QuantumCircuit;
+//!
+//! // Addressing qubit 5 in a 2-qubit circuit is a structural error.
+//! let mut c = QuantumCircuit::with_qubits(2);
+//! let err = c.h(5).unwrap_err();
+//! assert!(err.to_string().contains("out of range"));
+//! ```
 
 use std::fmt;
 

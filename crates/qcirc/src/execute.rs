@@ -9,6 +9,16 @@
 //!   sampled `shots` times (the standard Aer fast path); otherwise each
 //!   shot re-runs the full circuit.
 //!
+//! ```
+//! use qutes_qcirc::execute::statevector;
+//! use qutes_qcirc::QuantumCircuit;
+//!
+//! let mut c = QuantumCircuit::with_qubits(1);
+//! c.h(0).unwrap();
+//! let sv = statevector(&c).unwrap();
+//! assert!((sv.probability_one(0).unwrap() - 0.5).abs() < 1e-12);
+//! ```
+//!
 //! The hardened entry points [`run_shots_cfg`] / [`run_once_cfg`] take an
 //! [`ExecutionConfig`] adding a seed, an optional Monte-Carlo
 //! [`NoiseModel`] (the fast path is disabled whenever noise is actually
@@ -52,6 +62,11 @@ pub struct ExecutionConfig {
     /// before execution: 0 = off, 1 = cancellation + rotation merging,
     /// 2 = additionally single-qubit gate fusion. See [`mod@crate::optimize`].
     pub opt_level: u8,
+    /// Enables the process-global `qutes-obs` collector before this run
+    /// (stage spans, per-kernel timers, per-gate counters). Collection
+    /// stays on afterwards so the caller can snapshot; disabled runs pay
+    /// only one atomic load per recording site.
+    pub observe: bool,
 }
 
 impl Default for ExecutionConfig {
@@ -63,6 +78,7 @@ impl Default for ExecutionConfig {
             max_gate_applications: None,
             memory_budget_bytes: None,
             opt_level: 1,
+            observe: false,
         }
     }
 }
@@ -103,6 +119,20 @@ impl ExecutionConfig {
     pub fn with_opt_level(mut self, level: u8) -> Self {
         self.opt_level = level;
         self
+    }
+
+    /// Turns observability collection on for this run (see
+    /// [`ExecutionConfig::observe`]).
+    pub fn with_observe(mut self, on: bool) -> Self {
+        self.observe = on;
+        self
+    }
+
+    /// Enables the global collector when this config asks for it.
+    fn arm_observability(&self) {
+        if self.observe {
+            qutes_obs::set_enabled(true);
+        }
     }
 
     /// The circuit actually executed: the input rewritten by
@@ -345,7 +375,10 @@ fn apply_unitary(state: &mut StateVector, g: &Gate) -> CircResult<()> {
         } => state.apply_controlled(&gates::phase(*lambda), controls, *target)?,
         Swap { a, b } => state.apply_swap(*a, *b)?,
         CSwap { control, a, b } => state.apply_controlled_swap(&[*control], *a, *b)?,
-        Unitary { target, matrix } => state.apply_single(matrix, *target)?,
+        Unitary { target, matrix } => {
+            qutes_obs::counter_add("kernel.fused_unitary", 1);
+            state.apply_single(matrix, *target)?;
+        }
         Measure { .. } | Reset(_) | Barrier(_) | Conditional { .. } | GlobalPhase(_) => {
             return Err(CircError::NonUnitary(g.name()));
         }
@@ -364,6 +397,7 @@ fn apply_gate_full<R: Rng + ?Sized>(
     budget: &mut GateBudget,
 ) -> CircResult<()> {
     budget.charge()?;
+    qutes_obs::counter_add(g.counter_name(), 1);
     match g {
         Gate::Measure { qubit, clbit } => {
             check_clbit(clbits, *clbit)?;
@@ -424,10 +458,12 @@ pub fn run_once<R: Rng + ?Sized>(circuit: &QuantumCircuit, rng: &mut R) -> CircR
 /// Runs the circuit once under an [`ExecutionConfig`]: seeded RNG,
 /// optional noise, memory pre-flight, and gate budget.
 pub fn run_once_cfg(circuit: &QuantumCircuit, cfg: &ExecutionConfig) -> CircResult<Shot> {
+    cfg.arm_observability();
     cfg.validate()?;
     cfg.check_memory(circuit.num_qubits())?;
     let circuit = cfg.optimized(circuit)?;
     let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let _span = qutes_obs::span("stage.simulate");
     run_once_full(&circuit, &mut rng, cfg.effective_noise(), cfg.budget())
 }
 
@@ -508,10 +544,12 @@ pub fn run_shots<R: Rng + ?Sized>(
 /// circuit. The pre-flight memory check runs before any state is
 /// allocated, and the gate budget applies per shot.
 pub fn run_shots_cfg(circuit: &QuantumCircuit, cfg: &ExecutionConfig) -> CircResult<Counts> {
+    cfg.arm_observability();
     cfg.validate()?;
     cfg.check_memory(circuit.num_qubits())?;
     let circuit = cfg.optimized(circuit)?;
     let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let _span = qutes_obs::span("stage.simulate");
     run_shots_full(&circuit, cfg.shots, &mut rng, cfg.effective_noise(), cfg)
 }
 
@@ -523,7 +561,9 @@ fn run_shots_full<R: Rng + ?Sized>(
     cfg: &ExecutionConfig,
 ) -> CircResult<Counts> {
     let mut map = HashMap::new();
+    qutes_obs::counter_add("sim.shots", shots as u64);
     if noise.is_none() && measurements_are_terminal(circuit) {
+        qutes_obs::counter_add("sim.fast_path", 1);
         // Fast path: simulate the unitary prefix once, then sample.
         let mut state = StateVector::new(circuit.num_qubits())?;
         let mut clbits = vec![false; circuit.num_clbits()];
@@ -551,6 +591,7 @@ fn run_shots_full<R: Rng + ?Sized>(
             *map.entry(key).or_insert(0) += count;
         }
     } else {
+        qutes_obs::counter_add("sim.slow_path", 1);
         for _ in 0..shots {
             let shot = run_once_full(circuit, rng, noise, cfg.budget())?;
             *map.entry(shot.clbits_as_usize()).or_insert(0) += 1;

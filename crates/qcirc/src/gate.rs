@@ -4,6 +4,15 @@
 //! single-qubit gates, controlled and multi-controlled variants, swaps,
 //! measurement, reset, barriers, and classically-conditioned gates (used
 //! for teleportation-style corrections in the entanglement-swap builtin).
+//!
+//! ```
+//! use qutes_qcirc::Gate;
+//!
+//! let g = Gate::CX { control: 0, target: 1 };
+//! assert_eq!(g.qubits(), vec![0, 1]);
+//! assert_eq!(g.counter_name(), "gate.cx");
+//! assert_eq!(Gate::H(0).inverse(), Some(Gate::H(0)));
+//! ```
 
 use qutes_sim::Matrix2;
 use std::fmt;
@@ -262,6 +271,46 @@ impl Gate {
             Conditional { .. } => "if",
             GlobalPhase(_) => "gphase",
             Unitary { .. } => "unitary",
+        }
+    }
+
+    /// The observability counter name for this instruction:
+    /// `gate.<mnemonic>` with the same mnemonic as [`Gate::name`]
+    /// (e.g. `gate.h`, `gate.cx`, `gate.unitary`). The execution layer
+    /// bumps this counter once per application when profiling is on.
+    pub fn counter_name(&self) -> &'static str {
+        use Gate::*;
+        match self {
+            H(_) => "gate.h",
+            X(_) => "gate.x",
+            Y(_) => "gate.y",
+            Z(_) => "gate.z",
+            S(_) => "gate.s",
+            Sdg(_) => "gate.sdg",
+            T(_) => "gate.t",
+            Tdg(_) => "gate.tdg",
+            SX(_) => "gate.sx",
+            SXdg(_) => "gate.sxdg",
+            Phase { .. } => "gate.p",
+            RX { .. } => "gate.rx",
+            RY { .. } => "gate.ry",
+            RZ { .. } => "gate.rz",
+            U { .. } => "gate.u",
+            CX { .. } => "gate.cx",
+            CY { .. } => "gate.cy",
+            CZ { .. } => "gate.cz",
+            CPhase { .. } => "gate.cp",
+            CCX { .. } => "gate.ccx",
+            MCX { .. } => "gate.mcx",
+            MCPhase { .. } => "gate.mcp",
+            Swap { .. } => "gate.swap",
+            CSwap { .. } => "gate.cswap",
+            Measure { .. } => "gate.measure",
+            Reset(_) => "gate.reset",
+            Barrier(_) => "gate.barrier",
+            Conditional { .. } => "gate.if",
+            GlobalPhase(_) => "gate.gphase",
+            Unitary { .. } => "gate.unitary",
         }
     }
 

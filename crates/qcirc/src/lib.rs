@@ -20,6 +20,7 @@
 //! assert_eq!(counts.get(0b00) + counts.get(0b11), 100);
 //! ```
 
+#![deny(missing_docs)]
 // Library code must surface failures as `CircError`, never abort; tests
 // keep the ergonomic unwrap style.
 #![cfg_attr(

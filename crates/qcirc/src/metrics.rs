@@ -1,5 +1,16 @@
 //! Circuit metrics: depth, gate counts, and width — the quantities the
 //! paper's cyclic-shift experiment (E3) and conciseness table (E6) report.
+//!
+//! ```
+//! use qutes_qcirc::QuantumCircuit;
+//!
+//! let mut c = QuantumCircuit::with_qubits(2);
+//! c.h(0).unwrap().h(1).unwrap().cx(0, 1).unwrap();
+//! let stats = c.stats();
+//! assert_eq!(stats.size, 3);
+//! assert_eq!(stats.depth, 2); // the two H's share a time step
+//! assert_eq!(c.count_ops()["h"], 2);
+//! ```
 
 use crate::circuit::QuantumCircuit;
 use crate::gate::Gate;
@@ -25,6 +36,12 @@ impl QuantumCircuit {
     /// `1 + max(level of every wire it touches)`; barriers synchronise
     /// their wires without contributing a layer. Measurements count (they
     /// occupy a time slot on both wires), matching Qiskit's convention.
+    ///
+    /// A fused [`Gate::Unitary`] (produced by level-2 optimization from a
+    /// run of single-qubit gates) counts as **one** layer, like any other
+    /// single instruction: depth measures the circuit as written, so
+    /// fusing `k` gates into one matrix legitimately shrinks the reported
+    /// depth by `k - 1`. Compare depths at the same optimization level.
     pub fn depth(&self) -> usize {
         let mut qlevel = vec![0usize; self.num_qubits()];
         let mut clevel = vec![0usize; self.num_clbits()];
@@ -173,6 +190,31 @@ mod tests {
         assert_eq!(s.size, 3);
         assert_eq!(s.multi_qubit_ops, 2);
         assert_eq!(s.depth, 3);
+    }
+
+    #[test]
+    fn fused_unitary_counts_as_one_layer() {
+        // A run of single-qubit gates fused by the level-2 optimizer
+        // must report depth 1, not the depth of the original run.
+        let mut c = QuantumCircuit::with_qubits(2);
+        c.h(0).unwrap().s(0).unwrap().t(0).unwrap().h(0).unwrap();
+        assert_eq!(c.depth(), 4);
+        let (fused, _) = crate::optimize::optimize(&c, 2).unwrap();
+        assert!(
+            fused
+                .ops()
+                .iter()
+                .any(|g| matches!(g, Gate::Unitary { .. })),
+            "level 2 should have fused the run: {fused:?}"
+        );
+        assert_eq!(fused.depth(), 1);
+        assert_eq!(fused.size(), 1);
+        // And it occupies one slot relative to other wires too.
+        let mut c2 = QuantumCircuit::with_qubits(2);
+        c2.h(0).unwrap().s(0).unwrap();
+        c2.cx(0, 1).unwrap();
+        let (fused2, _) = crate::optimize::optimize(&c2, 2).unwrap();
+        assert_eq!(fused2.depth(), 2, "{fused2:?}");
     }
 
     #[test]

@@ -30,6 +30,17 @@
 //! [`crate::ExecutionConfig::opt_level`] (0 = off, 1 = cancel/merge,
 //! 2 = +fusion; default 1), so gate budgets meter the gates *actually
 //! executed* rather than the raw logged stream.
+//!
+//! ```
+//! use qutes_qcirc::{optimize, QuantumCircuit};
+//!
+//! // H·H annihilates at level 1.
+//! let mut c = QuantumCircuit::with_qubits(1);
+//! c.h(0).unwrap().h(0).unwrap();
+//! let (opt, report) = optimize(&c, 1).unwrap();
+//! assert_eq!(opt.len(), 0);
+//! assert_eq!(report.cancelled, 2);
+//! ```
 
 use crate::circuit::QuantumCircuit;
 use crate::error::CircResult;
@@ -80,6 +91,7 @@ pub fn optimize(
     circuit: &QuantumCircuit,
     level: u8,
 ) -> CircResult<(QuantumCircuit, OptimizationReport)> {
+    let _span = qutes_obs::span("stage.optimize");
     let before = circuit.stats();
     let mut report = OptimizationReport {
         level,
@@ -114,6 +126,13 @@ pub fn optimize(
     let after = out.stats();
     report.gates_after = after.size;
     report.depth_after = after.depth;
+    if qutes_obs::is_enabled() {
+        qutes_obs::counter_add("opt.gates_before", report.gates_before as u64);
+        qutes_obs::counter_add("opt.gates_after", report.gates_after as u64);
+        qutes_obs::counter_add("opt.cancelled", report.cancelled as u64);
+        qutes_obs::counter_add("opt.merged", report.merged as u64);
+        qutes_obs::counter_add("opt.fused", report.fused as u64);
+    }
     Ok((out, report))
 }
 

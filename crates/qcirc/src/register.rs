@@ -4,6 +4,17 @@
 //! `QuantumCircuitHandler` "incorporates all necessary QuantumRegisters
 //! associated with declared variables"), so registers are contiguous,
 //! named windows of the circuit's qubit/clbit index space.
+//!
+//! ```
+//! use qutes_qcirc::QuantumCircuit;
+//!
+//! let mut c = QuantumCircuit::new();
+//! let a = c.add_qreg("a", 2);
+//! let b = c.add_qreg("b", 3);
+//! assert_eq!(a.qubits(), vec![0, 1]);
+//! assert_eq!(b.offset(), 2);
+//! assert_eq!(b.qubit(1), 3); // global index of b's second qubit
+//! ```
 
 /// A named, contiguous window of qubits inside a circuit.
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -4,6 +4,15 @@
 //! dependency set), so the simulator carries its own `Complex64`. Only the
 //! operations a statevector simulator needs are implemented: arithmetic,
 //! conjugation, modulus, and the polar helpers used to build phase gates.
+//!
+//! ```
+//! use qutes_sim::complex::c64;
+//!
+//! let i = c64(0.0, 1.0);
+//! assert_eq!(i * i, c64(-1.0, 0.0));
+//! assert_eq!(i.conj(), c64(0.0, -1.0));
+//! assert!((i.norm_sqr() - 1.0).abs() < 1e-15);
+//! ```
 
 use std::fmt;
 use std::iter::Sum;

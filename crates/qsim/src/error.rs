@@ -1,4 +1,13 @@
 //! Error type for simulator operations.
+//!
+//! ```
+//! use qutes_sim::{gates, StateVector};
+//!
+//! // Applying a gate past the register width is a structural error.
+//! let mut sv = StateVector::new(1).unwrap();
+//! let err = sv.apply_single(&gates::x(), 3).unwrap_err();
+//! assert!(err.to_string().contains("out of range"));
+//! ```
 
 use std::fmt;
 

@@ -6,6 +6,15 @@
 //! a [`Matrix2`]. Standard matrices (Pauli, Hadamard, phase family,
 //! rotations, and the general `U(theta, phi, lambda)`) are provided as
 //! constructors.
+//!
+//! ```
+//! use qutes_sim::gates::{self, Matrix2};
+//!
+//! // H is self-inverse: H·H = I.
+//! let hh = gates::h().matmul(&gates::h());
+//! assert!(hh.approx_eq(&Matrix2::IDENTITY, 1e-12));
+//! assert!(gates::x().is_unitary(1e-12));
+//! ```
 
 use crate::complex::{c64, Complex64};
 use std::f64::consts::{FRAC_1_SQRT_2, FRAC_PI_4};

@@ -27,6 +27,8 @@
 //! assert_eq!(a, b);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod complex;
 pub mod error;
 pub mod gates;

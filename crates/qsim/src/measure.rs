@@ -4,6 +4,18 @@
 //! All randomness flows through a caller-supplied [`rand::Rng`], so the
 //! Qutes runtime (and every test) can be made deterministic with a seeded
 //! `StdRng`.
+//!
+//! ```
+//! use qutes_sim::{gates, measure, StateVector};
+//! use rand::SeedableRng;
+//!
+//! let mut sv = StateVector::new(1).unwrap();
+//! sv.apply_single(&gates::x(), 0).unwrap();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! // |1> measures to 1 with certainty, and the state stays collapsed.
+//! assert!(measure::measure_qubit(&mut sv, 0, &mut rng).unwrap());
+//! assert!((sv.probability_one(0).unwrap() - 1.0).abs() < 1e-12);
+//! ```
 
 use crate::error::SimResult;
 use crate::state::StateVector;

@@ -18,6 +18,15 @@
 //! seeded noiseless runs bit-identical whether or not a model is
 //! attached (and is relied on by the execution layer's fast-path
 //! selection).
+//!
+//! ```
+//! use qutes_sim::NoiseModel;
+//!
+//! let nm = NoiseModel::depolarizing(0.01).with_readout_error(0.02);
+//! nm.validate().unwrap();
+//! assert!(!nm.is_noiseless());
+//! assert!(NoiseModel::none().is_noiseless());
+//! ```
 
 use crate::error::{SimError, SimResult};
 use crate::gates;
@@ -149,12 +158,15 @@ impl NoiseModel {
         };
         for &q in qubits {
             if self.bit_flip > 0.0 && rng.random::<f64>() < self.bit_flip {
+                qutes_obs::counter_add("noise.faults.bit_flip", 1);
                 state.apply_single(&gates::x(), q)?;
             }
             if self.phase_flip > 0.0 && rng.random::<f64>() < self.phase_flip {
+                qutes_obs::counter_add("noise.faults.phase_flip", 1);
                 state.apply_single(&gates::z(), q)?;
             }
             if depol > 0.0 && rng.random::<f64>() < depol {
+                qutes_obs::counter_add("noise.faults.depolarizing", 1);
                 let pauli = match rng.random_range(0..3u8) {
                     0 => gates::x(),
                     1 => gates::y(),
@@ -183,6 +195,7 @@ impl NoiseModel {
         let gamma = self.amplitude_damping;
         let p1 = state.probability_one(q)?;
         if rng.random::<f64>() < gamma * p1 {
+            qutes_obs::counter_add("noise.faults.damping_jump", 1);
             // Jump branch: the qubit was |1> and relaxed to |0>.
             state.collapse_qubit(q, true)?;
             state.flip_if_one(q)?;
@@ -204,6 +217,7 @@ impl NoiseModel {
     /// probability `readout_error`. Draws no randomness at rate zero.
     pub fn flip_readout<R: Rng + ?Sized>(&self, bit: bool, rng: &mut R) -> bool {
         if self.readout_error > 0.0 && rng.random::<f64>() < self.readout_error {
+            qutes_obs::counter_add("noise.faults.readout", 1);
             !bit
         } else {
             bit

@@ -6,6 +6,20 @@
 //! independent thread with no synchronisation. The same property holds for
 //! every kernel in this crate (controlled gates, swaps, diagonal oracles),
 //! so they all funnel through [`for_each_block`].
+//!
+//! ```
+//! use qutes_sim::complex::c64;
+//! use qutes_sim::parallel::for_each_block;
+//!
+//! // Double every amplitude, processing aligned blocks of 2.
+//! let mut amps = vec![c64(1.0, 0.0); 4];
+//! for_each_block(&mut amps, 2, false, |chunk, _offset| {
+//!     for a in chunk {
+//!         *a = *a + *a;
+//!     }
+//! });
+//! assert!(amps.iter().all(|a| a.re == 2.0));
+//! ```
 
 use crate::complex::Complex64;
 use std::sync::OnceLock;
@@ -40,9 +54,11 @@ where
     let len = amps.len();
     let nt = num_threads();
     if !parallel || len < PAR_THRESHOLD || nt <= 1 || len <= block {
+        qutes_obs::counter_add("kernel.dispatch.serial", 1);
         f(amps, 0);
         return;
     }
+    qutes_obs::counter_add("kernel.dispatch.parallel", 1);
     let blocks = len / block;
     let per_thread = blocks.div_ceil(nt) * block;
     std::thread::scope(|s| {

@@ -3,6 +3,17 @@
 //! Qubit `0` is the **least significant bit** of the basis-state index
 //! (little-endian, matching Qiskit's convention so that circuits built by
 //! the Qutes compiler behave identically to the paper's substrate).
+//!
+//! ```
+//! use qutes_sim::{gates, StateVector};
+//!
+//! // Prepare a Bell pair and check its marginals.
+//! let mut sv = StateVector::new(2).unwrap();
+//! sv.apply_single(&gates::h(), 0).unwrap();
+//! sv.apply_controlled(&gates::x(), &[0], 1).unwrap();
+//! assert!((sv.probability_one(0).unwrap() - 0.5).abs() < 1e-12);
+//! assert!((sv.probability_one(1).unwrap() - 0.5).abs() < 1e-12);
+//! ```
 
 use crate::complex::{c64, Complex64};
 use crate::error::{SimError, SimResult};
@@ -157,6 +168,7 @@ impl StateVector {
         let mut all = controls.to_vec();
         all.push(target);
         Self::check_distinct(&all)?;
+        let t0 = qutes_obs::maybe_now();
 
         let mut ctrl_mask = 0usize;
         for &c in controls {
@@ -186,6 +198,14 @@ impl StateVector {
                 base += block;
             }
         });
+        if let Some(t0) = t0 {
+            let name = if controls.is_empty() {
+                "kernel.1q"
+            } else {
+                "kernel.controlled"
+            };
+            qutes_obs::record_duration(name, t0.elapsed());
+        }
         Ok(())
     }
 
@@ -209,6 +229,7 @@ impl StateVector {
         let mut all = controls.to_vec();
         all.extend_from_slice(&[a, b]);
         Self::check_distinct(&all)?;
+        let t0 = qutes_obs::maybe_now();
 
         let mut ctrl_mask = 0usize;
         for &c in controls {
@@ -236,6 +257,14 @@ impl StateVector {
                 base += block;
             }
         });
+        if let Some(t0) = t0 {
+            let name = if controls.is_empty() {
+                "kernel.swap"
+            } else {
+                "kernel.cswap"
+            };
+            qutes_obs::record_duration(name, t0.elapsed());
+        }
         Ok(())
     }
 
@@ -246,6 +275,7 @@ impl StateVector {
         self.check_qubit(q0)?;
         self.check_qubit(q1)?;
         Self::check_distinct(&[q0, q1])?;
+        let t0 = qutes_obs::maybe_now();
         let b0 = 1usize << q0;
         let b1 = 1usize << q1;
         let len = self.amps.len();
@@ -269,6 +299,9 @@ impl StateVector {
             }
             i += 1;
         }
+        if let Some(t0) = t0 {
+            qutes_obs::record_duration("kernel.2q_matrix", t0.elapsed());
+        }
         Ok(())
     }
 
@@ -281,6 +314,7 @@ impl StateVector {
     where
         F: Fn(usize) -> bool + Sync,
     {
+        let t0 = qutes_obs::maybe_now();
         parallel::for_each_block(&mut self.amps, 1, self.parallel, |chunk, offset| {
             for (i, a) in chunk.iter_mut().enumerate() {
                 if pred(offset + i) {
@@ -288,6 +322,9 @@ impl StateVector {
                 }
             }
         });
+        if let Some(t0) = t0 {
+            qutes_obs::record_duration("kernel.phase_oracle", t0.elapsed());
+        }
     }
 
     /// Multiplies the whole state by `e^{i theta}` (unobservable global

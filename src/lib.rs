@@ -13,7 +13,10 @@
 //! * [`sim`] — the dense statevector simulator (the Aer stand-in),
 //! * [`algos`] — Grover/substring search, Deutsch-Jozsa, constant-depth
 //!   rotation, quantum arithmetic, entanglement swap, QFT, state prep,
-//! * [`qasm`] — OpenQASM 2/3 export and import.
+//! * [`qasm`] — OpenQASM 2/3 export and import,
+//! * [`obs`] — the zero-cost-when-disabled observability collector
+//!   (spans, per-stage timers, per-kernel counters; see
+//!   `docs/observability.md`).
 //!
 //! ## Quickstart
 //!
@@ -33,6 +36,7 @@
 pub use qutes_algos as algos;
 pub use qutes_core as core;
 pub use qutes_frontend as frontend;
+pub use qutes_obs as obs;
 pub use qutes_qasm as qasm;
 pub use qutes_qcirc as qcirc;
 pub use qutes_sim as sim;

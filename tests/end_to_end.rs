@@ -103,6 +103,21 @@ fn fib_program() {
 }
 
 #[test]
+fn language_tour_covers_the_reference_manual() {
+    // One runnable example per construct in docs/LANGUAGE.md; every
+    // printed line is seed-independent.
+    let expected: Vec<&str> = vec![
+        "6", "1", "qutes", "3", "8", "1", "true", "true", "true", "two", "3", "6", "99", "8", "3",
+        "found", "2", "1", "false", "true", "false", "1", "0", "2", "1", "1", "2", "1", "43",
+        "true", "true", "5!", "6?", "2", "9",
+    ];
+    for seed in [0, 7, 42] {
+        let out = run_seeded(&program("language_tour.qut"), seed);
+        assert_eq!(out, expected, "seed {seed}");
+    }
+}
+
+#[test]
 fn facade_reexports_cover_the_stack() {
     // Spot-check the public API surface through the facade.
     let mut c = qutes::qcirc::QuantumCircuit::with_qubits(2);

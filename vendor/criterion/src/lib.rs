@@ -111,6 +111,7 @@ pub struct BenchmarkGroup<'a> {
     warm_up_time: Duration,
     measurement_time: Duration,
     results: Vec<BenchResult>,
+    attachments: Vec<(String, String)>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -156,9 +157,21 @@ impl BenchmarkGroup<'_> {
         self.bench_function(id, |b| f(b, input));
     }
 
+    /// Attaches a pre-rendered JSON value under `key` as an extra
+    /// top-level field of the group's `BENCH_<group>.json` artifact
+    /// (e.g. an observability snapshot giving stage breakdowns).
+    ///
+    /// `raw_json` must already be valid JSON — it is embedded verbatim.
+    /// Attaching the same key twice keeps the last value.
+    pub fn attach_json(&mut self, key: impl Into<String>, raw_json: impl Into<String>) {
+        let key = key.into();
+        self.attachments.retain(|(k, _)| *k != key);
+        self.attachments.push((key, raw_json.into()));
+    }
+
     /// Ends the group and writes its `BENCH_<group>.json` artifact.
     pub fn finish(self) {
-        write_artifact(&self.name, &self.results);
+        write_artifact(&self.name, &self.results, &self.attachments);
     }
 }
 
@@ -249,7 +262,7 @@ fn sanitize(name: &str) -> String {
 
 /// Writes `BENCH_<group>.json` into the current directory. Failures are
 /// reported to stderr but never abort the bench run.
-fn write_artifact(group: &str, results: &[BenchResult]) {
+fn write_artifact(group: &str, results: &[BenchResult], attachments: &[(String, String)]) {
     let mut body = String::new();
     let _ = write!(
         body,
@@ -276,7 +289,13 @@ fn write_artifact(group: &str, results: &[BenchResult]) {
             );
         }
     }
-    body.push_str("\n  ]\n}\n");
+    body.push_str("\n  ]");
+    for (key, raw) in attachments {
+        // Indent the attached value so nested objects stay readable.
+        let indented = raw.trim_end().replace('\n', "\n  ");
+        let _ = write!(body, ",\n  \"{}\": {}", json_escape(key), indented);
+    }
+    body.push_str("\n}\n");
     let path = format!("BENCH_{}.json", sanitize(group));
     if let Err(e) = std::fs::write(&path, body) {
         eprintln!("warning: cannot write {path}: {e}");
@@ -302,6 +321,7 @@ impl Criterion {
             warm_up_time: Duration::from_millis(300),
             measurement_time: Duration::from_millis(1000),
             results: Vec::new(),
+            attachments: Vec::new(),
         }
     }
 
@@ -363,6 +383,26 @@ mod tests {
         assert!(body.contains("\"group\": \"t\""), "{body}");
         assert!(body.contains("\"name\": \"noop\""), "{body}");
         assert!(body.contains("\"name\": \"sq/7\""), "{body}");
+        let _ = std::fs::remove_file(artifact);
+    }
+
+    #[test]
+    fn attach_json_extends_artifact() {
+        let mut c = Criterion::new();
+        let mut g = c.benchmark_group("t_attach");
+        g.sample_size(10)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.attach_json("stages", "{\"ignored\": true}");
+        g.attach_json("stages", "{\n  \"lex_ns\": 12\n}");
+        g.finish();
+        let artifact = std::path::Path::new("BENCH_t_attach.json");
+        let body = std::fs::read_to_string(artifact).unwrap();
+        assert!(body.contains("\"stages\": {"), "{body}");
+        assert!(body.contains("\"lex_ns\": 12"), "{body}");
+        assert!(!body.contains("ignored"), "duplicate key kept: {body}");
+        assert_eq!(body.matches('{').count(), body.matches('}').count());
         let _ = std::fs::remove_file(artifact);
     }
 
