@@ -1,0 +1,793 @@
+//! Quantum-aware dataflow lints.
+//!
+//! A single scoped walk over the typed AST tracks, per variable: its
+//! declared type, whether it has been read, whether an **explicit**
+//! `measure` has collapsed it, whether its declaration captured a
+//! measurement result, and whether it escapes the analysis' view (is
+//! returned, passed by reference to a user function, or aliased).
+//!
+//! The walk produces:
+//! - **QL001 use-after-measurement** — a quantum operation (gate
+//!   statement, quantum arithmetic, cyclic shift, Grover search target)
+//!   applied to a variable after an explicit `measure` collapsed it.
+//! - **QL002 quantum-alias** — binding an existing quantum variable (or
+//!   an element of one) to a second name; both names share qubits.
+//! - **QL003 dirty-qubits** — a quantum variable that is operated on but
+//!   never measured and never escapes.
+//! - **QL004 unused-measurement** — a variable initialised from a
+//!   measurement whose result is never read.
+//! - **QL101 unused-variable** — any other never-read variable
+//!   (`_`-prefixed names and parameters are exempt).
+//! - **QL201 implicit-measurement** — sites where the runtime measures a
+//!   quantum value as a side effect of a classical context (assignment
+//!   to a classical type, conditions, comparisons, classical casts).
+//!   `print` is exempt: printing a quantum value is the idiomatic way to
+//!   observe it.
+//!
+//! Branches merge conservatively: a variable counts as *measured* only
+//! when every path measured it (must-analysis), and as *used* when any
+//! path read it (may-analysis). Loop bodies are walked once and the
+//! measured-state changes they make are reverted, so a measure late in a
+//! loop body never flags uses earlier in the same body.
+
+use crate::lints::{self, Lint};
+use crate::RawFinding;
+use qutes_core::types::measured;
+use qutes_frontend::ast::*;
+use qutes_frontend::Span;
+use std::collections::HashMap;
+
+/// Runs the dataflow lints over a whole program.
+pub(crate) fn run(program: &Program) -> Vec<RawFinding> {
+    let mut pass = Pass::new(program);
+    // Top-level statements first: their declarations become the globals
+    // visible inside function bodies.
+    pass.push_scope();
+    for item in &program.items {
+        if let Item::Statement(s) = item {
+            pass.walk_stmt(s);
+        }
+    }
+    // Function bodies see only the globals plus their parameters.
+    for item in &program.items {
+        if let Item::Function(f) = item {
+            pass.push_scope();
+            for p in &f.params {
+                pass.declare(&p.name, p.ty.clone(), p.span, true);
+            }
+            pass.walk_stmts(&f.body.stmts);
+            pass.pop_scope();
+        }
+    }
+    pass.pop_scope();
+    pass.findings
+}
+
+/// Everything the pass knows about one binding.
+#[derive(Clone, Debug)]
+struct VarInfo {
+    name: String,
+    ty: Type,
+    decl_span: Span,
+    used: bool,
+    /// Span of the explicit `measure` that collapsed it, if any.
+    measured: Option<Span>,
+    /// Collapsed by *any* observation — explicit measure, `print`, or an
+    /// implicit-measurement context. Satisfies QL003 without triggering
+    /// QL001 (which stays explicit-measure-only to avoid false alarms).
+    observed: bool,
+    is_param: bool,
+    /// Declaration captured a measurement result (explicit or implicit).
+    from_measurement: bool,
+    /// Returned, passed by reference, or aliased — its later life is
+    /// outside this pass' view, so "never measured" cannot be concluded.
+    escapes: bool,
+}
+
+struct Pass<'p> {
+    scopes: Vec<Vec<VarInfo>>,
+    /// User-declared function name → return type.
+    functions: HashMap<&'p str, &'p Type>,
+    findings: Vec<RawFinding>,
+}
+
+impl<'p> Pass<'p> {
+    fn new(program: &'p Program) -> Self {
+        let functions = program
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                Item::Function(f) => Some((f.name.as_str(), &f.ret_type)),
+                _ => None,
+            })
+            .collect();
+        Pass {
+            scopes: Vec::new(),
+            functions,
+            findings: Vec::new(),
+        }
+    }
+
+    fn report(&mut self, lint: &'static Lint, message: String, span: Span) {
+        self.findings.push((lint, message, span));
+    }
+
+    // ---- scope management -------------------------------------------------
+
+    fn push_scope(&mut self) {
+        self.scopes.push(Vec::new());
+    }
+
+    /// Pops a scope and emits the end-of-life lints for its bindings.
+    fn pop_scope(&mut self) {
+        let Some(scope) = self.scopes.pop() else {
+            return;
+        };
+        for v in scope {
+            if v.name.starts_with('_') || v.is_param {
+                continue;
+            }
+            if !v.used {
+                if v.from_measurement {
+                    self.report(
+                        &lints::UNUSED_MEASUREMENT,
+                        format!(
+                            "the measurement stored in '{}' is never used; the collapse has \
+                             no observable effect",
+                            v.name
+                        ),
+                        v.decl_span,
+                    );
+                } else {
+                    self.report(
+                        &lints::UNUSED_VARIABLE,
+                        format!("unused variable '{}'", v.name),
+                        v.decl_span,
+                    );
+                }
+            } else if v.ty.is_quantum() && !v.observed && !v.escapes {
+                self.report(
+                    &lints::DIRTY_QUBITS,
+                    format!(
+                        "quantum variable '{}' is operated on but never measured; its qubits \
+                         stay allocated and unobserved",
+                        v.name
+                    ),
+                    v.decl_span,
+                );
+            }
+        }
+    }
+
+    fn declare(&mut self, name: &str, ty: Type, decl_span: Span, is_param: bool) {
+        if let Some(scope) = self.scopes.last_mut() {
+            scope.push(VarInfo {
+                name: name.to_string(),
+                ty,
+                decl_span,
+                used: false,
+                measured: None,
+                observed: false,
+                is_param,
+                from_measurement: false,
+                escapes: is_param,
+            });
+        }
+    }
+
+    fn lookup(&self, name: &str) -> Option<&VarInfo> {
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|s| s.iter().rev().find(|v| v.name == name))
+    }
+
+    fn lookup_mut(&mut self, name: &str) -> Option<&mut VarInfo> {
+        self.scopes
+            .iter_mut()
+            .rev()
+            .find_map(|s| s.iter_mut().rev().find(|v| v.name == name))
+    }
+
+    fn mark_used(&mut self, name: &str) {
+        if let Some(v) = self.lookup_mut(name) {
+            v.used = true;
+        }
+    }
+
+    fn mark_escapes(&mut self, name: &str) {
+        if let Some(v) = self.lookup_mut(name) {
+            v.escapes = true;
+        }
+    }
+
+    fn var_type(&self, name: &str) -> Option<Type> {
+        self.lookup(name).map(|v| v.ty.clone())
+    }
+
+    // ---- measured-state snapshots (for branches and loops) ---------------
+
+    fn snapshot_measured(&self) -> Vec<Vec<Option<Span>>> {
+        self.scopes
+            .iter()
+            .map(|s| s.iter().map(|v| v.measured).collect())
+            .collect()
+    }
+
+    fn restore_measured(&mut self, snap: &[Vec<Option<Span>>]) {
+        for (scope, marks) in self.scopes.iter_mut().zip(snap) {
+            for (v, m) in scope.iter_mut().zip(marks) {
+                v.measured = *m;
+            }
+        }
+    }
+
+    /// After exploring both arms of a branch: a variable stays measured
+    /// only if *every* path measured it.
+    fn merge_measured(&mut self, then_snap: &[Vec<Option<Span>>]) {
+        for (scope, marks) in self.scopes.iter_mut().zip(then_snap) {
+            for (v, then_m) in scope.iter_mut().zip(marks) {
+                v.measured = match (*then_m, v.measured) {
+                    (Some(s), Some(_)) => Some(s),
+                    _ => None,
+                };
+            }
+        }
+    }
+
+    // ---- lint trigger helpers ---------------------------------------------
+
+    /// Innermost variable an lvalue-ish expression resolves to.
+    fn root_var(e: &Expr) -> Option<&str> {
+        match &e.kind {
+            ExprKind::Var(n) => Some(n),
+            ExprKind::Index(b, _) => Self::root_var(b),
+            ExprKind::MeasureExpr(inner) => Self::root_var(inner),
+            _ => None,
+        }
+    }
+
+    /// QL001: a quantum operation touches `e` after an explicit measure.
+    fn check_quantum_use(&mut self, e: &Expr) {
+        let Some(name) = Self::root_var(e) else {
+            return;
+        };
+        let Some(v) = self.lookup(name) else { return };
+        if v.measured.is_some() {
+            let name = v.name.clone();
+            self.report(
+                &lints::USE_AFTER_MEASUREMENT,
+                format!(
+                    "quantum variable '{name}' is used in a quantum operation after being \
+                     measured; the measurement already collapsed its state"
+                ),
+                e.span,
+            );
+        }
+    }
+
+    /// Marks the root variable of an explicitly measured expression.
+    fn mark_measured(&mut self, e: &Expr, measure_span: Span) {
+        if let Some(name) = Self::root_var(e) {
+            let name = name.to_string();
+            if let Some(v) = self.lookup_mut(&name) {
+                v.used = true;
+                v.measured = Some(measure_span);
+                v.observed = true;
+            }
+        }
+    }
+
+    /// QL002: `init` aliases an existing quantum value.
+    fn check_alias(&mut self, new_name: &str, target_ty: &Type, init: &Expr) {
+        if !target_ty.is_quantum() {
+            return;
+        }
+        let source = match &init.kind {
+            ExprKind::Var(n) => Some((n.clone(), false)),
+            ExprKind::Index(b, _) => Self::root_var(b).map(|n| (n.to_string(), true)),
+            _ => None,
+        };
+        let Some((src, is_element)) = source else {
+            return;
+        };
+        let Some(src_ty) = self.var_type(&src) else {
+            return;
+        };
+        if !src_ty.is_quantum() {
+            return;
+        }
+        let what = if is_element {
+            format!("a qubit of '{src}'")
+        } else {
+            format!("the qubits of '{src}'")
+        };
+        self.report(
+            &lints::QUANTUM_ALIAS,
+            format!(
+                "'{new_name}' aliases {what}; quantum state cannot be cloned, so both names \
+                 share the same qubits and operations through one affect the other"
+            ),
+            init.span,
+        );
+        // The aliased qubits may be measured through the new name, so
+        // "never measured" can no longer be concluded for the source.
+        self.mark_escapes(&src);
+    }
+
+    /// QL201 at `e`, describing the implicitly measured `ty`. The root
+    /// variable counts as observed afterwards (satisfies QL003).
+    fn implicit_measure(&mut self, e: &Expr, ty: &Type, context: &str) {
+        self.report(
+            &lints::IMPLICIT_MEASUREMENT,
+            format!("this {ty} value is implicitly measured {context}; its state collapses"),
+            e.span,
+        );
+        self.mark_observed(e);
+    }
+
+    /// Marks the root variable of `e` as observed (collapsed somehow).
+    fn mark_observed(&mut self, e: &Expr) {
+        if let Some(name) = Self::root_var(e) {
+            let name = name.to_string();
+            if let Some(v) = self.lookup_mut(&name) {
+                v.observed = true;
+            }
+        }
+    }
+
+    /// Best-effort static type of an expression (None when unknown).
+    fn expr_type(&self, e: &Expr) -> Option<Type> {
+        Some(match &e.kind {
+            ExprKind::Int(_) => Type::Int,
+            ExprKind::Float(_) | ExprKind::Pi => Type::Float,
+            ExprKind::Bool(_) => Type::Bool,
+            ExprKind::Str(_) => Type::String,
+            ExprKind::Quint(_) => Type::Quint,
+            ExprKind::Qustring(_) => Type::Qustring,
+            ExprKind::Ket(_) => Type::Qubit,
+            ExprKind::QuantumArray(_) => Type::Quint,
+            ExprKind::Array(items) => {
+                let elem = items.first().and_then(|i| self.expr_type(i))?;
+                Type::Array(Box::new(elem))
+            }
+            ExprKind::Var(n) => self.var_type(n)?,
+            ExprKind::Index(b, _) => match self.expr_type(b)? {
+                Type::Array(t) => *t,
+                Type::Qubit | Type::Quint | Type::Qustring => Type::Qubit,
+                Type::String => Type::String,
+                _ => return None,
+            },
+            ExprKind::Unary(UnOp::Not, _) => Type::Bool,
+            ExprKind::Unary(UnOp::Neg, inner) => self.expr_type(inner)?,
+            ExprKind::Binary(op, l, r) => match op {
+                BinOp::Eq
+                | BinOp::Ne
+                | BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
+                | BinOp::And
+                | BinOp::Or
+                | BinOp::In => Type::Bool,
+                BinOp::Add | BinOp::Sub | BinOp::Mul => {
+                    let lt = self.expr_type(l);
+                    let rt = self.expr_type(r);
+                    if lt == Some(Type::Quint) || rt == Some(Type::Quint) {
+                        Type::Quint
+                    } else {
+                        lt?
+                    }
+                }
+                BinOp::Shl | BinOp::Shr => self.expr_type(l)?,
+                BinOp::Div | BinOp::Mod => return None,
+            },
+            ExprKind::Call(name, _) => match name.as_str() {
+                "len" | "width" | "qmin" | "qmax" | "int" => Type::Int,
+                "float" => Type::Float,
+                "bool" => Type::Bool,
+                "str" => Type::String,
+                "range" => Type::Array(Box::new(Type::Int)),
+                "rotl" | "rotr" => Type::Void,
+                user => (*self.functions.get(user)?).clone(),
+            },
+            ExprKind::MeasureExpr(inner) => {
+                let t = self.expr_type(inner)?;
+                measured(&t)?
+            }
+        })
+    }
+
+    fn is_quantum_expr(&self, e: &Expr) -> bool {
+        self.expr_type(e).is_some_and(|t| t.is_quantum())
+    }
+
+    // ---- walkers ----------------------------------------------------------
+
+    fn walk_stmts(&mut self, stmts: &[Stmt]) {
+        for s in stmts {
+            self.walk_stmt(s);
+        }
+    }
+
+    fn walk_block(&mut self, b: &Block) {
+        self.push_scope();
+        self.walk_stmts(&b.stmts);
+        self.pop_scope();
+    }
+
+    fn walk_stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::VarDecl {
+                ty,
+                name,
+                init,
+                span,
+            } => {
+                let mut from_measurement = false;
+                if let Some(e) = init {
+                    self.walk_expr(e);
+                    self.check_alias(name, ty, e);
+                    let is_explicit_measure = matches!(e.kind, ExprKind::MeasureExpr(_));
+                    if is_explicit_measure {
+                        from_measurement = true;
+                    } else if ty.is_classical() && self.is_quantum_expr(e) {
+                        from_measurement = true;
+                        let et = self.expr_type(e).unwrap_or(Type::Qubit);
+                        self.implicit_measure(
+                            e,
+                            &et,
+                            &format!("when assigned to the {ty} variable '{name}'"),
+                        );
+                    }
+                }
+                self.declare(name, ty.clone(), *span, false);
+                if let Some(v) = self.lookup_mut(name) {
+                    v.from_measurement = from_measurement;
+                }
+            }
+            Stmt::Assign {
+                target, op, value, ..
+            } => {
+                self.walk_expr(value);
+                let name = match target {
+                    LValue::Name(n) => n.clone(),
+                    LValue::Index(n, idx) => {
+                        let idx = idx.clone();
+                        self.walk_expr(&idx);
+                        // Writing an element reads the array binding.
+                        self.mark_used(n);
+                        n.clone()
+                    }
+                };
+                let target_ty = self.var_type(&name);
+                let target_quantum = target_ty.as_ref().is_some_and(|t| t.is_quantum());
+                match op {
+                    AssignOp::Set => {
+                        if let (Some(ty), LValue::Name(_)) = (&target_ty, target) {
+                            self.check_alias(&name, ty, value);
+                            if ty.is_classical()
+                                && self.is_quantum_expr(value)
+                                && !matches!(value.kind, ExprKind::MeasureExpr(_))
+                            {
+                                let ty = ty.clone();
+                                let et = self.expr_type(value).unwrap_or(Type::Qubit);
+                                self.implicit_measure(
+                                    value,
+                                    &et,
+                                    &format!("when assigned to the {ty} variable '{name}'"),
+                                );
+                            }
+                        }
+                        // A fresh value replaces the measured one.
+                        if let (LValue::Name(_), Some(v)) = (target, self.lookup_mut(&name)) {
+                            v.measured = None;
+                        }
+                    }
+                    AssignOp::Add | AssignOp::Sub | AssignOp::Shl | AssignOp::Shr => {
+                        // Compound assignment reads the target.
+                        self.mark_used(&name);
+                        if target_quantum {
+                            let target_expr = Expr::new(ExprKind::Var(name.clone()), s.span());
+                            self.check_quantum_use(&target_expr);
+                            if matches!(op, AssignOp::Add | AssignOp::Sub)
+                                && self.is_quantum_expr(value)
+                            {
+                                self.check_quantum_use(value);
+                            }
+                        }
+                    }
+                }
+            }
+            Stmt::If {
+                cond,
+                then_block,
+                else_block,
+                ..
+            } => {
+                self.walk_expr(cond);
+                if let Some(t) = self.expr_type(cond) {
+                    if t.is_quantum() {
+                        self.implicit_measure(cond, &t, "by this condition");
+                    }
+                }
+                let before = self.snapshot_measured();
+                self.walk_block(then_block);
+                let after_then = self.snapshot_measured();
+                self.restore_measured(&before);
+                if let Some(eb) = else_block {
+                    self.walk_block(eb);
+                }
+                self.merge_measured(&after_then);
+            }
+            Stmt::While { cond, body, .. } => {
+                self.walk_expr(cond);
+                if let Some(t) = self.expr_type(cond) {
+                    if t.is_quantum() {
+                        self.implicit_measure(cond, &t, "by this condition");
+                    }
+                }
+                let before = self.snapshot_measured();
+                self.walk_block(body);
+                // A measure late in the body must not flag uses earlier in
+                // the body on a later iteration; conservatively forget it.
+                self.restore_measured(&before);
+            }
+            Stmt::Foreach {
+                var,
+                iterable,
+                body,
+                ..
+            } => {
+                self.walk_expr(iterable);
+                let elem_ty = match self.expr_type(iterable) {
+                    Some(Type::Array(t)) => *t,
+                    Some(Type::Qustring) => Type::Qubit,
+                    _ => Type::Int,
+                };
+                let before = self.snapshot_measured();
+                self.push_scope();
+                self.declare(var, elem_ty, iterable.span, false);
+                self.walk_stmts(&body.stmts);
+                self.pop_scope();
+                self.restore_measured(&before);
+            }
+            Stmt::Return { value, .. } => {
+                if let Some(e) = value {
+                    self.walk_expr(e);
+                    if let Some(n) = Self::root_var(e) {
+                        let n = n.to_string();
+                        self.mark_escapes(&n);
+                    }
+                }
+            }
+            Stmt::Print { value, .. } => {
+                // Printing a quantum value measures it, but that is the
+                // idiomatic way to observe a result — no QL201 here. It
+                // does satisfy QL003's "never measured", though.
+                self.walk_expr(value);
+                if self.is_quantum_expr(value) {
+                    self.mark_observed(value);
+                }
+            }
+            Stmt::Expr { expr, .. } => self.walk_expr(expr),
+            Stmt::Gate { gate, args, .. } => {
+                // All operands are quantum uses; for `phase` the trailing
+                // argument is the classical angle.
+                let operands = match gate {
+                    GateKind::Phase => &args[..args.len().min(1)],
+                    _ => &args[..],
+                };
+                for a in args {
+                    self.walk_expr(a);
+                }
+                for a in operands {
+                    self.check_quantum_use(a);
+                }
+            }
+            Stmt::Measure { target, span } => {
+                self.walk_expr(target);
+                self.mark_measured(target, *span);
+            }
+            Stmt::Barrier { .. } => {}
+            Stmt::Block(b) => self.walk_block(b),
+        }
+    }
+
+    fn walk_expr(&mut self, e: &Expr) {
+        match &e.kind {
+            ExprKind::Var(n) => {
+                let n = n.clone();
+                self.mark_used(&n);
+            }
+            ExprKind::Index(b, i) => {
+                self.walk_expr(b);
+                self.walk_expr(i);
+            }
+            ExprKind::Unary(_, inner) => self.walk_expr(inner),
+            ExprKind::Binary(op, l, r) => {
+                self.walk_expr(l);
+                self.walk_expr(r);
+                match op {
+                    // Quantum arithmetic / shifts operate on live state.
+                    BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Shl | BinOp::Shr => {
+                        for side in [l, r] {
+                            if self.is_quantum_expr(side) {
+                                self.check_quantum_use(side);
+                            }
+                        }
+                    }
+                    // `pattern in haystack` runs Grover on the haystack
+                    // and implicitly measures a quantum pattern.
+                    BinOp::In => {
+                        if self.is_quantum_expr(r) {
+                            self.check_quantum_use(r);
+                        }
+                        if let Some(t) = self.expr_type(l) {
+                            if t.is_quantum() {
+                                self.implicit_measure(l, &t, "when used as an 'in' search pattern");
+                            }
+                        }
+                    }
+                    // Classical-only operators auto-measure quantum
+                    // operands.
+                    BinOp::Eq
+                    | BinOp::Ne
+                    | BinOp::Lt
+                    | BinOp::Le
+                    | BinOp::Gt
+                    | BinOp::Ge
+                    | BinOp::Div
+                    | BinOp::Mod
+                    | BinOp::And
+                    | BinOp::Or => {
+                        let op = *op;
+                        for side in [l, r] {
+                            if let Some(t) = self.expr_type(side) {
+                                if t.is_quantum() {
+                                    self.implicit_measure(
+                                        side,
+                                        &t,
+                                        &format!("by the classical '{op}' operator"),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            ExprKind::Call(name, args) => {
+                for a in args {
+                    self.walk_expr(a);
+                }
+                match name.as_str() {
+                    "int" | "float" | "bool" | "str" => {
+                        if let Some(a) = args.first() {
+                            if let Some(t) = self.expr_type(a) {
+                                if t.is_quantum() && !matches!(a.kind, ExprKind::MeasureExpr(_)) {
+                                    let name = name.clone();
+                                    self.implicit_measure(a, &t, &format!("by the {name}() cast"));
+                                }
+                            }
+                        }
+                    }
+                    "rotl" | "rotr" => {
+                        if let Some(a) = args.first() {
+                            self.check_quantum_use(a);
+                        }
+                    }
+                    user if self.functions.contains_key(user) => {
+                        // Plain-variable arguments bind by reference: the
+                        // callee may measure or transform them.
+                        for a in args {
+                            if let ExprKind::Var(n) = &a.kind {
+                                let n = n.clone();
+                                self.mark_escapes(&n);
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            ExprKind::MeasureExpr(inner) => {
+                self.walk_expr(inner);
+                self.mark_measured(inner, e.span);
+            }
+            _ => {
+                // Literals: walk nested array elements.
+                if let ExprKind::Array(items) | ExprKind::QuantumArray(items) = &e.kind {
+                    for i in items {
+                        self.walk_expr(i);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qutes_frontend::parse;
+
+    fn ids(src: &str) -> Vec<&'static str> {
+        let program = parse(src).expect("test program parses");
+        let mut found: Vec<&'static str> = run(&program).iter().map(|(l, _, _)| l.id).collect();
+        found.sort_unstable();
+        found
+    }
+
+    #[test]
+    fn use_after_measurement_fires_on_gate() {
+        let src = "qubit q = |+>;\nmeasure q;\nhadamard q;\nprint q;\n";
+        assert!(ids(src).contains(&"QL001"), "{:?}", ids(src));
+    }
+
+    #[test]
+    fn reassignment_clears_measured_state() {
+        let src = "qubit q = |+>;\nmeasure q;\nq = |0>;\nhadamard q;\nprint q;\n";
+        assert!(!ids(src).contains(&"QL001"), "{:?}", ids(src));
+    }
+
+    #[test]
+    fn measure_in_one_branch_only_does_not_flag() {
+        let src = "qubit q = |+>;\nbool c = false;\nif (c) {\n  measure q;\n} else {\n}\nhadamard q;\nprint q;\n";
+        assert!(!ids(src).contains(&"QL001"), "{:?}", ids(src));
+    }
+
+    #[test]
+    fn measure_in_both_branches_flags() {
+        let src = "qubit q = |+>;\nbool c = false;\nif (c) {\n  measure q;\n} else {\n  measure q;\n}\nhadamard q;\nprint q;\n";
+        assert!(ids(src).contains(&"QL001"), "{:?}", ids(src));
+    }
+
+    #[test]
+    fn alias_fires_on_quantum_var_init() {
+        let src = "qubit a = |+>;\nqubit b = a;\nprint a;\nprint b;\n";
+        assert!(ids(src).contains(&"QL002"), "{:?}", ids(src));
+    }
+
+    #[test]
+    fn unused_variable_and_measurement() {
+        let found = ids("int x = 1;\nqubit q = |+>;\nbool b = measure q;\nprint \"done\";\n");
+        assert!(found.contains(&"QL101"), "{:?}", found);
+        assert!(found.contains(&"QL004"), "{:?}", found);
+    }
+
+    #[test]
+    fn underscore_prefix_silences_unused() {
+        let found = ids("int _scratch = 1;\nprint \"done\";\n");
+        assert!(!found.contains(&"QL101"), "{:?}", found);
+    }
+
+    #[test]
+    fn dirty_qubits_is_noted_but_not_for_escaping_vars() {
+        let noisy = ids("qubit q = |+>;\nhadamard q;\n");
+        assert!(noisy.contains(&"QL003"), "{:?}", noisy);
+        let returned = ids(
+            "qubit make() {\n  qubit q = |+>;\n  hadamard q;\n  return q;\n}\nqubit r = make();\nprint r;\n",
+        );
+        assert!(!returned.contains(&"QL003"), "{:?}", returned);
+    }
+
+    #[test]
+    fn implicit_measurement_noted_on_lossy_decl() {
+        let found = ids("qubit q = |+>;\nbool b = q;\nprint b;\n");
+        assert!(found.contains(&"QL201"), "{:?}", found);
+        // The explicit form is silent.
+        let explicit = ids("qubit q = |+>;\nbool b = measure q;\nprint b;\n");
+        assert!(!explicit.contains(&"QL201"), "{:?}", explicit);
+    }
+
+    #[test]
+    fn print_is_not_an_implicit_measurement_site() {
+        let found = ids("qubit q = |+>;\nhadamard q;\nprint q;\n");
+        assert!(!found.contains(&"QL201"), "{:?}", found);
+    }
+
+    #[test]
+    fn params_are_exempt_from_unused() {
+        let found = ids("int id(int x) {\n  return 7;\n}\nprint id(3);\n");
+        assert!(!found.contains(&"QL101"), "{:?}", found);
+    }
+}

@@ -4,6 +4,8 @@
 //! qutes run   <file.qut> [--seed N] [--max-steps N] [--stats] [--draw]
 //!             [--noise P] [--readout-error P] [--shots N] [--mem-budget BYTES]
 //!             [--opt-level N] [--trace] [--profile] [--stats-json PATH]
+//!             [--lint] [-W ID] [-A ID] [--deny-warnings]
+//! qutes lint  <file.qut> [-W ID] [-A ID] [--deny-warnings] [--lint-json]
 //! qutes check <file.qut>
 //! qutes fmt   <file.qut>
 //! qutes qasm  <file.qut> [--v3] [--seed N] [-o out.qasm]
@@ -25,6 +27,16 @@
 //! cancellation + rotation merging, 2 = additionally single-qubit gate
 //! fusion; default 1).
 //!
+//! `lint` runs the static analyzer (`qutes-analysis`, see
+//! `docs/analysis.md`) without executing: it prints every finding with
+//! source context plus a one-line resource estimate (qubits, gates,
+//! depth, measurements), and exits non-zero when any finding resolves to
+//! deny level. `-W <ID>` promotes a lint to warn, `-A <ID>` allows
+//! (silences) it, `--deny-warnings` turns warnings into errors, and
+//! `--lint-json` emits the machine-readable report instead. The same
+//! flags on `run` lint first and refuse to execute a program with
+//! deny-level findings.
+//!
 //! The observability flags (see `docs/observability.md`) enable the
 //! `qutes-obs` collector for the run: `--trace` prints the nested
 //! pipeline span tree to stderr, `--profile` prints the aggregated
@@ -42,7 +54,9 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  qutes run   <file.qut> [--seed N] [--max-steps N] [--stats] [--draw]\n              \
          [--noise P] [--readout-error P] [--shots N] [--mem-budget BYTES]\n              \
-         [--opt-level N] [--trace] [--profile] [--stats-json PATH]\n  \
+         [--opt-level N] [--trace] [--profile] [--stats-json PATH]\n              \
+         [--lint] [-W ID] [-A ID] [--deny-warnings]\n  \
+         qutes lint  <file.qut> [-W ID] [-A ID] [--deny-warnings] [--lint-json]\n  \
          qutes check <file.qut>\n  qutes fmt   <file.qut>\n  \
          qutes qasm  <file.qut> [--v3] [--seed N] [-o out.qasm]"
     );
@@ -65,6 +79,11 @@ struct Args {
     trace: bool,
     profile: bool,
     stats_json: Option<String>,
+    lint: bool,
+    warns: Vec<String>,
+    allows: Vec<String>,
+    deny_warnings: bool,
+    lint_json: bool,
 }
 
 impl Args {
@@ -91,6 +110,11 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
         trace: false,
         profile: false,
         stats_json: None,
+        lint: false,
+        warns: Vec::new(),
+        allows: Vec::new(),
+        deny_warnings: false,
+        lint_json: false,
     };
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -148,6 +172,19 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
                     return Err("--opt-level needs 0, 1, or 2".into());
                 }
             }
+            "--lint" => args.lint = true,
+            "--deny-warnings" => args.deny_warnings = true,
+            "--lint-json" => args.lint_json = true,
+            "-W" | "--warn" => {
+                args.warns.push(lint_id(
+                    it.next().ok_or("-W needs a lint id (e.g. QL003)")?,
+                )?);
+            }
+            "-A" | "--allow" => {
+                args.allows.push(lint_id(
+                    it.next().ok_or("-A needs a lint id (e.g. QL101)")?,
+                )?);
+            }
             "--stats" => args.stats = true,
             "--trace" => args.trace = true,
             "--profile" => args.profile = true,
@@ -173,6 +210,55 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
         return Err("missing input file".into());
     }
     Ok(args)
+}
+
+/// Validates a `-W`/`-A` argument against the lint registry.
+fn lint_id(id: &str) -> Result<String, String> {
+    if qutes_analysis::lint_by_id(id).is_some() {
+        Ok(id.to_string())
+    } else {
+        let known: Vec<&str> = qutes_analysis::REGISTRY.iter().map(|l| l.id).collect();
+        Err(format!(
+            "unknown lint '{id}' (known lints: {})",
+            known.join(", ")
+        ))
+    }
+}
+
+/// Builds the analyzer configuration from the CLI flags.
+fn lint_options(args: &Args) -> qutes_core::LintOptions {
+    qutes_core::LintOptions {
+        enabled: true,
+        warns: args.warns.clone(),
+        allows: args.allows.clone(),
+        deny_warnings: args.deny_warnings,
+    }
+}
+
+/// Runs the analyzer for `run --lint`: prints findings to stderr and
+/// reports whether execution may proceed.
+fn lint_gate(source: &str, args: &Args) -> Result<(), ExitCode> {
+    match qutes_analysis::analyze_source(source, &lint_options(args)) {
+        Ok(report) => {
+            for f in &report.findings {
+                eprint!("{}", f.render(source));
+            }
+            if report.denied().is_empty() {
+                Ok(())
+            } else {
+                eprintln!(
+                    "error: program has deny-level lints; refusing to run (silence with -A <id>)"
+                );
+                Err(ExitCode::FAILURE)
+            }
+        }
+        Err(diags) => {
+            for d in diags {
+                eprint!("{}", d.render(source));
+            }
+            Err(ExitCode::FAILURE)
+        }
+    }
 }
 
 /// Builds the noise model from the CLI flags, `None` when both are zero.
@@ -242,10 +328,23 @@ fn main() -> ExitCode {
                 memory_budget_bytes: args.mem_budget,
                 opt_level: args.opt_level,
                 observe: args.observing(),
+                lint: if args.lint {
+                    lint_options(&args)
+                } else {
+                    qutes_core::LintOptions::default()
+                },
                 ..RunConfig::default()
             };
             if args.observing() {
+                // Enable before the lint gate so `stage.analyze` and
+                // `stage.typecheck` land in the same trace/profile.
                 qutes_obs::reset();
+                qutes_obs::set_enabled(true);
+            }
+            if args.lint {
+                if let Err(code) = lint_gate(&source, &args) {
+                    return code;
+                }
             }
             match run_source(&source, &cfg) {
                 Ok(out) => {
@@ -296,6 +395,26 @@ fn main() -> ExitCode {
                 }
             }
         }
+        "lint" => match qutes_analysis::analyze_source(&source, &lint_options(&args)) {
+            Ok(report) => {
+                if args.lint_json {
+                    print!("{}", report.to_json(&source));
+                } else {
+                    print!("{}", report.render(&source));
+                }
+                if report.denied().is_empty() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(diags) => {
+                for d in diags {
+                    eprint!("{}", d.render(&source));
+                }
+                ExitCode::FAILURE
+            }
+        },
         "check" => match parse(&source) {
             Ok(program) => {
                 let diags = qutes_core::check_program(&program);

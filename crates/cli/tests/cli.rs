@@ -212,3 +212,118 @@ fn max_steps_flag_guards_loops() {
     assert!(!out.status.success());
     assert!(stderr(&out).contains("exceeded 100 steps"));
 }
+
+// ---- the lint subcommand and run --lint -----------------------------------
+
+#[test]
+fn lint_reports_findings_and_resources() {
+    let p = write_program("lint_unused.qut", "int unused = 1;\nprint 2;\n");
+    let out = qutes(&["lint", p.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "warnings alone must not fail the lint"
+    );
+    let text = stdout(&out);
+    assert!(text.contains("warning[QL101]"), "{text}");
+    assert!(text.contains("unused variable 'unused' at 1:1"), "{text}");
+    assert!(text.contains("resources:"), "{text}");
+}
+
+#[test]
+fn lint_clean_program_prints_only_resources() {
+    let p = write_program("lint_clean.qut", "qubit q = |+>; print q;");
+    let out = qutes(&["lint", p.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.starts_with("resources: 1 qubit"), "{text}");
+}
+
+#[test]
+fn lint_deny_warnings_fails_the_exit_code() {
+    let p = write_program("lint_deny.qut", "int unused = 1;\nprint 2;\n");
+    let out = qutes(&["lint", p.to_str().unwrap(), "--deny-warnings"]);
+    assert!(!out.status.success());
+    assert!(stdout(&out).contains("error[QL101]"), "{}", stdout(&out));
+}
+
+#[test]
+fn lint_allow_silences_a_lint() {
+    let p = write_program("lint_allow.qut", "int unused = 1;\nprint 2;\n");
+    let out = qutes(&[
+        "lint",
+        p.to_str().unwrap(),
+        "--deny-warnings",
+        "-A",
+        "QL101",
+    ]);
+    assert!(out.status.success(), "{}", stdout(&out));
+    assert!(!stdout(&out).contains("QL101"));
+}
+
+#[test]
+fn lint_json_emits_machine_readable_report() {
+    let p = write_program("lint_json.qut", "int unused = 1;\nprint 2;\n");
+    let out = qutes(&["lint", p.to_str().unwrap(), "--lint-json"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("\"id\": \"QL101\""), "{text}");
+    assert!(text.contains("\"line\": 1, \"col\": 1"), "{text}");
+    assert!(text.contains("\"resources\""), "{text}");
+    assert_eq!(
+        text.matches('{').count(),
+        text.matches('}').count(),
+        "balanced JSON braces: {text}"
+    );
+}
+
+#[test]
+fn lint_rejects_unknown_lint_ids() {
+    let p = write_program("lint_badid.qut", "print 1;");
+    let out = qutes(&["lint", p.to_str().unwrap(), "-A", "QL999"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("unknown lint 'QL999'"), "{err}");
+    assert!(
+        err.contains("QL001"),
+        "the error must list known ids: {err}"
+    );
+}
+
+#[test]
+fn lint_reports_parse_errors_on_stderr() {
+    let p = write_program("lint_parse.qut", "qubit q = ;");
+    let out = qutes(&["lint", p.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("error"), "{}", stderr(&out));
+}
+
+#[test]
+fn run_lint_deny_warnings_refuses_execution() {
+    let p = write_program("run_lint.qut", "int unused = 1;\nprint 2;\n");
+    let out = qutes(&["run", p.to_str().unwrap(), "--lint", "--deny-warnings"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("refusing to run"), "{}", stderr(&out));
+    assert!(
+        !stdout(&out).contains('2'),
+        "the program must not have executed: {}",
+        stdout(&out)
+    );
+}
+
+#[test]
+fn run_lint_warnings_do_not_block_execution() {
+    let p = write_program("run_lint_warn.qut", "int unused = 1;\nprint 2;\n");
+    let out = qutes(&["run", p.to_str().unwrap(), "--lint"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert_eq!(stdout(&out).trim(), "2");
+    assert!(stderr(&out).contains("QL101"), "{}", stderr(&out));
+}
+
+#[test]
+fn run_without_lint_flag_is_unchanged() {
+    let p = write_program("run_nolint.qut", "int unused = 1;\nprint 2;\n");
+    let out = qutes(&["run", p.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert_eq!(stdout(&out).trim(), "2");
+    assert!(!stderr(&out).contains("QL101"));
+}

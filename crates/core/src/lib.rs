@@ -31,6 +31,7 @@
 pub mod casting;
 pub mod error;
 pub mod handler;
+pub mod lint;
 pub mod runtime;
 pub mod symbols;
 pub mod types;
@@ -39,7 +40,8 @@ pub mod value;
 pub use casting::TypeCastingHandler;
 pub use error::{QutesError, QutesResult};
 pub use handler::QuantumCircuitHandler;
+pub use lint::LintOptions;
 pub use runtime::{run_program, run_source, RunConfig, RunOutcome};
 pub use symbols::{FunctionTable, Symbol, SymbolTable};
-pub use types::{assignable, check_program};
+pub use types::{assignable, check_program, measured};
 pub use value::{QKind, QuantumRef, Value};

@@ -1,0 +1,72 @@
+//! Lint configuration carried on [`crate::RunConfig`].
+//!
+//! The actual analysis lives in the `qutes-analysis` crate, which sits
+//! *above* `qutes-core` in the dependency graph (it needs the typed AST
+//! and the circuit IR). To let execution entry points honor lint
+//! settings without a dependency cycle, the configuration itself is a
+//! plain-data struct defined here: the `qutes` facade and the CLI run
+//! the analyzer with these options and refuse to execute programs that
+//! carry deny-level findings.
+
+/// Per-run lint configuration.
+///
+/// Level resolution for a lint with id `id` (e.g. `"QL001"`):
+///
+/// 1. start from the lint's registry default,
+/// 2. [`allows`](Self::allows) containing `id` forces *allow*,
+/// 3. otherwise [`warns`](Self::warns) containing `id` forces *warn*,
+/// 4. otherwise, when [`deny_warnings`](Self::deny_warnings) is set,
+///    *warn* is promoted to *deny*.
+///
+/// ```
+/// use qutes_core::LintOptions;
+///
+/// let opts = LintOptions {
+///     enabled: true,
+///     deny_warnings: true,
+///     ..LintOptions::default()
+/// };
+/// assert!(opts.enabled);
+/// assert!(opts.allows.is_empty());
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LintOptions {
+    /// Run the static analyzer before executing (default: off, so the
+    /// bare interpreter path is unchanged).
+    pub enabled: bool,
+    /// Lint ids promoted to warn (CLI `-W <id>`).
+    pub warns: Vec<String>,
+    /// Lint ids silenced entirely (CLI `-A <id>`).
+    pub allows: Vec<String>,
+    /// Promote every warn-level finding to deny (CLI `--deny-warnings`),
+    /// refusing execution.
+    pub deny_warnings: bool,
+}
+
+impl LintOptions {
+    /// Options with the analyzer switched on and registry defaults.
+    pub fn enabled() -> Self {
+        LintOptions {
+            enabled: true,
+            ..LintOptions::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_off() {
+        let opts = LintOptions::default();
+        assert!(!opts.enabled);
+        assert!(!opts.deny_warnings);
+        assert!(opts.warns.is_empty() && opts.allows.is_empty());
+    }
+
+    #[test]
+    fn enabled_constructor() {
+        assert!(LintOptions::enabled().enabled);
+    }
+}

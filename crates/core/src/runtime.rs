@@ -51,6 +51,11 @@ pub struct RunConfig {
     /// snapshots with `qutes_obs::snapshot()` afterwards. Off by default;
     /// a disabled collector costs one atomic load per recording site.
     pub observe: bool,
+    /// Static-analysis (lint) configuration. `qutes-core` itself never
+    /// runs the analyzer — the `qutes` facade and the CLI consult this
+    /// to run `qutes-analysis` before execution and refuse to execute
+    /// programs with deny-level findings. Disabled by default.
+    pub lint: crate::lint::LintOptions,
 }
 
 impl Default for RunConfig {
@@ -65,6 +70,7 @@ impl Default for RunConfig {
             memory_budget_bytes: None,
             opt_level: 1,
             observe: false,
+            lint: crate::lint::LintOptions::default(),
         }
     }
 }

@@ -53,7 +53,7 @@ struct Checker {
 }
 
 /// The classical type a quantum type measures to.
-fn measured(t: &Type) -> Option<Type> {
+pub fn measured(t: &Type) -> Option<Type> {
     match t {
         Type::Qubit => Some(Type::Bool),
         Type::Quint => Some(Type::Int),

@@ -1,26 +1,47 @@
 //! Diagnostics: positioned error messages with source context.
+//!
+//! One `Diagnostic` type serves the whole stack: the lexer/parser and the
+//! type checker emit [`Severity::Error`]s, while the static analyzer
+//! (`qutes-analysis`) emits [`Severity::Warning`] and [`Severity::Note`]
+//! findings tagged with a lint code (`QL001`, …). [`Diagnostic::render`]
+//! is the shared renderer, so lint output matches error formatting.
 
 use crate::span::{LineMap, Span};
 use std::fmt;
 
 /// Severity of a diagnostic.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Severity {
-    /// A fatal problem; compilation cannot proceed to execution.
-    Error,
+    /// An informational remark; never fails a build.
+    Note,
     /// A suspicious construct that still compiles.
     Warning,
+    /// A fatal problem; compilation cannot proceed to execution.
+    Error,
+}
+
+impl Severity {
+    /// The lowercase label used in rendered output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        }
+    }
 }
 
 /// A single positioned message.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Diagnostic {
-    /// Error or warning.
+    /// Error, warning, or note.
     pub severity: Severity,
     /// Human-readable message.
     pub message: String,
     /// Source span the message refers to.
     pub span: Span,
+    /// Optional machine-readable code (`QL001`, …) set by lints.
+    pub code: Option<&'static str>,
 }
 
 impl Diagnostic {
@@ -30,6 +51,7 @@ impl Diagnostic {
             severity: Severity::Error,
             message: message.into(),
             span,
+            code: None,
         }
     }
 
@@ -39,6 +61,31 @@ impl Diagnostic {
             severity: Severity::Warning,
             message: message.into(),
             span,
+            code: None,
+        }
+    }
+
+    /// Creates a note diagnostic.
+    pub fn note(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            severity: Severity::Note,
+            message: message.into(),
+            span,
+            code: None,
+        }
+    }
+
+    /// Attaches a machine-readable code, rendered as `warning[QL001]: …`.
+    pub fn with_code(mut self, code: &'static str) -> Self {
+        self.code = Some(code);
+        self
+    }
+
+    /// The `severity` or `severity[code]` prefix of rendered output.
+    fn heading(&self) -> String {
+        match self.code {
+            Some(code) => format!("{}[{code}]", self.severity.label()),
+            None => self.severity.label().to_string(),
         }
     }
 
@@ -46,12 +93,8 @@ impl Diagnostic {
     pub fn render(&self, source: &str) -> String {
         let map = LineMap::new(source);
         let (line, col) = map.position(self.span.start);
-        let sev = match self.severity {
-            Severity::Error => "error",
-            Severity::Warning => "warning",
-        };
         let src_line = source.lines().nth(line - 1).unwrap_or("");
-        let mut out = format!("{sev}: {} at {line}:{col}\n", self.message);
+        let mut out = format!("{}: {} at {line}:{col}\n", self.heading(), self.message);
         out.push_str(&format!("  | {src_line}\n"));
         let width = self
             .span
@@ -69,11 +112,7 @@ impl Diagnostic {
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let sev = match self.severity {
-            Severity::Error => "error",
-            Severity::Warning => "warning",
-        };
-        write!(f, "{sev}: {} ({})", self.message, self.span)
+        write!(f, "{}: {} ({})", self.heading(), self.message, self.span)
     }
 }
 
@@ -97,5 +136,21 @@ mod tests {
     fn display_compact() {
         let d = Diagnostic::warning("shadowed variable", Span::new(0, 3));
         assert_eq!(d.to_string(), "warning: shadowed variable (0..3)");
+    }
+
+    #[test]
+    fn coded_diagnostics_render_the_code() {
+        let src = "qubit q = |0>;\n";
+        let d = Diagnostic::warning("unused variable 'q'", Span::new(6, 7)).with_code("QL101");
+        assert!(d.render(src).starts_with("warning[QL101]: unused variable"));
+        assert_eq!(d.to_string(), "warning[QL101]: unused variable 'q' (6..7)");
+        let n = Diagnostic::note("implicit measurement", Span::new(0, 5)).with_code("QL201");
+        assert!(n.render(src).starts_with("note[QL201]: "));
+    }
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Note);
     }
 }

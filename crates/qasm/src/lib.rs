@@ -20,12 +20,8 @@
 //! assert_eq!(back.num_qubits(), 2);
 //! ```
 
-// Library code must surface failures as `QasmError`, never abort; tests
-// keep the ergonomic unwrap style.
-#![cfg_attr(
-    not(test),
-    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
-)]
+// Failures surface as `QasmError`, never abort: the unwrap/expect/panic
+// clippy denies come from `[workspace.lints]` in the root Cargo.toml.
 
 pub mod error;
 pub mod export;

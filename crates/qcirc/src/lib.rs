@@ -21,12 +21,8 @@
 //! ```
 
 #![deny(missing_docs)]
-// Library code must surface failures as `CircError`, never abort; tests
-// keep the ergonomic unwrap style.
-#![cfg_attr(
-    not(test),
-    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
-)]
+// Failures surface as `CircError`, never abort: the unwrap/expect/panic
+// clippy denies come from `[workspace.lints]` in the root Cargo.toml.
 
 pub mod circuit;
 pub mod decompose;

@@ -2,6 +2,10 @@
 //! paths, silent-noise equivalence, resource limits, and majority-vote
 //! mitigation.
 
+// Circuit-builder helpers sit outside `#[test]` fns, where clippy's
+// `allow-unwrap-in-tests` does not reach.
+#![allow(clippy::unwrap_used)]
+
 use qutes_qcirc::execute::{run_once_cfg, run_shots_cfg, run_shots_majority};
 use qutes_qcirc::{CircError, Counts, ExecutionConfig, Gate, QuantumCircuit};
 use qutes_sim::NoiseModel;

@@ -3,6 +3,10 @@
 //! statevector must match the unoptimized one with fidelity at least
 //! `1 - 1e-10`, at every optimization level.
 
+// Test-support helpers sit outside `#[test]` fns, where clippy's
+// `allow-expect-in-tests` does not reach.
+#![allow(clippy::expect_used)]
+
 use proptest::prelude::*;
 use qutes_qcirc::execute::statevector;
 use qutes_qcirc::{optimize, QuantumCircuit};

@@ -1,6 +1,10 @@
 //! Property tests for the circuit IR: transpilation and inversion must be
 //! exact (including global phase) for arbitrary unitary circuits.
 
+// Test-support helpers sit outside `#[test]` fns, where clippy's
+// `allow-unwrap-in-tests` does not reach.
+#![allow(clippy::unwrap_used)]
+
 use proptest::prelude::*;
 use qutes_qcirc::{statevector, transpile, Basis, Gate, QuantumCircuit};
 

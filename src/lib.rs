@@ -14,6 +14,8 @@
 //! * [`algos`] — Grover/substring search, Deutsch-Jozsa, constant-depth
 //!   rotation, quantum arithmetic, entanglement swap, QFT, state prep,
 //! * [`qasm`] — OpenQASM 2/3 export and import,
+//! * [`analysis`] — quantum-aware static lints and resource estimation
+//!   (`qutes lint`; see `docs/analysis.md`),
 //! * [`obs`] — the zero-cost-when-disabled observability collector
 //!   (spans, per-stage timers, per-kernel counters; see
 //!   `docs/observability.md`).
@@ -34,6 +36,7 @@
 //! ```
 
 pub use qutes_algos as algos;
+pub use qutes_analysis as analysis;
 pub use qutes_core as core;
 pub use qutes_frontend as frontend;
 pub use qutes_obs as obs;
@@ -41,6 +44,26 @@ pub use qutes_qasm as qasm;
 pub use qutes_qcirc as qcirc;
 pub use qutes_sim as sim;
 
-pub use qutes_core::{run_source, QutesError, QutesResult, RunConfig, RunOutcome};
+pub use qutes_core::{QutesError, QutesResult, RunConfig, RunOutcome};
 pub use qutes_frontend::{parse, print_program};
 pub use qutes_qasm::{to_qasm2, to_qasm3};
+
+/// Parses, optionally lints, and runs a Qutes program.
+///
+/// Identical to [`qutes_core::run_source`] except that when
+/// `config.lint.enabled` is set the static analyzer
+/// ([`analysis::analyze_source`]) runs first, and any finding resolved to
+/// deny level (see [`qutes_core::LintOptions`]) refuses execution with a
+/// [`QutesError::Compile`] carrying the findings as diagnostics.
+pub fn run_source(source: &str, config: &RunConfig) -> QutesResult<RunOutcome> {
+    if config.lint.enabled {
+        let report = analysis::analyze_source(source, &config.lint).map_err(QutesError::Compile)?;
+        let denied = report.denied();
+        if !denied.is_empty() {
+            return Err(QutesError::Compile(
+                denied.iter().map(|f| f.to_diagnostic()).collect(),
+            ));
+        }
+    }
+    qutes_core::run_source(source, config)
+}

@@ -1,0 +1,126 @@
+//! Cross-checks the static resource estimator against the real pipeline:
+//! for every circuit-building example the estimator marks *exact*, the
+//! predicted qubit/gate/measurement counts must equal what an actual run
+//! records in `qcirc` metrics, and depth must be a sound upper bound.
+
+use qutes::analysis::estimate;
+use qutes::{parse, RunConfig};
+
+/// Examples whose control flow is measurement-independent enough for the
+/// estimator to produce exact counts. The acceptance bar is >= 5 programs.
+const EXACT_EXAMPLES: &[&str] = &[
+    "adder",
+    "bell",
+    "bernstein_vazirani",
+    "cyclic_shift",
+    "deutsch_jozsa",
+    "entanglement",
+    "minmax",
+];
+
+fn example_source(name: &str) -> String {
+    let path = format!(
+        "{}/examples/programs/{name}.qut",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+fn cross_check(name: &str, seed: u64) {
+    let source = example_source(name);
+    let program = parse(&source).expect("example parses");
+    let est = estimate(&program);
+
+    let cfg = RunConfig {
+        seed,
+        ..RunConfig::default()
+    };
+    let out = qutes::run_source(&source, &cfg).expect("example runs");
+
+    assert!(
+        est.exact,
+        "{name}: expected an exact estimate, got upper bound ({:?})",
+        est.notes
+    );
+    assert_eq!(
+        est.qubits,
+        out.circuit.num_qubits(),
+        "{name}: qubit count mismatch"
+    );
+    assert_eq!(est.qubits, out.qubits_used, "{name}: qubits_used mismatch");
+    assert_eq!(est.gates, out.circuit.size(), "{name}: gate count mismatch");
+    assert_eq!(
+        est.measurements, out.measurements,
+        "{name}: measurement count mismatch"
+    );
+    // Depth is promised as an upper bound; for exact estimates it must be
+    // the true scheduled depth.
+    assert_eq!(est.depth, out.circuit.depth(), "{name}: depth mismatch");
+}
+
+#[test]
+fn exact_examples_match_real_circuit_metrics() {
+    for name in EXACT_EXAMPLES {
+        cross_check(name, 0);
+    }
+}
+
+/// Measurement outcomes steer classical control flow in some examples
+/// (e.g. `deutsch_jozsa` branches on the measured value). An *exact*
+/// estimate claims the circuit shape is outcome-independent, so the
+/// cross-check must hold under different seeds too.
+#[test]
+fn exact_estimates_are_seed_independent() {
+    for seed in [1, 7, 42] {
+        cross_check("deutsch_jozsa", seed);
+        cross_check("bell", seed);
+    }
+}
+
+/// Programs the estimator cannot bound exactly must still produce a sound
+/// *upper* bound on every metric.
+#[test]
+fn inexact_estimates_are_upper_bounds() {
+    for name in ["grover", "teleport", "fib"] {
+        let path = format!(
+            "{}/examples/programs/{name}.qut",
+            env!("CARGO_MANIFEST_DIR")
+        );
+        let Ok(source) = std::fs::read_to_string(&path) else {
+            continue; // example set may not ship every name
+        };
+        let program = parse(&source).expect("example parses");
+        let est = estimate(&program);
+        let cfg = RunConfig {
+            seed: 3,
+            ..RunConfig::default()
+        };
+        let out = qutes::run_source(&source, &cfg).expect("example runs");
+        assert!(
+            est.qubits >= out.circuit.num_qubits(),
+            "{name}: qubit bound too low"
+        );
+        assert!(
+            est.gates >= out.circuit.size(),
+            "{name}: gate bound too low"
+        );
+        assert!(
+            est.depth >= out.circuit.depth(),
+            "{name}: depth bound too low"
+        );
+        assert!(
+            est.measurements >= out.measurements,
+            "{name}: measurement bound too low"
+        );
+    }
+}
+
+#[test]
+fn estimate_summary_mentions_exactness() {
+    let program = parse("qubit q = |+>; print q;").expect("parses");
+    let est = estimate(&program);
+    assert!(est.exact);
+    let s = est.summary();
+    assert!(s.contains("exact"), "summary: {s}");
+    assert!(s.contains("1 qubit"), "summary: {s}");
+}
