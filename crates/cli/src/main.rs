@@ -3,12 +3,12 @@
 //! ```text
 //! qutes run   <file.qut> [--seed N] [--max-steps N] [--stats] [--draw]
 //!             [--noise P] [--readout-error P] [--shots N] [--mem-budget BYTES]
-//!             [--opt-level N] [--trace] [--profile] [--stats-json PATH]
-//!             [--lint] [-W ID] [-A ID] [--deny-warnings]
+//!             [--opt-level N] [--time-budget MS] [--trace] [--profile]
+//!             [--stats-json PATH] [--lint] [-W ID] [-A ID] [--deny-warnings]
 //! qutes lint  <file.qut> [-W ID] [-A ID] [--deny-warnings] [--lint-json]
 //! qutes check <file.qut>
 //! qutes fmt   <file.qut>
-//! qutes qasm  <file.qut> [--v3] [--seed N] [-o out.qasm]
+//! qutes qasm  <file.qut> [--v3] [--seed N] [--time-budget MS] [-o out.qasm]
 //! ```
 //!
 //! `run` executes the program and prints its `print` output; `qasm`
@@ -37,6 +37,13 @@
 //! flags on `run` lint first and refuse to execute a program with
 //! deny-level findings.
 //!
+//! `--time-budget MS` bounds the whole run (parse through shot replay)
+//! to a wall-clock deadline: when it expires, cooperative checkpoints
+//! stop the run with a typed `deadline exceeded` error (see
+//! `docs/robustness.md`). Both `run` and `lint` execute inside a
+//! panic-containment boundary, so an internal fault renders as an
+//! `internal error in stage …` message instead of a crash.
+//!
 //! The observability flags (see `docs/observability.md`) enable the
 //! `qutes-obs` collector for the run: `--trace` prints the nested
 //! pipeline span tree to stderr, `--profile` prints the aggregated
@@ -44,21 +51,22 @@
 //! counts), and `--stats-json PATH` writes the full machine-readable
 //! snapshot to `PATH` (`-` for stdout).
 
-use qutes_core::{run_source, RunConfig};
+use qutes_core::{run_source, QutesError, RunConfig};
 use qutes_frontend::{parse, print_program};
 use qutes_qasm::{to_qasm2, to_qasm3};
 use qutes_sim::NoiseModel;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  qutes run   <file.qut> [--seed N] [--max-steps N] [--stats] [--draw]\n              \
          [--noise P] [--readout-error P] [--shots N] [--mem-budget BYTES]\n              \
-         [--opt-level N] [--trace] [--profile] [--stats-json PATH]\n              \
-         [--lint] [-W ID] [-A ID] [--deny-warnings]\n  \
+         [--opt-level N] [--time-budget MS] [--trace] [--profile]\n              \
+         [--stats-json PATH] [--lint] [-W ID] [-A ID] [--deny-warnings]\n  \
          qutes lint  <file.qut> [-W ID] [-A ID] [--deny-warnings] [--lint-json]\n  \
          qutes check <file.qut>\n  qutes fmt   <file.qut>\n  \
-         qutes qasm  <file.qut> [--v3] [--seed N] [-o out.qasm]"
+         qutes qasm  <file.qut> [--v3] [--seed N] [--time-budget MS] [-o out.qasm]"
     );
     ExitCode::from(2)
 }
@@ -76,6 +84,7 @@ struct Args {
     shots: usize,
     mem_budget: Option<u64>,
     opt_level: u8,
+    time_budget_ms: Option<u64>,
     trace: bool,
     profile: bool,
     stats_json: Option<String>,
@@ -107,6 +116,7 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
         shots: 0,
         mem_budget: None,
         opt_level: 1,
+        time_budget_ms: None,
         trace: false,
         profile: false,
         stats_json: None,
@@ -172,6 +182,14 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
                     return Err("--opt-level needs 0, 1, or 2".into());
                 }
             }
+            "--time-budget" => {
+                args.time_budget_ms = Some(
+                    it.next()
+                        .ok_or("--time-budget needs a millisecond count")?
+                        .parse()
+                        .map_err(|_| "--time-budget needs an integer millisecond count")?,
+                );
+            }
             "--lint" => args.lint = true,
             "--deny-warnings" => args.deny_warnings = true,
             "--lint-json" => args.lint_json = true,
@@ -235,11 +253,32 @@ fn lint_options(args: &Args) -> qutes_core::LintOptions {
     }
 }
 
+/// Runs the static analyzer inside a panic-containment boundary: a
+/// panic in the analyzer surfaces as a rendered internal error, never
+/// an abort of the CLI process.
+#[allow(clippy::type_complexity)]
+fn analyze_contained(
+    source: &str,
+    opts: &qutes_core::LintOptions,
+) -> Result<
+    Result<qutes_analysis::AnalysisReport, Vec<qutes_frontend::Diagnostic>>,
+    qutes_supervisor::ContainedPanic,
+> {
+    qutes_supervisor::contain(|| {
+        let _stage = qutes_supervisor::enter_stage("cli.lint");
+        qutes_analysis::analyze_source(source, opts)
+    })
+}
+
 /// Runs the analyzer for `run --lint`: prints findings to stderr and
 /// reports whether execution may proceed.
 fn lint_gate(source: &str, args: &Args) -> Result<(), ExitCode> {
-    match qutes_analysis::analyze_source(source, &lint_options(args)) {
-        Ok(report) => {
+    match analyze_contained(source, &lint_options(args)) {
+        Err(p) => {
+            eprintln!("error: {p}");
+            Err(ExitCode::FAILURE)
+        }
+        Ok(Ok(report)) => {
             for f in &report.findings {
                 eprint!("{}", f.render(source));
             }
@@ -252,7 +291,7 @@ fn lint_gate(source: &str, args: &Args) -> Result<(), ExitCode> {
                 Err(ExitCode::FAILURE)
             }
         }
-        Err(diags) => {
+        Ok(Err(diags)) => {
             for d in diags {
                 eprint!("{}", d.render(source));
             }
@@ -277,8 +316,11 @@ fn read(path: &str) -> Result<String, String> {
 ///
 /// `--trace` and `--profile` go to stderr so they compose with piped
 /// program output; `--stats-json` writes the snapshot JSON to the given
-/// path (`-` for stdout).
-fn report_observability(args: &Args) -> Result<(), String> {
+/// path (`-` for stdout). This runs on **every** exit path of `run` —
+/// success, typed error, deadline trip, contained panic — with
+/// `aborted` recording whether the run completed; a failed run still
+/// leaves its partial stage timings behind for diagnosis.
+fn report_observability(args: &Args, aborted: bool) -> Result<(), String> {
     let snap = qutes_obs::snapshot();
     if args.trace {
         eprint!("{}", snap.render_trace());
@@ -287,7 +329,7 @@ fn report_observability(args: &Args) -> Result<(), String> {
         eprint!("{}", snap.render_profile());
     }
     if let Some(path) = &args.stats_json {
-        let json = snap.to_json();
+        let json = snap.to_json_tagged(aborted);
         if path == "-" {
             println!("{json}");
         } else {
@@ -333,6 +375,7 @@ fn main() -> ExitCode {
                 } else {
                     qutes_core::LintOptions::default()
                 },
+                time_budget: args.time_budget_ms.map(Duration::from_millis),
                 ..RunConfig::default()
             };
             if args.observing() {
@@ -343,10 +386,17 @@ fn main() -> ExitCode {
             }
             if args.lint {
                 if let Err(code) = lint_gate(&source, &args) {
+                    if args.observing() {
+                        let _ = report_observability(&args, true);
+                    }
                     return code;
                 }
             }
-            match run_source(&source, &cfg) {
+            // Containment boundary: a panic anywhere below surfaces as a
+            // typed internal error naming the stage, never an abort.
+            let result = qutes_supervisor::contain(|| run_source(&source, &cfg))
+                .unwrap_or_else(|p| Err(QutesError::from(p)));
+            match result {
                 Ok(out) => {
                     for line in &out.output {
                         println!("{line}");
@@ -355,8 +405,23 @@ fn main() -> ExitCode {
                         print!("{}", qutes_qcirc::draw(&out.circuit));
                     }
                     if let Some(counts) = &out.counts {
-                        println!("-- histogram ({} shots) --", counts.shots());
+                        if out.degraded {
+                            println!(
+                                "-- histogram ({} of {} shots; degraded) --",
+                                counts.shots(),
+                                args.shots
+                            );
+                        } else {
+                            println!("-- histogram ({} shots) --", counts.shots());
+                        }
                         print!("{counts}");
+                    }
+                    if out.degraded {
+                        if let Some(reason) = &out.stop_reason {
+                            eprintln!("warning: run degraded: {reason}");
+                        } else {
+                            eprintln!("warning: run degraded");
+                        }
                     }
                     if args.stats {
                         let stats = out.circuit.stats();
@@ -382,7 +447,7 @@ fn main() -> ExitCode {
                         }
                     }
                     if args.observing() {
-                        if let Err(e) = report_observability(&args) {
+                        if let Err(e) = report_observability(&args, false) {
                             eprintln!("error: {e}");
                             return ExitCode::FAILURE;
                         }
@@ -391,12 +456,22 @@ fn main() -> ExitCode {
                 }
                 Err(e) => {
                     eprintln!("{}", e.render(&source));
+                    if args.observing() {
+                        // Flush the partial snapshot with the abort
+                        // marker so a bounded/failed run still leaves
+                        // its stage timings behind.
+                        let _ = report_observability(&args, true);
+                    }
                     ExitCode::FAILURE
                 }
             }
         }
-        "lint" => match qutes_analysis::analyze_source(&source, &lint_options(&args)) {
-            Ok(report) => {
+        "lint" => match analyze_contained(&source, &lint_options(&args)) {
+            Err(p) => {
+                eprintln!("error: {p}");
+                ExitCode::FAILURE
+            }
+            Ok(Ok(report)) => {
                 if args.lint_json {
                     print!("{}", report.to_json(&source));
                 } else {
@@ -408,7 +483,7 @@ fn main() -> ExitCode {
                     ExitCode::FAILURE
                 }
             }
-            Err(diags) => {
+            Ok(Err(diags)) => {
                 for d in diags {
                     eprint!("{}", d.render(&source));
                 }
@@ -451,9 +526,12 @@ fn main() -> ExitCode {
             let cfg = RunConfig {
                 seed: args.seed,
                 max_steps: args.max_steps,
+                time_budget: args.time_budget_ms.map(Duration::from_millis),
                 ..RunConfig::default()
             };
-            match run_source(&source, &cfg) {
+            let result = qutes_supervisor::contain(|| run_source(&source, &cfg))
+                .unwrap_or_else(|p| Err(QutesError::from(p)));
+            match result {
                 Ok(out) => {
                     let rendered = if args.v3 {
                         to_qasm3(&out.circuit)

@@ -1,6 +1,7 @@
 //! Compile- and run-time errors for the Qutes language.
 
 use qutes_frontend::{Diagnostic, Span};
+use qutes_supervisor::StopReason;
 use std::fmt;
 
 /// Any failure while compiling or running a Qutes program.
@@ -19,6 +20,17 @@ pub enum QutesError {
     Circuit(qutes_qcirc::CircError),
     /// A fault in the simulator layer.
     Sim(qutes_sim::SimError),
+    /// The run was cut short by a deadline or cancellation, anywhere in
+    /// the pipeline (parse, optimize, simulate, shot loop).
+    Interrupted(StopReason),
+    /// A panic contained at the facade boundary (see
+    /// `qutes_supervisor::contain`); no panic crosses the library API.
+    Internal {
+        /// Pipeline stage active when the panic fired.
+        stage: &'static str,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
 }
 
 impl QutesError {
@@ -28,6 +40,26 @@ impl QutesError {
             message: message.into(),
             span,
         }
+    }
+
+    /// True for failures the supervisor may retry once at reduced
+    /// settings: resource refusals that a smaller footprint could clear.
+    /// Deadline trips, cancellations and logic errors are never
+    /// transient.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            QutesError::Sim(
+                qutes_sim::SimError::AllocationFailed { .. }
+                    | qutes_sim::SimError::TooManyQubits(_)
+            ) | QutesError::Circuit(
+                qutes_qcirc::CircError::Sim(
+                    qutes_sim::SimError::AllocationFailed { .. }
+                        | qutes_sim::SimError::TooManyQubits(_)
+                ) | qutes_qcirc::CircError::ResourceLimit { .. }
+                    | qutes_qcirc::CircError::BudgetExhausted { .. }
+            )
+        )
     }
 
     /// Renders with source context where available.
@@ -63,6 +95,10 @@ impl fmt::Display for QutesError {
             }
             QutesError::Circuit(e) => write!(f, "circuit error: {e}"),
             QutesError::Sim(e) => write!(f, "simulator error: {e}"),
+            QutesError::Interrupted(reason) => write!(f, "{reason}"),
+            QutesError::Internal { stage, message } => {
+                write!(f, "internal error in stage `{stage}`: {message}")
+            }
         }
     }
 }
@@ -77,13 +113,34 @@ impl From<Vec<Diagnostic>> for QutesError {
 
 impl From<qutes_qcirc::CircError> for QutesError {
     fn from(e: qutes_qcirc::CircError) -> Self {
-        QutesError::Circuit(e)
+        match e {
+            qutes_qcirc::CircError::Interrupted(reason) => QutesError::Interrupted(reason),
+            other => QutesError::Circuit(other),
+        }
     }
 }
 
 impl From<qutes_sim::SimError> for QutesError {
     fn from(e: qutes_sim::SimError) -> Self {
-        QutesError::Sim(e)
+        match e {
+            qutes_sim::SimError::Interrupted(reason) => QutesError::Interrupted(reason),
+            other => QutesError::Sim(other),
+        }
+    }
+}
+
+impl From<qutes_supervisor::ContainedPanic> for QutesError {
+    fn from(p: qutes_supervisor::ContainedPanic) -> Self {
+        QutesError::Internal {
+            stage: p.stage,
+            message: p.message,
+        }
+    }
+}
+
+impl From<StopReason> for QutesError {
+    fn from(reason: StopReason) -> Self {
+        QutesError::Interrupted(reason)
     }
 }
 

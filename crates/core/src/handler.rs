@@ -62,6 +62,13 @@ impl QuantumCircuitHandler {
         self.noise.as_ref()
     }
 
+    /// Arms the live statevector with the supervisor's interrupt handle,
+    /// so kernel-level checkpoints inside gate application observe the
+    /// run's deadline and cancellation state.
+    pub fn set_interrupt(&mut self, intr: qutes_supervisor::Interrupt) {
+        self.state.set_interrupt(intr);
+    }
+
     /// Acquires `n` clean (`|0>`) work qubits, reusing previously released
     /// ancillas before growing the circuit. The returned indices are not
     /// contiguous in general.
@@ -257,30 +264,29 @@ impl QuantumCircuitHandler {
     }
 
     /// Guard: errors when allocating `extra` more qubits would exceed the
-    /// simulator's capacity or the configured memory budget, with a
-    /// message naming the variable. Runs **before** any allocation.
-    pub fn check_capacity(&self, extra: usize, what: &str) -> QutesResult<()> {
+    /// simulator's capacity or the configured memory budget. Runs
+    /// **before** any allocation, and the refusal is a typed error
+    /// ([`SimError::TooManyQubits`] / [`CircError::ResourceLimit`]) so
+    /// the supervisor can classify it as transient — never an OOM abort.
+    ///
+    /// [`SimError::TooManyQubits`]: qutes_sim::SimError::TooManyQubits
+    /// [`CircError::ResourceLimit`]: qutes_qcirc::CircError::ResourceLimit
+    pub fn check_capacity(&self, extra: usize, _what: &str) -> QutesResult<()> {
         let total = self.num_qubits() + extra;
         if total > qutes_sim::MAX_QUBITS {
-            return Err(QutesError::runtime(
-                format!(
-                    "allocating {extra} qubits for {what} would need {total} total qubits; \
-                     the dense simulator supports at most {}",
-                    qutes_sim::MAX_QUBITS
-                ),
-                qutes_frontend::Span::default(),
-            ));
+            // Typed (not a string `Runtime` error) so the supervisor can
+            // classify it as transient and consider a degraded retry.
+            qutes_obs::counter_add("handler.capacity_refusals", 1);
+            return Err(QutesError::Sim(qutes_sim::SimError::TooManyQubits(total)));
         }
         if let Some(budget) = self.memory_budget_bytes {
             let required = (16u128).checked_shl(total as u32).unwrap_or(u128::MAX);
             if required > budget as u128 {
-                return Err(QutesError::runtime(
-                    format!(
-                        "allocating {extra} qubits for {what} would need {required} bytes of \
-                         statevector, over the {budget}-byte memory budget"
-                    ),
-                    qutes_frontend::Span::default(),
-                ));
+                qutes_obs::counter_add("handler.capacity_refusals", 1);
+                return Err(QutesError::Circuit(qutes_qcirc::CircError::ResourceLimit {
+                    required_bytes: u64::try_from(required).unwrap_or(u64::MAX),
+                    budget_bytes: budget,
+                }));
             }
         }
         Ok(())

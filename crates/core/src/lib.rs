@@ -41,7 +41,8 @@ pub use casting::TypeCastingHandler;
 pub use error::{QutesError, QutesResult};
 pub use handler::QuantumCircuitHandler;
 pub use lint::LintOptions;
-pub use runtime::{run_program, run_source, RunConfig, RunOutcome};
+pub use qutes_supervisor::{Interrupt, StopReason};
+pub use runtime::{run_program, run_source, DegradePolicy, RunConfig, RunOutcome};
 pub use symbols::{FunctionTable, Symbol, SymbolTable};
 pub use types::{assignable, check_program, measured};
 pub use value::{QKind, QuantumRef, Value};

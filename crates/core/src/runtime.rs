@@ -13,10 +13,36 @@ use crate::types;
 use crate::value::{cell, Cell, QKind, QuantumRef, Value};
 use qutes_algos::{arithmetic, rotation, state_prep, substring_oracle};
 use qutes_frontend::ast::*;
-use qutes_frontend::{parse, Span};
+use qutes_frontend::{parse_with_interrupt, ParseFailure, Span};
 use qutes_qcirc::{Gate, QuantumCircuit};
+use qutes_supervisor::{failpoint, Interrupt, StopReason};
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::time::Duration;
+
+/// How the runtime responds when a run is cut short (deadline,
+/// cancellation) or refused resources. See `docs/robustness.md`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DegradePolicy {
+    /// Return a partial shot histogram flagged [`RunOutcome::degraded`]
+    /// (instead of an error) when the deadline trips mid-replay with at
+    /// least one shot completed. Default `true`.
+    pub allow_partial: bool,
+    /// Retry a *transient* failure (see [`QutesError::is_transient`])
+    /// once, after a short backoff, at reduced settings: half the shots
+    /// and `opt_level <= 1`. Never retries deadline trips or
+    /// cancellations. Default `false`.
+    pub auto_retry: bool,
+}
+
+impl Default for DegradePolicy {
+    fn default() -> Self {
+        DegradePolicy {
+            allow_partial: true,
+            auto_retry: false,
+        }
+    }
+}
 
 /// Execution configuration.
 #[derive(Clone, Debug)]
@@ -56,6 +82,20 @@ pub struct RunConfig {
     /// to run `qutes-analysis` before execution and refuse to execute
     /// programs with deny-level findings. Disabled by default.
     pub lint: crate::lint::LintOptions,
+    /// Wall-clock budget for the whole run (parse through shot replay).
+    /// When it expires, cooperative checkpoints return
+    /// [`QutesError::Interrupted`] (or a degraded partial outcome, per
+    /// [`DegradePolicy::allow_partial`]). `None` (the default) means
+    /// unbounded.
+    pub time_budget: Option<Duration>,
+    /// External interrupt handle. Supply one to cancel a run from
+    /// another thread ([`Interrupt::cancel`]); the same handle is armed
+    /// with [`Self::time_budget`] when set. `None` creates a private
+    /// handle per run.
+    pub interrupt: Option<Interrupt>,
+    /// Graceful-degradation policy for deadline trips and transient
+    /// resource refusals.
+    pub degrade: DegradePolicy,
 }
 
 impl Default for RunConfig {
@@ -71,7 +111,23 @@ impl Default for RunConfig {
             opt_level: 1,
             observe: false,
             lint: crate::lint::LintOptions::default(),
+            time_budget: None,
+            interrupt: None,
+            degrade: DegradePolicy::default(),
         }
+    }
+}
+
+impl RunConfig {
+    /// The interrupt handle this run will observe: the configured one
+    /// (or a fresh one), with [`Self::time_budget`] armed as a deadline
+    /// counted from *now*.
+    pub fn effective_interrupt(&self) -> Interrupt {
+        let intr = self.interrupt.clone().unwrap_or_default();
+        if let Some(budget) = self.time_budget {
+            intr.set_deadline(budget);
+        }
+        intr
     }
 }
 
@@ -90,29 +146,82 @@ pub struct RunOutcome {
     /// [`RunConfig::shots`] was non-zero and the program measured
     /// anything.
     pub counts: Option<qutes_qcirc::Counts>,
+    /// True when the outcome is partial: the shot replay was cut short
+    /// by a deadline/cancellation and [`DegradePolicy::allow_partial`]
+    /// let it return the shots completed so far.
+    pub degraded: bool,
+    /// Why the run stopped early, when [`Self::degraded`] is set.
+    pub stop_reason: Option<StopReason>,
 }
 
 /// Parses, type-checks, and runs a Qutes source file.
+///
+/// The whole pipeline — parse, typecheck, interpretation, shot replay —
+/// shares one [`Interrupt`] handle (see
+/// [`RunConfig::effective_interrupt`]), so a deadline set here bounds
+/// the run end to end.
 pub fn run_source(source: &str, config: &RunConfig) -> QutesResult<RunOutcome> {
     if config.observe {
         qutes_obs::set_enabled(true);
     }
-    let program = parse(source).map_err(QutesError::Compile)?;
+    let intr = config.effective_interrupt();
+    let program = match parse_with_interrupt(source, &intr) {
+        Ok(p) => p,
+        Err(ParseFailure::Diagnostics(ds)) => return Err(QutesError::Compile(ds)),
+        Err(ParseFailure::Interrupted(reason)) => return Err(QutesError::Interrupted(reason)),
+    };
     if !config.skip_typecheck {
         let _span = qutes_obs::span("stage.typecheck");
+        intr.check()?;
         let diags = types::check_program(&program);
         if !diags.is_empty() {
             return Err(QutesError::Compile(diags));
         }
     }
-    run_program(&program, config)
+    run_supervised(&program, config, &intr)
 }
 
 /// Runs an already-parsed program.
 pub fn run_program(program: &Program, config: &RunConfig) -> QutesResult<RunOutcome> {
+    let intr = config.effective_interrupt();
+    run_supervised(program, config, &intr)
+}
+
+/// One run with retry-once degradation: a transient failure (resource
+/// refusal) is retried at reduced settings when
+/// [`DegradePolicy::auto_retry`] is set and the interrupt has not
+/// tripped.
+fn run_supervised(
+    program: &Program,
+    config: &RunConfig,
+    intr: &Interrupt,
+) -> QutesResult<RunOutcome> {
+    match run_attempt(program, config, intr) {
+        Err(e) if e.is_transient() && config.degrade.auto_retry && intr.check().is_ok() => {
+            qutes_obs::counter_add("supervisor.retries", 1);
+            // Brief backoff so a momentarily-contended allocator gets a
+            // chance to recover before the (single) retry.
+            std::thread::sleep(Duration::from_millis(25));
+            let mut reduced = config.clone();
+            reduced.shots = if config.shots > 1 {
+                config.shots / 2
+            } else {
+                config.shots
+            };
+            reduced.opt_level = config.opt_level.min(1);
+            reduced.degrade.auto_retry = false;
+            run_attempt(program, &reduced, intr)
+        }
+        other => other,
+    }
+}
+
+fn run_attempt(program: &Program, config: &RunConfig, intr: &Interrupt) -> QutesResult<RunOutcome> {
     if config.observe {
         qutes_obs::set_enabled(true);
     }
+    failpoint("core.run")
+        .map_err(|_| QutesError::Sim(qutes_sim::SimError::AllocationFailed { bytes: 0 }))?;
     // Pass 1 (declaration pass): collect functions.
     let functions = {
         let _span = qutes_obs::span("stage.decl_pass");
@@ -149,7 +258,10 @@ pub fn run_program(program: &Program, config: &RunConfig) -> QutesResult<RunOutc
         call_depth: 0,
         max_call_depth: config.max_call_depth,
         anon_counter: 0,
+        interrupt: intr.clone(),
+        interrupt_ck: 0,
     };
+    interp.handler.set_interrupt(intr.clone());
     {
         let _span = qutes_obs::span("stage.op_pass");
         for item in &program.items {
@@ -163,26 +275,31 @@ pub fn run_program(program: &Program, config: &RunConfig) -> QutesResult<RunOutc
     let circuit = interp.handler.circuit().clone();
 
     // Optional post-run histogram: replay the accumulated circuit under
-    // the same seed/noise/budget configuration.
-    let counts = if config.shots > 0 && circuit.num_clbits() > 0 {
+    // the same seed/noise/budget configuration. The replay observes the
+    // run's interrupt handle, and — when the policy allows — degrades
+    // to the shots completed so far instead of discarding them.
+    let (counts, degraded, stop_reason) = if config.shots > 0 && circuit.num_clbits() > 0 {
         let mut exec_cfg = qutes_qcirc::ExecutionConfig::default()
             .with_shots(config.shots)
             .with_seed(config.seed)
             .with_opt_level(config.opt_level)
-            .with_observe(config.observe);
+            .with_observe(config.observe)
+            .with_interrupt(intr.clone());
         if let Some(nm) = &config.noise {
             exec_cfg = exec_cfg.with_noise(nm.clone());
         }
         if let Some(b) = config.memory_budget_bytes {
             exec_cfg = exec_cfg.with_memory_budget(b);
         }
-        Some(
-            qutes_qcirc::execute::run_shots_cfg(&circuit, &exec_cfg).map_err(|e| {
-                QutesError::runtime(format!("shot replay failed: {e}"), Span::default())
-            })?,
-        )
+        if config.degrade.allow_partial {
+            let outcome = qutes_qcirc::execute::run_shots_supervised(&circuit, &exec_cfg)?;
+            (Some(outcome.counts), outcome.degraded, outcome.stop)
+        } else {
+            let counts = qutes_qcirc::execute::run_shots_cfg(&circuit, &exec_cfg)?;
+            (Some(counts), false, None)
+        }
     } else {
-        None
+        (None, false, None)
     };
 
     Ok(RunOutcome {
@@ -191,6 +308,8 @@ pub fn run_program(program: &Program, config: &RunConfig) -> QutesResult<RunOutc
         qubits_used: interp.handler.num_qubits(),
         circuit,
         counts,
+        degraded,
+        stop_reason,
     })
 }
 
@@ -209,6 +328,8 @@ struct Interp {
     call_depth: usize,
     max_call_depth: usize,
     anon_counter: usize,
+    interrupt: Interrupt,
+    interrupt_ck: u64,
 }
 
 impl Interp {
@@ -223,6 +344,11 @@ impl Interp {
                 span,
             ));
         }
+        // Cooperative checkpoint: amortised over 16 statements so tight
+        // classical loops stay cheap, but an expired deadline or a
+        // cancellation from another thread stops interpretation promptly.
+        self.interrupt
+            .checkpoint_named(&mut self.interrupt_ck, 16, "stage.interp.checkpoints")?;
         Ok(())
     }
 

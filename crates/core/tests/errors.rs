@@ -129,12 +129,16 @@ fn quantum_runtime_faults() {
 }
 
 #[test]
-fn capacity_guard_reports_variable() {
-    // One register bigger than the simulator cap.
+fn capacity_guard_is_typed_refusal() {
+    // One register bigger than the simulator cap: refused pre-flight
+    // with a typed (transient, retryable) error — never an OOM abort.
     let wide = "1".repeat(qutes_sim::MAX_QUBITS + 1);
     let e = err(&format!("qustring s = \"{wide}\"q;"));
-    let msg = e.to_string();
-    assert!(msg.contains("at most"), "{msg}");
+    assert!(
+        matches!(e, QutesError::Sim(qutes_sim::SimError::TooManyQubits(_))),
+        "{e}"
+    );
+    assert!(e.is_transient());
 }
 
 #[test]

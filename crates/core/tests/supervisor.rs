@@ -1,0 +1,98 @@
+//! End-to-end supervision at the language-runtime level: deadlines and
+//! cancellation produce typed errors (or flagged partial outcomes)
+//! promptly, and an armed-but-distant deadline never changes results.
+
+use qutes_core::{run_source, Interrupt, QutesError, RunConfig, StopReason};
+use std::time::{Duration, Instant};
+
+/// A program whose classical loop runs long enough that a short deadline
+/// trips at an interpreter checkpoint.
+const SPIN: &str = r#"
+    int i = 0;
+    while (i < 100000000) {
+        i = i + 1;
+    }
+    print i;
+"#;
+
+#[test]
+fn hundred_ms_budget_returns_typed_error_promptly() {
+    let cfg = RunConfig {
+        time_budget: Some(Duration::from_millis(100)),
+        max_steps: u64::MAX,
+        ..RunConfig::default()
+    };
+    let t0 = Instant::now();
+    let err = run_source(SPIN, &cfg).unwrap_err();
+    let elapsed = t0.elapsed();
+    assert!(
+        matches!(
+            err,
+            QutesError::Interrupted(StopReason::DeadlineExceeded { .. })
+        ),
+        "{err}"
+    );
+    // The acceptance bar is "well under 1s" for a 100ms budget.
+    assert!(elapsed < Duration::from_secs(1), "took {elapsed:?}");
+}
+
+#[test]
+fn cross_thread_cancel_stops_the_run() {
+    let intr = Interrupt::new();
+    let cfg = RunConfig {
+        interrupt: Some(intr.clone()),
+        max_steps: u64::MAX,
+        ..RunConfig::default()
+    };
+    let watcher = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(30));
+        intr.cancel();
+    });
+    let err = run_source(SPIN, &cfg).unwrap_err();
+    watcher.join().expect("watcher thread");
+    assert!(
+        matches!(err, QutesError::Interrupted(StopReason::Cancelled)),
+        "{err}"
+    );
+}
+
+#[test]
+fn zero_budget_trips_before_any_work() {
+    let cfg = RunConfig {
+        time_budget: Some(Duration::ZERO),
+        ..RunConfig::default()
+    };
+    let err = run_source("print 1;", &cfg).unwrap_err();
+    assert!(matches!(err, QutesError::Interrupted(_)), "{err}");
+}
+
+#[test]
+fn distant_deadline_does_not_change_results() {
+    let src = r#"
+        quint a = [1, 2]q;
+        print a;
+    "#;
+    let plain = run_source(src, &RunConfig::default()).expect("plain run");
+    let cfg = RunConfig {
+        time_budget: Some(Duration::from_secs(600)),
+        ..RunConfig::default()
+    };
+    let bounded = run_source(src, &cfg).expect("bounded run");
+    // Same seed, same program: identical output either way.
+    assert_eq!(plain.output, bounded.output);
+    assert!(!bounded.degraded);
+    assert!(bounded.stop_reason.is_none());
+}
+
+#[test]
+fn completed_run_is_not_degraded() {
+    let cfg = RunConfig {
+        shots: 64,
+        ..RunConfig::default()
+    };
+    let out = run_source("qubit q = 0q; print q;", &cfg).expect("run");
+    assert!(!out.degraded);
+    assert!(out.stop_reason.is_none());
+    let counts = out.counts.expect("histogram");
+    assert_eq!(counts.shots(), 64);
+}

@@ -31,7 +31,7 @@ pub use ast::{
 };
 pub use diag::{Diagnostic, Severity};
 pub use lexer::lex;
-pub use parser::{parse, parse_expression};
+pub use parser::{parse, parse_expression, parse_with_interrupt, ParseFailure};
 pub use printer::{print_expr, print_program};
 pub use span::{LineMap, Span};
 pub use token::{KetState, Token, TokenKind};

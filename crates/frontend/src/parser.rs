@@ -9,12 +9,38 @@ use crate::diag::Diagnostic;
 use crate::lexer::lex;
 use crate::span::Span;
 use crate::token::{Token, TokenKind};
+use qutes_supervisor::{failpoint, Interrupt, StopReason};
+
+/// Why [`parse_with_interrupt`] failed: ordinary syntax diagnostics, or
+/// a deadline/cancellation trip observed at a statement boundary.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ParseFailure {
+    /// The source has syntax errors.
+    Diagnostics(Vec<Diagnostic>),
+    /// The parse was cut short by the supervisor.
+    Interrupted(StopReason),
+}
 
 /// Parses a full source file into a [`Program`], or every diagnostic found.
 pub fn parse(source: &str) -> Result<Program, Vec<Diagnostic>> {
+    parse_with_interrupt(source, &Interrupt::new()).map_err(|f| match f {
+        ParseFailure::Diagnostics(diags) => diags,
+        // Unreachable: an unarmed handle never trips.
+        ParseFailure::Interrupted(reason) => vec![Diagnostic::error(
+            format!("parse interrupted: {reason}"),
+            Span::default(),
+        )],
+    })
+}
+
+/// [`parse`] with cooperative cancellation: the handle is checked at
+/// statement boundaries, so even a pathologically long source cannot
+/// outlive its wall-clock budget.
+pub fn parse_with_interrupt(source: &str, intr: &Interrupt) -> Result<Program, ParseFailure> {
+    let _ = failpoint("frontend.parse");
     let tokens = {
         let _span = qutes_obs::span("stage.lex");
-        lex(source).map_err(|d| vec![d])?
+        lex(source).map_err(|d| ParseFailure::Diagnostics(vec![d]))?
     };
     let _span = qutes_obs::span("stage.parse");
     let mut p = Parser {
@@ -22,12 +48,18 @@ pub fn parse(source: &str) -> Result<Program, Vec<Diagnostic>> {
         pos: 0,
         diags: Vec::new(),
         depth: 0,
+        interrupt: intr.clone(),
+        interrupt_ck: 0,
+        stopped: None,
     };
     let program = p.program();
+    if let Some(reason) = p.stopped {
+        return Err(ParseFailure::Interrupted(reason));
+    }
     if p.diags.is_empty() {
         Ok(program)
     } else {
-        Err(p.diags)
+        Err(ParseFailure::Diagnostics(p.diags))
     }
 }
 
@@ -39,6 +71,9 @@ pub fn parse_expression(source: &str) -> Result<Expr, Vec<Diagnostic>> {
         pos: 0,
         diags: Vec::new(),
         depth: 0,
+        interrupt: Interrupt::new(),
+        interrupt_ck: 0,
+        stopped: None,
     };
     let e = p.expr();
     p.expect(TokenKind::Eof);
@@ -58,6 +93,9 @@ struct Parser {
     pos: usize,
     diags: Vec<Diagnostic>,
     depth: usize,
+    interrupt: Interrupt,
+    interrupt_ck: u64,
+    stopped: Option<StopReason>,
 }
 
 impl Parser {
@@ -160,6 +198,14 @@ impl Parser {
     fn program(&mut self) -> Program {
         let mut items = Vec::new();
         while *self.peek() != TokenKind::Eof {
+            if let Err(reason) = self.interrupt.checkpoint_named(
+                &mut self.interrupt_ck,
+                16,
+                "stage.parse.checkpoints",
+            ) {
+                self.stopped = Some(reason);
+                break;
+            }
             let before = self.pos;
             if let Some(item) = self.item() {
                 items.push(item);

@@ -128,7 +128,17 @@ impl Snapshot {
     /// }
     /// ```
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"version\": 1,\n  \"timers\": {");
+        self.to_json_tagged(false)
+    }
+
+    /// Like [`Self::to_json`], with an `"aborted"` field recording
+    /// whether the run this snapshot describes exited abnormally (error,
+    /// deadline trip, contained panic). The CLI flushes a tagged
+    /// snapshot on *every* exit path, so `--stats-json` consumers always
+    /// get the partial stage timings of a failed run plus an explicit
+    /// marker instead of a missing file.
+    pub fn to_json_tagged(&self, aborted: bool) -> String {
+        let mut out = format!("{{\n  \"version\": 1,\n  \"aborted\": {aborted},\n  \"timers\": {{");
         for (i, (name, t)) in self.timers.iter().enumerate() {
             let sep = if i == 0 { "" } else { "," };
             let _ = write!(
@@ -258,6 +268,17 @@ mod tests {
             "unbalanced braces: {j}"
         );
         assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn json_tagged_records_abort_marker() {
+        let ok = sample().to_json_tagged(false);
+        assert!(ok.contains("\"aborted\": false"), "{ok}");
+        let bad = sample().to_json_tagged(true);
+        assert!(bad.contains("\"aborted\": true"), "{bad}");
+        assert!(bad.contains("\"version\": 1"), "{bad}");
+        assert_eq!(bad.matches('{').count(), bad.matches('}').count());
+        assert_eq!(bad.matches('[').count(), bad.matches(']').count());
     }
 
     #[test]

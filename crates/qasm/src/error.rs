@@ -1,6 +1,7 @@
 //! Error type for QASM export/import.
 
 use qutes_qcirc::CircError;
+use qutes_supervisor::StopReason;
 use std::fmt;
 
 /// Errors produced while serialising or parsing OpenQASM.
@@ -21,6 +22,16 @@ pub enum QasmError {
         /// Description of the problem.
         message: String,
     },
+    /// The import was cut short by a deadline or cancellation.
+    Interrupted(StopReason),
+    /// A panic contained at the importer boundary (see
+    /// `qutes_supervisor::contain`); no panic crosses the library API.
+    Internal {
+        /// Pipeline stage active when the panic fired.
+        stage: &'static str,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
 }
 
 impl fmt::Display for QasmError {
@@ -33,6 +44,10 @@ impl fmt::Display for QasmError {
             QasmError::Parse { line, message } => {
                 write!(f, "QASM parse error, line {line}: {message}")
             }
+            QasmError::Interrupted(reason) => write!(f, "{reason}"),
+            QasmError::Internal { stage, message } => {
+                write!(f, "internal error in stage `{stage}`: {message}")
+            }
         }
     }
 }
@@ -41,7 +56,10 @@ impl std::error::Error for QasmError {}
 
 impl From<CircError> for QasmError {
     fn from(e: CircError) -> Self {
-        QasmError::Circuit(e)
+        match e {
+            CircError::Interrupted(reason) => QasmError::Interrupted(reason),
+            other => QasmError::Circuit(other),
+        }
     }
 }
 

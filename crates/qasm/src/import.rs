@@ -3,11 +3,31 @@
 
 use crate::error::{QasmError, QasmResult};
 use qutes_qcirc::{ClassicalRegister, Gate, QuantumCircuit, QuantumRegister};
+use qutes_supervisor::{contain, enter_stage, failpoint, Interrupt};
 use std::collections::HashMap;
 
 /// Parses OpenQASM 2.0 source into a circuit.
+///
+/// Crash-contained: any panic inside the importer is caught at this
+/// boundary and returned as [`QasmError::Internal`].
 pub fn from_qasm2(src: &str) -> QasmResult<QuantumCircuit> {
-    Importer::new().parse(src)
+    from_qasm2_with_interrupt(src, &Interrupt::new())
+}
+
+/// [`from_qasm2`] with cooperative cancellation: the handle is checked
+/// at statement boundaries, so an adversarially long input cannot
+/// outlive its wall-clock budget. A trip returns
+/// [`QasmError::Interrupted`].
+pub fn from_qasm2_with_interrupt(src: &str, intr: &Interrupt) -> QasmResult<QuantumCircuit> {
+    contain(|| {
+        let _stage = enter_stage("qasm.import");
+        let _ = failpoint("qasm.import");
+        Importer::new().parse(src, intr)
+    })
+    .map_err(|p| QasmError::Internal {
+        stage: p.stage,
+        message: p.message,
+    })?
 }
 
 struct Importer {
@@ -31,11 +51,12 @@ impl Importer {
         }
     }
 
-    fn parse(mut self, src: &str) -> QasmResult<QuantumCircuit> {
+    fn parse(mut self, src: &str, intr: &Interrupt) -> QasmResult<QuantumCircuit> {
         // Statements end with ';'. Track line numbers for diagnostics.
         let mut line_no = 1usize;
         let mut stmt = String::new();
         let mut stmt_line = 1usize;
+        let mut intr_ck = 0u64;
         let mut chars = src.chars().peekable();
         while let Some(ch) = chars.next() {
             match ch {
@@ -53,6 +74,8 @@ impl Importer {
                     }
                 }
                 ';' => {
+                    intr.checkpoint_named(&mut intr_ck, 16, "stage.qasm.checkpoints")
+                        .map_err(QasmError::Interrupted)?;
                     let trimmed = stmt.trim().to_string();
                     if !trimmed.is_empty() {
                         self.statement(&trimmed, stmt_line)?;

@@ -29,4 +29,4 @@ pub mod import;
 
 pub use error::{QasmError, QasmResult};
 pub use export::{to_qasm2, to_qasm3};
-pub use import::from_qasm2;
+pub use import::{from_qasm2, from_qasm2_with_interrupt};

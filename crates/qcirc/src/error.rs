@@ -9,6 +9,7 @@
 //! assert!(err.to_string().contains("out of range"));
 //! ```
 
+use qutes_supervisor::StopReason;
 use std::fmt;
 
 /// Errors produced while building or executing circuits.
@@ -71,6 +72,10 @@ pub enum CircError {
         /// The configured maximum number of gate applications.
         limit: u64,
     },
+    /// A cooperative checkpoint observed a tripped deadline or
+    /// cancellation (see `qutes_supervisor::Interrupt`). Interrupts
+    /// raised inside the simulator are normalised to this variant.
+    Interrupted(StopReason),
 }
 
 impl fmt::Display for CircError {
@@ -117,6 +122,7 @@ impl fmt::Display for CircError {
             CircError::BudgetExhausted { limit } => {
                 write!(f, "gate-application budget of {limit} exhausted")
             }
+            CircError::Interrupted(reason) => write!(f, "{reason}"),
         }
     }
 }
@@ -125,7 +131,13 @@ impl std::error::Error for CircError {}
 
 impl From<qutes_sim::SimError> for CircError {
     fn from(e: qutes_sim::SimError) -> Self {
-        CircError::Sim(e)
+        match e {
+            // An interrupt that tripped inside a kernel is the same
+            // event as one tripped between gates; keep one variant so
+            // callers match a single shape.
+            qutes_sim::SimError::Interrupted(reason) => CircError::Interrupted(reason),
+            other => CircError::Sim(other),
+        }
     }
 }
 

@@ -34,10 +34,18 @@ use crate::circuit::QuantumCircuit;
 use crate::error::{CircError, CircResult};
 use crate::gate::Gate;
 use qutes_sim::{gates, measure, NoiseModel, StateVector};
+use qutes_supervisor::{failpoint, Interrupt, StopReason};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::fmt;
+use std::time::Duration;
+
+/// Gate applications between cooperative deadline checks in the
+/// per-shot execution loop. Gates on small states run in nanoseconds,
+/// so a modest stride keeps the check invisible; large states are
+/// covered by the amortised checks inside the qsim kernels themselves.
+const GATE_CHECK_STRIDE: u64 = 64;
 
 /// How a circuit is executed: shot count, RNG seed, optional noise, and
 /// resource ceilings. [`Default`] gives 1024 noiseless shots, seed 0,
@@ -67,6 +75,14 @@ pub struct ExecutionConfig {
     /// stays on afterwards so the caller can snapshot; disabled runs pay
     /// only one atomic load per recording site.
     pub observe: bool,
+    /// Wall-clock budget for the whole run (optimization included).
+    /// Armed on the interrupt handle at entry; a trip surfaces as
+    /// [`CircError::Interrupted`]. `None` means unbounded.
+    pub time_budget: Option<Duration>,
+    /// Externally shared cancellation handle. Lets a caller (server,
+    /// Ctrl-C handler) stop the run from another thread; `None` gives
+    /// each run a private handle. Compared by identity.
+    pub interrupt: Option<Interrupt>,
 }
 
 impl Default for ExecutionConfig {
@@ -79,6 +95,8 @@ impl Default for ExecutionConfig {
             memory_budget_bytes: None,
             opt_level: 1,
             observe: false,
+            time_budget: None,
+            interrupt: None,
         }
     }
 }
@@ -128,6 +146,29 @@ impl ExecutionConfig {
         self
     }
 
+    /// Sets the wall-clock budget for the whole run.
+    pub fn with_time_budget(mut self, budget: Duration) -> Self {
+        self.time_budget = Some(budget);
+        self
+    }
+
+    /// Attaches a shared cancellation handle.
+    pub fn with_interrupt(mut self, interrupt: Interrupt) -> Self {
+        self.interrupt = Some(interrupt);
+        self
+    }
+
+    /// The interrupt handle driving this run: the attached one (or a
+    /// fresh private handle), with [`ExecutionConfig::time_budget`]
+    /// armed as a deadline starting now.
+    pub fn effective_interrupt(&self) -> Interrupt {
+        let intr = self.interrupt.clone().unwrap_or_default();
+        if let Some(budget) = self.time_budget {
+            intr.set_deadline(budget);
+        }
+        intr
+    }
+
     /// Enables the global collector when this config asks for it.
     fn arm_observability(&self) {
         if self.observe {
@@ -139,11 +180,11 @@ impl ExecutionConfig {
     /// [`crate::optimize::optimize`] at this config's level, or an
     /// unmodified clone at level 0. Gate budgets are charged against this
     /// circuit, so optimized-away gates cost nothing.
-    fn optimized(&self, circuit: &QuantumCircuit) -> CircResult<QuantumCircuit> {
+    fn optimized(&self, circuit: &QuantumCircuit, intr: &Interrupt) -> CircResult<QuantumCircuit> {
         if self.opt_level == 0 {
             return Ok(circuit.clone());
         }
-        let (opt, _) = crate::optimize::optimize(circuit, self.opt_level)?;
+        let (opt, _) = crate::optimize::optimize_with_interrupt(circuit, self.opt_level, intr)?;
         Ok(opt)
     }
 
@@ -452,19 +493,33 @@ impl Shot {
 
 /// Runs the circuit once, collapsing at each measurement.
 pub fn run_once<R: Rng + ?Sized>(circuit: &QuantumCircuit, rng: &mut R) -> CircResult<Shot> {
-    run_once_full(circuit, rng, None, GateBudget::unlimited())
+    run_once_full(
+        circuit,
+        rng,
+        None,
+        GateBudget::unlimited(),
+        &Interrupt::new(),
+    )
 }
 
 /// Runs the circuit once under an [`ExecutionConfig`]: seeded RNG,
-/// optional noise, memory pre-flight, and gate budget.
+/// optional noise, memory pre-flight, gate budget, and deadline.
 pub fn run_once_cfg(circuit: &QuantumCircuit, cfg: &ExecutionConfig) -> CircResult<Shot> {
     cfg.arm_observability();
+    let intr = cfg.effective_interrupt();
+    intr.check().map_err(CircError::Interrupted)?;
     cfg.validate()?;
     cfg.check_memory(circuit.num_qubits())?;
-    let circuit = cfg.optimized(circuit)?;
+    let circuit = cfg.optimized(circuit, &intr)?;
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let _span = qutes_obs::span("stage.simulate");
-    run_once_full(&circuit, &mut rng, cfg.effective_noise(), cfg.budget())
+    run_once_full(
+        &circuit,
+        &mut rng,
+        cfg.effective_noise(),
+        cfg.budget(),
+        &intr,
+    )
 }
 
 fn run_once_full<R: Rng + ?Sized>(
@@ -472,10 +527,19 @@ fn run_once_full<R: Rng + ?Sized>(
     rng: &mut R,
     noise: Option<&NoiseModel>,
     mut budget: GateBudget,
+    intr: &Interrupt,
 ) -> CircResult<Shot> {
     let mut state = StateVector::new(circuit.num_qubits())?;
+    state.set_interrupt(intr.clone());
     let mut clbits = vec![false; circuit.num_clbits()];
+    let mut gate_ck = 0u64;
     for g in circuit.ops() {
+        intr.checkpoint_named(
+            &mut gate_ck,
+            GATE_CHECK_STRIDE,
+            "stage.simulate.checkpoints",
+        )
+        .map_err(CircError::Interrupted)?;
         apply_gate_full(&mut state, &mut clbits, g, rng, noise, &mut budget)?;
     }
     Ok(Shot { state, clbits })
@@ -526,13 +590,38 @@ fn measurements_are_terminal(circuit: &QuantumCircuit) -> bool {
     true
 }
 
+/// Outcome of a supervised shot run: the histogram plus degradation
+/// metadata. A non-degraded run has `completed_shots` equal to the
+/// configured shot count and `stop == None`.
+#[derive(Clone, Debug)]
+pub struct ShotsOutcome {
+    /// Histogram over the shots that actually completed.
+    pub counts: Counts,
+    /// How many shots finished before the run ended.
+    pub completed_shots: usize,
+    /// True when the run was cut short by a deadline or cancellation
+    /// and partial results were returned instead of an error.
+    pub degraded: bool,
+    /// Why the run stopped early, when `degraded` is set.
+    pub stop: Option<StopReason>,
+}
+
 /// Runs the circuit `shots` times and histograms the classical register.
 pub fn run_shots<R: Rng + ?Sized>(
     circuit: &QuantumCircuit,
     shots: usize,
     rng: &mut R,
 ) -> CircResult<Counts> {
-    run_shots_full(circuit, shots, rng, None, &ExecutionConfig::default())
+    let outcome = run_shots_full(
+        circuit,
+        shots,
+        rng,
+        None,
+        &ExecutionConfig::default(),
+        &Interrupt::new(),
+        false,
+    )?;
+    Ok(outcome.counts)
 }
 
 /// Runs the circuit under an [`ExecutionConfig`] and histograms the
@@ -544,32 +633,75 @@ pub fn run_shots<R: Rng + ?Sized>(
 /// circuit. The pre-flight memory check runs before any state is
 /// allocated, and the gate budget applies per shot.
 pub fn run_shots_cfg(circuit: &QuantumCircuit, cfg: &ExecutionConfig) -> CircResult<Counts> {
-    cfg.arm_observability();
-    cfg.validate()?;
-    cfg.check_memory(circuit.num_qubits())?;
-    let circuit = cfg.optimized(circuit)?;
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let _span = qutes_obs::span("stage.simulate");
-    run_shots_full(&circuit, cfg.shots, &mut rng, cfg.effective_noise(), cfg)
+    run_shots_entry(circuit, cfg, false).map(|o| o.counts)
 }
 
+/// Like [`run_shots_cfg`], but with graceful degradation: when the
+/// deadline or a cancellation trips after at least one shot completed,
+/// the partial histogram is returned (`degraded: true`, with the
+/// [`StopReason`]) instead of an error. An interrupt before the first
+/// completed shot is still the typed [`CircError::Interrupted`].
+pub fn run_shots_supervised(
+    circuit: &QuantumCircuit,
+    cfg: &ExecutionConfig,
+) -> CircResult<ShotsOutcome> {
+    run_shots_entry(circuit, cfg, true)
+}
+
+fn run_shots_entry(
+    circuit: &QuantumCircuit,
+    cfg: &ExecutionConfig,
+    allow_partial: bool,
+) -> CircResult<ShotsOutcome> {
+    cfg.arm_observability();
+    let intr = cfg.effective_interrupt();
+    intr.check().map_err(CircError::Interrupted)?;
+    cfg.validate()?;
+    cfg.check_memory(circuit.num_qubits())?;
+    let circuit = cfg.optimized(circuit, &intr)?;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let _span = qutes_obs::span("stage.simulate");
+    run_shots_full(
+        &circuit,
+        cfg.shots,
+        &mut rng,
+        cfg.effective_noise(),
+        cfg,
+        &intr,
+        allow_partial,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run_shots_full<R: Rng + ?Sized>(
     circuit: &QuantumCircuit,
     shots: usize,
     rng: &mut R,
     noise: Option<&NoiseModel>,
     cfg: &ExecutionConfig,
-) -> CircResult<Counts> {
+    intr: &Interrupt,
+    allow_partial: bool,
+) -> CircResult<ShotsOutcome> {
     let mut map = HashMap::new();
     qutes_obs::counter_add("sim.shots", shots as u64);
     if noise.is_none() && measurements_are_terminal(circuit) {
         qutes_obs::counter_add("sim.fast_path", 1);
-        // Fast path: simulate the unitary prefix once, then sample.
+        // Fast path: simulate the unitary prefix once, then sample. The
+        // single simulation is all-or-nothing, so no partial outcome is
+        // possible here; interrupts surface as errors.
         let mut state = StateVector::new(circuit.num_qubits())?;
+        state.set_interrupt(intr.clone());
         let mut clbits = vec![false; circuit.num_clbits()];
         let mut budget = cfg.budget();
+        let mut gate_ck = 0u64;
         let mut meas_pairs: Vec<(usize, usize)> = Vec::new();
         for g in circuit.ops() {
+            intr.checkpoint_named(
+                &mut gate_ck,
+                GATE_CHECK_STRIDE,
+                "stage.simulate.checkpoints",
+            )
+            .map_err(CircError::Interrupted)?;
             if let Gate::Measure { qubit, clbit } = g {
                 check_clbit(&clbits, *clbit)?;
                 budget.charge()?;
@@ -592,15 +724,53 @@ fn run_shots_full<R: Rng + ?Sized>(
         }
     } else {
         qutes_obs::counter_add("sim.slow_path", 1);
-        for _ in 0..shots {
-            let shot = run_once_full(circuit, rng, noise, cfg.budget())?;
-            *map.entry(shot.clbits_as_usize()).or_insert(0) += 1;
+        for s in 0..shots {
+            let shot_result = intr
+                .check()
+                .map_err(CircError::Interrupted)
+                .and_then(|()| {
+                    if intr.is_armed() {
+                        qutes_obs::counter_add("stage.shots.checkpoints", 1);
+                    }
+                    failpoint("qcirc.execute.shot").map_err(|_| {
+                        CircError::Sim(qutes_sim::SimError::AllocationFailed {
+                            bytes: 16usize
+                                .checked_shl(circuit.num_qubits() as u32)
+                                .unwrap_or(usize::MAX),
+                        })
+                    })
+                })
+                .and_then(|()| run_once_full(circuit, rng, noise, cfg.budget(), intr));
+            match shot_result {
+                Ok(shot) => {
+                    *map.entry(shot.clbits_as_usize()).or_insert(0) += 1;
+                }
+                Err(CircError::Interrupted(reason)) if allow_partial && s > 0 => {
+                    qutes_obs::counter_add("supervisor.degraded", 1);
+                    return Ok(ShotsOutcome {
+                        counts: Counts {
+                            map,
+                            num_clbits: circuit.num_clbits(),
+                            shots: s,
+                        },
+                        completed_shots: s,
+                        degraded: true,
+                        stop: Some(reason),
+                    });
+                }
+                Err(e) => return Err(e),
+            }
         }
     }
-    Ok(Counts {
-        map,
-        num_clbits: circuit.num_clbits(),
-        shots,
+    Ok(ShotsOutcome {
+        counts: Counts {
+            map,
+            num_clbits: circuit.num_clbits(),
+            shots,
+        },
+        completed_shots: shots,
+        degraded: false,
+        stop: None,
     })
 }
 
@@ -782,6 +952,95 @@ mod tests {
         assert!(shot.clbits[0]);
         assert_eq!(shot.clbits_as_usize(), 1);
         assert!((shot.state.probability_one(0).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expired_deadline_is_typed_error() {
+        let mut c = QuantumCircuit::with_qubits_and_clbits(2, 2);
+        c.h(0).unwrap().cx(0, 1).unwrap();
+        c.measure(0, 0).unwrap().measure(1, 1).unwrap();
+        let cfg = ExecutionConfig::default().with_time_budget(Duration::ZERO);
+        let err = run_shots_cfg(&c, &cfg).unwrap_err();
+        assert!(matches!(
+            err,
+            CircError::Interrupted(StopReason::DeadlineExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn cancelled_interrupt_is_typed_error() {
+        let mut c = QuantumCircuit::with_qubits_and_clbits(1, 1);
+        c.h(0).unwrap().measure(0, 0).unwrap();
+        let intr = Interrupt::new();
+        intr.cancel();
+        let cfg = ExecutionConfig::default().with_interrupt(intr);
+        let err = run_once_cfg(&c, &cfg).unwrap_err();
+        assert!(matches!(err, CircError::Interrupted(StopReason::Cancelled)));
+    }
+
+    #[test]
+    fn generous_deadline_does_not_change_results() {
+        let mut c = QuantumCircuit::with_qubits_and_clbits(2, 2);
+        c.h(0).unwrap().cx(0, 1).unwrap();
+        c.measure(0, 0).unwrap().measure(1, 1).unwrap();
+        let plain = run_shots_cfg(&c, &ExecutionConfig::default()).unwrap();
+        let timed = run_shots_cfg(
+            &c,
+            &ExecutionConfig::default().with_time_budget(Duration::from_secs(600)),
+        )
+        .unwrap();
+        assert_eq!(plain.sorted(), timed.sorted());
+    }
+
+    #[test]
+    fn supervised_run_completes_normally() {
+        let mut c = QuantumCircuit::with_qubits_and_clbits(1, 1);
+        c.h(0).unwrap().measure(0, 0).unwrap();
+        let cfg = ExecutionConfig::default().with_shots(100);
+        let outcome = run_shots_supervised(&c, &cfg).unwrap();
+        assert!(!outcome.degraded);
+        assert_eq!(outcome.completed_shots, 100);
+        assert_eq!(outcome.stop, None);
+        assert_eq!(outcome.counts.shots(), 100);
+    }
+
+    #[test]
+    fn supervised_run_degrades_to_partial_counts() {
+        // Reset forces the slow per-shot path; cancel from a watcher
+        // thread once at least one shot has landed.
+        let mut c = QuantumCircuit::with_qubits_and_clbits(1, 1);
+        c.h(0).unwrap();
+        c.reset(0).unwrap();
+        c.h(0).unwrap();
+        c.measure(0, 0).unwrap();
+        let intr = Interrupt::new();
+        let cfg = ExecutionConfig::default()
+            .with_shots(2_000_000_000)
+            .with_interrupt(intr.clone());
+        let watcher = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            intr.cancel();
+        });
+        let outcome = run_shots_supervised(&c, &cfg).unwrap();
+        watcher.join().map_err(|_| "watcher panicked").unwrap();
+        assert!(outcome.degraded);
+        assert!(outcome.completed_shots > 0);
+        assert!(outcome.completed_shots < 2_000_000_000);
+        assert_eq!(outcome.stop, Some(StopReason::Cancelled));
+        assert_eq!(outcome.counts.shots(), outcome.completed_shots);
+    }
+
+    #[test]
+    fn supervised_zero_budget_still_errors() {
+        // No shot can complete under an already-expired deadline, so
+        // there is nothing partial to salvage.
+        let mut c = QuantumCircuit::with_qubits_and_clbits(1, 1);
+        c.h(0).unwrap().measure(0, 0).unwrap();
+        let cfg = ExecutionConfig::default().with_time_budget(Duration::ZERO);
+        assert!(matches!(
+            run_shots_supervised(&c, &cfg),
+            Err(CircError::Interrupted(_))
+        ));
     }
 
     #[test]

@@ -39,10 +39,11 @@ pub use decompose::{mcphase_no_ancilla, mcx_no_ancilla, mcx_vchain, transpile, B
 pub use draw::draw;
 pub use error::{CircError, CircResult};
 pub use execute::{
-    run_once, run_once_cfg, run_shots, run_shots_cfg, run_shots_majority, statevector, Counts,
-    ExecutionConfig, MajorityOutcome, Shot,
+    run_once, run_once_cfg, run_shots, run_shots_cfg, run_shots_majority, run_shots_supervised,
+    statevector, Counts, ExecutionConfig, MajorityOutcome, Shot, ShotsOutcome,
 };
 pub use gate::Gate;
 pub use metrics::CircuitStats;
-pub use optimize::{optimize, OptimizationReport};
+pub use optimize::{optimize, optimize_with_interrupt, OptimizationReport};
+pub use qutes_supervisor::{Interrupt, StopReason};
 pub use register::{ClassicalRegister, QuantumRegister};

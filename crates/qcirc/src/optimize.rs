@@ -43,9 +43,10 @@
 //! ```
 
 use crate::circuit::QuantumCircuit;
-use crate::error::CircResult;
+use crate::error::{CircError, CircResult};
 use crate::gate::Gate;
 use qutes_sim::{gates, Matrix2};
+use qutes_supervisor::{failpoint, Interrupt};
 
 const ANGLE_TOL: f64 = 1e-12;
 const TAU: f64 = 2.0 * std::f64::consts::PI;
@@ -91,6 +92,18 @@ pub fn optimize(
     circuit: &QuantumCircuit,
     level: u8,
 ) -> CircResult<(QuantumCircuit, OptimizationReport)> {
+    optimize_with_interrupt(circuit, level, &Interrupt::new())
+}
+
+/// [`optimize`] with cooperative cancellation: the deadline/cancel
+/// handle is checked between passes and fixpoint iterations, so even a
+/// pathological pass sequence cannot outlive its budget. A trip returns
+/// [`CircError::Interrupted`].
+pub fn optimize_with_interrupt(
+    circuit: &QuantumCircuit,
+    level: u8,
+    intr: &Interrupt,
+) -> CircResult<(QuantumCircuit, OptimizationReport)> {
     let _span = qutes_obs::span("stage.optimize");
     let before = circuit.stats();
     let mut report = OptimizationReport {
@@ -109,13 +122,15 @@ pub fn optimize(
 
     let n = circuit.num_qubits();
     let mut ops: Vec<Gate> = circuit.ops().to_vec();
-    ops = cancel_merge_fixpoint(ops, n, &mut report);
+    ops = cancel_merge_fixpoint(ops, n, &mut report, intr)?;
     if level >= 2 {
+        intr.check().map_err(CircError::Interrupted)?;
+        let _ = failpoint("qcirc.optimize.pass");
         let (next, changed) = fuse_runs(ops, n, &mut report.fused);
         ops = next;
         if changed {
             // Fusion can make 2-qubit inverse pairs adjacent on their wires.
-            ops = cancel_merge_fixpoint(ops, n, &mut report);
+            ops = cancel_merge_fixpoint(ops, n, &mut report, intr)?;
         }
     }
 
@@ -379,15 +394,21 @@ fn cancel_merge_fixpoint(
     mut ops: Vec<Gate>,
     n: usize,
     report: &mut OptimizationReport,
-) -> Vec<Gate> {
+    intr: &Interrupt,
+) -> CircResult<Vec<Gate>> {
     for _ in 0..MAX_PASSES {
+        if intr.is_armed() {
+            qutes_obs::counter_add("stage.optimize.checkpoints", 1);
+        }
+        intr.check().map_err(CircError::Interrupted)?;
+        let _ = failpoint("qcirc.optimize.pass");
         let (next, changed) = cancel_merge(ops, n, &mut report.cancelled, &mut report.merged);
         ops = next;
         if !changed {
             break;
         }
     }
-    ops
+    Ok(ops)
 }
 
 /// One forward pass of commutation-aware cancellation and merging.

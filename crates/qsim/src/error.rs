@@ -9,6 +9,7 @@
 //! assert!(err.to_string().contains("out of range"));
 //! ```
 
+use qutes_supervisor::StopReason;
 use std::fmt;
 
 /// Errors produced by statevector operations.
@@ -28,6 +29,17 @@ pub enum SimError {
     InvalidState(String),
     /// Too many qubits to simulate (amplitude vector would overflow memory).
     TooManyQubits(usize),
+    /// The allocator refused the amplitude vector (pre-flighted with
+    /// `try_reserve`, so refusal is this typed error, never an abort).
+    AllocationFailed {
+        /// Bytes the statevector would have needed.
+        bytes: usize,
+    },
+    /// A cooperative checkpoint observed a tripped [`Interrupt`]
+    /// (deadline or cancellation) mid-kernel.
+    ///
+    /// [`Interrupt`]: qutes_supervisor::Interrupt
+    Interrupted(StopReason),
 }
 
 impl fmt::Display for SimError {
@@ -46,6 +58,10 @@ impl fmt::Display for SimError {
             SimError::TooManyQubits(n) => {
                 write!(f, "cannot simulate {n} qubits with a dense statevector")
             }
+            SimError::AllocationFailed { bytes } => {
+                write!(f, "cannot allocate {bytes} bytes for the statevector")
+            }
+            SimError::Interrupted(reason) => write!(f, "{reason}"),
         }
     }
 }

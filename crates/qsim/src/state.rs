@@ -19,9 +19,30 @@ use crate::complex::{c64, Complex64};
 use crate::error::{SimError, SimResult};
 use crate::gates::Matrix2;
 use crate::parallel;
+use qutes_supervisor::Interrupt;
 
 /// Hard cap on dense simulation size: 2^28 amplitudes = 4 GiB of state.
 pub const MAX_QUBITS: usize = 28;
+
+/// Allocates a zeroed amplitude vector, pre-flighting the reservation
+/// with `try_reserve_exact` so an allocator refusal surfaces as
+/// [`SimError::AllocationFailed`] instead of an OOM abort.
+fn alloc_amps(len: usize) -> SimResult<Vec<Complex64>> {
+    let bytes = len.saturating_mul(std::mem::size_of::<Complex64>());
+    // The failpoint models refusal of a *statevector-sized* allocation;
+    // the trivial single-amplitude vector (the 0-qubit seed state every
+    // handler starts from) is exempt so chaos injection cannot fault
+    // infrastructure that allocates nothing of consequence.
+    if len > 1 {
+        qutes_supervisor::failpoint("sim.alloc")
+            .map_err(|_| SimError::AllocationFailed { bytes })?;
+    }
+    let mut amps: Vec<Complex64> = Vec::new();
+    amps.try_reserve_exact(len)
+        .map_err(|_| SimError::AllocationFailed { bytes })?;
+    amps.resize(len, Complex64::ZERO);
+    Ok(amps)
+}
 
 /// A pure quantum state over `n` qubits stored as `2^n` complex amplitudes.
 #[derive(Clone, Debug)]
@@ -29,6 +50,9 @@ pub struct StateVector {
     n: usize,
     amps: Vec<Complex64>,
     parallel: bool,
+    /// Cooperative cancellation handle checked (amortised) inside the
+    /// strided kernels. Unarmed by default: a single relaxed load.
+    interrupt: Interrupt,
 }
 
 impl StateVector {
@@ -37,12 +61,13 @@ impl StateVector {
         if n > MAX_QUBITS {
             return Err(SimError::TooManyQubits(n));
         }
-        let mut amps = vec![Complex64::ZERO; 1usize << n];
+        let mut amps = alloc_amps(1usize << n)?;
         amps[0] = Complex64::ONE;
         Ok(StateVector {
             n,
             amps,
             parallel: true,
+            interrupt: Interrupt::new(),
         })
     }
 
@@ -82,6 +107,7 @@ impl StateVector {
             n,
             amps,
             parallel: true,
+            interrupt: Interrupt::new(),
         })
     }
 
@@ -125,6 +151,19 @@ impl StateVector {
     /// Whether parallel kernels are enabled.
     pub fn parallel_enabled(&self) -> bool {
         self.parallel
+    }
+
+    /// Installs a shared [`Interrupt`] handle; the strided kernels then
+    /// perform an amortised deadline/cancel check every
+    /// [`parallel::CHECK_STRIDE`] amplitudes and return
+    /// [`SimError::Interrupted`] once it trips.
+    pub fn set_interrupt(&mut self, interrupt: Interrupt) {
+        self.interrupt = interrupt;
+    }
+
+    /// The interrupt handle driving kernel checkpoints.
+    pub fn interrupt(&self) -> &Interrupt {
+        &self.interrupt
     }
 
     fn check_qubit(&self, q: usize) -> SimResult<()> {
@@ -179,25 +218,32 @@ impl StateVector {
         let half = t_bit;
         let [[m00, m01], [m10, m11]] = m.m;
 
-        parallel::for_each_block(&mut self.amps, block, self.parallel, |chunk, offset| {
-            // `chunk` is a whole number of blocks; within each block the
-            // first `half` indices have the target bit clear.
-            let mut base = 0;
-            while base < chunk.len() {
-                for k in 0..half {
-                    let i = base + k;
-                    let global = offset + i;
-                    if global & ctrl_mask == ctrl_mask {
-                        let j = i + half;
-                        let a = chunk[i];
-                        let b = chunk[j];
-                        chunk[i] = m00 * a + m01 * b;
-                        chunk[j] = m10 * a + m11 * b;
+        parallel::for_each_block_interruptible(
+            &mut self.amps,
+            block,
+            self.parallel,
+            &self.interrupt,
+            |chunk, offset| {
+                // `chunk` is a whole number of blocks; within each block the
+                // first `half` indices have the target bit clear.
+                let mut base = 0;
+                while base < chunk.len() {
+                    for k in 0..half {
+                        let i = base + k;
+                        let global = offset + i;
+                        if global & ctrl_mask == ctrl_mask {
+                            let j = i + half;
+                            let a = chunk[i];
+                            let b = chunk[j];
+                            chunk[i] = m00 * a + m01 * b;
+                            chunk[j] = m10 * a + m11 * b;
+                        }
                     }
+                    base += block;
                 }
-                base += block;
-            }
-        });
+            },
+        )
+        .map_err(SimError::Interrupted)?;
         if let Some(t0) = t0 {
             let name = if controls.is_empty() {
                 "kernel.1q"
@@ -242,21 +288,28 @@ impl StateVector {
         // both live in the aligned block of size 2^(hi+1).
         let block = hi_bit << 1;
 
-        parallel::for_each_block(&mut self.amps, block, self.parallel, |chunk, offset| {
-            let mut base = 0;
-            while base < chunk.len() {
-                // Indices inside the block with hi-bit 0.
-                for k in 0..hi_bit {
-                    let i = base + k;
-                    let global = offset + i;
-                    if global & lo_bit != 0 && global & ctrl_mask == ctrl_mask {
-                        let j = i - lo_bit + hi_bit;
-                        chunk.swap(i, j);
+        parallel::for_each_block_interruptible(
+            &mut self.amps,
+            block,
+            self.parallel,
+            &self.interrupt,
+            |chunk, offset| {
+                let mut base = 0;
+                while base < chunk.len() {
+                    // Indices inside the block with hi-bit 0.
+                    for k in 0..hi_bit {
+                        let i = base + k;
+                        let global = offset + i;
+                        if global & lo_bit != 0 && global & ctrl_mask == ctrl_mask {
+                            let j = i - lo_bit + hi_bit;
+                            chunk.swap(i, j);
+                        }
                     }
+                    base += block;
                 }
-                base += block;
-            }
-        });
+            },
+        )
+        .map_err(SimError::Interrupted)?;
         if let Some(t0) = t0 {
             let name = if controls.is_empty() {
                 "kernel.swap"
@@ -451,7 +504,7 @@ impl StateVector {
         if n > MAX_QUBITS {
             return Err(SimError::TooManyQubits(n));
         }
-        let mut amps = vec![Complex64::ZERO; 1usize << n];
+        let mut amps = alloc_amps(1usize << n)?;
         for (j, &b) in other.amps.iter().enumerate() {
             if b == Complex64::ZERO {
                 continue;
@@ -464,6 +517,7 @@ impl StateVector {
             n,
             amps,
             parallel: self.parallel,
+            interrupt: self.interrupt.clone(),
         })
     }
 
@@ -804,6 +858,52 @@ mod tests {
         ser.apply_swap(0, n - 1).unwrap();
         assert!((par.fidelity(&ser).unwrap() - 1.0).abs() < 1e-9);
         assert!((par.probability_one(3).unwrap() - ser.probability_one(3).unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cancelled_interrupt_stops_kernels() {
+        let mut sv = StateVector::new(3).unwrap();
+        let intr = Interrupt::new();
+        sv.set_interrupt(intr.clone());
+        sv.apply_single(&gates::h(), 0).unwrap(); // unarmed: runs fine
+        intr.cancel();
+        let err = sv.apply_single(&gates::h(), 1).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::Interrupted(qutes_supervisor::StopReason::Cancelled)
+        ));
+        let err = sv.apply_controlled_swap(&[0], 1, 2).unwrap_err();
+        assert!(matches!(err, SimError::Interrupted(_)));
+    }
+
+    #[test]
+    fn expired_deadline_stops_large_kernel() {
+        let mut sv = StateVector::new(15).unwrap();
+        sv.set_interrupt(Interrupt::with_deadline(std::time::Duration::ZERO));
+        let err = sv.apply_single(&gates::h(), 0).unwrap_err();
+        assert!(matches!(err, SimError::Interrupted(_)));
+    }
+
+    #[test]
+    fn armed_but_distant_deadline_is_transparent() {
+        let mut sv = StateVector::new(10).unwrap();
+        sv.set_interrupt(Interrupt::with_deadline(std::time::Duration::from_secs(
+            600,
+        )));
+        sv.apply_single(&gates::h(), 0).unwrap();
+        sv.apply_controlled(&gates::x(), &[0], 1).unwrap();
+        assert!((sv.probability_one(1).unwrap() - 0.5).abs() < EPS);
+    }
+
+    #[test]
+    fn tensor_propagates_interrupt() {
+        let mut lo = StateVector::new(1).unwrap();
+        let intr = Interrupt::new();
+        lo.set_interrupt(intr.clone());
+        let hi = StateVector::new(1).unwrap();
+        let mut t = lo.tensor(&hi).unwrap();
+        intr.cancel();
+        assert!(t.apply_single(&gates::h(), 0).is_err());
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! Feature-gated fault injection ("failpoints").
+//!
+//! Pipeline code calls [`failpoint`] at named sites unconditionally;
+//! without the `chaos` cargo feature the call compiles to a no-op. With
+//! the feature, tests arm a site with [`arm`]/[`arm_once`] to inject a
+//! panic, artificial slowness, or an allocation refusal, proving the
+//! supervisor contains each fault as a typed error.
+//!
+//! The registry is process-global: chaos tests that arm overlapping
+//! sites must serialise themselves (the facade suite uses a mutex).
+
+use std::fmt;
+
+/// The fault a site injects when hit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Panic at the site (exercises the `contain` boundary).
+    Panic,
+    /// Sleep for the given number of milliseconds (exercises deadlines).
+    Delay(u64),
+    /// Report an allocation refusal: [`failpoint`] returns
+    /// `Err(ChaosDenied)` and the site maps it to its typed
+    /// out-of-memory error.
+    DenyAlloc,
+}
+
+/// Marker error returned by a site armed with [`Fault::DenyAlloc`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChaosDenied;
+
+impl fmt::Display for ChaosDenied {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "allocation denied by chaos injection")
+    }
+}
+
+impl std::error::Error for ChaosDenied {}
+
+#[cfg(feature = "chaos")]
+mod armed {
+    use super::{ChaosDenied, Fault};
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+
+    struct ArmedFault {
+        fault: Fault,
+        /// `Some(n)`: trigger at most `n` more times; `None`: every hit.
+        remaining: Option<u32>,
+    }
+
+    fn registry() -> &'static Mutex<HashMap<String, ArmedFault>> {
+        static REGISTRY: OnceLock<Mutex<HashMap<String, ArmedFault>>> = OnceLock::new();
+        REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    /// Arms `site` to inject `fault` on every hit until disarmed.
+    pub fn arm(site: &str, fault: Fault) {
+        if let Ok(mut reg) = registry().lock() {
+            reg.insert(
+                site.to_string(),
+                ArmedFault {
+                    fault,
+                    remaining: None,
+                },
+            );
+        }
+    }
+
+    /// Arms `site` to inject `fault` exactly once, then auto-disarm.
+    pub fn arm_once(site: &str, fault: Fault) {
+        if let Ok(mut reg) = registry().lock() {
+            reg.insert(
+                site.to_string(),
+                ArmedFault {
+                    fault,
+                    remaining: Some(1),
+                },
+            );
+        }
+    }
+
+    /// Disarms one site.
+    pub fn disarm(site: &str) {
+        if let Ok(mut reg) = registry().lock() {
+            reg.remove(site);
+        }
+    }
+
+    /// Disarms every site.
+    pub fn reset() {
+        if let Ok(mut reg) = registry().lock() {
+            reg.clear();
+        }
+    }
+
+    pub(super) fn hit(site: &str) -> Result<(), ChaosDenied> {
+        let fault = {
+            let Ok(mut reg) = registry().lock() else {
+                return Ok(());
+            };
+            let Some(armed) = reg.get_mut(site) else {
+                return Ok(());
+            };
+            let fault = armed.fault.clone();
+            if let Some(n) = &mut armed.remaining {
+                *n -= 1;
+                if *n == 0 {
+                    reg.remove(site);
+                }
+            }
+            fault
+        };
+        qutes_obs::counter_add("chaos.injected", 1);
+        match fault {
+            // Deliberate: the whole point of this site is to prove the
+            // facade's contain() boundary catches arbitrary panics.
+            #[allow(clippy::panic)]
+            Fault::Panic => panic!("chaos: injected panic at `{site}`"),
+            Fault::Delay(ms) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                Ok(())
+            }
+            Fault::DenyAlloc => Err(ChaosDenied),
+        }
+    }
+}
+
+#[cfg(feature = "chaos")]
+pub use armed::{arm, arm_once, disarm, reset};
+
+/// Hits the named fault site. No-op (and fully inlined away) unless the
+/// `chaos` feature is enabled and a test armed this site.
+#[cfg(feature = "chaos")]
+pub fn failpoint(site: &str) -> Result<(), ChaosDenied> {
+    armed::hit(site)
+}
+
+/// Hits the named fault site. No-op (and fully inlined away) unless the
+/// `chaos` feature is enabled and a test armed this site.
+#[cfg(not(feature = "chaos"))]
+#[inline(always)]
+pub fn failpoint(_site: &str) -> Result<(), ChaosDenied> {
+    Ok(())
+}
+
+#[cfg(all(test, feature = "chaos"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arm_once_auto_disarms() {
+        arm_once("test.site.once", Fault::DenyAlloc);
+        assert_eq!(failpoint("test.site.once"), Err(ChaosDenied));
+        assert_eq!(failpoint("test.site.once"), Ok(()));
+    }
+
+    #[test]
+    fn unarmed_site_is_noop() {
+        assert_eq!(failpoint("test.site.never-armed"), Ok(()));
+    }
+
+    #[test]
+    fn panic_fault_is_containable() {
+        arm_once("test.site.panic", Fault::Panic);
+        let err = crate::contain(|| {
+            let _ = failpoint("test.site.panic");
+        })
+        .unwrap_err();
+        assert!(err.message.contains("test.site.panic"));
+    }
+}

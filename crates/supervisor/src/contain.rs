@@ -1,0 +1,149 @@
+//! Panic containment: the `catch_unwind` boundary for the library API.
+
+use crate::stage::current_stage;
+use std::cell::Cell;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Once;
+
+/// A panic caught at the facade boundary, reduced to typed data.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ContainedPanic {
+    /// Innermost pipeline stage active when the panic fired.
+    pub stage: &'static str,
+    /// The panic payload, if it was a string (the common case).
+    pub message: String,
+}
+
+impl fmt::Display for ContainedPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "internal error in stage `{}`: {}",
+            self.stage, self.message
+        )
+    }
+}
+
+impl std::error::Error for ContainedPanic {}
+
+thread_local! {
+    static SUPPRESS_HOOK: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Installs (once, process-wide) a panic hook that stays silent while a
+/// [`contain`] call is active on the panicking thread and otherwise
+/// defers to the previous hook. A once-installed filtering hook is
+/// thread-safe where a swap-around-the-call would race with concurrent
+/// `contain` calls on other threads.
+fn install_quiet_hook() {
+    static INIT: Once = Once::new();
+    INIT.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !SUPPRESS_HOOK.with(Cell::get) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+struct SuppressGuard {
+    prev: bool,
+}
+
+impl SuppressGuard {
+    fn engage() -> Self {
+        let prev = SUPPRESS_HOOK.with(|s| s.replace(true));
+        SuppressGuard { prev }
+    }
+}
+
+impl Drop for SuppressGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        SUPPRESS_HOOK.with(|s| s.set(prev));
+    }
+}
+
+/// Runs `f`, converting any panic into a [`ContainedPanic`] that names
+/// the deepest active stage (see [`crate::enter_stage`]). Bumps the
+/// `supervisor.panics_contained` obs counter on capture and resets the
+/// thread's stage stack so later work starts clean.
+///
+/// The closure is wrapped in `AssertUnwindSafe`: callers hand in
+/// pipeline entry points whose partial state is discarded on the error
+/// path, so a broken invariant cannot be observed afterwards.
+pub fn contain<T>(f: impl FnOnce() -> T) -> Result<T, ContainedPanic> {
+    install_quiet_hook();
+    let result = {
+        let _quiet = SuppressGuard::engage();
+        catch_unwind(AssertUnwindSafe(f))
+    };
+    result.map_err(|payload| {
+        let message = payload
+            .downcast_ref::<&'static str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        let stage = current_stage();
+        crate::stage::reset_stages();
+        qutes_obs::counter_add("supervisor.panics_contained", 1);
+        ContainedPanic { stage, message }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage::enter_stage;
+
+    #[test]
+    fn passes_values_through() {
+        assert_eq!(contain(|| 41 + 1), Ok(42));
+    }
+
+    #[test]
+    fn captures_stage_and_message() {
+        let err = contain(|| {
+            let _g = enter_stage("optimize");
+            #[allow(clippy::panic)]
+            {
+                panic!("pass exploded");
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err.stage, "optimize");
+        assert_eq!(err.message, "pass exploded");
+        // The stage stack was reset for subsequent work.
+        assert_eq!(current_stage(), "unknown");
+    }
+
+    #[test]
+    fn captures_string_payloads() {
+        let err = contain(|| {
+            #[allow(clippy::panic)]
+            {
+                panic!("with {} interpolation", 1);
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err.stage, "unknown");
+        assert_eq!(err.message, "with 1 interpolation");
+    }
+
+    #[test]
+    fn nested_contain_restores_suppression() {
+        let outer = contain(|| {
+            let inner = contain(|| -> i32 {
+                #[allow(clippy::panic)]
+                {
+                    panic!("inner");
+                }
+            });
+            assert!(inner.is_err());
+            7
+        });
+        assert_eq!(outer, Ok(7));
+    }
+}

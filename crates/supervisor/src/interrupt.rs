@@ -1,0 +1,266 @@
+//! The shared interrupt handle: deadline + external cancel flag.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a run was stopped before completing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// The configured wall-clock budget elapsed.
+    DeadlineExceeded {
+        /// The budget that was exceeded.
+        budget: Duration,
+    },
+    /// [`Interrupt::cancel`] was called (e.g. Ctrl-C, or a server
+    /// shedding load).
+    Cancelled,
+}
+
+impl fmt::Display for StopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StopReason::DeadlineExceeded { budget } => {
+                write!(f, "deadline exceeded (time budget {budget:?})")
+            }
+            StopReason::Cancelled => write!(f, "run cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for StopReason {}
+
+/// Sentinel meaning "no deadline set".
+const NO_DEADLINE: u64 = u64::MAX;
+
+struct Inner {
+    /// Fast-path flag: true iff a deadline or cancel is possible. An
+    /// unarmed checkpoint is a single relaxed load.
+    armed: AtomicBool,
+    cancelled: AtomicBool,
+    /// Deadline in nanoseconds relative to `epoch`; `NO_DEADLINE` if unset.
+    deadline_ns: AtomicU64,
+    /// Nanoseconds of budget originally granted (for error reporting).
+    budget_ns: AtomicU64,
+    epoch: Instant,
+}
+
+/// Shared handle for cooperative cancellation and wall-clock deadlines.
+///
+/// Cloning is cheap (an `Arc` bump); every clone observes the same
+/// cancel flag and deadline, so a handle stored in a config can be
+/// cancelled from another thread.
+#[derive(Clone)]
+pub struct Interrupt {
+    inner: Arc<Inner>,
+}
+
+impl Default for Interrupt {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for Interrupt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Interrupt")
+            .field("armed", &self.is_armed())
+            .field("cancelled", &self.inner.cancelled.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Two handles are equal iff they share the same underlying state; a
+/// structural comparison would race with the clock.
+impl PartialEq for Interrupt {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl Interrupt {
+    /// A fresh, unarmed handle: checks always pass until a deadline is
+    /// set or [`cancel`](Self::cancel) is called.
+    pub fn new() -> Self {
+        Interrupt {
+            inner: Arc::new(Inner {
+                armed: AtomicBool::new(false),
+                cancelled: AtomicBool::new(false),
+                deadline_ns: AtomicU64::new(NO_DEADLINE),
+                budget_ns: AtomicU64::new(NO_DEADLINE),
+                epoch: Instant::now(),
+            }),
+        }
+    }
+
+    /// A handle armed with a wall-clock budget starting now.
+    pub fn with_deadline(budget: Duration) -> Self {
+        let intr = Self::new();
+        intr.set_deadline(budget);
+        intr
+    }
+
+    /// Arms (or re-arms) the deadline `budget` from now.
+    pub fn set_deadline(&self, budget: Duration) {
+        let ns = u64::try_from(budget.as_nanos()).unwrap_or(NO_DEADLINE - 1);
+        let elapsed = self.elapsed_ns();
+        self.inner
+            .deadline_ns
+            .store(elapsed.saturating_add(ns), Ordering::Relaxed);
+        self.inner.budget_ns.store(ns, Ordering::Relaxed);
+        self.inner.armed.store(true, Ordering::Release);
+    }
+
+    /// Requests cancellation; every subsequent [`check`](Self::check)
+    /// fails with [`StopReason::Cancelled`].
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+        self.inner.armed.store(true, Ordering::Release);
+    }
+
+    /// True once [`cancel`](Self::cancel) has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// True iff a deadline or cancellation can ever trip this handle.
+    /// Kernels use this to keep the legacy uninstrumented path when the
+    /// supervisor is not in play.
+    pub fn is_armed(&self) -> bool {
+        self.inner.armed.load(Ordering::Acquire)
+    }
+
+    fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.inner.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Cooperative checkpoint: `Ok(())` to keep going, `Err` with the
+    /// stop reason once cancelled or past the deadline.
+    pub fn check(&self) -> Result<(), StopReason> {
+        if !self.is_armed() {
+            return Ok(());
+        }
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            qutes_obs::counter_add("supervisor.cancelled", 1);
+            return Err(StopReason::Cancelled);
+        }
+        let deadline = self.inner.deadline_ns.load(Ordering::Relaxed);
+        if deadline != NO_DEADLINE && self.elapsed_ns() >= deadline {
+            qutes_obs::counter_add("supervisor.deadline_trips", 1);
+            let budget_ns = self.inner.budget_ns.load(Ordering::Relaxed);
+            return Err(StopReason::DeadlineExceeded {
+                budget: Duration::from_nanos(if budget_ns == NO_DEADLINE {
+                    0
+                } else {
+                    budget_ns
+                }),
+            });
+        }
+        Ok(())
+    }
+
+    /// Amortised checkpoint for hot loops: bumps `*counter` and only
+    /// consults the clock every `stride` calls. With an unarmed handle
+    /// the whole call is one relaxed load plus an increment.
+    #[inline]
+    pub fn checkpoint(&self, counter: &mut u64, stride: u64) -> Result<(), StopReason> {
+        *counter += 1;
+        if !counter.is_multiple_of(stride) || !self.is_armed() {
+            return Ok(());
+        }
+        self.check()
+    }
+
+    /// Like [`checkpoint`](Self::checkpoint), additionally bumping the
+    /// named obs counter (e.g. `stage.shots.checkpoints`) each time the
+    /// clock is actually consulted.
+    #[inline]
+    pub fn checkpoint_named(
+        &self,
+        counter: &mut u64,
+        stride: u64,
+        obs_counter: &'static str,
+    ) -> Result<(), StopReason> {
+        *counter += 1;
+        if !counter.is_multiple_of(stride) || !self.is_armed() {
+            return Ok(());
+        }
+        qutes_obs::counter_add(obs_counter, 1);
+        self.check()
+    }
+
+    /// Remaining budget, if a deadline is armed. `None` when no
+    /// deadline is set; `Some(ZERO)` once expired.
+    pub fn remaining(&self) -> Option<Duration> {
+        let deadline = self.inner.deadline_ns.load(Ordering::Relaxed);
+        if deadline == NO_DEADLINE {
+            return None;
+        }
+        Some(Duration::from_nanos(
+            deadline.saturating_sub(self.elapsed_ns()),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_always_passes() {
+        let intr = Interrupt::new();
+        assert!(!intr.is_armed());
+        assert_eq!(intr.check(), Ok(()));
+        assert_eq!(intr.remaining(), None);
+    }
+
+    #[test]
+    fn cancel_trips_all_clones() {
+        let intr = Interrupt::new();
+        let clone = intr.clone();
+        clone.cancel();
+        assert_eq!(intr.check(), Err(StopReason::Cancelled));
+        assert!(intr.is_cancelled());
+        assert_eq!(intr, clone);
+    }
+
+    #[test]
+    fn deadline_trips_after_budget() {
+        let intr = Interrupt::with_deadline(Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(5));
+        match intr.check() {
+            Err(StopReason::DeadlineExceeded { budget }) => {
+                assert_eq!(budget, Duration::from_millis(1));
+            }
+            other => unreachable!("expected deadline trip, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_budget_trips_immediately() {
+        let intr = Interrupt::with_deadline(Duration::ZERO);
+        assert!(intr.check().is_err());
+        assert_eq!(intr.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn checkpoint_amortises_clock_reads() {
+        let intr = Interrupt::with_deadline(Duration::ZERO);
+        let mut counter = 0u64;
+        // Strided: first 9 calls skip the clock entirely.
+        for _ in 0..9 {
+            assert_eq!(intr.checkpoint(&mut counter, 10), Ok(()));
+        }
+        assert!(intr.checkpoint(&mut counter, 10).is_err());
+    }
+
+    #[test]
+    fn cancel_from_another_thread() {
+        let intr = Interrupt::new();
+        let remote = intr.clone();
+        let h = std::thread::spawn(move || remote.cancel());
+        h.join().map_err(|_| "worker panicked").unwrap();
+        assert_eq!(intr.check(), Err(StopReason::Cancelled));
+    }
+}

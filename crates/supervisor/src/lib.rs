@@ -1,0 +1,39 @@
+//! # qutes-supervisor
+//!
+//! The resilience substrate for the qutes pipeline: every entry point
+//! (`run_source`, the CLI, the QASM importer) is made *bounded*,
+//! *interruptible*, and *crash-contained* with the three primitives in
+//! this crate.
+//!
+//! * [`Interrupt`] — a cheap shared handle combining a wall-clock
+//!   deadline and an external cancel flag. Long loops call
+//!   [`Interrupt::check`] (or the amortised [`Interrupt::checkpoint`])
+//!   at cooperative checkpoints; an unarmed handle costs one relaxed
+//!   atomic load.
+//! * [`contain`] — a `catch_unwind` boundary that converts any residual
+//!   panic into a typed [`ContainedPanic`] carrying the name of the
+//!   pipeline stage that was active when the panic fired (tracked with
+//!   [`enter_stage`]).
+//! * [`chaos`] — feature-gated fault injection ([`failpoint`] sites)
+//!   that lets the test suite prove the two mechanisms above recover
+//!   from stage panics, artificial slowness, and allocation refusal.
+//!
+//! ```
+//! use qutes_supervisor::{Interrupt, StopReason};
+//! use std::time::Duration;
+//!
+//! let intr = Interrupt::with_deadline(Duration::from_millis(5));
+//! // ... some time later, a cooperative checkpoint notices:
+//! std::thread::sleep(Duration::from_millis(10));
+//! assert!(matches!(intr.check(), Err(StopReason::DeadlineExceeded { .. })));
+//! ```
+
+pub mod chaos;
+mod contain;
+mod interrupt;
+mod stage;
+
+pub use chaos::failpoint;
+pub use contain::{contain, ContainedPanic};
+pub use interrupt::{Interrupt, StopReason};
+pub use stage::{current_stage, enter_stage, StageGuard};

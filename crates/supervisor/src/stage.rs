@@ -1,0 +1,84 @@
+//! Thread-local pipeline-stage tracking.
+//!
+//! Each pipeline layer brackets its work with [`enter_stage`]; when a
+//! panic is contained by [`crate::contain`], the deepest stage that was
+//! active at panic time names the culprit in the typed error.
+
+use std::cell::RefCell;
+
+thread_local! {
+    static STAGE: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard returned by [`enter_stage`]; pops the stage on drop.
+///
+/// During a panic unwind the pop is skipped so the stage stack still
+/// names the deepest active stage when the panic is caught.
+pub struct StageGuard {
+    _priv: (),
+}
+
+impl Drop for StageGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            return;
+        }
+        STAGE.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+/// Pushes `name` onto the thread's stage stack for the guard's lifetime.
+pub fn enter_stage(name: &'static str) -> StageGuard {
+    STAGE.with(|s| s.borrow_mut().push(name));
+    StageGuard { _priv: () }
+}
+
+/// The innermost active stage, or `"unknown"` outside any stage.
+pub fn current_stage() -> &'static str {
+    STAGE.with(|s| s.borrow().last().copied().unwrap_or("unknown"))
+}
+
+/// Clears the thread's stage stack. Called by [`crate::contain`] after
+/// capturing a panic, since the unwound guards deliberately leave their
+/// entries in place (see [`StageGuard`]).
+pub(crate) fn reset_stages() {
+    STAGE.with(|s| s.borrow_mut().clear());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_nest_and_unwind() {
+        assert_eq!(current_stage(), "unknown");
+        {
+            let _outer = enter_stage("parse");
+            assert_eq!(current_stage(), "parse");
+            {
+                let _inner = enter_stage("execute");
+                assert_eq!(current_stage(), "execute");
+            }
+            assert_eq!(current_stage(), "parse");
+        }
+        assert_eq!(current_stage(), "unknown");
+    }
+
+    #[test]
+    fn panicking_drop_preserves_stage() {
+        let caught = std::panic::catch_unwind(|| {
+            let _g = enter_stage("doomed");
+            // The guard drops during unwind but must not pop.
+            #[allow(clippy::panic)]
+            {
+                panic!("boom");
+            }
+        });
+        assert!(caught.is_err());
+        assert_eq!(current_stage(), "doomed");
+        // Clean up the thread-local for other tests on this thread.
+        STAGE.with(|s| s.borrow_mut().clear());
+    }
+}

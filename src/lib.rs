@@ -43,20 +43,33 @@ pub use qutes_obs as obs;
 pub use qutes_qasm as qasm;
 pub use qutes_qcirc as qcirc;
 pub use qutes_sim as sim;
+pub use qutes_supervisor as supervisor;
 
-pub use qutes_core::{QutesError, QutesResult, RunConfig, RunOutcome};
+pub use qutes_core::{DegradePolicy, QutesError, QutesResult, RunConfig, RunOutcome};
 pub use qutes_frontend::{parse, print_program};
 pub use qutes_qasm::{to_qasm2, to_qasm3};
+pub use qutes_supervisor::{Interrupt, StopReason};
 
 /// Parses, optionally lints, and runs a Qutes program.
 ///
-/// Identical to [`qutes_core::run_source`] except that when
-/// `config.lint.enabled` is set the static analyzer
-/// ([`analysis::analyze_source`]) runs first, and any finding resolved to
-/// deny level (see [`qutes_core::LintOptions`]) refuses execution with a
-/// [`QutesError::Compile`] carrying the findings as diagnostics.
+/// Identical to [`qutes_core::run_source`] except that:
+///
+/// * when `config.lint.enabled` is set the static analyzer
+///   ([`analysis::analyze_source`]) runs first, and any finding resolved
+///   to deny level (see [`qutes_core::LintOptions`]) refuses execution
+///   with a [`QutesError::Compile`] carrying the findings as
+///   diagnostics, and
+/// * the whole pipeline runs inside a panic-containment boundary
+///   ([`qutes_supervisor::contain`]): a panic anywhere in the stack
+///   surfaces as a typed [`QutesError::Internal`] naming the active
+///   stage, never an unwind across the library API.
 pub fn run_source(source: &str, config: &RunConfig) -> QutesResult<RunOutcome> {
+    qutes_supervisor::contain(|| run_source_inner(source, config)).map_err(QutesError::from)?
+}
+
+fn run_source_inner(source: &str, config: &RunConfig) -> QutesResult<RunOutcome> {
     if config.lint.enabled {
+        let _stage = qutes_supervisor::enter_stage("facade.lint");
         let report = analysis::analyze_source(source, &config.lint).map_err(QutesError::Compile)?;
         let denied = report.denied();
         if !denied.is_empty() {
@@ -65,5 +78,6 @@ pub fn run_source(source: &str, config: &RunConfig) -> QutesResult<RunOutcome> {
             ));
         }
     }
+    let _stage = qutes_supervisor::enter_stage("facade.run");
     qutes_core::run_source(source, config)
 }
