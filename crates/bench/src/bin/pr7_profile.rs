@@ -1,0 +1,124 @@
+//! PR 7 kernel profiling harness.
+//!
+//! Runs the representative e2/e7/e10 workloads with the `qutes-obs`
+//! collector armed and prints one JSON object per line (`kernel.*`
+//! timers plus gate counters), so the committed bench trajectory file
+//! `BENCH_pr7_kernels.json` at the repo root can be refreshed from a
+//! single reproducible binary run:
+//!
+//! ```text
+//! cargo run --release -p qutes-bench --bin pr7_profile
+//! ```
+//!
+//! Each line has the shape
+//! `{"section": "...", "opt_level": N, "obs": {...}}` where `obs` is the
+//! schema-v1 snapshot documented in `docs/observability.md`.
+
+use qutes_algos::grover::{grover_circuit, mark_states_oracle};
+use qutes_qcirc::execute::run_shots_cfg;
+use qutes_qcirc::{ExecutionConfig, QuantumCircuit};
+use qutes_sim::{gates, Complex64, Matrix4, Matrix8, StateVector};
+
+fn grover(n: usize, iterations: usize) -> QuantumCircuit {
+    let qubits: Vec<usize> = (0..n).collect();
+    let oracle = mark_states_oracle(n, &qubits, &[1]).unwrap();
+    grover_circuit(n, &qubits, &oracle, iterations).unwrap()
+}
+
+/// Runs `f` with a clean, enabled collector and emits the snapshot as a
+/// tagged JSON line.
+fn profiled(section: &str, opt_level: i64, f: impl FnOnce()) {
+    qutes_obs::reset();
+    qutes_obs::set_enabled(true);
+    f();
+    qutes_obs::set_enabled(false);
+    let obs = qutes_obs::snapshot().to_json();
+    println!(
+        "{{\"section\": \"{section}\", \"opt_level\": {opt_level}, \"obs\": {}}}",
+        obs.trim_end()
+    );
+}
+
+fn run_levels(section: &str, circuit: &QuantumCircuit, shots: usize) {
+    for level in [0u8, 2] {
+        let cfg = ExecutionConfig::default()
+            .with_shots(shots)
+            .with_seed(1)
+            .with_opt_level(level)
+            .with_observe(true);
+        profiled(section, i64::from(level), || {
+            run_shots_cfg(circuit, &cfg).unwrap();
+        });
+    }
+}
+
+fn main() {
+    // e2-style workload: Grover search at 20 qubits (the acceptance
+    // workload for the PR 7 kernel overhaul), levels 0 and 2.
+    let g20 = grover(20, 1);
+    run_levels("e2_grover_20q", &g20, 1);
+
+    // e10-style workload: Grover at 8 qubits with real shot sampling,
+    // matching the profiled run attached to BENCH_e10_optimize.json.
+    let g8 = grover(8, 1);
+    run_levels("e10_grover_8q", &g8, 256);
+
+    // e7-style workload: raw simulator kernels at 20 qubits, bypassing
+    // the circuit layer entirely (serial + parallel dispatch).
+    for parallel in [false, true] {
+        let section = if parallel {
+            "e7_kernels_20q_parallel"
+        } else {
+            "e7_kernels_20q_serial"
+        };
+        profiled(section, -1, || {
+            let mut sv = StateVector::new(20).unwrap();
+            sv.set_parallel(parallel);
+            for rep in 0..3 {
+                for q in 0..20 {
+                    sv.apply_single(&gates::h(), q).unwrap();
+                }
+                for q in 0..20 {
+                    sv.apply_controlled(&gates::x(), &[q], (q + 10) % 20)
+                        .unwrap();
+                }
+                let _ = rep;
+            }
+        });
+    }
+
+    // Fused-kernel sweeps at 20 qubits: the per-pass cost of the 4x4 and
+    // 8x8 kernels that the level-2 optimizer batches adjacent runs into.
+    let m4 = {
+        let h = gates::h().m;
+        let mut m = [[Complex64::ZERO; 4]; 4];
+        for r in 0..4 {
+            for c in 0..4 {
+                m[r][c] = h[r >> 1][c >> 1] * h[r & 1][c & 1];
+            }
+        }
+        Matrix4::new(m)
+    };
+    let m8 = {
+        let h = gates::h().m;
+        let mut m = [[Complex64::ZERO; 8]; 8];
+        for (r, row) in m.iter_mut().enumerate() {
+            for (c, e) in row.iter_mut().enumerate() {
+                *e = h[r >> 2][c >> 2] * h[r >> 1 & 1][c >> 1 & 1] * h[r & 1][c & 1];
+            }
+        }
+        Matrix8::new(m)
+    };
+    profiled("e7_fused_20q", -1, || {
+        let mut sv = StateVector::new(20).unwrap();
+        for rep in 0..3 {
+            for q in 0..10 {
+                sv.apply_two_fused(&m4, 2 * q, 2 * q + 1).unwrap();
+            }
+            for q in 0..6 {
+                sv.apply_three(&m8, 3 * q, 3 * q + 1, 3 * q + 2).unwrap();
+            }
+            let _ = rep;
+        }
+    });
+}

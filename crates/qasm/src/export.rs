@@ -225,6 +225,14 @@ fn emit_qasm2_gate(c: &QuantumCircuit, g: &Gate, s: &mut String) -> QasmResult<(
                 ));
             }
         }
+        Unitary2 { .. } | Unitary3 { .. } => {
+            // Standard-basis transpile expands fused unitaries, but
+            // hand-built gate streams can still reach here; expand inline.
+            let lowered = qutes_qcirc::lower_gate_to_standard(g).map_err(QasmError::Circuit)?;
+            for l in &lowered {
+                emit_qasm2_gate(c, l, s)?;
+            }
+        }
     }
     Ok(())
 }
@@ -387,6 +395,14 @@ fn emit_qasm3_gate(c: &QuantumCircuit, g: &Gate, s: &mut String) -> QasmResult<(
                 fmt_f(lambda),
                 q(*target)?
             );
+        }
+        Unitary2 { .. } | Unitary3 { .. } => {
+            // No native QASM 3 form for a raw multi-qubit matrix; expand to
+            // standard gates (exact, including global phase) and emit those.
+            let lowered = qutes_qcirc::lower_gate_to_standard(g).map_err(QasmError::Circuit)?;
+            for l in &lowered {
+                emit_qasm3_gate(c, l, s)?;
+            }
         }
     }
     Ok(())

@@ -600,6 +600,17 @@ pub fn remap_gate(g: &Gate, qmap: &[usize], cmap: &[usize]) -> Gate {
             target: q(*target),
             matrix: *matrix,
         },
+        Unitary2 { q0, q1, matrix } => Unitary2 {
+            q0: q(*q0),
+            q1: q(*q1),
+            matrix: matrix.clone(),
+        },
+        Unitary3 { q0, q1, q2, matrix } => Unitary3 {
+            q0: q(*q0),
+            q1: q(*q1),
+            q2: q(*q2),
+            matrix: matrix.clone(),
+        },
     }
 }
 

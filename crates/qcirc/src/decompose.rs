@@ -28,6 +28,7 @@
 use crate::circuit::QuantumCircuit;
 use crate::error::{CircError, CircResult};
 use crate::gate::Gate;
+use qutes_sim::{gates, Complex64, Matrix2};
 use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
 
 /// Target basis for [`transpile`].
@@ -163,6 +164,293 @@ fn lower_unitary(ops: &mut Vec<Gate>, target: usize, matrix: &qutes_sim::Matrix2
         ops.push(Gate::GlobalPhase(alpha));
     }
     push_u(ops, target, theta, phi, lambda);
+}
+
+/// Complex square root (principal branch).
+fn sqrt_c(z: Complex64) -> Complex64 {
+    Complex64::cis(z.arg() / 2.0).scale(z.norm().sqrt())
+}
+
+/// Square root of a 2x2 unitary via Cayley-Hamilton: with `s^2 = det(M)`,
+/// `(M + sI)^2 = (tr(M) + 2s) M`, so `sqrt(M) = (M + sI) / sqrt(tr + 2s)`,
+/// picking the branch of `s` that keeps the denominator away from zero
+/// (both branches vanish only when `tr = s = 0`, impossible for a unitary).
+fn sqrt_2x2(m: &Matrix2) -> Matrix2 {
+    let a = &m.m;
+    let det = a[0][0] * a[1][1] - a[0][1] * a[1][0];
+    let tr = a[0][0] + a[1][1];
+    let mut s = sqrt_c(det);
+    if (tr + s.scale(2.0)).norm() < (tr - s.scale(2.0)).norm() {
+        s = -s;
+    }
+    let inv = Complex64::ONE / sqrt_c(tr + s.scale(2.0));
+    Matrix2::new(
+        (a[0][0] + s) * inv,
+        a[0][1] * inv,
+        a[1][0] * inv,
+        (a[1][1] + s) * inv,
+    )
+}
+
+/// Emits a singly-controlled 1-qubit unitary `W` (control `c`, target `t`)
+/// via the ZYZ "ABC" construction: writing `W = e^{i beta} Rz(phi) Ry(theta)
+/// Rz(lambda)`, the gates `A = Rz(phi)Ry(theta/2)`, `B =
+/// Ry(-theta/2)Rz(-(phi+lambda)/2)`, `C = Rz((lambda-phi)/2)` satisfy
+/// `A·X·B·X·C = Rz(phi)Ry(theta)Rz(lambda)` and `A·B·C = I`, so the
+/// sandwich `C, CX, B, CX, A` plus `Phase(beta)` on the control applies
+/// exactly `W` when the control is set and the identity otherwise.
+fn emit_cu(ops: &mut Vec<Gate>, c: usize, t: usize, w: &Matrix2) {
+    let (theta, phi, lambda, alpha) = gates::zyz_decompose(w);
+    let beta = alpha + (phi + lambda) / 2.0;
+    if beta.abs() > 1e-15 {
+        ops.push(Gate::Phase {
+            target: c,
+            lambda: beta,
+        });
+    }
+    let c_mat = gates::rz((lambda - phi) / 2.0);
+    let b_mat = gates::ry(-theta / 2.0).matmul(&gates::rz(-(phi + lambda) / 2.0));
+    let a_mat = gates::rz(phi).matmul(&gates::ry(theta / 2.0));
+    ops.push(Gate::Unitary {
+        target: t,
+        matrix: c_mat,
+    });
+    ops.push(Gate::CX {
+        control: c,
+        target: t,
+    });
+    ops.push(Gate::Unitary {
+        target: t,
+        matrix: b_mat,
+    });
+    ops.push(Gate::CX {
+        control: c,
+        target: t,
+    });
+    ops.push(Gate::Unitary {
+        target: t,
+        matrix: a_mat,
+    });
+}
+
+/// The control wires (with required values) for an operation on
+/// `wires[t_pos]` conditioned on every other wire matching `pattern`.
+fn control_values(wires: &[usize], t_pos: usize, pattern: usize) -> Vec<(usize, bool)> {
+    (0..wires.len())
+        .filter(|p| *p != t_pos)
+        .map(|p| (wires[p], pattern >> p & 1 == 1))
+        .collect()
+}
+
+/// Emits the 1-qubit unitary `w` on `wires[t_pos]`, applied only when every
+/// other wire matches the corresponding bit of `pattern` (0-valued controls
+/// are wrapped in X). Two controls use the `V = sqrt(W)` construction
+/// `CV(c1,t) CX(c0,c1) CV†(c1,t) CX(c0,c1) CV(c0,t)`.
+fn emit_controlled_1q(
+    ops: &mut Vec<Gate>,
+    wires: &[usize],
+    t_pos: usize,
+    pattern: usize,
+    w: &Matrix2,
+) {
+    let controls = control_values(wires, t_pos, pattern);
+    for &(wq, val) in &controls {
+        if !val {
+            ops.push(Gate::X(wq));
+        }
+    }
+    let t = wires[t_pos];
+    match controls.len() {
+        0 => ops.push(Gate::Unitary {
+            target: t,
+            matrix: *w,
+        }),
+        1 => emit_cu(ops, controls[0].0, t, w),
+        // Fused gates span at most 3 wires, so 2 controls is the maximum.
+        _ => {
+            let v = sqrt_2x2(w);
+            let (c0, c1) = (controls[0].0, controls[1].0);
+            emit_cu(ops, c1, t, &v);
+            ops.push(Gate::CX {
+                control: c0,
+                target: c1,
+            });
+            emit_cu(ops, c1, t, &v.adjoint());
+            ops.push(Gate::CX {
+                control: c0,
+                target: c1,
+            });
+            emit_cu(ops, c0, t, &v);
+        }
+    }
+    for &(wq, val) in &controls {
+        if !val {
+            ops.push(Gate::X(wq));
+        }
+    }
+}
+
+/// Emits an X on `wires[b_pos]` applied only when every other wire matches
+/// the corresponding bit of `state` — the basis-state permutation
+/// `state <-> state ^ (1 << b_pos)`.
+fn emit_controlled_flip(ops: &mut Vec<Gate>, wires: &[usize], b_pos: usize, state: usize) {
+    let controls = control_values(wires, b_pos, state);
+    for &(wq, val) in &controls {
+        if !val {
+            ops.push(Gate::X(wq));
+        }
+    }
+    let target = wires[b_pos];
+    match controls.len() {
+        0 => ops.push(Gate::X(target)),
+        1 => ops.push(Gate::CX {
+            control: controls[0].0,
+            target,
+        }),
+        // Fused gates span at most 3 wires, so 2 controls is the maximum.
+        _ => ops.push(Gate::CCX {
+            c0: controls[0].0,
+            c1: controls[1].0,
+            target,
+        }),
+    }
+    for &(wq, val) in &controls {
+        if !val {
+            ops.push(Gate::X(wq));
+        }
+    }
+}
+
+/// Emits a two-level unitary acting on the joint-basis states `i` and `j`
+/// of `wires` (`v` in the ordered `(|i>, |j>)` basis): a Gray-code walk of
+/// controlled flips brings the pair to Hamming distance 1, a controlled
+/// 1-qubit unitary acts on the differing wire, and the walk is undone.
+fn emit_two_level(ops: &mut Vec<Gate>, wires: &[usize], i: usize, j: usize, v: &Matrix2) {
+    let diff = i ^ j;
+    let bits: Vec<usize> = (0..wires.len()).filter(|b| diff >> b & 1 == 1).collect();
+    let Some(&t_pos) = bits.last() else {
+        return; // i == j: not a two-level unitary.
+    };
+    let mut cur = i;
+    let mut flips: Vec<Vec<Gate>> = Vec::new();
+    for &b in &bits[..bits.len() - 1] {
+        let mut f = Vec::new();
+        emit_controlled_flip(&mut f, wires, b, cur);
+        cur ^= 1 << b;
+        flips.push(f);
+    }
+    for f in &flips {
+        ops.extend(f.iter().cloned());
+    }
+    // The |i> amplitude now sits at `cur`, which differs from `j` only in
+    // bit `t_pos`. If `cur` carries bit 1 the matrix basis is reversed:
+    // conjugate by X.
+    let w = if cur >> t_pos & 1 == 0 {
+        *v
+    } else {
+        Matrix2::new(v.m[1][1], v.m[1][0], v.m[0][1], v.m[0][0])
+    };
+    emit_controlled_1q(ops, wires, t_pos, cur, &w);
+    for f in flips.iter().rev() {
+        ops.extend(f.iter().cloned());
+    }
+}
+
+/// Emits a phase `phi` on the single joint-basis state `s` of `wires`: an
+/// MCPhase over all wires with X-wraps on the 0-valued bits.
+fn emit_phase_on_state(ops: &mut Vec<Gate>, wires: &[usize], s: usize, phi: f64) {
+    let k = wires.len();
+    for (p, &wq) in wires.iter().enumerate() {
+        if s >> p & 1 == 0 {
+            ops.push(Gate::X(wq));
+        }
+    }
+    ops.push(Gate::MCPhase {
+        controls: wires[..k - 1].to_vec(),
+        target: wires[k - 1],
+        lambda: phi,
+    });
+    for (p, &wq) in wires.iter().enumerate() {
+        if s >> p & 1 == 0 {
+            ops.push(Gate::X(wq));
+        }
+    }
+}
+
+/// Decomposes a dense `2^k x 2^k` unitary (`k` = 2 or 3, top-left block of
+/// `u`) over `wires` into standard gates by two-level (Givens) reduction:
+/// rotations zero the sub-diagonal column by column, leaving a diagonal of
+/// phases; the emitted circuit is the diagonal followed by the rotation
+/// inverses in reverse order — exact including global phase.
+fn lower_multi_unitary(ops: &mut Vec<Gate>, wires: &[usize], dim: usize, u: &[[Complex64; 8]; 8]) {
+    let mut a = *u;
+    let mut rotations: Vec<(usize, usize, Matrix2)> = Vec::new();
+    for c in 0..dim - 1 {
+        for r in (c + 1..dim).rev() {
+            let y = a[r][c];
+            if y.norm() <= 1e-14 {
+                continue;
+            }
+            let x = a[c][c];
+            let inv = 1.0 / (x.norm_sqr() + y.norm_sqr()).sqrt();
+            let t = Matrix2::new(
+                x.conj().scale(inv),
+                y.conj().scale(inv),
+                y.scale(inv),
+                x.scale(-inv),
+            );
+            // Rows c and r are already zero left of column c. Indexed
+            // access: the rotation touches two rows of `a` at once.
+            #[allow(clippy::needless_range_loop)]
+            for col in c..dim {
+                let p = a[c][col];
+                let q = a[r][col];
+                a[c][col] = t.m[0][0] * p + t.m[0][1] * q;
+                a[r][col] = t.m[1][0] * p + t.m[1][1] * q;
+            }
+            rotations.push((c, r, t));
+        }
+    }
+    // `a` is now diagonal with unit-modulus entries. Circuit order: the
+    // diagonal first, then the rotation inverses in reverse creation order.
+    for (s, row) in a.iter().enumerate().take(dim) {
+        let phi = row[s].arg();
+        if phi.abs() > 1e-15 {
+            emit_phase_on_state(ops, wires, s, phi);
+        }
+    }
+    for (i, j, t) in rotations.iter().rev() {
+        emit_two_level(ops, wires, *i, *j, &t.adjoint());
+    }
+}
+
+/// Expands a fused [`Gate::Unitary2`]/[`Gate::Unitary3`] into standard
+/// gates (X, CX, CCX, Phase, MCPhase, 1-qubit Unitary). Returns `None`
+/// for any other gate.
+fn expand_fused(g: &Gate) -> Option<Vec<Gate>> {
+    let mut tmp = Vec::new();
+    match g {
+        Gate::Unitary2 { q0, q1, matrix } => {
+            let mut dense = [[Complex64::ZERO; 8]; 8];
+            for (r, row) in matrix.m.iter().enumerate() {
+                dense[r][..4].copy_from_slice(row);
+            }
+            lower_multi_unitary(&mut tmp, &[*q0, *q1], 4, &dense);
+        }
+        Gate::Unitary3 { q0, q1, q2, matrix } => {
+            lower_multi_unitary(&mut tmp, &[*q0, *q1, *q2], 8, &matrix.m);
+        }
+        _ => return None,
+    }
+    Some(tmp)
+}
+
+/// Lowers a single gate to the [`Basis::Standard`] gate set. This is how
+/// the OpenQASM 3 exporter expands fused multi-qubit unitaries inline.
+pub fn lower_gate_to_standard(g: &Gate) -> CircResult<Vec<Gate>> {
+    let mut ops = Vec::new();
+    lower_to_standard(g, &mut ops)?;
+    Ok(ops)
 }
 
 /// Rewrites one gate into the `{U, CX}` basis (recursively).
@@ -332,6 +620,13 @@ fn lower_to_cx_u(g: &Gate, ops: &mut Vec<Gate>) -> CircResult<()> {
                 });
             }
         }
+        Unitary2 { .. } | Unitary3 { .. } => {
+            if let Some(tmp) = expand_fused(g) {
+                for t in &tmp {
+                    lower_to_cx_u(t, ops)?;
+                }
+            }
+        }
     }
     Ok(())
 }
@@ -358,6 +653,13 @@ fn lower_to_standard(g: &Gate, ops: &mut Vec<Gate>) -> CircResult<()> {
             }
         }
         Unitary { target, matrix } => lower_unitary(ops, *target, matrix),
+        Unitary2 { .. } | Unitary3 { .. } => {
+            if let Some(tmp) = expand_fused(g) {
+                for t in &tmp {
+                    lower_to_standard(t, ops)?;
+                }
+            }
+        }
         other => ops.push(other.clone()),
     }
     Ok(())
@@ -578,6 +880,112 @@ mod tests {
         // MCX got decomposed, no MCX remains.
         assert!(t.ops().iter().all(|g| !matches!(g, Gate::MCX { .. })));
         assert!(equivalent(&c, Basis::Standard));
+    }
+
+    /// Kronecker product in the fused-basis convention `|q1 q0>`:
+    /// `a` acts on wire 1, `b` on wire 0.
+    fn kron22(a: &Matrix2, b: &Matrix2) -> qutes_sim::Matrix4 {
+        let mut m = [[Complex64::ZERO; 4]; 4];
+        for r1 in 0..2 {
+            for r0 in 0..2 {
+                for c1 in 0..2 {
+                    for c0 in 0..2 {
+                        m[r1 * 2 + r0][c1 * 2 + c0] = a.m[r1][c1] * b.m[r0][c0];
+                    }
+                }
+            }
+        }
+        qutes_sim::Matrix4::new(m)
+    }
+
+    /// `a` on wire 2 (basis `|q2 q1 q0>`), `b` on wires 1 and 0.
+    fn kron24(a: &Matrix2, b: &qutes_sim::Matrix4) -> qutes_sim::Matrix8 {
+        let mut m = [[Complex64::ZERO; 8]; 8];
+        for r1 in 0..2 {
+            for r0 in 0..4 {
+                for c1 in 0..2 {
+                    for c0 in 0..4 {
+                        m[r1 * 4 + r0][c1 * 4 + c0] = a.m[r1][c1] * b.m[r0][c0];
+                    }
+                }
+            }
+        }
+        qutes_sim::Matrix8::new(m)
+    }
+
+    /// CNOT with control = fused wire 0, target = fused wire 1
+    /// (permutes basis states 1 and 3 of `|q1 q0>`).
+    fn cnot4() -> qutes_sim::Matrix4 {
+        let mut m = [[Complex64::ZERO; 4]; 4];
+        m[0][0] = Complex64::ONE;
+        m[2][2] = Complex64::ONE;
+        m[1][3] = Complex64::ONE;
+        m[3][1] = Complex64::ONE;
+        qutes_sim::Matrix4::new(m)
+    }
+
+    #[test]
+    fn fused_unitary2_lowers_exactly() {
+        // A dense 4x4 unitary: local rotations sandwiching an entangler.
+        let dense = kron22(&gates::h(), &gates::rx(0.3))
+            .matmul(&cnot4())
+            .matmul(&kron22(&gates::phase(0.4), &gates::ry(0.9)));
+        assert!(dense.is_unitary(1e-12));
+        for (q0, q1) in [(0usize, 2usize), (2, 1)] {
+            let mut c = QuantumCircuit::with_qubits(3);
+            c.append(Gate::Unitary2 {
+                q0,
+                q1,
+                matrix: Box::new(dense.clone()),
+            })
+            .unwrap();
+            assert!(equivalent(&c, Basis::CxU), "CxU q0={q0} q1={q1}");
+            assert!(equivalent(&c, Basis::Standard), "Standard q0={q0} q1={q1}");
+        }
+        // Permutation matrices exercise the zero-pivot paths.
+        let mut c = QuantumCircuit::with_qubits(2);
+        c.append(Gate::Unitary2 {
+            q0: 0,
+            q1: 1,
+            matrix: Box::new(cnot4()),
+        })
+        .unwrap();
+        assert!(equivalent(&c, Basis::CxU));
+    }
+
+    #[test]
+    fn fused_unitary3_lowers_exactly() {
+        // Toffoli (controls = fused wires 0,1; target = wire 2) densified
+        // by local rotations on each side.
+        let mut ccx = [[Complex64::ZERO; 8]; 8];
+        // Column i holds the image of |i>: both controls set flips bit 2.
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..8 {
+            let j = if i & 0b011 == 0b011 { i ^ 0b100 } else { i };
+            ccx[j][i] = Complex64::ONE;
+        }
+        let dense = kron24(&gates::sx(), &kron22(&gates::t(), &gates::h()))
+            .matmul(&qutes_sim::Matrix8::new(ccx))
+            .matmul(&kron24(&gates::ry(0.7), &cnot4()));
+        assert!(dense.is_unitary(1e-12));
+        for (q0, q1, q2) in [(0usize, 1usize, 2usize), (2, 0, 3)] {
+            let mut c = QuantumCircuit::with_qubits(4);
+            c.append(Gate::Unitary3 {
+                q0,
+                q1,
+                q2,
+                matrix: Box::new(dense.clone()),
+            })
+            .unwrap();
+            assert!(equivalent(&c, Basis::CxU), "CxU wires {q0},{q1},{q2}");
+            assert!(
+                equivalent(&c, Basis::Standard),
+                "Standard wires {q0},{q1},{q2}"
+            );
+            // The CxU form is fully lowered: nothing wider than 2 qubits.
+            let t = transpile(&c, Basis::CxU).unwrap();
+            assert!(t.ops().iter().all(|g| g.qubits().len() <= 2));
+        }
     }
 
     #[test]

@@ -50,6 +50,8 @@ fn gate_symbols(g: &Gate) -> (String, &'static str) {
         Gate::Conditional { .. } => "?".into(),
         Gate::GlobalPhase(_) => "gφ".into(),
         Gate::Unitary { .. } => "U*".into(),
+        Gate::Unitary2 { .. } => "U2*".into(),
+        Gate::Unitary3 { .. } => "U3*".into(),
     };
     (label, ctrl)
 }
@@ -134,6 +136,12 @@ pub fn draw(circuit: &QuantumCircuit) -> String {
             Gate::Conditional { gate, .. } => {
                 for q in gate.qubits() {
                     cells.push((q, format!("?{}", gate_symbols(gate).0)));
+                }
+            }
+            Gate::Unitary2 { .. } | Gate::Unitary3 { .. } => {
+                // Fused blocks: the same label on every involved wire.
+                for q in &qs {
+                    cells.push((*q, label.clone()));
                 }
             }
             _ => {

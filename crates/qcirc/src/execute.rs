@@ -420,6 +420,14 @@ fn apply_unitary(state: &mut StateVector, g: &Gate) -> CircResult<()> {
             qutes_obs::counter_add("kernel.fused_unitary", 1);
             state.apply_single(matrix, *target)?;
         }
+        Unitary2 { q0, q1, matrix } => {
+            qutes_obs::counter_add("kernel.fused_unitary", 1);
+            state.apply_two_fused(matrix, *q0, *q1)?;
+        }
+        Unitary3 { q0, q1, q2, matrix } => {
+            qutes_obs::counter_add("kernel.fused_unitary", 1);
+            state.apply_three(matrix, *q0, *q1, *q2)?;
+        }
         Measure { .. } | Reset(_) | Barrier(_) | Conditional { .. } | GlobalPhase(_) => {
             return Err(CircError::NonUnitary(g.name()));
         }

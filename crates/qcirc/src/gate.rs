@@ -14,7 +14,7 @@
 //! assert_eq!(Gate::H(0).inverse(), Some(Gate::H(0)));
 //! ```
 
-use qutes_sim::Matrix2;
+use qutes_sim::{Matrix2, Matrix4, Matrix8};
 use std::fmt;
 
 /// One circuit instruction.
@@ -187,6 +187,37 @@ pub enum Gate {
         /// The 2x2 unitary to apply.
         matrix: Matrix2,
     },
+    /// An arbitrary two-qubit unitary given as an explicit 4x4 matrix
+    /// over basis `|q1 q0>` (`q0` = bit 0 of the matrix index).
+    ///
+    /// Produced by the level-2 optimizer's multi-qubit fusion pass,
+    /// which batches adjacent gates on ≤2 wires into one matrix consumed
+    /// by the simulator's fused kernel; decomposed into standard gates
+    /// for transpile/QASM export. Boxed to keep `Gate` small.
+    Unitary2 {
+        /// First wire (matrix bit 0).
+        q0: usize,
+        /// Second wire (matrix bit 1).
+        q1: usize,
+        /// The 4x4 unitary to apply.
+        matrix: Box<Matrix4>,
+    },
+    /// An arbitrary three-qubit unitary given as an explicit 8x8 matrix
+    /// over basis `|q2 q1 q0>` (`q0` = bit 0 of the matrix index).
+    ///
+    /// Produced by the level-2 optimizer's multi-qubit fusion pass;
+    /// decomposed into standard gates for transpile/QASM export. Boxed
+    /// to keep `Gate` small.
+    Unitary3 {
+        /// First wire (matrix bit 0).
+        q0: usize,
+        /// Second wire (matrix bit 1).
+        q1: usize,
+        /// Third wire (matrix bit 2).
+        q2: usize,
+        /// The 8x8 unitary to apply.
+        matrix: Box<Matrix8>,
+    },
 }
 
 impl Gate {
@@ -221,6 +252,8 @@ impl Gate {
             }
             Swap { a, b } => vec![*a, *b],
             CSwap { control, a, b } => vec![*control, *a, *b],
+            Unitary2 { q0, q1, .. } => vec![*q0, *q1],
+            Unitary3 { q0, q1, q2, .. } => vec![*q0, *q1, *q2],
             Measure { qubit, .. } => vec![*qubit],
             Barrier(qs) => qs.clone(),
             Conditional { gate, .. } => gate.qubits(),
@@ -271,6 +304,8 @@ impl Gate {
             Conditional { .. } => "if",
             GlobalPhase(_) => "gphase",
             Unitary { .. } => "unitary",
+            Unitary2 { .. } => "unitary2",
+            Unitary3 { .. } => "unitary3",
         }
     }
 
@@ -311,6 +346,8 @@ impl Gate {
             Conditional { .. } => "gate.if",
             GlobalPhase(_) => "gate.gphase",
             Unitary { .. } => "gate.unitary",
+            Unitary2 { .. } => "gate.unitary2",
+            Unitary3 { .. } => "gate.unitary3",
         }
     }
 
@@ -418,6 +455,17 @@ impl Gate {
             Unitary { target, matrix } => Unitary {
                 target: *target,
                 matrix: matrix.adjoint(),
+            },
+            Unitary2 { q0, q1, matrix } => Unitary2 {
+                q0: *q0,
+                q1: *q1,
+                matrix: Box::new(matrix.adjoint()),
+            },
+            Unitary3 { q0, q1, q2, matrix } => Unitary3 {
+                q0: *q0,
+                q1: *q1,
+                q2: *q2,
+                matrix: Box::new(matrix.adjoint()),
             },
             Measure { .. } | Reset(_) | Barrier(_) => return None,
         })

@@ -35,7 +35,9 @@ pub mod optimize;
 pub mod register;
 
 pub use circuit::{remap_gate, QuantumCircuit};
-pub use decompose::{mcphase_no_ancilla, mcx_no_ancilla, mcx_vchain, transpile, Basis};
+pub use decompose::{
+    lower_gate_to_standard, mcphase_no_ancilla, mcx_no_ancilla, mcx_vchain, transpile, Basis,
+};
 pub use draw::draw;
 pub use error::{CircError, CircResult};
 pub use execute::{

@@ -1,7 +1,10 @@
-//! Property test for the optimizer: on random circuits mixing 1- and
-//! 2-qubit gates over up to 8 qubits, the optimized circuit's final
+//! Property test for the optimizer: on random circuits mixing 1-, 2-,
+//! and 3-qubit gates over up to 8 qubits, the optimized circuit's final
 //! statevector must match the unoptimized one with fidelity at least
-//! `1 - 1e-10`, at every optimization level.
+//! `1 - 1e-10`, at every optimization level. At level 2 this exercises
+//! both fusion passes end to end: single-qubit runs fold into
+//! `Gate::Unitary`, and multi-qubit clusters fold into the dense
+//! `Gate::Unitary2`/`Gate::Unitary3` fused kernels.
 
 // Test-support helpers sit outside `#[test]` fns, where clippy's
 // `allow-expect-in-tests` does not reach.
@@ -15,11 +18,21 @@ use qutes_qcirc::{optimize, QuantumCircuit};
 ///
 /// `kind` picks the gate family; `a`/`b` pick wires (decoded mod the
 /// qubit count, with `b` shifted off `a` for 2-qubit gates so control
-/// and target always differ); `angle` parameterises rotations.
+/// and target always differ, and a third wire shifted off both for
+/// 3-qubit gates); `angle` parameterises rotations. The 3-qubit kinds
+/// degrade to their 2-qubit counterparts on 2-qubit circuits, so every
+/// kind is valid at every width.
 fn push_op(c: &mut QuantumCircuit, n: usize, kind: u8, a: usize, b: usize, angle: f64) {
     let q0 = a % n;
     let q1 = (q0 + 1 + b % (n - 1)) % n;
-    let r = match kind % 16 {
+    let q2 = {
+        let mut q = (q1 + 1) % n;
+        if q == q0 {
+            q = (q + 1) % n;
+        }
+        q
+    };
+    let r = match kind % 18 {
         0 => c.h(q0),
         1 => c.x(q0),
         2 => c.y(q0),
@@ -35,6 +48,10 @@ fn push_op(c: &mut QuantumCircuit, n: usize, kind: u8, a: usize, b: usize, angle
         12 => c.cx(q0, q1),
         13 => c.cz(q0, q1),
         14 => c.cp(angle, q0, q1),
+        15 => c.swap(q0, q1),
+        16 if n >= 3 => c.ccx(q0, q1, q2),
+        17 if n >= 3 => c.cswap(q0, q1, q2),
+        16 => c.cx(q0, q1),
         _ => c.swap(q0, q1),
     };
     r.expect("generated gate must be in range");
@@ -47,7 +64,7 @@ proptest! {
     fn optimized_statevector_matches_at_every_level(
         n in 2usize..9,
         ops in prop::collection::vec(
-            (0u8..16, 0usize..8, 0usize..8, -3.0f64..3.0),
+            (0u8..18, 0usize..8, 0usize..8, -3.0f64..3.0),
             1..60,
         ),
     ) {

@@ -113,6 +113,97 @@ impl Matrix2 {
     }
 }
 
+/// Generates the fixed-size square complex matrix types used by the
+/// fused multi-qubit kernels ([`Matrix4`], [`Matrix8`]). Basis ordering
+/// follows the statevector convention: column/row bit `k` is the `k`-th
+/// wire of the fused gate (bit 0 = least significant).
+macro_rules! square_matrix {
+    ($(#[$meta:meta])* $name:ident, $n:expr) => {
+        $(#[$meta])*
+        #[derive(Clone, PartialEq, Debug)]
+        pub struct $name {
+            /// Row-major entries.
+            pub m: [[Complex64; $n]; $n],
+        }
+
+        impl $name {
+            /// Builds a matrix from row-major entries.
+            #[inline]
+            pub const fn new(m: [[Complex64; $n]; $n]) -> Self {
+                Self { m }
+            }
+
+            /// The identity matrix.
+            pub fn identity() -> Self {
+                let mut m = [[Complex64::ZERO; $n]; $n];
+                for (i, row) in m.iter_mut().enumerate() {
+                    row[i] = Complex64::ONE;
+                }
+                Self { m }
+            }
+
+            /// Matrix product `self * rhs`.
+            pub fn matmul(&self, rhs: &Self) -> Self {
+                let mut out = [[Complex64::ZERO; $n]; $n];
+                for (r, out_row) in out.iter_mut().enumerate() {
+                    for c in 0..$n {
+                        let mut acc = Complex64::ZERO;
+                        for k in 0..$n {
+                            acc += self.m[r][k] * rhs.m[k][c];
+                        }
+                        out_row[c] = acc;
+                    }
+                }
+                Self { m: out }
+            }
+
+            /// Conjugate transpose (the inverse, for a unitary).
+            pub fn adjoint(&self) -> Self {
+                let mut out = [[Complex64::ZERO; $n]; $n];
+                for (r, out_row) in out.iter_mut().enumerate() {
+                    for c in 0..$n {
+                        out_row[c] = self.m[c][r].conj();
+                    }
+                }
+                Self { m: out }
+            }
+
+            /// Entry-wise approximate equality.
+            pub fn approx_eq(&self, other: &Self, eps: f64) -> bool {
+                for r in 0..$n {
+                    for c in 0..$n {
+                        if !self.m[r][c].approx_eq(other.m[r][c], eps) {
+                            return false;
+                        }
+                    }
+                }
+                true
+            }
+
+            /// True when `self * self^dagger` is the identity within `eps`.
+            pub fn is_unitary(&self, eps: f64) -> bool {
+                self.matmul(&self.adjoint()).approx_eq(&Self::identity(), eps)
+            }
+        }
+    };
+}
+
+square_matrix!(
+    /// A 4x4 complex matrix: a two-qubit unitary over basis `|q1 q0>`
+    /// (wire 0 of the fused gate = bit 0 of the basis index). Consumed
+    /// by [`crate::StateVector::apply_two_fused`].
+    Matrix4,
+    4
+);
+
+square_matrix!(
+    /// An 8x8 complex matrix: a three-qubit unitary over basis
+    /// `|q2 q1 q0>` (wire 0 of the fused gate = bit 0 of the basis
+    /// index). Consumed by [`crate::StateVector::apply_three`].
+    Matrix8,
+    8
+);
+
 /// Pauli-X (NOT).
 pub fn x() -> Matrix2 {
     Matrix2::new(

@@ -39,6 +39,6 @@ pub mod state;
 
 pub use complex::{c64, Complex64};
 pub use error::{SimError, SimResult};
-pub use gates::Matrix2;
+pub use gates::{Matrix2, Matrix4, Matrix8};
 pub use noise::NoiseModel;
 pub use state::{uniform_superposition, StateVector, MAX_QUBITS};

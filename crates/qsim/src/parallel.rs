@@ -77,6 +77,29 @@ where
     });
 }
 
+/// Splits a kernel chunk into its aligned blocks, yielding
+/// `(chunk_relative_base, block_slice)` pairs.
+///
+/// This is the cache-blocked traversal skeleton shared by the gate
+/// kernels: every chunk handed out by [`for_each_block`] /
+/// [`for_each_block_interruptible`] is a whole number of `block`-sized,
+/// `block`-aligned tiles, so kernels iterate tiles and hoist their
+/// per-block bit-mask arithmetic (control tests, wire strides) out of
+/// the per-amplitude loops. The compiler sees fixed-length
+/// `chunks_exact_mut` slices, which also unlocks bounds-check
+/// elimination in the inner loops.
+#[inline]
+pub fn blocks_mut(
+    chunk: &mut [Complex64],
+    block: usize,
+) -> impl Iterator<Item = (usize, &mut [Complex64])> {
+    debug_assert_eq!(chunk.len() % block, 0, "chunk is a whole number of blocks");
+    chunk
+        .chunks_exact_mut(block)
+        .enumerate()
+        .map(move |(i, tile)| (i * block, tile))
+}
+
 /// Amplitudes processed between deadline checks when an [`Interrupt`]
 /// is armed. 2^16 amplitudes (1 MiB) keeps the check amortised far
 /// below 1% of kernel time while still bounding response latency to a

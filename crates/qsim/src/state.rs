@@ -17,7 +17,7 @@
 
 use crate::complex::{c64, Complex64};
 use crate::error::{SimError, SimResult};
-use crate::gates::Matrix2;
+use crate::gates::{Matrix2, Matrix4, Matrix8};
 use crate::parallel;
 use qutes_supervisor::Interrupt;
 
@@ -217,6 +217,23 @@ impl StateVector {
         let block = t_bit << 1;
         let half = t_bit;
         let [[m00, m01], [m10, m11]] = m.m;
+        // Entirely real matrices (H, X, RY, and their fused products —
+        // the bulk of Grover-style workloads) take a scalar fast path:
+        // 6 flops per amplitude instead of 14, which matters because the
+        // single-core sweep is compute-bound, not bandwidth-bound.
+        let real = m00.im == 0.0 && m01.im == 0.0 && m10.im == 0.0 && m11.im == 0.0;
+        let (r00, r01, r10, r11) = (m00.re, m01.re, m10.re, m11.re);
+        // Hoist the control-mask arithmetic out of the inner loop: bits
+        // *above* the target select whole blocks (tested once per block),
+        // bits *below* the target are enumerated directly by inserting
+        // them into a compact counter, so the hot loops never test a mask
+        // per amplitude.
+        let ctrl_hi_mask = ctrl_mask & !(block - 1);
+        let ctrl_lo_mask = ctrl_mask & (half.wrapping_sub(1));
+        let lo_ctrl_bits: Vec<usize> = (0..target)
+            .map(|b| 1usize << b)
+            .filter(|b| ctrl_lo_mask & b != 0)
+            .collect();
 
         parallel::for_each_block_interruptible(
             &mut self.amps,
@@ -224,22 +241,49 @@ impl StateVector {
             self.parallel,
             &self.interrupt,
             |chunk, offset| {
-                // `chunk` is a whole number of blocks; within each block the
-                // first `half` indices have the target bit clear.
-                let mut base = 0;
-                while base < chunk.len() {
-                    for k in 0..half {
-                        let i = base + k;
-                        let global = offset + i;
-                        if global & ctrl_mask == ctrl_mask {
-                            let j = i + half;
-                            let a = chunk[i];
-                            let b = chunk[j];
-                            chunk[i] = m00 * a + m01 * b;
-                            chunk[j] = m10 * a + m11 * b;
+                for (base, tile) in parallel::blocks_mut(chunk, block) {
+                    // Blocks whose high index bits miss a control are
+                    // untouched; skipping them wholesale is what makes
+                    // many-control gates (Grover's MCX/MCZ diffusion
+                    // core) cheap.
+                    if (offset + base) & ctrl_hi_mask != ctrl_hi_mask {
+                        continue;
+                    }
+                    let (zeros, ones) = tile.split_at_mut(half);
+                    if ctrl_lo_mask == 0 {
+                        // Fully strided pair sweep: both halves of the
+                        // block stream sequentially through cache.
+                        if real {
+                            for (a, b) in zeros.iter_mut().zip(ones.iter_mut()) {
+                                let x = *a;
+                                let y = *b;
+                                *a = c64(r00 * x.re + r01 * y.re, r00 * x.im + r01 * y.im);
+                                *b = c64(r10 * x.re + r11 * y.re, r10 * x.im + r11 * y.im);
+                            }
+                        } else {
+                            for (a, b) in zeros.iter_mut().zip(ones.iter_mut()) {
+                                let x = *a;
+                                let y = *b;
+                                *a = m00 * x + m01 * y;
+                                *b = m10 * x + m11 * y;
+                            }
+                        }
+                    } else {
+                        // Enumerate only the satisfying low indices: expand
+                        // a dense counter by inserting a set bit at each
+                        // low control position (ascending).
+                        let pairs = half >> lo_ctrl_bits.len();
+                        for t in 0..pairs {
+                            let mut k = t;
+                            for &cb in &lo_ctrl_bits {
+                                k = (k & (cb - 1)) | ((k & !(cb - 1)) << 1) | cb;
+                            }
+                            let x = zeros[k];
+                            let y = ones[k];
+                            zeros[k] = m00 * x + m01 * y;
+                            ones[k] = m10 * x + m11 * y;
                         }
                     }
-                    base += block;
                 }
             },
         )
@@ -287,6 +331,10 @@ impl StateVector {
         // Pairs (i, j) with i having lo=1,hi=0 and j = i ^ lo_bit ^ hi_bit
         // both live in the aligned block of size 2^(hi+1).
         let block = hi_bit << 1;
+        // Control bits above the block are tested once per block; the
+        // rest (below hi, excluding lo/hi themselves) per swapped pair.
+        let ctrl_hi_mask = ctrl_mask & !(block - 1);
+        let ctrl_lo_mask = ctrl_mask & (block - 1);
 
         parallel::for_each_block_interruptible(
             &mut self.amps,
@@ -294,18 +342,25 @@ impl StateVector {
             self.parallel,
             &self.interrupt,
             |chunk, offset| {
-                let mut base = 0;
-                while base < chunk.len() {
-                    // Indices inside the block with hi-bit 0.
-                    for k in 0..hi_bit {
-                        let i = base + k;
-                        let global = offset + i;
-                        if global & lo_bit != 0 && global & ctrl_mask == ctrl_mask {
-                            let j = i - lo_bit + hi_bit;
-                            chunk.swap(i, j);
-                        }
+                for (base, tile) in parallel::blocks_mut(chunk, block) {
+                    if (offset + base) & ctrl_hi_mask != ctrl_hi_mask {
+                        continue;
                     }
-                    base += block;
+                    // Strided walk of the indices with lo = 1, hi = 0: the
+                    // bit layout below `hi` is (mid | lo_bit | low).
+                    let mut mid = 0;
+                    while mid < hi_bit {
+                        for low in 0..lo_bit {
+                            let i = mid + lo_bit + low;
+                            if ctrl_lo_mask == 0
+                                || (offset + base + i) & ctrl_lo_mask == ctrl_lo_mask
+                            {
+                                let j = i - lo_bit + hi_bit;
+                                tile.swap(i, j);
+                            }
+                        }
+                        mid += lo_bit << 1;
+                    }
                 }
             },
         )
@@ -323,37 +378,179 @@ impl StateVector {
 
     /// Applies an arbitrary two-qubit unitary given as a 4x4 row-major
     /// matrix over basis ordering `|q1 q0>` (q0 = least significant).
-    /// Primarily used by tests and decomposition cross-checks.
+    /// Primarily used by tests and decomposition cross-checks; the
+    /// optimizer's fused gates go through [`Self::apply_two_fused`].
     pub fn apply_two(&mut self, m: &[[Complex64; 4]; 4], q0: usize, q1: usize) -> SimResult<()> {
+        self.apply4(m, q0, q1, "kernel.2q_matrix")
+    }
+
+    /// Applies a fused two-qubit unitary (a [`Matrix4`] built by the
+    /// level-2 optimizer) over basis ordering `|q1 q0>`.
+    pub fn apply_two_fused(&mut self, m: &Matrix4, q0: usize, q1: usize) -> SimResult<()> {
+        self.apply4(&m.m, q0, q1, "kernel.2q_fused")
+    }
+
+    /// Shared cache-blocked 4x4 kernel: strided iteration over aligned
+    /// blocks, no per-amplitude bit tests.
+    fn apply4(
+        &mut self,
+        m: &[[Complex64; 4]; 4],
+        q0: usize,
+        q1: usize,
+        timer: &'static str,
+    ) -> SimResult<()> {
         self.check_qubit(q0)?;
         self.check_qubit(q1)?;
         Self::check_distinct(&[q0, q1])?;
         let t0 = qutes_obs::maybe_now();
         let b0 = 1usize << q0;
         let b1 = 1usize << q1;
-        let len = self.amps.len();
-        let mut i = 0usize;
-        while i < len {
-            if i & b0 == 0 && i & b1 == 0 {
-                let idx = [i, i | b0, i | b1, i | b0 | b1];
-                let v = [
-                    self.amps[idx[0]],
-                    self.amps[idx[1]],
-                    self.amps[idx[2]],
-                    self.amps[idx[3]],
-                ];
-                for (r, &target) in idx.iter().enumerate() {
-                    let mut acc = Complex64::ZERO;
-                    for (c, &src) in v.iter().enumerate() {
-                        acc += m[r][c] * src;
-                    }
-                    self.amps[target] = acc;
-                }
+        let (lo_bit, hi_bit) = if b0 < b1 { (b0, b1) } else { (b1, b0) };
+        let block = hi_bit << 1;
+        let m = *m;
+        // Real fused products (H/X/RY runs around CX) use the scalar fast
+        // path — the sweep is compute-bound on a single core.
+        let real = m.iter().flatten().all(|e| e.im == 0.0);
+        let mut mr = [[0.0f64; 4]; 4];
+        for (rr, row) in mr.iter_mut().zip(m.iter()) {
+            for (e, c) in rr.iter_mut().zip(row.iter()) {
+                *e = c.re;
             }
-            i += 1;
         }
+
+        parallel::for_each_block_interruptible(
+            &mut self.amps,
+            block,
+            self.parallel,
+            &self.interrupt,
+            |chunk, _offset| {
+                for (_base, tile) in parallel::blocks_mut(chunk, block) {
+                    // Indices with both wire bits clear: (mid | low) with
+                    // `mid` skipping the lo bit and `low` below it.
+                    let mut mid = 0;
+                    while mid < hi_bit {
+                        for low in 0..lo_bit {
+                            let i = mid + low;
+                            let v = [tile[i], tile[i + b0], tile[i + b1], tile[i + b0 + b1]];
+                            if real {
+                                for (r, row) in mr.iter().enumerate() {
+                                    let acc = c64(
+                                        row[0] * v[0].re
+                                            + row[1] * v[1].re
+                                            + row[2] * v[2].re
+                                            + row[3] * v[3].re,
+                                        row[0] * v[0].im
+                                            + row[1] * v[1].im
+                                            + row[2] * v[2].im
+                                            + row[3] * v[3].im,
+                                    );
+                                    let off = (r & 1) * b0 + ((r >> 1) & 1) * b1;
+                                    tile[i + off] = acc;
+                                }
+                            } else {
+                                for (r, row) in m.iter().enumerate() {
+                                    let acc = row[0] * v[0]
+                                        + row[1] * v[1]
+                                        + row[2] * v[2]
+                                        + row[3] * v[3];
+                                    let off = (r & 1) * b0 + ((r >> 1) & 1) * b1;
+                                    tile[i + off] = acc;
+                                }
+                            }
+                        }
+                        mid += lo_bit << 1;
+                    }
+                }
+            },
+        )
+        .map_err(SimError::Interrupted)?;
         if let Some(t0) = t0 {
-            qutes_obs::record_duration("kernel.2q_matrix", t0.elapsed());
+            qutes_obs::record_duration(timer, t0.elapsed());
+        }
+        Ok(())
+    }
+
+    /// Applies a fused three-qubit unitary (a [`Matrix8`] built by the
+    /// level-2 optimizer) over basis ordering `|q2 q1 q0>` (q0 = least
+    /// significant bit of the matrix index).
+    pub fn apply_three(&mut self, m: &Matrix8, q0: usize, q1: usize, q2: usize) -> SimResult<()> {
+        self.check_qubit(q0)?;
+        self.check_qubit(q1)?;
+        self.check_qubit(q2)?;
+        Self::check_distinct(&[q0, q1, q2])?;
+        let t0 = qutes_obs::maybe_now();
+        let b0 = 1usize << q0;
+        let b1 = 1usize << q1;
+        let b2 = 1usize << q2;
+        let mut sorted = [b0, b1, b2];
+        sorted.sort_unstable();
+        let [a_bit, b_bit, c_bit] = sorted;
+        let block = c_bit << 1;
+        // Gather offset of matrix row/column r relative to the base index.
+        let mut offs = [0usize; 8];
+        for (r, o) in offs.iter_mut().enumerate() {
+            *o = (r & 1) * b0 + ((r >> 1) & 1) * b1 + ((r >> 2) & 1) * b2;
+        }
+        let m = m.clone();
+        // Real fused products take the scalar fast path (half the flops;
+        // the sweep is compute-bound on a single core).
+        let real = m.m.iter().flatten().all(|e| e.im == 0.0);
+        let mut mr = [[0.0f64; 8]; 8];
+        for (rr, row) in mr.iter_mut().zip(m.m.iter()) {
+            for (e, c) in rr.iter_mut().zip(row.iter()) {
+                *e = c.re;
+            }
+        }
+
+        parallel::for_each_block_interruptible(
+            &mut self.amps,
+            block,
+            self.parallel,
+            &self.interrupt,
+            |chunk, _offset| {
+                for (_base, tile) in parallel::blocks_mut(chunk, block) {
+                    // Indices with all three wire bits clear, walked as
+                    // three nested strided loops (no per-index tests).
+                    let mut hi = 0;
+                    while hi < c_bit {
+                        let mut mid = 0;
+                        while mid < b_bit {
+                            for low in 0..a_bit {
+                                let i = hi + mid + low;
+                                let mut v = [Complex64::ZERO; 8];
+                                for (x, &o) in v.iter_mut().zip(offs.iter()) {
+                                    *x = tile[i + o];
+                                }
+                                if real {
+                                    for (row, &o) in mr.iter().zip(offs.iter()) {
+                                        let mut re = 0.0;
+                                        let mut im = 0.0;
+                                        for (coef, x) in row.iter().zip(v.iter()) {
+                                            re += coef * x.re;
+                                            im += coef * x.im;
+                                        }
+                                        tile[i + o] = c64(re, im);
+                                    }
+                                } else {
+                                    for (row, &o) in m.m.iter().zip(offs.iter()) {
+                                        let mut acc = Complex64::ZERO;
+                                        for (coef, x) in row.iter().zip(v.iter()) {
+                                            acc += *coef * *x;
+                                        }
+                                        tile[i + o] = acc;
+                                    }
+                                }
+                            }
+                            mid += a_bit << 1;
+                        }
+                        hi += b_bit << 1;
+                    }
+                }
+            },
+        )
+        .map_err(SimError::Interrupted)?;
+        if let Some(t0) = t0 {
+            qutes_obs::record_duration("kernel.3q_fused", t0.elapsed());
         }
         Ok(())
     }
@@ -829,6 +1026,117 @@ mod tests {
         a.apply_two(&cnot, 0, 1).unwrap();
         b.apply_controlled(&gates::x(), &[0], 1).unwrap();
         assert!((a.fidelity(&b).unwrap() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn apply_two_fused_matches_apply_two() {
+        let o = Complex64::ONE;
+        let zz = Complex64::ZERO;
+        let cnot = [
+            [o, zz, zz, zz],
+            [zz, zz, zz, o],
+            [zz, zz, o, zz],
+            [zz, o, zz, zz],
+        ];
+        for (q0, q1) in [(0usize, 1usize), (1, 0), (0, 3), (3, 1)] {
+            let mut a = StateVector::new(4).unwrap();
+            for q in 0..4 {
+                a.apply_single(&gates::h(), q).unwrap();
+                a.apply_single(&gates::t(), q).unwrap();
+            }
+            let mut b = a.clone();
+            a.apply_two(&cnot, q0, q1).unwrap();
+            b.apply_two_fused(&Matrix4::new(cnot), q0, q1).unwrap();
+            assert!((a.fidelity(&b).unwrap() - 1.0).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn apply_three_identity_is_noop() {
+        let mut sv = StateVector::new(5).unwrap();
+        for q in 0..5 {
+            sv.apply_single(&gates::h(), q).unwrap();
+        }
+        let before = sv.clone();
+        sv.apply_three(&Matrix8::identity(), 4, 1, 2).unwrap();
+        assert!((sv.fidelity(&before).unwrap() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn apply_three_matches_gate_sequence() {
+        // Build the 8x8 for CCX(c0=wire0, c1=wire1, t=wire2) and check it
+        // against the native controlled kernel on scrambled wire orders.
+        let mut ccx = Matrix8::identity();
+        ccx.m[0b011][0b011] = Complex64::ZERO;
+        ccx.m[0b111][0b111] = Complex64::ZERO;
+        ccx.m[0b011][0b111] = Complex64::ONE;
+        ccx.m[0b111][0b011] = Complex64::ONE;
+        for (q0, q1, q2) in [(0usize, 1usize, 2usize), (2, 0, 4), (3, 2, 1)] {
+            let mut a = StateVector::new(5).unwrap();
+            for q in 0..5 {
+                a.apply_single(&gates::h(), q).unwrap();
+                a.apply_single(&gates::t(), q).unwrap();
+            }
+            let mut b = a.clone();
+            a.apply_three(&ccx, q0, q1, q2).unwrap();
+            b.apply_controlled(&gates::x(), &[q0, q1], q2).unwrap();
+            assert!(
+                (a.fidelity(&b).unwrap() - 1.0).abs() < EPS,
+                "wires ({q0},{q1},{q2})"
+            );
+        }
+    }
+
+    #[test]
+    fn many_controls_above_and_below_target() {
+        // Exercises both the per-block high-mask skip and the low-bit
+        // insertion enumeration against a brute-force reference.
+        let n = 6;
+        let controls = [0usize, 2, 5];
+        let target = 3;
+        let mut sv = StateVector::new(n).unwrap();
+        for q in 0..n {
+            sv.apply_single(&gates::h(), q).unwrap();
+            sv.apply_single(&gates::t(), q).unwrap();
+        }
+        let reference = {
+            let mut amps = sv.amplitudes().to_vec();
+            let cm: usize = controls.iter().map(|&c| 1usize << c).sum();
+            let tb = 1usize << target;
+            let [[m00, m01], [m10, m11]] = gates::h().m;
+            for i in 0..amps.len() {
+                if i & tb == 0 && i & cm == cm {
+                    let a = amps[i];
+                    let b = amps[i | tb];
+                    amps[i] = m00 * a + m01 * b;
+                    amps[i | tb] = m10 * a + m11 * b;
+                }
+            }
+            StateVector::from_amplitudes(amps).unwrap()
+        };
+        sv.apply_controlled(&gates::h(), &controls, target).unwrap();
+        assert!((sv.fidelity(&reference).unwrap() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn controlled_swap_with_interleaved_controls() {
+        // Controls both below, between, and above the swapped pair.
+        let n = 6;
+        for idx in 0..(1usize << n) {
+            let mut sv = StateVector::from_basis_state(n, idx).unwrap();
+            sv.apply_controlled_swap(&[0, 3, 5], 1, 4).unwrap();
+            let expect = if idx & 0b101001 == 0b101001 {
+                let b1 = (idx >> 1) & 1;
+                let b4 = (idx >> 4) & 1;
+                (idx & !0b10010) | (b1 << 4) | (b4 << 1)
+            } else {
+                idx
+            };
+            assert!(
+                sv.amplitude(expect).approx_eq(Complex64::ONE, EPS),
+                "idx {idx:06b}"
+            );
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! sequence, so they are checked on randomly generated programs.
 
 use proptest::prelude::*;
-use qutes_sim::{gates, measure, Complex64, Matrix2, StateVector};
+use qutes_sim::{gates, measure, Complex64, Matrix2, Matrix4, Matrix8, StateVector};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -14,6 +14,8 @@ enum Op {
     Rot(u8, f64, usize),      // axis, angle, target
     Controlled(usize, usize), // control, target (CX)
     Swap(usize, usize),
+    TwoFused(u8, u8, usize, usize), // gate ids (bit 0, bit 1), q0, q1
+    ThreeFused(u8, u8, u8, usize, usize, usize), // gate ids, q0, q1, q2
 }
 
 fn gate_for(id: u8) -> Matrix2 {
@@ -36,6 +38,29 @@ fn rot_for(axis: u8, theta: f64) -> Matrix2 {
     }
 }
 
+/// Kronecker product of two single-qubit gates over basis `|q1 q0>`:
+/// `g0` acts on fused bit 0, `g1` on fused bit 1.
+fn kron2(g1: &Matrix2, g0: &Matrix2) -> Matrix4 {
+    let mut m = [[Complex64::ZERO; 4]; 4];
+    for (r, row) in m.iter_mut().enumerate() {
+        for (c, e) in row.iter_mut().enumerate() {
+            *e = g1.m[r >> 1][c >> 1] * g0.m[r & 1][c & 1];
+        }
+    }
+    Matrix4::new(m)
+}
+
+/// Kronecker product of three single-qubit gates over basis `|q2 q1 q0>`.
+fn kron3(g2: &Matrix2, g1: &Matrix2, g0: &Matrix2) -> Matrix8 {
+    let mut m = [[Complex64::ZERO; 8]; 8];
+    for (r, row) in m.iter_mut().enumerate() {
+        for (c, e) in row.iter_mut().enumerate() {
+            *e = g2.m[r >> 2][c >> 2] * g1.m[r >> 1 & 1][c >> 1 & 1] * g0.m[r & 1][c & 1];
+        }
+    }
+    Matrix8::new(m)
+}
+
 fn op_strategy(n: usize) -> impl Strategy<Value = Op> {
     prop_oneof![
         (any::<u8>(), 0..n).prop_map(|(g, t)| Op::Single(g, t)),
@@ -44,6 +69,15 @@ fn op_strategy(n: usize) -> impl Strategy<Value = Op> {
             (c != t).then_some(Op::Controlled(c, t))
         }),
         (0..n, 0..n).prop_filter_map("distinct", |(a, b)| (a != b).then_some(Op::Swap(a, b))),
+        (any::<u8>(), any::<u8>(), 0..n, 0..n).prop_filter_map("distinct", |(g0, g1, a, b)| {
+            (a != b).then_some(Op::TwoFused(g0, g1, a, b))
+        }),
+        (any::<u8>(), any::<u8>(), any::<u8>(), 0..n, 0..n, 0..n).prop_filter_map(
+            "distinct",
+            |(g0, g1, g2, a, b, c)| {
+                (a != b && b != c && a != c).then_some(Op::ThreeFused(g0, g1, g2, a, b, c))
+            }
+        ),
     ]
 }
 
@@ -53,6 +87,17 @@ fn apply(sv: &mut StateVector, op: &Op) {
         Op::Rot(a, th, t) => sv.apply_single(&rot_for(*a, *th), *t).unwrap(),
         Op::Controlled(c, t) => sv.apply_controlled(&gates::x(), &[*c], *t).unwrap(),
         Op::Swap(a, b) => sv.apply_swap(*a, *b).unwrap(),
+        Op::TwoFused(g0, g1, a, b) => sv
+            .apply_two_fused(&kron2(&gate_for(*g1), &gate_for(*g0)), *a, *b)
+            .unwrap(),
+        Op::ThreeFused(g0, g1, g2, a, b, c) => sv
+            .apply_three(
+                &kron3(&gate_for(*g2), &gate_for(*g1), &gate_for(*g0)),
+                *a,
+                *b,
+                *c,
+            )
+            .unwrap(),
     }
 }
 
@@ -62,6 +107,17 @@ fn apply_inverse(sv: &mut StateVector, op: &Op) {
         Op::Rot(a, th, t) => sv.apply_single(&rot_for(*a, -th), *t).unwrap(),
         Op::Controlled(c, t) => sv.apply_controlled(&gates::x(), &[*c], *t).unwrap(),
         Op::Swap(a, b) => sv.apply_swap(*a, *b).unwrap(),
+        Op::TwoFused(g0, g1, a, b) => sv
+            .apply_two_fused(&kron2(&gate_for(*g1), &gate_for(*g0)).adjoint(), *a, *b)
+            .unwrap(),
+        Op::ThreeFused(g0, g1, g2, a, b, c) => sv
+            .apply_three(
+                &kron3(&gate_for(*g2), &gate_for(*g1), &gate_for(*g0)).adjoint(),
+                *a,
+                *b,
+                *c,
+            )
+            .unwrap(),
     }
 }
 
@@ -164,5 +220,32 @@ proptest! {
             apply(&mut ser, op);
         }
         prop_assert!((par.fidelity(&ser).unwrap() - 1.0).abs() < 1e-8);
+    }
+
+    /// Kernel results are *bit-identical* on either side of the parallel
+    /// dispatch threshold (2^14 amplitudes): n = 13 stays serial, n = 14
+    /// crosses it, n = 15 is comfortably above. The parallel paths
+    /// partition the same blocked per-amplitude arithmetic, so every
+    /// amplitude must match exactly — not just to tolerance.
+    #[test]
+    fn parallel_dispatch_is_bit_identical(
+        n in 13usize..16,
+        ops in prop::collection::vec(op_strategy(13), 1..10),
+    ) {
+        let mut par = StateVector::new(n).unwrap();
+        let mut ser = StateVector::new(n).unwrap();
+        par.set_parallel(true);
+        ser.set_parallel(false);
+        for op in &ops {
+            apply(&mut par, op);
+            apply(&mut ser, op);
+        }
+        for i in 0..1usize << n {
+            let (a, b) = (par.amplitude(i), ser.amplitude(i));
+            prop_assert!(
+                a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits(),
+                "amplitude {i} differs: parallel {a:?} vs serial {b:?}"
+            );
+        }
     }
 }

@@ -2,7 +2,8 @@
 //!
 //! Pipeline code calls [`failpoint`] at named sites unconditionally;
 //! without the `chaos` cargo feature the call compiles to a no-op. With
-//! the feature, tests arm a site with [`arm`]/[`arm_once`] to inject a
+//! the feature, tests arm a site with `arm`/`arm_once` (only compiled
+//! under the feature, hence not linkable here) to inject a
 //! panic, artificial slowness, or an allocation refusal, proving the
 //! supervisor contains each fault as a typed error.
 //!
