@@ -84,7 +84,7 @@ impl AnalysisReport {
     ///   ],
     ///   "resources": { "qubits": 2, "gates": 3, "depth": 3,
     ///                  "measurements": 2, "exact": true,
-    ///                  "notes": ["..."] }
+    ///                  "clifford_only": true, "notes": ["..."] }
     /// }
     /// ```
     pub fn to_json(&self, source: &str) -> String {
@@ -114,12 +114,14 @@ impl AnalysisReport {
         let r = &self.resources;
         out.push_str(&format!(
             "  \"resources\": {{ \"qubits\": {}, \"gates\": {}, \"depth\": {}, \
-             \"measurements\": {}, \"exact\": {}, \"notes\": [{}] }}\n}}\n",
+             \"measurements\": {}, \"exact\": {}, \"clifford_only\": {}, \
+             \"notes\": [{}] }}\n}}\n",
             r.qubits,
             r.gates,
             r.depth,
             r.measurements,
             r.exact,
+            r.clifford_only,
             r.notes
                 .iter()
                 .map(|n| json_str(n))

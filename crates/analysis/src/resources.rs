@@ -45,6 +45,14 @@ pub struct ResourceEstimate {
     pub measurements: usize,
     /// True when every figure is exact for any run of the program.
     pub exact: bool,
+    /// True when every gate the program can emit (on any branch the
+    /// estimator explored) is Clifford — H/X/Y/Z/S/S†/CX/CY/CZ/Swap,
+    /// measurement, reset. Such programs are exactly simulable on the
+    /// stabilizer-tableau backend at hundreds of qubits; the `qutes`
+    /// facade uses this bit to auto-dispatch (see `docs/backends.md`).
+    /// Forced to `false` whenever estimation gave up early, so a `true`
+    /// here is a sound promise, never a guess.
+    pub clifford_only: bool,
     /// Why the estimate is inexact (empty when `exact`).
     pub notes: Vec<String>,
 }
@@ -57,6 +65,7 @@ impl Default for ResourceEstimate {
             depth: 0,
             measurements: 0,
             exact: true,
+            clifford_only: true,
             notes: Vec::new(),
         }
     }
@@ -74,7 +83,12 @@ impl ResourceEstimate {
             self.depth,
             self.measurements,
             plural(self.measurements),
-            if self.exact { "exact" } else { "upper bound" },
+            match (self.exact, self.clifford_only) {
+                (true, true) => "exact, clifford-only",
+                (true, false) => "exact",
+                (false, true) => "upper bound, clifford-only",
+                (false, false) => "upper bound",
+            },
         )
     }
 }
@@ -105,6 +119,9 @@ pub fn estimate(program: &Program) -> ResourceEstimate {
     }
     if gave_up {
         est.inexact("estimation stopped early (budget exhausted or un-analyzable construct)");
+        // Unknown gates may follow the stop point: a Clifford claim
+        // would be unsound.
+        est.clifford_only = false;
     }
     est.finish()
 }
@@ -191,6 +208,7 @@ struct Est<'p> {
     free: Vec<usize>,
     measurements: usize,
     exact: bool,
+    clifford_only: bool,
     notes: Vec<String>,
     slack_gates: usize,
     slack_depth: usize,
@@ -217,6 +235,7 @@ impl<'p> Est<'p> {
             free: Vec::new(),
             measurements: 0,
             exact: true,
+            clifford_only: true,
             notes: Vec::new(),
             slack_gates: 0,
             slack_depth: 0,
@@ -241,6 +260,7 @@ impl<'p> Est<'p> {
             depth: self.circ.depth() + self.slack_depth,
             measurements: self.measurements + self.slack_meas,
             exact: self.exact,
+            clifford_only: self.clifford_only,
             notes: seen,
         }
     }
@@ -294,6 +314,9 @@ impl<'p> Est<'p> {
     }
 
     fn apply(&mut self, gate: Gate) -> R<()> {
+        if !gate.is_clifford() {
+            self.clifford_only = false;
+        }
         self.circ.append(gate).map_err(|_| Stop)
     }
 
@@ -1763,6 +1786,10 @@ impl<'p> Est<'p> {
         let fa = then_f(&mut a)?;
         let fb = else_f(&mut b)?;
         self.steps = a.steps.max(b.steps);
+        // A non-Clifford gate on *either* path poisons the Clifford
+        // claim — the discarded world's gates survive only as slack
+        // counts, so the bit must be merged before a world is dropped.
+        let clifford_both = a.clifford_only && b.clifford_only;
 
         let same_world = a.circ.ops() == b.circ.ops()
             && a.circ.num_qubits() == b.circ.num_qubits()
@@ -1776,6 +1803,7 @@ impl<'p> Est<'p> {
             let steps = self.steps;
             *self = a;
             self.steps = steps;
+            self.clifford_only = clifford_both;
             // The worlds agree, but differing return values still matter.
             return Ok(match (fa, fb) {
                 (Flow::Return(va), Flow::Return(vb)) => {
@@ -1815,6 +1843,7 @@ impl<'p> Est<'p> {
         let steps = self.steps;
         *self = kept;
         self.steps = steps;
+        self.clifford_only = clifford_both;
         // Values that differ between the worlds are no longer known. The
         // kept world's bindings survive only where both agree; the scope
         // *structure* is identical (branches balance their push/pop).
@@ -2013,5 +2042,38 @@ mod tests {
         let e = est("qubit a = |1>;\nprint a;\n");
         assert!(e.summary().contains("exact"));
         assert!(e.summary().contains("1 qubit,"));
+    }
+
+    #[test]
+    fn clifford_only_holds_for_ghz_style_programs() {
+        let e =
+            est("qubit a = |0>;\nqubit b = |0>;\nhadamard a;\ncnot a, b;\nprint a;\nprint b;\n");
+        assert!(e.clifford_only, "H/CX/measure are all Clifford");
+        assert!(e.summary().contains("clifford-only"), "{}", e.summary());
+    }
+
+    #[test]
+    fn clifford_only_false_for_arithmetic_programs() {
+        // Quint addition lowers to phase rotations — not Clifford.
+        let e = est("quint a = 3q;\na += 1;\nprint a;\n");
+        assert!(!e.clifford_only, "ripple adders use non-Clifford phases");
+        assert!(!e.summary().contains("clifford-only"), "{}", e.summary());
+    }
+
+    #[test]
+    fn clifford_only_poisoned_by_either_branch() {
+        // The non-Clifford gate sits in the *smaller* (discarded) branch;
+        // the merge must still poison the Clifford bit.
+        let e = est(
+            "qubit q = |+>;\nquint t = 0q;\nbool b = q;\nif (b) {\n  not t;\n  not t;\n  not t;\n} else {\n  t += 1;\n}\nprint t;\n",
+        );
+        assert!(!e.clifford_only, "notes: {:?}", e.notes);
+    }
+
+    #[test]
+    fn clifford_only_false_when_estimation_gives_up() {
+        // `in` search lowers via Grover/BBHT: inexact and non-Clifford.
+        let e = est("qustring t = \"0110\"q;\nbool hit = \"11\" in t;\nprint hit;\n");
+        assert!(!e.clifford_only);
     }
 }

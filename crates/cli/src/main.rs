@@ -3,8 +3,9 @@
 //! ```text
 //! qutes run   <file.qut> [--seed N] [--max-steps N] [--stats] [--draw]
 //!             [--noise P] [--readout-error P] [--shots N] [--mem-budget BYTES]
-//!             [--opt-level N] [--time-budget MS] [--trace] [--profile]
-//!             [--stats-json PATH] [--lint] [-W ID] [-A ID] [--deny-warnings]
+//!             [--opt-level N] [--time-budget MS] [--backend NAME] [--trace]
+//!             [--profile] [--stats-json PATH] [--lint] [-W ID] [-A ID]
+//!             [--deny-warnings]
 //! qutes lint  <file.qut> [-W ID] [-A ID] [--deny-warnings] [--lint-json]
 //! qutes check <file.qut>
 //! qutes fmt   <file.qut>
@@ -22,7 +23,12 @@
 //! circuit is additionally replayed `N` times under the same model and
 //! the outcome histogram printed. `--mem-budget` caps the dense
 //! statevector allocation (`16 * 2^n` bytes) with a clean error instead
-//! of an OOM. `--opt-level` selects the circuit-optimization level used
+//! of an OOM. `--backend {auto,statevector,tableau}` selects the
+//! simulation engine (default `auto`: the resource estimator routes
+//! Clifford-only noise-free programs onto the stabilizer tableau, which
+//! scales to hundreds of qubits, and everything else onto the dense
+//! statevector — see `docs/backends.md`). `--opt-level` selects the
+//! circuit-optimization level used
 //! for the shot replay and the `--stats` report (0 = off, 1 = gate
 //! cancellation + rotation merging, 2 = additionally single-qubit gate
 //! fusion; default 1).
@@ -62,8 +68,9 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  qutes run   <file.qut> [--seed N] [--max-steps N] [--stats] [--draw]\n              \
          [--noise P] [--readout-error P] [--shots N] [--mem-budget BYTES]\n              \
-         [--opt-level N] [--time-budget MS] [--trace] [--profile]\n              \
-         [--stats-json PATH] [--lint] [-W ID] [-A ID] [--deny-warnings]\n  \
+         [--opt-level N] [--time-budget MS] [--backend NAME] [--trace]\n              \
+         [--profile] [--stats-json PATH] [--lint] [-W ID] [-A ID]\n              \
+         [--deny-warnings]\n  \
          qutes lint  <file.qut> [-W ID] [-A ID] [--deny-warnings] [--lint-json]\n  \
          qutes check <file.qut>\n  qutes fmt   <file.qut>\n  \
          qutes qasm  <file.qut> [--v3] [--seed N] [--time-budget MS] [-o out.qasm]"
@@ -85,6 +92,7 @@ struct Args {
     mem_budget: Option<u64>,
     opt_level: u8,
     time_budget_ms: Option<u64>,
+    backend: qutes_qcirc::BackendChoice,
     trace: bool,
     profile: bool,
     stats_json: Option<String>,
@@ -117,6 +125,7 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
         mem_budget: None,
         opt_level: 1,
         time_budget_ms: None,
+        backend: qutes_qcirc::BackendChoice::Auto,
         trace: false,
         profile: false,
         stats_json: None,
@@ -189,6 +198,12 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
                         .parse()
                         .map_err(|_| "--time-budget needs an integer millisecond count")?,
                 );
+            }
+            "--backend" => {
+                let name = it.next().ok_or("--backend needs a name")?;
+                args.backend = qutes_qcirc::BackendChoice::from_name(name).ok_or(format!(
+                    "unknown backend '{name}' (choices: auto, statevector, tableau)"
+                ))?;
             }
             "--lint" => args.lint = true,
             "--deny-warnings" => args.deny_warnings = true,
@@ -362,7 +377,7 @@ fn main() -> ExitCode {
 
     match cmd.as_str() {
         "run" => {
-            let cfg = RunConfig {
+            let mut cfg = RunConfig {
                 seed: args.seed,
                 max_steps: args.max_steps,
                 noise: noise_from_args(&args),
@@ -376,6 +391,7 @@ fn main() -> ExitCode {
                     qutes_core::LintOptions::default()
                 },
                 time_budget: args.time_budget_ms.map(Duration::from_millis),
+                backend: args.backend,
                 ..RunConfig::default()
             };
             if args.observing() {
@@ -392,6 +408,11 @@ fn main() -> ExitCode {
                     return code;
                 }
             }
+            // Resolve `--backend auto` from the estimator's static gate
+            // composition before execution, so the resolved engine shows
+            // up in `[stats]` and the obs snapshot even when the run is
+            // refused pre-flight (see docs/backends.md).
+            cfg.backend = qutes::resolve_backend(&source, &cfg);
             // Containment boundary: a panic anywhere below surfaces as a
             // typed internal error naming the stage, never an abort.
             let result = qutes_supervisor::contain(|| run_source(&source, &cfg))
@@ -426,8 +447,8 @@ fn main() -> ExitCode {
                     if args.stats {
                         let stats = out.circuit.stats();
                         eprintln!(
-                            "[stats] qubits={} measurements={} ops={} depth={}",
-                            out.qubits_used, out.measurements, stats.size, stats.depth
+                            "[stats] backend={} qubits={} measurements={} ops={} depth={}",
+                            cfg.backend, out.qubits_used, out.measurements, stats.size, stats.depth
                         );
                         match qutes_qcirc::optimize(&out.circuit, args.opt_level) {
                             Ok((_, r)) => eprintln!(
@@ -455,11 +476,29 @@ fn main() -> ExitCode {
                     ExitCode::SUCCESS
                 }
                 Err(e) => {
+                    // Capacity/backend refusals depend on which engine's
+                    // limits were consulted — name it, so "too many
+                    // qubits" under `--backend statevector` is
+                    // distinguishable from the same program overflowing
+                    // the tableau cap.
+                    let resource_refusal = matches!(
+                        &e,
+                        QutesError::Sim(qutes_sim::SimError::TooManyQubits(_))
+                            | QutesError::Sim(qutes_sim::SimError::AllocationFailed { .. })
+                            | QutesError::Circuit(qutes_qcirc::CircError::ResourceLimit { .. })
+                            | QutesError::Circuit(
+                                qutes_qcirc::CircError::BackendUnsupported { .. }
+                            )
+                    );
+                    if resource_refusal {
+                        eprintln!("error: refused on the '{}' backend:", cfg.backend);
+                    }
                     eprintln!("{}", e.render(&source));
                     if args.observing() {
                         // Flush the partial snapshot with the abort
                         // marker so a bounded/failed run still leaves
-                        // its stage timings behind.
+                        // its stage timings behind (the `backend.*`
+                        // counters record the attempted engine).
                         let _ = report_observability(&args, true);
                     }
                     ExitCode::FAILURE

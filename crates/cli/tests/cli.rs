@@ -48,7 +48,25 @@ fn run_stats_go_to_stderr() {
     let p = write_program("stats.qut", "qubit q = |+>; print q;");
     let out = qutes(&["run", p.to_str().unwrap(), "--stats"]);
     assert!(out.status.success());
-    assert!(stderr(&out).contains("[stats] qubits=1"));
+    // H + measure is Clifford-only: `auto` resolves to the tableau.
+    assert!(
+        stderr(&out).contains("[stats] backend=tableau qubits=1"),
+        "{}",
+        stderr(&out)
+    );
+    let out = qutes(&[
+        "run",
+        p.to_str().unwrap(),
+        "--stats",
+        "--backend",
+        "statevector",
+    ]);
+    assert!(out.status.success());
+    assert!(
+        stderr(&out).contains("[stats] backend=statevector qubits=1"),
+        "{}",
+        stderr(&out)
+    );
 }
 
 #[test]
@@ -136,7 +154,17 @@ fn run_trace_prints_span_tree() {
         "trace.qut",
         "qubit a = |0>; qubit b = |0>; hadamard a; cnot a, b; print a;",
     );
-    let out = qutes(&["run", p.to_str().unwrap(), "--trace", "--shots", "4"]);
+    // Pinned to the statevector: the tableau path (which this Clifford
+    // program would auto-select) intentionally skips `stage.optimize`.
+    let out = qutes(&[
+        "run",
+        p.to_str().unwrap(),
+        "--trace",
+        "--shots",
+        "4",
+        "--backend",
+        "statevector",
+    ]);
     assert!(out.status.success(), "{}", stderr(&out));
     let err = stderr(&out);
     assert!(err.contains("-- trace --"), "{err}");
@@ -152,7 +180,14 @@ fn run_profile_prints_hot_path_table() {
         "profile.qut",
         "qubit a = |0>; qubit b = |0>; hadamard a; cnot a, b; print a;",
     );
-    let out = qutes(&["run", p.to_str().unwrap(), "--profile"]);
+    // Pinned to the statevector: `kernel.1q` is a dense-engine counter.
+    let out = qutes(&[
+        "run",
+        p.to_str().unwrap(),
+        "--profile",
+        "--backend",
+        "statevector",
+    ]);
     assert!(out.status.success(), "{}", stderr(&out));
     let err = stderr(&out);
     assert!(err.contains("-- profile --"), "{err}");

@@ -211,15 +211,19 @@ impl TypeCastingHandler {
         h: &mut QuantumCircuitHandler,
         q: &QuantumRef,
     ) -> QutesResult<Value> {
+        // Qustrings go through the bit-vector path: on the tableau
+        // backend they can be wider than 64 qubits.
+        if q.kind == QKind::Qustring {
+            let bits = h.measure_bits(&q.qubits)?;
+            return Ok(Value::Str(
+                bits.iter().map(|&b| if b { '1' } else { '0' }).collect(),
+            ));
+        }
         let raw = h.measure(&q.qubits)?;
-        Ok(match q.kind {
-            QKind::Qubit => Value::Bool(raw != 0),
-            QKind::Quint => Value::Int(raw as i64),
-            QKind::Qustring => Value::Str(
-                (0..q.qubits.len())
-                    .map(|i| if raw >> i & 1 == 1 { '1' } else { '0' })
-                    .collect(),
-            ),
+        Ok(if q.kind == QKind::Qubit {
+            Value::Bool(raw != 0)
+        } else {
+            Value::Int(raw as i64)
         })
     }
 }
@@ -246,13 +250,13 @@ mod tests {
     fn qubit_basis_and_kets() {
         let mut h = handler();
         let q1 = TypeCastingHandler::new_qubit_basis(&mut h, "a", true).unwrap();
-        assert!((h.state().probability_one(q1.qubits[0]).unwrap() - 1.0).abs() < 1e-12);
+        assert!((h.probability_one(q1.qubits[0]).unwrap() - 1.0).abs() < 1e-12);
         let q2 = TypeCastingHandler::new_qubit_ket(&mut h, "b", KetState::Plus).unwrap();
-        assert!((h.state().probability_one(q2.qubits[0]).unwrap() - 0.5).abs() < 1e-9);
+        assert!((h.probability_one(q2.qubits[0]).unwrap() - 0.5).abs() < 1e-9);
         let q3 = TypeCastingHandler::new_qubit_ket(&mut h, "c", KetState::Minus).unwrap();
         // |-> also has p(1) = 1/2; distinguish from |+> via H -> |1>.
         h.apply(Gate::H(q3.qubits[0])).unwrap();
-        assert!((h.state().probability_one(q3.qubits[0]).unwrap() - 1.0).abs() < 1e-9);
+        assert!((h.probability_one(q3.qubits[0]).unwrap() - 1.0).abs() < 1e-9);
     }
 
     #[test]
@@ -260,7 +264,7 @@ mod tests {
         let mut h = handler();
         let q = TypeCastingHandler::new_qubit_amplitudes(&mut h, "a", 0.6, 0.8, Span::default())
             .unwrap();
-        assert!((h.state().probability_one(q.qubits[0]).unwrap() - 0.64).abs() < 1e-9);
+        assert!((h.probability_one(q.qubits[0]).unwrap() - 0.64).abs() < 1e-9);
         assert!(
             TypeCastingHandler::new_qubit_amplitudes(&mut h, "b", 0.5, 0.5, Span::default())
                 .is_err()
@@ -288,7 +292,11 @@ mod tests {
         let q = TypeCastingHandler::new_quint_superposed(&mut h, "m", &[1, 2, 3], Span::default())
             .unwrap();
         assert_eq!(q.width(), 2);
-        let marg = h.state().marginal_probabilities(&q.qubits).unwrap();
+        let marg = h
+            .dense_state()
+            .unwrap()
+            .marginal_probabilities(&q.qubits)
+            .unwrap();
         for v in [1usize, 2, 3] {
             assert!((marg[v] - 1.0 / 3.0).abs() < 1e-9, "v={v}");
         }

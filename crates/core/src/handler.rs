@@ -7,12 +7,16 @@
 //! This implementation keeps **two** synchronized artefacts:
 //! * the accumulated [`QuantumCircuit`] (for QASM export, metrics, and
 //!   inspection), and
-//! * a **live statevector**, so measurements have exact sequential
-//!   semantics (measure, collapse, keep computing) instead of re-running
-//!   the whole circuit per interaction.
+//! * a **live simulation backend** ([`Backend`]), so measurements have
+//!   exact sequential semantics (measure, collapse, keep computing)
+//!   instead of re-running the whole circuit per interaction. The
+//!   backend is the dense statevector by default; Clifford-only
+//!   programs can run on the stabilizer tableau instead, lifting the
+//!   qubit ceiling from ~28 to thousands (see `docs/backends.md`).
 
 use crate::error::{QutesError, QutesResult};
-use qutes_qcirc::{execute, Gate, QuantumCircuit};
+use qutes_qcirc::backend::{instantiate, Backend, BackendKind};
+use qutes_qcirc::{CircError, Gate, QuantumCircuit};
 use qutes_sim::{NoiseModel, StateVector};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -20,7 +24,7 @@ use rand::{Rng, SeedableRng};
 /// The quantum side of the Qutes runtime.
 pub struct QuantumCircuitHandler {
     circuit: QuantumCircuit,
-    state: StateVector,
+    backend: Box<dyn Backend>,
     clbits: Vec<bool>,
     rng: StdRng,
     measurements: usize,
@@ -35,26 +39,53 @@ impl QuantumCircuitHandler {
         Self::with_config(seed, None, None)
     }
 
-    /// A handler with an optional fault model (applied to every gate and
-    /// measurement as they hit the live state) and an optional memory
-    /// budget (enforced by [`Self::check_capacity`] before allocations
-    /// grow the state). An all-zero noise model is normalised to `None`
-    /// so it cannot desynchronise the RNG stream.
+    /// A handler on the dense statevector backend, with an optional
+    /// fault model (applied to every gate and measurement as they hit
+    /// the live state) and an optional memory budget (enforced by
+    /// [`Self::check_capacity`] before allocations grow the state). An
+    /// all-zero noise model is normalised to `None` so it cannot
+    /// desynchronise the RNG stream.
     pub fn with_config(
         seed: u64,
         noise: Option<NoiseModel>,
         memory_budget_bytes: Option<u64>,
     ) -> Self {
-        QuantumCircuitHandler {
+        // A 0-qubit statevector cannot fail to construct.
+        #[allow(clippy::expect_used)]
+        Self::with_backend_kind(seed, noise, memory_budget_bytes, BackendKind::Statevector)
+            .expect("0-qubit statevector backend")
+    }
+
+    /// Like [`Self::with_config`], but on an explicit backend. The
+    /// tableau backend rejects (effective) noise models up front with a
+    /// typed [`CircError::BackendUnsupported`] — stabilizer states
+    /// cannot represent faulty trajectories.
+    pub fn with_backend_kind(
+        seed: u64,
+        noise: Option<NoiseModel>,
+        memory_budget_bytes: Option<u64>,
+        kind: BackendKind,
+    ) -> QutesResult<Self> {
+        let noise = noise.filter(|nm| !nm.is_noiseless());
+        if kind == BackendKind::Tableau && noise.is_some() {
+            return Err(QutesError::Circuit(CircError::BackendUnsupported {
+                backend: "tableau",
+                what: "noise models (stabilizer states cannot represent \
+                       arbitrary faulty trajectories)"
+                    .to_string(),
+            }));
+        }
+        qutes_obs::counter_add(kind.counter_name(), 1);
+        Ok(QuantumCircuitHandler {
             circuit: QuantumCircuit::new(),
-            state: StateVector::new(0).expect("0-qubit state"),
+            backend: instantiate(kind)?,
             clbits: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
             measurements: 0,
             free_ancillas: Vec::new(),
-            noise: noise.filter(|nm| !nm.is_noiseless()),
+            noise,
             memory_budget_bytes,
-        }
+        })
     }
 
     /// The active fault model, if any.
@@ -62,11 +93,11 @@ impl QuantumCircuitHandler {
         self.noise.as_ref()
     }
 
-    /// Arms the live statevector with the supervisor's interrupt handle,
-    /// so kernel-level checkpoints inside gate application observe the
+    /// Arms the live backend with the supervisor's interrupt handle, so
+    /// checkpoints inside gate application and sampling observe the
     /// run's deadline and cancellation state.
     pub fn set_interrupt(&mut self, intr: qutes_supervisor::Interrupt) {
-        self.state.set_interrupt(intr);
+        self.backend.set_interrupt(intr);
     }
 
     /// Acquires `n` clean (`|0>`) work qubits, reusing previously released
@@ -94,7 +125,7 @@ impl QuantumCircuitHandler {
     pub fn release_ancillas(&mut self, qubits: &[usize]) {
         for &q in qubits {
             let clean = self
-                .state
+                .backend
                 .probability_one(q)
                 .map(|p| p < 1e-9)
                 .unwrap_or(false);
@@ -114,10 +145,7 @@ impl QuantumCircuitHandler {
     pub fn allocate(&mut self, name: &str, width: usize) -> QutesResult<Vec<usize>> {
         self.check_capacity(width, name)?;
         let reg = self.circuit.add_qreg(name, width);
-        if width > 0 {
-            let fresh = StateVector::new(width)?;
-            self.state = self.state.tensor(&fresh)?;
-        }
+        self.backend.grow(width)?;
         Ok(reg.qubits())
     }
 
@@ -133,13 +161,8 @@ impl QuantumCircuitHandler {
         // it is aggregated into the `stage.simulate` timer rather than
         // opening one span per gate.
         let t0 = qutes_obs::maybe_now();
-        execute::apply_gate_noisy(
-            &mut self.state,
-            &mut self.clbits,
-            &gate,
-            &mut self.rng,
-            self.noise.as_ref(),
-        )?;
+        self.backend
+            .apply(&gate, &mut self.clbits, &mut self.rng, self.noise.as_ref())?;
         if let Some(t0) = t0 {
             qutes_obs::record_duration("stage.simulate", t0.elapsed());
         }
@@ -158,14 +181,33 @@ impl QuantumCircuitHandler {
 
     /// Measures `qubits` (low bit first), collapsing the live state and
     /// logging `measure` instructions into fresh classical bits. Returns
-    /// the observed value.
+    /// the observed value. On the tableau backend registers can exceed 64
+    /// qubits; bits past the 64th still collapse and are logged, but only
+    /// the low 64 fit in the returned integer — use
+    /// [`Self::measure_bits`] for wide registers.
     pub fn measure(&mut self, qubits: &[usize]) -> QutesResult<u64> {
+        let bits = self.measure_bits(qubits)?;
+        let mut result = 0u64;
+        for (k, &b) in bits.iter().enumerate().take(64) {
+            if b {
+                result |= 1u64 << k;
+            }
+        }
+        Ok(result)
+    }
+
+    /// Measures `qubits` (index `k` of the result = outcome of
+    /// `qubits[k]`), collapsing the live state and logging `measure`
+    /// instructions into fresh classical bits. Unlike [`Self::measure`]
+    /// this has no 64-bit width ceiling, so it is the right call for
+    /// qustrings on the tableau backend (hundreds of qubits).
+    pub fn measure_bits(&mut self, qubits: &[usize]) -> QutesResult<Vec<bool>> {
         let creg = self
             .circuit
             .add_creg(format!("m{}", self.measurements), qubits.len());
         self.measurements += 1;
         self.clbits.resize(self.circuit.num_clbits(), false);
-        let mut result = 0u64;
+        let mut bits = Vec::with_capacity(qubits.len());
         for (k, &q) in qubits.iter().enumerate() {
             let gate = Gate::Measure {
                 qubit: q,
@@ -176,28 +218,21 @@ impl QuantumCircuitHandler {
             // state collapses to the true outcome, the classical bit may
             // report the flipped one — exactly a readout fault.
             let t0 = qutes_obs::maybe_now();
-            execute::apply_gate_noisy(
-                &mut self.state,
-                &mut self.clbits,
-                &gate,
-                &mut self.rng,
-                self.noise.as_ref(),
-            )?;
+            self.backend
+                .apply(&gate, &mut self.clbits, &mut self.rng, self.noise.as_ref())?;
             if let Some(t0) = t0 {
                 qutes_obs::record_duration("stage.simulate", t0.elapsed());
             }
-            if self.clbits[creg.bit(k)] {
-                result |= 1 << k;
-            }
+            bits.push(self.clbits[creg.bit(k)]);
         }
-        Ok(result)
+        Ok(bits)
     }
 
     /// Non-collapsing sampling of `qubits` over `shots` — used by the
     /// CLI's histogram output. A modelled readout error corrupts each
     /// sampled bit independently per shot.
     pub fn sample(&mut self, qubits: &[usize], shots: usize) -> QutesResult<Vec<(u64, usize)>> {
-        let counts = qutes_sim::measure::sample_counts(&self.state, qubits, shots, &mut self.rng)?;
+        let counts = self.backend.sample(qubits, shots, &mut self.rng)?;
         let readout = self
             .noise
             .as_ref()
@@ -235,16 +270,29 @@ impl QuantumCircuitHandler {
         &self.circuit
     }
 
-    /// The live statevector.
-    pub fn state(&self) -> &StateVector {
-        &self.state
+    /// Which engine holds the live state.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend.kind()
     }
 
-    /// Mutable access to the live statevector (used by simulator-level
-    /// oracles in ablation tests; gate-level code should go through
-    /// [`Self::apply`]).
-    pub fn state_mut(&mut self) -> &mut StateVector {
-        &mut self.state
+    /// Exact probability of measuring `|1⟩` on `qubit` in the live state
+    /// (both engines answer exactly; the tableau only ever yields 0, ½,
+    /// or 1).
+    pub fn probability_one(&mut self, qubit: usize) -> QutesResult<f64> {
+        Ok(self.backend.probability_one(qubit)?)
+    }
+
+    /// The live dense statevector, when the backend has one (`None` on
+    /// the tableau). Used by tests and simulator-level oracles;
+    /// gate-level code should go through [`Self::apply`].
+    pub fn dense_state(&self) -> Option<&StateVector> {
+        self.backend.dense_state()
+    }
+
+    /// Mutable access to the live dense statevector, when the backend
+    /// has one (see [`Self::dense_state`]).
+    pub fn dense_state_mut(&mut self) -> Option<&mut StateVector> {
+        self.backend.dense_state_mut()
     }
 
     /// The RNG (shared so the whole program run is reproducible from one
@@ -263,26 +311,31 @@ impl QuantumCircuitHandler {
         self.measurements
     }
 
-    /// Guard: errors when allocating `extra` more qubits would exceed the
-    /// simulator's capacity or the configured memory budget. Runs
+    /// Guard: errors when allocating `extra` more qubits would exceed
+    /// the live backend's capacity or the configured memory budget. Runs
     /// **before** any allocation, and the refusal is a typed error
     /// ([`SimError::TooManyQubits`] / [`CircError::ResourceLimit`]) so
     /// the supervisor can classify it as transient — never an OOM abort.
+    /// Both limits are backend-aware: the tableau admits thousands of
+    /// qubits within budgets that reject a 30-qubit dense state. Every
+    /// refusal records which backend was attempted
+    /// (`backend.refused.<name>` counter, surfaced in `--stats-json`).
     ///
     /// [`SimError::TooManyQubits`]: qutes_sim::SimError::TooManyQubits
     /// [`CircError::ResourceLimit`]: qutes_qcirc::CircError::ResourceLimit
     pub fn check_capacity(&self, extra: usize, _what: &str) -> QutesResult<()> {
         let total = self.num_qubits() + extra;
-        if total > qutes_sim::MAX_QUBITS {
+        let kind = self.backend.kind();
+        if total > kind.max_qubits() {
             // Typed (not a string `Runtime` error) so the supervisor can
             // classify it as transient and consider a degraded retry.
-            qutes_obs::counter_add("handler.capacity_refusals", 1);
+            self.record_refusal(kind);
             return Err(QutesError::Sim(qutes_sim::SimError::TooManyQubits(total)));
         }
         if let Some(budget) = self.memory_budget_bytes {
-            let required = (16u128).checked_shl(total as u32).unwrap_or(u128::MAX);
+            let required = kind.required_bytes(total);
             if required > budget as u128 {
-                qutes_obs::counter_add("handler.capacity_refusals", 1);
+                self.record_refusal(kind);
                 return Err(QutesError::Circuit(qutes_qcirc::CircError::ResourceLimit {
                     required_bytes: u64::try_from(required).unwrap_or(u64::MAX),
                     budget_bytes: budget,
@@ -290,6 +343,19 @@ impl QuantumCircuitHandler {
             }
         }
         Ok(())
+    }
+
+    /// Bumps the capacity-refusal counters, tagged with the backend that
+    /// was attempted.
+    fn record_refusal(&self, kind: BackendKind) {
+        qutes_obs::counter_add("handler.capacity_refusals", 1);
+        qutes_obs::counter_add(
+            match kind {
+                BackendKind::Statevector => "backend.refused.statevector",
+                BackendKind::Tableau => "backend.refused.tableau",
+            },
+            1,
+        );
     }
 }
 
@@ -305,10 +371,10 @@ mod tests {
         assert_eq!(a, vec![0, 1]);
         assert_eq!(b, vec![2, 3, 4]);
         assert_eq!(h.num_qubits(), 5);
-        assert_eq!(h.state().num_qubits(), 5);
+        assert_eq!(h.dense_state().unwrap().num_qubits(), 5);
         // Fresh qubits are |0>.
         for q in 0..5 {
-            assert!(h.state().probability_one(q).unwrap() < 1e-12);
+            assert!(h.probability_one(q).unwrap() < 1e-12);
         }
     }
 
@@ -317,7 +383,7 @@ mod tests {
         let mut h = QuantumCircuitHandler::new(1);
         let q = h.allocate("q", 1).unwrap();
         h.apply(Gate::X(q[0])).unwrap();
-        assert!((h.state().probability_one(q[0]).unwrap() - 1.0).abs() < 1e-12);
+        assert!((h.probability_one(q[0]).unwrap() - 1.0).abs() < 1e-12);
         assert_eq!(h.circuit().len(), 1);
     }
 
@@ -327,8 +393,8 @@ mod tests {
         let a = h.allocate("a", 1).unwrap();
         h.apply(Gate::X(a[0])).unwrap();
         let b = h.allocate("b", 1).unwrap();
-        assert!((h.state().probability_one(a[0]).unwrap() - 1.0).abs() < 1e-12);
-        assert!(h.state().probability_one(b[0]).unwrap() < 1e-12);
+        assert!((h.probability_one(a[0]).unwrap() - 1.0).abs() < 1e-12);
+        assert!(h.probability_one(b[0]).unwrap() < 1e-12);
     }
 
     #[test]
@@ -373,7 +439,7 @@ mod tests {
         assert_eq!(total, 500);
         assert_eq!(hist.len(), 2, "both outcomes present: {hist:?}");
         // State still in superposition after sampling.
-        assert!((h.state().probability_one(q[0]).unwrap() - 0.5).abs() < 1e-9);
+        assert!((h.probability_one(q[0]).unwrap() - 0.5).abs() < 1e-9);
     }
 
     #[test]
@@ -416,8 +482,65 @@ mod tests {
         let mut frag = QuantumCircuit::with_qubits(2);
         frag.h(0).unwrap().cx(0, 1).unwrap();
         h.apply_fragment(&frag).unwrap();
-        let m = h.state().marginal_probabilities(&q).unwrap();
+        let m = h.dense_state().unwrap().marginal_probabilities(&q).unwrap();
         assert!((m[0b00] - 0.5).abs() < 1e-9);
         assert!((m[0b11] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tableau_handler_runs_wide_clifford_programs() {
+        let mut h =
+            QuantumCircuitHandler::with_backend_kind(9, None, None, BackendKind::Tableau).unwrap();
+        assert_eq!(h.backend_kind(), BackendKind::Tableau);
+        assert!(h.dense_state().is_none());
+        // 100-qubit GHZ: far beyond the dense engine's MAX_QUBITS.
+        let q = h.allocate("ghz", 100).unwrap();
+        assert!(h.check_capacity(0, "x").is_ok());
+        h.apply(Gate::H(q[0])).unwrap();
+        for w in q.windows(2) {
+            h.apply(Gate::CX {
+                control: w[0],
+                target: w[1],
+            })
+            .unwrap();
+        }
+        let v = h.measure(&[q[0]]).unwrap();
+        // GHZ: every qubit agrees with the first after collapse.
+        for &qb in &q {
+            let p = h.probability_one(qb).unwrap();
+            assert!((p - v as f64).abs() < 1e-12, "qubit {qb}: p1={p}, v={v}");
+        }
+        // Re-measuring the full register reproduces the collapsed value.
+        let v2 = h.measure(&[q[0], q[99]]).unwrap();
+        assert_eq!(v2, v | (v << 1));
+    }
+
+    #[test]
+    fn tableau_handler_rejects_noise_and_non_clifford() {
+        let noisy = QuantumCircuitHandler::with_backend_kind(
+            0,
+            Some(qutes_sim::NoiseModel::depolarizing(0.1)),
+            None,
+            BackendKind::Tableau,
+        );
+        assert!(noisy.is_err());
+        let mut h =
+            QuantumCircuitHandler::with_backend_kind(0, None, None, BackendKind::Tableau).unwrap();
+        let q = h.allocate("q", 1).unwrap();
+        let err = h.apply(Gate::T(q[0])).unwrap_err();
+        assert!(err.to_string().contains("tableau"), "{err}");
+    }
+
+    #[test]
+    fn tableau_capacity_uses_tableau_limits() {
+        // A budget far too small for even a 20-qubit dense state admits
+        // hundreds of tableau qubits.
+        let h =
+            QuantumCircuitHandler::with_backend_kind(0, None, Some(1 << 20), BackendKind::Tableau)
+                .unwrap();
+        assert!(h.check_capacity(500, "wide").is_ok());
+        assert!(h
+            .check_capacity(qutes_sim::TABLEAU_MAX_QUBITS + 1, "too wide")
+            .is_err());
     }
 }

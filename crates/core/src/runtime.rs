@@ -96,6 +96,12 @@ pub struct RunConfig {
     /// Graceful-degradation policy for deadline trips and transient
     /// resource refusals.
     pub degrade: DegradePolicy,
+    /// Which simulation engine executes the program (live interpretation
+    /// *and* the shot replay). `qutes-core` has no resource estimator, so
+    /// it treats [`qutes_qcirc::BackendChoice::Auto`] as the dense statevector; the
+    /// `qutes` facade resolves `Auto` to a concrete engine from the
+    /// static gate composition before calling in (see `docs/backends.md`).
+    pub backend: qutes_qcirc::BackendChoice,
 }
 
 impl Default for RunConfig {
@@ -114,6 +120,7 @@ impl Default for RunConfig {
             time_budget: None,
             interrupt: None,
             degrade: DegradePolicy::default(),
+            backend: qutes_qcirc::BackendChoice::Auto,
         }
     }
 }
@@ -247,11 +254,17 @@ fn run_attempt(program: &Program, config: &RunConfig, intr: &Interrupt) -> Qutes
     let mut interp = Interp {
         symbols: SymbolTable::new(),
         functions,
-        handler: QuantumCircuitHandler::with_config(
+        handler: QuantumCircuitHandler::with_backend_kind(
             config.seed,
             config.noise.clone(),
             config.memory_budget_bytes,
-        ),
+            // No estimator at this layer: `Auto` means the always-sound
+            // dense engine unless the caller resolved it already.
+            match config.backend {
+                qutes_qcirc::BackendChoice::Tableau => qutes_qcirc::BackendKind::Tableau,
+                _ => qutes_qcirc::BackendKind::Statevector,
+            },
+        )?,
         output: Vec::new(),
         steps: 0,
         max_steps: config.max_steps,
@@ -284,7 +297,11 @@ fn run_attempt(program: &Program, config: &RunConfig, intr: &Interrupt) -> Qutes
             .with_seed(config.seed)
             .with_opt_level(config.opt_level)
             .with_observe(config.observe)
-            .with_interrupt(intr.clone());
+            .with_interrupt(intr.clone())
+            .with_backend(match config.backend {
+                qutes_qcirc::BackendChoice::Auto => qutes_qcirc::BackendChoice::Statevector,
+                other => other,
+            });
         if let Some(nm) = &config.noise {
             exec_cfg = exec_cfg.with_noise(nm.clone());
         }

@@ -76,6 +76,16 @@ pub enum CircError {
     /// cancellation (see `qutes_supervisor::Interrupt`). Interrupts
     /// raised inside the simulator are normalised to this variant.
     Interrupted(StopReason),
+    /// A simulation backend was asked to execute something outside its
+    /// model — e.g. a non-Clifford gate or a noise model on the
+    /// stabilizer tableau. Only reachable when the backend is forced
+    /// explicitly; auto-dispatch never selects an unsound backend.
+    BackendUnsupported {
+        /// Backend name (`"tableau"`, `"statevector"`).
+        backend: &'static str,
+        /// What the backend cannot execute.
+        what: String,
+    },
 }
 
 impl fmt::Display for CircError {
@@ -123,6 +133,13 @@ impl fmt::Display for CircError {
                 write!(f, "gate-application budget of {limit} exhausted")
             }
             CircError::Interrupted(reason) => write!(f, "{reason}"),
+            CircError::BackendUnsupported { backend, what } => {
+                write!(
+                    f,
+                    "the '{backend}' backend cannot execute {what}; use --backend auto \
+                     or statevector"
+                )
+            }
         }
     }
 }

@@ -1,13 +1,18 @@
-//! Circuit execution on the `qutes-sim` statevector backend.
+//! Circuit execution over the pluggable simulation backends (see
+//! [`mod@crate::backend`] and `docs/backends.md`).
 //!
 //! Two modes mirror how the paper's runtime uses Qiskit:
 //! * [`statevector`] — exact state of a measurement-free circuit (used by
 //!   algorithm tests and fidelity checks);
 //! * [`run_shots`] — repeated execution with measurement, producing a
-//!   [`Counts`] histogram like a Qiskit job result. When all measurements
-//!   are terminal and unconditioned, the state is simulated once and
-//!   sampled `shots` times (the standard Aer fast path); otherwise each
-//!   shot re-runs the full circuit.
+//!   [`Counts`] histogram like a Qiskit job result. Every shots entry
+//!   point first resolves a backend ([`crate::backend::resolve`]):
+//!   Clifford-only noise-free circuits run on the stabilizer tableau,
+//!   everything else on the dense statevector. On either engine, when
+//!   all measurements are terminal and unconditioned, the state is
+//!   simulated once and sampled `shots` times (the standard Aer
+//!   batched-sampling fast path); otherwise each shot re-runs the full
+//!   circuit.
 //!
 //! ```
 //! use qutes_qcirc::execute::statevector;
@@ -30,9 +35,11 @@
 //! [`run_shots_majority`], re-runs a noisy circuit in independently
 //! seeded batches and majority-votes the winning outcome.
 
+use crate::backend::{BackendChoice, BackendKind};
 use crate::circuit::QuantumCircuit;
 use crate::error::{CircError, CircResult};
 use crate::gate::Gate;
+use qutes_sim::tableau::Tableau;
 use qutes_sim::{gates, measure, NoiseModel, StateVector};
 use qutes_supervisor::{failpoint, Interrupt, StopReason};
 use rand::rngs::StdRng;
@@ -83,6 +90,12 @@ pub struct ExecutionConfig {
     /// Ctrl-C handler) stop the run from another thread; `None` gives
     /// each run a private handle. Compared by identity.
     pub interrupt: Option<Interrupt>,
+    /// Which simulation engine to use (see [`mod@crate::backend`]).
+    /// The default [`BackendChoice::Auto`] routes Clifford-only
+    /// noise-free circuits to the stabilizer tableau and everything else
+    /// to the dense statevector; forcing an unsound backend is a typed
+    /// [`CircError::BackendUnsupported`].
+    pub backend: BackendChoice,
 }
 
 impl Default for ExecutionConfig {
@@ -97,6 +110,7 @@ impl Default for ExecutionConfig {
             observe: false,
             time_budget: None,
             interrupt: None,
+            backend: BackendChoice::Auto,
         }
     }
 }
@@ -158,6 +172,12 @@ impl ExecutionConfig {
         self
     }
 
+    /// Selects the simulation backend (default [`BackendChoice::Auto`]).
+    pub fn with_backend(mut self, backend: BackendChoice) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// The interrupt handle driving this run: the attached one (or a
     /// fresh private handle), with [`ExecutionConfig::time_budget`]
     /// armed as a deadline starting now.
@@ -207,10 +227,18 @@ impl ExecutionConfig {
     /// `16 * 2^n` bytes and rejects it against the budget **without
     /// allocating anything**.
     pub fn check_memory(&self, num_qubits: usize) -> CircResult<()> {
+        self.check_memory_backend(BackendKind::Statevector, num_qubits)
+    }
+
+    /// Backend-aware pre-flight resource check: estimates the state
+    /// representation of `kind` ([`BackendKind::required_bytes`]) and
+    /// rejects it against the budget **without allocating anything** —
+    /// the same budget admits far wider circuits on the tableau.
+    pub fn check_memory_backend(&self, kind: BackendKind, num_qubits: usize) -> CircResult<()> {
         let Some(budget) = self.memory_budget_bytes else {
             return Ok(());
         };
-        let required = (16u128).checked_shl(num_qubits as u32).unwrap_or(u128::MAX);
+        let required = kind.required_bytes(num_qubits);
         if required > budget as u128 {
             return Err(CircError::ResourceLimit {
                 required_bytes: u64::try_from(required).unwrap_or(u64::MAX),
@@ -480,6 +508,198 @@ fn apply_gate_full<R: Rng + ?Sized>(
     Ok(())
 }
 
+/// Applies one instruction to a live stabilizer tableau, updating
+/// classical bits on measurement. The tableau analogue of
+/// [`apply_gate`]: same clbit bounds checks and per-gate obs counters.
+/// Non-Clifford gates are a typed [`CircError::BackendUnsupported`].
+pub fn apply_gate_tableau<R: Rng + ?Sized>(
+    tab: &mut Tableau,
+    clbits: &mut [bool],
+    g: &Gate,
+    rng: &mut R,
+) -> CircResult<()> {
+    apply_gate_tableau_full(tab, clbits, g, rng, &mut GateBudget::unlimited())
+}
+
+/// Full tableau gate application: budget accounting, obs counters, and
+/// the Gate-IR → tableau-op translation.
+fn apply_gate_tableau_full<R: Rng + ?Sized>(
+    tab: &mut Tableau,
+    clbits: &mut [bool],
+    g: &Gate,
+    rng: &mut R,
+    budget: &mut GateBudget,
+) -> CircResult<()> {
+    budget.charge()?;
+    qutes_obs::counter_add(g.counter_name(), 1);
+    match g {
+        Gate::H(q) => tab.h(*q)?,
+        Gate::X(q) => tab.x(*q)?,
+        Gate::Y(q) => tab.y(*q)?,
+        Gate::Z(q) => tab.z(*q)?,
+        Gate::S(q) => tab.s(*q)?,
+        Gate::Sdg(q) => tab.sdg(*q)?,
+        Gate::CX { control, target } => tab.cx(*control, *target)?,
+        Gate::CY { control, target } => tab.cy(*control, *target)?,
+        Gate::CZ { control, target } => tab.cz(*control, *target)?,
+        Gate::Swap { a, b } => tab.swap(*a, *b)?,
+        Gate::Measure { qubit, clbit } => {
+            check_clbit(clbits, *clbit)?;
+            clbits[*clbit] = tab.measure(*qubit, rng)?;
+        }
+        Gate::Reset(q) => {
+            tab.reset(*q, rng)?;
+        }
+        // Stabilizer states are defined up to global phase, so these are
+        // exact no-ops rather than approximations.
+        Gate::Barrier(_) | Gate::GlobalPhase(_) => {}
+        Gate::Conditional { clbit, value, gate } => {
+            check_clbit(clbits, *clbit)?;
+            if clbits[*clbit] == *value {
+                apply_gate_tableau_full(tab, clbits, gate, rng, budget)?;
+            }
+        }
+        other => {
+            return Err(CircError::BackendUnsupported {
+                backend: "tableau",
+                what: format!("non-Clifford gate '{}'", other.name()),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Runs the circuit once on a fresh tableau, returning the final
+/// classical bits. The tableau analogue of [`run_once`]'s inner loop,
+/// with the same interrupt-checkpoint stride.
+fn run_once_tableau<R: Rng + ?Sized>(
+    circuit: &QuantumCircuit,
+    rng: &mut R,
+    mut budget: GateBudget,
+    intr: &Interrupt,
+) -> CircResult<Vec<bool>> {
+    let mut tab = Tableau::new(circuit.num_qubits())?;
+    tab.set_interrupt(intr.clone());
+    let mut clbits = vec![false; circuit.num_clbits()];
+    let mut gate_ck = 0u64;
+    for g in circuit.ops() {
+        intr.checkpoint_named(
+            &mut gate_ck,
+            GATE_CHECK_STRIDE,
+            "stage.simulate.checkpoints",
+        )
+        .map_err(CircError::Interrupted)?;
+        apply_gate_tableau_full(&mut tab, &mut clbits, g, rng, &mut budget)?;
+    }
+    Ok(clbits)
+}
+
+/// Shot execution on the stabilizer tableau. Mirrors
+/// [`run_shots_full`]'s two paths: terminal measurements batch into
+/// clone-and-measure sampling of one final tableau; mid-circuit
+/// measurement/reset/conditionals re-run the circuit per shot with the
+/// same degradation semantics ([`ShotsOutcome::degraded`]).
+fn run_shots_tableau<R: Rng + ?Sized>(
+    circuit: &QuantumCircuit,
+    shots: usize,
+    rng: &mut R,
+    cfg: &ExecutionConfig,
+    intr: &Interrupt,
+    allow_partial: bool,
+) -> CircResult<ShotsOutcome> {
+    let mut map = HashMap::new();
+    qutes_obs::counter_add("sim.shots", shots as u64);
+    if measurements_are_terminal(circuit) {
+        qutes_obs::counter_add("sim.fast_path", 1);
+        qutes_obs::counter_add("backend.mode.batched", 1);
+        let mut tab = Tableau::new(circuit.num_qubits())?;
+        tab.set_interrupt(intr.clone());
+        let mut clbits = vec![false; circuit.num_clbits()];
+        let mut budget = cfg.budget();
+        let mut gate_ck = 0u64;
+        let mut meas_pairs: Vec<(usize, usize)> = Vec::new();
+        for g in circuit.ops() {
+            intr.checkpoint_named(
+                &mut gate_ck,
+                GATE_CHECK_STRIDE,
+                "stage.simulate.checkpoints",
+            )
+            .map_err(CircError::Interrupted)?;
+            if let Gate::Measure { qubit, clbit } = g {
+                check_clbit(&clbits, *clbit)?;
+                budget.charge()?;
+                meas_pairs.push((*qubit, *clbit));
+            } else {
+                apply_gate_tableau_full(&mut tab, &mut clbits, g, rng, &mut budget)?;
+            }
+        }
+        let qubits: Vec<usize> = meas_pairs.iter().map(|&(q, _)| q).collect();
+        let sampled = tab.sample(&qubits, shots, rng)?;
+        for (joint, count) in sampled {
+            // Re-scatter bit k of the joint outcome to clbit of pair k.
+            let mut key = 0usize;
+            for (k, &(_, c)) in meas_pairs.iter().enumerate() {
+                if joint >> k & 1 == 1 {
+                    key |= 1 << c;
+                }
+            }
+            *map.entry(key).or_insert(0) += count;
+        }
+    } else {
+        qutes_obs::counter_add("sim.slow_path", 1);
+        qutes_obs::counter_add("backend.mode.per_shot", 1);
+        for s in 0..shots {
+            let shot_result = intr
+                .check()
+                .map_err(CircError::Interrupted)
+                .and_then(|()| {
+                    if intr.is_armed() {
+                        qutes_obs::counter_add("stage.shots.checkpoints", 1);
+                    }
+                    failpoint("qcirc.execute.shot").map_err(|_| {
+                        CircError::Sim(qutes_sim::SimError::AllocationFailed {
+                            bytes: Tableau::required_bytes(circuit.num_qubits()),
+                        })
+                    })
+                })
+                .and_then(|()| run_once_tableau(circuit, rng, cfg.budget(), intr));
+            match shot_result {
+                Ok(clbits) => {
+                    let key = clbits
+                        .iter()
+                        .enumerate()
+                        .fold(0usize, |acc, (i, &b)| acc | ((b as usize) << i));
+                    *map.entry(key).or_insert(0) += 1;
+                }
+                Err(CircError::Interrupted(reason)) if allow_partial && s > 0 => {
+                    qutes_obs::counter_add("supervisor.degraded", 1);
+                    return Ok(ShotsOutcome {
+                        counts: Counts {
+                            map,
+                            num_clbits: circuit.num_clbits(),
+                            shots: s,
+                        },
+                        completed_shots: s,
+                        degraded: true,
+                        stop: Some(reason),
+                    });
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    Ok(ShotsOutcome {
+        counts: Counts {
+            map,
+            num_clbits: circuit.num_clbits(),
+            shots,
+        },
+        completed_shots: shots,
+        degraded: false,
+        stop: None,
+    })
+}
+
 /// Result of a single end-to-end execution.
 #[derive(Clone, Debug)]
 pub struct Shot {
@@ -615,20 +835,23 @@ pub struct ShotsOutcome {
 }
 
 /// Runs the circuit `shots` times and histograms the classical register.
+///
+/// Backend dispatch applies here too: a Clifford-only circuit runs on
+/// the stabilizer tableau, everything else on the dense statevector
+/// (the input circuit is executed as-is, with no optimizer pass).
 pub fn run_shots<R: Rng + ?Sized>(
     circuit: &QuantumCircuit,
     shots: usize,
     rng: &mut R,
 ) -> CircResult<Counts> {
-    let outcome = run_shots_full(
-        circuit,
-        shots,
-        rng,
-        None,
-        &ExecutionConfig::default(),
-        &Interrupt::new(),
-        false,
-    )?;
+    let cfg = ExecutionConfig::default();
+    let kind = crate::backend::resolve(BackendChoice::Auto, circuit, false)?;
+    qutes_obs::counter_add(kind.counter_name(), 1);
+    let intr = Interrupt::new();
+    let outcome = match kind {
+        BackendKind::Tableau => run_shots_tableau(circuit, shots, rng, &cfg, &intr, false)?,
+        BackendKind::Statevector => run_shots_full(circuit, shots, rng, None, &cfg, &intr, false)?,
+    };
     Ok(outcome.counts)
 }
 
@@ -665,19 +888,34 @@ fn run_shots_entry(
     let intr = cfg.effective_interrupt();
     intr.check().map_err(CircError::Interrupted)?;
     cfg.validate()?;
-    cfg.check_memory(circuit.num_qubits())?;
-    let circuit = cfg.optimized(circuit, &intr)?;
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let _span = qutes_obs::span("stage.simulate");
-    run_shots_full(
-        &circuit,
-        cfg.shots,
-        &mut rng,
-        cfg.effective_noise(),
-        cfg,
-        &intr,
-        allow_partial,
-    )
+    let kind = crate::backend::resolve(cfg.backend, circuit, cfg.effective_noise().is_some())?;
+    qutes_obs::counter_add(kind.counter_name(), 1);
+    cfg.check_memory_backend(kind, circuit.num_qubits())?;
+    match kind {
+        BackendKind::Tableau => {
+            // The optimizer targets dense kernels (it may fuse Clifford
+            // runs into float `Unitary` matrices), so the tableau
+            // executes the raw circuit; gate budgets are charged against
+            // it directly.
+            let mut rng = StdRng::seed_from_u64(cfg.seed);
+            let _span = qutes_obs::span("stage.simulate");
+            run_shots_tableau(circuit, cfg.shots, &mut rng, cfg, &intr, allow_partial)
+        }
+        BackendKind::Statevector => {
+            let circuit = cfg.optimized(circuit, &intr)?;
+            let mut rng = StdRng::seed_from_u64(cfg.seed);
+            let _span = qutes_obs::span("stage.simulate");
+            run_shots_full(
+                &circuit,
+                cfg.shots,
+                &mut rng,
+                cfg.effective_noise(),
+                cfg,
+                &intr,
+                allow_partial,
+            )
+        }
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -694,6 +932,7 @@ fn run_shots_full<R: Rng + ?Sized>(
     qutes_obs::counter_add("sim.shots", shots as u64);
     if noise.is_none() && measurements_are_terminal(circuit) {
         qutes_obs::counter_add("sim.fast_path", 1);
+        qutes_obs::counter_add("backend.mode.batched", 1);
         // Fast path: simulate the unitary prefix once, then sample. The
         // single simulation is all-or-nothing, so no partial outcome is
         // possible here; interrupts surface as errors.
@@ -732,6 +971,7 @@ fn run_shots_full<R: Rng + ?Sized>(
         }
     } else {
         qutes_obs::counter_add("sim.slow_path", 1);
+        qutes_obs::counter_add("backend.mode.per_shot", 1);
         for s in 0..shots {
             let shot_result = intr
                 .check()

@@ -351,6 +351,39 @@ impl Gate {
         }
     }
 
+    /// True when the instruction is expressible in the stabilizer
+    /// formalism, i.e. executable on the Clifford tableau backend: the
+    /// Clifford group generators and compositions (H, S, S†, X, Y, Z,
+    /// CX, CY, CZ, SWAP), plus measurement, reset, barriers, global
+    /// phase, and conditionals whose body is itself Clifford.
+    ///
+    /// Deliberately conservative: gates that are Clifford only for
+    /// special parameter values (`Phase(±π/2)`, fused `Unitary` products
+    /// of Cliffords, SX up to global phase) report `false`, so a `true`
+    /// answer is always a soundness guarantee, never a numeric judgement
+    /// on floats.
+    pub fn is_clifford(&self) -> bool {
+        use Gate::*;
+        match self {
+            H(_)
+            | X(_)
+            | Y(_)
+            | Z(_)
+            | S(_)
+            | Sdg(_)
+            | CX { .. }
+            | CY { .. }
+            | CZ { .. }
+            | Swap { .. }
+            | Measure { .. }
+            | Reset(_)
+            | Barrier(_)
+            | GlobalPhase(_) => true,
+            Conditional { gate, .. } => gate.is_clifford(),
+            _ => false,
+        }
+    }
+
     /// True for instructions with a unitary action (everything except
     /// measurement, reset and barriers).
     pub fn is_unitary(&self) -> bool {

@@ -24,6 +24,7 @@
 // Failures surface as `CircError`, never abort: the unwrap/expect/panic
 // clippy denies come from `[workspace.lints]` in the root Cargo.toml.
 
+pub mod backend;
 pub mod circuit;
 pub mod decompose;
 pub mod draw;
@@ -34,6 +35,9 @@ pub mod metrics;
 pub mod optimize;
 pub mod register;
 
+pub use backend::{
+    circuit_is_clifford, Backend, BackendChoice, BackendKind, StatevectorBackend, TableauBackend,
+};
 pub use circuit::{remap_gate, QuantumCircuit};
 pub use decompose::{
     lower_gate_to_standard, mcphase_no_ancilla, mcx_no_ancilla, mcx_vchain, transpile, Basis,

@@ -1,0 +1,227 @@
+//! Backend-equivalence suite (see `docs/backends.md`): the stabilizer
+//! tableau and the dense statevector must be observationally
+//! indistinguishable on the circuits both can execute, and the batched
+//! sampling mode must agree with per-shot re-execution.
+//!
+//! * Random Clifford circuits: forced-tableau and forced-statevector
+//!   histograms agree outcome-by-outcome within statistical tolerance.
+//! * Deterministic noise-free programs: batched and per-shot histograms
+//!   are *exactly* equal at the same seed (every shot lands on the one
+//!   possible outcome). For programs with genuinely random outcomes the
+//!   two modes consume the RNG stream differently, so agreement there
+//!   is statistical — the caveat is documented in `docs/backends.md`.
+//! * `Auto` on a non-Clifford circuit is bit-for-bit the statevector:
+//!   dispatch must never perturb existing histograms.
+
+// Circuit-builder helpers sit outside `#[test]` fns, where clippy's
+// `allow-unwrap-in-tests` does not reach.
+#![allow(clippy::unwrap_used)]
+
+use qutes_qcirc::execute::run_shots_cfg;
+use qutes_qcirc::{BackendChoice, ExecutionConfig, Gate, QuantumCircuit};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn cfg(backend: BackendChoice, seed: u64, shots: usize) -> ExecutionConfig {
+    ExecutionConfig::default()
+        .with_shots(shots)
+        .with_seed(seed)
+        .with_backend(backend)
+}
+
+/// A seeded random Clifford circuit on `n` qubits with terminal
+/// measurement of every qubit.
+fn random_clifford(n: usize, gates: usize, seed: u64) -> QuantumCircuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = QuantumCircuit::with_qubits_and_clbits(n, n);
+    for _ in 0..gates {
+        let q = rng.random_range(0..n);
+        match rng.random_range(0..9) {
+            0 => c.h(q).unwrap(),
+            1 => c.s(q).unwrap(),
+            2 => c.sdg(q).unwrap(),
+            3 => c.x(q).unwrap(),
+            4 => c.y(q).unwrap(),
+            5 => c.z(q).unwrap(),
+            _ => {
+                let mut t = rng.random_range(0..n);
+                if t == q {
+                    t = (t + 1) % n;
+                }
+                match rng.random_range(0..3) {
+                    0 => c.cx(q, t).unwrap(),
+                    1 => c.cz(q, t).unwrap(),
+                    _ => c.swap(q, t).unwrap(),
+                }
+            }
+        };
+    }
+    for q in 0..n {
+        c.measure(q, q).unwrap();
+    }
+    c
+}
+
+#[test]
+fn random_clifford_circuits_agree_across_backends() {
+    const SHOTS: usize = 4096;
+    for seed in 0..8u64 {
+        let n = 3 + (seed as usize % 3);
+        let c = random_clifford(n, 25, 1000 + seed);
+        let sv = run_shots_cfg(&c, &cfg(BackendChoice::Statevector, seed, SHOTS)).unwrap();
+        let tb = run_shots_cfg(&c, &cfg(BackendChoice::Tableau, seed, SHOTS)).unwrap();
+        assert_eq!(sv.shots(), SHOTS);
+        assert_eq!(tb.shots(), SHOTS);
+        // Outcome-by-outcome frequency agreement. Stabilizer-state joint
+        // outcome probabilities are k/2^m, so 5% absolute tolerance at
+        // 4096 shots is ~6 sigma — loose enough to be stable, tight
+        // enough to catch any phase/support bug.
+        for key in 0..(1usize << n) {
+            let (fs, ft) = (sv.frequency(key), tb.frequency(key));
+            assert!(
+                (fs - ft).abs() < 0.05,
+                "seed {seed}, outcome {key:0n$b}: statevector {fs:.4} vs tableau {ft:.4}"
+            );
+            // Support must match exactly: an outcome one backend can
+            // produce, the other must too (both are exact simulators).
+            assert_eq!(
+                sv.get(key) > 0,
+                tb.get(key) > 0,
+                "seed {seed}, outcome {key:0n$b}: support mismatch \
+                 (sv={}, tb={})",
+                sv.get(key),
+                tb.get(key)
+            );
+        }
+    }
+}
+
+/// Batched vs per-shot forms of the same deterministic program: the
+/// per-shot variant appends a gate on an already-measured qubit, which
+/// (by construction) cannot change any recorded outcome but forces the
+/// executor off the batched fast path.
+#[test]
+fn batched_and_per_shot_agree_exactly_on_deterministic_programs() {
+    for backend in [BackendChoice::Statevector, BackendChoice::Tableau] {
+        let mut batched = QuantumCircuit::with_qubits_and_clbits(3, 3);
+        batched.x(0).unwrap().x(2).unwrap();
+        for q in 0..3 {
+            batched.measure(q, q).unwrap();
+        }
+        let mut per_shot = batched.clone();
+        per_shot.x(0).unwrap(); // touches a measured qubit -> per-shot
+
+        let b = run_shots_cfg(&batched, &cfg(backend, 11, 256)).unwrap();
+        let p = run_shots_cfg(&per_shot, &cfg(backend, 11, 256)).unwrap();
+        for key in 0..8 {
+            assert_eq!(
+                b.get(key),
+                p.get(key),
+                "{backend}: batched vs per-shot diverged on outcome {key:03b}"
+            );
+        }
+        assert_eq!(b.get(0b101), 256, "{backend}: deterministic outcome");
+    }
+}
+
+#[test]
+fn batched_and_per_shot_agree_statistically_on_random_programs() {
+    const SHOTS: usize = 4096;
+    for backend in [BackendChoice::Statevector, BackendChoice::Tableau] {
+        let mut batched = QuantumCircuit::with_qubits_and_clbits(2, 2);
+        batched.h(0).unwrap().cx(0, 1).unwrap();
+        batched.measure(0, 0).unwrap().measure(1, 1).unwrap();
+        let mut per_shot = batched.clone();
+        per_shot.x(0).unwrap(); // post-measurement: forces per-shot mode
+
+        let b = run_shots_cfg(&batched, &cfg(backend, 5, SHOTS)).unwrap();
+        let p = run_shots_cfg(&per_shot, &cfg(backend, 5, SHOTS)).unwrap();
+        for key in [0b00, 0b11] {
+            assert!(
+                (b.frequency(key) - 0.5).abs() < 0.05,
+                "{backend}: batched Bell frequency off"
+            );
+            assert!(
+                (p.frequency(key) - 0.5).abs() < 0.05,
+                "{backend}: per-shot Bell frequency off"
+            );
+        }
+        assert_eq!(b.get(0b01) + b.get(0b10), 0, "{backend}: phantom support");
+        assert_eq!(p.get(0b01) + p.get(0b10), 0, "{backend}: phantom support");
+    }
+}
+
+/// Dispatch must never perturb statevector results: `Auto` on a
+/// non-Clifford circuit reproduces the forced-statevector histogram
+/// bit-for-bit at the same seed.
+#[test]
+fn auto_on_non_clifford_matches_statevector_bit_for_bit() {
+    let mut c = QuantumCircuit::with_qubits_and_clbits(3, 3);
+    c.h(0).unwrap().t(0).unwrap().cx(0, 1).unwrap();
+    c.rz(0.37, 2).unwrap().h(2).unwrap();
+    for q in 0..3 {
+        c.measure(q, q).unwrap();
+    }
+    for seed in [0u64, 7, 42] {
+        let auto = run_shots_cfg(&c, &cfg(BackendChoice::Auto, seed, 512)).unwrap();
+        let sv = run_shots_cfg(&c, &cfg(BackendChoice::Statevector, seed, 512)).unwrap();
+        for key in 0..8 {
+            assert_eq!(auto.get(key), sv.get(key), "seed {seed}, outcome {key:03b}");
+        }
+    }
+}
+
+/// Auto on a Clifford-only circuit picks the tableau and still yields a
+/// correct distribution (GHZ: only all-zeros / all-ones).
+#[test]
+fn auto_on_clifford_runs_on_tableau_with_correct_support() {
+    let n = 12;
+    let mut c = QuantumCircuit::with_qubits_and_clbits(n, n);
+    c.h(0).unwrap();
+    for q in 1..n {
+        c.cx(q - 1, q).unwrap();
+    }
+    for q in 0..n {
+        c.measure(q, q).unwrap();
+    }
+    let counts = run_shots_cfg(&c, &cfg(BackendChoice::Auto, 3, 2048)).unwrap();
+    let all_ones = (1 << n) - 1;
+    assert_eq!(counts.get(0) + counts.get(all_ones), 2048);
+    assert!(counts.get(0) > 700 && counts.get(all_ones) > 700);
+}
+
+/// Teleportation is Clifford (including its classically-conditioned
+/// corrections): the tableau must reproduce it exactly. Conditional
+/// gates force per-shot mode on both engines.
+#[test]
+fn teleportation_works_on_both_backends() {
+    // msg = |1>; entangle (alice, bob); Bell-measure (msg, alice);
+    // conditionally correct bob; measure bob -> always 1.
+    let mut c = QuantumCircuit::with_qubits_and_clbits(3, 3);
+    c.x(0).unwrap(); // message |1>
+    c.h(1).unwrap().cx(1, 2).unwrap(); // Bell pair (alice, bob)
+    c.cx(0, 1).unwrap().h(0).unwrap(); // Bell basis rotation
+    c.measure(0, 0).unwrap().measure(1, 1).unwrap();
+    c.append(Gate::Conditional {
+        clbit: 1,
+        value: true,
+        gate: Box::new(Gate::X(2)),
+    })
+    .unwrap();
+    c.append(Gate::Conditional {
+        clbit: 0,
+        value: true,
+        gate: Box::new(Gate::Z(2)),
+    })
+    .unwrap();
+    c.measure(2, 2).unwrap();
+    for backend in [BackendChoice::Statevector, BackendChoice::Tableau] {
+        let counts = run_shots_cfg(&c, &cfg(backend, 21, 128)).unwrap();
+        let teleported: usize = counts
+            .iter()
+            .filter(|(k, _)| k & 0b100 != 0)
+            .map(|(_, c)| c)
+            .sum();
+        assert_eq!(teleported, 128, "{backend}: bob must always measure |1>");
+    }
+}

@@ -7,7 +7,7 @@
 #![allow(clippy::unwrap_used)]
 
 use qutes_qcirc::execute::{run_once_cfg, run_shots_cfg, run_shots_majority};
-use qutes_qcirc::{CircError, Counts, ExecutionConfig, Gate, QuantumCircuit};
+use qutes_qcirc::{BackendChoice, CircError, Counts, ExecutionConfig, Gate, QuantumCircuit};
 use qutes_sim::NoiseModel;
 
 /// Bell pair with terminal measurements — eligible for the fast path.
@@ -120,10 +120,14 @@ fn readout_error_alone_flips_deterministic_outcome() {
 
 #[test]
 fn memory_budget_rejects_before_allocating() {
-    // 20 qubits want 16 MiB; a 1 KiB budget must fail pre-flight with a
-    // typed error carrying both numbers.
+    // 20 qubits want 16 MiB dense; a 1 KiB budget must fail pre-flight
+    // with a typed error carrying both numbers. Forced to the
+    // statevector: auto-dispatch would route this (trivially Clifford)
+    // circuit to the tableau, which fits the budget — covered below.
     let c = QuantumCircuit::with_qubits(20);
-    let cfg = ExecutionConfig::default().with_memory_budget(1024);
+    let cfg = ExecutionConfig::default()
+        .with_memory_budget(1024)
+        .with_backend(BackendChoice::Statevector);
     match run_shots_cfg(&c, &cfg) {
         Err(CircError::ResourceLimit {
             required_bytes,
@@ -135,6 +139,20 @@ fn memory_budget_rejects_before_allocating() {
         other => panic!("expected ResourceLimit, got {other:?}"),
     }
     assert!(run_once_cfg(&c, &cfg).is_err());
+}
+
+#[test]
+fn memory_budget_admits_wide_clifford_circuits_via_tableau() {
+    // The same 1 KiB budget that rejects a 20-qubit dense state admits
+    // the circuit under auto-dispatch: the tableau needs only O(n²) bits.
+    let mut c = QuantumCircuit::with_qubits_and_clbits(20, 1);
+    c.h(0).unwrap();
+    c.measure(0, 0).unwrap();
+    let cfg = ExecutionConfig::default()
+        .with_shots(16)
+        .with_memory_budget(1024);
+    let counts = run_shots_cfg(&c, &cfg).unwrap();
+    assert_eq!(counts.shots(), 16);
 }
 
 #[test]
@@ -170,7 +188,32 @@ fn gate_budget_exhaustion_is_typed() {
 #[test]
 fn gate_budget_counts_post_optimization_gates() {
     // 100 self-cancelling X gates cost nothing once the optimizer has
-    // run: the budget meters the circuit actually executed.
+    // run: the budget meters the circuit actually executed. Forced to
+    // the statevector — the tableau executes the raw stream (the
+    // optimizer targets dense kernels), asserted separately below.
+    let mut c = QuantumCircuit::with_qubits_and_clbits(1, 1);
+    for _ in 0..100 {
+        c.x(0).unwrap();
+    }
+    c.measure(0, 0).unwrap();
+    let tight = ExecutionConfig::default()
+        .with_shots(4)
+        .with_max_gate_applications(10)
+        .with_backend(BackendChoice::Statevector);
+    for level in [1u8, 2] {
+        let counts = run_shots_cfg(&c, &tight.clone().with_opt_level(level)).unwrap();
+        assert_eq!(counts.get(0), 4, "level {level}");
+    }
+    // The same budget at level 0 is exhausted by the raw stream.
+    assert!(run_shots_cfg(&c, &tight.clone().with_opt_level(0)).is_err());
+    assert!(run_once_cfg(&c, &tight.with_opt_level(0)).is_err());
+}
+
+#[test]
+fn gate_budget_meters_raw_stream_on_tableau() {
+    // Under auto-dispatch the same Clifford circuit runs on the tableau,
+    // which executes the raw (unoptimized) stream: a 10-gate budget is
+    // exhausted at every opt level, and a roomy one succeeds.
     let mut c = QuantumCircuit::with_qubits_and_clbits(1, 1);
     for _ in 0..100 {
         c.x(0).unwrap();
@@ -179,13 +222,14 @@ fn gate_budget_counts_post_optimization_gates() {
     let tight = ExecutionConfig::default()
         .with_shots(4)
         .with_max_gate_applications(10);
-    for level in [1u8, 2] {
-        let counts = run_shots_cfg(&c, &tight.clone().with_opt_level(level)).unwrap();
-        assert_eq!(counts.get(0), 4, "level {level}");
+    for level in [0u8, 1, 2] {
+        match run_shots_cfg(&c, &tight.clone().with_opt_level(level)) {
+            Err(CircError::BudgetExhausted { limit }) => assert_eq!(limit, 10),
+            other => panic!("level {level}: expected BudgetExhausted, got {other:?}"),
+        }
     }
-    // The same budget at level 0 is exhausted by the raw stream.
-    assert!(run_shots_cfg(&c, &tight.clone().with_opt_level(0)).is_err());
-    assert!(run_once_cfg(&c, &tight.with_opt_level(0)).is_err());
+    let counts = run_shots_cfg(&c, &tight.with_max_gate_applications(200)).unwrap();
+    assert_eq!(counts.get(0), 4);
 }
 
 #[test]

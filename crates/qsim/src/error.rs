@@ -56,7 +56,7 @@ impl fmt::Display for SimError {
             }
             SimError::InvalidState(msg) => write!(f, "invalid state: {msg}"),
             SimError::TooManyQubits(n) => {
-                write!(f, "cannot simulate {n} qubits with a dense statevector")
+                write!(f, "cannot simulate {n} qubits on the selected backend")
             }
             SimError::AllocationFailed { bytes } => {
                 write!(f, "cannot allocate {bytes} bytes for the statevector")

@@ -31,10 +31,10 @@ import sys
 BASELINE_DIR = "bench/baselines"
 FRESH_DIR = "crates/bench"
 # Deterministic counters: gate mix, optimizer decisions, simulator and
-# noise-engine event counts, and kernel invocation counts. The
-# kernel.dispatch.* serial/parallel split depends on the runner's core
-# count, so it is excluded.
-COUNTER_RE = re.compile(r"^(gate|opt|sim|noise)\.|^kernel\.(?!dispatch\.)")
+# noise-engine event counts, backend dispatch decisions, and kernel
+# invocation counts. The kernel.dispatch.* serial/parallel split depends
+# on the runner's core count, so it is excluded.
+COUNTER_RE = re.compile(r"^(gate|opt|sim|noise|backend)\.|^kernel\.(?!dispatch\.)")
 DRIFT_RATIO = 1.25
 
 failures = []

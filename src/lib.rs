@@ -59,12 +59,49 @@ pub use qutes_supervisor::{Interrupt, StopReason};
 ///   to deny level (see [`qutes_core::LintOptions`]) refuses execution
 ///   with a [`QutesError::Compile`] carrying the findings as
 ///   diagnostics, and
+/// * when `config.backend` is [`qcirc::BackendChoice::Auto`] the
+///   resource estimator's static gate composition resolves it to a
+///   concrete engine before execution ([`resolve_backend`]):
+///   Clifford-only programs run on the stabilizer tableau (hundreds of
+///   qubits), everything else on the dense statevector — `qutes-core`
+///   alone has no estimator and treats `Auto` as the statevector, and
 /// * the whole pipeline runs inside a panic-containment boundary
 ///   ([`qutes_supervisor::contain`]): a panic anywhere in the stack
 ///   surfaces as a typed [`QutesError::Internal`] naming the active
 ///   stage, never an unwind across the library API.
 pub fn run_source(source: &str, config: &RunConfig) -> QutesResult<RunOutcome> {
     qutes_supervisor::contain(|| run_source_inner(source, config)).map_err(QutesError::from)?
+}
+
+/// Resolves [`qcirc::BackendChoice::Auto`] to a concrete engine from the
+/// program's statically estimated gate composition (see
+/// `docs/backends.md` for the decision table):
+///
+/// * estimator proves the program Clifford-only
+///   ([`analysis::ResourceEstimate::clifford_only`]), no noise model is
+///   configured, and the estimated width fits the tableau → **tableau**;
+/// * otherwise → **statevector** (always sound).
+///
+/// Non-`Auto` choices pass through untouched — a forced `--backend
+/// tableau` on an unsupported program fails later with the typed
+/// [`qcirc::CircError::BackendUnsupported`] rather than being silently
+/// rewritten. A program that fails to parse also passes through: the
+/// runtime will report the parse error itself, with its proper span.
+pub fn resolve_backend(source: &str, config: &RunConfig) -> qcirc::BackendChoice {
+    if config.backend != qcirc::BackendChoice::Auto {
+        return config.backend;
+    }
+    let _span = obs::span("stage.dispatch");
+    let noisy = config.noise.as_ref().is_some_and(|nm| !nm.is_noiseless());
+    let est = match parse(source) {
+        Ok(program) => analysis::estimate(&program),
+        Err(_) => return qcirc::BackendChoice::Statevector,
+    };
+    if est.clifford_only && !noisy && est.qubits <= sim::TABLEAU_MAX_QUBITS {
+        qcirc::BackendChoice::Tableau
+    } else {
+        qcirc::BackendChoice::Statevector
+    }
 }
 
 fn run_source_inner(source: &str, config: &RunConfig) -> QutesResult<RunOutcome> {
@@ -78,6 +115,16 @@ fn run_source_inner(source: &str, config: &RunConfig) -> QutesResult<RunOutcome>
             ));
         }
     }
+    let resolved = {
+        let _stage = qutes_supervisor::enter_stage("facade.dispatch");
+        resolve_backend(source, config)
+    };
     let _stage = qutes_supervisor::enter_stage("facade.run");
-    qutes_core::run_source(source, config)
+    if resolved == config.backend {
+        qutes_core::run_source(source, config)
+    } else {
+        let mut config = config.clone();
+        config.backend = resolved;
+        qutes_core::run_source(source, &config)
+    }
 }
