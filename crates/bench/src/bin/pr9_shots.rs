@@ -1,0 +1,140 @@
+//! PR 9 shot-engine trajectory harness.
+//!
+//! Measures the two workloads behind the parallel shot engine and
+//! prints the complete `BENCH_pr9_shots.json` document to stdout, so
+//! the committed artifact at the repo root can be refreshed from one
+//! reproducible run:
+//!
+//! ```text
+//! cargo run --release -p qutes-bench --bin pr9_shots > BENCH_pr9_shots.json
+//! ```
+//!
+//! Sections:
+//!
+//! * `noisy_grover16_1024` — Grover at 16 qubits under depolarizing
+//!   noise, 1024 shots, replayed serially and on a 4-worker pool. The
+//!   histograms are asserted **bit-for-bit identical** before any
+//!   timing is reported; wall-clock scaling is recorded alongside the
+//!   host's `available_parallelism`, because a pool cannot beat the
+//!   serial loop on a single-core runner no matter how correct it is.
+//! * `tableau_ghz100_sampling` — 100-qubit GHZ chain sampled through
+//!   the ranked-stabilizer sampler (row-reduce once, `O(rank)` coins
+//!   per shot) versus a clone-per-shot reference doing the full
+//!   measurement cascade on a private tableau copy each shot. This win
+//!   is algorithmic and shows up on any machine.
+
+use qutes_algos::grover::{grover_circuit, mark_states_oracle};
+use qutes_qcirc::execute::run_shots_cfg;
+use qutes_qcirc::{ExecutionConfig, QuantumCircuit};
+use qutes_sim::{NoiseModel, Tableau};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn grover(n: usize) -> QuantumCircuit {
+    let qubits: Vec<usize> = (0..n).collect();
+    let oracle = mark_states_oracle(n, &qubits, &[1]).unwrap();
+    grover_circuit(n, &qubits, &oracle, 1).unwrap()
+}
+
+fn ghz_tableau(n: usize) -> Tableau {
+    let mut t = Tableau::new(n).unwrap();
+    t.h(0).unwrap();
+    for q in 1..n {
+        t.cx(q - 1, q).unwrap();
+    }
+    t
+}
+
+fn ms(from: Instant) -> f64 {
+    (from.elapsed().as_secs_f64() * 1e5).round() / 100.0
+}
+
+fn main() {
+    let host_parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // --- Section 1: noisy 16q Grover, 1024 shots, serial vs 4 workers.
+    let circuit = grover(16);
+    let cfg = |threads: usize| {
+        ExecutionConfig::default()
+            .with_shots(1024)
+            .with_seed(7)
+            .with_noise(NoiseModel::depolarizing(0.005))
+            .with_shot_threads(threads)
+    };
+    // Warm-up (page in the binary and the statevector buffers).
+    run_shots_cfg(&circuit, &cfg(1).with_shots(8)).unwrap();
+
+    let t0 = Instant::now();
+    let serial = run_shots_cfg(&circuit, &cfg(1)).unwrap();
+    let serial_ms = ms(t0);
+
+    let t0 = Instant::now();
+    let pooled = run_shots_cfg(&circuit, &cfg(4)).unwrap();
+    let threads4_ms = ms(t0);
+
+    let identical = serial.sorted() == pooled.sorted();
+    assert!(identical, "pool diverged from serial — determinism bug");
+    let speedup = ((serial_ms / threads4_ms) * 100.0).round() / 100.0;
+
+    // --- Section 2: ranked sampling vs clone-per-shot on 100q GHZ.
+    let tableau = ghz_tableau(100);
+    let qubits: Vec<usize> = vec![0, 50, 99];
+
+    let ranked_shots = 100_000usize;
+    let mut rng = StdRng::seed_from_u64(7);
+    let t0 = Instant::now();
+    let ranked = tableau.sample(&qubits, ranked_shots, &mut rng).unwrap();
+    let ranked_ms = ms(t0);
+    assert_eq!(ranked.values().sum::<usize>(), ranked_shots);
+
+    // Clone-per-shot reference (the pre-PR sampler's cost shape): fewer
+    // shots, normalised to per-shot time below.
+    let reference_shots = 10_000usize;
+    let mut rng = StdRng::seed_from_u64(7);
+    let t0 = Instant::now();
+    for _ in 0..reference_shots {
+        let mut copy = tableau.clone();
+        for &q in &qubits {
+            let _ = copy.measure(q, &mut rng).unwrap();
+        }
+    }
+    let reference_ms = ms(t0);
+
+    let ranked_ns_per_shot = (ranked_ms * 1e6 / ranked_shots as f64).round();
+    let reference_ns_per_shot = (reference_ms * 1e6 / reference_shots as f64).round();
+    let sampler_speedup = ((reference_ns_per_shot / ranked_ns_per_shot) * 10.0).round() / 10.0;
+
+    println!(
+        r#"{{
+  "bench": "pr9_shots",
+  "version": 1,
+  "command": "cargo run --release -p qutes-bench --bin pr9_shots > BENCH_pr9_shots.json",
+  "description": "Shot-engine trajectory for the PR 9 parallel Monte-Carlo replay: worker-pool per-shot paths with counter-derived RNG streams, and the ranked-stabilizer tableau sampler. Histograms are asserted bit-for-bit identical across pool sizes before timing. Wall-clock pool scaling is only meaningful relative to host_parallelism: on a single-core runner the 4-worker row measures pool overhead, not speedup (see docs/performance.md, Shot parallelism).",
+  "host_parallelism": {host_parallelism},
+  "sections": {{
+    "noisy_grover16_1024": {{
+      "workload": "grover 16q, depolarizing 0.005, 1024 shots, opt_level 1",
+      "serial_ms": {serial_ms},
+      "threads4_ms": {threads4_ms},
+      "speedup_threads4": {speedup},
+      "histograms_identical": {identical},
+      "target_speedup_on_4_cores": 1.8
+    }},
+    "tableau_ghz100_sampling": {{
+      "workload": "GHZ 100q, sample qubits [0, 50, 99]",
+      "ranked_shots": {ranked_shots},
+      "ranked_ms": {ranked_ms},
+      "ranked_ns_per_shot": {ranked_ns_per_shot},
+      "reference_shots": {reference_shots},
+      "reference_ms": {reference_ms},
+      "reference_ns_per_shot": {reference_ns_per_shot},
+      "sampler_speedup": {sampler_speedup},
+      "note": "reference clones the tableau and runs the full measurement cascade per shot (the pre-PR sampler); ranked row-reduces once and replays O(rank) coins per shot"
+    }}
+  }}
+}}"#
+    );
+}

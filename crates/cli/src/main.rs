@@ -2,10 +2,10 @@
 //!
 //! ```text
 //! qutes run   <file.qut> [--seed N] [--max-steps N] [--stats] [--draw]
-//!             [--noise P] [--readout-error P] [--shots N] [--mem-budget BYTES]
-//!             [--opt-level N] [--time-budget MS] [--backend NAME] [--trace]
-//!             [--profile] [--stats-json PATH] [--lint] [-W ID] [-A ID]
-//!             [--deny-warnings]
+//!             [--noise P] [--readout-error P] [--shots N] [--shot-threads N]
+//!             [--mem-budget BYTES] [--opt-level N] [--time-budget MS]
+//!             [--backend NAME] [--trace] [--profile] [--stats-json PATH]
+//!             [--lint] [-W ID] [-A ID] [--deny-warnings]
 //! qutes lint  <file.qut> [-W ID] [-A ID] [--deny-warnings] [--lint-json]
 //! qutes check <file.qut>
 //! qutes fmt   <file.qut>
@@ -23,7 +23,11 @@
 //! circuit is additionally replayed `N` times under the same model and
 //! the outcome histogram printed. `--mem-budget` caps the dense
 //! statevector allocation (`16 * 2^n` bytes) with a clean error instead
-//! of an OOM. `--backend {auto,statevector,tableau}` selects the
+//! of an OOM. `--shot-threads N` sizes the worker pool for the
+//! per-shot replay paths (`0` = auto from the host's available
+//! parallelism, `1` = serial; histograms are bit-for-bit identical at
+//! every value — see `docs/performance.md`).
+//! `--backend {auto,statevector,tableau}` selects the
 //! simulation engine (default `auto`: the resource estimator routes
 //! Clifford-only noise-free programs onto the stabilizer tableau, which
 //! scales to hundreds of qubits, and everything else onto the dense
@@ -67,10 +71,10 @@ use std::time::Duration;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  qutes run   <file.qut> [--seed N] [--max-steps N] [--stats] [--draw]\n              \
-         [--noise P] [--readout-error P] [--shots N] [--mem-budget BYTES]\n              \
-         [--opt-level N] [--time-budget MS] [--backend NAME] [--trace]\n              \
-         [--profile] [--stats-json PATH] [--lint] [-W ID] [-A ID]\n              \
-         [--deny-warnings]\n  \
+         [--noise P] [--readout-error P] [--shots N] [--shot-threads N]\n              \
+         [--mem-budget BYTES] [--opt-level N] [--time-budget MS]\n              \
+         [--backend NAME] [--trace] [--profile] [--stats-json PATH]\n              \
+         [--lint] [-W ID] [-A ID] [--deny-warnings]\n  \
          qutes lint  <file.qut> [-W ID] [-A ID] [--deny-warnings] [--lint-json]\n  \
          qutes check <file.qut>\n  qutes fmt   <file.qut>\n  \
          qutes qasm  <file.qut> [--v3] [--seed N] [--time-budget MS] [-o out.qasm]"
@@ -89,6 +93,7 @@ struct Args {
     noise: f64,
     readout_error: f64,
     shots: usize,
+    shot_threads: usize,
     mem_budget: Option<u64>,
     opt_level: u8,
     time_budget_ms: Option<u64>,
@@ -122,6 +127,7 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
         noise: 0.0,
         readout_error: 0.0,
         shots: 0,
+        shot_threads: 0,
         mem_budget: None,
         opt_level: 1,
         time_budget_ms: None,
@@ -172,6 +178,13 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
                     .ok_or("--shots needs a value")?
                     .parse()
                     .map_err(|_| "--shots needs an integer")?;
+            }
+            "--shot-threads" => {
+                args.shot_threads = it
+                    .next()
+                    .ok_or("--shot-threads needs a value")?
+                    .parse()
+                    .map_err(|_| "--shot-threads needs an integer (0 = auto)")?;
             }
             "--mem-budget" => {
                 args.mem_budget = Some(
@@ -382,6 +395,7 @@ fn main() -> ExitCode {
                 max_steps: args.max_steps,
                 noise: noise_from_args(&args),
                 shots: args.shots,
+                shot_threads: args.shot_threads,
                 memory_budget_bytes: args.mem_budget,
                 opt_level: args.opt_level,
                 observe: args.observing(),
@@ -447,8 +461,17 @@ fn main() -> ExitCode {
                     if args.stats {
                         let stats = out.circuit.stats();
                         eprintln!(
-                            "[stats] backend={} qubits={} measurements={} ops={} depth={}",
-                            cfg.backend, out.qubits_used, out.measurements, stats.size, stats.depth
+                            "[stats] backend={} qubits={} measurements={} ops={} depth={} \
+                             shot_threads={}",
+                            cfg.backend,
+                            out.qubits_used,
+                            out.measurements,
+                            stats.size,
+                            stats.depth,
+                            qutes_qcirc::execute::shot_pool::resolve_workers(
+                                args.shot_threads,
+                                args.shots
+                            )
                         );
                         match qutes_qcirc::optimize(&out.circuit, args.opt_level) {
                             Ok((_, r)) => eprintln!(

@@ -102,6 +102,12 @@ pub struct RunConfig {
     /// `qutes` facade resolves `Auto` to a concrete engine from the
     /// static gate composition before calling in (see `docs/backends.md`).
     pub backend: qutes_qcirc::BackendChoice,
+    /// Worker threads for the per-shot replay paths (`0` = auto-size
+    /// from [`std::thread::available_parallelism`], `1` = serial).
+    /// Histograms are bit-for-bit identical at every value because each
+    /// shot draws from its own counter-derived RNG stream; batched
+    /// (noise-free, measure-at-end) replays ignore this knob.
+    pub shot_threads: usize,
 }
 
 impl Default for RunConfig {
@@ -121,6 +127,7 @@ impl Default for RunConfig {
             interrupt: None,
             degrade: DegradePolicy::default(),
             backend: qutes_qcirc::BackendChoice::Auto,
+            shot_threads: 0,
         }
     }
 }
@@ -297,6 +304,7 @@ fn run_attempt(program: &Program, config: &RunConfig, intr: &Interrupt) -> Qutes
             .with_seed(config.seed)
             .with_opt_level(config.opt_level)
             .with_observe(config.observe)
+            .with_shot_threads(config.shot_threads)
             .with_interrupt(intr.clone())
             .with_backend(match config.backend {
                 qutes_qcirc::BackendChoice::Auto => qutes_qcirc::BackendChoice::Statevector,

@@ -1,8 +1,9 @@
 //! The process-global collector: one enabled flag, one mutex-guarded
 //! store of spans, timers, and counters.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
+use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
@@ -63,6 +64,75 @@ fn with_inner<T>(f: impl FnOnce(&mut Inner) -> T) -> T {
 
 thread_local! {
     static DEPTH: Cell<usize> = const { Cell::new(0) };
+    /// Per-thread counter staging area; active only inside a
+    /// [`counter_batch`] scope. Keeps a hot worker loop off the global
+    /// mutex: deltas accumulate here and fold into the store in one
+    /// locked flush on span close or batch (worker) exit.
+    static LOCAL: RefCell<LocalCounters> = const {
+        RefCell::new(LocalCounters {
+            active: 0,
+            counters: BTreeMap::new(),
+        })
+    };
+}
+
+struct LocalCounters {
+    /// Nesting depth of live [`CounterBatch`] guards on this thread.
+    active: usize,
+    counters: BTreeMap<&'static str, u64>,
+}
+
+/// Folds a drained thread-local buffer into the global store and counts
+/// the flush under `obs.flush.batched`. One lock acquisition total.
+fn flush_batched(drained: BTreeMap<&'static str, u64>) {
+    if drained.is_empty() {
+        return;
+    }
+    with_inner(|i| {
+        for (name, delta) in drained {
+            *i.counters.entry(name).or_insert(0) += delta;
+        }
+        *i.counters.entry("obs.flush.batched").or_insert(0) += 1;
+    });
+}
+
+/// Activates thread-local counter buffering on the current thread until
+/// the returned guard drops, which flushes the accumulated deltas into
+/// the global store in a single lock acquisition (counted under
+/// `obs.flush.batched`). While a batch is active, [`counter_add`] on
+/// this thread touches no lock at all; closing a [`span`] also drains
+/// the buffer (it already holds the lock to record the span, so the
+/// fold is free). Used by the shot-pool workers so parallel replay does
+/// not serialize on the collector mutex; nests harmlessly, and the
+/// disabled-collector fast path is unchanged (one relaxed atomic load).
+pub fn counter_batch() -> CounterBatch {
+    LOCAL.with(|l| l.borrow_mut().active += 1);
+    CounterBatch {
+        _not_send: PhantomData,
+    }
+}
+
+/// Live handle for a thread-local counter batch; see [`counter_batch`].
+#[must_use = "a counter batch flushes its buffered deltas when dropped"]
+pub struct CounterBatch {
+    /// Thread-local buffers make the guard meaningless on another
+    /// thread, so keep it `!Send`.
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for CounterBatch {
+    fn drop(&mut self) {
+        let drained = LOCAL.with(|l| {
+            let mut l = l.borrow_mut();
+            l.active = l.active.saturating_sub(1);
+            if l.active == 0 {
+                std::mem::take(&mut l.counters)
+            } else {
+                BTreeMap::new()
+            }
+        });
+        flush_batched(drained);
+    }
 }
 
 /// Turns collection on or off process-wide. Disabled is the default;
@@ -105,16 +175,33 @@ pub fn reset() {
         i.generation = generation;
     });
     DEPTH.with(|d| d.set(0));
+    // Drop this thread's staged deltas too: they belong to the epoch
+    // being cleared. (Worker threads' buffers are scoped to the pool
+    // that spawned them and are always joined before a reset can run.)
+    LOCAL.with(|l| l.borrow_mut().counters.clear());
 }
 
 /// Adds `delta` to the named counter (creating it at zero). No-op while
-/// collection is disabled.
+/// collection is disabled. Inside a [`counter_batch`] scope the delta
+/// lands in a thread-local buffer (no lock) and reaches the global
+/// store at the next flush; otherwise it folds in directly.
 #[inline]
 pub fn counter_add(name: &'static str, delta: u64) {
     if !is_enabled() {
         return;
     }
-    with_inner(|i| *i.counters.entry(name).or_insert(0) += delta);
+    let buffered = LOCAL.with(|l| {
+        let mut l = l.borrow_mut();
+        if l.active > 0 {
+            *l.counters.entry(name).or_insert(0) += delta;
+            true
+        } else {
+            false
+        }
+    });
+    if !buffered {
+        with_inner(|i| *i.counters.entry(name).or_insert(0) += delta);
+    }
 }
 
 /// Folds one measured duration into the named aggregate timer. No-op
@@ -196,7 +283,24 @@ impl Drop for SpanGuard {
         let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         let name = self.name;
         let slot = self.slot;
+        // Span close already takes the lock, so drain any staged
+        // thread-local counters in the same acquisition — batched
+        // counters become visible no later than the enclosing span.
+        let drained = LOCAL.with(|l| {
+            let mut l = l.borrow_mut();
+            if l.active > 0 && !l.counters.is_empty() {
+                Some(std::mem::take(&mut l.counters))
+            } else {
+                None
+            }
+        });
         with_inner(|i| {
+            if let Some(m) = drained {
+                for (cname, delta) in m {
+                    *i.counters.entry(cname).or_insert(0) += delta;
+                }
+                *i.counters.entry("obs.flush.batched").or_insert(0) += 1;
+            }
             if let Some((idx, generation)) = slot {
                 // A reset() between open and close invalidates the index.
                 if generation == i.generation {
@@ -280,4 +384,134 @@ pub fn snapshot() -> Snapshot {
         counters: i.counters.clone(),
         dropped_spans: i.dropped_spans,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// These tests mutate the process-global collector; serialize them.
+    fn serialize() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        let guard = match LOCK.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        reset();
+        set_enabled(true);
+        guard
+    }
+
+    #[test]
+    fn batched_counters_stay_local_until_batch_exit() {
+        let _g = serialize();
+        {
+            let _batch = counter_batch();
+            counter_add("test.batched", 5);
+            counter_add("test.batched", 2);
+            // Still staged thread-locally: the store hasn't seen them.
+            assert_eq!(snapshot().counters.get("test.batched"), None);
+        }
+        let snap = snapshot();
+        assert_eq!(snap.counters["test.batched"], 7);
+        assert_eq!(snap.counters["obs.flush.batched"], 1);
+        set_enabled(false);
+    }
+
+    #[test]
+    fn span_close_drains_the_active_batch() {
+        let _g = serialize();
+        let _batch = counter_batch();
+        counter_add("test.spanned", 3);
+        {
+            let _span = span("test.span");
+        }
+        // The span close flushed the staged deltas in its own lock trip.
+        let snap = snapshot();
+        assert_eq!(snap.counters["test.spanned"], 3);
+        assert_eq!(snap.counters["obs.flush.batched"], 1);
+        set_enabled(false);
+    }
+
+    #[test]
+    fn nested_batches_flush_once_at_the_outermost_exit() {
+        let _g = serialize();
+        {
+            let _outer = counter_batch();
+            {
+                let _inner = counter_batch();
+                counter_add("test.nested", 1);
+            }
+            // Inner exit must not flush while the outer batch is live.
+            assert_eq!(snapshot().counters.get("test.nested"), None);
+            counter_add("test.nested", 1);
+        }
+        let snap = snapshot();
+        assert_eq!(snap.counters["test.nested"], 2);
+        assert_eq!(snap.counters["obs.flush.batched"], 1);
+        set_enabled(false);
+    }
+
+    #[test]
+    fn disabled_collection_records_nothing_through_a_batch() {
+        let _g = serialize();
+        set_enabled(false);
+        {
+            let _batch = counter_batch();
+            counter_add("test.disabled", 9);
+        }
+        let snap = snapshot();
+        assert_eq!(snap.counters.get("test.disabled"), None);
+        assert_eq!(snap.counters.get("obs.flush.batched"), None);
+    }
+
+    #[test]
+    fn parallel_batches_merge_without_loss() {
+        let _g = serialize();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let _batch = counter_batch();
+                    for _ in 0..1000 {
+                        counter_add("test.parallel", 1);
+                    }
+                });
+            }
+        });
+        let snap = snapshot();
+        assert_eq!(snap.counters["test.parallel"], 4000);
+        assert_eq!(snap.counters["obs.flush.batched"], 4);
+        set_enabled(false);
+    }
+
+    /// Snapshot-schema stability: batched flushing and the shot-pool
+    /// counters ride on schema version 1 — same sections, same
+    /// formatting — so downstream consumers of `--stats-json` and the
+    /// bench artifacts need no migration.
+    #[test]
+    fn batched_counters_keep_snapshot_schema_stable() {
+        let _g = serialize();
+        {
+            let _batch = counter_batch();
+            counter_add("shots.parallel.workers", 4);
+            counter_add("shots.parallel.steal_none", 1);
+        }
+        let json = snapshot().to_json();
+        assert!(json.contains("\"version\": 1"), "{json}");
+        for section in [
+            "\"aborted\"",
+            "\"timers\"",
+            "\"counters\"",
+            "\"spans\"",
+            "\"dropped_spans\"",
+        ] {
+            assert!(json.contains(section), "missing {section}: {json}");
+        }
+        assert!(json.contains("\"shots.parallel.workers\": 4"), "{json}");
+        assert!(json.contains("\"shots.parallel.steal_none\": 1"), "{json}");
+        assert!(json.contains("\"obs.flush.batched\": 1"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        set_enabled(false);
+    }
 }

@@ -27,7 +27,12 @@
 //! load and an immediate return — no locks, no clocks, no allocation —
 //! so instrumented hot paths run at full speed. When enabled, records
 //! go through a global mutex; this is intended for profiling runs, not
-//! steady-state production traffic.
+//! steady-state production traffic. Threads that record counters in a
+//! tight loop (the shot-pool workers) open a [`counter_batch`] scope:
+//! deltas then accumulate in a thread-local buffer and fold into the
+//! store in one locked flush per span close or batch exit (counted
+//! under `obs.flush.batched`), so parallel workers do not serialize on
+//! the collector mutex.
 //!
 //! ## Example
 //!
@@ -55,7 +60,7 @@ mod collector;
 mod render;
 
 pub use collector::{
-    counter_add, is_enabled, maybe_now, record_duration, reset, set_enabled, snapshot, span,
-    Snapshot, SpanGuard, SpanRecord, TimerStat, MAX_SPANS,
+    counter_add, counter_batch, is_enabled, maybe_now, record_duration, reset, set_enabled,
+    snapshot, span, CounterBatch, Snapshot, SpanGuard, SpanRecord, TimerStat, MAX_SPANS,
 };
 pub use render::fmt_ns;

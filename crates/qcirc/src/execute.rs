@@ -48,6 +48,8 @@ use std::collections::HashMap;
 use std::fmt;
 use std::time::Duration;
 
+pub mod shot_pool;
+
 /// Gate applications between cooperative deadline checks in the
 /// per-shot execution loop. Gates on small states run in nanoseconds,
 /// so a modest stride keeps the check invisible; large states are
@@ -96,6 +98,14 @@ pub struct ExecutionConfig {
     /// to the dense statevector; forcing an unsound backend is a typed
     /// [`CircError::BackendUnsupported`].
     pub backend: BackendChoice,
+    /// Worker threads for the per-shot replay paths (see
+    /// [`mod@shot_pool`]): `0` (the default) sizes the pool from
+    /// [`std::thread::available_parallelism`], `1` forces the serial
+    /// path. Histograms are bit-for-bit identical at any value — every
+    /// shot draws from its own counter-derived RNG stream — so this is
+    /// purely a throughput knob. The batched fast paths (terminal
+    /// measurements, no noise) ignore it.
+    pub shot_threads: usize,
 }
 
 impl Default for ExecutionConfig {
@@ -111,6 +121,7 @@ impl Default for ExecutionConfig {
             time_budget: None,
             interrupt: None,
             backend: BackendChoice::Auto,
+            shot_threads: 0,
         }
     }
 }
@@ -175,6 +186,13 @@ impl ExecutionConfig {
     /// Selects the simulation backend (default [`BackendChoice::Auto`]).
     pub fn with_backend(mut self, backend: BackendChoice) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Sets the shot-pool worker count (`0` = auto, `1` = serial); see
+    /// [`ExecutionConfig::shot_threads`].
+    pub fn with_shot_threads(mut self, threads: usize) -> Self {
+        self.shot_threads = threads;
         self
     }
 
@@ -648,45 +666,32 @@ fn run_shots_tableau<R: Rng + ?Sized>(
     } else {
         qutes_obs::counter_add("sim.slow_path", 1);
         qutes_obs::counter_add("backend.mode.per_shot", 1);
-        for s in 0..shots {
-            let shot_result = intr
-                .check()
-                .map_err(CircError::Interrupted)
-                .and_then(|()| {
-                    if intr.is_armed() {
-                        qutes_obs::counter_add("stage.shots.checkpoints", 1);
-                    }
-                    failpoint("qcirc.execute.shot").map_err(|_| {
-                        CircError::Sim(qutes_sim::SimError::AllocationFailed {
-                            bytes: Tableau::required_bytes(circuit.num_qubits()),
-                        })
-                    })
-                })
-                .and_then(|()| run_once_tableau(circuit, rng, cfg.budget(), intr));
-            match shot_result {
-                Ok(clbits) => {
-                    let key = clbits
-                        .iter()
-                        .enumerate()
-                        .fold(0usize, |acc, (i, &b)| acc | ((b as usize) << i));
-                    *map.entry(key).or_insert(0) += 1;
-                }
-                Err(CircError::Interrupted(reason)) if allow_partial && s > 0 => {
-                    qutes_obs::counter_add("supervisor.degraded", 1);
-                    return Ok(ShotsOutcome {
-                        counts: Counts {
-                            map,
-                            num_clbits: circuit.num_clbits(),
-                            shots: s,
-                        },
-                        completed_shots: s,
-                        degraded: true,
-                        stop: Some(reason),
-                    });
-                }
-                Err(e) => return Err(e),
+        // Counter-derived child streams (see `qutes_sim::rng_stream`):
+        // one base draw from the caller's stream, then a private RNG
+        // per shot index — the same derivation serial or pooled, so
+        // histograms are thread-count invariant.
+        let base_seed = rng.next_u64();
+        let workers = shot_pool::resolve_workers(cfg.shot_threads, shots);
+        let denied_bytes = Tableau::required_bytes(circuit.num_qubits());
+        let run_shot = |s: usize| -> CircResult<usize> {
+            intr.check().map_err(CircError::Interrupted)?;
+            if intr.is_armed() {
+                qutes_obs::counter_add("stage.shots.checkpoints", 1);
             }
-        }
+            failpoint("qcirc.execute.shot").map_err(|_| {
+                CircError::Sim(qutes_sim::SimError::AllocationFailed {
+                    bytes: denied_bytes,
+                })
+            })?;
+            let mut shot_rng = qutes_sim::rng_stream::shot_rng(base_seed, s as u64);
+            let clbits = run_once_tableau(circuit, &mut shot_rng, cfg.budget(), intr)?;
+            Ok(clbits
+                .iter()
+                .enumerate()
+                .fold(0usize, |acc, (i, &b)| acc | ((b as usize) << i)))
+        };
+        let pool = shot_pool::run_pool(shots, workers, denied_bytes, run_shot)?;
+        return pool_outcome(pool, circuit.num_clbits(), shots, allow_partial);
     }
     Ok(ShotsOutcome {
         counts: Counts {
@@ -698,6 +703,45 @@ fn run_shots_tableau<R: Rng + ?Sized>(
         degraded: false,
         stop: None,
     })
+}
+
+/// Translates a merged pool result into the shot-outcome contract
+/// shared with the serial loop: a mid-run interrupt yields a degraded
+/// partial histogram when allowed and at least one shot completed
+/// (`completed_shots` is exactly the histogram weight), and is a typed
+/// error otherwise.
+fn pool_outcome(
+    pool: shot_pool::PoolOutcome,
+    num_clbits: usize,
+    shots: usize,
+    allow_partial: bool,
+) -> CircResult<ShotsOutcome> {
+    match pool.stop {
+        Some(reason) if allow_partial && pool.completed > 0 => {
+            qutes_obs::counter_add("supervisor.degraded", 1);
+            Ok(ShotsOutcome {
+                counts: Counts {
+                    map: pool.map,
+                    num_clbits,
+                    shots: pool.completed,
+                },
+                completed_shots: pool.completed,
+                degraded: true,
+                stop: Some(reason),
+            })
+        }
+        Some(reason) => Err(CircError::Interrupted(reason)),
+        None => Ok(ShotsOutcome {
+            counts: Counts {
+                map: pool.map,
+                num_clbits,
+                shots,
+            },
+            completed_shots: shots,
+            degraded: false,
+            stop: None,
+        }),
+    }
 }
 
 /// Result of a single end-to-end execution.
@@ -754,10 +798,26 @@ fn run_once_full<R: Rng + ?Sized>(
     circuit: &QuantumCircuit,
     rng: &mut R,
     noise: Option<&NoiseModel>,
-    mut budget: GateBudget,
+    budget: GateBudget,
     intr: &Interrupt,
 ) -> CircResult<Shot> {
+    run_once_kernel(circuit, rng, noise, budget, intr, true)
+}
+
+/// [`run_once_full`] with an explicit kernel-threading switch: shot-pool
+/// workers pass `false` so per-shot parallelism is the only threading
+/// level (dense kernels are bit-identical either way, property-tested
+/// in `qsim::parallel`).
+fn run_once_kernel<R: Rng + ?Sized>(
+    circuit: &QuantumCircuit,
+    rng: &mut R,
+    noise: Option<&NoiseModel>,
+    mut budget: GateBudget,
+    intr: &Interrupt,
+    kernel_parallel: bool,
+) -> CircResult<Shot> {
     let mut state = StateVector::new(circuit.num_qubits())?;
+    state.set_parallel(kernel_parallel);
     state.set_interrupt(intr.clone());
     let mut clbits = vec![false; circuit.num_clbits()];
     let mut gate_ck = 0u64;
@@ -972,43 +1032,39 @@ fn run_shots_full<R: Rng + ?Sized>(
     } else {
         qutes_obs::counter_add("sim.slow_path", 1);
         qutes_obs::counter_add("backend.mode.per_shot", 1);
-        for s in 0..shots {
-            let shot_result = intr
-                .check()
-                .map_err(CircError::Interrupted)
-                .and_then(|()| {
-                    if intr.is_armed() {
-                        qutes_obs::counter_add("stage.shots.checkpoints", 1);
-                    }
-                    failpoint("qcirc.execute.shot").map_err(|_| {
-                        CircError::Sim(qutes_sim::SimError::AllocationFailed {
-                            bytes: 16usize
-                                .checked_shl(circuit.num_qubits() as u32)
-                                .unwrap_or(usize::MAX),
-                        })
-                    })
-                })
-                .and_then(|()| run_once_full(circuit, rng, noise, cfg.budget(), intr));
-            match shot_result {
-                Ok(shot) => {
-                    *map.entry(shot.clbits_as_usize()).or_insert(0) += 1;
-                }
-                Err(CircError::Interrupted(reason)) if allow_partial && s > 0 => {
-                    qutes_obs::counter_add("supervisor.degraded", 1);
-                    return Ok(ShotsOutcome {
-                        counts: Counts {
-                            map,
-                            num_clbits: circuit.num_clbits(),
-                            shots: s,
-                        },
-                        completed_shots: s,
-                        degraded: true,
-                        stop: Some(reason),
-                    });
-                }
-                Err(e) => return Err(e),
+        // Same per-shot stream derivation as the tableau path; see
+        // `qutes_sim::rng_stream`.
+        let base_seed = rng.next_u64();
+        let workers = shot_pool::resolve_workers(cfg.shot_threads, shots);
+        let denied_bytes = 16usize
+            .checked_shl(circuit.num_qubits() as u32)
+            .unwrap_or(usize::MAX);
+        // With several workers live, shot-level parallelism owns the
+        // cores: nested kernel threading would only oversubscribe.
+        let kernel_parallel = workers == 1;
+        let run_shot = |s: usize| -> CircResult<usize> {
+            intr.check().map_err(CircError::Interrupted)?;
+            if intr.is_armed() {
+                qutes_obs::counter_add("stage.shots.checkpoints", 1);
             }
-        }
+            failpoint("qcirc.execute.shot").map_err(|_| {
+                CircError::Sim(qutes_sim::SimError::AllocationFailed {
+                    bytes: denied_bytes,
+                })
+            })?;
+            let mut shot_rng = qutes_sim::rng_stream::shot_rng(base_seed, s as u64);
+            run_once_kernel(
+                circuit,
+                &mut shot_rng,
+                noise,
+                cfg.budget(),
+                intr,
+                kernel_parallel,
+            )
+            .map(|shot| shot.clbits_as_usize())
+        };
+        let pool = shot_pool::run_pool(shots, workers, denied_bytes, run_shot)?;
+        return pool_outcome(pool, circuit.num_clbits(), shots, allow_partial);
     }
     Ok(ShotsOutcome {
         counts: Counts {

@@ -35,6 +35,7 @@ pub mod gates;
 pub mod measure;
 pub mod noise;
 pub mod parallel;
+pub mod rng_stream;
 pub mod state;
 pub mod tableau;
 

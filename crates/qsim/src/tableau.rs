@@ -50,8 +50,9 @@ const WORD_BITS: usize = 64;
 
 /// Aaronson–Gottesman stabilizer tableau over `n` qubits.
 ///
-/// Cloning is cheap (`O(n²/8)` bytes), which the shot sampler exploits:
-/// each shot clones the final tableau and measures destructively.
+/// Cloning is cheap (`O(n²/8)` bytes). The shot sampler clones **once**
+/// per call — not once per shot — to run a symbolic measurement cascade
+/// whose random signs are left free; see [`Tableau::sample`].
 #[derive(Clone, Debug)]
 pub struct Tableau {
     /// Qubit count.
@@ -458,10 +459,27 @@ impl Tableau {
         Ok(())
     }
 
-    /// Draws `shots` joint samples of `qubits` without collapsing `self`:
-    /// each shot clones the tableau and measures destructively. Bit `k`
-    /// of each returned key is the outcome of `qubits[k]`, matching
-    /// [`measure::sample_counts`](crate::measure::sample_counts).
+    /// Draws `shots` joint samples of `qubits` without collapsing `self`.
+    /// Bit `k` of each returned key is the outcome of `qubits[k]`,
+    /// matching [`measure::sample_counts`](crate::measure::sample_counts).
+    ///
+    /// This is a **ranked-stabilizer** sampler: instead of cloning the
+    /// tableau and measuring destructively once per shot, it clones once
+    /// and replays the measurement cascade *symbolically*, leaving every
+    /// random sign as a free GF(2) variable. The key invariant making
+    /// this sound is that the structural part of a measurement (which
+    /// stabilizer anticommutes, which rows get `rowsum`med, which row is
+    /// demoted) depends only on the X/Z bit matrices — never on the
+    /// phase bits — while `rowsum`'s sign update is affine in the phases
+    /// (`r_dst ← r_dst ⊕ r_src ⊕ g(x,z)`). So after Gaussian-eliminating
+    /// the cascade once, the outcome of measured qubit `k` is
+    /// `c_k ⊕ ⟨mask_k, b⟩` for a constant bit `c_k`, a dependence mask
+    /// over the `rank ≤ |qubits|` fresh random bits, and the per-shot
+    /// coin vector `b`. Each shot then costs `rank` RNG draws plus one
+    /// popcount-parity per measured qubit — O(rank + |qubits|) — instead
+    /// of an O(n²) clone and O(n²) collapse per shot, and draws coins in
+    /// exactly the same order as destructive measurement, so histograms
+    /// are bit-for-bit identical to the clone-per-shot sampler.
     pub fn sample<R: Rng + ?Sized>(
         &self,
         qubits: &[usize],
@@ -473,7 +491,8 @@ impl Tableau {
         }
         // Joint outcomes are histogram keys: more qubits than key bits
         // cannot be represented (the dense engine shares this ceiling —
-        // it tops out far below 64 qubits anyway).
+        // it tops out far below 64 qubits anyway). This also bounds the
+        // symbolic rank below 64, so a u64 dependence mask suffices.
         if qubits.len() >= usize::BITS as usize {
             return Err(SimError::InvalidState(format!(
                 "cannot histogram {} qubits jointly (keys are {}-bit); \
@@ -482,20 +501,80 @@ impl Tableau {
                 usize::BITS
             )));
         }
+        let outcomes = self.ranked_outcomes(qubits);
+        let rank = outcomes.rank;
         let mut counts = HashMap::new();
         for _ in 0..shots {
             self.interrupt.check().map_err(SimError::Interrupted)?;
-            let mut t = self.clone();
-            let mut key = 0usize;
-            for (k, &q) in qubits.iter().enumerate() {
-                if t.measure(q, rng)? {
-                    key |= 1 << k;
+            let mut coins = 0u64;
+            for b in 0..rank {
+                // Same draw order as destructive measurement: coin `b`
+                // is the b-th random measurement in `qubits` order.
+                if rng.random_bool(0.5) {
+                    coins |= 1u64 << b;
                 }
+            }
+            let mut key = 0usize;
+            for (k, &(c, mask)) in outcomes.forms.iter().enumerate() {
+                let bit = u64::from(c) ^ (u64::from((mask & coins).count_ones()) & 1);
+                key |= (bit as usize) << k;
             }
             *counts.entry(key).or_insert(0) += 1;
         }
         Ok(counts)
     }
+
+    /// Runs the measurement cascade for `qubits` once, symbolically:
+    /// returns each qubit's outcome as an affine form `(const, mask)`
+    /// over the fresh random bits introduced by random measurements.
+    fn ranked_outcomes(&self, qubits: &[usize]) -> RankedOutcomes {
+        let mut t = self.clone();
+        // Per-row dependence mask on the random bits drawn so far. Phase
+        // updates are XORs, so masks compose by XOR alongside `rowsum`.
+        let mut sym = vec![0u64; 2 * t.n + 1];
+        let mut forms = Vec::with_capacity(qubits.len());
+        let mut rank = 0u32;
+        for &q in qubits {
+            if let Some(p) = t.anticommuting_stabilizer(q) {
+                for row in 0..2 * t.n {
+                    if row != p && t.x_bit(row, q) {
+                        t.rowsum(row, p);
+                        sym[row] ^= sym[p];
+                    }
+                }
+                t.row_copy(p - t.n, p);
+                sym[p - t.n] = sym[p];
+                t.row_clear(p);
+                t.set_z(p, q, true);
+                // Fresh ±Z stabilizer whose sign IS the new random bit.
+                let mask = 1u64 << rank;
+                sym[p] = mask;
+                forms.push((0u8, mask));
+                rank += 1;
+            } else {
+                let scratch = 2 * t.n;
+                t.row_clear(scratch);
+                sym[scratch] = 0;
+                for i in 0..t.n {
+                    if t.x_bit(i, q) {
+                        t.rowsum(scratch, i + t.n);
+                        sym[scratch] ^= sym[i + t.n];
+                    }
+                }
+                forms.push((t.r[scratch], sym[scratch]));
+            }
+        }
+        RankedOutcomes { forms, rank }
+    }
+}
+
+/// Output of the symbolic measurement cascade: one affine form per
+/// measured qubit over `rank` free random bits.
+struct RankedOutcomes {
+    /// `(constant, dependence mask)` per measured qubit, in input order.
+    forms: Vec<(u8, u64)>,
+    /// Number of random (coin-flip) measurements in the cascade.
+    rank: u32,
 }
 
 #[cfg(test)]
@@ -692,6 +771,76 @@ mod tests {
         assert!(zeros > 150 && ones > 150, "{zeros} vs {ones}");
         // Sampling left the tableau un-collapsed.
         assert_eq!(t.probability_one(0).unwrap(), 0.5);
+    }
+
+    /// Clone-per-shot reference sampler (the pre-ranked implementation):
+    /// the ranked sampler must reproduce its histograms bit-for-bit,
+    /// including RNG stream consumption.
+    fn reference_sample(
+        t: &Tableau,
+        qubits: &[usize],
+        shots: usize,
+        rng: &mut StdRng,
+    ) -> HashMap<usize, usize> {
+        let mut counts = HashMap::new();
+        for _ in 0..shots {
+            let mut c = t.clone();
+            let mut key = 0usize;
+            for (k, &q) in qubits.iter().enumerate() {
+                if c.measure(q, rng).unwrap() {
+                    key |= 1 << k;
+                }
+            }
+            *counts.entry(key).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn ranked_sampler_matches_clone_per_shot_bit_for_bit() {
+        for seed in 0..16u64 {
+            let mut gen = StdRng::seed_from_u64(0x5A5A + seed);
+            let n = 2 + (gen.next_u64() % 5) as usize;
+            let mut t = Tableau::new(n).unwrap();
+            for _ in 0..40 {
+                let q = (gen.next_u64() % n as u64) as usize;
+                match gen.next_u64() % 6 {
+                    0 => t.h(q).unwrap(),
+                    1 => t.s(q).unwrap(),
+                    2 => t.x(q).unwrap(),
+                    3 => t.z(q).unwrap(),
+                    _ => {
+                        let p = (q + 1) % n;
+                        t.cx(q, p).unwrap();
+                    }
+                }
+            }
+            let all: Vec<usize> = (0..n).collect();
+            let reference = reference_sample(&t, &all, 300, &mut StdRng::seed_from_u64(seed));
+            let ranked = t
+                .sample(&all, 300, &mut StdRng::seed_from_u64(seed))
+                .unwrap();
+            assert_eq!(ranked, reference, "seed {seed} diverged");
+        }
+    }
+
+    #[test]
+    fn ranked_sampler_handles_wide_ghz_cheaply() {
+        // 100-qubit GHZ: rank 1 over 100 measured qubits (key guard
+        // limits joint histograms to < 64 qubits, so sample the ends
+        // plus the middle). 100k shots must be a tight loop, not 100k
+        // tableau clones.
+        let mut t = Tableau::new(100).unwrap();
+        t.h(0).unwrap();
+        for q in 0..99 {
+            t.cx(q, q + 1).unwrap();
+        }
+        let mut r = rng();
+        let counts = t.sample(&[0, 50, 99], 100_000, &mut r).unwrap();
+        let zeros = *counts.get(&0b000).unwrap_or(&0);
+        let ones = *counts.get(&0b111).unwrap_or(&0);
+        assert_eq!(zeros + ones, 100_000, "GHZ support is {{000, 111}}");
+        assert!(zeros > 45_000 && ones > 45_000, "{zeros} vs {ones}");
     }
 
     #[test]

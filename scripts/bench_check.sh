@@ -8,8 +8,8 @@
 # Deterministic facts FAIL on any mismatch:
 #   * the set of benchmark names per group,
 #   * counters in the attached obs snapshot that are machine-independent
-#     (gate.*, opt.*, sim.*, noise.*, and kernel.* except the
-#     machine-dependent kernel.dispatch.* split).
+#     (gate.*, opt.*, sim.*, noise.*, backend.*, shots.*, and kernel.*
+#     except the machine-dependent kernel.dispatch.* split).
 #
 # Timing facts (timer mean_ns in the obs snapshot) only WARN when they
 # drift more than 25% in either direction — CI runners are too noisy to
@@ -31,10 +31,12 @@ import sys
 BASELINE_DIR = "bench/baselines"
 FRESH_DIR = "crates/bench"
 # Deterministic counters: gate mix, optimizer decisions, simulator and
-# noise-engine event counts, backend dispatch decisions, and kernel
-# invocation counts. The kernel.dispatch.* serial/parallel split depends
-# on the runner's core count, so it is excluded.
-COUNTER_RE = re.compile(r"^(gate|opt|sim|noise|backend)\.|^kernel\.(?!dispatch\.)")
+# noise-engine event counts, backend dispatch decisions, shot-pool
+# shape (benches pin their thread counts, so shots.parallel.* is
+# machine-independent), and kernel invocation counts. The
+# kernel.dispatch.* serial/parallel split depends on the runner's core
+# count, so it is excluded.
+COUNTER_RE = re.compile(r"^(gate|opt|sim|noise|backend|shots)\.|^kernel\.(?!dispatch\.)")
 DRIFT_RATIO = 1.25
 
 failures = []

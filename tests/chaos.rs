@@ -113,6 +113,10 @@ fn injected_delay_in_optimizer_trips_mid_replay() {
     let cfg = RunConfig {
         shots: 16,
         time_budget: Some(Duration::from_millis(25)),
+        // The armed site lives in the optimizer, which only the dense
+        // engine runs — auto-dispatch would route this Clifford-only
+        // replay onto the tableau and never hit it.
+        backend: qutes::qcirc::BackendChoice::Statevector,
         ..RunConfig::default()
     };
     // The circuit needs gates for the optimizer fixpoint to iterate
@@ -186,6 +190,51 @@ fn persistent_transient_failure_fails_after_one_retry() {
     assert!(err.is_transient(), "{err}");
     let snap = qutes_obs::snapshot();
     assert_eq!(counter(&snap, "supervisor.retries"), 1);
+    reset();
+}
+
+#[test]
+fn shot_pool_worker_panic_is_contained_without_poisoning_siblings() {
+    let _g = serialize();
+    // One worker trips the pool failpoint and panics; its siblings run
+    // their chunks to completion, the payload is re-raised only after
+    // the join, and the facade's contain() boundary renders it as a
+    // typed internal error — never an abort.
+    arm_once("qcirc.execute.shot_pool", Fault::Panic);
+    let cfg = RunConfig {
+        shots: 64,
+        shot_threads: 4,
+        // Noise forces the per-shot worker-pool path.
+        noise: Some(qutes::sim::NoiseModel::depolarizing(0.01)),
+        ..RunConfig::default()
+    };
+    let err = run_source(SIMPLE, &cfg).unwrap_err();
+    assert!(
+        matches!(err, QutesError::Internal { .. }),
+        "expected Internal, got: {err}"
+    );
+    let snap = qutes_obs::snapshot();
+    assert!(counter(&snap, "supervisor.panics_contained") >= 1);
+    assert!(counter(&snap, "chaos.injected") >= 1);
+    // The fault was confined to one run: the same program executes
+    // cleanly afterwards on the very same pool configuration.
+    let out = run_source(SIMPLE, &cfg).expect("pool recovers after contained panic");
+    assert_eq!(out.counts.expect("histogram").shots(), 64);
+    reset();
+}
+
+#[test]
+fn shot_pool_allocation_refusal_is_typed() {
+    let _g = serialize();
+    arm_once("qcirc.execute.shot_pool", Fault::DenyAlloc);
+    let cfg = RunConfig {
+        shots: 32,
+        shot_threads: 2,
+        noise: Some(qutes::sim::NoiseModel::depolarizing(0.01)),
+        ..RunConfig::default()
+    };
+    let err = run_source(SIMPLE, &cfg).unwrap_err();
+    assert!(err.is_transient(), "expected transient refusal, got: {err}");
     reset();
 }
 
