@@ -57,12 +57,13 @@ fn walk_list(stmts: &[&Stmt], findings: &mut Vec<RawFinding>) {
     for s in stmts {
         if terminated && !reported_unreachable {
             reported_unreachable = true;
-            findings.push((
-                &lints::UNREACHABLE_CODE,
-                "unreachable statement: an earlier statement in this block always returns"
+            findings.push(RawFinding {
+                lint: &lints::UNREACHABLE_CODE,
+                message: "unreachable statement: an earlier statement in this block always returns"
                     .to_string(),
-                s.span(),
-            ));
+                span: s.span(),
+                notes: Vec::new(),
+            });
         }
         walk_stmt(s, findings);
         if always_returns(s) {
@@ -109,11 +110,12 @@ fn check_condition(cond: &Expr, kind: &str, findings: &mut Vec<RawFinding>) {
             ("while", true) => "; the loop can never exit normally",
             _ => "; one branch can never run",
         };
-        findings.push((
-            &lints::CONSTANT_CONDITION,
-            format!("this {kind} condition is always {truth}{consequence}"),
-            cond.span,
-        ));
+        findings.push(RawFinding {
+            lint: &lints::CONSTANT_CONDITION,
+            message: format!("this {kind} condition is always {truth}{consequence}"),
+            span: cond.span,
+            notes: Vec::new(),
+        });
     }
 }
 
@@ -124,7 +126,7 @@ mod tests {
 
     fn ids(src: &str) -> Vec<&'static str> {
         let program = parse(src).expect("test program parses");
-        run(&program).iter().map(|(l, _, _)| l.id).collect()
+        run(&program).iter().map(|f| f.lint.id).collect()
     }
 
     #[test]

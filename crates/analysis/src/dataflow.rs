@@ -1,15 +1,10 @@
 //! Quantum-aware dataflow lints.
 //!
 //! A single scoped walk over the typed AST tracks, per variable: its
-//! declared type, whether it has been read, whether an **explicit**
-//! `measure` has collapsed it, whether its declaration captured a
-//! measurement result, and whether it escapes the analysis' view (is
-//! returned, passed by reference to a user function, or aliased).
-//!
-//! The walk produces:
-//! - **QL001 use-after-measurement** — a quantum operation (gate
-//!   statement, quantum arithmetic, cyclic shift, Grover search target)
-//!   applied to a variable after an explicit `measure` collapsed it.
+//! declared type, whether it has been read, whether its declaration
+//! captured a measurement result, and whether it escapes the analysis'
+//! view (is returned, passed by reference to a user function, or
+//! aliased). The walk directly produces the flow-insensitive lints:
 //! - **QL002 quantum-alias** — binding an existing quantum variable (or
 //!   an element of one) to a second name; both names share qubits.
 //! - **QL003 dirty-qubits** — a quantum variable that is operated on but
@@ -24,12 +19,19 @@
 //!   `print` is exempt: printing a quantum value is the idiomatic way to
 //!   observe it.
 //!
-//! Branches merge conservatively: a variable counts as *measured* only
-//! when every path measured it (must-analysis), and as *used* when any
-//! path read it (may-analysis). Loop bodies are walked once and the
-//! measured-state changes they make are reverted, so a measure late in a
-//! loop body never flags uses earlier in the same body.
+//! The flow-*sensitive* lint — **QL001 use-after-measurement**, a
+//! quantum operation (gate statement, quantum arithmetic, cyclic shift,
+//! Grover search target) applied to a variable after an explicit
+//! `measure` collapsed it — is not decided here. The walk records every
+//! measure, quantum use, whole-variable reassignment and user-function
+//! call as an event stream bracketed by control-flow markers, and
+//! [`crate::cfg`] rebuilds a basic-block CFG from that stream and runs
+//! an interprocedural must-measured fixpoint over it (meet =
+//! intersection, function summaries at call sites). A variable counts
+//! as measured only when *every* path measured it, and a measure inside
+//! a callee propagates to plain-variable arguments at the call site.
 
+use crate::cfg::{self, Ev, VarId};
 use crate::lints::{self, Lint};
 use crate::RawFinding;
 use qutes_core::types::measured;
@@ -48,19 +50,34 @@ pub(crate) fn run(program: &Program) -> Vec<RawFinding> {
             pass.walk_stmt(s);
         }
     }
-    // Function bodies see only the globals plus their parameters.
+    let toplevel = cfg::Unit {
+        name: String::new(),
+        params: Vec::new(),
+        events: std::mem::take(&mut pass.events),
+    };
+    // Function bodies see only the globals plus their parameters. Each
+    // body becomes its own analysis unit for the CFG phase.
+    let mut funcs = Vec::new();
     for item in &program.items {
         if let Item::Function(f) = item {
             pass.push_scope();
+            let mut params = Vec::new();
             for p in &f.params {
-                pass.declare(&p.name, p.ty.clone(), p.span, true);
+                params.push(pass.declare(&p.name, p.ty.clone(), p.span, true));
             }
             pass.walk_stmts(&f.body.stmts);
             pass.pop_scope();
+            funcs.push(cfg::Unit {
+                name: f.name.clone(),
+                params,
+                events: std::mem::take(&mut pass.events),
+            });
         }
     }
     pass.pop_scope();
-    pass.findings
+    let mut findings = pass.findings;
+    findings.extend(cfg::must_measured_findings(&toplevel, &funcs));
+    findings
 }
 
 /// Everything the pass knows about one binding.
@@ -69,9 +86,9 @@ struct VarInfo {
     name: String,
     ty: Type,
     decl_span: Span,
+    /// Program-wide unique identity, carried into the CFG event stream.
+    id: VarId,
     used: bool,
-    /// Span of the explicit `measure` that collapsed it, if any.
-    measured: Option<Span>,
     /// Collapsed by *any* observation — explicit measure, `print`, or an
     /// implicit-measurement context. Satisfies QL003 without triggering
     /// QL001 (which stays explicit-measure-only to avoid false alarms).
@@ -89,6 +106,9 @@ struct Pass<'p> {
     /// User-declared function name → return type.
     functions: HashMap<&'p str, &'p Type>,
     findings: Vec<RawFinding>,
+    /// Event stream for the CFG phase; drained per analysis unit.
+    events: Vec<Ev>,
+    next_id: VarId,
 }
 
 impl<'p> Pass<'p> {
@@ -105,11 +125,18 @@ impl<'p> Pass<'p> {
             scopes: Vec::new(),
             functions,
             findings: Vec::new(),
+            events: Vec::new(),
+            next_id: 0,
         }
     }
 
     fn report(&mut self, lint: &'static Lint, message: String, span: Span) {
-        self.findings.push((lint, message, span));
+        self.findings.push(RawFinding {
+            lint,
+            message,
+            span,
+            notes: Vec::new(),
+        });
     }
 
     // ---- scope management -------------------------------------------------
@@ -159,20 +186,25 @@ impl<'p> Pass<'p> {
         }
     }
 
-    fn declare(&mut self, name: &str, ty: Type, decl_span: Span, is_param: bool) {
+    /// Declares a binding in the innermost scope and returns its
+    /// program-wide [`VarId`].
+    fn declare(&mut self, name: &str, ty: Type, decl_span: Span, is_param: bool) -> VarId {
+        let id = self.next_id;
+        self.next_id += 1;
         if let Some(scope) = self.scopes.last_mut() {
             scope.push(VarInfo {
                 name: name.to_string(),
                 ty,
                 decl_span,
+                id,
                 used: false,
-                measured: None,
                 observed: false,
                 is_param,
                 from_measurement: false,
                 escapes: is_param,
             });
         }
+        id
     }
 
     fn lookup(&self, name: &str) -> Option<&VarInfo> {
@@ -205,36 +237,6 @@ impl<'p> Pass<'p> {
         self.lookup(name).map(|v| v.ty.clone())
     }
 
-    // ---- measured-state snapshots (for branches and loops) ---------------
-
-    fn snapshot_measured(&self) -> Vec<Vec<Option<Span>>> {
-        self.scopes
-            .iter()
-            .map(|s| s.iter().map(|v| v.measured).collect())
-            .collect()
-    }
-
-    fn restore_measured(&mut self, snap: &[Vec<Option<Span>>]) {
-        for (scope, marks) in self.scopes.iter_mut().zip(snap) {
-            for (v, m) in scope.iter_mut().zip(marks) {
-                v.measured = *m;
-            }
-        }
-    }
-
-    /// After exploring both arms of a branch: a variable stays measured
-    /// only if *every* path measured it.
-    fn merge_measured(&mut self, then_snap: &[Vec<Option<Span>>]) {
-        for (scope, marks) in self.scopes.iter_mut().zip(then_snap) {
-            for (v, then_m) in scope.iter_mut().zip(marks) {
-                v.measured = match (*then_m, v.measured) {
-                    (Some(s), Some(_)) => Some(s),
-                    _ => None,
-                };
-            }
-        }
-    }
-
     // ---- lint trigger helpers ---------------------------------------------
 
     /// Innermost variable an lvalue-ish expression resolves to.
@@ -247,33 +249,34 @@ impl<'p> Pass<'p> {
         }
     }
 
-    /// QL001: a quantum operation touches `e` after an explicit measure.
+    /// Records a quantum operation touching `e` for the CFG phase, which
+    /// decides QL001 from the must-measured fixpoint.
     fn check_quantum_use(&mut self, e: &Expr) {
         let Some(name) = Self::root_var(e) else {
             return;
         };
         let Some(v) = self.lookup(name) else { return };
-        if v.measured.is_some() {
-            let name = v.name.clone();
-            self.report(
-                &lints::USE_AFTER_MEASUREMENT,
-                format!(
-                    "quantum variable '{name}' is used in a quantum operation after being \
-                     measured; the measurement already collapsed its state"
-                ),
-                e.span,
-            );
-        }
+        let ev = Ev::Use {
+            var: v.id,
+            name: v.name.clone(),
+            span: e.span,
+        };
+        self.events.push(ev);
     }
 
-    /// Marks the root variable of an explicitly measured expression.
+    /// Marks the root variable of an explicitly measured expression and
+    /// records the collapse for the CFG phase.
     fn mark_measured(&mut self, e: &Expr, measure_span: Span) {
         if let Some(name) = Self::root_var(e) {
             let name = name.to_string();
             if let Some(v) = self.lookup_mut(&name) {
                 v.used = true;
-                v.measured = Some(measure_span);
                 v.observed = true;
+                let var = v.id;
+                self.events.push(Ev::Measure {
+                    var,
+                    span: measure_span,
+                });
             }
         }
     }
@@ -480,8 +483,11 @@ impl<'p> Pass<'p> {
                             }
                         }
                         // A fresh value replaces the measured one.
-                        if let (LValue::Name(_), Some(v)) = (target, self.lookup_mut(&name)) {
-                            v.measured = None;
+                        if let LValue::Name(_) = target {
+                            if let Some(v) = self.lookup(&name) {
+                                let var = v.id;
+                                self.events.push(Ev::Reset { var });
+                            }
                         }
                     }
                     AssignOp::Add | AssignOp::Sub | AssignOp::Shl | AssignOp::Shr => {
@@ -511,27 +517,32 @@ impl<'p> Pass<'p> {
                         self.implicit_measure(cond, &t, "by this condition");
                     }
                 }
-                let before = self.snapshot_measured();
+                self.events.push(Ev::BranchStart {
+                    has_else: else_block.is_some(),
+                });
+                self.events.push(Ev::ArmStart);
                 self.walk_block(then_block);
-                let after_then = self.snapshot_measured();
-                self.restore_measured(&before);
+                self.events.push(Ev::ArmEnd);
                 if let Some(eb) = else_block {
+                    self.events.push(Ev::ArmStart);
                     self.walk_block(eb);
+                    self.events.push(Ev::ArmEnd);
                 }
-                self.merge_measured(&after_then);
+                self.events.push(Ev::BranchEnd);
             }
             Stmt::While { cond, body, .. } => {
+                // The condition re-evaluates every iteration: its events
+                // belong to the loop header, not the pre-loop block.
+                self.events.push(Ev::LoopStart);
                 self.walk_expr(cond);
                 if let Some(t) = self.expr_type(cond) {
                     if t.is_quantum() {
                         self.implicit_measure(cond, &t, "by this condition");
                     }
                 }
-                let before = self.snapshot_measured();
+                self.events.push(Ev::BodyStart);
                 self.walk_block(body);
-                // A measure late in the body must not flag uses earlier in
-                // the body on a later iteration; conservatively forget it.
-                self.restore_measured(&before);
+                self.events.push(Ev::LoopEnd);
             }
             Stmt::Foreach {
                 var,
@@ -539,18 +550,20 @@ impl<'p> Pass<'p> {
                 body,
                 ..
             } => {
+                // The iterable is evaluated once, before the loop.
                 self.walk_expr(iterable);
                 let elem_ty = match self.expr_type(iterable) {
                     Some(Type::Array(t)) => *t,
                     Some(Type::Qustring) => Type::Qubit,
                     _ => Type::Int,
                 };
-                let before = self.snapshot_measured();
+                self.events.push(Ev::LoopStart);
+                self.events.push(Ev::BodyStart);
                 self.push_scope();
                 self.declare(var, elem_ty, iterable.span, false);
                 self.walk_stmts(&body.stmts);
                 self.pop_scope();
-                self.restore_measured(&before);
+                self.events.push(Ev::LoopEnd);
             }
             Stmt::Return { value, .. } => {
                 if let Some(e) = value {
@@ -560,6 +573,7 @@ impl<'p> Pass<'p> {
                         self.mark_escapes(&n);
                     }
                 }
+                self.events.push(Ev::Ret);
             }
             Stmt::Print { value, .. } => {
                 // Printing a quantum value measures it, but that is the
@@ -678,13 +692,23 @@ impl<'p> Pass<'p> {
                     }
                     user if self.functions.contains_key(user) => {
                         // Plain-variable arguments bind by reference: the
-                        // callee may measure or transform them.
+                        // callee may measure or transform them. The call
+                        // event lets the CFG phase apply the callee's
+                        // must-measured summary to these arguments.
+                        let mut bound = Vec::with_capacity(args.len());
                         for a in args {
                             if let ExprKind::Var(n) = &a.kind {
                                 let n = n.clone();
                                 self.mark_escapes(&n);
+                                bound.push(self.lookup(&n).map(|v| v.id));
+                            } else {
+                                bound.push(None);
                             }
                         }
+                        self.events.push(Ev::Call {
+                            callee: user.to_string(),
+                            args: bound,
+                        });
                     }
                     _ => {}
                 }
@@ -712,7 +736,7 @@ mod tests {
 
     fn ids(src: &str) -> Vec<&'static str> {
         let program = parse(src).expect("test program parses");
-        let mut found: Vec<&'static str> = run(&program).iter().map(|(l, _, _)| l.id).collect();
+        let mut found: Vec<&'static str> = run(&program).iter().map(|f| f.lint.id).collect();
         found.sort_unstable();
         found
     }
@@ -789,5 +813,52 @@ mod tests {
     fn params_are_exempt_from_unused() {
         let found = ids("int id(int x) {\n  return 7;\n}\nprint id(3);\n");
         assert!(!found.contains(&"QL101"), "{:?}", found);
+    }
+
+    #[test]
+    fn ql001_carries_a_note_at_the_collapsing_measure() {
+        let src = "qubit q = |+>;\nmeasure q;\nhadamard q;\nprint q;\n";
+        let program = parse(src).expect("parses");
+        let findings = run(&program);
+        let f = findings
+            .iter()
+            .find(|f| f.lint.id == "QL001")
+            .expect("QL001 fires");
+        assert_eq!(f.notes.len(), 1);
+        assert_eq!(f.notes[0].0, "the collapsing measurement is here");
+        // The note points at the `measure q;` statement on line 2.
+        let measure_at = src.find("measure").expect("source has a measure");
+        assert_eq!(f.notes[0].1.start, measure_at);
+    }
+
+    #[test]
+    fn callee_measure_propagates_to_the_call_site() {
+        // `collapse` definitely measures its parameter on every path, so
+        // the gate after the call operates on collapsed state.
+        let src = "void collapse(qubit p) {\n  measure p;\n}\n\
+                   qubit q = |+>;\ncollapse(q);\nhadamard q;\nprint q;\n";
+        assert!(ids(src).contains(&"QL001"), "{:?}", ids(src));
+    }
+
+    #[test]
+    fn callee_measuring_on_one_path_does_not_propagate() {
+        let src = "void maybe(qubit p, bool c) {\n  if (c) {\n    measure p;\n  }\n}\n\
+                   qubit q = |+>;\nmaybe(q, false);\nhadamard q;\nprint q;\n";
+        assert!(!ids(src).contains(&"QL001"), "{:?}", ids(src));
+    }
+
+    #[test]
+    fn callee_that_reprepares_after_measuring_does_not_propagate() {
+        let src = "void recycle(qubit p) {\n  measure p;\n  p = |0>;\n}\n\
+                   qubit q = |+>;\nrecycle(q);\nhadamard q;\nprint q;\n";
+        assert!(!ids(src).contains(&"QL001"), "{:?}", ids(src));
+    }
+
+    #[test]
+    fn early_return_path_does_not_mask_the_other_arms_measure() {
+        // Every path *reaching* the gate measured p: the then-arm
+        // returns early. The old snapshot-based merge missed this.
+        let src = "void f(qubit p, bool c) {\n  if (c) {\n    return;\n  } else {\n    measure p;\n  }\n  hadamard p;\n}\nqubit q = |+>;\nf(q, false);\nprint q;\n";
+        assert!(ids(src).contains(&"QL001"), "{:?}", ids(src));
     }
 }

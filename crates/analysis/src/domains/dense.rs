@@ -1,0 +1,145 @@
+//! Bounded dense-unitary fallback domain.
+//!
+//! When neither symbolic domain covers a run (arbitrary `U`/`RX`/`RY`
+//! rotations, fused `Unitary`/`Unitary2`/`Unitary3` matrices mixed with
+//! anything), the run's full unitary is reconstructed column by column
+//! — each basis state is prepared with `X` gates and pushed through the
+//! statevector engine — and the two matrices are compared entrywise up
+//! to one global phase. The cost is `2^k` simulations of a `k`-wire
+//! run, so the domain is capped at [`MAX_DENSE_QUBITS`] wires; beyond
+//! that the verifier returns a sound `Unknown`, never a guess.
+//!
+//! Unlike the symbolic domains this check is numerical: the tolerance
+//! `TOL` sits far above accumulated f64 rounding (~1e-13 for the
+//! matrix chains the optimizer builds) and far below any real
+//! miscompile (a wrong gate moves amplitude mass by O(1)).
+
+use qutes_qcirc::{statevector, Gate, QuantumCircuit};
+use qutes_sim::Complex64;
+
+/// Wire cap for the dense fallback (`2^k` columns of `2^k` amplitudes).
+pub const MAX_DENSE_QUBITS: usize = 8;
+/// Entrywise comparison tolerance after global-phase alignment.
+const TOL: f64 = 1e-6;
+
+/// Reconstructs the run's unitary as `2^k` statevector columns.
+/// `None` when simulation is impossible (non-unitary op, width 0).
+fn unitary_columns(run: &[Gate], k: usize) -> Option<Vec<Vec<Complex64>>> {
+    let dim = 1usize << k;
+    let mut cols = Vec::with_capacity(dim);
+    for basis in 0..dim {
+        let mut c = QuantumCircuit::with_qubits(k);
+        for q in 0..k {
+            if basis >> q & 1 == 1 {
+                c.append(Gate::X(q)).ok()?;
+            }
+        }
+        for g in run {
+            c.append(g.clone()).ok()?;
+        }
+        cols.push(statevector(&c).ok()?.amplitudes().to_vec());
+    }
+    Some(cols)
+}
+
+/// Decides equivalence of two runs (wires already remapped to `0..k`)
+/// by dense comparison up to one global phase. `None` when `k` exceeds
+/// the cap or a run cannot be simulated.
+pub fn runs_equal(a: &[Gate], b: &[Gate], k: usize) -> Option<bool> {
+    if k == 0 || k > MAX_DENSE_QUBITS {
+        return None;
+    }
+    let ua = unitary_columns(a, k)?;
+    let ub = unitary_columns(b, k)?;
+
+    // Align on the largest entry of `ua`: a unitary always has one of
+    // magnitude ≥ 1/sqrt(dim) per column, so this is well-conditioned.
+    let (mut ci, mut ri, mut mag) = (0usize, 0usize, 0.0f64);
+    for (i, col) in ua.iter().enumerate() {
+        for (j, amp) in col.iter().enumerate() {
+            if amp.norm() > mag {
+                mag = amp.norm();
+                ci = i;
+                ri = j;
+            }
+        }
+    }
+    let aref = ua[ci][ri];
+    let bref = ub[ci][ri];
+    if (bref.norm() - aref.norm()).abs() > TOL {
+        return Some(false);
+    }
+    let phase = bref / aref; // |phase| ≈ 1 by the magnitude check above
+    for (col_a, col_b) in ua.iter().zip(&ub) {
+        for (x, y) in col_a.iter().zip(col_b) {
+            if !(*x * phase).approx_eq(*y, TOL) {
+                return Some(false);
+            }
+        }
+    }
+    Some(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn hxh_equals_z() {
+        let a = [Gate::H(0), Gate::X(0), Gate::H(0)];
+        let b = [Gate::Z(0)];
+        assert_eq!(runs_equal(&a, &b, 1), Some(true));
+    }
+
+    #[test]
+    fn rx_pi_equals_x_up_to_phase() {
+        // RX(π) = −iX: equal only up to global phase — which is the
+        // equivalence this domain implements.
+        let a = [Gate::RX {
+            target: 0,
+            theta: PI,
+        }];
+        let b = [Gate::X(0)];
+        assert_eq!(runs_equal(&a, &b, 1), Some(true));
+    }
+
+    #[test]
+    fn ry_angles_differ() {
+        let a = [Gate::RY {
+            target: 0,
+            theta: FRAC_PI_2,
+        }];
+        let b = [Gate::RY {
+            target: 0,
+            theta: FRAC_PI_2 / 2.0,
+        }];
+        assert_eq!(runs_equal(&a, &b, 1), Some(false));
+    }
+
+    #[test]
+    fn ccx_is_caught_exactly() {
+        let ccx = [Gate::CCX {
+            c0: 0,
+            c1: 1,
+            target: 2,
+        }];
+        assert_eq!(runs_equal(&ccx, &ccx, 3), Some(true));
+        assert_eq!(
+            runs_equal(
+                &ccx,
+                &[Gate::CX {
+                    control: 0,
+                    target: 2
+                }],
+                3
+            ),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn width_cap_is_a_sound_unknown() {
+        assert_eq!(runs_equal(&[Gate::H(0)], &[Gate::H(0)], 9), None);
+    }
+}

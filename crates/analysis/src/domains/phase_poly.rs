@@ -1,0 +1,384 @@
+//! The phase-polynomial / path-sum abstract domain.
+//!
+//! Over the gate set {X, CX, Swap} ∪ {Z, S, S†, T, T†, Rz, Phase, CZ,
+//! CPhase, MCPhase, GlobalPhase}, every circuit acts on a basis state
+//! `|x⟩` as
+//!
+//! ```text
+//! |x⟩  ↦  e^{i·p(x)} |A·x ⊕ b⟩
+//! ```
+//!
+//! where `A·x ⊕ b` is an affine GF(2) map (one XOR-of-inputs function
+//! per wire) and `p` is a real **pseudo-Boolean phase polynomial** — a
+//! multilinear polynomial over the input bits. The domain tracks both
+//! pieces symbolically:
+//!
+//! * the state is a [`WireFn`] per wire (input mask + constant bit),
+//! * the phase is a map *monomial mask → coefficient*, grown by the
+//!   standard inclusion–exclusion expansion of XOR under phases:
+//!   `[x_1 ⊕ … ⊕ x_s] = Σ_{∅≠T⊆S} (−2)^{|T|−1} Π_{i∈T} x_i` and
+//!   `[c ⊕ f] = c + (1−2c)·f`.
+//!
+//! Two runs are equivalent **up to global phase** iff their affine maps
+//! are identical and every non-constant monomial coefficient agrees
+//! modulo `2π`. Both directions are exact: a basis-position mismatch
+//! means distinct unitaries, and the Möbius transform of a function
+//! that vanishes mod `2π` pointwise has all non-constant coefficients
+//! `≡ 0 (mod 2π)`. The constant monomial is exactly the global phase
+//! and is ignored.
+//!
+//! The expansion is exponential in the arity of a single phase term, so
+//! the interpreter bails out (returns `None`, falling through to the
+//! dense domain) past [`MAX_MONOMIALS`] accumulated monomials or more
+//! than [`MAX_WIRES`] wires — it never guesses.
+
+use qutes_qcirc::Gate;
+use std::collections::HashMap;
+
+/// Component width cap: input functions are stored as `u64` masks.
+pub const MAX_WIRES: usize = 64;
+/// Phase-polynomial size cap before bailing to the dense fallback.
+pub const MAX_MONOMIALS: usize = 4096;
+/// Coefficients within this of a multiple of `2π` count as equal.
+const COEFF_TOL: f64 = 1e-9;
+const TAU: f64 = 2.0 * std::f64::consts::PI;
+
+/// An affine GF(2) function of the component inputs: `const ⊕ (⊕_{i ∈
+/// mask} x_i)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WireFn {
+    /// XOR mask over the input variables.
+    pub mask: u64,
+    /// Constant term.
+    pub cbit: bool,
+}
+
+/// Symbolic interpretation of one run: affine state plus phase
+/// polynomial.
+#[derive(Clone, Debug)]
+pub struct PathSum {
+    wires: Vec<WireFn>,
+    /// monomial mask (over *input* variables) → real coefficient. The
+    /// empty monomial (mask 0) is the global phase.
+    phase: HashMap<u64, f64>,
+}
+
+impl PathSum {
+    fn new(n: usize) -> Option<Self> {
+        if n > MAX_WIRES {
+            return None;
+        }
+        Some(PathSum {
+            wires: (0..n)
+                .map(|i| WireFn {
+                    mask: 1u64 << i,
+                    cbit: false,
+                })
+                .collect(),
+            phase: HashMap::new(),
+        })
+    }
+
+    fn add_monomial(&mut self, mask: u64, coeff: f64) {
+        *self.phase.entry(mask).or_insert(0.0) += coeff;
+    }
+
+    /// Adds `theta·f` to the phase for the affine function `f`,
+    /// expanding the XOR into multilinear monomials. `None` on blow-up.
+    fn add_affine_phase(&mut self, f: WireFn, theta: f64) -> Option<()> {
+        // [c ⊕ p] = c + (1 − 2c)·[p] for the pure-XOR part p.
+        let sign = if f.cbit { -theta } else { theta };
+        if f.cbit {
+            self.add_monomial(0, theta);
+        }
+        let vars: Vec<u64> = (0..64)
+            .filter(|i| f.mask >> i & 1 == 1)
+            .map(|i| 1u64 << i)
+            .collect();
+        if vars.len() > 12 {
+            return None; // 2^s expansion; past this the dense fallback is cheaper
+        }
+        // Enumerate non-empty subsets T of the mask's variables:
+        // coefficient (−2)^{|T|−1}·sign on the product monomial.
+        for t in 1u64..(1 << vars.len()) {
+            let mono: u64 = vars
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| t >> j & 1 == 1)
+                .map(|(_, m)| m)
+                .sum();
+            let k = t.count_ones();
+            let coeff = sign * (-2.0f64).powi(k as i32 - 1);
+            self.add_monomial(mono, coeff);
+        }
+        (self.phase.len() <= MAX_MONOMIALS).then_some(())
+    }
+
+    /// Adds `theta·f_1·f_2·…·f_k` (a controlled-phase term) by
+    /// multiplying out the affine factors' multilinear forms.
+    fn add_product_phase(&mut self, fs: &[WireFn], theta: f64) -> Option<()> {
+        // Start from the scalar theta and fold in one factor at a time;
+        // each factor's multilinear form is c + (1−2c)·Σ(−2)^{|T|−1}Πx.
+        let mut acc: HashMap<u64, f64> = HashMap::from([(0u64, theta)]);
+        for f in fs {
+            let mut factor: HashMap<u64, f64> = HashMap::new();
+            if f.cbit {
+                factor.insert(0, 1.0);
+            }
+            let sign = if f.cbit { -1.0 } else { 1.0 };
+            let vars: Vec<u64> = (0..64)
+                .filter(|i| f.mask >> i & 1 == 1)
+                .map(|i| 1u64 << i)
+                .collect();
+            if vars.len() > 12 {
+                return None;
+            }
+            for t in 1u64..(1 << vars.len()) {
+                let mono: u64 = vars
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| t >> j & 1 == 1)
+                    .map(|(_, m)| m)
+                    .sum();
+                let coeff = sign * (-2.0f64).powi(t.count_ones() as i32 - 1);
+                *factor.entry(mono).or_insert(0.0) += coeff;
+            }
+            // Multilinear product: x_i² = x_i, so masks merge by OR.
+            let mut next: HashMap<u64, f64> = HashMap::new();
+            for (ma, ca) in &acc {
+                for (mb, cb) in &factor {
+                    *next.entry(ma | mb).or_insert(0.0) += ca * cb;
+                }
+                if next.len() > MAX_MONOMIALS {
+                    return None;
+                }
+            }
+            acc = next;
+        }
+        for (m, c) in acc {
+            self.add_monomial(m, c);
+        }
+        (self.phase.len() <= MAX_MONOMIALS).then_some(())
+    }
+}
+
+/// Interprets `run` in the path-sum domain. `None` when a gate is
+/// outside the domain or the polynomial blows past its caps.
+pub fn interpret(run: &[Gate], n: usize) -> Option<PathSum> {
+    let mut ps = PathSum::new(n)?;
+    for g in run {
+        match g {
+            Gate::X(q) => ps.wires[*q].cbit = !ps.wires[*q].cbit,
+            Gate::CX { control, target } => {
+                let c = ps.wires[*control];
+                let t = &mut ps.wires[*target];
+                t.mask ^= c.mask;
+                t.cbit ^= c.cbit;
+            }
+            Gate::Swap { a, b } => ps.wires.swap(*a, *b),
+            Gate::Z(q) => ps.add_affine_phase(ps.wires[*q], std::f64::consts::PI)?,
+            Gate::S(q) => ps.add_affine_phase(ps.wires[*q], std::f64::consts::FRAC_PI_2)?,
+            Gate::Sdg(q) => ps.add_affine_phase(ps.wires[*q], -std::f64::consts::FRAC_PI_2)?,
+            Gate::T(q) => ps.add_affine_phase(ps.wires[*q], std::f64::consts::FRAC_PI_4)?,
+            Gate::Tdg(q) => ps.add_affine_phase(ps.wires[*q], -std::f64::consts::FRAC_PI_4)?,
+            Gate::Phase { target, lambda } => ps.add_affine_phase(ps.wires[*target], *lambda)?,
+            // RZ(θ) = e^{−iθ/2}·diag(1, e^{iθ}); the scalar prefactor
+            // lands on the constant monomial, which comparison ignores.
+            Gate::RZ { target, theta } => {
+                ps.add_monomial(0, -theta / 2.0);
+                ps.add_affine_phase(ps.wires[*target], *theta)?;
+            }
+            Gate::CZ { control, target } => {
+                ps.add_product_phase(
+                    &[ps.wires[*control], ps.wires[*target]],
+                    std::f64::consts::PI,
+                )?;
+            }
+            Gate::CPhase {
+                control,
+                target,
+                lambda,
+            } => ps.add_product_phase(&[ps.wires[*control], ps.wires[*target]], *lambda)?,
+            Gate::MCPhase {
+                controls,
+                target,
+                lambda,
+            } => {
+                let mut fs: Vec<WireFn> = controls.iter().map(|c| ps.wires[*c]).collect();
+                fs.push(ps.wires[*target]);
+                ps.add_product_phase(&fs, *lambda)?;
+            }
+            Gate::GlobalPhase(t) => ps.add_monomial(0, *t),
+            _ => return None,
+        }
+    }
+    Some(ps)
+}
+
+/// True when `delta` is within tolerance of a multiple of `2π`.
+fn is_multiple_of_tau(delta: f64) -> bool {
+    let m = delta.rem_euclid(TAU);
+    m < COEFF_TOL || TAU - m < COEFF_TOL
+}
+
+/// Decides equivalence of two runs in the path-sum domain. `None` when
+/// either run leaves the domain; otherwise exact (up to global phase).
+pub fn runs_equal(a: &[Gate], b: &[Gate], n: usize) -> Option<bool> {
+    let pa = interpret(a, n)?;
+    let pb = interpret(b, n)?;
+    if pa.wires != pb.wires {
+        return Some(false);
+    }
+    let keys: std::collections::HashSet<u64> =
+        pa.phase.keys().chain(pb.phase.keys()).copied().collect();
+    for m in keys {
+        if m == 0 {
+            continue; // global phase
+        }
+        let ca = pa.phase.get(&m).copied().unwrap_or(0.0);
+        let cb = pb.phase.get(&m).copied().unwrap_or(0.0);
+        if !is_multiple_of_tau(ca - cb) {
+            return Some(false);
+        }
+    }
+    Some(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+
+    #[test]
+    fn tt_equals_s() {
+        assert_eq!(
+            runs_equal(&[Gate::T(0), Gate::T(0)], &[Gate::S(0)], 1),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn tt_does_not_cancel() {
+        assert_eq!(runs_equal(&[Gate::T(0), Gate::T(0)], &[], 1), Some(false));
+    }
+
+    #[test]
+    fn rz_merge_is_equivalent() {
+        let a = [
+            Gate::RZ {
+                target: 0,
+                theta: 0.3,
+            },
+            Gate::RZ {
+                target: 0,
+                theta: 0.4,
+            },
+        ];
+        let b = [Gate::RZ {
+            target: 0,
+            theta: 0.7,
+        }];
+        assert_eq!(runs_equal(&a, &b, 1), Some(true));
+    }
+
+    #[test]
+    fn cz_is_symmetric_phase() {
+        let a = [Gate::CZ {
+            control: 0,
+            target: 1,
+        }];
+        let b = [Gate::CZ {
+            control: 1,
+            target: 0,
+        }];
+        assert_eq!(runs_equal(&a, &b, 2), Some(true));
+    }
+
+    #[test]
+    fn cx_conjugation_moves_phase_support() {
+        // CX(0,1)·T(1)·CX(0,1) applies T to x0⊕x1, not to x1.
+        let a = [
+            Gate::CX {
+                control: 0,
+                target: 1,
+            },
+            Gate::T(1),
+            Gate::CX {
+                control: 0,
+                target: 1,
+            },
+        ];
+        assert_eq!(runs_equal(&a, &[Gate::T(1)], 2), Some(false));
+        // …and the textbook controlled-S decomposition:
+        // CS = T(0)·T(1)·CX·T†(1)·CX, i.e. phase (π/2)·x0·x1.
+        let b = [
+            Gate::T(0),
+            Gate::T(1),
+            Gate::CX {
+                control: 0,
+                target: 1,
+            },
+            Gate::Tdg(1),
+            Gate::CX {
+                control: 0,
+                target: 1,
+            },
+        ];
+        let cs = [Gate::CPhase {
+            control: 0,
+            target: 1,
+            lambda: std::f64::consts::FRAC_PI_2,
+        }];
+        assert_eq!(runs_equal(&b, &cs, 2), Some(true));
+    }
+
+    #[test]
+    fn cphase_decomposition_checks_out() {
+        // CPhase(λ) = Phase(λ/2)⊗Phase(λ/2) · CX · Phase(−λ/2) · CX.
+        let lam = 1.1;
+        let a = [Gate::CPhase {
+            control: 0,
+            target: 1,
+            lambda: lam,
+        }];
+        let b = [
+            Gate::Phase {
+                target: 0,
+                lambda: lam / 2.0,
+            },
+            Gate::Phase {
+                target: 1,
+                lambda: lam / 2.0,
+            },
+            Gate::CX {
+                control: 0,
+                target: 1,
+            },
+            Gate::Phase {
+                target: 1,
+                lambda: -lam / 2.0,
+            },
+            Gate::CX {
+                control: 0,
+                target: 1,
+            },
+        ];
+        assert_eq!(runs_equal(&a, &b, 2), Some(true));
+    }
+
+    #[test]
+    fn s_z_sdg_angles_compose_mod_tau() {
+        let a = [Gate::S(0), Gate::S(0), Gate::Z(0), Gate::Z(0)];
+        let b = [Gate::Phase {
+            target: 0,
+            lambda: PI,
+        }];
+        assert_eq!(runs_equal(&a, &b, 1), Some(true));
+        let _ = (FRAC_PI_2, FRAC_PI_4);
+    }
+
+    #[test]
+    fn hadamard_leaves_the_domain() {
+        assert_eq!(runs_equal(&[Gate::H(0)], &[Gate::H(0)], 1), None);
+    }
+}

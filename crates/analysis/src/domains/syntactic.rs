@@ -1,0 +1,355 @@
+//! Sound AST-level Clifford classification of whole Qutes programs.
+//!
+//! [`program_is_clifford`] answers the dispatch oracle's question: *can
+//! this program ever emit a non-Clifford gate?* A `true` answer is a
+//! **guarantee** — every construct the program contains lowers to
+//! gates from {H, X, Y, Z, S, S†, CX, CY, CZ, Swap} plus measurements,
+//! resets and barriers, on every execution path — so routing the
+//! program to the stabilizer tableau backend is sound. A `false`
+//! answer claims nothing: the program may still happen to execute only
+//! Clifford gates (the estimator's trace-based bit can prove that for
+//! concrete traces; this classifier covers the paths the estimator
+//! gave up on).
+//!
+//! The classifier is deliberately syntactic and conservative: it walks
+//! every statement of every function (reachable or not), tracks only
+//! declared types, and answers `false` the moment it sees a construct
+//! whose lowering is non-Clifford or whose type it cannot pin down:
+//!
+//! * the `phase` gate statement (arbitrary-angle `Phase`),
+//! * quantum-array superposition literals (amplitude prep uses `RY`),
+//! * quantum arithmetic `+ - *` and shifts (Draper adders are `CPhase`
+//!   ladders), `in` (Grover), `rotl`/`rotr`/`qmin`/`qmax`,
+//! * calls to unknown builtins.
+//!
+//! Ket/quint/qustring literals (X/H prep), classical→quantum
+//! promotions (X prep), explicit and implicit measurements, prints and
+//! barriers are all Clifford and stay allowed.
+
+use qutes_frontend::ast::{
+    BinOp, Block, Expr, ExprKind, FunctionDecl, GateKind, Item, LValue, Program, Stmt, Type,
+};
+use std::collections::HashMap;
+
+/// Coarse classification of an expression's value for soundness
+/// purposes: is it possibly quantum?
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Q {
+    Classical,
+    Quantum,
+}
+
+struct Classifier<'a> {
+    /// Declared types in scope (flat map is fine: a shadowing redecl
+    /// overwrites, and we only ever *weaken* toward `Quantum`).
+    vars: HashMap<&'a str, &'a Type>,
+    functions: HashMap<&'a str, &'a FunctionDecl>,
+    clifford: bool,
+}
+
+/// True when every gate `program` can emit, on any path, is Clifford.
+pub fn program_is_clifford(program: &Program) -> bool {
+    let mut cls = Classifier {
+        vars: HashMap::new(),
+        functions: HashMap::new(),
+        clifford: true,
+    };
+    for item in &program.items {
+        if let Item::Function(f) = item {
+            cls.functions.insert(f.name.as_str(), f);
+        }
+    }
+    // Check every function body, reachable or not: soundness over
+    // precision, and it makes the answer independent of call graphs.
+    for item in &program.items {
+        if let Item::Function(f) = item {
+            for p in &f.params {
+                cls.vars.insert(p.name.as_str(), &p.ty);
+            }
+            cls.block(&f.body);
+        }
+    }
+    for item in &program.items {
+        if let Item::Statement(s) = item {
+            cls.stmt(s);
+        }
+    }
+    cls.clifford
+}
+
+impl<'a> Classifier<'a> {
+    fn fail(&mut self) {
+        self.clifford = false;
+    }
+
+    fn block(&mut self, b: &'a Block) {
+        for s in &b.stmts {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, s: &'a Stmt) {
+        match s {
+            Stmt::VarDecl { ty, name, init, .. } => {
+                if let Some(e) = init {
+                    // A classical initialiser promoted into a quantum
+                    // declaration is X-basis prep — Clifford. The
+                    // initialiser itself is still inspected.
+                    self.expr(e);
+                }
+                self.vars.insert(name.as_str(), ty);
+            }
+            Stmt::Assign {
+                target, op, value, ..
+            } => {
+                self.expr(value);
+                let tq = match target {
+                    LValue::Name(n) => self.var_q(n),
+                    LValue::Index(n, idx) => {
+                        self.expr(idx);
+                        self.var_q(n)
+                    }
+                };
+                // Compound quantum assignment (`+=`, `<<=`, …) lowers
+                // through the same non-Clifford arithmetic as the
+                // binary operators; plain `=` re-prep is X-basis.
+                if tq == Q::Quantum && *op != qutes_frontend::ast::AssignOp::Set {
+                    self.fail();
+                }
+            }
+            Stmt::If {
+                cond,
+                then_block,
+                else_block,
+                ..
+            } => {
+                self.expr(cond);
+                self.block(then_block);
+                if let Some(b) = else_block {
+                    self.block(b);
+                }
+            }
+            Stmt::While { cond, body, .. } => {
+                self.expr(cond);
+                self.block(body);
+            }
+            Stmt::Foreach {
+                var,
+                iterable,
+                body,
+                ..
+            } => {
+                let q = self.expr(iterable);
+                // The loop variable's element type is unknown here;
+                // assume quantum unless the iterable is classical.
+                if q == Q::Quantum {
+                    self.vars.insert(var.as_str(), &Type::Qubit);
+                } else {
+                    self.vars.insert(var.as_str(), &Type::Int);
+                }
+                self.block(body);
+            }
+            Stmt::Return { value, .. } => {
+                if let Some(e) = value {
+                    self.expr(e);
+                }
+            }
+            Stmt::Print { value, .. } | Stmt::Expr { expr: value, .. } => {
+                self.expr(value);
+            }
+            Stmt::Gate { gate, args, .. } => {
+                match gate {
+                    GateKind::Hadamard
+                    | GateKind::NotGate
+                    | GateKind::PauliY
+                    | GateKind::PauliZ
+                    | GateKind::CNot => {}
+                    // Arbitrary-angle phase gate: the one built-in
+                    // statement that leaves the Clifford set.
+                    GateKind::Phase => self.fail(),
+                }
+                for a in args {
+                    self.expr(a);
+                }
+            }
+            Stmt::Measure { target, .. } => {
+                self.expr(target);
+            }
+            Stmt::Barrier { .. } => {}
+            Stmt::Block(b) => self.block(b),
+        }
+    }
+
+    fn var_q(&self, name: &str) -> Q {
+        match self.vars.get(name) {
+            Some(t) if t.is_quantum() => Q::Quantum,
+            Some(_) => Q::Classical,
+            // Unknown name: assume quantum — soundness first.
+            None => Q::Quantum,
+        }
+    }
+
+    /// Walks an expression, poisoning `clifford` on non-Clifford
+    /// constructs, and returns whether the value may be quantum.
+    fn expr(&mut self, e: &'a Expr) -> Q {
+        match &e.kind {
+            ExprKind::Int(_)
+            | ExprKind::Float(_)
+            | ExprKind::Bool(_)
+            | ExprKind::Str(_)
+            | ExprKind::Pi => Q::Classical,
+            // X/H basis prep: Clifford.
+            ExprKind::Quint(_) | ExprKind::Qustring(_) | ExprKind::Ket(_) => Q::Quantum,
+            ExprKind::Array(items) => {
+                let mut q = Q::Classical;
+                for i in items {
+                    if self.expr(i) == Q::Quantum {
+                        q = Q::Quantum;
+                    }
+                }
+                q
+            }
+            // Amplitude-encoded superposition literal: RY prep.
+            ExprKind::QuantumArray(items) => {
+                for i in items {
+                    self.expr(i);
+                }
+                self.fail();
+                Q::Quantum
+            }
+            ExprKind::Var(n) => self.var_q(n),
+            ExprKind::Index(base, idx) => {
+                self.expr(idx);
+                self.expr(base)
+            }
+            ExprKind::Unary(_, inner) => self.expr(inner),
+            ExprKind::Binary(op, l, r) => {
+                let lq = self.expr(l);
+                let rq = self.expr(r);
+                let any_q = lq == Q::Quantum || rq == Q::Quantum;
+                match op {
+                    // Quantum arithmetic lowers to Draper adders /
+                    // cyclic-shift networks / Grover: non-Clifford.
+                    BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Shl | BinOp::Shr | BinOp::In => {
+                        if any_q {
+                            self.fail();
+                        }
+                        if matches!(op, BinOp::In) {
+                            Q::Classical
+                        } else if any_q {
+                            Q::Quantum
+                        } else {
+                            Q::Classical
+                        }
+                    }
+                    // Comparisons and logic auto-measure quantum
+                    // operands (measurement is Clifford) and yield
+                    // classical booleans.
+                    BinOp::Div
+                    | BinOp::Mod
+                    | BinOp::Eq
+                    | BinOp::Ne
+                    | BinOp::Lt
+                    | BinOp::Le
+                    | BinOp::Gt
+                    | BinOp::Ge
+                    | BinOp::And
+                    | BinOp::Or => Q::Classical,
+                }
+            }
+            ExprKind::Call(name, args) => {
+                for a in args {
+                    self.expr(a);
+                }
+                match name.as_str() {
+                    // Pure classical queries / casts (a cast of a
+                    // quantum value measures it — Clifford).
+                    "len" | "width" | "range" | "int" | "float" | "bool" | "str" => Q::Classical,
+                    // Rotation networks and Grover-based extrema.
+                    "rotl" | "rotr" | "qmin" | "qmax" => {
+                        self.fail();
+                        Q::Quantum
+                    }
+                    other => match self.functions.get(other) {
+                        // User function: its body is checked globally;
+                        // the call itself adds nothing non-Clifford.
+                        Some(f) => {
+                            if f.ret_type.is_quantum() {
+                                Q::Quantum
+                            } else {
+                                Q::Classical
+                            }
+                        }
+                        // Unknown callee: refuse to certify.
+                        None => {
+                            self.fail();
+                            Q::Quantum
+                        }
+                    },
+                }
+            }
+            ExprKind::MeasureExpr(inner) => {
+                self.expr(inner);
+                Q::Classical
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn classify(src: &str) -> bool {
+        let program = qutes_frontend::parse(src).expect("parses");
+        program_is_clifford(&program)
+    }
+
+    #[test]
+    fn ghz_style_program_is_clifford() {
+        assert!(classify(
+            "qubit a = |+>;\nqubit b = |0>;\ncnot a, b;\nprint measure a;\n"
+        ));
+    }
+
+    #[test]
+    fn phase_gate_is_not() {
+        assert!(!classify("qubit q = |0>;\nphase(q, pi/4);\n"));
+    }
+
+    #[test]
+    fn quantum_addition_is_not() {
+        assert!(!classify(
+            "quint a = 3q;\nquint b = 2q;\na += b;\nprint a;\n"
+        ));
+    }
+
+    #[test]
+    fn classical_arithmetic_is_fine() {
+        assert!(classify(
+            "int n = 3;\nint m = n * 2 + 1;\nqubit q = |1>;\nprint m;\nprint q;\n"
+        ));
+    }
+
+    #[test]
+    fn measurement_terminated_branch_is_clifford() {
+        assert!(classify(
+            "qubit q = |+>;\nif (measure q) { print 1; } else { print 0; }\n"
+        ));
+    }
+
+    #[test]
+    fn superposition_literal_is_not() {
+        assert!(!classify("quint r = [1, 3]q;\nprint r;\n"));
+    }
+
+    #[test]
+    fn clifford_function_bodies_pass_non_clifford_fail() {
+        assert!(classify(
+            "void flip(qubit q) { not q; }\nqubit a = |0>;\nflip(a);\nprint a;\n"
+        ));
+        assert!(!classify(
+            "void spin(qubit q) { phase(q, pi/8); }\nqubit a = |0>;\nprint a;\n"
+        ));
+    }
+}

@@ -30,23 +30,41 @@
 
 #![deny(missing_docs)]
 
+pub mod domains;
 pub mod lints;
 pub mod report;
 pub mod resources;
+pub mod verify;
 
+mod cfg;
 mod control;
 mod dataflow;
 
+pub use domains::syntactic::program_is_clifford;
 pub use lints::{effective_level, lint_by_id, Lint, LintLevel, REGISTRY};
 pub use report::{AnalysisReport, Finding};
 pub use resources::{estimate, ResourceEstimate};
+pub use verify::{
+    classify_dispatch, install_optimizer_guard, verify_optimization, verify_rewrite,
+    BoundaryReport, DispatchClassification, OptimizationVerification, SegmentVerdict, Verdict,
+    VerifyReport,
+};
 
 use qutes_core::LintOptions;
 use qutes_frontend::ast::Program;
 use qutes_frontend::{Diagnostic, Span};
 
-/// A lint hit before level resolution: (lint, message, span).
-pub(crate) type RawFinding = (&'static Lint, String, Span);
+/// A lint hit before level resolution.
+#[derive(Clone, Debug)]
+pub(crate) struct RawFinding {
+    pub(crate) lint: &'static Lint,
+    pub(crate) message: String,
+    pub(crate) span: Span,
+    /// Secondary notes pointing at related spans (e.g. QL001's
+    /// collapsing measurement). Rendered beneath the primary diagnostic,
+    /// each carrying the primary lint's code.
+    pub(crate) notes: Vec<(String, Span)>,
+}
 
 /// Analyzes a parsed, type-checked program.
 ///
@@ -60,13 +78,14 @@ pub fn analyze(program: &Program, opts: &LintOptions) -> AnalysisReport {
     raw.extend(control::run(program));
     let mut findings: Vec<Finding> = raw
         .into_iter()
-        .filter_map(|(lint, message, span)| {
-            let level = effective_level(lint, opts);
+        .filter_map(|f| {
+            let level = effective_level(f.lint, opts);
             (level > LintLevel::Allow).then_some(Finding {
-                lint,
+                lint: f.lint,
                 level,
-                message,
-                span,
+                message: f.message,
+                span: f.span,
+                notes: f.notes,
             })
         })
         .collect();

@@ -16,11 +16,18 @@ pub struct Finding {
     pub message: String,
     /// Source span the finding points at.
     pub span: Span,
+    /// Secondary notes pointing at related spans (e.g. QL001's
+    /// "the collapsing measurement is here"). Each renders as a
+    /// `note[<lint id>]` diagnostic beneath the primary, keeping the
+    /// machine-readable code at every severity — including when
+    /// `--deny-warnings` promotes the primary to an error.
+    pub notes: Vec<(String, Span)>,
 }
 
 impl Finding {
     /// Converts into a shared [`Diagnostic`] (same renderer as parser
-    /// and type errors), carrying the lint id as the code.
+    /// and type errors), carrying the lint id as the code. Notes are
+    /// not included — use [`Finding::render`] for the full output.
     pub fn to_diagnostic(&self) -> Diagnostic {
         let d = match self.level {
             LintLevel::Deny => Diagnostic::error(self.message.clone(), self.span),
@@ -30,9 +37,18 @@ impl Finding {
         d.with_code(self.lint.id)
     }
 
-    /// Renders with source context via the shared diagnostic renderer.
+    /// Renders with source context via the shared diagnostic renderer,
+    /// followed by the attached notes (each tagged with the lint code).
     pub fn render(&self, source: &str) -> String {
-        self.to_diagnostic().render(source)
+        let mut out = self.to_diagnostic().render(source);
+        for (message, span) in &self.notes {
+            out.push_str(
+                &Diagnostic::note(message.clone(), *span)
+                    .with_code(self.lint.id)
+                    .render(source),
+            );
+        }
+        out
     }
 }
 
@@ -80,7 +96,8 @@ impl AnalysisReport {
     ///   "findings": [
     ///     { "id": "QL101", "name": "unused-variable", "level": "warn",
     ///       "message": "...", "span": { "start": 6, "end": 7,
-    ///       "line": 1, "col": 7 } }, ...
+    ///       "line": 1, "col": 7 },
+    ///       "notes": [ { "message": "...", "span": { ... } }, ... ] }, ...
     ///   ],
     ///   "resources": { "qubits": 2, "gates": 3, "depth": 3,
     ///                  "measurements": 2, "exact": true,
@@ -95,9 +112,25 @@ impl AnalysisReport {
             if i > 0 {
                 out.push(',');
             }
+            let notes = f
+                .notes
+                .iter()
+                .map(|(message, span)| {
+                    let (nline, ncol) = map.position(span.start);
+                    format!(
+                        "{{ \"message\": {}, \"span\": {{ \"start\": {}, \"end\": {}, \
+                         \"line\": {nline}, \"col\": {ncol} }} }}",
+                        json_str(message),
+                        span.start,
+                        span.end,
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
             out.push_str(&format!(
                 "\n    {{ \"id\": {}, \"name\": {}, \"level\": {}, \"message\": {}, \
-                 \"span\": {{ \"start\": {}, \"end\": {}, \"line\": {line}, \"col\": {col} }} }}",
+                 \"span\": {{ \"start\": {}, \"end\": {}, \"line\": {line}, \"col\": {col} }}, \
+                 \"notes\": [{notes}] }}",
                 json_str(f.lint.id),
                 json_str(f.lint.name),
                 json_str(level_str(f.level)),
@@ -171,6 +204,7 @@ mod tests {
             level: LintLevel::Warn,
             message: "unused variable 'x'".into(),
             span: Span::new(4, 5),
+            notes: Vec::new(),
         }
     }
 
@@ -180,6 +214,34 @@ mod tests {
         let rendered = finding().render(src);
         assert!(rendered.starts_with("warning[QL101]: unused variable 'x' at 1:5"));
         assert!(rendered.contains("int x = 1;"));
+    }
+
+    #[test]
+    fn notes_render_with_the_primary_lint_code_at_every_severity() {
+        let src = "int x = 1;\n";
+        let mut f = finding();
+        f.notes.push(("declared here".into(), Span::new(0, 3)));
+        let rendered = f.render(src);
+        assert!(rendered.contains("note[QL101]: declared here at 1:1"));
+        // Deny-promotion must not strip the code from the note.
+        f.level = LintLevel::Deny;
+        let rendered = f.render(src);
+        assert!(rendered.starts_with("error[QL101]:"));
+        assert!(rendered.contains("note[QL101]: declared here at 1:1"));
+    }
+
+    #[test]
+    fn json_serializes_notes() {
+        let src = "int x = 1;\n";
+        let mut f = finding();
+        f.notes.push(("declared here".into(), Span::new(0, 3)));
+        let report = AnalysisReport {
+            findings: vec![f],
+            resources: ResourceEstimate::default(),
+        };
+        let json = report.to_json(src);
+        assert!(json.contains("\"notes\": [{ \"message\": \"declared here\""));
+        assert!(json.contains("\"line\": 1, \"col\": 1"));
     }
 
     #[test]

@@ -50,8 +50,11 @@ pub struct ResourceEstimate {
     /// measurement, reset. Such programs are exactly simulable on the
     /// stabilizer-tableau backend at hundreds of qubits; the `qutes`
     /// facade uses this bit to auto-dispatch (see `docs/backends.md`).
-    /// Forced to `false` whenever estimation gave up early, so a `true`
-    /// here is a sound promise, never a guess.
+    /// When estimation gives up early the bit survives only if the
+    /// syntactic Clifford classifier
+    /// ([`crate::domains::syntactic::program_is_clifford`]) proves no
+    /// construct in the program can lower to a non-Clifford gate, so a
+    /// `true` here is a sound promise, never a guess.
     pub clifford_only: bool,
     /// Why the estimate is inexact (empty when `exact`).
     pub notes: Vec<String>,
@@ -119,9 +122,15 @@ pub fn estimate(program: &Program) -> ResourceEstimate {
     }
     if gave_up {
         est.inexact("estimation stopped early (budget exhausted or un-analyzable construct)");
-        // Unknown gates may follow the stop point: a Clifford claim
-        // would be unsound.
-        est.clifford_only = false;
+        // Unknown gates may follow the stop point, so the trace-based
+        // Clifford bit alone would be unsound. The syntactic classifier
+        // rescues the common case: if *no construct in the whole
+        // program* can lower to a non-Clifford gate, the claim stands
+        // regardless of where estimation stopped (e.g. measurement-
+        // terminated branches or unbounded while loops in an otherwise
+        // Clifford program).
+        est.clifford_only =
+            est.clifford_only && crate::domains::syntactic::program_is_clifford(program);
     }
     est.finish()
 }
@@ -2074,6 +2083,33 @@ mod tests {
     fn clifford_only_false_when_estimation_gives_up() {
         // `in` search lowers via Grover/BBHT: inexact and non-Clifford.
         let e = est("qustring t = \"0110\"q;\nbool hit = \"11\" in t;\nprint hit;\n");
+        assert!(!e.clifford_only);
+    }
+
+    #[test]
+    fn clifford_only_survives_give_up_in_clifford_programs() {
+        // The step budget trips mid-loop (gave_up = true), but every
+        // construct in the program is syntactically Clifford, so the
+        // classifier keeps the bit: a GHZ-style program with a long
+        // classical preamble still dispatches to the tableau backend.
+        let e = est("int i = 0;\nwhile (i < 10000000) {\n  i = i + 1;\n}\n\
+             qubit a = |0>;\nqubit b = |0>;\nhadamard a;\ncnot a, b;\nprint a;\n");
+        assert!(!e.exact, "the step budget must have tripped");
+        assert!(
+            e.clifford_only,
+            "give-up must not poison the Clifford bit when the program \
+             cannot emit non-Clifford gates; notes: {:?}",
+            e.notes
+        );
+    }
+
+    #[test]
+    fn clifford_only_still_false_on_give_up_with_phase_gates() {
+        // Same give-up shape, but a phase gate exists past the stop
+        // point: the classifier must refuse to rescue the bit.
+        let e = est("int i = 0;\nwhile (i < 10000000) {\n  i = i + 1;\n}\n\
+             qubit q = |0>;\nphase(q, pi/4);\nprint q;\n");
+        assert!(!e.exact);
         assert!(!e.clifford_only);
     }
 }

@@ -1,0 +1,65 @@
+//! Mutation test: proves translation validation actually catches a
+//! miscompile. Only compiled with `--features verify-mutation`, which
+//! arms a seeded bug in the optimizer's cancellation pass (`S·S` and
+//! `T·T` pairs are treated as inverse pairs and dropped — `S·S = Z`
+//! and `T·T = S`, so the rewrite is wrong in both the Clifford and the
+//! phase-polynomial domain).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo test -p qutes-analysis --features verify-mutation --test verify_mutation
+//! ```
+#![cfg(feature = "verify-mutation")]
+
+use qutes_analysis::{verify_optimization, Verdict};
+use qutes_qcirc::{arm_verify_mutation, Gate, QuantumCircuit};
+
+fn ss_circuit() -> QuantumCircuit {
+    let mut c = QuantumCircuit::with_qubits(2);
+    for g in [
+        Gate::H(0),
+        Gate::S(0),
+        Gate::S(0),
+        Gate::CX {
+            control: 0,
+            target: 1,
+        },
+    ] {
+        c.append(g).expect("in range");
+    }
+    c
+}
+
+fn tt_circuit() -> QuantumCircuit {
+    let mut c = QuantumCircuit::with_qubits(1);
+    for g in [Gate::T(0), Gate::T(0)] {
+        c.append(g).expect("in range");
+    }
+    c
+}
+
+#[test]
+fn seeded_miscompile_is_caught_inequivalent() {
+    arm_verify_mutation(true);
+    // S·S = Z falsely cancelled: caught by the Clifford domain.
+    let v = verify_optimization(&ss_circuit(), 1).expect("verification runs");
+    assert_eq!(
+        v.verdict,
+        Verdict::Inequivalent,
+        "armed S·S mutation must be caught: {:?}",
+        v.first_problem()
+    );
+    // T·T = S falsely cancelled: caught by the phase-polynomial domain.
+    let v = verify_optimization(&tt_circuit(), 1).expect("verification runs");
+    assert_eq!(
+        v.verdict,
+        Verdict::Inequivalent,
+        "armed T·T mutation must be caught: {:?}",
+        v.first_problem()
+    );
+    arm_verify_mutation(false);
+    // Disarmed, the same circuits verify clean again.
+    let v = verify_optimization(&ss_circuit(), 1).expect("verification runs");
+    assert_eq!(v.verdict, Verdict::Equivalent);
+}

@@ -1,0 +1,197 @@
+//! Property tests for the translation validator: the optimizer at
+//! `--opt-level 1..=2` must verify `Equivalent` on randomized circuits
+//! from each engine class (Clifford-only, Clifford+Rz, dense ≤8q).
+//!
+//! Circuits are generated from a fixed seed so the suite is
+//! deterministic; sync operations (measure, reset, conditional) are
+//! sprinkled in so the skeleton matching and both run-alignment schemes
+//! are exercised, not just the all-unitary fast path.
+
+// Test helpers sit outside `#[test]` fns, so the clippy.toml
+// `allow-*-in-tests` escape does not reach them.
+#![allow(clippy::expect_used)]
+
+use qutes_analysis::{verify_optimization, Verdict};
+use qutes_qcirc::{Gate, QuantumCircuit};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::f64::consts::PI;
+
+const CASES: usize = 500;
+
+fn wire(rng: &mut StdRng, n: usize) -> usize {
+    rng.random_range(0..n)
+}
+
+fn wire_pair(rng: &mut StdRng, n: usize) -> (usize, usize) {
+    let a = rng.random_range(0..n);
+    let mut b = rng.random_range(0..n - 1);
+    if b >= a {
+        b += 1;
+    }
+    (a, b)
+}
+
+fn angle(rng: &mut StdRng) -> f64 {
+    // Mix exact dyadic multiples of pi (phase-poly friendly) with
+    // arbitrary angles.
+    if rng.random_bool(0.5) {
+        PI * f64::from(rng.random_range(1..8i32)) / 4.0
+    } else {
+        rng.random_range(-PI..PI)
+    }
+}
+
+fn clifford_gate(rng: &mut StdRng, n: usize) -> Gate {
+    match rng.random_range(0..12) {
+        0 => Gate::H(wire(rng, n)),
+        1 => Gate::X(wire(rng, n)),
+        2 => Gate::Y(wire(rng, n)),
+        3 => Gate::Z(wire(rng, n)),
+        4 => Gate::S(wire(rng, n)),
+        5 => Gate::Sdg(wire(rng, n)),
+        6 => Gate::SX(wire(rng, n)),
+        7 => Gate::SXdg(wire(rng, n)),
+        8 => {
+            let (control, target) = wire_pair(rng, n);
+            Gate::CX { control, target }
+        }
+        9 => {
+            let (control, target) = wire_pair(rng, n);
+            Gate::CY { control, target }
+        }
+        10 => {
+            let (control, target) = wire_pair(rng, n);
+            Gate::CZ { control, target }
+        }
+        _ => {
+            let (a, b) = wire_pair(rng, n);
+            Gate::Swap { a, b }
+        }
+    }
+}
+
+fn clifford_rz_gate(rng: &mut StdRng, n: usize) -> Gate {
+    match rng.random_range(0..5) {
+        0 => Gate::T(wire(rng, n)),
+        1 => Gate::Tdg(wire(rng, n)),
+        2 => Gate::RZ {
+            target: wire(rng, n),
+            theta: angle(rng),
+        },
+        3 => {
+            let (control, target) = wire_pair(rng, n);
+            Gate::CPhase {
+                control,
+                target,
+                lambda: angle(rng),
+            }
+        }
+        _ => clifford_gate(rng, n),
+    }
+}
+
+fn dense_gate(rng: &mut StdRng, n: usize) -> Gate {
+    match rng.random_range(0..6) {
+        0 => Gate::RX {
+            target: wire(rng, n),
+            theta: angle(rng),
+        },
+        1 => Gate::RY {
+            target: wire(rng, n),
+            theta: angle(rng),
+        },
+        2 => Gate::U {
+            target: wire(rng, n),
+            theta: angle(rng),
+            phi: angle(rng),
+            lambda: angle(rng),
+        },
+        3 if n >= 3 => {
+            let (c0, c1) = wire_pair(rng, n);
+            let mut target = rng.random_range(0..n);
+            while target == c0 || target == c1 {
+                target = rng.random_range(0..n);
+            }
+            Gate::CCX { c0, c1, target }
+        }
+        4 => Gate::GlobalPhase(angle(rng)),
+        _ => clifford_rz_gate(rng, n),
+    }
+}
+
+fn sync_op(rng: &mut StdRng, n: usize) -> Gate {
+    let q = wire(rng, n);
+    match rng.random_range(0..3) {
+        0 => Gate::Measure { qubit: q, clbit: q },
+        1 => Gate::Reset(q),
+        _ => Gate::Conditional {
+            clbit: q,
+            value: rng.random_bool(0.5),
+            gate: Box::new(Gate::X(q)),
+        },
+    }
+}
+
+fn random_circuit(
+    rng: &mut StdRng,
+    n: usize,
+    len: usize,
+    gate: fn(&mut StdRng, usize) -> Gate,
+) -> QuantumCircuit {
+    let mut c = QuantumCircuit::with_qubits_and_clbits(n, n);
+    for _ in 0..len {
+        let g = if rng.random_bool(0.12) {
+            sync_op(rng, n)
+        } else {
+            gate(rng, n)
+        };
+        c.append(g).expect("generated gate is in range");
+    }
+    c
+}
+
+/// Verifies `cases` random circuits at opt-levels 1 and 2, panicking
+/// with the first non-`Equivalent` boundary's detail.
+fn assert_class_verifies(
+    seed: u64,
+    cases: usize,
+    qubits: std::ops::RangeInclusive<usize>,
+    max_len: usize,
+    gate: fn(&mut StdRng, usize) -> Gate,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for case in 0..cases {
+        let n = rng.random_range(qubits.clone());
+        let len = rng.random_range(1..=max_len);
+        let circuit = random_circuit(&mut rng, n, len, gate);
+        for level in 1..=2u8 {
+            let v = verify_optimization(&circuit, level).expect("verification runs");
+            assert_eq!(
+                v.verdict,
+                Verdict::Equivalent,
+                "case {case} (seed {seed}, {n} qubits, level {level}): {:?}\ncircuit: {:?}",
+                v.first_problem(),
+                circuit.ops(),
+            );
+        }
+    }
+}
+
+#[test]
+fn clifford_class_verifies_equivalent() {
+    assert_class_verifies(11, CASES, 8..=8, 40, clifford_gate);
+}
+
+#[test]
+fn clifford_rz_class_verifies_equivalent() {
+    assert_class_verifies(22, CASES, 8..=8, 40, clifford_rz_gate);
+}
+
+#[test]
+fn dense_class_verifies_equivalent() {
+    // Mostly 3–5 wires (cheap dense comparisons), finishing with a few
+    // full-width 8-wire circuits to exercise the dense cap boundary.
+    assert_class_verifies(33, CASES - 10, 3..=5, 30, dense_gate);
+    assert_class_verifies(44, 10, 8..=8, 12, dense_gate);
+}

@@ -10,6 +10,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qutes_algos::grover::{grover_circuit, mark_states_oracle};
 use qutes_algos::qft::{iqft, qft};
+use qutes_analysis::verify_optimization;
 use qutes_qcirc::execute::run_shots_cfg;
 use qutes_qcirc::{optimize, ExecutionConfig, QuantumCircuit};
 use std::time::Duration;
@@ -56,6 +57,39 @@ fn bench(c: &mut Criterion) {
                 |b, _| b.iter(|| run_shots_cfg(&circuit, &cfg).unwrap()),
             );
         }
+        // The translation validator's own cost on the same circuit: how
+        // much the static check costs in isolation (dominated by the
+        // dense-domain simulations of the fused l2 runs).
+        g.bench_with_input(BenchmarkId::new("verify_pass_l2", n), &n, |b, _| {
+            b.iter(|| verify_optimization(&circuit, 2).unwrap())
+        });
+    }
+
+    // The `run --verify` trajectory, measured where the flag actually
+    // lives: the facade executes the tour program end to end with the
+    // validator off (the baseline — verification code is never
+    // consulted, so `--verify`-off costs exactly 0%) and on (the
+    // acceptance bar: within 10% of the baseline, since one static
+    // validation amortizes against a whole program's interpretation).
+    let tour = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/programs/language_tour.qut"
+    ))
+    .unwrap();
+    for verify in [false, true] {
+        let cfg = qutes::RunConfig {
+            seed: 7,
+            verify,
+            ..qutes::RunConfig::default()
+        };
+        let id = if verify {
+            "tour_run_verified"
+        } else {
+            "tour_run"
+        };
+        g.bench_with_input(BenchmarkId::new(id, 0), &0, |b, _| {
+            b.iter(|| qutes::run_source(&tour, &cfg).unwrap())
+        });
     }
 
     for n in [6usize, 10] {
@@ -84,6 +118,9 @@ fn bench(c: &mut Criterion) {
         .with_opt_level(2)
         .with_observe(true);
     run_shots_cfg(&grover(8), &profiled_cfg).unwrap();
+    // One profiled validation too, so the `verify.*` counters (segment
+    // domain tallies, escalations, verdicts) land in the gated snapshot.
+    verify_optimization(&grover(8), 2).unwrap();
     qutes_obs::set_enabled(false);
     g.attach_json("obs", qutes_obs::snapshot().to_json());
 

@@ -1,15 +1,17 @@
 //! `qutes` — command-line driver for the Qutes language.
 //!
 //! ```text
-//! qutes run   <file.qut> [--seed N] [--max-steps N] [--stats] [--draw]
-//!             [--noise P] [--readout-error P] [--shots N] [--shot-threads N]
-//!             [--mem-budget BYTES] [--opt-level N] [--time-budget MS]
-//!             [--backend NAME] [--trace] [--profile] [--stats-json PATH]
-//!             [--lint] [-W ID] [-A ID] [--deny-warnings]
-//! qutes lint  <file.qut> [-W ID] [-A ID] [--deny-warnings] [--lint-json]
-//! qutes check <file.qut>
-//! qutes fmt   <file.qut>
-//! qutes qasm  <file.qut> [--v3] [--seed N] [--time-budget MS] [-o out.qasm]
+//! qutes run    <file.qut> [--seed N] [--max-steps N] [--stats] [--draw]
+//!              [--noise P] [--readout-error P] [--shots N] [--shot-threads N]
+//!              [--mem-budget BYTES] [--opt-level N] [--time-budget MS]
+//!              [--backend NAME] [--trace] [--profile] [--stats-json PATH]
+//!              [--lint] [-W ID] [-A ID] [--deny-warnings] [--verify]
+//! qutes verify <file.qut> [--seed N] [--max-steps N] [--time-budget MS]
+//!              [--deny-warnings]
+//! qutes lint   <file.qut> [-W ID] [-A ID] [--deny-warnings] [--lint-json]
+//! qutes check  <file.qut>
+//! qutes fmt    <file.qut>
+//! qutes qasm   <file.qut> [--v3] [--seed N] [--time-budget MS] [-o out.qasm]
 //! ```
 //!
 //! `run` executes the program and prints its `print` output; `qasm`
@@ -36,6 +38,17 @@
 //! for the shot replay and the `--stats` report (0 = off, 1 = gate
 //! cancellation + rotation merging, 2 = additionally single-qubit gate
 //! fusion; default 1).
+//!
+//! `verify` runs the program once (shot-free) and then replays the
+//! optimizer over the accumulated circuit at levels 1 and 2, statically
+//! checking every pass boundary and the end-to-end composition for
+//! unitary equivalence in the cheapest exact domain that fits
+//! (stabilizer tableau, phase polynomial, dense unitary ≤ 8 qubits —
+//! see `docs/verification.md`). It prints the per-boundary
+//! classification and the dispatch-oracle segment counts, exits
+//! non-zero on any `inequivalent` verdict, and warns on `unknown`.
+//! `run --verify` performs the same check at the run's `--opt-level`
+//! after execution, refusing (non-zero exit) on `inequivalent`.
 //!
 //! `lint` runs the static analyzer (`qutes-analysis`, see
 //! `docs/analysis.md`) without executing: it prints every finding with
@@ -70,14 +83,16 @@ use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  qutes run   <file.qut> [--seed N] [--max-steps N] [--stats] [--draw]\n              \
-         [--noise P] [--readout-error P] [--shots N] [--shot-threads N]\n              \
-         [--mem-budget BYTES] [--opt-level N] [--time-budget MS]\n              \
-         [--backend NAME] [--trace] [--profile] [--stats-json PATH]\n              \
-         [--lint] [-W ID] [-A ID] [--deny-warnings]\n  \
-         qutes lint  <file.qut> [-W ID] [-A ID] [--deny-warnings] [--lint-json]\n  \
-         qutes check <file.qut>\n  qutes fmt   <file.qut>\n  \
-         qutes qasm  <file.qut> [--v3] [--seed N] [--time-budget MS] [-o out.qasm]"
+        "usage:\n  qutes run    <file.qut> [--seed N] [--max-steps N] [--stats] [--draw]\n               \
+         [--noise P] [--readout-error P] [--shots N] [--shot-threads N]\n               \
+         [--mem-budget BYTES] [--opt-level N] [--time-budget MS]\n               \
+         [--backend NAME] [--trace] [--profile] [--stats-json PATH]\n               \
+         [--lint] [-W ID] [-A ID] [--deny-warnings] [--verify]\n  \
+         qutes verify <file.qut> [--seed N] [--max-steps N] [--time-budget MS]\n               \
+         [--deny-warnings]\n  \
+         qutes lint   <file.qut> [-W ID] [-A ID] [--deny-warnings] [--lint-json]\n  \
+         qutes check  <file.qut>\n  qutes fmt    <file.qut>\n  \
+         qutes qasm   <file.qut> [--v3] [--seed N] [--time-budget MS] [-o out.qasm]"
     );
     ExitCode::from(2)
 }
@@ -106,6 +121,7 @@ struct Args {
     allows: Vec<String>,
     deny_warnings: bool,
     lint_json: bool,
+    verify: bool,
 }
 
 impl Args {
@@ -140,6 +156,7 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
         allows: Vec::new(),
         deny_warnings: false,
         lint_json: false,
+        verify: false,
     };
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -219,6 +236,7 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
                 ))?;
             }
             "--lint" => args.lint = true,
+            "--verify" => args.verify = true,
             "--deny-warnings" => args.deny_warnings = true,
             "--lint-json" => args.lint_json = true,
             "-W" | "--warn" => {
@@ -336,6 +354,57 @@ fn noise_from_args(args: &Args) -> Option<NoiseModel> {
     Some(NoiseModel::depolarizing(args.noise).with_readout_error(args.readout_error))
 }
 
+/// Replays and verifies the optimizer over `circuit` at `level` inside
+/// a panic-containment boundary (see `docs/verification.md`).
+fn verify_contained(
+    circuit: &qutes_qcirc::QuantumCircuit,
+    level: u8,
+) -> Result<qutes_analysis::OptimizationVerification, String> {
+    match qutes_supervisor::contain(|| {
+        let _stage = qutes_supervisor::enter_stage("cli.verify");
+        qutes_analysis::verify_optimization(circuit, level)
+    }) {
+        Ok(Ok(v)) => Ok(v),
+        Ok(Err(e)) => Err(format!("verification could not run: {e}")),
+        Err(p) => Err(p.to_string()),
+    }
+}
+
+/// Compact `domain=count` summary of a boundary's verified segments.
+fn domain_summary(report: &qutes_analysis::VerifyReport) -> String {
+    if report.segments.is_empty() {
+        return "no segments".into();
+    }
+    let mut counts: Vec<(&str, usize)> = Vec::new();
+    for s in &report.segments {
+        match counts.iter_mut().find(|(d, _)| *d == s.domain) {
+            Some((_, c)) => *c += 1,
+            None => counts.push((s.domain, 1)),
+        }
+    }
+    counts
+        .iter()
+        .map(|(d, c)| format!("{d}={c}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Renders an `inequivalent` overall verdict to stderr: names the first
+/// failing pass and the verifier's explanation.
+fn report_inequivalent(v: &qutes_analysis::OptimizationVerification) {
+    let pass = v.first_problem().map_or("pipeline", |b| b.pass);
+    let detail = v
+        .first_problem()
+        .and_then(|b| b.report.detail.clone())
+        .unwrap_or_else(|| "proven inequivalent".into());
+    eprintln!(
+        "error: verification failed: optimizer pass '{pass}' produced an \
+         inequivalent rewrite: {detail}\n\
+         this is a compiler bug, not a program error — bypass with --opt-level 0 \
+         and please report the program"
+    );
+}
+
 fn read(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))
 }
@@ -387,6 +456,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Debug/CI builds validate every optimizer rewrite in-line; release
+    // builds never consult the validator (zero overhead — see
+    // docs/verification.md). Installing is idempotent.
+    qutes_analysis::install_optimizer_guard();
 
     match cmd.as_str() {
         "run" => {
@@ -490,11 +563,52 @@ fn main() -> ExitCode {
                             Err(e) => eprintln!("[opt] failed: {e}"),
                         }
                     }
+                    // `--verify`: translation-validate the optimizer
+                    // over the circuit this run accumulated, at the
+                    // run's own --opt-level. Refuse (non-zero exit) on
+                    // a proven-inequivalent rewrite; an `unknown` is
+                    // sound to keep and only warns.
+                    let verify_failed = if args.verify {
+                        match verify_contained(&out.circuit, args.opt_level) {
+                            Err(e) => {
+                                eprintln!("error: {e}");
+                                true
+                            }
+                            Ok(v) => match v.verdict {
+                                qutes_analysis::Verdict::Inequivalent => {
+                                    report_inequivalent(&v);
+                                    true
+                                }
+                                qutes_analysis::Verdict::Unknown => {
+                                    let unknown = v
+                                        .boundaries
+                                        .iter()
+                                        .filter(|b| {
+                                            b.report.verdict == qutes_analysis::Verdict::Unknown
+                                        })
+                                        .count();
+                                    eprintln!(
+                                        "warning: verification inconclusive: {unknown} of {} \
+                                         rewrite boundaries exceeded every exact domain \
+                                         (sound to run; see docs/verification.md)",
+                                        v.boundaries.len()
+                                    );
+                                    false
+                                }
+                                qutes_analysis::Verdict::Equivalent => false,
+                            },
+                        }
+                    } else {
+                        false
+                    };
                     if args.observing() {
-                        if let Err(e) = report_observability(&args, false) {
+                        if let Err(e) = report_observability(&args, verify_failed) {
                             eprintln!("error: {e}");
                             return ExitCode::FAILURE;
                         }
+                    }
+                    if verify_failed {
+                        return ExitCode::FAILURE;
                     }
                     ExitCode::SUCCESS
                 }
@@ -526,6 +640,81 @@ fn main() -> ExitCode {
                     }
                     ExitCode::FAILURE
                 }
+            }
+        }
+        "verify" => {
+            let mut cfg = RunConfig {
+                seed: args.seed,
+                max_steps: args.max_steps,
+                time_budget: args.time_budget_ms.map(Duration::from_millis),
+                ..RunConfig::default()
+            };
+            // Resolve the engine exactly like `run` would: wide Clifford
+            // programs (e.g. examples/programs/ghz_100.qut) only execute
+            // on the tableau.
+            cfg.backend = qutes::resolve_backend(&source, &cfg);
+            let result = qutes_supervisor::contain(|| run_source(&source, &cfg))
+                .unwrap_or_else(|p| Err(QutesError::from(p)));
+            let out = match result {
+                Ok(out) => out,
+                Err(e) => {
+                    eprintln!("{}", e.render(&source));
+                    return ExitCode::FAILURE;
+                }
+            };
+            let d = qutes_analysis::classify_dispatch(&out.circuit);
+            println!(
+                "dispatch: {} segment(s), {} clifford{}",
+                d.segments,
+                d.clifford_segments,
+                if d.all_clifford {
+                    " (tableau-eligible)"
+                } else {
+                    ""
+                }
+            );
+            let mut worst = qutes_analysis::Verdict::Equivalent;
+            for level in 1..=2u8 {
+                match verify_contained(&out.circuit, level) {
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    Ok(v) => {
+                        println!("opt-level {level}: {}", v.verdict.name());
+                        for b in &v.boundaries {
+                            println!(
+                                "  [{}] {:<12} {:<12} {}",
+                                b.index,
+                                b.pass,
+                                b.report.verdict.name(),
+                                domain_summary(&b.report)
+                            );
+                        }
+                        worst = worst.join(v.verdict);
+                        if v.verdict == qutes_analysis::Verdict::Inequivalent {
+                            report_inequivalent(&v);
+                        }
+                    }
+                }
+            }
+            match worst {
+                qutes_analysis::Verdict::Inequivalent => ExitCode::FAILURE,
+                qutes_analysis::Verdict::Unknown => {
+                    eprintln!(
+                        "warning: some rewrite boundaries exceeded every exact domain \
+                         (sound unknown; see docs/verification.md)"
+                    );
+                    // Mirrors lint: strict callers (CI) can insist on a
+                    // full proof rather than a sound "too wide to check".
+                    if args.deny_warnings {
+                        eprintln!("error: unverified rewrite rejected by --deny-warnings");
+                        ExitCode::FAILURE
+                    } else {
+                        ExitCode::SUCCESS
+                    }
+                }
+                qutes_analysis::Verdict::Equivalent => ExitCode::SUCCESS,
             }
         }
         "lint" => match analyze_contained(&source, &lint_options(&args)) {

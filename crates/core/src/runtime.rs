@@ -108,6 +108,13 @@ pub struct RunConfig {
     /// shot draws from its own counter-derived RNG stream; batched
     /// (noise-free, measure-at-end) replays ignore this knob.
     pub shot_threads: usize,
+    /// Statically verify every optimizer rewrite of the accumulated
+    /// circuit after the run (translation validation, see
+    /// `docs/verification.md`). `qutes-core` itself never verifies —
+    /// the `qutes` facade and CLI consult this flag, refuse on a proven
+    /// `Inequivalent` and warn on `Unknown`. Off by default; costs
+    /// nothing when off.
+    pub verify: bool,
 }
 
 impl Default for RunConfig {
@@ -128,6 +135,7 @@ impl Default for RunConfig {
             degrade: DegradePolicy::default(),
             backend: qutes_qcirc::BackendChoice::Auto,
             shot_threads: 0,
+            verify: false,
         }
     }
 }

@@ -76,6 +76,17 @@ pub enum CircError {
     /// cancellation (see `qutes_supervisor::Interrupt`). Interrupts
     /// raised inside the simulator are normalised to this variant.
     Interrupted(StopReason),
+    /// An optimizer rewrite failed translation validation: the installed
+    /// pass validator (see `optimize::set_pass_validator`) proved or
+    /// could not rule out that the pass output is inequivalent to its
+    /// input. The circuit is left unexecuted — a rejected rewrite means
+    /// a compiler bug, never a user error.
+    RewriteRejected {
+        /// The optimizer pass whose output was rejected.
+        pass: &'static str,
+        /// Verifier explanation (domain used, first mismatching fact).
+        detail: String,
+    },
     /// A simulation backend was asked to execute something outside its
     /// model — e.g. a non-Clifford gate or a noise model on the
     /// stabilizer tableau. Only reachable when the backend is forced
@@ -133,6 +144,13 @@ impl fmt::Display for CircError {
                 write!(f, "gate-application budget of {limit} exhausted")
             }
             CircError::Interrupted(reason) => write!(f, "{reason}"),
+            CircError::RewriteRejected { pass, detail } => {
+                write!(
+                    f,
+                    "optimizer pass '{pass}' produced a rewrite that failed \
+                     translation validation: {detail}"
+                )
+            }
             CircError::BackendUnsupported { backend, what } => {
                 write!(
                     f,

@@ -419,6 +419,26 @@ fn check_clbit(clbits: &[bool], clbit: usize) -> CircResult<()> {
     Ok(())
 }
 
+/// Applies a *deterministic* instruction — any unitary gate, a global
+/// phase, or a barrier — to `state`, with no randomness and no
+/// classical bits. Branching instructions (measure/reset/conditional)
+/// are a typed [`CircError::NonUnitary`].
+///
+/// This is the building block the translation validator's channel
+/// domain uses to reconstruct Kraus operators column by column: it
+/// needs gate application onto an *arbitrary* existing state, which
+/// [`statevector`] (always starting from `|0…0>`) cannot provide.
+pub fn apply_deterministic(state: &mut StateVector, g: &Gate) -> CircResult<()> {
+    match g {
+        Gate::GlobalPhase(t) => {
+            state.apply_global_phase(*t);
+            Ok(())
+        }
+        Gate::Barrier(_) => Ok(()),
+        _ => apply_unitary(state, g),
+    }
+}
+
 /// Applies the unitary instruction `g` to `state`. Callers must route
 /// non-unitary instructions (measure/reset/conditional/barrier/phase)
 /// elsewhere; this function handles every remaining arm.

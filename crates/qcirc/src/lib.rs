@@ -34,6 +34,7 @@ pub mod gate;
 pub mod metrics;
 pub mod optimize;
 pub mod register;
+pub mod segment;
 
 pub use backend::{
     circuit_is_clifford, Backend, BackendChoice, BackendKind, StatevectorBackend, TableauBackend,
@@ -45,11 +46,18 @@ pub use decompose::{
 pub use draw::draw;
 pub use error::{CircError, CircResult};
 pub use execute::{
-    run_once, run_once_cfg, run_shots, run_shots_cfg, run_shots_majority, run_shots_supervised,
-    statevector, Counts, ExecutionConfig, MajorityOutcome, Shot, ShotsOutcome,
+    apply_deterministic, run_once, run_once_cfg, run_shots, run_shots_cfg, run_shots_majority,
+    run_shots_supervised, statevector, Counts, ExecutionConfig, MajorityOutcome, Shot,
+    ShotsOutcome,
 };
 pub use gate::Gate;
 pub use metrics::CircuitStats;
-pub use optimize::{optimize, optimize_with_interrupt, OptimizationReport};
+#[cfg(feature = "verify-mutation")]
+pub use optimize::arm_verify_mutation;
+pub use optimize::{
+    optimize, optimize_with_interrupt, optimize_with_trace, set_pass_validator, OptimizationReport,
+    PassBoundary, PassValidator,
+};
 pub use qutes_supervisor::{Interrupt, StopReason};
 pub use register::{ClassicalRegister, QuantumRegister};
+pub use segment::{is_sync_op, run_support, segment_ops, segment_ops_causal, Segmented};

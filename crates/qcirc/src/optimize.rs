@@ -54,6 +54,7 @@ use crate::error::{CircError, CircResult};
 use crate::gate::Gate;
 use qutes_sim::{gates, Complex64, Matrix2, Matrix4, Matrix8};
 use qutes_supervisor::{failpoint, Interrupt};
+use std::sync::OnceLock;
 
 const ANGLE_TOL: f64 = 1e-12;
 const TAU: f64 = 2.0 * std::f64::consts::PI;
@@ -93,6 +94,67 @@ impl OptimizationReport {
     }
 }
 
+/// One optimizer rewrite captured at its pass boundary: the gate list
+/// immediately before and after a pass iteration that changed it.
+///
+/// Boundaries are what the static translation-validation pass in
+/// `qutes-analysis::verify` consumes: instead of comparing only the
+/// whole-pipeline input/output, every *individual* rewrite is checked,
+/// so a miscompile is pinned to the pass that introduced it.
+#[derive(Clone, Debug)]
+pub struct PassBoundary {
+    /// Which pass produced this rewrite (`"cancel_merge"`,
+    /// `"fuse_runs"`, `"fuse_multi"`).
+    pub pass: &'static str,
+    /// Position of this boundary in pipeline order (0-based).
+    pub index: usize,
+    /// Gate list entering the pass.
+    pub before: Vec<Gate>,
+    /// Gate list leaving the pass. Always differs from `before`:
+    /// unchanged iterations are not recorded.
+    pub after: Vec<Gate>,
+}
+
+/// Callback validating one optimizer rewrite: `(pass, index, before,
+/// after)`. Returning `Err(detail)` aborts optimization with
+/// [`CircError::RewriteRejected`].
+pub type PassValidator = fn(&'static str, usize, &[Gate], &[Gate]) -> Result<(), String>;
+
+static PASS_VALIDATOR: OnceLock<PassValidator> = OnceLock::new();
+
+/// Installs a process-global rewrite validator, consulted by
+/// [`optimize`]/[`optimize_with_interrupt`] at every changed pass
+/// boundary **in debug builds only** (`cfg(debug_assertions)`) — release
+/// builds never clone gate lists or call the validator, so the
+/// steady-state cost is zero. The first installation wins; later calls
+/// are ignored (the validator is a process-wide invariant, not a
+/// per-call option). [`optimize_with_trace`] bypasses the validator so
+/// a verifier can collect boundaries and judge them itself.
+pub fn set_pass_validator(v: PassValidator) {
+    let _ = PASS_VALIDATOR.set(v);
+}
+
+/// Feature-gated deliberately-broken rewrite, used by the mutation test
+/// that proves translation validation actually catches miscompiles.
+#[cfg(feature = "verify-mutation")]
+static VERIFY_MUTATION_ARMED: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
+
+/// Arms (or disarms) the seeded optimizer bug: while armed, [`optimize`]
+/// treats adjacent `S·S` and `T·T` pairs as inverse pairs and cancels
+/// them — `S·S = Z` (caught by the Clifford domain) and `T·T = S`
+/// (caught by the phase-polynomial domain), so both verification
+/// domains are exercised. Only exists under the `verify-mutation`
+/// feature; never enable that feature outside the mutation test.
+#[cfg(feature = "verify-mutation")]
+pub fn arm_verify_mutation(on: bool) {
+    VERIFY_MUTATION_ARMED.store(on, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// Per-boundary callback used internally to route changed pass
+/// boundaries either into a trace or into the installed validator.
+type BoundarySink<'a> = &'a mut dyn FnMut(&'static str, &[Gate], &[Gate]) -> CircResult<()>;
+
 /// Runs the pass pipeline at `level` (0 = off, 1 = cancel/merge,
 /// 2 = +fusion) and returns the rewritten circuit with its report.
 pub fn optimize(
@@ -110,6 +172,48 @@ pub fn optimize_with_interrupt(
     circuit: &QuantumCircuit,
     level: u8,
     intr: &Interrupt,
+) -> CircResult<(QuantumCircuit, OptimizationReport)> {
+    #[cfg(debug_assertions)]
+    if let Some(v) = PASS_VALIDATOR.get().copied() {
+        let mut index = 0usize;
+        let mut sink = move |pass: &'static str, before: &[Gate], after: &[Gate]| {
+            let i = index;
+            index += 1;
+            v(pass, i, before, after).map_err(|detail| CircError::RewriteRejected { pass, detail })
+        };
+        return optimize_impl(circuit, level, intr, &mut Some(&mut sink));
+    }
+    optimize_impl(circuit, level, intr, &mut None)
+}
+
+/// [`optimize_with_interrupt`] that additionally records every changed
+/// pass boundary. The installed [`PassValidator`] is **not** consulted
+/// on this path: the caller is the verifier and wants verdicts, not
+/// mid-optimize errors.
+pub fn optimize_with_trace(
+    circuit: &QuantumCircuit,
+    level: u8,
+    intr: &Interrupt,
+) -> CircResult<(QuantumCircuit, OptimizationReport, Vec<PassBoundary>)> {
+    let mut trace: Vec<PassBoundary> = Vec::new();
+    let mut sink = |pass: &'static str, before: &[Gate], after: &[Gate]| {
+        trace.push(PassBoundary {
+            pass,
+            index: trace.len(),
+            before: before.to_vec(),
+            after: after.to_vec(),
+        });
+        Ok(())
+    };
+    let (out, report) = optimize_impl(circuit, level, intr, &mut Some(&mut sink))?;
+    Ok((out, report, trace))
+}
+
+fn optimize_impl(
+    circuit: &QuantumCircuit,
+    level: u8,
+    intr: &Interrupt,
+    sink: &mut Option<BoundarySink<'_>>,
 ) -> CircResult<(QuantumCircuit, OptimizationReport)> {
     let _span = qutes_obs::span("stage.optimize");
     let before = circuit.stats();
@@ -129,19 +233,29 @@ pub fn optimize_with_interrupt(
 
     let n = circuit.num_qubits();
     let mut ops: Vec<Gate> = circuit.ops().to_vec();
-    ops = cancel_merge_fixpoint(ops, n, &mut report, intr)?;
+    ops = cancel_merge_fixpoint(ops, n, &mut report, intr, sink)?;
     if level >= 2 {
         intr.check().map_err(CircError::Interrupted)?;
         let _ = failpoint("qcirc.optimize.pass");
+        let snap = sink.as_ref().map(|_| ops.clone());
         let (next, changed) = fuse_runs(ops, n, &mut report.fused);
         ops = next;
         if changed {
+            if let (Some(s), Some(before)) = (sink.as_mut(), snap.as_ref()) {
+                s("fuse_runs", before, &ops)?;
+            }
             // Fusion can make 2-qubit inverse pairs adjacent on their wires.
-            ops = cancel_merge_fixpoint(ops, n, &mut report, intr)?;
+            ops = cancel_merge_fixpoint(ops, n, &mut report, intr, sink)?;
         }
         intr.check().map_err(CircError::Interrupted)?;
-        let (next, _) = fuse_multi(ops, n, &mut report.fused);
+        let snap = sink.as_ref().map(|_| ops.clone());
+        let (next, changed) = fuse_multi(ops, n, &mut report.fused);
         ops = next;
+        if changed {
+            if let (Some(s), Some(before)) = (sink.as_mut(), snap.as_ref()) {
+                s("fuse_multi", before, &ops)?;
+            }
+        }
     }
 
     let mut out = circuit.clone_structure();
@@ -229,6 +343,15 @@ fn normalize(g: &Gate) -> Gate {
 /// True when `b` is exactly the inverse of `a` (structurally, after
 /// canonicalising symmetric gates).
 fn cancels(a: &Gate, b: &Gate) -> bool {
+    #[cfg(feature = "verify-mutation")]
+    if VERIFY_MUTATION_ARMED.load(std::sync::atomic::Ordering::SeqCst) {
+        // Seeded miscompile (see `arm_verify_mutation`): S·S = Z and
+        // T·T = S, neither is the identity, yet both "cancel" here.
+        match (a, b) {
+            (Gate::S(x), Gate::S(y)) | (Gate::T(x), Gate::T(y)) if x == y => return true,
+            _ => {}
+        }
+    }
     match a.inverse() {
         Some(inv) => normalize(&inv) == normalize(b),
         None => false,
@@ -405,6 +528,7 @@ fn cancel_merge_fixpoint(
     n: usize,
     report: &mut OptimizationReport,
     intr: &Interrupt,
+    sink: &mut Option<BoundarySink<'_>>,
 ) -> CircResult<Vec<Gate>> {
     for _ in 0..MAX_PASSES {
         if intr.is_armed() {
@@ -412,10 +536,16 @@ fn cancel_merge_fixpoint(
         }
         intr.check().map_err(CircError::Interrupted)?;
         let _ = failpoint("qcirc.optimize.pass");
+        // The pre-pass snapshot exists only when a sink is attached, so
+        // the plain `optimize` path never pays for the clone.
+        let snap = sink.as_ref().map(|_| ops.clone());
         let (next, changed) = cancel_merge(ops, n, &mut report.cancelled, &mut report.merged);
         ops = next;
         if !changed {
             break;
+        }
+        if let (Some(s), Some(before)) = (sink.as_mut(), snap.as_ref()) {
+            s("cancel_merge", before, &ops)?;
         }
     }
     Ok(ops)
@@ -863,10 +993,27 @@ fn fuse_multi(ops: Vec<Gate>, n: usize, fused: &mut usize) -> (Vec<Gate>, bool) 
     for i in 0..out.len() {
         let Some(g) = out[i].clone() else { continue };
         let Some((gwires, gk, gdense)) = fusable_dense(&g) else {
-            // Fences close every cluster they touch. An empty wire list
-            // (bare Barrier, GlobalPhase) means "all" for barriers and
-            // "none" for global phases; effective_qubits already
-            // resolves that.
+            if crate::segment::is_sync_op(&g) {
+                // Sync anchors close *every* open cluster, not just the
+                // ones on their wires. Fusing across a measurement on a
+                // disjoint wire would be unitarily sound, but the fused
+                // gate's widened support would no longer sit in the
+                // same positional run as its constituents, defeating
+                // the run-by-run translation validation of this pass
+                // (`qutes-analysis::verify`). Keeping fusion list-local
+                // costs a rare fusion opportunity and keeps every
+                // rewrite of this pass statically checkable.
+                for slot in &mut clusters {
+                    if let Some(cl) = slot.take() {
+                        flush_cluster(cl, &mut out, &mut wire_map, fused, &mut changed);
+                    }
+                }
+                continue;
+            }
+            // Unitary fences (wide gates, barriers) close every cluster
+            // they touch. An empty wire list (bare Barrier, GlobalPhase)
+            // means "all" for barriers and "none" for global phases;
+            // effective_qubits already resolves that.
             for q in effective_qubits(&g, n) {
                 if let Some(ci) = wire_map[q] {
                     if let Some(cl) = clusters[ci].take() {

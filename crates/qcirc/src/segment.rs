@@ -1,0 +1,248 @@
+//! Segment metadata over gate streams: the sync skeleton and the
+//! unitary runs between its anchors.
+//!
+//! Both the translation-validation pass (`qutes-analysis::verify`) and
+//! per-segment backend classification view a circuit the same way: a
+//! sequence of **unitary runs** separated by **sync operations** —
+//! measurements, resets and classically-conditioned gates, the points
+//! where the circuit's action stops being a pure unitary. No optimizer
+//! pass may create, drop or reorder sync operations (they fence every
+//! rewrite on the wires they touch), so two circuits can only be
+//! equivalent if their sync skeletons match exactly; the remaining
+//! question is then the equivalence of each aligned pair of unitary
+//! runs, which is what the abstract domains decide.
+//!
+//! Two run-assignment schemes are offered, because no single one
+//! aligns every rewrite the optimizer performs:
+//!
+//! * [`segment_ops`] is **positional**: `runs[k]` holds exactly the
+//!   gates between `sync[k-1]` and `sync[k]` in list order. This
+//!   aligns any list-local rewrite — in particular multi-qubit fusion,
+//!   whose fused unitary replaces a contiguous cluster and so stays in
+//!   its run even though its *support* widened.
+//! * [`segment_ops_causal`] is **causal** (ASAP): a sync anchor only
+//!   delays gates whose wires it touches, and each gate lands in the
+//!   earliest run consistent with its wire dependencies. This aligns
+//!   the commutation-aware peephole, which happily cancels a gate pair
+//!   straddling a measurement on a *different* wire — sound, because
+//!   operations on disjoint wires commute, and under causal assignment
+//!   both halves of such a pair land in the same run on both sides of
+//!   the rewrite.
+//!
+//! A verifier that accepts a rewrite when *either* scheme proves every
+//! aligned run pair equivalent is sound (each scheme is a sufficient
+//! condition) and precise over the shipped passes: cancellation and
+//! merging are causally aligned, fusion is positionally aligned.
+//!
+//! Barriers are *not* part of the skeleton: a barrier is the identity
+//! unitary whose only role is to fence the optimizer. Dropping it from
+//! both sides of a comparison is sound (identity ⊗ anything) — the
+//! optimizer never moves gates across one, so the barrier-free runs
+//! never mix gates the optimizer could not have mixed itself.
+//!
+//! ```
+//! use qutes_qcirc::{segment_ops, segment_ops_causal, Gate};
+//!
+//! let ops = [
+//!     Gate::H(0),
+//!     Gate::CX { control: 0, target: 1 },
+//!     Gate::Measure { qubit: 0, clbit: 0 },
+//!     Gate::X(1), // commutes with the measurement of wire 0
+//! ];
+//! let seg = segment_ops(&ops);
+//! assert_eq!(seg.sync.len(), 1);
+//! assert_eq!(seg.runs[1], vec![Gate::X(1)]);
+//! let causal = segment_ops_causal(&ops);
+//! assert_eq!(causal.runs[0].len(), 3); // X(1) joins the causal run 0
+//! assert!(causal.runs[1].is_empty());
+//! ```
+
+use crate::gate::Gate;
+
+/// A gate stream split into unitary runs and the sync skeleton
+/// separating them. Invariant: `runs.len() == sync.len() + 1` (leading,
+/// trailing and between-anchor runs may be empty).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Segmented {
+    /// Unitary gate runs, in order. Positional scheme: `runs[k]` holds
+    /// the gates between `sync[k-1]` and `sync[k]` in list order.
+    /// Causal scheme: `runs[k]` holds the gates whose wire
+    /// dependencies place them after `sync[k-1]` and no later (see the
+    /// module docs). Barriers are kept out — they are identities.
+    pub runs: Vec<Vec<Gate>>,
+    /// The sync skeleton: every `Measure`, `Reset` and `Conditional`
+    /// in program order, verbatim.
+    pub sync: Vec<Gate>,
+}
+
+impl Segmented {
+    /// Pairs of (run, following sync anchor); the final run has no
+    /// anchor. Convenience for walkers that want both views zipped.
+    pub fn len_gates(&self) -> usize {
+        self.runs.iter().map(Vec::len).sum()
+    }
+}
+
+/// True for the operations that anchor the sync skeleton.
+pub fn is_sync_op(g: &Gate) -> bool {
+    matches!(
+        g,
+        Gate::Measure { .. } | Gate::Reset(_) | Gate::Conditional { .. }
+    )
+}
+
+/// Splits `ops` into positional unitary runs separated by sync
+/// operations: `runs[k]` holds exactly the gates between anchors `k-1`
+/// and `k` in list order. See the module docs for why barriers are
+/// dropped rather than kept as anchors.
+pub fn segment_ops(ops: &[Gate]) -> Segmented {
+    let mut runs: Vec<Vec<Gate>> = vec![Vec::new()];
+    let mut sync: Vec<Gate> = Vec::new();
+    for g in ops {
+        if is_sync_op(g) {
+            sync.push(g.clone());
+            runs.push(Vec::new());
+        } else if !matches!(g, Gate::Barrier(_)) {
+            if let Some(run) = runs.last_mut() {
+                run.push(g.clone());
+            }
+        }
+    }
+    Segmented { runs, sync }
+}
+
+/// Splits `ops` into causal unitary runs separated by sync operations.
+/// See the module docs for the causal (ASAP) assignment rule.
+pub fn segment_ops_causal(ops: &[Gate]) -> Segmented {
+    let sync: Vec<Gate> = ops.iter().filter(|g| is_sync_op(g)).cloned().collect();
+    let mut runs: Vec<Vec<Gate>> = vec![Vec::new(); sync.len() + 1];
+    // `wire_run[q]` = earliest run the next gate touching wire `q` may
+    // join; grown on demand so no qubit count is needed up front.
+    let mut wire_run: Vec<usize> = Vec::new();
+    let mut anchors_seen = 0usize;
+    let fence = |wire_run: &mut Vec<usize>, q: usize, r: usize| {
+        if wire_run.len() <= q {
+            wire_run.resize(q + 1, 0);
+        }
+        wire_run[q] = r;
+    };
+    for g in ops {
+        if matches!(g, Gate::Barrier(_)) {
+            continue;
+        }
+        if is_sync_op(g) {
+            anchors_seen += 1;
+            for q in g.qubits() {
+                fence(&mut wire_run, q, anchors_seen);
+            }
+            continue;
+        }
+        let qs = g.qubits();
+        // A support-free gate (global phase) commutes with everything
+        // and normalizes to run 0 on both sides of any rewrite.
+        let r = qs
+            .iter()
+            .map(|&q| wire_run.get(q).copied().unwrap_or(0))
+            .max()
+            .unwrap_or(0);
+        for &q in &qs {
+            fence(&mut wire_run, q, r);
+        }
+        runs[r].push(g.clone());
+    }
+    Segmented { runs, sync }
+}
+
+/// The set of wires a run of gates touches, sorted and deduplicated.
+pub fn run_support(run: &[Gate]) -> Vec<usize> {
+    let mut qs: Vec<usize> = run.iter().flat_map(Gate::qubits).collect();
+    qs.sort_unstable();
+    qs.dedup();
+    qs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stream_is_one_empty_run() {
+        let seg = segment_ops(&[]);
+        assert_eq!(seg.runs, vec![Vec::<Gate>::new()]);
+        assert!(seg.sync.is_empty());
+    }
+
+    #[test]
+    fn sync_ops_anchor_and_barriers_vanish() {
+        let ops = [
+            Gate::H(0),
+            Gate::Barrier(vec![]),
+            Gate::Measure { qubit: 0, clbit: 0 },
+            Gate::Reset(0),
+            Gate::Conditional {
+                clbit: 0,
+                value: true,
+                gate: Box::new(Gate::X(0)),
+            },
+            Gate::Z(0),
+        ];
+        let seg = segment_ops(&ops);
+        assert_eq!(seg.sync.len(), 3);
+        assert_eq!(seg.runs.len(), 4);
+        assert_eq!(seg.runs[0], vec![Gate::H(0)]);
+        assert!(seg.runs[1].is_empty());
+        assert!(seg.runs[2].is_empty());
+        assert_eq!(seg.runs[3], vec![Gate::Z(0)]);
+        assert_eq!(seg.len_gates(), 2);
+    }
+
+    #[test]
+    fn anchors_only_fence_their_own_wires() {
+        // The H(1) pair straddles a measurement of wire 0 — exactly the
+        // shape the peephole cancels. Causal assignment puts both H's
+        // in run 0, so a run-by-run comparison against the cancelled
+        // version still aligns.
+        let ops = [
+            Gate::H(1),
+            Gate::Measure { qubit: 0, clbit: 0 },
+            Gate::H(1),
+            Gate::X(0),
+        ];
+        let seg = segment_ops_causal(&ops);
+        assert_eq!(seg.runs[0], vec![Gate::H(1), Gate::H(1)]);
+        assert_eq!(seg.runs[1], vec![Gate::X(0)]);
+        // The positional view keeps the straddling pair apart.
+        let pos = segment_ops(&ops);
+        assert_eq!(pos.runs[0], vec![Gate::H(1)]);
+        assert_eq!(pos.runs[1], vec![Gate::H(1), Gate::X(0)]);
+    }
+
+    #[test]
+    fn gate_dependencies_chain_through_entanglers() {
+        // CX(0,1) lands after the measurement of wire 0, dragging the
+        // later H(1) with it even though no anchor touches wire 1.
+        let ops = [
+            Gate::Measure { qubit: 0, clbit: 0 },
+            Gate::CX {
+                control: 0,
+                target: 1,
+            },
+            Gate::H(1),
+        ];
+        let seg = segment_ops_causal(&ops);
+        assert!(seg.runs[0].is_empty());
+        assert_eq!(seg.runs[1].len(), 2);
+    }
+
+    #[test]
+    fn run_support_is_sorted_unique() {
+        let run = [
+            Gate::CX {
+                control: 2,
+                target: 0,
+            },
+            Gate::H(2),
+        ];
+        assert_eq!(run_support(&run), vec![0, 2]);
+    }
+}

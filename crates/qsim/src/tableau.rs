@@ -131,6 +131,45 @@ impl Tableau {
         &self.interrupt
     }
 
+    /// True when `self` and `other` describe the same Clifford *action*.
+    ///
+    /// A fresh tableau run through a gate sequence does not just hold a
+    /// state: because [`Tableau::new`] seeds destabilizer `i` with `X_i`
+    /// and stabilizer `i` with `Z_i`, the rows after the run record the
+    /// conjugation `U P U†` of every generator `P ∈ {X_0..X_{n-1},
+    /// Z_0..Z_{n-1}}` — i.e. the full action of the Clifford unitary `U`
+    /// on the Pauli group, signs included. Two Clifford circuits are
+    /// therefore equal up to global phase **iff** replaying each from a
+    /// fresh tableau yields identical X/Z bit matrices and phase bits
+    /// over all `2n` rows. This is the symbolic entry point the static
+    /// translation-validation pass (`qutes-analysis::verify`) uses: no
+    /// amplitudes, `O(n²)` bits, exact.
+    ///
+    /// The comparison excludes the scratch row (row `2n`), which only
+    /// holds transient `rowsum` state from deterministic measurements.
+    pub fn action_eq(&self, other: &Tableau) -> bool {
+        if self.n != other.n {
+            return false;
+        }
+        let cells = 2 * self.n * self.words;
+        self.x[..cells] == other.x[..cells]
+            && self.z[..cells] == other.z[..cells]
+            && self.r[..2 * self.n] == other.r[..2 * self.n]
+    }
+
+    /// True when this tableau still encodes the identity action: every
+    /// destabilizer `i` is exactly `X_i`, every stabilizer `i` exactly
+    /// `Z_i`, and all phases are `+1` — the state [`Tableau::new`]
+    /// starts from. Replaying a circuit and asking `is_identity_action`
+    /// is the `O(n²)` symbolic check that the circuit is the identity up
+    /// to global phase.
+    pub fn is_identity_action(&self) -> bool {
+        match Tableau::new(self.n) {
+            Ok(fresh) => self.action_eq(&fresh),
+            Err(_) => false,
+        }
+    }
+
     #[inline]
     fn cell(&self, row: usize, qubit: usize) -> (usize, u64) {
         (
@@ -1004,5 +1043,53 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn action_eq_distinguishes_clifford_circuits() {
+        // HZH = X: the two replays must agree row for row.
+        let mut a = Tableau::new(2).unwrap();
+        a.h(0).unwrap();
+        a.z(0).unwrap();
+        a.h(0).unwrap();
+        let mut b = Tableau::new(2).unwrap();
+        b.x(0).unwrap();
+        assert!(a.action_eq(&b));
+
+        // X vs Y differ only in conjugation signs — caught by the r bits.
+        let mut x = Tableau::new(1).unwrap();
+        x.x(0).unwrap();
+        let mut y = Tableau::new(1).unwrap();
+        y.y(0).unwrap();
+        assert!(!x.action_eq(&y));
+
+        // Width mismatch is never equal.
+        assert!(!Tableau::new(1)
+            .unwrap()
+            .action_eq(&Tableau::new(2).unwrap()));
+    }
+
+    #[test]
+    fn identity_action_after_inverse_pair() {
+        let mut t = Tableau::new(3).unwrap();
+        assert!(t.is_identity_action());
+        t.h(0).unwrap();
+        t.cx(0, 1).unwrap();
+        assert!(!t.is_identity_action());
+        t.cx(0, 1).unwrap();
+        t.h(0).unwrap();
+        assert!(t.is_identity_action());
+    }
+
+    #[test]
+    fn action_eq_sees_phase_of_swapped_wires() {
+        // SWAP(0,1) vs CX·CX·CX implement the same permutation.
+        let mut s = Tableau::new(2).unwrap();
+        s.swap(0, 1).unwrap();
+        let mut c = Tableau::new(2).unwrap();
+        c.cx(0, 1).unwrap();
+        c.cx(1, 0).unwrap();
+        c.cx(0, 1).unwrap();
+        assert!(s.action_eq(&c));
     }
 }

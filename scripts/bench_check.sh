@@ -33,10 +33,12 @@ FRESH_DIR = "crates/bench"
 # Deterministic counters: gate mix, optimizer decisions, simulator and
 # noise-engine event counts, backend dispatch decisions, shot-pool
 # shape (benches pin their thread counts, so shots.parallel.* is
-# machine-independent), and kernel invocation counts. The
-# kernel.dispatch.* serial/parallel split depends on the runner's core
-# count, so it is excluded.
-COUNTER_RE = re.compile(r"^(gate|opt|sim|noise|backend|shots)\.|^kernel\.(?!dispatch\.)")
+# machine-independent), translation-validation tallies (segment domain
+# counts, escalations, verdicts — all decided by the circuit, not the
+# machine), and kernel invocation counts. The kernel.dispatch.*
+# serial/parallel split depends on the runner's core count, so it is
+# excluded.
+COUNTER_RE = re.compile(r"^(gate|opt|sim|noise|backend|shots|verify)\.|^kernel\.(?!dispatch\.)")
 DRIFT_RATIO = 1.25
 
 failures = []

@@ -94,7 +94,20 @@ pub fn resolve_backend(source: &str, config: &RunConfig) -> qcirc::BackendChoice
     let _span = obs::span("stage.dispatch");
     let noisy = config.noise.as_ref().is_some_and(|nm| !nm.is_noiseless());
     let est = match parse(source) {
-        Ok(program) => analysis::estimate(&program),
+        Ok(program) => {
+            let est = analysis::estimate(&program);
+            // Cross-check the two dispatch oracles: the syntactic
+            // Clifford classifier is strictly weaker than the
+            // estimator's trace-based bit, so whenever it certifies a
+            // program the estimator must agree (the converse is not
+            // true: the estimator also certifies programs whose
+            // *executed trace* happens to be Clifford).
+            debug_assert!(
+                !analysis::program_is_clifford(&program) || est.clifford_only,
+                "syntactic Clifford classifier certified a program the estimator rejected"
+            );
+            est
+        }
         Err(_) => return qcirc::BackendChoice::Statevector,
     };
     if est.clifford_only && !noisy && est.qubits <= sim::TABLEAU_MAX_QUBITS {
@@ -105,6 +118,12 @@ pub fn resolve_backend(source: &str, config: &RunConfig) -> qcirc::BackendChoice
 }
 
 fn run_source_inner(source: &str, config: &RunConfig) -> QutesResult<RunOutcome> {
+    // Translation validation inside the optimizer: debug/CI builds
+    // check every rewrite of every run through this facade; release
+    // builds never consult the validator (see
+    // `analysis::install_optimizer_guard`). Installing is idempotent
+    // and costs one OnceLock read.
+    analysis::install_optimizer_guard();
     if config.lint.enabled {
         let _stage = qutes_supervisor::enter_stage("facade.lint");
         let report = analysis::analyze_source(source, &config.lint).map_err(QutesError::Compile)?;
@@ -120,11 +139,29 @@ fn run_source_inner(source: &str, config: &RunConfig) -> QutesResult<RunOutcome>
         resolve_backend(source, config)
     };
     let _stage = qutes_supervisor::enter_stage("facade.run");
-    if resolved == config.backend {
+    let outcome = if resolved == config.backend {
         qutes_core::run_source(source, config)
     } else {
-        let mut config = config.clone();
-        config.backend = resolved;
-        qutes_core::run_source(source, &config)
+        let mut patched = config.clone();
+        patched.backend = resolved;
+        qutes_core::run_source(source, &patched)
+    }?;
+    if config.verify {
+        let _stage = qutes_supervisor::enter_stage("facade.verify");
+        let v = analysis::verify_optimization(&outcome.circuit, config.opt_level)
+            .map_err(QutesError::from)?;
+        if v.verdict == analysis::Verdict::Inequivalent {
+            let problem = v.first_problem();
+            return Err(QutesError::Verify {
+                pass: problem.map_or("pipeline", |b| b.pass).to_string(),
+                detail: problem
+                    .and_then(|b| b.report.detail.clone())
+                    .unwrap_or_else(|| "proven inequivalent".to_string()),
+            });
+        }
+        // `Unknown` is sound to execute; the CLI surfaces it as a
+        // warning (the library accepts it silently — see
+        // docs/verification.md).
     }
+    Ok(outcome)
 }

@@ -1,0 +1,106 @@
+//! Backend-dispatch regression tests: pin [`qutes::resolve_backend`]'s
+//! decisions on the shipped `ghz_100.qut` and close variants of it, so
+//! a change to the estimator or the Clifford classifiers that would
+//! silently re-route programs shows up as a test diff here.
+
+use qutes::{analysis, parse, qcirc::BackendChoice, resolve_backend, RunConfig};
+use std::fs;
+use std::path::Path;
+
+fn ghz_100() -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/programs/ghz_100.qut");
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path:?}: {e}"))
+}
+
+fn auto() -> RunConfig {
+    RunConfig {
+        backend: BackendChoice::Auto,
+        ..RunConfig::default()
+    }
+}
+
+#[test]
+fn pristine_ghz_100_dispatches_to_tableau() {
+    let src = ghz_100();
+    assert_eq!(resolve_backend(&src, &auto()), BackendChoice::Tableau);
+    // The decision's ingredients, pinned individually: exact estimate,
+    // Clifford-only trace, width within the tableau's reach.
+    let est = analysis::estimate(&parse(&src).expect("ghz_100 parses"));
+    assert!(est.exact, "ghz_100's loop is statically bounded");
+    assert!(est.clifford_only);
+    assert_eq!(est.qubits, 100);
+}
+
+#[test]
+fn estimator_give_up_still_dispatches_clifford_program_to_tableau() {
+    // A measurement-dependent `while` makes the trace un-analyzable, so
+    // the estimator gives up — but every construct in the program is
+    // still Clifford, and the syntactic classifier must rescue the
+    // dispatch decision rather than pessimizing to the statevector
+    // (which cannot even allocate 100 qubits).
+    let src = format!(
+        "{}\nqubit extra = |+>;\nbool flip = measure extra;\nwhile (flip) {{\n    flip = false;\n}}\n",
+        ghz_100()
+    );
+    let est = analysis::estimate(&parse(&src).expect("variant parses"));
+    assert!(
+        !est.exact,
+        "the measured-bool loop must defeat the estimator"
+    );
+    assert!(
+        est.clifford_only,
+        "the syntactic classifier must still certify"
+    );
+    assert_eq!(resolve_backend(&src, &auto()), BackendChoice::Tableau);
+}
+
+#[test]
+fn non_clifford_variant_dispatches_to_statevector() {
+    // One T-angle phase gate is enough to lose the stabilizer domain.
+    let src = format!("{}\nphase(g[0], pi / 4);\n", ghz_100());
+    let est = analysis::estimate(&parse(&src).expect("variant parses"));
+    assert!(!est.clifford_only);
+    assert_eq!(resolve_backend(&src, &auto()), BackendChoice::Statevector);
+}
+
+#[test]
+fn noise_forces_statevector_even_for_clifford_programs() {
+    let cfg = RunConfig {
+        noise: Some(qutes::sim::NoiseModel::depolarizing(0.01)),
+        ..auto()
+    };
+    assert_eq!(
+        resolve_backend(&ghz_100(), &cfg),
+        BackendChoice::Statevector
+    );
+    // The silent all-zeros model is behaviourally noiseless and must
+    // not change the decision.
+    let cfg = RunConfig {
+        noise: Some(qutes::sim::NoiseModel::none()),
+        ..auto()
+    };
+    assert_eq!(resolve_backend(&ghz_100(), &cfg), BackendChoice::Tableau);
+}
+
+#[test]
+fn explicit_backend_choices_pass_through_untouched() {
+    for forced in [BackendChoice::Statevector, BackendChoice::Tableau] {
+        let cfg = RunConfig {
+            backend: forced,
+            ..RunConfig::default()
+        };
+        // Even on a program the choice does not suit: forcing is the
+        // user's call, and unsupported combinations fail later with a
+        // typed error instead of being silently rewritten here.
+        let src = format!("{}\nphase(g[0], pi / 4);\n", ghz_100());
+        assert_eq!(resolve_backend(&src, &cfg), forced);
+    }
+}
+
+#[test]
+fn unparsable_source_passes_through_to_the_statevector() {
+    assert_eq!(
+        resolve_backend("qubit = ;", &auto()),
+        BackendChoice::Statevector
+    );
+}

@@ -69,6 +69,50 @@ fn every_showcase_circuit_exports_to_qasm3() {
 }
 
 #[test]
+fn every_shipped_example_roundtrips_through_the_qasm2_importer() {
+    // The CI `verify-examples` job leans on this: every program we ship
+    // must export to OpenQASM 2 and come back through the importer with
+    // its register shape intact. Backends are resolved like `qutes run`
+    // would, so the 100-qubit Clifford examples execute on the tableau.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/programs");
+    let mut checked = 0;
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "qut"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let src = std::fs::read_to_string(&path).unwrap();
+        let mut cfg = RunConfig::default();
+        cfg.backend = qutes::resolve_backend(&src, &cfg);
+        let circuit = run_source(&src, &cfg)
+            .unwrap_or_else(|e| panic!("{}: {}", path.display(), e.render(&src)))
+            .circuit;
+        let text = to_qasm2(&circuit).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let back = from_qasm2(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(
+            back.num_qubits(),
+            circuit.num_qubits(),
+            "{}",
+            path.display()
+        );
+        assert_eq!(
+            back.num_clbits(),
+            circuit.num_clbits(),
+            "{}",
+            path.display()
+        );
+        to_qasm3(&circuit).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        checked += 1;
+    }
+    assert!(
+        checked >= 12,
+        "expected the shipped examples, saw {checked}"
+    );
+}
+
+#[test]
 fn qasm2_exports_avoid_unsupported_gates() {
     // The exporter must lower everything to qelib1-expressible gates,
     // whatever the program used.
